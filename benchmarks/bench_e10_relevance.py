@@ -1,0 +1,105 @@
+"""E10 — §5.2: "if the updates ... have no impact on the previous query
+result set ... no computation is performed for this CQ."
+
+Sweep the fraction of updates that land inside the query's selection
+band from 0% to 100%. Claim shape: executions are skipped entirely
+when every update is irrelevant, and DRA's work tracks the *relevant*
+update count, not the total.
+"""
+
+import pytest
+
+from repro import Database
+from repro.dra.algorithm import dra_execute
+from repro.delta.capture import deltas_since
+from repro.metrics import Metrics
+from repro.relational import parse_query
+from repro.workload.stocks import StockMarket
+
+# Query band: price > 800. Updates land in [850,1000) (relevant) or
+# [0,700) (irrelevant; safely away from the boundary).
+WATCH = parse_query("SELECT sid, name, price FROM stocks WHERE price > 800")
+BATCH = 100
+RELEVANT_FRACTIONS = [0.0, 0.25, 0.5, 1.0]
+
+
+def pin_below_band(db, market, ceiling=700):
+    """Deterministically move every row below the query band."""
+    with db.begin() as txn:
+        for row in list(market.stocks.rows()):
+            if row.values[2] >= ceiling:
+                txn.modify_in(
+                    market.stocks, row.tid, updates={"price": row.values[2] % ceiling}
+                )
+
+
+def build(relevant_fraction, seed=101):
+    db = Database()
+    market = StockMarket(db, seed=seed)
+    market.populate(2_000)
+    # Pre-position every row below the band so in-band moves are the
+    # only relevant changes.
+    pin_below_band(db, market)
+    ts = db.now()
+    relevant = int(BATCH * relevant_fraction)
+    market.modify_in_band(relevant, 850, 1_000)
+    market.modify_in_band(BATCH - relevant, 0, 700)
+    deltas = deltas_since([market.stocks], ts)
+    return db, deltas
+
+
+def test_relevance_sweep(print_table, benchmark):
+    rows = []
+    outcomes = {}
+    for fraction in RELEVANT_FRACTIONS:
+        db, deltas = build(fraction)
+        metrics = Metrics()
+        result = dra_execute(WATCH, db, deltas=deltas, ts=9, metrics=metrics)
+        outcomes[fraction] = (result, metrics)
+        rows.append(
+            {
+                "relevant_frac": fraction,
+                "updates": BATCH,
+                "skipped": result.skipped,
+                "result_changes": len(result.delta),
+                "delta_rows_read": metrics[Metrics.DELTA_ROWS_READ],
+                "terms": result.terms_evaluated,
+            }
+        )
+    print_table(rows, title="E10: irrelevant-update filtering")
+
+    fully_irrelevant, __ = outcomes[0.0]
+    assert fully_irrelevant.skipped
+    assert fully_irrelevant.terms_evaluated == 0
+    # Result changes track the relevant fraction.
+    assert len(outcomes[1.0][0].delta) > len(outcomes[0.25][0].delta)
+    assert len(outcomes[0.25][0].delta) > 0
+    db, deltas = build(0.0)
+    benchmark(lambda: dra_execute(WATCH, db, deltas=deltas, ts=9))
+
+
+def test_manager_skips_irrelevant_notifications(benchmark):
+    from repro.core import CQManager
+
+    db = Database()
+    market = StockMarket(db, seed=102)
+    market.populate(1_000)
+    pin_below_band(db, market)
+    mgr = CQManager(db)
+    mgr.register_sql("watch", "SELECT name FROM stocks WHERE price > 800")
+    mgr.drain()
+    market.modify_in_band(50, 0, 700)  # all irrelevant
+    assert mgr.drain() == []
+
+    def churn():
+        market.modify_in_band(10, 0, 700)
+        mgr.drain()
+
+    benchmark(churn)
+
+
+@pytest.mark.parametrize("fraction", [0.0, 1.0])
+def test_refresh_cost_by_relevance(benchmark, fraction):
+    benchmark.group = "e10 refresh"
+    db, deltas = build(fraction)
+    benchmark(lambda: dra_execute(WATCH, db, deltas=deltas, ts=9))

@@ -1,0 +1,96 @@
+"""E12 — the ESR trade-off behind epsilon specifications (§3.2).
+
+"Divergence control algorithms allow limited non-serializable
+conflicts between updates and the epsilon query to happen, to increase
+system execution flexibility and concurrency."
+
+A SUM epsilon query scans 2k accounts in chunks while 60 conflicting
+update transactions ask to run. Sweep ε: admitted concurrency rises
+with ε while the answer's error stays within the imported divergence,
+which stays within ε — the quantitative version of the bank manager's
+"could contain errors up to half a million and still return a
+meaningful result".
+"""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.esr.divergence import EpsilonScan, UpdateIntent
+from repro.relational import AttributeType
+
+ACCOUNTS = 2_000
+INTENTS = 60
+EPSILONS = [0.0, 500.0, 5_000.0, 50_000.0, 10**9]
+
+
+def build(seed=121):
+    rng = random.Random(seed)
+    db = Database()
+    accounts = db.create_table(
+        "accounts",
+        [("owner", AttributeType.STR), ("amount", AttributeType.INT)],
+    )
+    tids = accounts.insert_many(
+        (f"c{i}", rng.randrange(100, 1000)) for i in range(ACCOUNTS)
+    )
+    return db, accounts, tids
+
+
+def make_intents(tids, seed=122):
+    rng = random.Random(seed)
+    # Target the front half of the scan so conflicts are plentiful.
+    return [
+        UpdateIntent().modify(
+            tids[rng.randrange(len(tids) // 2)],
+            {"amount": rng.randrange(100, 2_000)},
+        )
+        for __ in range(INTENTS)
+    ]
+
+
+def run_once(epsilon, seed=121):
+    db, accounts, tids = build(seed)
+    scan = EpsilonScan(db, accounts, "amount", epsilon, chunk_size=200)
+    return scan.run(make_intents(tids))
+
+
+def test_concurrency_precision_tradeoff(print_table, benchmark):
+    rows = []
+    reports = {}
+    for epsilon in EPSILONS:
+        report = run_once(epsilon)
+        reports[epsilon] = report
+        rows.append(
+            {
+                "epsilon": epsilon if epsilon < 10**9 else "inf",
+                "admitted": report.admitted,
+                "deferred": report.deferred_final,
+                "imported": report.imported,
+                "answer_error": report.error,
+                "bound_holds": report.error <= report.imported <= epsilon + 1e-9,
+            }
+        )
+    print_table(rows, title="E12: ESR concurrency vs precision")
+
+    # Monotone concurrency in epsilon.
+    admitted = [reports[e].admitted for e in EPSILONS]
+    assert admitted == sorted(admitted)
+    # Serializable at epsilon 0 (exact answer, conflicts deferred).
+    assert reports[0.0].error == 0
+    assert reports[0.0].deferred_final > 0
+    # Fully concurrent at epsilon = inf.
+    assert reports[10**9].deferred_final == 0
+    # The ESR guarantee at every point.
+    for epsilon in EPSILONS:
+        report = reports[epsilon]
+        assert report.error <= report.imported + 1e-9
+        assert report.imported <= epsilon + 1e-9
+    benchmark(lambda: run_once(5_000.0))
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 5_000.0])
+def test_scan_cost(benchmark, epsilon):
+    benchmark.group = "e12 scan"
+    benchmark(lambda: run_once(epsilon))

@@ -1,0 +1,101 @@
+"""E1 — §5.1 ¶1: "DRA processing ... will be much faster, reducing both
+I/O and CPU requirements", because results (and deltas) are much
+smaller than base data.
+
+Fixed update batch (50 ops), base relation swept 1k -> 50k rows.
+Claim shape: complete re-evaluation work grows linearly with |R|;
+DRA work depends only on |Δ| and is independent of |R|.
+"""
+
+import pytest
+
+from repro.bench.harness import time_fn
+from repro.delta.diff import diff
+from repro.dra.algorithm import dra_execute
+from repro.metrics import Metrics
+from repro.relational import parse_query
+
+from conftest import Scenario
+
+WATCH = parse_query("SELECT sid, name, price FROM stocks WHERE price > 800")
+SIZES = [1_000, 10_000, 50_000]
+UPDATES = 50
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return {size: Scenario(size, UPDATES, seed=size) for size in SIZES}
+
+
+def dra_once(scenario, metrics=None):
+    return dra_execute(
+        WATCH, scenario.db, deltas=scenario.deltas, ts=99, metrics=metrics
+    )
+
+
+def reeval_once(scenario, previous, metrics=None):
+    from repro.relational.evaluate import evaluate_spj
+
+    new = evaluate_spj(WATCH, scenario.db.relation, metrics)
+    return diff(previous, new, 99)
+
+
+class TestClaimShape:
+    def test_dra_work_independent_of_base_size(
+        self, scenarios, print_table, benchmark
+    ):
+        rows = []
+        dra_delta_reads = {}
+        reeval_scans = {}
+        for size in SIZES:
+            scenario = scenarios[size]
+            metrics = Metrics()
+            dra_once(scenario, metrics)
+            dra_delta_reads[size] = metrics[Metrics.DELTA_ROWS_READ]
+            assert metrics[Metrics.ROWS_SCANNED] == 0, "DRA must not scan base"
+            metrics2 = Metrics()
+            previous = scenario.old_resolver()("stocks")  # just for the diff
+            from repro.relational.evaluate import evaluate_spj
+
+            prev_result = evaluate_spj(WATCH, scenario.old_resolver())
+            reeval_once(scenario, prev_result, metrics2)
+            reeval_scans[size] = metrics2[Metrics.ROWS_SCANNED]
+            rows.append(
+                {
+                    "base_rows": size,
+                    "dra_delta_rows": dra_delta_reads[size],
+                    "dra_base_scanned": 0,
+                    "reeval_rows_scanned": reeval_scans[size],
+                }
+            )
+        print_table(rows, title="E1: work vs base size (counts)")
+        # DRA work flat in |R|; re-evaluation linear in |R|.
+        assert dra_delta_reads[SIZES[0]] == dra_delta_reads[SIZES[-1]]
+        assert reeval_scans[SIZES[-1]] == len(scenarios[SIZES[-1]].market.stocks)
+        assert reeval_scans[SIZES[-1]] >= 45 * reeval_scans[SIZES[0]]
+        benchmark(lambda: dra_once(scenarios[SIZES[-1]]))
+
+    def test_results_equal_despite_strategy(self, scenarios, benchmark):
+        scenario = scenarios[SIZES[1]]
+        from repro.relational.evaluate import evaluate_spj
+
+        prev_result = evaluate_spj(WATCH, scenario.old_resolver())
+        expected = reeval_once(scenario, prev_result)
+        got = benchmark(lambda: dra_once(scenario).delta)
+        assert got == expected
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_dra_refresh(benchmark, scenarios, size):
+    benchmark.group = f"e1 base={size}"
+    benchmark(lambda: dra_once(scenarios[size]))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_reeval_refresh(benchmark, scenarios, size):
+    benchmark.group = f"e1 base={size}"
+    scenario = scenarios[size]
+    from repro.relational.evaluate import evaluate_spj
+
+    prev_result = evaluate_spj(WATCH, scenario.old_resolver())
+    benchmark(lambda: reeval_once(scenario, prev_result))

@@ -1,0 +1,129 @@
+"""E2 — §5.1 ¶2: "if the volume of relevant updates is smaller than the
+results (which is the common case), then we are further reducing the
+network traffic."
+
+Client-server simulation over a 5k-row stocks table with a result of
+~1000 rows; the per-refresh update volume is swept from 0.1% to 50% of
+the base. Claim shape: DRA ships bytes proportional to the *relevant
+delta*, the naive protocol ships the full result every time; DRA wins
+until deltas approach the result size.
+"""
+
+import pytest
+
+from repro.net.client import CQClient
+from repro.net.server import CQServer, Protocol
+from repro.net.simnet import SimulatedNetwork
+from repro import Database
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT sid, name, price FROM stocks WHERE price > 800"
+BASE_ROWS = 5_000
+ROUNDS = 5
+UPDATE_FRACTIONS = [0.001, 0.01, 0.1, 0.5]
+
+
+def run_deployment(update_fraction):
+    db = Database()
+    market = StockMarket(db, seed=int(update_fraction * 10_000) + 3)
+    market.populate(BASE_ROWS)
+    net = SimulatedNetwork()
+    server = CQServer(db, net)
+    clients = {}
+    for name, protocol in [
+        ("dra", Protocol.DRA_DELTA),
+        ("reeval_delta", Protocol.REEVAL_DELTA),
+        ("naive_full", Protocol.REEVAL_FULL),
+    ]:
+        client = CQClient(name)
+        server.attach(client)
+        client.register("watch", WATCH, protocol)
+        clients[name] = client
+    # Ignore registration traffic; measure refresh traffic only.
+    net.reset()
+    updates_per_round = max(1, int(BASE_ROWS * update_fraction))
+    for __ in range(ROUNDS):
+        market.tick(updates_per_round, p_insert=0.1, p_delete=0.1)
+        server.refresh_all()
+    truth = db.query(WATCH)
+    for client in clients.values():
+        assert client.result("watch") == truth
+    return {
+        name: net.link("server", name).bytes for name in clients
+    }, updates_per_round
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        fraction: run_deployment(fraction) for fraction in UPDATE_FRACTIONS
+    }
+
+
+def test_traffic_vs_update_volume(sweep, print_table, benchmark):
+    rows = []
+    for fraction in UPDATE_FRACTIONS:
+        bytes_by_protocol, updates = sweep[fraction]
+        rows.append(
+            {
+                "update_frac": fraction,
+                "updates/round": updates,
+                "dra_bytes": bytes_by_protocol["dra"],
+                "reeval_delta_bytes": bytes_by_protocol["reeval_delta"],
+                "naive_full_bytes": bytes_by_protocol["naive_full"],
+                "dra_savings_x": round(
+                    bytes_by_protocol["naive_full"]
+                    / max(1, bytes_by_protocol["dra"]),
+                    1,
+                ),
+            }
+        )
+    print_table(rows, title="E2: refresh traffic (bytes over 5 rounds)")
+
+    # Sparse updates: DRA ships orders of magnitude less than naive.
+    sparse = sweep[UPDATE_FRACTIONS[0]][0]
+    assert sparse["dra"] * 50 < sparse["naive_full"]
+    # The two delta-shipping protocols ship identical content.
+    for fraction in UPDATE_FRACTIONS:
+        bp, __ = sweep[fraction]
+        assert bp["dra"] == bp["reeval_delta"]
+    # DRA traffic grows with update volume; naive stays result-sized.
+    assert (
+        sweep[UPDATE_FRACTIONS[-1]][0]["dra"]
+        > sweep[UPDATE_FRACTIONS[0]][0]["dra"] * 10
+    )
+    benchmark(lambda: run_deployment(0.01))
+
+
+def test_refresh_round_dra(benchmark):
+    db = Database()
+    market = StockMarket(db, seed=5)
+    market.populate(BASE_ROWS)
+    net = SimulatedNetwork()
+    server = CQServer(db, net)
+    client = CQClient("c")
+    server.attach(client)
+    client.register("watch", WATCH, Protocol.DRA_DELTA)
+
+    def round_trip():
+        market.tick(20)
+        server.refresh_all()
+
+    benchmark(round_trip)
+
+
+def test_refresh_round_naive(benchmark):
+    db = Database()
+    market = StockMarket(db, seed=5)
+    market.populate(BASE_ROWS)
+    net = SimulatedNetwork()
+    server = CQServer(db, net)
+    client = CQClient("c")
+    server.attach(client)
+    client.register("watch", WATCH, Protocol.REEVAL_FULL)
+
+    def round_trip():
+        market.tick(20)
+        server.refresh_all()
+
+    benchmark(round_trip)

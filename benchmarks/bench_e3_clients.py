@@ -1,0 +1,95 @@
+"""E3 — §5.1: "caching the results on the client side makes the servers
+more scalable with respect to the number of clients."
+
+Sweep the client count with a fixed update batch per refresh cycle and
+measure the server's work per cycle. Claim shape: with the naive
+protocol the server re-scans the base table once *per client*; with DRA
+the per-client cost is delta-sized, so server work stays near-flat as
+clients grow.
+"""
+
+import pytest
+
+from repro import Database
+from repro.metrics import Metrics
+from repro.net.client import CQClient
+from repro.net.server import CQServer, Protocol
+from repro.net.simnet import SimulatedNetwork
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT sid, name, price FROM stocks WHERE price > 800"
+BASE_ROWS = 2_000
+CLIENT_COUNTS = [1, 8, 32]
+
+
+def build(n_clients, protocol, seed=3):
+    db = Database()
+    market = StockMarket(db, seed=seed)
+    market.populate(BASE_ROWS)
+    server = CQServer(db, SimulatedNetwork())
+    for i in range(n_clients):
+        client = CQClient(f"c{i}")
+        server.attach(client)
+        client.register("watch", WATCH, protocol)
+    return db, market, server
+
+
+def one_cycle(market, server):
+    market.tick(20)
+    server.refresh_all()
+
+
+def server_work_per_cycle(n_clients, protocol):
+    db, market, server = build(n_clients, protocol)
+    market.tick(20)
+    server.metrics.reset()
+    server.refresh_all()
+    m = server.metrics
+    return (
+        m[Metrics.ROWS_SCANNED]
+        + m[Metrics.DELTA_ROWS_READ]
+        + m[Metrics.INDEX_PROBES]
+    )
+
+
+def test_server_work_vs_client_count(print_table, benchmark):
+    rows = []
+    work = {}
+    for n in CLIENT_COUNTS:
+        work[(n, "dra")] = server_work_per_cycle(n, Protocol.DRA_DELTA)
+        work[(n, "naive")] = server_work_per_cycle(n, Protocol.REEVAL_FULL)
+        rows.append(
+            {
+                "clients": n,
+                "dra_server_ops": work[(n, "dra")],
+                "naive_server_ops": work[(n, "naive")],
+                "naive/dra": round(
+                    work[(n, "naive")] / max(1, work[(n, "dra")]), 1
+                ),
+            }
+        )
+    print_table(rows, title="E3: server work per refresh cycle")
+
+    # Naive work is linear in the client count (one base scan each).
+    assert work[(32, "naive")] >= 30 * BASE_ROWS
+    assert work[(32, "naive")] / work[(1, "naive")] > 20
+    # DRA's per-client cost is delta-sized, not base-sized: at 32
+    # clients the server does >10x less work than naive, and each
+    # client costs at most both sides of the 20-update batch.
+    assert work[(32, "dra")] < work[(32, "naive")] / 10
+    assert work[(32, "dra")] / 32 <= 2 * 20
+    benchmark(lambda: server_work_per_cycle(8, Protocol.DRA_DELTA))
+
+
+@pytest.mark.parametrize("n_clients", CLIENT_COUNTS)
+def test_cycle_dra(benchmark, n_clients):
+    benchmark.group = f"e3 clients={n_clients}"
+    db, market, server = build(n_clients, Protocol.DRA_DELTA)
+    benchmark(lambda: one_cycle(market, server))
+
+
+@pytest.mark.parametrize("n_clients", CLIENT_COUNTS)
+def test_cycle_naive(benchmark, n_clients):
+    benchmark.group = f"e3 clients={n_clients}"
+    db, market, server = build(n_clients, Protocol.REEVAL_FULL)
+    benchmark(lambda: one_cycle(market, server))

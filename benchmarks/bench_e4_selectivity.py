@@ -1,0 +1,116 @@
+"""E4 — §5.1 limitations: "when the results turn out to be large (poor
+selectivity of the query), then a lazy evaluation and transmission of
+results is necessary" — i.e. DRA's edge shrinks as selectivity and
+update volume grow; find where re-evaluation catches up.
+
+Two sweeps over a 5k-row table:
+* selectivity 1% -> 90% at a fixed update batch — DRA's *initial ship*
+  and refresh traffic grow with the result, but refresh compute stays
+  delta-bound;
+* update fraction 1% -> 100% at fixed selectivity — DRA work grows
+  linearly with the delta and meets complete re-evaluation near
+  full-table churn (the crossover).
+"""
+
+import pytest
+
+from repro.bench.harness import time_fn
+from repro.dra.algorithm import dra_execute
+from repro.metrics import Metrics
+from repro.relational import parse_query
+from repro.relational.evaluate import evaluate_spj
+
+from conftest import Scenario
+
+BASE_ROWS = 5_000
+SELECTIVITY_THRESHOLDS = {0.01: 990, 0.10: 900, 0.50: 500, 0.90: 100}
+UPDATE_FRACTIONS = [0.01, 0.1, 0.5, 1.0]
+
+
+def query_for(threshold):
+    return parse_query(
+        f"SELECT sid, name, price FROM stocks WHERE price > {threshold}"
+    )
+
+
+def measure(scenario, query):
+    """(dra_ops, reeval_ops, dra_seconds, reeval_seconds)."""
+    dra_metrics = Metrics()
+    dra_execute(query, scenario.db, deltas=scenario.deltas, ts=9, metrics=dra_metrics)
+    reeval_metrics = Metrics()
+    evaluate_spj(query, scenario.db.relation, reeval_metrics)
+    dra_ops = (
+        dra_metrics[Metrics.DELTA_ROWS_READ]
+        + dra_metrics[Metrics.ROWS_SCANNED]
+        + dra_metrics[Metrics.INDEX_PROBES]
+    )
+    reeval_ops = reeval_metrics[Metrics.ROWS_SCANNED]
+    dra_s = time_fn(
+        lambda: dra_execute(query, scenario.db, deltas=scenario.deltas, ts=9)
+    )
+    reeval_s = time_fn(lambda: evaluate_spj(query, scenario.db.relation))
+    return dra_ops, reeval_ops, dra_s, reeval_s
+
+
+def test_selectivity_sweep(print_table, benchmark):
+    scenario = Scenario(BASE_ROWS, updates=50, seed=17)
+    rows = []
+    ops = {}
+    for selectivity, threshold in SELECTIVITY_THRESHOLDS.items():
+        query = query_for(threshold)
+        dra_ops, reeval_ops, dra_s, reeval_s = measure(scenario, query)
+        ops[selectivity] = (dra_ops, reeval_ops)
+        rows.append(
+            {
+                "selectivity": selectivity,
+                "dra_ops": dra_ops,
+                "reeval_ops": reeval_ops,
+                "dra_ms": dra_s * 1e3,
+                "reeval_ms": reeval_s * 1e3,
+            }
+        )
+    print_table(rows, title="E4a: fixed updates, selectivity sweep")
+    # Refresh compute is delta-bound at every selectivity: re-eval
+    # always scans the full base.
+    for selectivity, (dra_ops, reeval_ops) in ops.items():
+        assert dra_ops <= 2 * 50  # at most both sides of 50 updates
+        assert reeval_ops >= BASE_ROWS - 50  # full scan (minus deletions)
+    benchmark(lambda: measure(scenario, query_for(500)))
+
+
+def test_update_fraction_crossover(print_table, benchmark):
+    query = query_for(500)
+    rows = []
+    dra_ops_by_fraction = {}
+    for fraction in UPDATE_FRACTIONS:
+        scenario = Scenario(
+            BASE_ROWS,
+            updates=int(BASE_ROWS * fraction),
+            seed=int(fraction * 100) + 1,
+            p_insert=0.0,
+            p_delete=0.0,
+        )
+        dra_ops, reeval_ops, dra_s, reeval_s = measure(scenario, query)
+        dra_ops_by_fraction[fraction] = dra_ops
+        rows.append(
+            {
+                "update_frac": fraction,
+                "dra_ops": dra_ops,
+                "reeval_ops": reeval_ops,
+                "dra_ms": dra_s * 1e3,
+                "reeval_ms": reeval_s * 1e3,
+                "dra_wins": dra_ops < reeval_ops,
+            }
+        )
+    print_table(rows, title="E4b: fixed selectivity, update-volume sweep")
+    # DRA work grows with update volume...
+    assert dra_ops_by_fraction[1.0] > 20 * dra_ops_by_fraction[0.01]
+    # ...clearly ahead when updates are sparse...
+    assert dra_ops_by_fraction[0.01] * 10 < BASE_ROWS
+    # ...and no longer ahead at full-table churn (the crossover the
+    # paper's limitation paragraph concedes).
+    assert dra_ops_by_fraction[1.0] >= BASE_ROWS * 0.5
+    scenario = Scenario(BASE_ROWS, updates=BASE_ROWS, seed=2)
+    benchmark(
+        lambda: dra_execute(query, scenario.db, deltas=scenario.deltas, ts=9)
+    )

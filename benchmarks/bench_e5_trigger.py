@@ -1,0 +1,97 @@
+"""E5 — §5.3: "the cost of evaluating the differential form of T_cq is
+cheaper than the complete re-evaluation of T_cq over the entire base
+relations ... when |CheckingAccounts| > |ΔCheckingAccounts|."
+
+The checking-account trigger |Deposits − Withdrawals| >= ε evaluated
+two ways at each check:
+* differential — fold the delta batch into a NetChangeEpsilon
+  (reads |Δ| rows);
+* complete — rescan the base relation, SUM, and compare against the
+  last reported sum (reads |R| rows).
+
+Sweep the |R| / |Δ| ratio; the differential form's advantage is the
+ratio itself.
+"""
+
+import pytest
+
+from repro import Database
+from repro.bench.harness import time_fn
+from repro.core.epsilon import NetChangeEpsilon
+from repro.delta.capture import delta_since
+from repro.relational import parse_query
+from repro.relational.evaluate import evaluate_spj  # noqa: F401 (docs)
+from repro.workload.accounts import Bank
+
+SUM_QUERY = parse_query("SELECT SUM(amount) AS total FROM accounts")
+BASE_SIZES = [1_000, 10_000, 50_000]
+DELTA_SIZE = 20
+
+
+def build(base_size):
+    db = Database()
+    bank = Bank(db, seed=base_size)
+    bank.populate(base_size)
+    last_reported = bank.total_balance()
+    ts = db.now()
+    bank.business_day(DELTA_SIZE, deposit_bias=0.9)
+    delta = delta_since(bank.accounts, ts)
+    return db, bank, delta, last_reported
+
+
+def differential_check(delta, epsilon=500.0):
+    spec = NetChangeEpsilon(epsilon, "amount")
+    spec.observe("accounts", delta)
+    return spec.exceeded()
+
+
+def complete_check(db, last_reported, epsilon=500.0):
+    from repro.relational.aggregates import evaluate_aggregate
+    from repro.relational.sql import parse_query as parse
+
+    current = evaluate_aggregate(
+        parse("SELECT SUM(amount) AS total FROM accounts"), db.relation
+    ).get(())[0]
+    return abs(current - last_reported) >= epsilon
+
+
+def test_trigger_evaluation_cost_ratio(print_table, benchmark):
+    rows = []
+    for base_size in BASE_SIZES:
+        db, bank, delta, last_reported = build(base_size)
+        # Both forms agree on whether the trigger fires.
+        assert differential_check(delta) == complete_check(db, last_reported)
+        diff_s = time_fn(lambda: differential_check(delta), repeat=5)
+        full_s = time_fn(lambda: complete_check(db, last_reported), repeat=5)
+        rows.append(
+            {
+                "base_rows": base_size,
+                "delta_rows": len(delta),
+                "diff_check_us": diff_s * 1e6,
+                "full_check_us": full_s * 1e6,
+                "speedup_x": round(full_s / max(diff_s, 1e-9), 1),
+            }
+        )
+    print_table(rows, title="E5: trigger-condition evaluation cost")
+    # The differential check reads |Δ| rows regardless of |R|: at the
+    # largest ratio it must be dramatically cheaper (margin is huge,
+    # so a timing assert is safe even on noisy machines).
+    db, bank, delta, last_reported = build(BASE_SIZES[-1])
+    diff_s = time_fn(lambda: differential_check(delta), repeat=5)
+    full_s = time_fn(lambda: complete_check(db, last_reported), repeat=5)
+    assert full_s > diff_s * 5
+    benchmark(lambda: differential_check(delta))
+
+
+@pytest.mark.parametrize("base_size", BASE_SIZES)
+def test_differential_trigger_check(benchmark, base_size):
+    benchmark.group = f"e5 base={base_size}"
+    __, __, delta, __ = build(base_size)
+    benchmark(lambda: differential_check(delta))
+
+
+@pytest.mark.parametrize("base_size", BASE_SIZES)
+def test_complete_trigger_check(benchmark, base_size):
+    benchmark.group = f"e5 base={base_size}"
+    db, __, __, last_reported = build(base_size)
+    benchmark(lambda: complete_check(db, last_reported))

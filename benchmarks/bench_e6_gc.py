@@ -1,0 +1,102 @@
+"""E6 — §5.4: active-delta-zone garbage collection keeps differential
+relations bounded; the system zone is pinned by the oldest active CQ.
+
+Long run (40 rounds x 25 updates) with CQs at different cadences.
+Claim shape: without GC the log grows linearly with total updates;
+with GC it stays bounded by one refresh window; a slow CQ holds the
+horizon back until it finally executes.
+"""
+
+import pytest
+
+from repro import Database
+from repro.core import CQManager, EvaluationStrategy, Every
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT sid, name, price FROM stocks WHERE price > 700"
+ROUNDS = 40
+UPDATES_PER_ROUND = 25
+
+
+def run(gc: bool, slow_interval=None, seed=11):
+    db = Database()
+    market = StockMarket(db, seed=seed)
+    market.populate(500)
+    mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+    mgr.register_sql("fast", WATCH, trigger=Every(1))
+    if slow_interval:
+        mgr.register_sql("slow", WATCH, trigger=Every(slow_interval))
+    mgr.drain()
+    log_sizes = []
+    for __ in range(ROUNDS):
+        market.tick(UPDATES_PER_ROUND)
+        mgr.poll()
+        if gc:
+            mgr.collect_garbage()
+        log_sizes.append(len(market.stocks.log))
+    return log_sizes
+
+
+def test_gc_bounds_log_size(print_table, benchmark):
+    without_gc = run(gc=False)
+    with_gc = run(gc=True)
+    rows = [
+        {
+            "round": i + 1,
+            "log_no_gc": without_gc[i],
+            "log_with_gc": with_gc[i],
+        }
+        for i in range(0, ROUNDS, 8)
+    ]
+    print_table(rows, title="E6: update-log size over time")
+    # Without GC: linear growth to the full history (500 bulk-load
+    # records plus every round's updates).
+    assert without_gc[-1] == 500 + ROUNDS * UPDATES_PER_ROUND
+    # With GC: bounded by (roughly) one refresh window at all times.
+    assert max(with_gc) <= 2 * UPDATES_PER_ROUND
+    benchmark(lambda: run(gc=True))
+
+
+def test_slow_cq_pins_the_horizon(print_table, benchmark):
+    """A CQ that refreshes every ~8 rounds forces the system zone to
+    retain up to 8 rounds of deltas even though the fast CQ is caught
+    up — then releases them when it fires.
+
+    Each round is one commit, so virtual time advances by one tick per
+    round; Every(8) therefore fires every 8th round.
+    """
+    db = Database()
+    market = StockMarket(db, seed=12)
+    market.populate(500)
+    mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+    mgr.register_sql("fast", WATCH, trigger=Every(1))
+    mgr.register_sql("slow", WATCH, trigger=Every(8))
+    mgr.drain()
+    sizes = []
+    for __ in range(24):
+        market.tick(UPDATES_PER_ROUND)
+        mgr.poll()
+        mgr.collect_garbage()
+        sizes.append(len(market.stocks.log))
+    print_table(
+        [{"round": i + 1, "log": s} for i, s in enumerate(sizes) if i % 4 == 3],
+        title="E6b: sawtooth under a slow CQ",
+    )
+    # The retained window exceeds a single fast refresh batch...
+    assert max(sizes) > 2 * UPDATES_PER_ROUND
+    # ...but is still bounded by the slow CQ's full window.
+    assert max(sizes) <= 10 * UPDATES_PER_ROUND
+    # And it drains right after the slow CQ fires.
+    assert min(sizes[4:]) <= 2 * UPDATES_PER_ROUND
+    benchmark(lambda: mgr.collect_garbage())
+
+
+def test_collect_garbage_cost(benchmark):
+    db = Database()
+    market = StockMarket(db, seed=13)
+    market.populate(500)
+    mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+    mgr.register_sql("watch", WATCH)
+    market.tick(200)
+    mgr.poll()
+    benchmark(mgr.collect_garbage)

@@ -1,0 +1,100 @@
+"""E7 — §4.2/4.3: DRA is functionally equivalent to complete
+re-evaluation (Propagate) — and cheaper.
+
+Every benchmark round both computes the DRA delta and asserts it equals
+the Propagate delta over the same consolidated update window, across
+selection, join, and aggregate query shapes.
+"""
+
+import pytest
+
+from repro.delta.propagate import propagate
+from repro.dra.algorithm import dra_execute
+from repro.relational import parse_query
+
+from conftest import Scenario
+
+SELECT_Q = parse_query("SELECT sid, name, price FROM stocks WHERE price > 700")
+JOIN_Q = parse_query(
+    "SELECT s.name, t.shares FROM stocks s, trades t "
+    "WHERE s.sid = t.sid AND s.price > 700"
+)
+
+
+@pytest.fixture(scope="module")
+def select_scenario():
+    return Scenario(5_000, updates=100, seed=71)
+
+
+@pytest.fixture(scope="module")
+def join_scenario():
+    return Scenario(
+        2_000, updates=100, seed=72, with_trades=True, trades_per_stock=2
+    )
+
+
+def test_select_equivalence(select_scenario, benchmark):
+    scenario = select_scenario
+    expected = propagate(SELECT_Q, scenario.db.relation, scenario.deltas, ts=9)
+    got = benchmark(
+        lambda: dra_execute(
+            SELECT_Q, scenario.db, deltas=scenario.deltas, ts=9
+        ).delta
+    )
+    assert got == expected
+    assert not got.is_empty()
+
+
+def test_join_equivalence(join_scenario, benchmark):
+    scenario = join_scenario
+    expected = propagate(JOIN_Q, scenario.db.relation, scenario.deltas, ts=9)
+    got = benchmark(
+        lambda: dra_execute(
+            JOIN_Q, scenario.db, deltas=scenario.deltas, ts=9
+        ).delta
+    )
+    assert got == expected
+
+
+def test_select_propagate_baseline(select_scenario, benchmark):
+    scenario = select_scenario
+    benchmark(
+        lambda: propagate(SELECT_Q, scenario.db.relation, scenario.deltas, ts=9)
+    )
+
+
+def test_join_propagate_baseline(join_scenario, benchmark):
+    scenario = join_scenario
+    benchmark(
+        lambda: propagate(JOIN_Q, scenario.db.relation, scenario.deltas, ts=9)
+    )
+
+
+def test_speedup_report(select_scenario, join_scenario, print_table, benchmark):
+    from repro.bench.harness import time_fn
+
+    rows = []
+    for name, scenario, query in [
+        ("select", select_scenario, SELECT_Q),
+        ("join", join_scenario, JOIN_Q),
+    ]:
+        dra_s = time_fn(
+            lambda: dra_execute(query, scenario.db, deltas=scenario.deltas, ts=9)
+        )
+        prop_s = time_fn(
+            lambda: propagate(query, scenario.db.relation, scenario.deltas, ts=9)
+        )
+        rows.append(
+            {
+                "query": name,
+                "dra_ms": dra_s * 1e3,
+                "propagate_ms": prop_s * 1e3,
+                "speedup_x": round(prop_s / max(dra_s, 1e-9), 1),
+            }
+        )
+    print_table(rows, title="E7: DRA vs Propagate (equal outputs)")
+    benchmark(
+        lambda: dra_execute(
+            SELECT_Q, select_scenario.db, deltas=select_scenario.deltas, ts=9
+        )
+    )

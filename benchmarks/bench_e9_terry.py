@@ -1,0 +1,106 @@
+"""E9 — §1/§2 vs Terry et al.: Continuous Queries handle only
+append-only sources; DRA supports general updates.
+
+Two workloads over the same watch query:
+* append-only — both systems are correct; their refresh costs are
+  comparable (both are incremental);
+* general updates — Terry's model silently diverges from the truth
+  (quantified staleness), while DRA remains exact.
+"""
+
+import pytest
+
+from repro import Database
+from repro.baselines.terry import TerryContinuousQuery
+from repro.core import CQManager, DeliveryMode, EvaluationStrategy
+from repro.relational import parse_query
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT sid, name, price FROM stocks WHERE price > 500"
+ROUNDS = 6
+
+
+def build(seed=91):
+    db = Database()
+    market = StockMarket(db, seed=seed)
+    market.populate(1_000)
+    return db, market
+
+
+def test_append_only_both_correct(print_table, benchmark):
+    db, market = build()
+    q = parse_query(WATCH)
+    terry = TerryContinuousQuery(q, db, strict=True)
+    mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+    mgr.register_sql("dra", WATCH, mode=DeliveryMode.COMPLETE)
+    mgr.drain()
+    for __ in range(ROUNDS):
+        market.tick(50, p_insert=1.0)
+        terry.refresh()
+        mgr.poll()
+    truth = db.query(WATCH)
+    assert terry.result == truth
+    assert mgr.get("dra").previous_result == truth
+    benchmark(lambda: terry.refresh())
+
+
+def test_general_updates_terry_diverges(print_table, benchmark):
+    db, market = build(seed=92)
+    q = parse_query(WATCH)
+    terry = TerryContinuousQuery(q, db, strict=False)
+    mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+    mgr.register_sql("dra", WATCH, mode=DeliveryMode.COMPLETE)
+    mgr.drain()
+    rows = []
+    for round_no in range(ROUNDS):
+        market.tick(80, p_insert=0.2, p_delete=0.3)
+        terry.refresh()
+        mgr.poll()
+        truth = db.query(WATCH)
+        terry_values = terry.result.values_set()
+        truth_values = truth.values_set()
+        stale = len(terry_values - truth_values)
+        missing = len(truth_values - terry_values)
+        rows.append(
+            {
+                "round": round_no + 1,
+                "truth_rows": len(truth),
+                "terry_rows": len(terry.result),
+                "stale_rows": stale,
+                "missed_rows": missing,
+                "dra_exact": mgr.get("dra").previous_result == truth,
+            }
+        )
+    print_table(rows, title="E9: Terry (append-only model) vs truth")
+    final = rows[-1]
+    assert final["dra_exact"]
+    assert final["stale_rows"] > 0  # deleted rows linger
+    assert final["missed_rows"] > 0  # modified-in rows never appear
+    assert terry.ignored_updates > 0
+    benchmark(lambda: db.query(WATCH))
+
+
+def test_refresh_cost_append_only_dra(benchmark):
+    db, market = build(seed=93)
+    mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+    mgr.register_sql("dra", WATCH)
+    mgr.drain()
+
+    def cycle():
+        market.tick(50, p_insert=1.0)
+        mgr.poll()
+
+    benchmark.group = "e9 append-only refresh"
+    benchmark(cycle)
+
+
+def test_refresh_cost_append_only_terry(benchmark):
+    db, market = build(seed=93)
+    terry = TerryContinuousQuery(parse_query(WATCH), db, strict=True)
+
+    def cycle():
+        market.tick(50, p_insert=1.0)
+        terry.refresh()
+
+    benchmark.group = "e9 append-only refresh"
+    benchmark(cycle)

@@ -1,0 +1,21 @@
+"""Setup shim.
+
+The full project metadata lives in pyproject.toml. This file exists so
+that ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip falls back to the legacy ``setup.py develop``
+path when no ``[build-system]`` table is present).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Continual queries with differential re-evaluation "
+        "(reproduction of Liu, Pu, Barga, Zhou, ICDCS 1996)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,76 @@
+"""repro — Continual Queries with Differential Re-evaluation.
+
+A faithful, from-scratch reproduction of:
+
+    Ling Liu, Calton Pu, Roger Barga, Tong Zhou.
+    "Differential Evaluation of Continual Queries."
+    Proc. 16th International Conference on Distributed Computing
+    Systems (ICDCS '96), pp. 450-460.
+
+The package implements the paper's continual-query semantics (query +
+trigger + termination condition), epsilon-specification triggers, and
+the Differential Re-evaluation Algorithm (DRA), together with every
+substrate they need: a relational engine, transactional storage with
+update logs, differential relations, DIOM-style source translators, and
+a deterministic client-server network simulation.
+
+Quickstart::
+
+    from repro import Database, AttributeType, CQManager
+
+    db = Database()
+    stocks = db.create_table(
+        "stocks", [("name", AttributeType.STR), ("price", AttributeType.INT)]
+    )
+    manager = CQManager(db)
+    cq = manager.register_sql(
+        "watch", "SELECT name, price FROM stocks WHERE price > 120"
+    )
+    stocks.insert(("DEC", 150))
+    for notification in manager.run_once():
+        print(notification)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-claim reproduction results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import CQManager, ContinualQuery, DeliveryMode, Engine
+from repro.errors import ReproError
+from repro.metrics import Metrics
+from repro.relational import (
+    AggregateQuery,
+    AggregateSpec,
+    AttributeType,
+    Relation,
+    Schema,
+    SPJQuery,
+    col,
+    lit,
+    parse_query,
+)
+from repro.storage import Database, LogicalClock, Table, Transaction
+
+__all__ = [
+    "AggregateQuery",
+    "AggregateSpec",
+    "AttributeType",
+    "CQManager",
+    "ContinualQuery",
+    "Database",
+    "DeliveryMode",
+    "Engine",
+    "LogicalClock",
+    "Metrics",
+    "Relation",
+    "ReproError",
+    "SPJQuery",
+    "Schema",
+    "Table",
+    "Transaction",
+    "col",
+    "lit",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Comparison baselines. See DESIGN.md S9.
+
+* :class:`ReevaluationRefresher` — complete re-evaluation + Diff;
+* :class:`TerryContinuousQuery` — Terry et al.'s append-only model;
+* :class:`NaivePoller` — re-run and ship everything.
+"""
+
+from repro.baselines.naive import NaivePoller
+from repro.baselines.reeval import ReevaluationRefresher
+from repro.baselines.terry import AppendOnlyViolation, TerryContinuousQuery
+
+__all__ = [
+    "AppendOnlyViolation",
+    "NaivePoller",
+    "ReevaluationRefresher",
+    "TerryContinuousQuery",
+]

@@ -1,0 +1,51 @@
+"""Baseline 1: complete re-evaluation + Diff (the Propagate strategy).
+
+This is the paper's correctness yardstick turned into a refresher: at
+every trigger, recompute Q from scratch over the full base relations
+and Diff against the retained previous result. Identical output to
+DRA, maximal compute cost — the denominator in every speedup the
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.metrics import Metrics
+from repro.relational.aggregates import AggregateQuery
+from repro.relational.algebra import SPJQuery
+from repro.relational.relation import Relation
+from repro.storage.database import Database
+from repro.storage.timestamps import Timestamp
+from repro.delta.differential import DeltaRelation
+from repro.delta.diff import diff
+
+Query = Union[SPJQuery, AggregateQuery]
+
+
+class ReevaluationRefresher:
+    """Recompute-from-scratch refreshes with Diff-based notifications."""
+
+    def __init__(
+        self,
+        query: Query,
+        db: Database,
+        metrics: Optional[Metrics] = None,
+    ):
+        self.query = query
+        self.db = db
+        self.metrics = metrics
+        self.result: Relation = db.query(query, metrics)
+        self.last_ts: Timestamp = db.now()
+        self.refreshes = 0
+
+    def refresh(self, ts: Optional[Timestamp] = None) -> DeltaRelation:
+        """Recompute and return the change since the previous refresh."""
+        if ts is None:
+            ts = self.db.now()
+        new_result = self.db.query(self.query, self.metrics)
+        delta = diff(self.result, new_result, ts)
+        self.result = new_result
+        self.last_ts = ts
+        self.refreshes += 1
+        return delta

@@ -1,0 +1,83 @@
+"""Experiment harness shared by the benchmark suite.
+
+Benchmarks report two kinds of numbers:
+
+* *deterministic operation counts* (rows scanned, delta rows read,
+  bytes shipped) from :class:`repro.metrics.Metrics` — these carry the
+  paper's claims and are asserted on;
+* *wall-clock timings* via :func:`time_fn` or pytest-benchmark — these
+  illustrate the same shapes but are never asserted on (Python timing
+  noise is not evidence).
+
+:func:`format_table` renders sweep results as aligned text, which each
+benchmark prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional, Sequence
+
+
+def time_fn(fn: Callable[[], Any], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for __ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [_format_cell(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(r[i]) for r in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(c).rjust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (speedup aggregation)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for value in filtered:
+        product *= value
+    return product ** (1.0 / len(filtered))

@@ -1,0 +1,133 @@
+"""The continual-query triple (Q, T_cq, Stop) and its runtime state.
+
+Paper Section 3.1: "A continual query CQ is a triple (Q, T_cq, Stop)
+... the result of running a continual query is a sequence of query
+answers Q(S_1), Q(S_2), ..., obtained by running Q on the sequence of
+database states S_i, each time triggered by T_cq."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple, Union
+
+from repro.errors import RegistrationError
+from repro.relational.aggregates import AggregateQuery
+from repro.relational.algebra import SPJQuery
+from repro.relational.relation import Relation
+from repro.storage.timestamps import Timestamp
+from repro.core.termination import Never, StopCondition
+from repro.core.triggers import OnEveryChange, Trigger
+
+Query = Union[SPJQuery, AggregateQuery]
+
+
+class DeliveryMode(enum.Enum):
+    """What each refresh sends the user (Algorithm 1 step 4).
+
+    * DIFFERENTIAL — the full result delta (inserts, deletes, modifies);
+    * INSERTIONS_ONLY — "the differential result ... without deletion
+      notification";
+    * COMPLETE — "the complete set of the result matching the query",
+      assembled as E_i(Q) ∪ insertions − deletions;
+    * DELETIONS_ONLY — "notified [of] all the deleted tuples since the
+      last execution".
+    """
+
+    DIFFERENTIAL = "differential"
+    INSERTIONS_ONLY = "insertions_only"
+    COMPLETE = "complete"
+    DELETIONS_ONLY = "deletions_only"
+
+
+class Engine(enum.Enum):
+    """How refreshes are computed.
+
+    * DRA — differential re-evaluation at trigger time, over the
+      consolidated delta since the last execution (the paper's
+      algorithm; repeated changes to one tuple net out before any
+      computation happens);
+    * EAGER — DRA applied immediately after *every* commit (the
+      eager materialized-view policy of Section 2); notifications are
+      still gated by the trigger, but maintenance work is paid per
+      commit with no cross-transaction consolidation;
+    * REEVALUATE — complete re-evaluation + Diff at trigger time (the
+      baseline the paper compares against).
+    """
+
+    DRA = "dra"
+    EAGER = "eager"
+    REEVALUATE = "reevaluate"
+
+
+class CQStatus(enum.Enum):
+    ACTIVE = "active"
+    STOPPED = "stopped"
+
+
+class ContinualQuery:
+    """Definition plus runtime state of one registered CQ."""
+
+    def __init__(
+        self,
+        name: str,
+        query: Query,
+        trigger: Optional[Trigger] = None,
+        stop: Optional[StopCondition] = None,
+        mode: DeliveryMode = DeliveryMode.DIFFERENTIAL,
+        engine: Engine = Engine.DRA,
+        keep_result: bool = True,
+    ):
+        if not name:
+            raise RegistrationError("a continual query needs a name")
+        if mode is DeliveryMode.COMPLETE and not keep_result:
+            # Section 3.3: complete delivery without a retained copy
+            # would force re-processing from scratch on every refresh.
+            raise RegistrationError(
+                "COMPLETE delivery requires keep_result=True"
+            )
+        if engine is Engine.EAGER and not keep_result:
+            raise RegistrationError(
+                "the EAGER engine maintains the result continuously and "
+                "therefore requires keep_result=True"
+            )
+        self.name = name
+        self.query = query
+        self.trigger = trigger if trigger is not None else OnEveryChange()
+        self.stop = stop if stop is not None else Never()
+        self.mode = mode
+        self.engine = engine
+        #: Retain the previous complete result (Section 3.3 trade-off).
+        self.keep_result = keep_result
+
+        # -- runtime state, owned by the manager --
+        self.status = CQStatus.ACTIVE
+        self.last_execution_ts: Timestamp = 0
+        self.executions = 0
+        self.previous_result: Optional[Relation] = None
+        self.aggregate_state = None  # DifferentialAggregate for agg CQs
+        #: EAGER engine only: the result maintained on every commit
+        #: (previous_result stays pinned at the last *notification*).
+        self.maintained_result: Optional[Relation] = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self.query, AggregateQuery)
+
+    @property
+    def spj_core(self) -> SPJQuery:
+        return self.query.core if self.is_aggregate else self.query
+
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        seen = []
+        for name in self.spj_core.table_names:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContinualQuery({self.name!r}, {self.status.value}, "
+            f"executions={self.executions}, engine={self.engine.value})"
+        )

@@ -1,0 +1,204 @@
+"""Epsilon specifications (paper Sections 3.2 and 5.3).
+
+An ε-spec bounds the divergence between the last produced CQ result
+and the current database state; when the accumulated divergence would
+exceed the bound, the CQ must re-execute. Divergence is measured *on
+the differential relations only* — the differential form of the
+trigger condition from Section 5.3 — so checking a trigger never scans
+a base relation.
+
+The checking-account example maps directly::
+
+    # T_cq: |Deposits − Withdrawals| >= 0.5M
+    NetChangeEpsilon(limit=500_000, column="amount")
+
+where Deposits is the SUM over insertions(Δ) and Withdrawals the SUM
+over deletions(Δ) since the last execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TriggerError
+from repro.delta.differential import DeltaRelation
+
+
+class EpsilonSpec:
+    """Accumulated-divergence bound. Subclasses define the measure.
+
+    The CQ manager calls :meth:`observe` with each new consolidated
+    delta batch for a relevant table, :meth:`exceeded` when checking
+    the trigger, and :meth:`reset` after each execution.
+    """
+
+    def observe(self, table_name: str, delta: DeltaRelation) -> None:
+        raise NotImplementedError
+
+    def exceeded(self) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def divergence(self) -> float:
+        raise NotImplementedError
+
+
+class CountEpsilon(EpsilonSpec):
+    """Fire after ``limit`` or more tuples' worth of net changes."""
+
+    def __init__(self, limit: int):
+        if limit <= 0:
+            raise TriggerError("CountEpsilon limit must be positive")
+        self.limit = limit
+        self._count = 0
+
+    def observe(self, table_name: str, delta: DeltaRelation) -> None:
+        self._count += len(delta)
+
+    def exceeded(self) -> bool:
+        return self._count >= self.limit
+
+    def reset(self) -> None:
+        self._count = 0
+
+    @property
+    def divergence(self) -> float:
+        return float(self._count)
+
+    def __repr__(self) -> str:
+        return f"CountEpsilon({self._count}/{self.limit})"
+
+
+class _ColumnEpsilon(EpsilonSpec):
+    """Shared machinery for value-based specs over one numeric column.
+
+    ``table`` restricts observation to one table's deltas (None accepts
+    every observed delta whose schema has the column).
+    """
+
+    def __init__(self, limit: float, column: str, table: Optional[str] = None):
+        if limit <= 0:
+            raise TriggerError("epsilon limit must be positive")
+        self.limit = limit
+        self.column = column
+        self.table = table
+        self._divergence: float = 0.0
+
+    def _column_deltas(self, delta: DeltaRelation):
+        """Yield (old_value, new_value) per entry; missing sides are 0."""
+        position = delta.schema.position(self.column)
+        for entry in delta:
+            old = entry.old[position] if entry.old is not None else 0
+            new = entry.new[position] if entry.new is not None else 0
+            yield (old or 0, new or 0)
+
+    def _accepts(self, table_name: str, delta: DeltaRelation) -> bool:
+        if self.table is not None and table_name != self.table:
+            return False
+        return self.column in delta.schema
+
+    def exceeded(self) -> bool:
+        return abs(self._divergence) >= self.limit
+
+    def reset(self) -> None:
+        self._divergence = 0.0
+
+    @property
+    def divergence(self) -> float:
+        return self._divergence
+
+
+class NetChangeEpsilon(_ColumnEpsilon):
+    """|Σ new − Σ old| ≥ limit — the paper's |Deposits − Withdrawals|.
+
+    Inserted values count positively, deleted values negatively, and a
+    modification contributes its value change. The accumulated signed
+    net change is compared by magnitude against the limit.
+    """
+
+    def observe(self, table_name: str, delta: DeltaRelation) -> None:
+        if not self._accepts(table_name, delta):
+            return
+        for old, new in self._column_deltas(delta):
+            self._divergence += new - old
+
+    def __repr__(self) -> str:
+        return (
+            f"NetChangeEpsilon(|{self._divergence}| vs {self.limit} "
+            f"on {self.column})"
+        )
+
+
+class MagnitudeEpsilon(_ColumnEpsilon):
+    """Σ |new − old| ≥ limit — total volume of change regardless of
+    direction ("the accumulated amount of withdrawals and deposits")."""
+
+    def observe(self, table_name: str, delta: DeltaRelation) -> None:
+        if not self._accepts(table_name, delta):
+            return
+        for old, new in self._column_deltas(delta):
+            self._divergence += abs(new - old)
+
+    def __repr__(self) -> str:
+        return (
+            f"MagnitudeEpsilon({self._divergence} vs {self.limit} "
+            f"on {self.column})"
+        )
+
+
+class ResultDriftEpsilon(EpsilonSpec):
+    """Bound the drift of a maintained aggregate from its last reported
+    value — the original ESR reading of an epsilon query ("the query
+    could contain errors up to half a million and still be meaningful").
+
+    The manager updates :attr:`current` from the differentially
+    maintained aggregate; :attr:`reported` is pinned at each execution.
+    """
+
+    _UNSET = object()  # "nothing reported yet" differs from "reported null"
+
+    def __init__(self, limit: float):
+        if limit <= 0:
+            raise TriggerError("epsilon limit must be positive")
+        self.limit = limit
+        self.reported = ResultDriftEpsilon._UNSET
+        self.current: Optional[float] = None
+
+    def observe(self, table_name: str, delta: DeltaRelation) -> None:
+        # Drift is tracked against the maintained aggregate, not raw
+        # deltas; see CQManager's aggregate path.
+        pass
+
+    def note_current(self, value: Optional[float]) -> None:
+        self.current = value
+        if self.reported is ResultDriftEpsilon._UNSET:
+            self.reported = value
+
+    def exceeded(self) -> bool:
+        if self.reported is ResultDriftEpsilon._UNSET:
+            return False
+        if self.reported is None or self.current is None:
+            return self.reported != self.current
+        return abs(self.current - self.reported) >= self.limit
+
+    def reset(self) -> None:
+        self.reported = self.current
+
+    @property
+    def divergence(self) -> float:
+        if (
+            self.reported is ResultDriftEpsilon._UNSET
+            or self.reported is None
+            or self.current is None
+        ):
+            return 0.0
+        return self.current - self.reported
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultDriftEpsilon(reported={self.reported}, "
+            f"current={self.current}, limit={self.limit})"
+        )

@@ -1,0 +1,73 @@
+"""Garbage collection of differential relations (paper Section 5.4).
+
+Each CQ's *active delta zone* is the log suffix newer than its last
+execution. The *system active delta zone* of a table is the union of
+the zones of all CQs reading it — everything older than the oldest
+zone boundary "will not be used by any active CQ" and can be retired.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.database import Database
+from repro.storage.timestamps import Timestamp
+
+
+class ActiveDeltaZones:
+    """Tracks per-CQ zone boundaries and prunes table logs."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        # cq name -> (tables it reads, last execution ts)
+        self._zones: Dict[str, Tuple[Tuple[str, ...], Timestamp]] = {}
+
+    def register(self, cq_name: str, tables: Tuple[str, ...], ts: Timestamp) -> None:
+        self._zones[cq_name] = (tables, ts)
+
+    def advance(self, cq_name: str, ts: Timestamp) -> None:
+        """The CQ executed at ``ts``: its zone boundary moves forward."""
+        tables, old_ts = self._zones[cq_name]
+        self._zones[cq_name] = (tables, max(old_ts, ts))
+
+    def remove(self, cq_name: str) -> None:
+        self._zones.pop(cq_name, None)
+
+    def watchers(self, table: str) -> List[str]:
+        return [
+            name for name, (tables, __) in self._zones.items() if table in tables
+        ]
+
+    def horizon(self, table: str) -> Optional[Timestamp]:
+        """The oldest zone boundary among CQs reading ``table``.
+
+        None when no CQ reads the table — the caller decides whether
+        unwatched logs may be discarded wholesale.
+        """
+        boundaries = [
+            ts for tables, ts in self._zones.values() if table in tables
+        ]
+        return min(boundaries) if boundaries else None
+
+    def collect(self, include_unwatched: bool = False) -> Dict[str, int]:
+        """Prune every table's log up to its horizon.
+
+        Returns the number of log records retired per table. With
+        ``include_unwatched``, logs of tables no CQ reads are pruned to
+        the current time.
+        """
+        pruned: Dict[str, int] = {}
+        for table in self.db.tables():
+            horizon = self.horizon(table.name)
+            if horizon is None:
+                if not include_unwatched:
+                    continue
+                horizon = self.db.now()
+            count = table.log.prune_before(horizon)
+            if count:
+                pruned[table.name] = count
+        return pruned
+
+    def __repr__(self) -> str:
+        zones = {name: ts for name, (__, ts) in self._zones.items()}
+        return f"ActiveDeltaZones({zones})"

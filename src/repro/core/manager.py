@@ -1,0 +1,533 @@
+"""The CQ manager: registration, trigger evaluation, refresh, GC.
+
+The manager owns every registered continual query's lifecycle:
+
+* *registration* performs the initial complete execution E_0 (DRA
+  applies "after its initial execution", Section 4.2) and subscribes
+  to the operand tables' commit streams;
+* *trigger evaluation* follows Section 5.3's two strategies —
+  IMMEDIATE (test T_cq after every update transaction) or PERIODIC
+  (test on :meth:`poll`, the system-defined default interval) — and is
+  differential: epsilon specs and update-condition triggers only ever
+  see delta batches, never base relations;
+* *refresh* runs DRA (or complete re-evaluation, for baseline CQs)
+  over the consolidated deltas since the CQ's last execution and
+  assembles the notification the delivery mode asks for;
+* *garbage collection* advances active delta zones at each execution
+  and can prune update logs automatically (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Union
+
+from repro.errors import RegistrationError
+from repro.metrics import Metrics
+from repro.relational.evaluate import evaluate_spj
+from repro.relational.sql import parse_query
+from repro.storage.database import Database
+from repro.storage.table import Table
+from repro.storage.timestamps import Timestamp
+from repro.storage.update_log import UpdateRecord
+from repro.delta.capture import deltas_since
+from repro.delta.differential import DeltaRelation
+from repro.delta.diff import diff
+from repro.dra.aggregates import DifferentialAggregate
+from repro.dra.algorithm import dra_execute
+from repro.core.continual_query import (
+    ContinualQuery,
+    CQStatus,
+    DeliveryMode,
+    Engine,
+    Query,
+)
+from repro.core.epsilon import ResultDriftEpsilon
+from repro.core.gc import ActiveDeltaZones
+from repro.core.results import Notification, NotificationKind
+from repro.core.termination import StopCondition
+from repro.core.triggers import (
+    AllOf,
+    AnyOf,
+    EpsilonTrigger,
+    Trigger,
+    TriggerContext,
+)
+
+NotifyCallback = Callable[[Notification], None]
+
+
+class EvaluationStrategy(enum.Enum):
+    """When trigger conditions are tested (paper Section 5.3)."""
+
+    IMMEDIATE = "immediate"  # after each update transaction
+    PERIODIC = "periodic"  # only on poll()
+
+
+class CQManager:
+    """Registers, refreshes, and garbage-collects continual queries."""
+
+    def __init__(
+        self,
+        db: Database,
+        strategy: EvaluationStrategy = EvaluationStrategy.IMMEDIATE,
+        auto_gc: bool = False,
+        metrics: Optional[Metrics] = None,
+        history_limit: int = 0,
+    ):
+        self.db = db
+        self.strategy = strategy
+        self.auto_gc = auto_gc
+        self.metrics = metrics
+        #: Per-CQ retained notification history length (0 = none).
+        self.history_limit = history_limit
+        self.zones = ActiveDeltaZones(db)
+        self._cqs: Dict[str, ContinualQuery] = {}
+        self._unsubscribes: Dict[str, List[Callable[[], None]]] = {}
+        self._callbacks: Dict[str, List[NotifyCallback]] = {}
+        self._outbox: List[Notification] = []
+        # Applied-through timestamp of each aggregate CQ's state.
+        self._agg_applied: Dict[str, Timestamp] = {}
+        # Applied-through timestamp of each EAGER CQ's maintained result.
+        self._eager_applied: Dict[str, Timestamp] = {}
+        # The paper's result sequence Q(S_1)..Q(S_n), per CQ (bounded).
+        self._history: Dict[str, Deque[Notification]] = {}
+        # When each CQ last produced a result (vs merely executed).
+        self._last_result_ts: Dict[str, Timestamp] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def register(
+        self,
+        cq: ContinualQuery,
+        on_notify: Optional[NotifyCallback] = None,
+    ) -> ContinualQuery:
+        """Register a CQ: run E_0 and start watching its tables."""
+        if cq.name in self._cqs:
+            raise RegistrationError(f"a CQ named {cq.name!r} is already registered")
+        for name in cq.table_names:
+            self.db.table(name)  # raises early on unknown tables
+        if cq.engine is Engine.REEVALUATE and not cq.keep_result:
+            raise RegistrationError(
+                "the re-evaluation engine needs keep_result=True to Diff "
+                "consecutive results"
+            )
+        drift_specs = list(_drift_specs(cq.trigger))
+        if drift_specs and not (cq.is_aggregate and not cq.query.group_by):
+            raise RegistrationError(
+                "ResultDriftEpsilon triggers require a global aggregate CQ"
+            )
+
+        now = self.db.now()
+        if cq.is_aggregate:
+            cq.aggregate_state = DifferentialAggregate(cq.query, self.db)
+            result = cq.aggregate_state.initialize(self.metrics)
+            self._agg_applied[cq.name] = now
+            for spec in drift_specs:
+                spec.note_current(_headline_value(result))
+                spec.reset()
+        else:
+            result = evaluate_spj(cq.query, self.db.relation, self.metrics)
+        cq.previous_result = result if (cq.keep_result or cq.is_aggregate) else None
+        if cq.engine is Engine.EAGER and not cq.is_aggregate:
+            cq.maintained_result = result.copy()
+            self._eager_applied[cq.name] = now
+        cq.last_execution_ts = now
+        cq.executions = 1
+        self._cqs[cq.name] = cq
+        if on_notify is not None:
+            self._callbacks.setdefault(cq.name, []).append(on_notify)
+        self.zones.register(cq.name, cq.table_names, now)
+        self._last_result_ts[cq.name] = now
+        if self.history_limit:
+            self._history[cq.name] = deque(maxlen=self.history_limit)
+
+        unsubscribes = []
+        for table_name in cq.table_names:
+            unsubscribes.append(
+                self.db.subscribe(table_name, self._make_observer(cq))
+            )
+        self._unsubscribes[cq.name] = unsubscribes
+
+        self._emit(
+            Notification(
+                cq.name,
+                NotificationKind.INITIAL,
+                seq=1,
+                ts=now,
+                mode=cq.mode,
+                result=result.copy(),
+            )
+        )
+        return cq
+
+    def register_query(
+        self,
+        name: str,
+        query: Union[str, Query],
+        trigger: Optional[Trigger] = None,
+        stop: Optional[StopCondition] = None,
+        mode: DeliveryMode = DeliveryMode.DIFFERENTIAL,
+        engine: Engine = Engine.DRA,
+        keep_result: bool = True,
+        on_notify: Optional[NotifyCallback] = None,
+    ) -> ContinualQuery:
+        """Build and register a CQ in one call; SQL text is accepted."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        cq = ContinualQuery(
+            name,
+            query,
+            trigger=trigger,
+            stop=stop,
+            mode=mode,
+            engine=engine,
+            keep_result=keep_result,
+        )
+        return self.register(cq, on_notify=on_notify)
+
+    # Friendly alias used throughout the examples.
+    register_sql = register_query
+
+    def deregister(self, name: str) -> None:
+        cq = self._cqs.get(name)
+        if cq is None:
+            return
+        self._finalize(cq, self.db.now())
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, name: str) -> ContinualQuery:
+        return self._cqs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cqs
+
+    def active(self) -> List[ContinualQuery]:
+        return [cq for cq in self._cqs.values() if cq.status is CQStatus.ACTIVE]
+
+    def __len__(self) -> int:
+        return len(self._cqs)
+
+    # -- update observation ------------------------------------------------------
+
+    def _make_observer(self, cq: ContinualQuery):
+        def observer(table: Table, records: List[UpdateRecord]) -> None:
+            if cq.status is not CQStatus.ACTIVE:
+                return
+            batch = DeltaRelation.from_records(table.schema, records)
+            if not batch.is_empty():
+                cq.trigger.observe(table.name, batch)
+            if cq.engine is Engine.EAGER:
+                # Eager maintenance: fold the commit in right away,
+                # whatever the evaluation strategy says about triggers.
+                if cq.is_aggregate:
+                    self._refresh_aggregate(cq, self.db.now())
+                else:
+                    self._eager_apply(cq, self.db.now())
+            if self.strategy is EvaluationStrategy.IMMEDIATE:
+                self._maybe_execute(cq, self.db.now())
+
+        return observer
+
+    # -- polling ----------------------------------------------------------------
+
+    def poll(self, advance_to: Optional[Timestamp] = None) -> List[Notification]:
+        """Test every active CQ's trigger and stop condition.
+
+        ``advance_to`` moves virtual time forward first (the paper's
+        "system-defined default interval, say every day at midnight").
+        Returns all notifications produced since the previous drain.
+        """
+        if advance_to is not None:
+            self.db.clock.advance_to(advance_to)
+        now = self.db.now()
+        for cq in list(self._cqs.values()):
+            self._maybe_execute(cq, now)
+        return self.drain()
+
+    run_once = poll
+
+    def drain(self) -> List[Notification]:
+        """Remove and return all queued notifications."""
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def subscribe_notifications(
+        self, cq_name: str, callback: NotifyCallback
+    ) -> Callable[[], None]:
+        """Attach an additional notification listener to one CQ."""
+        if cq_name not in self._cqs:
+            raise RegistrationError(f"no CQ named {cq_name!r}")
+        listeners = self._callbacks.setdefault(cq_name, [])
+        listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def history(self, cq_name: str) -> List[Notification]:
+        """The retained result sequence Q(S_1)..Q(S_n) for one CQ.
+
+        Empty unless the manager was created with ``history_limit > 0``
+        (the Section 3.3 trade-off: retaining the sequence costs
+        memory proportional to limit x result size).
+        """
+        return list(self._history.get(cq_name, ()))
+
+    # -- execution ----------------------------------------------------------------
+
+    def _maybe_execute(self, cq: ContinualQuery, now: Timestamp) -> None:
+        if cq.status is not CQStatus.ACTIVE:
+            return
+        if cq.is_aggregate:
+            # Differential T_cq evaluation for drift-based epsilons:
+            # fold pending deltas into the maintained aggregate first.
+            self._refresh_aggregate(cq, now)
+        ctx = self._context(cq, now)
+        if cq.stop.should_stop(ctx):
+            self._finalize(cq, now)
+            return
+        if not cq.trigger.should_fire(ctx):
+            return
+        self._execute(cq, now)
+        ctx = self._context(cq, now)
+        if cq.stop.should_stop(ctx):
+            self._finalize(cq, now)
+
+    def _context(self, cq: ContinualQuery, now: Timestamp) -> TriggerContext:
+        pending = any(
+            self.db.table(name).log.latest_ts() > cq.last_execution_ts
+            for name in cq.table_names
+        )
+        return TriggerContext(
+            now,
+            cq.last_execution_ts,
+            cq.executions,
+            pending,
+            last_result_ts=self._last_result_ts.get(cq.name),
+        )
+
+    def _refresh_aggregate(self, cq: ContinualQuery, now: Timestamp) -> None:
+        applied = self._agg_applied[cq.name]
+        tables = [self.db.table(name) for name in cq.table_names]
+        deltas = deltas_since(tables, applied)
+        if deltas:
+            cq.aggregate_state.update(deltas, now, self.metrics)
+            self._agg_applied[cq.name] = now
+            self.zones.advance(cq.name, now)
+        for spec in _drift_specs(cq.trigger):
+            spec.note_current(_headline_value(cq.aggregate_state.result))
+
+    def _eager_apply(self, cq: ContinualQuery, now: Timestamp) -> None:
+        """Fold all committed changes into the maintained result."""
+        applied = self._eager_applied[cq.name]
+        tables = [self.db.table(name) for name in cq.table_names]
+        deltas = deltas_since(tables, applied)
+        if deltas:
+            result = dra_execute(
+                cq.query, self.db, deltas=deltas, ts=now, metrics=self.metrics
+            )
+            cq.maintained_result = result.delta.apply_to(cq.maintained_result)
+            self._eager_applied[cq.name] = now
+            # The log window below `now` is consumed: let GC advance.
+            self.zones.advance(cq.name, now)
+
+    def _execute(self, cq: ContinualQuery, now: Timestamp) -> None:
+        if cq.engine is Engine.REEVALUATE:
+            delta = self._execute_reevaluate(cq, now)
+        elif cq.is_aggregate:
+            delta = self._execute_aggregate(cq, now)
+        elif cq.engine is Engine.EAGER:
+            delta = self._execute_eager(cq, now)
+        else:
+            delta = self._execute_dra(cq, now)
+
+        cq.last_execution_ts = now
+        self.zones.advance(cq.name, now)
+        ctx = self._context(cq, now)
+        cq.trigger.notify_fired(ctx)
+        if self.auto_gc:
+            self.zones.collect()
+        if self.metrics:
+            self.metrics.count("cq_refreshes")
+        if delta.is_empty():
+            # Nothing changed: no element is appended to the result
+            # sequence and nothing is sent (Section 5.2).
+            return
+        cq.executions += 1
+        self._last_result_ts[cq.name] = now
+        self._emit(self._notification(cq, delta, now))
+
+    def _execute_dra(self, cq: ContinualQuery, now: Timestamp) -> DeltaRelation:
+        tables = [self.db.table(name) for name in cq.table_names]
+        deltas = deltas_since(tables, cq.last_execution_ts)
+        result = dra_execute(
+            cq.query,
+            self.db,
+            deltas=deltas,
+            previous=cq.previous_result,
+            ts=now,
+            metrics=self.metrics,
+        )
+        if cq.keep_result and result.has_changes():
+            cq.previous_result = result.complete_result()
+        return result.delta
+
+    def _execute_aggregate(self, cq: ContinualQuery, now: Timestamp) -> DeltaRelation:
+        self._refresh_aggregate(cq, now)
+        current = cq.aggregate_state.current()
+        delta = diff(cq.previous_result, current, now)
+        cq.previous_result = current
+        for spec in _drift_specs(cq.trigger):
+            spec.reset()
+        return delta
+
+    def _execute_eager(self, cq: ContinualQuery, now: Timestamp) -> DeltaRelation:
+        self._eager_apply(cq, now)
+        delta = diff(cq.previous_result, cq.maintained_result, now)
+        cq.previous_result = cq.maintained_result.copy()
+        return delta
+
+    def _execute_reevaluate(self, cq: ContinualQuery, now: Timestamp) -> DeltaRelation:
+        new_result = self.db.query(cq.query, self.metrics)
+        delta = diff(cq.previous_result, new_result, now)
+        cq.previous_result = new_result
+        return delta
+
+    def _notification(
+        self, cq: ContinualQuery, delta: DeltaRelation, now: Timestamp
+    ) -> Notification:
+        kwargs = {}
+        if cq.mode is DeliveryMode.DIFFERENTIAL:
+            kwargs["delta"] = delta
+        elif cq.mode is DeliveryMode.INSERTIONS_ONLY:
+            kwargs["result"] = delta.insertions()
+        elif cq.mode is DeliveryMode.DELETIONS_ONLY:
+            kwargs["result"] = delta.deletions()
+        else:  # COMPLETE
+            kwargs["delta"] = delta
+            kwargs["result"] = cq.previous_result.copy()
+        return Notification(
+            cq.name,
+            NotificationKind.REFRESH,
+            seq=cq.executions,
+            ts=now,
+            mode=cq.mode,
+            **kwargs,
+        )
+
+    def _finalize(self, cq: ContinualQuery, now: Timestamp) -> None:
+        if cq.status is CQStatus.STOPPED:
+            return
+        cq.status = CQStatus.STOPPED
+        for unsubscribe in self._unsubscribes.pop(cq.name, []):
+            unsubscribe()
+        self.zones.remove(cq.name)
+        self._agg_applied.pop(cq.name, None)
+        self._eager_applied.pop(cq.name, None)
+        self._last_result_ts.pop(cq.name, None)
+        self._emit(
+            Notification(
+                cq.name,
+                NotificationKind.STOPPED,
+                seq=cq.executions,
+                ts=now,
+                mode=cq.mode,
+            )
+        )
+
+    def _emit(self, notification: Notification) -> None:
+        history = self._history.get(notification.cq_name)
+        if history is not None:
+            history.append(notification)
+        self._outbox.append(notification)
+        for callback in self._callbacks.get(notification.cq_name, ()):
+            callback(notification)
+
+    # -- garbage collection ------------------------------------------------------
+
+    def collect_garbage(self, include_unwatched: bool = False) -> Dict[str, int]:
+        """Prune update logs outside the system active delta zone."""
+        return self.zones.collect(include_unwatched=include_unwatched)
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe(self) -> List[Dict[str, object]]:
+        """One status record per registered CQ (for ops tooling)."""
+        out = []
+        for cq in self._cqs.values():
+            pending = (
+                cq.status is CQStatus.ACTIVE
+                and any(
+                    self.db.table(name).log.latest_ts() > cq.last_execution_ts
+                    for name in cq.table_names
+                )
+            )
+            out.append(
+                {
+                    "name": cq.name,
+                    "status": cq.status.value,
+                    "engine": cq.engine.value,
+                    "mode": cq.mode.value,
+                    "tables": ",".join(cq.table_names),
+                    "results": cq.executions,
+                    "last_ts": cq.last_execution_ts,
+                    "result_rows": (
+                        len(cq.previous_result)
+                        if cq.previous_result is not None
+                        else None
+                    ),
+                    "pending_updates": pending,
+                    "trigger": repr(cq.trigger),
+                }
+            )
+        return out
+
+    def status_report(self) -> str:
+        """The :meth:`describe` records as an aligned text table."""
+        from repro.bench.harness import format_table
+
+        return format_table(
+            self.describe(),
+            columns=[
+                "name",
+                "status",
+                "engine",
+                "mode",
+                "tables",
+                "results",
+                "last_ts",
+                "result_rows",
+                "pending_updates",
+            ],
+            title=f"CQManager: {len(self._cqs)} queries, now={self.db.now()}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CQManager({len(self._cqs)} CQs, strategy={self.strategy.value}, "
+            f"pending={len(self._outbox)})"
+        )
+
+
+def _drift_specs(trigger: Trigger) -> Iterator[ResultDriftEpsilon]:
+    if isinstance(trigger, EpsilonTrigger):
+        if isinstance(trigger.spec, ResultDriftEpsilon):
+            yield trigger.spec
+    elif isinstance(trigger, (AnyOf, AllOf)):
+        for child in trigger.children:
+            yield from _drift_specs(child)
+
+
+def _headline_value(result) -> Optional[float]:
+    """The first aggregate value of a global aggregate's single row."""
+    for row in result:
+        return row.values[0] if row.values else None
+    return None

@@ -1,0 +1,63 @@
+"""Notifications: what a CQ execution delivers to its subscriber."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.relational.relation import Relation
+from repro.storage.timestamps import Timestamp
+from repro.delta.differential import DeltaRelation
+from repro.core.continual_query import DeliveryMode
+
+
+class NotificationKind(enum.Enum):
+    INITIAL = "initial"  # E_0: the first, complete execution
+    REFRESH = "refresh"  # a triggered re-execution with changes
+    STOPPED = "stopped"  # the Stop condition became true
+
+
+class Notification:
+    """One element of the CQ's answer sequence, as delivered.
+
+    Exactly which fields are populated depends on the delivery mode:
+    ``delta`` carries the differential result (None for INITIAL),
+    ``result`` the assembled relation (complete result, insertions, or
+    deletions per mode; None when the mode is DIFFERENTIAL on a
+    refresh).
+    """
+
+    __slots__ = ("cq_name", "kind", "seq", "ts", "mode", "delta", "result")
+
+    def __init__(
+        self,
+        cq_name: str,
+        kind: NotificationKind,
+        seq: int,
+        ts: Timestamp,
+        mode: DeliveryMode,
+        delta: Optional[DeltaRelation] = None,
+        result: Optional[Relation] = None,
+    ):
+        self.cq_name = cq_name
+        self.kind = kind
+        self.seq = seq
+        self.ts = ts
+        self.mode = mode
+        self.delta = delta
+        self.result = result
+
+    def summary(self) -> str:
+        """One human-readable line, used by examples and logs."""
+        if self.kind is NotificationKind.STOPPED:
+            return f"[{self.ts}] {self.cq_name} #{self.seq}: stopped"
+        if self.kind is NotificationKind.INITIAL:
+            count = len(self.result) if self.result is not None else 0
+            return f"[{self.ts}] {self.cq_name} #{self.seq}: initial result, {count} rows"
+        if self.delta is not None:
+            return f"[{self.ts}] {self.cq_name} #{self.seq}: {self.delta!r}"
+        count = len(self.result) if self.result is not None else 0
+        return f"[{self.ts}] {self.cq_name} #{self.seq}: {count} rows"
+
+    def __repr__(self) -> str:
+        return f"Notification({self.summary()})"

@@ -1,0 +1,74 @@
+"""Termination conditions Stop (paper Section 3.1).
+
+"If the termination condition Stop is nil, CQ will produce results from
+Q(S_1) to Q(S_∞). Otherwise, CQ ... ends when the termination condition
+becomes true." Stop conditions are checked after each execution and on
+every poll.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import TriggerError
+from repro.storage.timestamps import Timestamp
+from repro.core.triggers import TriggerContext
+
+
+class StopCondition:
+    """Base class; subclasses decide when the CQ's sequence ends."""
+
+    def should_stop(self, ctx: TriggerContext) -> bool:
+        raise NotImplementedError
+
+
+class Never(StopCondition):
+    """Stop = nil: the CQ runs until explicitly deregistered."""
+
+    def should_stop(self, ctx: TriggerContext) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "Never()"
+
+
+class AtTime(StopCondition):
+    """Stop once virtual time reaches ``deadline`` (the paper's t_n)."""
+
+    def __init__(self, deadline: Timestamp):
+        self.deadline = deadline
+
+    def should_stop(self, ctx: TriggerContext) -> bool:
+        return ctx.now >= self.deadline
+
+    def __repr__(self) -> str:
+        return f"AtTime({self.deadline})"
+
+
+class AfterExecutions(StopCondition):
+    """Stop after the CQ produced ``count`` results (incl. the initial)."""
+
+    def __init__(self, count: int):
+        if count <= 0:
+            raise TriggerError("AfterExecutions count must be positive")
+        self.count = count
+
+    def should_stop(self, ctx: TriggerContext) -> bool:
+        return ctx.executions >= self.count
+
+    def __repr__(self) -> str:
+        return f"AfterExecutions({self.count})"
+
+
+class WhenCondition(StopCondition):
+    """Escape hatch: stop when an arbitrary context predicate holds."""
+
+    def __init__(self, fn: Callable[[TriggerContext], bool], name: str = "when"):
+        self.fn = fn
+        self.name = name
+
+    def should_stop(self, ctx: TriggerContext) -> bool:
+        return self.fn(ctx)
+
+    def __repr__(self) -> str:
+        return f"WhenCondition({self.name})"

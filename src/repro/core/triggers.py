@@ -1,0 +1,276 @@
+"""Trigger conditions T_cq (paper Section 3.1).
+
+The paper enumerates four forms, all represented here:
+
+* a direct specification of time — :class:`At`;
+* a time interval from the previous result — :class:`Every`;
+* a condition on the database state — :class:`OnUpdate` (evaluated
+  differentially against each delta entry);
+* a relationship between the previous result and the current state —
+  :class:`EpsilonTrigger` wrapping an
+  :class:`~repro.core.epsilon.EpsilonSpec`.
+
+Compound triggers (:class:`AnyOf`, :class:`AllOf`) compose them.
+Triggers are consulted through a :class:`TriggerContext`, so they never
+reach into the engine themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import TriggerError
+from repro.relational.binding import SingleRowBinder
+from repro.relational.predicates import Predicate
+from repro.storage.timestamps import Timestamp
+from repro.delta.differential import DeltaRelation
+from repro.core.epsilon import EpsilonSpec
+
+
+class TriggerContext:
+    """What a trigger may look at when deciding whether to fire."""
+
+    __slots__ = (
+        "now",
+        "last_execution_ts",
+        "executions",
+        "pending_updates",
+        "last_result_ts",
+    )
+
+    def __init__(
+        self,
+        now: Timestamp,
+        last_execution_ts: Timestamp,
+        executions: int,
+        pending_updates: bool,
+        last_result_ts: Optional[Timestamp] = None,
+    ):
+        self.now = now
+        self.last_execution_ts = last_execution_ts
+        self.executions = executions
+        #: True if any relevant table changed since the last execution.
+        self.pending_updates = pending_updates
+        #: When the CQ last *produced a result* (empty refreshes do not
+        #: count); defaults to the last execution time.
+        self.last_result_ts = (
+            last_result_ts if last_result_ts is not None else last_execution_ts
+        )
+
+
+class Trigger:
+    """Base class for trigger conditions."""
+
+    def should_fire(self, ctx: TriggerContext) -> bool:
+        raise NotImplementedError
+
+    def observe(self, table_name: str, delta: DeltaRelation) -> None:
+        """Feed a relevant table's consolidated delta batch (no-op for
+        purely temporal triggers)."""
+
+    def notify_fired(self, ctx: TriggerContext) -> None:
+        """Called after the CQ executed because this trigger fired."""
+
+    def __or__(self, other: "Trigger") -> "AnyOf":
+        return AnyOf(self, other)
+
+    def __and__(self, other: "Trigger") -> "AllOf":
+        return AllOf(self, other)
+
+
+class OnEveryChange(Trigger):
+    """Fire whenever any relevant update is pending — the eager policy."""
+
+    def should_fire(self, ctx: TriggerContext) -> bool:
+        return ctx.pending_updates
+
+    def __repr__(self) -> str:
+        return "OnEveryChange()"
+
+
+class Every(Trigger):
+    """Fire when at least ``interval`` time passed since the last
+    execution — "a week since Q(S_{n-1}) was produced"."""
+
+    def __init__(self, interval: Timestamp):
+        if interval <= 0:
+            raise TriggerError("Every interval must be positive")
+        self.interval = interval
+
+    def should_fire(self, ctx: TriggerContext) -> bool:
+        return ctx.now - ctx.last_execution_ts >= self.interval
+
+    def __repr__(self) -> str:
+        return f"Every({self.interval})"
+
+
+class EverySinceResult(Trigger):
+    """Fire ``interval`` after the last *result* was produced.
+
+    The paper's exact phrasing — "a week since Q(S_{n-1}) was
+    produced" — anchors on result production, not on trigger checks:
+    an execution that found no changes does not restart the clock.
+    """
+
+    def __init__(self, interval: Timestamp):
+        if interval <= 0:
+            raise TriggerError("EverySinceResult interval must be positive")
+        self.interval = interval
+
+    def should_fire(self, ctx: TriggerContext) -> bool:
+        return ctx.now - ctx.last_result_ts >= self.interval
+
+    def __repr__(self) -> str:
+        return f"EverySinceResult({self.interval})"
+
+
+class At(Trigger):
+    """Fire at each listed absolute time (the Harvest-style schedule,
+    e.g. "once every Monday" pre-expanded to concrete timestamps)."""
+
+    def __init__(self, times: Sequence[Timestamp]):
+        self.times = sorted(times)
+        self._next = 0
+
+    def should_fire(self, ctx: TriggerContext) -> bool:
+        return self._next < len(self.times) and ctx.now >= self.times[self._next]
+
+    def notify_fired(self, ctx: TriggerContext) -> None:
+        while self._next < len(self.times) and self.times[self._next] <= ctx.now:
+            self._next += 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self.times)
+
+    def __repr__(self) -> str:
+        return f"At({self.times[self._next:]!r})"
+
+
+class OnUpdate(Trigger):
+    """Fire when an individual update satisfies a predicate — "whenever
+    a deposit of one million dollars is made".
+
+    The predicate is evaluated differentially: against the *new* side
+    of insert/modify entries (and optionally the old side of deletes),
+    never against the base relation.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        predicate: Predicate,
+        include_deletes: bool = False,
+    ):
+        self.table = table
+        self.predicate = predicate
+        self.include_deletes = include_deletes
+        self._armed = False
+        self._compiled = None
+
+    def observe(self, table_name: str, delta: DeltaRelation) -> None:
+        if table_name != self.table or self._armed:
+            return
+        if self._compiled is None:
+            self._compiled = self.predicate.compile(
+                SingleRowBinder(delta.schema)
+            )
+        for entry in delta:
+            if entry.new is not None and self._compiled(entry.new):
+                self._armed = True
+                return
+            if (
+                self.include_deletes
+                and entry.old is not None
+                and self._compiled(entry.old)
+            ):
+                self._armed = True
+                return
+
+    def should_fire(self, ctx: TriggerContext) -> bool:
+        return self._armed
+
+    def notify_fired(self, ctx: TriggerContext) -> None:
+        self._armed = False
+
+    def __repr__(self) -> str:
+        return f"OnUpdate({self.table}, {self.predicate.to_sql()})"
+
+
+class EpsilonTrigger(Trigger):
+    """Fire when the wrapped ε-spec's divergence bound is exceeded."""
+
+    def __init__(self, spec: EpsilonSpec):
+        self.spec = spec
+
+    def observe(self, table_name: str, delta: DeltaRelation) -> None:
+        self.spec.observe(table_name, delta)
+
+    def should_fire(self, ctx: TriggerContext) -> bool:
+        return self.spec.exceeded()
+
+    def notify_fired(self, ctx: TriggerContext) -> None:
+        self.spec.reset()
+
+    def __repr__(self) -> str:
+        return f"EpsilonTrigger({self.spec!r})"
+
+
+class AnyOf(Trigger):
+    """Disjunction: fire when any child would fire."""
+
+    def __init__(self, *children: Trigger):
+        if not children:
+            raise TriggerError("AnyOf needs at least one child")
+        self.children = children
+
+    def observe(self, table_name: str, delta: DeltaRelation) -> None:
+        for child in self.children:
+            child.observe(table_name, delta)
+
+    def should_fire(self, ctx: TriggerContext) -> bool:
+        return any(child.should_fire(ctx) for child in self.children)
+
+    def notify_fired(self, ctx: TriggerContext) -> None:
+        for child in self.children:
+            child.notify_fired(ctx)
+
+    def __repr__(self) -> str:
+        return f"AnyOf{self.children!r}"
+
+
+class AllOf(Trigger):
+    """Conjunction: fire only when every child would fire."""
+
+    def __init__(self, *children: Trigger):
+        if not children:
+            raise TriggerError("AllOf needs at least one child")
+        self.children = children
+
+    def observe(self, table_name: str, delta: DeltaRelation) -> None:
+        for child in self.children:
+            child.observe(table_name, delta)
+
+    def should_fire(self, ctx: TriggerContext) -> bool:
+        return all(child.should_fire(ctx) for child in self.children)
+
+    def notify_fired(self, ctx: TriggerContext) -> None:
+        for child in self.children:
+            child.notify_fired(ctx)
+
+    def __repr__(self) -> str:
+        return f"AllOf{self.children!r}"
+
+
+class Custom(Trigger):
+    """Escape hatch: an arbitrary context->bool callable."""
+
+    def __init__(self, fn: Callable[[TriggerContext], bool], name: str = "custom"):
+        self.fn = fn
+        self.name = name
+
+    def should_fire(self, ctx: TriggerContext) -> bool:
+        return self.fn(ctx)
+
+    def __repr__(self) -> str:
+        return f"Custom({self.name})"

@@ -1,0 +1,25 @@
+"""Differential relations, Diff, Propagate, and old-state views.
+
+See DESIGN.md S3 and paper Sections 4.1-4.2.
+"""
+
+from repro.delta.capture import DeltaBuffer, delta_since, deltas_since
+from repro.delta.diff import diff
+from repro.delta.differential import ChangeKind, DeltaEntry, DeltaRelation
+from repro.delta.propagate import propagate, propagate_between
+from repro.delta.views import CurrentStateIndex, OldStateIndex, OldStateView
+
+__all__ = [
+    "ChangeKind",
+    "CurrentStateIndex",
+    "DeltaBuffer",
+    "DeltaEntry",
+    "DeltaRelation",
+    "OldStateIndex",
+    "OldStateView",
+    "delta_since",
+    "deltas_since",
+    "diff",
+    "propagate",
+    "propagate_between",
+]

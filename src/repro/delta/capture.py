@@ -1,0 +1,71 @@
+"""Capturing deltas from tables and external feeds."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.relational.schema import Schema
+from repro.storage.table import Table
+from repro.storage.timestamps import Timestamp
+from repro.storage.update_log import UpdateRecord
+from repro.delta.differential import DeltaRelation
+
+
+def delta_since(table: Table, ts: Timestamp) -> DeltaRelation:
+    """The consolidated net changes to ``table`` after time ``ts``.
+
+    This is Algorithm 1's input (iii): the CQ manager calls it with the
+    timestamp of the CQ's previous execution, which plays the role of
+    the "proper timestamp predicate" limiting the search space.
+    """
+    return DeltaRelation.from_records(table.schema, table.log.since(ts))
+
+
+def deltas_since(
+    tables: Sequence[Table], ts: Timestamp
+) -> Dict[str, DeltaRelation]:
+    """Per-table consolidated deltas after ``ts`` (skipping no-ops)."""
+    out: Dict[str, DeltaRelation] = {}
+    for table in tables:
+        delta = delta_since(table, ts)
+        if not delta.is_empty():
+            out[table.name] = delta
+    return out
+
+
+class DeltaBuffer:
+    """An update-record accumulator for sources that are not tables.
+
+    DIOM-style translators (paper Section 5.5) push update records in;
+    consumers drain consolidated deltas since their own last read. The
+    buffer is the "differential relation" of a non-relational source.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._records: List[UpdateRecord] = []
+
+    def push(self, record: UpdateRecord) -> None:
+        if self._records and record.ts < self._records[-1].ts:
+            raise ValueError(
+                f"buffer timestamps must be non-decreasing; got {record.ts} "
+                f"after {self._records[-1].ts}"
+            )
+        self._records.append(record)
+
+    def push_all(self, records: Sequence[UpdateRecord]) -> None:
+        for record in records:
+            self.push(record)
+
+    def delta_since(self, ts: Timestamp) -> DeltaRelation:
+        return DeltaRelation.from_records(
+            self.schema, [r for r in self._records if r.ts > ts]
+        )
+
+    def prune_before(self, ts: Timestamp) -> int:
+        before = len(self._records)
+        self._records = [r for r in self._records if r.ts > ts]
+        return before - len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,42 @@
+"""The Diff operator (paper Section 4.2).
+
+``Diff`` computes the difference between two relations of the same
+scheme as a differential relation. Together with complete
+re-evaluation it defines the *specification* of what any incremental
+algorithm must produce; DRA is tested against it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.storage.timestamps import Timestamp
+from repro.delta.differential import DeltaEntry, DeltaRelation
+
+
+def diff(old: Relation, new: Relation, ts: Timestamp = 0) -> DeltaRelation:
+    """Net changes turning ``old`` into ``new``, keyed by tid.
+
+    * tid only in ``old``  → delete entry;
+    * tid only in ``new``  → insert entry;
+    * tid in both with different values → modify entry;
+    * tid in both with equal values → no entry.
+
+    All entries carry the supplied timestamp (the comparison is a
+    single logical event).
+    """
+    if not old.schema.union_compatible(new.schema):
+        raise SchemaError(
+            f"Diff needs union-compatible schemas: {old.schema!r} vs {new.schema!r}"
+        )
+    entries = []
+    for row in old:
+        new_values = new.get_or_none(row.tid)
+        if new_values is None:
+            entries.append(DeltaEntry(row.tid, row.values, None, ts))
+        elif new_values != row.values:
+            entries.append(DeltaEntry(row.tid, row.values, new_values, ts))
+    for row in new:
+        if row.tid not in old:
+            entries.append(DeltaEntry(row.tid, None, row.values, ts))
+    return DeltaRelation(new.schema, entries)

@@ -1,0 +1,129 @@
+"""Old-state overlays: the relation as of the last CQ execution.
+
+DRA runs at execution E_{i+1}; the stored table already holds the *new*
+state. Terms of the truth-table expansion that reference unchanged
+operands need the *old* state R_i (the paper's Algorithm 1 input (ii)).
+Rather than copying tables at every CQ execution, these views overlay
+the consolidated delta on the live relation and answer old-state
+lookups — including index probes — in O(1) plus delta-sized fixups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.metrics import Metrics
+from repro.relational.indexes import HashIndex
+from repro.relational.relation import Relation, Row, Tid, Values
+from repro.delta.differential import DeltaRelation
+
+
+class OldStateView:
+    """Read-only view of ``current ⊖ delta`` (the pre-update state)."""
+
+    __slots__ = ("current", "delta")
+
+    def __init__(self, current: Relation, delta: DeltaRelation):
+        self.current = current
+        self.delta = delta
+
+    @property
+    def schema(self):
+        return self.current.schema
+
+    def get_or_none(self, tid: Tid) -> Optional[Values]:
+        entry = self.delta.get(tid)
+        if entry is not None:
+            return entry.old  # None when the tuple was inserted
+        return self.current.get_or_none(tid)
+
+    def __contains__(self, tid: Tid) -> bool:
+        return self.get_or_none(tid) is not None
+
+    def __iter__(self) -> Iterator[Row]:
+        delta = self.delta
+        for row in self.current:
+            entry = delta.get(row.tid)
+            if entry is None:
+                yield row
+        for entry in delta:
+            if entry.old is not None:
+                yield Row(entry.tid, entry.old)
+
+    def __len__(self) -> int:
+        n = len(self.current)
+        for entry in self.delta:
+            if entry.old is None:  # insert: absent in old state
+                n -= 1
+            elif entry.new is None:  # delete: present only in old state
+                n += 1
+        return n
+
+    def materialize(self) -> Relation:
+        """Copy the old state into a standalone relation."""
+        out = Relation(self.schema)
+        for row in self:
+            out.add(row.tid, row.values)
+        return out
+
+
+class OldStateIndex:
+    """Old-state equality probes backed by a current-state hash index.
+
+    A probe for key k in the old state is answered by:
+
+    * the current index's bucket for k, minus tids the delta touched
+      (their current values may differ from their old ones), plus
+    * delta entries whose *old* side hashes to k.
+
+    The delta-side map is built once per (index, delta) pair — O(|Δ|) —
+    after which each probe is O(bucket).
+    """
+
+    __slots__ = ("index", "delta", "view", "_old_buckets")
+
+    def __init__(self, index: HashIndex, delta: DeltaRelation, current: Relation):
+        self.index = index
+        self.delta = delta
+        self.view = OldStateView(current, delta)
+        self._old_buckets: Dict[Tuple[Any, ...], List[Tuple[Tid, Values]]] = {}
+        for entry in delta:
+            if entry.old is not None:
+                key = index.key_of(entry.old)
+                self._old_buckets.setdefault(key, []).append(
+                    (entry.tid, entry.old)
+                )
+
+    def lookup(
+        self, key: Tuple[Any, ...], metrics: Optional[Metrics] = None
+    ) -> List[Tuple[Tid, Values]]:
+        """(tid, old values) pairs whose old state matches ``key``."""
+        out: List[Tuple[Tid, Values]] = []
+        for tid in self.index.lookup(key, metrics):
+            if tid in self.delta:
+                continue  # delta side below provides the old value
+            values = self.view.current.get_or_none(tid)
+            if values is not None:
+                out.append((tid, values))
+        out.extend(self._old_buckets.get(key, ()))
+        return out
+
+
+class CurrentStateIndex:
+    """New-state probes, uniform with :class:`OldStateIndex`'s API."""
+
+    __slots__ = ("index", "current")
+
+    def __init__(self, index: HashIndex, current: Relation):
+        self.index = index
+        self.current = current
+
+    def lookup(
+        self, key: Tuple[Any, ...], metrics: Optional[Metrics] = None
+    ) -> List[Tuple[Tid, Values]]:
+        out = []
+        for tid in self.index.lookup(key, metrics):
+            values = self.current.get_or_none(tid)
+            if values is not None:
+                out.append((tid, values))
+        return out

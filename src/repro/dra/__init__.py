@@ -1,0 +1,30 @@
+"""The Differential Re-evaluation Algorithm (paper Section 4).
+
+See DESIGN.md S4. Entry points:
+
+* :func:`dra_execute` — Algorithm 1 for SPJ queries;
+* :class:`DifferentialAggregate` — incremental aggregate maintenance;
+* :func:`diff_select` / :func:`diff_project` / :func:`diff_join` — the
+  paper's named differential operator forms;
+* :func:`is_relevant` — Section 5.2's irrelevant-update pre-test.
+"""
+
+from repro.dra.aggregates import DifferentialAggregate
+from repro.dra.algorithm import dra_execute
+from repro.dra.assembly import DRAResult, WeightInvariantError
+from repro.dra.operators import diff_join, diff_project, diff_select
+from repro.dra.relevance import is_relevant, relevant_entry_counts
+from repro.dra.truth_table import TruthTable
+
+__all__ = [
+    "DRAResult",
+    "DifferentialAggregate",
+    "TruthTable",
+    "WeightInvariantError",
+    "diff_join",
+    "diff_project",
+    "diff_select",
+    "dra_execute",
+    "is_relevant",
+    "relevant_entry_counts",
+]

@@ -1,0 +1,164 @@
+"""Term operands: signed delta seeds and probe-able base relations.
+
+A term of the truth-table expansion joins two kinds of operands:
+
+* :class:`DeltaOperand` — the differential relation of a changed table,
+  viewed as a signed set: each entry contributes its old side with
+  weight −1 and its new side with weight +1 (after local-predicate
+  filtering, the paper's "Select before Join" refinement);
+* :class:`BaseOperand` — a table at its *old* state (Algorithm 1 input
+  (ii): base contents as of the last execution), which is only ever
+  probed through hash indexes or, lacking a suitable index, scanned
+  once into a transient hash table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics import Metrics
+from repro.relational.predicates import CompiledPredicate
+from repro.relational.relation import Tid, Values
+from repro.storage.table import Table
+from repro.delta.differential import DeltaRelation
+from repro.delta.views import OldStateIndex, OldStateView
+
+# One signed row of a delta operand.
+SignedRow = Tuple[Tid, Values, int]  # (tid, values, weight ±1)
+
+
+class DeltaOperand:
+    """The signed, locally filtered rows of one changed operand."""
+
+    __slots__ = ("alias", "rows")
+
+    def __init__(
+        self,
+        alias: str,
+        delta: DeltaRelation,
+        local_predicate: Optional[CompiledPredicate],
+        metrics: Optional[Metrics] = None,
+    ):
+        self.alias = alias
+        rows: List[SignedRow] = []
+        for entry in delta:
+            if metrics:
+                metrics.count(Metrics.DELTA_ROWS_READ)
+            if entry.old is not None and (
+                local_predicate is None or local_predicate(entry.old)
+            ):
+                rows.append((entry.tid, entry.old, -1))
+            if entry.new is not None and (
+                local_predicate is None or local_predicate(entry.new)
+            ):
+                rows.append((entry.tid, entry.new, +1))
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def index_on(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[Tuple, List[SignedRow]]:
+        """Transient hash index of the signed rows on ``positions``."""
+        buckets: Dict[Tuple, List[SignedRow]] = {}
+        for tid, values, weight in self.rows:
+            key = tuple(values[p] for p in positions)
+            buckets.setdefault(key, []).append((tid, values, weight))
+        return buckets
+
+
+class BaseOperand:
+    """One unsubstituted operand: the table at its old state.
+
+    ``delta`` is the table's consolidated delta since the last
+    execution (empty for unchanged tables); probes and scans answer in
+    the *old* state by overlaying it on the live relation.
+    """
+
+    __slots__ = (
+        "alias",
+        "table",
+        "delta",
+        "local_predicate",
+        "_old_view",
+        "_index_cache",
+        "_scan_cache",
+        "metrics",
+    )
+
+    def __init__(
+        self,
+        alias: str,
+        table: Table,
+        delta: Optional[DeltaRelation],
+        local_predicate: Optional[CompiledPredicate],
+        metrics: Optional[Metrics] = None,
+    ):
+        self.alias = alias
+        self.table = table
+        self.delta = delta
+        self.local_predicate = local_predicate
+        self._old_view = OldStateView(
+            table.current, delta if delta is not None else DeltaRelation(table.schema)
+        )
+        self._index_cache: Dict[Tuple[int, ...], object] = {}
+        self._scan_cache: Dict[Tuple[int, ...], Dict[Tuple, List[Tuple[Tid, Values]]]] = {}
+        self.metrics = metrics
+
+    def probe(
+        self, positions: Tuple[int, ...], key: Tuple
+    ) -> List[Tuple[Tid, Values]]:
+        """Old-state rows matching ``key`` on ``positions`` that satisfy
+        the operand's local predicate."""
+        source = self._probe_source(positions)
+        matches = source.get(key, []) if isinstance(source, dict) else source.lookup(
+            key, self.metrics
+        )
+        if self.local_predicate is None:
+            return list(matches)
+        return [(tid, values) for tid, values in matches if self.local_predicate(values)]
+
+    def _probe_source(self, positions: Tuple[int, ...]):
+        """An index-like object answering lookups on ``positions``.
+
+        Prefers a maintained table index (wrapped for old-state
+        answers); otherwise builds — once per operand per execution —
+        a transient hash table by scanning the old state.
+        """
+        positions = tuple(positions)
+        cached = self._index_cache.get(positions)
+        if cached is not None:
+            return cached
+        index = self.table.index_for(positions)
+        if index is not None and index.positions == positions:
+            wrapped = OldStateIndex(
+                index,
+                self.delta if self.delta is not None else DeltaRelation(self.table.schema),
+                self.table.current,
+            )
+            self._index_cache[positions] = wrapped
+            return wrapped
+        scan = self._scan_cache.get(positions)
+        if scan is None:
+            scan = {}
+            for row in self._old_view:
+                if self.metrics:
+                    self.metrics.count(Metrics.ROWS_SCANNED)
+                key = tuple(row.values[p] for p in positions)
+                scan.setdefault(key, []).append((row.tid, row.values))
+            self._scan_cache[positions] = scan
+        return scan
+
+    def scan(self) -> List[Tuple[Tid, Values]]:
+        """Full old-state scan (cartesian fallback), locally filtered."""
+        out = []
+        for row in self._old_view:
+            if self.metrics:
+                self.metrics.count(Metrics.ROWS_SCANNED)
+            if self.local_predicate is None or self.local_predicate(row.values):
+                out.append((row.tid, row.values))
+        return out
+
+    def old_size(self) -> int:
+        return len(self._old_view)

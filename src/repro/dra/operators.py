@@ -1,0 +1,105 @@
+"""The paper's differential operators: DiffSelect, DiffProj, DiffJoin.
+
+These are the named differential forms of Section 4.2 ("we prove that
+instantiation of Propagate for relational select, project, and join are
+functionally equivalent to their differential forms: DiffSelect,
+DiffProj and DiffJoin"). DiffSelect and DiffProj act directly on a
+differential relation; DiffJoin is realized by the general truth-table
+machinery specialized to two operands. The property-based test suite
+checks each against its Propagate instantiation — the paper's
+equivalence theorem, mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.metrics import Metrics
+from repro.relational.algebra import SPJQuery
+from repro.relational.binding import SingleRowBinder
+from repro.relational.predicates import Predicate
+from repro.storage.database import Database
+from repro.storage.timestamps import Timestamp
+from repro.delta.differential import DeltaEntry, DeltaRelation
+
+
+def diff_select(
+    delta: DeltaRelation,
+    predicate: Predicate,
+    metrics: Optional[Metrics] = None,
+) -> DeltaRelation:
+    """σ_F in differential form.
+
+    For a modification both sides are tested, which is exactly the
+    paper's Example 2 rewrite: F becomes
+    ``F(old) ∧ F(new) → modify``, ``F(old) ∧ ¬F(new) → delete``,
+    ``¬F(old) ∧ F(new) → insert``, else no entry.
+    """
+    compiled = predicate.compile(SingleRowBinder(delta.schema))
+    entries = []
+    for entry in delta:
+        if metrics:
+            metrics.count(Metrics.DELTA_ROWS_READ)
+        old_in = entry.old is not None and compiled(entry.old)
+        new_in = entry.new is not None and compiled(entry.new)
+        if old_in and new_in:
+            entries.append(entry)
+        elif old_in:
+            entries.append(DeltaEntry(entry.tid, entry.old, None, entry.ts))
+        elif new_in:
+            entries.append(DeltaEntry(entry.tid, None, entry.new, entry.ts))
+    return DeltaRelation(delta.schema, entries)
+
+
+def diff_project(
+    delta: DeltaRelation,
+    columns: Sequence[str],
+    metrics: Optional[Metrics] = None,
+) -> DeltaRelation:
+    """π_X in differential form.
+
+    Tids survive projection (they are the provenance key), so the only
+    subtlety is a modification whose visible columns did not change —
+    it projects to no entry at all.
+    """
+    positions = [delta.schema.position(name) for name in columns]
+    out_schema = delta.schema.project(columns)
+    entries = []
+    for entry in delta:
+        if metrics:
+            metrics.count(Metrics.DELTA_ROWS_READ)
+        old = (
+            tuple(entry.old[p] for p in positions)
+            if entry.old is not None
+            else None
+        )
+        new = (
+            tuple(entry.new[p] for p in positions)
+            if entry.new is not None
+            else None
+        )
+        if old == new:
+            continue  # modification invisible after projection
+        entries.append(DeltaEntry(entry.tid, old, new, entry.ts))
+    return DeltaRelation(out_schema, entries)
+
+
+def diff_join(
+    query: SPJQuery,
+    db: Database,
+    deltas: Mapping[str, DeltaRelation],
+    ts: Timestamp = 0,
+    metrics: Optional[Metrics] = None,
+) -> DeltaRelation:
+    """⋈ in differential form, for a two-relation SPJ query.
+
+    Expands to the three truth-table terms the paper's step 2 would
+    build for two changed operands: ΔR ⋈ S, R ⋈ ΔS, ΔR ⋈ ΔS (signed),
+    with base operands at their old state.
+    """
+    from repro.dra.algorithm import dra_execute
+
+    if len(query.relations) != 2:
+        raise QueryError("diff_join expects a query over exactly two relations")
+    return dra_execute(query, db, deltas=deltas, ts=ts, metrics=metrics).delta

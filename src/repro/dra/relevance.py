@@ -1,0 +1,64 @@
+"""Irrelevant-update detection (paper Section 5.2).
+
+"We should test the CQ condition based on the differential updates
+before every execution. If the updates ... have no impact on the
+previous query result set, we consider them as irrelevant updates to
+the continual query" — in which case nothing is computed and nothing
+is sent.
+
+An update to operand relation R_i is *irrelevant* to a query when
+neither its old nor its new side satisfies the query's local predicate
+on R_i: such a tuple was outside the relevant slice of R_i before and
+after, so no term of the expansion can produce a result change from it.
+(This is a sound but conservative test: updates that pass it may still
+produce no result change once join partners are considered — DRA then
+returns an empty delta.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.relational.algebra import SPJQuery
+from repro.relational.binding import SingleRowBinder
+from repro.relational.planning import plan_predicate
+from repro.relational.predicates import TruePredicate
+from repro.relational.schema import Schema
+from repro.delta.differential import DeltaRelation
+
+
+def relevant_entry_counts(
+    query: SPJQuery,
+    scopes: Mapping[str, Schema],
+    deltas: Mapping[str, DeltaRelation],
+) -> Dict[str, Tuple[int, int]]:
+    """Per alias: (relevant entries, total entries) of its delta."""
+    plan = plan_predicate(query.predicate, scopes)
+    out: Dict[str, Tuple[int, int]] = {}
+    for ref in query.relations:
+        delta = deltas.get(ref.table)
+        if delta is None or delta.is_empty():
+            continue
+        local = plan.local_predicate(ref.alias)
+        if isinstance(local, TruePredicate):
+            out[ref.alias] = (len(delta), len(delta))
+            continue
+        compiled = local.compile(SingleRowBinder(delta.schema, ref.alias))
+        relevant = 0
+        for entry in delta:
+            old_in = entry.old is not None and compiled(entry.old)
+            new_in = entry.new is not None and compiled(entry.new)
+            if old_in or new_in:
+                relevant += 1
+        out[ref.alias] = (relevant, len(delta))
+    return out
+
+
+def is_relevant(
+    query: SPJQuery,
+    scopes: Mapping[str, Schema],
+    deltas: Mapping[str, DeltaRelation],
+) -> bool:
+    """True if at least one update could affect the query result."""
+    counts = relevant_entry_counts(query, scopes, deltas)
+    return any(relevant for relevant, __ in counts.values())

@@ -1,0 +1,180 @@
+"""Algorithm 1 step 2: evaluating one truth-table term.
+
+A term substitutes ΔR_i for R_i at the positions its truth-table row
+marks with 1 and keeps the old base contents elsewhere. Evaluation is
+*seeded at the deltas*: the smallest substituted operand's signed rows
+form the initial partial results, and every further operand is attached
+either by probing (base operands, via old-state hash indexes) or by a
+transient hash lookup / cross product (delta operands). Base relations
+are never iterated unless the join graph is disconnected or no index
+fits — which the metrics make visible.
+
+Each partial carries a weight: the product of its delta rows' signs
+(+1 for new sides, −1 for old sides; base rows are +1). Summing
+weighted, projected partials over all terms yields exactly
+Q(S_new) − Q(S_old) in signed-set algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.metrics import Metrics
+from repro.relational.planning import PredicatePlan
+from repro.relational.predicates import CompiledPredicate
+from repro.relational.relation import Tid, Values
+from repro.dra.operands import BaseOperand, DeltaOperand
+
+# (tids per alias, values per alias, weight)
+Partial = Tuple[Dict[str, Tid], Dict[str, Values], int]
+
+
+def evaluate_term(
+    substituted: FrozenSet[str],
+    aliases: Sequence[str],
+    delta_operands: Dict[str, DeltaOperand],
+    base_operands: Dict[str, BaseOperand],
+    plan: PredicatePlan,
+    residual_compiled: Dict[int, CompiledPredicate],
+    metrics: Optional[Metrics] = None,
+) -> List[Partial]:
+    """All weighted candidate rows of one term."""
+    if metrics:
+        metrics.count(Metrics.TERMS_EVALUATED)
+
+    # Seed with the smallest substituted delta operand.
+    seed_alias = min(substituted, key=lambda a: len(delta_operands[a]))
+    partials: List[Partial] = [
+        ({seed_alias: tid}, {seed_alias: values}, weight)
+        for tid, values, weight in delta_operands[seed_alias].rows
+    ]
+    bound: Set[str] = {seed_alias}
+    applied: Set[int] = set()
+    partials = _apply_residuals(partials, plan, bound, applied, residual_compiled)
+
+    remaining = [a for a in aliases if a != seed_alias]
+    while remaining and partials:
+        alias = _pick_next(remaining, substituted, bound, plan)
+        remaining.remove(alias)
+        edges = plan.edges_between(bound, alias)
+        if alias in substituted:
+            partials = _attach_delta(
+                partials, alias, delta_operands[alias], edges
+            )
+        else:
+            partials = _attach_base(
+                partials, alias, base_operands[alias], edges
+            )
+        bound.add(alias)
+        partials = _apply_residuals(partials, plan, bound, applied, residual_compiled)
+
+    # Remaining aliases with no partials left: term contributes nothing.
+    return partials
+
+
+def _pick_next(
+    remaining: List[str],
+    substituted: FrozenSet[str],
+    bound: Set[str],
+    plan: PredicatePlan,
+) -> str:
+    """Attachment order: connected deltas, connected bases, then
+    unconnected deltas (small cross products) before unconnected bases."""
+
+    def priority(alias: str) -> int:
+        connected = bool(plan.edges_between(bound, alias))
+        is_delta = alias in substituted
+        if connected and is_delta:
+            return 0
+        if connected:
+            return 1
+        if is_delta:
+            return 2
+        return 3
+
+    return min(remaining, key=lambda a: (priority(a), remaining.index(a)))
+
+
+def _attach_delta(
+    partials: List[Partial],
+    alias: str,
+    operand: DeltaOperand,
+    edges,
+) -> List[Partial]:
+    out: List[Partial] = []
+    if edges:
+        positions = tuple(e.position_for(alias) for e in edges)
+        buckets = operand.index_on(positions)
+        key_sources = [
+            (e.other(alias), e.position_for(e.other(alias))) for e in edges
+        ]
+        for tids, vals, weight in partials:
+            key = tuple(vals[a][p] for a, p in key_sources)
+            for tid, values, w in buckets.get(key, ()):
+                new_tids = dict(tids)
+                new_tids[alias] = tid
+                new_vals = dict(vals)
+                new_vals[alias] = values
+                out.append((new_tids, new_vals, weight * w))
+    else:
+        rows = operand.rows
+        for tids, vals, weight in partials:
+            for tid, values, w in rows:
+                new_tids = dict(tids)
+                new_tids[alias] = tid
+                new_vals = dict(vals)
+                new_vals[alias] = values
+                out.append((new_tids, new_vals, weight * w))
+    return out
+
+
+def _attach_base(
+    partials: List[Partial],
+    alias: str,
+    operand: BaseOperand,
+    edges,
+) -> List[Partial]:
+    out: List[Partial] = []
+    if edges:
+        positions = tuple(e.position_for(alias) for e in edges)
+        key_sources = [
+            (e.other(alias), e.position_for(e.other(alias))) for e in edges
+        ]
+        for tids, vals, weight in partials:
+            key = tuple(vals[a][p] for a, p in key_sources)
+            for tid, values in operand.probe(positions, key):
+                new_tids = dict(tids)
+                new_tids[alias] = tid
+                new_vals = dict(vals)
+                new_vals[alias] = values
+                out.append((new_tids, new_vals, weight))
+    else:
+        rows = operand.scan()
+        for tids, vals, weight in partials:
+            for tid, values in rows:
+                new_tids = dict(tids)
+                new_tids[alias] = tid
+                new_vals = dict(vals)
+                new_vals[alias] = values
+                out.append((new_tids, new_vals, weight))
+    return out
+
+
+def _apply_residuals(
+    partials: List[Partial],
+    plan: PredicatePlan,
+    bound: Set[str],
+    applied: Set[int],
+    residual_compiled: Dict[int, CompiledPredicate],
+) -> List[Partial]:
+    for index, __ in plan.residual_ready(bound, applied):
+        compiled = residual_compiled.get(index)
+        applied.add(index)
+        if compiled is None:  # constant conjunct, gated by the driver
+            continue
+        partials = [
+            (tids, vals, weight)
+            for tids, vals, weight in partials
+            if compiled(vals)
+        ]
+    return partials

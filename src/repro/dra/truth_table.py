@@ -1,0 +1,63 @@
+"""Algorithm 1 step 1: the truth table of delta substitutions.
+
+For a CQ over relations R_1..R_n of which k have changed since the
+last execution, DRA builds a truth table whose rows are the binary
+substitution vectors over the changed relations. Each non-zero row
+yields one SPJ term in which ΔR_i replaces R_i wherever the row has a
+1; unchanged relations never need substitution because their delta is
+empty and any term containing an empty operand vanishes.
+
+The sum of the 2^k − 1 non-zero terms (with base operands bound to the
+relation contents *at the last execution*, Algorithm 1 input (ii)) is
+exactly Q(S_new) − Q(S_old); see :mod:`repro.dra.terms`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterator, List, Sequence, Tuple
+
+
+class TruthTable:
+    """The non-zero substitution vectors for a set of changed operands."""
+
+    __slots__ = ("aliases", "changed")
+
+    def __init__(self, aliases: Sequence[str], changed: Sequence[str]):
+        self.aliases = tuple(aliases)
+        changed_set = set(changed)
+        unknown = changed_set - set(aliases)
+        if unknown:
+            raise ValueError(f"changed aliases not in query: {sorted(unknown)}")
+        # Preserve query order for deterministic term enumeration.
+        self.changed = tuple(a for a in self.aliases if a in changed_set)
+
+    @property
+    def term_count(self) -> int:
+        """2^k − 1 for k changed relations (paper: p = 2^k rows, minus
+        the all-zero row which reproduces the previous result)."""
+        return (1 << len(self.changed)) - 1
+
+    def rows(self) -> Iterator[FrozenSet[str]]:
+        """Yield each non-empty subset of changed aliases.
+
+        Ordered smallest-first (single substitutions, then pairs, ...),
+        matching the intuition that low-order terms dominate the work.
+        """
+        for size in range(1, len(self.changed) + 1):
+            for subset in combinations(self.changed, size):
+                yield frozenset(subset)
+
+    def as_binary_rows(self) -> List[Tuple[int, ...]]:
+        """The table in the paper's binary form, one column per changed
+        relation (in query order), excluding the all-zero row."""
+        out = []
+        for subset in self.rows():
+            out.append(tuple(1 if a in subset else 0 for a in self.changed))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TruthTable(changed={list(self.changed)}, "
+            f"{self.term_count} terms)"
+        )

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one base class at API
+boundaries. Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not conform to the declared attribute type."""
+
+
+class UnknownAttributeError(SchemaError):
+    """A column reference does not resolve against the given schema(s)."""
+
+
+class AmbiguousAttributeError(SchemaError):
+    """An unqualified column reference matches more than one relation."""
+
+
+class ExpressionError(ReproError):
+    """An expression or predicate is structurally invalid."""
+
+
+class QueryError(ReproError):
+    """A query (algebra tree or SQL text) is invalid."""
+
+
+class SQLSyntaxError(QueryError):
+    """The SQL-subset parser rejected the input text."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedQueryError(QueryError):
+    """The query is valid SQL but outside the supported SPJ fragment."""
+
+
+class StorageError(ReproError):
+    """Errors from the table / transaction layer."""
+
+
+class NoSuchTupleError(StorageError):
+    """A tid does not identify a live tuple in the table."""
+
+
+class NoSuchTableError(StorageError):
+    """A table name does not resolve in the database catalog."""
+
+
+class DuplicateTableError(StorageError):
+    """A table with the same name is already registered."""
+
+
+class TransactionError(StorageError):
+    """Illegal transaction state transition (e.g. commit twice)."""
+
+
+class DeltaError(ReproError):
+    """Errors from the differential-relation layer."""
+
+
+class DeltaConsolidationError(DeltaError):
+    """The update log is inconsistent (e.g. modify of a never-seen tid)."""
+
+
+class ContinualQueryError(ReproError):
+    """Errors from the continual-query layer."""
+
+
+class RegistrationError(ContinualQueryError):
+    """A continual query could not be registered with the manager."""
+
+
+class TriggerError(ContinualQueryError):
+    """A trigger condition is malformed or cannot be evaluated."""
+
+
+class SourceError(ReproError):
+    """Errors from the DIOM-style source adapters."""
+
+
+class NetworkError(ReproError):
+    """Errors from the simulated network layer."""

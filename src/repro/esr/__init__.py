@@ -1,0 +1,8 @@
+"""Epsilon Serializability substrate (paper Section 3.2's foundation).
+
+See DESIGN.md §6 and :mod:`repro.esr.divergence`.
+"""
+
+from repro.esr.divergence import EpsilonScan, EpsilonScanReport, UpdateIntent
+
+__all__ = ["EpsilonScan", "EpsilonScanReport", "UpdateIntent"]

@@ -1,0 +1,272 @@
+"""Divergence control for epsilon queries (Epsilon Serializability).
+
+The paper's epsilon specifications descend from ESR: "divergence
+control algorithms allow limited non-serializable conflicts between
+updates and the epsilon query to happen, to increase system execution
+flexibility and concurrency" (§3.2). This module reproduces that
+substrate in miniature.
+
+An :class:`EpsilonScan` reads a large relation chunk by chunk *without
+a snapshot* while update transactions — declared as
+:class:`UpdateIntent`s — are offered to the divergence controller
+between chunks. The controller dry-runs each intent against the
+current state, computes the inconsistency it would import into the
+scan's partial answer (only effects on the already-read prefix
+matter), and either admits it or blocks it until the scan finishes.
+
+The payoff is the ESR guarantee, checked by property tests:
+
+    |reported aggregate − exact aggregate at scan end| ≤ imported ≤ ε
+
+With ε = 0 the controller is serializable (every conflicting update
+blocks); with ε = ∞ everything is admitted and the error is merely
+bounded by what was imported. In between, ε trades answer precision
+for update concurrency — experiment E12.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.metrics import Metrics
+from repro.relational.relation import Tid, Values
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+
+class UpdateIntent:
+    """A declared single-transaction update, schedulable by ESR.
+
+    Operations reference tids for modify/delete and whole value tuples
+    for inserts — exactly what a transaction script would contain. The
+    controller dry-runs the intent to price its conflicts before
+    deciding to execute it.
+    """
+
+    def __init__(self, ops: Sequence[Tuple] = ()):
+        self.ops: List[Tuple] = list(ops)
+
+    def insert(self, values: Sequence) -> "UpdateIntent":
+        self.ops.append(("insert", tuple(values)))
+        return self
+
+    def modify(self, tid: Tid, updates: Dict[str, object]) -> "UpdateIntent":
+        self.ops.append(("modify", tid, dict(updates)))
+        return self
+
+    def delete(self, tid: Tid) -> "UpdateIntent":
+        self.ops.append(("delete", tid))
+        return self
+
+    def dry_run(self, table: Table) -> List[Tuple[Optional[Tid], Optional[Values], Optional[Values]]]:
+        """(tid, old, new) effects against the table's current state.
+
+        Inserts report tid None (a fresh tid can never collide with the
+        scan's read prefix). Ops referencing dead tids report no
+        effect — the real application will simply skip them too.
+        """
+        effects = []
+        shadow: Dict[Tid, Optional[Values]] = {}
+        for op in self.ops:
+            if op[0] == "insert":
+                effects.append((None, None, op[1]))
+            elif op[0] == "modify":
+                __, tid, updates = op
+                old = shadow.get(tid, table.current.get_or_none(tid))
+                if old is None:
+                    continue
+                merged = list(old)
+                for name, value in updates.items():
+                    merged[table.schema.position(name)] = value
+                new = tuple(merged)
+                effects.append((tid, old, new))
+                shadow[tid] = new
+            else:
+                __, tid = op
+                old = shadow.get(tid, table.current.get_or_none(tid))
+                if old is None:
+                    continue
+                effects.append((tid, old, None))
+                shadow[tid] = None
+        return effects
+
+    def apply(self, db: Database, table: Table) -> None:
+        """Execute as one real transaction (skipping dead targets)."""
+        with db.begin() as txn:
+            for op in self.ops:
+                if op[0] == "insert":
+                    txn.insert_into(table, op[1])
+                elif op[0] == "modify":
+                    __, tid, updates = op
+                    if txn.read(table, tid) is not None:
+                        txn.modify_in(table, tid, updates=updates)
+                else:
+                    __, tid = op
+                    if txn.read(table, tid) is not None:
+                        txn.delete_from(table, tid)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return f"UpdateIntent({len(self.ops)} ops)"
+
+
+class EpsilonScanReport:
+    """Outcome of one divergence-controlled epsilon query."""
+
+    __slots__ = (
+        "reported",
+        "exact",
+        "imported",
+        "epsilon",
+        "admitted",
+        "deferrals",
+        "deferred_final",
+        "chunks",
+    )
+
+    def __init__(
+        self,
+        reported: float,
+        exact: float,
+        imported: float,
+        epsilon: float,
+        admitted: int,
+        deferrals: int,
+        deferred_final: int,
+        chunks: int,
+    ):
+        self.reported = reported
+        self.exact = exact
+        self.imported = imported
+        self.epsilon = epsilon
+        #: Intents executed concurrently with the scan.
+        self.admitted = admitted
+        #: Times an intent was offered and had to wait.
+        self.deferrals = deferrals
+        #: Intents that only ran after the scan completed.
+        self.deferred_final = deferred_final
+        self.chunks = chunks
+
+    @property
+    def error(self) -> float:
+        return abs(self.reported - self.exact)
+
+    def __repr__(self) -> str:
+        return (
+            f"EpsilonScanReport(reported={self.reported:.2f}, "
+            f"exact={self.exact:.2f}, error={self.error:.2f}, "
+            f"imported={self.imported:.2f}, ε={self.epsilon}, "
+            f"admitted={self.admitted}, deferred={self.deferred_final})"
+        )
+
+
+class EpsilonScan:
+    """A chunked SUM(column) epsilon query under divergence control."""
+
+    def __init__(
+        self,
+        db: Database,
+        table: Table,
+        column: str,
+        epsilon: float,
+        chunk_size: int = 100,
+        metrics: Optional[Metrics] = None,
+    ):
+        if epsilon < 0:
+            raise ReproError("epsilon must be non-negative")
+        if chunk_size <= 0:
+            raise ReproError("chunk size must be positive")
+        self.db = db
+        self.table = table
+        self.column = column
+        self.position = table.schema.position(column)
+        self.epsilon = epsilon
+        self.chunk_size = chunk_size
+        self.metrics = metrics
+
+    def _import_cost(self, effects, read_tids) -> float:
+        """Inconsistency the effects would import into the partial sum.
+
+        Changes behind the scan cursor (tids already read) diverge the
+        reported sum by their change to the summed column. Everything
+        ahead of the cursor — including inserts — will be observed by
+        the scan itself, which is serializable behaviour and free.
+        """
+        cost = 0.0
+        for tid, old, new in effects:
+            if tid is None or tid not in read_tids:
+                continue
+            old_value = old[self.position] if old is not None else 0
+            new_value = new[self.position] if new is not None else 0
+            cost += abs((new_value or 0) - (old_value or 0))
+        return cost
+
+    def run(self, intents: Sequence[UpdateIntent]) -> EpsilonScanReport:
+        """Scan while offering ``intents`` (in order) between chunks."""
+        pending: List[UpdateIntent] = list(intents)
+        read_tids: set = set()
+        partial_sum = 0.0
+        imported = 0.0
+        admitted = 0
+        deferrals = 0
+        chunks = 0
+
+        while True:
+            # One chunk of currently-live rows in tid order; no snapshot.
+            chunk = [
+                tid
+                for tid in sorted(self.table.current.tids())
+                if tid not in read_tids
+            ][: self.chunk_size]
+            if not chunk:
+                break
+            chunks += 1
+            for tid in chunk:
+                values = self.table.current.get_or_none(tid)
+                if values is None:
+                    continue
+                partial_sum += values[self.position] or 0
+                read_tids.add(tid)
+                if self.metrics:
+                    self.metrics.count(Metrics.ROWS_SCANNED)
+
+            still_pending: List[UpdateIntent] = []
+            for intent in pending:
+                cost = self._import_cost(intent.dry_run(self.table), read_tids)
+                if imported + cost <= self.epsilon:
+                    intent.apply(self.db, self.table)
+                    imported += cost
+                    admitted += 1
+                    if self.metrics:
+                        self.metrics.count("esr_admitted")
+                else:
+                    deferrals += 1
+                    still_pending.append(intent)
+                    if self.metrics:
+                        self.metrics.count("esr_deferrals")
+            pending = still_pending
+
+        # The ESR guarantee is stated against the database state at
+        # scan end, before the deferred intents run.
+        exact_at_scan_end = sum(
+            (row.values[self.position] or 0) for row in self.table.rows()
+        )
+        # Blocked intents run now, strictly after the query: they were
+        # delayed for serializability, never rejected.
+        deferred_final = len(pending)
+        for intent in pending:
+            intent.apply(self.db, self.table)
+
+        return EpsilonScanReport(
+            partial_sum,
+            exact_at_scan_end,
+            imported,
+            self.epsilon,
+            admitted,
+            deferrals,
+            deferred_final,
+            chunks,
+        )

@@ -1,0 +1,81 @@
+"""Lightweight operation counters, shared across subsystems.
+
+The paper's performance arguments (Section 5.1) are about work *not*
+done: base rows never scanned, bytes never shipped. Wall-clock time in
+Python is noisy and implementation-biased, so the benchmark harness
+reports deterministic operation counts alongside timings. Any engine
+entry point accepts an optional :class:`Metrics` and charges counters
+to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class Metrics:
+    """A named bag of monotonically increasing counters."""
+
+    __slots__ = ("_counters",)
+
+    # Canonical counter names used across the engine. Free-form names
+    # are also allowed; these constants just prevent typos.
+    ROWS_SCANNED = "rows_scanned"
+    INDEX_PROBES = "index_probes"
+    ROWS_EMITTED = "rows_emitted"
+    DELTA_ROWS_READ = "delta_rows_read"
+    TERMS_EVALUATED = "terms_evaluated"
+    BYTES_SENT = "bytes_sent"
+    MESSAGES_SENT = "messages_sent"
+    PREDICATE_EVALS = "predicate_evals"
+    EXECUTIONS = "executions"
+    EXECUTIONS_SKIPPED = "executions_skipped"
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counters.items()))
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __bool__(self) -> bool:
+        # Always truthy: engine code guards counter charging with a bare
+        # `if metrics:`, which must hold even before the first count.
+        return True
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """An independent copy of the current counter values."""
+        return dict(self._counters)
+
+    def merge(self, other: "Metrics") -> None:
+        """Add all of ``other``'s counters into this one."""
+        for name, value in other._counters.items():
+            self.count(name, value)
+
+    def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Counter increases since an earlier :meth:`snapshot`."""
+        out = {}
+        for name, value in self._counters.items():
+            delta = value - earlier.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"Metrics({inner})"

@@ -1,0 +1,37 @@
+"""Simulated client-server deployment of continual queries.
+
+See DESIGN.md S7 and paper Section 5.1.
+"""
+
+from repro.net.client import CQClient
+from repro.net.messages import (
+    DeltaAvailableMessage,
+    DeltaMessage,
+    FetchMessage,
+    FullResultMessage,
+    InitialResultMessage,
+    Message,
+    RegisterMessage,
+    delta_wire_size,
+    relation_wire_size,
+)
+from repro.net.server import CQServer, Protocol, Subscription
+from repro.net.simnet import LinkStats, SimulatedNetwork
+
+__all__ = [
+    "CQClient",
+    "CQServer",
+    "DeltaAvailableMessage",
+    "DeltaMessage",
+    "FetchMessage",
+    "FullResultMessage",
+    "InitialResultMessage",
+    "LinkStats",
+    "Message",
+    "Protocol",
+    "RegisterMessage",
+    "SimulatedNetwork",
+    "Subscription",
+    "delta_wire_size",
+    "relation_wire_size",
+]

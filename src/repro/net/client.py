@@ -1,0 +1,107 @@
+"""The CQ client: registers queries and maintains cached results.
+
+"Caching the results on the client side makes the servers more
+scalable with respect to the number of clients" (Section 5.1): a
+client applies shipped deltas to its local copy instead of re-pulling
+the full result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import NetworkError
+from repro.relational.relation import Relation
+from repro.net.messages import (
+    DeltaAvailableMessage,
+    DeltaMessage,
+    FetchMessage,
+    FullResultMessage,
+    InitialResultMessage,
+    Message,
+    RegisterMessage,
+)
+from repro.net.server import Protocol
+
+
+class CQClient:
+    """A subscriber endpoint holding one cached result per CQ."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.server = None  # set by CQServer.attach
+        self._results: Dict[str, Relation] = {}
+        self._history: List[Message] = []
+        # Lazy protocol: the latest pending-delta notice per CQ.
+        self._pending: Dict[str, DeltaAvailableMessage] = {}
+
+    # -- outbound ------------------------------------------------------------
+
+    def register(
+        self, cq_name: str, sql: str, protocol: Protocol = Protocol.DRA_DELTA
+    ) -> None:
+        """Install a CQ at the attached server."""
+        if self.server is None:
+            raise NetworkError(f"client {self.name!r} is not attached")
+        message = RegisterMessage(cq_name, sql)
+        self.server.network.send(
+            self.name, self.server.name, message.wire_size(), self.server.metrics
+        )
+        self.server.handle_register(self.name, message, protocol)
+
+    # -- inbound -----------------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        self._history.append(message)
+        if isinstance(message, InitialResultMessage):
+            self._results[message.cq_name] = message.result.copy()
+        elif isinstance(message, FullResultMessage):
+            self._results[message.cq_name] = message.result.copy()
+        elif isinstance(message, DeltaMessage):
+            cached = self._results.get(message.cq_name)
+            if cached is None:
+                raise NetworkError(
+                    f"delta for unknown CQ {message.cq_name!r} at {self.name!r}"
+                )
+            self._results[message.cq_name] = message.delta.apply_to(cached)
+            self._pending.pop(message.cq_name, None)
+        elif isinstance(message, DeltaAvailableMessage):
+            self._pending[message.cq_name] = message
+        else:
+            raise NetworkError(f"unexpected message {message!r}")
+
+    # -- lazy protocol --------------------------------------------------------
+
+    def pending_notice(self, cq_name: str):
+        """The latest unfetched DeltaAvailableMessage, or None."""
+        return self._pending.get(cq_name)
+
+    def fetch(self, cq_name: str) -> bool:
+        """Pull the accumulated pending delta from the server.
+
+        Returns True if a delta arrived (the cached result is then
+        current as of the last refresh the server performed).
+        """
+        if self.server is None:
+            raise NetworkError(f"client {self.name!r} is not attached")
+        message = FetchMessage(cq_name)
+        self.server.network.send(
+            self.name, self.server.name, message.wire_size(), self.server.metrics
+        )
+        return self.server.handle_fetch(self.name, message)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def result(self, cq_name: str) -> Relation:
+        try:
+            return self._results[cq_name]
+        except KeyError:
+            raise NetworkError(
+                f"client {self.name!r} has no result for {cq_name!r}"
+            ) from None
+
+    def history(self) -> List[Message]:
+        return list(self._history)
+
+    def __repr__(self) -> str:
+        return f"CQClient({self.name!r}, {len(self._results)} cached results)"

@@ -1,0 +1,145 @@
+"""Wire messages and size estimation.
+
+Messages carry live Python objects (the network is simulated), but
+each knows its nominal serialized size, computed from the same
+per-value accounting everywhere, so byte comparisons between protocols
+are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+
+from repro.relational.relation import Relation
+from repro.relational.types import value_wire_size
+from repro.delta.differential import DeltaRelation
+
+#: Fixed per-message envelope (headers, CQ id, sequence number).
+ENVELOPE_BYTES = 64
+#: Fixed per-row overhead (tid + framing).
+ROW_OVERHEAD_BYTES = 12
+
+
+def relation_wire_size(relation: Relation) -> int:
+    """Nominal bytes to ship a complete relation."""
+    total = 0
+    for row in relation:
+        total += ROW_OVERHEAD_BYTES
+        total += sum(value_wire_size(v) for v in row.values)
+    return total
+
+
+def delta_wire_size(delta: DeltaRelation) -> int:
+    """Nominal bytes to ship a differential relation.
+
+    Inserts and deletes ship one side; modifications ship both (the
+    wide form of the paper's Example 1 table).
+    """
+    total = 0
+    for entry in delta:
+        total += ROW_OVERHEAD_BYTES + 8  # + timestamp
+        if entry.old is not None:
+            total += sum(value_wire_size(v) for v in entry.old)
+        if entry.new is not None:
+            total += sum(value_wire_size(v) for v in entry.new)
+    return total
+
+
+class Message:
+    """Base class for CQ protocol messages."""
+
+    def wire_size(self) -> int:
+        raise NotImplementedError
+
+
+class RegisterMessage(Message):
+    """Client -> server: install a continual query."""
+
+    def __init__(self, cq_name: str, sql: str):
+        self.cq_name = cq_name
+        self.sql = sql
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + len(self.sql.encode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"RegisterMessage({self.cq_name!r})"
+
+
+class InitialResultMessage(Message):
+    """Server -> client: E_0, the complete first result."""
+
+    def __init__(self, cq_name: str, result: Relation, ts: int):
+        self.cq_name = cq_name
+        self.result = result
+        self.ts = ts
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + relation_wire_size(self.result)
+
+    def __repr__(self) -> str:
+        return f"InitialResultMessage({self.cq_name!r}, {len(self.result)} rows)"
+
+
+class DeltaMessage(Message):
+    """Server -> client: the differential refresh (the DRA protocol)."""
+
+    def __init__(self, cq_name: str, delta: DeltaRelation, ts: int):
+        self.cq_name = cq_name
+        self.delta = delta
+        self.ts = ts
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + delta_wire_size(self.delta)
+
+    def __repr__(self) -> str:
+        return f"DeltaMessage({self.cq_name!r}, {self.delta!r})"
+
+
+class DeltaAvailableMessage(Message):
+    """Server -> client: a (possibly large) delta is pending; fetch at
+    will. This is the lazy-transmission notice of Section 5.1 ("when
+    the results turn out to be large ... a lazy evaluation and
+    transmission of results is necessary")."""
+
+    def __init__(self, cq_name: str, ts: int, entry_count: int, pending_bytes: int):
+        self.cq_name = cq_name
+        self.ts = ts
+        self.entry_count = entry_count
+        self.pending_bytes = pending_bytes
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 16  # two counters
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaAvailableMessage({self.cq_name!r}, {self.entry_count} "
+            f"entries, {self.pending_bytes} bytes pending)"
+        )
+
+
+class FetchMessage(Message):
+    """Client -> server: send me the pending delta for this CQ."""
+
+    def __init__(self, cq_name: str):
+        self.cq_name = cq_name
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES
+
+    def __repr__(self) -> str:
+        return f"FetchMessage({self.cq_name!r})"
+
+
+class FullResultMessage(Message):
+    """Server -> client: a complete refreshed result (naive protocol)."""
+
+    def __init__(self, cq_name: str, result: Relation, ts: int):
+        self.cq_name = cq_name
+        self.result = result
+        self.ts = ts
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + relation_wire_size(self.result)
+
+    def __repr__(self) -> str:
+        return f"FullResultMessage({self.cq_name!r}, {len(self.result)} rows)"

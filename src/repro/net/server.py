@@ -1,0 +1,325 @@
+"""The CQ server: hosts base data, computes refreshes, ships messages.
+
+Each client subscription carries a *protocol* choosing how refreshes
+are computed and shipped:
+
+* DRA_DELTA — differential re-evaluation, ship only the result delta
+  (the paper's design: "each server only generates delta relations
+  when communicating with the clients");
+* REEVAL_DELTA — complete re-evaluation + Diff, ship the delta (the
+  Propagate instantiation: same traffic as DRA, recompute cost);
+* REEVAL_FULL — complete re-evaluation, ship the entire result every
+  time (the naive pre-CQ workflow: re-issue the query, get everything).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError, RegistrationError
+from repro.metrics import Metrics
+from repro.relational.algebra import SPJQuery
+from repro.relational.relation import Relation
+from repro.relational.sql import parse_query
+from repro.storage.database import Database
+from repro.storage.timestamps import Timestamp
+from repro.delta.capture import deltas_since
+from repro.delta.diff import diff
+from repro.dra.algorithm import dra_execute
+from repro.net.messages import (
+    DeltaAvailableMessage,
+    DeltaMessage,
+    FetchMessage,
+    FullResultMessage,
+    InitialResultMessage,
+    Message,
+    RegisterMessage,
+    delta_wire_size,
+)
+from repro.net.simnet import SimulatedNetwork
+
+
+class Protocol(enum.Enum):
+    DRA_DELTA = "dra_delta"
+    DRA_LAZY = "dra_lazy"
+    REEVAL_DELTA = "reeval_delta"
+    REEVAL_FULL = "reeval_full"
+
+
+class Subscription:
+    """One client's registration of one continual query."""
+
+    __slots__ = (
+        "client_id",
+        "cq_name",
+        "query",
+        "protocol",
+        "last_ts",
+        "previous_result",
+        "pending_delta",
+    )
+
+    def __init__(
+        self,
+        client_id: str,
+        cq_name: str,
+        query: SPJQuery,
+        protocol: Protocol,
+        last_ts: Timestamp,
+        previous_result: Relation,
+    ):
+        self.client_id = client_id
+        self.cq_name = cq_name
+        self.query = query
+        self.protocol = protocol
+        self.last_ts = last_ts
+        # Retained server-side copy of the last shipped result state
+        # (Section 3.3: "the copy is maintained at the site where the
+        # differential query refresh is carried out").
+        self.previous_result = previous_result
+        # DRA_LAZY only: deltas accumulated since the client's last
+        # fetch, composed so repeated changes to one tuple net out.
+        self.pending_delta = None
+
+
+class CQServer:
+    """Hosts the database and serves continual-query subscriptions.
+
+    With ``share_evaluation`` (the Section 5.2 "extracting common
+    subexpressions" refinement applied at subscription granularity),
+    DRA subscriptions with the same query text and refresh window are
+    evaluated once per refresh cycle and the resulting delta is shipped
+    to every subscriber — making server compute per cycle independent
+    of the subscriber count (experiment E3b).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        network: SimulatedNetwork,
+        name: str = "server",
+        metrics: Optional[Metrics] = None,
+        share_evaluation: bool = False,
+    ):
+        self.db = db
+        self.network = network
+        self.name = name
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.share_evaluation = share_evaluation
+        self._clients: Dict[str, "object"] = {}
+        self._subscriptions: Dict[Tuple[str, str], Subscription] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, client) -> None:
+        """Connect a client endpoint (an object with .name/.receive)."""
+        self._clients[client.name] = client
+        client.server = self
+
+    def _deliver(self, client_id: str, message: Message) -> None:
+        client = self._clients.get(client_id)
+        if client is None:
+            raise NetworkError(f"no attached client {client_id!r}")
+        self.network.send(
+            self.name, client_id, message.wire_size(), self.metrics
+        )
+        client.receive(message)
+
+    # -- registration -----------------------------------------------------------
+
+    def handle_register(
+        self,
+        client_id: str,
+        message: RegisterMessage,
+        protocol: Protocol = Protocol.DRA_DELTA,
+    ) -> Subscription:
+        """Install a subscription and ship the initial result."""
+        key = (client_id, message.cq_name)
+        if key in self._subscriptions:
+            raise RegistrationError(
+                f"client {client_id!r} already registered {message.cq_name!r}"
+            )
+        query = parse_query(message.sql)
+        if not isinstance(query, SPJQuery):
+            raise RegistrationError(
+                "the client-server protocol serves SPJ queries; aggregate "
+                "CQs are managed by CQManager"
+            )
+        now = self.db.now()
+        result = self.db.query(query, self.metrics)
+        subscription = Subscription(
+            client_id, message.cq_name, query, protocol, now, result
+        )
+        self._subscriptions[key] = subscription
+        self._deliver(
+            client_id, InitialResultMessage(message.cq_name, result, now)
+        )
+        return subscription
+
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subscriptions.values())
+
+    # -- refresh ------------------------------------------------------------------
+
+    def refresh_all(self) -> int:
+        """Recompute and ship every subscription; returns message count."""
+        sent = 0
+        shared: Dict[Tuple[str, Protocol, Timestamp], "object"] = {}
+        for subscription in self._subscriptions.values():
+            if self.share_evaluation and subscription.protocol is Protocol.DRA_DELTA:
+                if self._refresh_shared_dra(subscription, shared):
+                    sent += 1
+            elif self._refresh_one(subscription):
+                sent += 1
+        return sent
+
+    def _refresh_shared_dra(
+        self,
+        subscription: Subscription,
+        shared: Dict[Tuple[str, Protocol, Timestamp], "object"],
+    ) -> bool:
+        """DRA refresh with one evaluation per (query, window) group."""
+        now = self.db.now()
+        key = (
+            subscription.query.to_sql(),
+            subscription.protocol,
+            subscription.last_ts,
+        )
+        result = shared.get(key)
+        if result is None:
+            tables = [
+                self.db.table(name)
+                for name in set(subscription.query.table_names)
+            ]
+            deltas = deltas_since(tables, subscription.last_ts)
+            result = dra_execute(
+                subscription.query,
+                self.db,
+                deltas=deltas,
+                ts=now,
+                metrics=self.metrics,
+            )
+            shared[key] = result
+        subscription.last_ts = now
+        if result.delta.is_empty():
+            return False
+        subscription.previous_result = result.delta.apply_to(
+            subscription.previous_result
+        )
+        self._deliver(
+            subscription.client_id,
+            DeltaMessage(subscription.cq_name, result.delta, now),
+        )
+        return True
+
+    def handle_fetch(self, client_id: str, message: FetchMessage) -> bool:
+        """Ship a lazy subscription's accumulated delta; returns True
+        if anything was pending."""
+        subscription = self._subscriptions.get((client_id, message.cq_name))
+        if subscription is None:
+            raise RegistrationError(
+                f"no subscription {message.cq_name!r} for client {client_id!r}"
+            )
+        pending = subscription.pending_delta
+        if pending is None or pending.is_empty():
+            return False
+        subscription.pending_delta = None
+        subscription.previous_result = pending.apply_to(
+            subscription.previous_result
+        )
+        self._deliver(
+            client_id,
+            DeltaMessage(subscription.cq_name, pending, self.db.now()),
+        )
+        return True
+
+    def _refresh_one(self, subscription: Subscription) -> bool:
+        now = self.db.now()
+        if subscription.protocol is Protocol.DRA_LAZY:
+            tables = [
+                self.db.table(name)
+                for name in set(subscription.query.table_names)
+            ]
+            deltas = deltas_since(tables, subscription.last_ts)
+            result = dra_execute(
+                subscription.query,
+                self.db,
+                deltas=deltas,
+                ts=now,
+                metrics=self.metrics,
+            )
+            subscription.last_ts = now
+            if not result.has_changes():
+                return False
+            if subscription.pending_delta is None:
+                subscription.pending_delta = result.delta
+            else:
+                subscription.pending_delta = subscription.pending_delta.compose(
+                    result.delta
+                )
+            if subscription.pending_delta.is_empty():
+                subscription.pending_delta = None
+                return False
+            self._deliver(
+                subscription.client_id,
+                DeltaAvailableMessage(
+                    subscription.cq_name,
+                    now,
+                    len(subscription.pending_delta),
+                    delta_wire_size(subscription.pending_delta),
+                ),
+            )
+            return True
+        if subscription.protocol is Protocol.DRA_DELTA:
+            tables = [
+                self.db.table(name)
+                for name in set(subscription.query.table_names)
+            ]
+            deltas = deltas_since(tables, subscription.last_ts)
+            result = dra_execute(
+                subscription.query,
+                self.db,
+                deltas=deltas,
+                previous=subscription.previous_result,
+                ts=now,
+                metrics=self.metrics,
+            )
+            subscription.last_ts = now
+            if not result.has_changes():
+                return False
+            subscription.previous_result = result.complete_result()
+            self._deliver(
+                subscription.client_id,
+                DeltaMessage(subscription.cq_name, result.delta, now),
+            )
+            return True
+
+        new_result = self.db.query(subscription.query, self.metrics)
+        if subscription.protocol is Protocol.REEVAL_DELTA:
+            delta = diff(subscription.previous_result, new_result, now)
+            subscription.last_ts = now
+            if delta.is_empty():
+                return False
+            subscription.previous_result = new_result
+            self._deliver(
+                subscription.client_id,
+                DeltaMessage(subscription.cq_name, delta, now),
+            )
+            return True
+
+        # REEVAL_FULL ships unconditionally: without a retained diff
+        # there is no way to know nothing changed.
+        subscription.last_ts = now
+        subscription.previous_result = new_result
+        self._deliver(
+            subscription.client_id,
+            FullResultMessage(subscription.cq_name, new_result, now),
+        )
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"CQServer({self.name!r}, {len(self._subscriptions)} subscriptions, "
+            f"{len(self._clients)} clients)"
+        )

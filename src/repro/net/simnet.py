@@ -1,0 +1,89 @@
+"""A deterministic simulated network.
+
+Section 5.1's claims are about transmission volume ("if the volume of
+relevant updates is smaller than the results ... we are further
+reducing the network traffic"). The simulation therefore charges each
+message a deterministic cost — latency plus size over bandwidth — and
+keeps byte/message counters per link, which the E2/E3 benchmarks
+report. No real sockets: everything runs in-process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.metrics import Metrics
+
+
+class LinkStats:
+    """Counters for one directed (src, dst) link."""
+
+    __slots__ = ("bytes", "messages", "busy_seconds")
+
+    def __init__(self) -> None:
+        self.bytes = 0
+        self.messages = 0
+        self.busy_seconds = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkStats({self.messages} msgs, {self.bytes} bytes, "
+            f"{self.busy_seconds:.6f}s)"
+        )
+
+
+class SimulatedNetwork:
+    """Charges costs for messages between named endpoints."""
+
+    def __init__(
+        self,
+        latency_seconds: float = 0.001,
+        bandwidth_bytes_per_second: float = 1_000_000.0,
+    ):
+        if latency_seconds < 0:
+            raise NetworkError("latency must be non-negative")
+        if bandwidth_bytes_per_second <= 0:
+            raise NetworkError("bandwidth must be positive")
+        self.latency_seconds = latency_seconds
+        self.bandwidth = bandwidth_bytes_per_second
+        self._links: Dict[Tuple[str, str], LinkStats] = {}
+        self.total = LinkStats()
+
+    def transfer_time(self, payload_bytes: int) -> float:
+        """Simulated seconds to deliver one message of this size."""
+        return self.latency_seconds + payload_bytes / self.bandwidth
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload_bytes: int,
+        metrics: Optional[Metrics] = None,
+    ) -> float:
+        """Account for one message; returns its simulated duration."""
+        if payload_bytes < 0:
+            raise NetworkError("payload size must be non-negative")
+        duration = self.transfer_time(payload_bytes)
+        link = self._links.setdefault((src, dst), LinkStats())
+        for stats in (link, self.total):
+            stats.bytes += payload_bytes
+            stats.messages += 1
+            stats.busy_seconds += duration
+        if metrics:
+            metrics.count(Metrics.BYTES_SENT, payload_bytes)
+            metrics.count(Metrics.MESSAGES_SENT)
+        return duration
+
+    def link(self, src: str, dst: str) -> LinkStats:
+        return self._links.setdefault((src, dst), LinkStats())
+
+    def links(self) -> Dict[Tuple[str, str], LinkStats]:
+        return dict(self._links)
+
+    def reset(self) -> None:
+        self._links.clear()
+        self.total = LinkStats()
+
+    def __repr__(self) -> str:
+        return f"SimulatedNetwork(total={self.total!r})"

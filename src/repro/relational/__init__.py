@@ -1,0 +1,107 @@
+"""The relational engine substrate (schemas, algebra, SQL, evaluation).
+
+This package implements the relational model fragment the paper's DRA
+is defined over: SPJ queries plus global/grouped aggregates, with
+tid-keyed set semantics. See DESIGN.md S1.
+"""
+
+from repro.relational.aggregates import (
+    AggregateQuery,
+    AggregateSpec,
+    evaluate_aggregate,
+)
+from repro.relational.algebra import (
+    Difference,
+    Join,
+    OutputColumn,
+    Project,
+    RelationRef,
+    Scan,
+    Select,
+    SPJQuery,
+    Union,
+    normalize,
+)
+from repro.relational.evaluate import evaluate_algebra, evaluate_spj
+from repro.relational.expressions import (
+    Abs,
+    Arithmetic,
+    ColumnRef,
+    Literal,
+    Negate,
+    col,
+    lit,
+)
+from repro.relational.indexes import HashIndex, IndexSet
+from repro.relational.optimizer import explain, refine
+from repro.relational.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjunction,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+from repro.relational.relation import Relation, Row, Tid, Values
+from repro.relational.schema import Attribute, Schema
+from repro.relational.sql import parse_query
+from repro.relational.types import AttributeType
+
+__all__ = [
+    "Abs",
+    "AggregateQuery",
+    "AggregateSpec",
+    "And",
+    "Arithmetic",
+    "Attribute",
+    "AttributeType",
+    "ColumnRef",
+    "Comparison",
+    "Difference",
+    "FalsePredicate",
+    "HashIndex",
+    "IndexSet",
+    "Join",
+    "Literal",
+    "Negate",
+    "Not",
+    "Or",
+    "OutputColumn",
+    "Predicate",
+    "Project",
+    "Relation",
+    "RelationRef",
+    "Row",
+    "SPJQuery",
+    "Scan",
+    "Schema",
+    "Select",
+    "Tid",
+    "TruePredicate",
+    "Union",
+    "Values",
+    "col",
+    "conjunction",
+    "eq",
+    "evaluate_aggregate",
+    "evaluate_algebra",
+    "evaluate_spj",
+    "explain",
+    "ge",
+    "gt",
+    "le",
+    "lit",
+    "lt",
+    "ne",
+    "normalize",
+    "parse_query",
+    "refine",
+]

@@ -1,0 +1,98 @@
+"""Binders: resolve column references to runtime accessors.
+
+Two environments exist in the engine:
+
+* single-relation evaluation — the environment is the row's values
+  tuple itself (:class:`SingleRowBinder`);
+* multi-relation (join) evaluation — the environment is a dict mapping
+  relation aliases to values tuples (:class:`EnvBinder`).
+
+Both binders perform full name resolution at compile time, so runtime
+row evaluation is just tuple indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import AmbiguousAttributeError, UnknownAttributeError
+from repro.relational.expressions import Binder, ColumnRef, Compiled
+from repro.relational.schema import Schema
+
+
+class SingleRowBinder(Binder):
+    """Binds refs against one schema; environment = values tuple."""
+
+    def __init__(self, schema: Schema, alias: Optional[str] = None):
+        self.schema = schema
+        self.alias = alias
+
+    def accessor(self, ref: ColumnRef) -> Compiled:
+        if ref.qualifier is not None and ref.qualifier != self.alias:
+            raise UnknownAttributeError(
+                f"qualifier {ref.qualifier!r} does not match relation "
+                f"alias {self.alias!r}"
+            )
+        position = self.schema.position(ref.name)
+        return lambda values: values[position]
+
+    def type_of(self, ref: ColumnRef):
+        if ref.qualifier is not None and ref.qualifier != self.alias:
+            raise UnknownAttributeError(
+                f"qualifier {ref.qualifier!r} does not match relation "
+                f"alias {self.alias!r}"
+            )
+        return self.schema.type_of(ref.name)
+
+
+class EnvBinder(Binder):
+    """Binds refs against several aliased schemas.
+
+    The environment is ``{alias: values_tuple}``. Unqualified names
+    resolve if they occur in exactly one scope; otherwise they are
+    ambiguous and must be qualified.
+    """
+
+    def __init__(self, scopes: Mapping[str, Schema]):
+        self.scopes: Dict[str, Schema] = dict(scopes)
+
+    def resolve(self, ref: ColumnRef) -> Tuple[str, int]:
+        """Return (alias, position) for a reference, or raise."""
+        if ref.qualifier is not None:
+            if ref.qualifier not in self.scopes:
+                raise UnknownAttributeError(
+                    f"unknown relation alias {ref.qualifier!r}; "
+                    f"in scope: {sorted(self.scopes)}"
+                )
+            return ref.qualifier, self.scopes[ref.qualifier].position(ref.name)
+        matches = [
+            alias for alias, schema in self.scopes.items() if ref.name in schema
+        ]
+        if not matches:
+            raise UnknownAttributeError(
+                f"no attribute {ref.name!r} in any relation in scope "
+                f"({sorted(self.scopes)})"
+            )
+        if len(matches) > 1:
+            raise AmbiguousAttributeError(
+                f"attribute {ref.name!r} is ambiguous across {sorted(matches)}; "
+                "qualify it"
+            )
+        alias = matches[0]
+        return alias, self.scopes[alias].position(ref.name)
+
+    def accessor(self, ref: ColumnRef) -> Compiled:
+        alias, position = self.resolve(ref)
+        return lambda env: env[alias][position]
+
+    def type_of(self, ref: ColumnRef):
+        alias, position = self.resolve(ref)
+        return self.scopes[alias].attributes[position].type
+
+
+def qualifiers_used(
+    refs, scopes: Mapping[str, Schema]
+) -> "set[str]":
+    """The set of relation aliases a collection of refs resolves to."""
+    binder = EnvBinder(scopes)
+    return {binder.resolve(ref)[0] for ref in refs}

@@ -1,0 +1,302 @@
+"""Scalar expression AST.
+
+Expressions appear inside selection predicates and projection lists.
+They compile, through a :class:`Binder`, into plain Python closures, so
+per-row evaluation costs one function call rather than a tree walk —
+this matters for the benchmark harness, which pushes 10^5-row relations
+through predicates.
+
+Null semantics: any arithmetic over ``None`` yields ``None`` (nulls
+appear in differential relations for the missing side of inserts and
+deletes, paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import ExpressionError
+
+# A compiled expression maps an opaque environment to a value. The
+# binder chooses the environment representation (a values tuple for
+# single-relation evaluation, an alias->values dict for joins).
+Compiled = Callable[[Any], Any]
+
+
+class Binder:
+    """Resolves column references to accessor closures.
+
+    Subclasses decide what the runtime environment looks like; see
+    :class:`repro.relational.binding.SingleRowBinder` and
+    :class:`repro.relational.binding.EnvBinder`.
+    """
+
+    def accessor(self, ref: "ColumnRef") -> Compiled:
+        raise NotImplementedError
+
+    def type_of(self, ref: "ColumnRef"):
+        """The referenced attribute's type (None if unknowable)."""
+        return None
+
+
+class Expression:
+    """Base class for scalar expressions."""
+
+    def compile(self, binder: Binder) -> Compiled:
+        raise NotImplementedError
+
+    def infer_type(self, binder: Binder):
+        """Static result type against the binder's schemas.
+
+        Returns an :class:`~repro.relational.types.AttributeType` or
+        None when the type cannot be known (e.g. a null literal).
+        Raises :class:`~repro.errors.ExpressionError` on ill-typed
+        structure (arithmetic over strings, and so on) — queries fail
+        at compile time, not per-row at runtime.
+        """
+        raise NotImplementedError
+
+    def column_refs(self) -> Iterator["ColumnRef"]:
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_sql()})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        raise NotImplementedError
+
+    # Convenience constructors so tests and examples read naturally.
+    def __add__(self, other: "Expression") -> "Arithmetic":
+        return Arithmetic("+", self, _lift(other))
+
+    def __sub__(self, other: "Expression") -> "Arithmetic":
+        return Arithmetic("-", self, _lift(other))
+
+    def __mul__(self, other: "Expression") -> "Arithmetic":
+        return Arithmetic("*", self, _lift(other))
+
+    def __truediv__(self, other: "Expression") -> "Arithmetic":
+        return Arithmetic("/", self, _lift(other))
+
+
+def _lift(value: Any) -> "Expression":
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+class ColumnRef(Expression):
+    """A reference to an attribute, optionally qualified by an alias.
+
+    ``ColumnRef("price")`` resolves against whatever single relation is
+    in scope; ``ColumnRef("price", "stocks")`` names the relation
+    explicitly, which is required when a join has colliding names.
+    """
+
+    __slots__ = ("name", "qualifier")
+
+    def __init__(self, name: str, qualifier: Optional[str] = None):
+        if not name:
+            raise ExpressionError("column name must be non-empty")
+        self.name = name
+        self.qualifier = qualifier
+
+    def compile(self, binder: Binder) -> Compiled:
+        return binder.accessor(self)
+
+    def infer_type(self, binder: Binder):
+        return binder.type_of(self)
+
+    def column_refs(self) -> Iterator["ColumnRef"]:
+        yield self
+
+    def to_sql(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def _key(self):
+        return (self.name, self.qualifier)
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def compile(self, binder: Binder) -> Compiled:
+        value = self.value
+        return lambda env: value
+
+    def infer_type(self, binder: Binder):
+        from repro.relational.types import infer_type
+
+        if self.value is None:
+            return None
+        return infer_type(self.value)
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        return iter(())
+
+    def to_sql(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+    def _key(self):
+        return (self.value,)
+
+
+_ARITH_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class Arithmetic(Expression):
+    """A binary arithmetic expression; ``None`` operands propagate."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _ARITH_OPS:
+            raise ExpressionError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = _lift(left)
+        self.right = _lift(right)
+
+    def compile(self, binder: Binder) -> Compiled:
+        lfn = self.left.compile(binder)
+        rfn = self.right.compile(binder)
+        op = _ARITH_OPS[self.op]
+
+        def run(env: Any) -> Any:
+            lval = lfn(env)
+            rval = rfn(env)
+            if lval is None or rval is None:
+                return None
+            return op(lval, rval)
+
+        return run
+
+    def infer_type(self, binder: Binder):
+        left = _require_numeric(self.left, binder, f"operand of {self.op!r}")
+        right = _require_numeric(self.right, binder, f"operand of {self.op!r}")
+        from repro.relational.types import AttributeType
+
+        if self.op == "/":
+            return AttributeType.FLOAT
+        if left is None or right is None:
+            return left or right
+        if AttributeType.FLOAT in (left, right):
+            return AttributeType.FLOAT
+        return AttributeType.INT
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        yield from self.left.column_refs()
+        yield from self.right.column_refs()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+    def _key(self):
+        return (self.op, self.left, self.right)
+
+
+def _require_numeric(expr: "Expression", binder: Binder, where: str):
+    """Infer ``expr``'s type and insist it is numeric (or unknown)."""
+    inferred = expr.infer_type(binder)
+    if inferred is not None and not inferred.is_numeric():
+        raise ExpressionError(
+            f"{where} must be numeric, got {inferred.value} "
+            f"({expr.to_sql()})"
+        )
+    return inferred
+
+
+class Abs(Expression):
+    """Absolute value — used by epsilon-distance predicates such as the
+    paper's Q3: "differ by more than $5 from $75"."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression):
+        self.operand = _lift(operand)
+
+    def compile(self, binder: Binder) -> Compiled:
+        fn = self.operand.compile(binder)
+
+        def run(env: Any) -> Any:
+            value = fn(env)
+            return None if value is None else abs(value)
+
+        return run
+
+    def infer_type(self, binder: Binder):
+        return _require_numeric(self.operand, binder, "operand of ABS")
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        yield from self.operand.column_refs()
+
+    def to_sql(self) -> str:
+        return f"ABS({self.operand.to_sql()})"
+
+    def _key(self):
+        return (self.operand,)
+
+
+class Negate(Expression):
+    """Unary minus."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression):
+        self.operand = _lift(operand)
+
+    def compile(self, binder: Binder) -> Compiled:
+        fn = self.operand.compile(binder)
+
+        def run(env: Any) -> Any:
+            value = fn(env)
+            return None if value is None else -value
+
+        return run
+
+    def infer_type(self, binder: Binder):
+        return _require_numeric(self.operand, binder, "operand of unary minus")
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        yield from self.operand.column_refs()
+
+    def to_sql(self) -> str:
+        return f"(-{self.operand.to_sql()})"
+
+    def _key(self):
+        return (self.operand,)
+
+
+def col(name: str, qualifier: Optional[str] = None) -> ColumnRef:
+    """Shorthand constructor: ``col("price", "stocks")``."""
+    if qualifier is None and "." in name:
+        qualifier, __, name = name.partition(".")
+    return ColumnRef(name, qualifier)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand constructor for literals."""
+    return Literal(value)

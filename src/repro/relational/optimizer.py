@@ -1,0 +1,115 @@
+"""Heuristic query refinement (paper Section 5.2).
+
+The paper suggests "Select before Join, extracting common
+subexpressions, cheaper selection predicates before expensive ones" as
+the no-optimizer-available strategy. Selection pushdown and hash-join
+ordering live in the evaluator/DRA planning; this module supplies the
+remaining heuristics:
+
+* :func:`predicate_cost` — a syntactic cost estimate for one conjunct;
+* :func:`order_conjuncts` — cheapest-first conjunct ordering, so the
+  compiled ``And`` short-circuits on inexpensive tests;
+* :func:`refine` — apply conjunct ordering to an SPJ query;
+* :func:`explain` — a human-readable plan, used by examples and docs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.relational.algebra import SPJQuery
+from repro.relational.expressions import (
+    Abs,
+    Arithmetic,
+    ColumnRef,
+    Expression,
+    Literal,
+    Negate,
+)
+from repro.relational.planning import plan_predicate
+from repro.relational.predicates import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    conjunction,
+)
+from repro.relational.schema import Schema
+
+
+def expression_cost(expr: Expression) -> int:
+    """Syntactic cost of evaluating one scalar expression."""
+    if isinstance(expr, Literal):
+        return 0
+    if isinstance(expr, ColumnRef):
+        return 1
+    if isinstance(expr, (Abs, Negate)):
+        return 2 + expression_cost(expr.operand)
+    if isinstance(expr, Arithmetic):
+        return 2 + expression_cost(expr.left) + expression_cost(expr.right)
+    return 5
+
+
+def predicate_cost(pred: Predicate) -> int:
+    """Syntactic cost of evaluating one predicate."""
+    if isinstance(pred, Comparison):
+        return 1 + expression_cost(pred.left) + expression_cost(pred.right)
+    if isinstance(pred, Not):
+        return 1 + predicate_cost(pred.child)
+    if isinstance(pred, (And, Or)):
+        return 1 + sum(predicate_cost(c) for c in pred.children)
+    return 1
+
+
+def order_conjuncts(pred: Predicate) -> Predicate:
+    """Reorder top-level conjuncts cheapest-first.
+
+    Equality comparisons against literals sort before range tests of
+    equal cost, since they tend to be more selective.
+    """
+
+    def sort_key(conjunct: Predicate):
+        is_literal_eq = (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and (
+                isinstance(conjunct.left, Literal)
+                or isinstance(conjunct.right, Literal)
+            )
+        )
+        return (predicate_cost(conjunct), 0 if is_literal_eq else 1)
+
+    conjuncts = pred.conjuncts()
+    if len(conjuncts) <= 1:
+        return pred
+    return conjunction(sorted(conjuncts, key=sort_key))
+
+
+def refine(query: SPJQuery) -> SPJQuery:
+    """Return an equivalent query with heuristically ordered conjuncts."""
+    return SPJQuery(query.relations, order_conjuncts(query.predicate), query.projection)
+
+
+def explain(query: SPJQuery, scopes: Dict[str, Schema]) -> str:
+    """Render the predicate decomposition as a textual plan."""
+    plan = plan_predicate(query.predicate, scopes)
+    lines: List[str] = [f"SPJ query: {query.to_sql()}", "operands:"]
+    for ref in query.relations:
+        local = plan.local_predicate(ref.alias)
+        lines.append(f"  scan {ref.table} AS {ref.alias}  σ[{local.to_sql()}]")
+    if plan.edges:
+        lines.append("join edges (hash):")
+        for edge in plan.edges:
+            lines.append(f"  {edge.conjunct.to_sql()}")
+    if plan.residual:
+        lines.append("residual predicates:")
+        for pred, aliases in plan.residual:
+            scope = ",".join(sorted(aliases)) if aliases else "<const>"
+            lines.append(f"  [{scope}] {pred.to_sql()}")
+    if query.projection is None:
+        lines.append("project: *")
+    else:
+        cols = ", ".join(c.name for c in query.projection)
+        lines.append(f"project: {cols}")
+    return "\n".join(lines)

@@ -1,0 +1,325 @@
+"""Predicate AST: boolean conditions over rows.
+
+Predicates compile through the same :class:`~repro.relational.expressions.Binder`
+machinery as scalar expressions. Comparison with ``None`` on either
+side evaluates to False (three-valued logic collapsed to
+"unknown-is-not-satisfied", which is what selection needs).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterator, List, Sequence
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import (
+    Binder,
+    ColumnRef,
+    Expression,
+    _lift,
+)
+
+CompiledPredicate = Callable[[Any], bool]
+
+_COMPARE_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_NEGATED = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+class Predicate:
+    """Base class for boolean conditions."""
+
+    def compile(self, binder: Binder) -> CompiledPredicate:
+        raise NotImplementedError
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        raise NotImplementedError
+
+    def conjuncts(self) -> List["Predicate"]:
+        """Flatten top-level ANDs into a conjunct list."""
+        return [self]
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def negate(self) -> "Predicate":
+        return Not(self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_sql()})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        raise NotImplementedError
+
+
+class TruePredicate(Predicate):
+    """Always satisfied; the identity element of conjunction."""
+
+    def compile(self, binder: Binder) -> CompiledPredicate:
+        return lambda env: True
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        return iter(())
+
+    def conjuncts(self) -> List[Predicate]:
+        return []
+
+    def to_sql(self) -> str:
+        return "TRUE"
+
+    def negate(self) -> Predicate:
+        return FalsePredicate()
+
+    def _key(self):
+        return ()
+
+
+class FalsePredicate(Predicate):
+    """Never satisfied."""
+
+    def compile(self, binder: Binder) -> CompiledPredicate:
+        return lambda env: False
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        return iter(())
+
+    def to_sql(self) -> str:
+        return "FALSE"
+
+    def negate(self) -> Predicate:
+        return TruePredicate()
+
+    def _key(self):
+        return ()
+
+
+class Comparison(Predicate):
+    """``left op right`` where op ∈ {=, !=, <, <=, >, >=}."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left, right):
+        if op == "==":
+            op = "="
+        if op == "<>":
+            op = "!="
+        if op not in _COMPARE_OPS:
+            raise ExpressionError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left: Expression = _lift(left)
+        self.right: Expression = _lift(right)
+
+    def compile(self, binder: Binder) -> CompiledPredicate:
+        self._check_types(binder)
+        lfn = self.left.compile(binder)
+        rfn = self.right.compile(binder)
+        op = _COMPARE_OPS[self.op]
+
+        def run(env: Any) -> bool:
+            lval = lfn(env)
+            rval = rfn(env)
+            if lval is None or rval is None:
+                return False
+            return op(lval, rval)
+
+        return run
+
+    def _check_types(self, binder: Binder) -> None:
+        """Reject comparisons that could never be satisfied sensibly.
+
+        Numeric types compare with each other; otherwise both sides
+        must have the same type. Unknown (None) types pass — nulls and
+        schema-less binders stay permissive.
+        """
+        left = self.left.infer_type(binder)
+        right = self.right.infer_type(binder)
+        if left is None or right is None:
+            return
+        if left.is_numeric() and right.is_numeric():
+            return
+        if left != right:
+            raise ExpressionError(
+                f"cannot compare {left.value} with {right.value}: "
+                f"{self.to_sql()}"
+            )
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        yield from self.left.column_refs()
+        yield from self.right.column_refs()
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+    def negate(self) -> Predicate:
+        # Note: this is classical negation; with None-is-False semantics
+        # both a comparison and its negation reject null inputs.
+        return Comparison(_NEGATED[self.op], self.left, self.right)
+
+    def is_equijoin_pair(self) -> bool:
+        """True if this is ``column = column`` (a candidate join edge)."""
+        return (
+            self.op == "="
+            and isinstance(self.left, ColumnRef)
+            and isinstance(self.right, ColumnRef)
+        )
+
+    def _key(self):
+        return (self.op, self.left, self.right)
+
+
+class And(Predicate):
+    """Conjunction of one or more predicates."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Predicate):
+        flattened: List[Predicate] = []
+        for child in children:
+            if not isinstance(child, Predicate):
+                raise ExpressionError(f"And expects predicates, got {child!r}")
+            if isinstance(child, And):
+                flattened.extend(child.children)
+            elif isinstance(child, TruePredicate):
+                continue
+            else:
+                flattened.append(child)
+        self.children = tuple(flattened)
+
+    def compile(self, binder: Binder) -> CompiledPredicate:
+        fns = [child.compile(binder) for child in self.children]
+
+        def run(env: Any) -> bool:
+            return all(fn(env) for fn in fns)
+
+        return run
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        for child in self.children:
+            yield from child.column_refs()
+
+    def conjuncts(self) -> List[Predicate]:
+        out: List[Predicate] = []
+        for child in self.children:
+            out.extend(child.conjuncts())
+        return out
+
+    def to_sql(self) -> str:
+        if not self.children:
+            return "TRUE"
+        return " AND ".join(
+            f"({c.to_sql()})" if isinstance(c, Or) else c.to_sql()
+            for c in self.children
+        )
+
+    def _key(self):
+        return self.children
+
+
+class Or(Predicate):
+    """Disjunction of one or more predicates."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Predicate):
+        flattened: List[Predicate] = []
+        for child in children:
+            if not isinstance(child, Predicate):
+                raise ExpressionError(f"Or expects predicates, got {child!r}")
+            if isinstance(child, Or):
+                flattened.extend(child.children)
+            else:
+                flattened.append(child)
+        self.children = tuple(flattened)
+
+    def compile(self, binder: Binder) -> CompiledPredicate:
+        fns = [child.compile(binder) for child in self.children]
+
+        def run(env: Any) -> bool:
+            return any(fn(env) for fn in fns)
+
+        return run
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        for child in self.children:
+            yield from child.column_refs()
+
+    def to_sql(self) -> str:
+        if not self.children:
+            return "FALSE"
+        return " OR ".join(c.to_sql() for c in self.children)
+
+    def _key(self):
+        return self.children
+
+
+class Not(Predicate):
+    """Negation. With None-is-False leaf semantics, ``Not(p)`` holds
+    whenever ``p`` evaluates to False, including on null inputs."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Predicate):
+        self.child = child
+
+    def compile(self, binder: Binder) -> CompiledPredicate:
+        fn = self.child.compile(binder)
+        return lambda env: not fn(env)
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        yield from self.child.column_refs()
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.child.to_sql()})"
+
+    def negate(self) -> Predicate:
+        return self.child
+
+    def _key(self):
+        return (self.child,)
+
+
+def conjunction(conjuncts: Sequence[Predicate]) -> Predicate:
+    """Build the conjunction of a (possibly empty) conjunct list."""
+    conjuncts = [c for c in conjuncts if not isinstance(c, TruePredicate)]
+    if not conjuncts:
+        return TruePredicate()
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return And(*conjuncts)
+
+
+def eq(left, right) -> Comparison:
+    return Comparison("=", left, right)
+
+
+def ne(left, right) -> Comparison:
+    return Comparison("!=", left, right)
+
+
+def lt(left, right) -> Comparison:
+    return Comparison("<", left, right)
+
+
+def le(left, right) -> Comparison:
+    return Comparison("<=", left, right)
+
+
+def gt(left, right) -> Comparison:
+    return Comparison(">", left, right)
+
+
+def ge(left, right) -> Comparison:
+    return Comparison(">=", left, right)

@@ -1,0 +1,14 @@
+"""A small SQL-subset front end.
+
+Supports exactly the fragment the paper's queries live in:
+``SELECT``/``FROM``/``WHERE`` over multiple relations (SPJ), column
+aliases, arithmetic and ``ABS`` in predicates, and global or grouped
+``SUM``/``COUNT``/``AVG``/``MIN``/``MAX`` aggregates.
+
+>>> parse_query("SELECT name, price FROM stocks WHERE price > 120")
+"""
+
+from repro.relational.sql.lexer import Token, TokenKind, tokenize
+from repro.relational.sql.parser import parse_query
+
+__all__ = ["Token", "TokenKind", "tokenize", "parse_query"]

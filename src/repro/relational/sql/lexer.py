@@ -1,0 +1,153 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional
+
+from repro.errors import SQLSyntaxError
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "TRUE",
+    "FALSE",
+    "ABS",
+    "SUM",
+    "COUNT",
+    "AVG",
+    "MIN",
+    "MAX",
+    "BETWEEN",
+}
+
+# Longest symbols first so `<=` wins over `<`.
+SYMBOLS = ["<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "+", "-", "*", "/"]
+
+
+class Token:
+    __slots__ = ("kind", "text", "value", "position")
+
+    def __init__(self, kind: TokenKind, text: str, position: int, value: Any = None):
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.position = position
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text == symbol
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}@{self.position})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; always ends with one EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            token, i = _read_string(text, i)
+            tokens.append(token)
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            token, i = _read_number(text, i)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            token, i = _read_word(text, i)
+            tokens.append(token)
+            continue
+        symbol = _match_symbol(text, i)
+        if symbol is not None:
+            tokens.append(Token(TokenKind.SYMBOL, symbol, i))
+            i += len(symbol)
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens
+
+
+def _match_symbol(text: str, i: int) -> Optional[str]:
+    for symbol in SYMBOLS:
+        if text.startswith(symbol, i):
+            return symbol
+    return None
+
+
+def _read_string(text: str, start: int):
+    """Read a single-quoted string; '' escapes a quote."""
+    i = start + 1
+    parts: List[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return (
+                Token(TokenKind.STRING, text[start : i + 1], start, "".join(parts)),
+                i + 1,
+            )
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", position=start)
+
+
+def _read_number(text: str, start: int):
+    i = start
+    n = len(text)
+    seen_dot = False
+    while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            # Don't swallow a dot not followed by a digit (e.g. `1.x`).
+            if i + 1 >= n or not text[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    raw = text[start:i]
+    value: Any = float(raw) if seen_dot else int(raw)
+    return Token(TokenKind.NUMBER, raw, start, value), i
+
+
+def _read_word(text: str, start: int):
+    i = start
+    n = len(text)
+    while i < n and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    raw = text[start:i]
+    upper = raw.upper()
+    if upper in KEYWORDS:
+        return Token(TokenKind.KEYWORD, upper, start), i
+    return Token(TokenKind.IDENT, raw, start), i

@@ -1,0 +1,24 @@
+"""DIOM-style source translators (paper Section 5.5). See DESIGN.md S6."""
+
+from repro.sources.append_log import AppendOnlyFeed
+from repro.sources.base import MirrorAdapter, Source, SourceEvent
+from repro.sources.filesystem import (
+    FILES_SCHEMA,
+    FileSystemSource,
+    SimulatedFileSystem,
+)
+from repro.sources.remote import RemoteTableSource
+from repro.sources.snapshot import CSVSnapshotSource, SnapshotDiffSource
+
+__all__ = [
+    "AppendOnlyFeed",
+    "CSVSnapshotSource",
+    "FILES_SCHEMA",
+    "FileSystemSource",
+    "MirrorAdapter",
+    "RemoteTableSource",
+    "SimulatedFileSystem",
+    "SnapshotDiffSource",
+    "Source",
+    "SourceEvent",
+]

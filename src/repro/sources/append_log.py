@@ -1,0 +1,61 @@
+"""An append-only event feed — the Terry et al. environment.
+
+Continuous Queries (the paper's closest prior work) assumed all sources
+are append-only. This source models exactly that world: producers can
+only :meth:`append`; the translator emits pure insert events. It exists
+both as a realistic source (news feeds, tickers, mail) and as the
+substrate for the E9 baseline comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import SourceError
+from repro.relational.schema import Schema
+from repro.storage.update_log import UpdateKind
+from repro.sources.base import Source, SourceEvent
+
+
+class AppendOnlyFeed(Source):
+    """A write-once stream of rows."""
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+        self._pending: List[SourceEvent] = []
+        self._next_key = 1
+        self.total_appended = 0
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def append(self, values: Sequence) -> int:
+        """Publish one row; returns its feed-assigned key."""
+        validated = self._schema.validate_row(tuple(values))
+        key = self._next_key
+        self._next_key += 1
+        self._pending.append(SourceEvent(UpdateKind.INSERT, key, validated))
+        self.total_appended += 1
+        return key
+
+    def append_many(self, rows) -> List[int]:
+        return [self.append(row) for row in rows]
+
+    def drain(self) -> List[SourceEvent]:
+        out = self._pending
+        self._pending = []
+        return out
+
+    # The whole point of this source: no deletes, no modifies.
+    def delete(self, key) -> None:
+        raise SourceError("AppendOnlyFeed does not support deletion")
+
+    def modify(self, key, values) -> None:
+        raise SourceError("AppendOnlyFeed does not support modification")
+
+    def __repr__(self) -> str:
+        return (
+            f"AppendOnlyFeed({self.total_appended} appended, "
+            f"{len(self._pending)} pending)"
+        )

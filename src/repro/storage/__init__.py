@@ -1,0 +1,32 @@
+"""Storage substrate: tables, transactions, update logs, logical time.
+
+See DESIGN.md S2.
+"""
+
+from repro.storage.database import Database
+from repro.storage.snapshots import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+from repro.storage.table import Table
+from repro.storage.timestamps import EPOCH, LogicalClock, Timestamp
+from repro.storage.transactions import Transaction
+from repro.storage.update_log import UpdateKind, UpdateLog, UpdateRecord
+
+__all__ = [
+    "Database",
+    "EPOCH",
+    "LogicalClock",
+    "Table",
+    "Timestamp",
+    "Transaction",
+    "UpdateKind",
+    "UpdateLog",
+    "UpdateRecord",
+    "database_from_dict",
+    "database_to_dict",
+    "load_database",
+    "save_database",
+]

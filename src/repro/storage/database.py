@@ -1,0 +1,104 @@
+"""The database catalog: named tables sharing one logical clock."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import DuplicateTableError, NoSuchTableError
+from repro.metrics import Metrics
+from repro.relational.aggregates import AggregateQuery, evaluate_aggregate
+from repro.relational.algebra import SPJQuery
+from repro.relational.evaluate import evaluate_spj
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.sql import parse_query
+from repro.relational.types import AttributeType
+from repro.storage.table import Observer, Table
+from repro.storage.timestamps import LogicalClock, Timestamp
+from repro.storage.transactions import Transaction
+
+Query = Union[SPJQuery, AggregateQuery]
+
+
+class Database:
+    """A collection of tables, a shared clock, and query entry points."""
+
+    def __init__(self, clock: Optional[LogicalClock] = None):
+        self.clock = clock or LogicalClock()
+        self._tables: Dict[str, Table] = {}
+
+    # -- catalog ----------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema_or_pairs: Union[Schema, Sequence[Tuple[str, AttributeType]]],
+        indexes: Iterable[Sequence[str]] = (),
+    ) -> Table:
+        """Create a table; optionally build hash indexes on column lists."""
+        if name in self._tables:
+            raise DuplicateTableError(f"table {name!r} already exists")
+        if isinstance(schema_or_pairs, Schema):
+            schema = schema_or_pairs
+        else:
+            schema = Schema.of(*schema_or_pairs)
+        table = Table(name, schema, self.clock)
+        for columns in indexes:
+            table.create_index(columns)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise NoSuchTableError(f"no table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NoSuchTableError(f"no table {name!r}") from None
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def relation(self, name: str) -> Relation:
+        """The live relation of a table (the evaluator's resolver)."""
+        return self.table(name).current
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        return Transaction(self.clock)
+
+    def now(self) -> Timestamp:
+        return self.clock.now()
+
+    # -- queries --------------------------------------------------------------
+
+    def parse(self, sql: str) -> Query:
+        return parse_query(sql)
+
+    def query(
+        self,
+        query: Union[str, Query],
+        metrics: Optional[Metrics] = None,
+    ) -> Relation:
+        """Complete (from-scratch) evaluation of a query or SQL text."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, AggregateQuery):
+            return evaluate_aggregate(query, self.relation, metrics)
+        return evaluate_spj(query, self.relation, metrics)
+
+    # -- observers ----------------------------------------------------------
+
+    def subscribe(self, table_name: str, observer: Observer) -> Callable[[], None]:
+        """Observe commits touching one table; returns unsubscribe fn."""
+        return self.table(table_name).subscribe(observer)
+
+    def __repr__(self) -> str:
+        return f"Database({sorted(self._tables)}, now={self.clock.now()})"

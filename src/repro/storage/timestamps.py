@@ -1,0 +1,44 @@
+"""Monotone timestamps.
+
+The paper requires only "a system clock, or any other monotonically
+increasing source of timestamps" (Section 4.1). A logical counter keeps
+every test and benchmark deterministic, and doubles as the virtual time
+base for the CQ scheduler.
+"""
+
+from __future__ import annotations
+
+Timestamp = int
+
+#: Timestamp strictly before any ticked value; "the beginning of time".
+EPOCH: Timestamp = 0
+
+
+class LogicalClock:
+    """A strictly monotone logical clock.
+
+    ``tick()`` advances and returns the new time; ``now()`` observes
+    without advancing. ``advance_to`` lets schedulers jump virtual time
+    forward (never backward).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: Timestamp = EPOCH):
+        self._now = start
+
+    def now(self) -> Timestamp:
+        return self._now
+
+    def tick(self) -> Timestamp:
+        self._now += 1
+        return self._now
+
+    def advance_to(self, timestamp: Timestamp) -> Timestamp:
+        """Move time forward to ``timestamp`` (no-op if in the past)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"LogicalClock(now={self._now})"

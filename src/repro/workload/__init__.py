@@ -1,0 +1,22 @@
+"""Deterministic workload generators. See DESIGN.md S8."""
+
+from repro.workload.accounts import ACCOUNTS_SCHEMA, Bank
+from repro.workload.generators import TableWorkload
+from repro.workload.stocks import (
+    STOCKS_SCHEMA,
+    TRADES_SCHEMA,
+    StockMarket,
+    symbol_name,
+)
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "ACCOUNTS_SCHEMA",
+    "Bank",
+    "STOCKS_SCHEMA",
+    "StockMarket",
+    "TRADES_SCHEMA",
+    "TableWorkload",
+    "ZipfSampler",
+    "symbol_name",
+]

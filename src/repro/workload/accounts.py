@@ -1,0 +1,101 @@
+"""The checking-accounts workload (paper Sections 3.2 and 5.3).
+
+``accounts(acct, owner, branch, amount)`` backs the sum-up epsilon
+query "how many millions of dollars she has in all the checking
+accounts". Deposits and withdrawals modify balances; accounts open and
+close. The *drift* knob biases deposits over withdrawals so benchmarks
+can control how fast the NetChangeEpsilon divergence accumulates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.relational.relation import Tid
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.storage.database import Database
+
+ACCOUNTS_SCHEMA = Schema.of(
+    ("acct", AttributeType.INT),
+    ("owner", AttributeType.STR),
+    ("branch", AttributeType.STR),
+    ("amount", AttributeType.FLOAT),
+)
+
+_BRANCHES = ("downtown", "campus", "airport", "harbor")
+
+
+class Bank:
+    """Populates and perturbs the accounts table deterministically."""
+
+    def __init__(self, db: Database, seed: int = 11):
+        self.db = db
+        self.rng = random.Random(seed)
+        self.accounts = db.create_table("accounts", ACCOUNTS_SCHEMA)
+        self._next_acct = 1
+        self._live_tids: List[Tid] = []
+
+    def _new_row(self):
+        acct = self._next_acct
+        self._next_acct += 1
+        owner = f"cust{acct:06d}"
+        branch = _BRANCHES[acct % len(_BRANCHES)]
+        amount = float(self.rng.randrange(100, 100_000))
+        return (acct, owner, branch, amount)
+
+    def populate(self, n_accounts: int) -> None:
+        rows = [self._new_row() for __ in range(n_accounts)]
+        self._live_tids.extend(self.accounts.insert_many(rows))
+
+    def business_day(
+        self,
+        n_transactions: int,
+        mean_amount: float = 500.0,
+        deposit_bias: float = 0.5,
+        p_open: float = 0.0,
+        p_close: float = 0.0,
+    ) -> float:
+        """One batch of banking activity; returns the net money moved.
+
+        ``deposit_bias`` is the probability a balance change is a
+        deposit (0.5 = balanced, so net drift accumulates slowly; 1.0 =
+        all deposits, fastest drift).
+        """
+        net = 0.0
+        with self.db.begin() as txn:
+            for __ in range(n_transactions):
+                roll = self.rng.random()
+                if roll < p_open:
+                    tid = txn.insert_into(self.accounts, self._new_row())
+                    self._live_tids.append(tid)
+                    continue
+                if roll < p_open + p_close and self._live_tids:
+                    position = self.rng.randrange(len(self._live_tids))
+                    tid = self._live_tids.pop(position)
+                    values = txn.read(self.accounts, tid)
+                    if values is not None:
+                        net -= values[3]
+                        txn.delete_from(self.accounts, tid)
+                    continue
+                if not self._live_tids:
+                    continue
+                tid = self._live_tids[self.rng.randrange(len(self._live_tids))]
+                values = txn.read(self.accounts, tid)
+                if values is None:
+                    continue
+                amount = self.rng.expovariate(1.0 / mean_amount)
+                if self.rng.random() >= deposit_bias:
+                    amount = -min(amount, values[3])  # no overdrafts
+                txn.modify_in(
+                    self.accounts, tid, updates={"amount": values[3] + amount}
+                )
+                net += amount
+        return net
+
+    def total_balance(self) -> float:
+        return sum(row.values[3] for row in self.accounts.rows())
+
+    def live_count(self) -> int:
+        return len(self.accounts)

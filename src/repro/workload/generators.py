@@ -1,0 +1,93 @@
+"""Generic randomized update workloads over arbitrary tables.
+
+Used by integration tests and the equivalence benchmarks: drive any
+table with a seeded mix of inserts/deletes/modifies and arbitrary
+value generators, in transactions of configurable size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+from repro.relational.relation import Tid, Values
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+# Builds a fresh row: fn(rng) -> values
+RowFactory = Callable[[random.Random], Sequence]
+# Mutates an existing row: fn(rng, old_values) -> new values
+RowMutator = Callable[[random.Random, Values], Sequence]
+
+
+class TableWorkload:
+    """A seeded insert/delete/modify driver for one table."""
+
+    def __init__(
+        self,
+        db: Database,
+        table: Table,
+        row_factory: RowFactory,
+        row_mutator: RowMutator,
+        seed: int = 0,
+        insert_weight: float = 1.0,
+        delete_weight: float = 1.0,
+        modify_weight: float = 2.0,
+    ):
+        total = insert_weight + delete_weight + modify_weight
+        if total <= 0:
+            raise ValueError("operation weights must sum to a positive value")
+        self.db = db
+        self.table = table
+        self.row_factory = row_factory
+        self.row_mutator = row_mutator
+        self.rng = random.Random(seed)
+        self._p_insert = insert_weight / total
+        self._p_delete = delete_weight / total
+        self._live: List[Tid] = [row.tid for row in table.rows()]
+        self.operations_applied = 0
+
+    def seed_rows(self, count: int) -> None:
+        """Bulk-insert ``count`` factory rows (one transaction)."""
+        tids = self.table.insert_many(
+            tuple(self.row_factory(self.rng)) for __ in range(count)
+        )
+        self._live.extend(tids)
+        self.operations_applied += count
+
+    def run(self, operations: int, transaction_size: int = 10) -> int:
+        """Apply ``operations`` random ops in fixed-size transactions."""
+        remaining = operations
+        while remaining > 0:
+            batch = min(transaction_size, remaining)
+            self._run_transaction(batch)
+            remaining -= batch
+        return operations
+
+    def _run_transaction(self, batch: int) -> None:
+        with self.db.begin() as txn:
+            for __ in range(batch):
+                roll = self.rng.random()
+                if roll < self._p_insert or not self._live:
+                    tid = txn.insert_into(
+                        self.table, tuple(self.row_factory(self.rng))
+                    )
+                    self._live.append(tid)
+                elif roll < self._p_insert + self._p_delete:
+                    position = self.rng.randrange(len(self._live))
+                    tid = self._live.pop(position)
+                    txn.delete_from(self.table, tid)
+                else:
+                    tid = self._live[self.rng.randrange(len(self._live))]
+                    old = txn.read(self.table, tid)
+                    if old is None:
+                        continue
+                    txn.modify_in(
+                        self.table,
+                        tid,
+                        values=tuple(self.row_mutator(self.rng, old)),
+                    )
+                self.operations_applied += 1
+
+    def live_tids(self) -> List[Tid]:
+        return list(self._live)

@@ -1,0 +1,161 @@
+"""The paper's running example: a stock-quote database.
+
+``stocks(sid, name, price)`` mirrors Example 1's relation (tid, Name,
+Price per 100 units); ``trades(sid, shares, deal)`` joins against it
+for the multi-relation experiments. Prices are drawn uniformly from
+``[price_low, price_high)``, so a selection ``price > x`` has an
+analytically known selectivity — the control knob of experiment E4.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.relational.relation import Tid
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.storage.database import Database
+from repro.workload.zipf import ZipfSampler
+
+STOCKS_SCHEMA = Schema.of(
+    ("sid", AttributeType.INT),
+    ("name", AttributeType.STR),
+    ("price", AttributeType.INT),
+)
+
+TRADES_SCHEMA = Schema.of(
+    ("sid", AttributeType.INT),
+    ("shares", AttributeType.INT),
+    ("deal", AttributeType.INT),
+)
+
+_LETTERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def symbol_name(sid: int) -> str:
+    """A deterministic 3-letter ticker symbol for a stock id."""
+    a, rest = divmod(sid, 26 * 26)
+    b, c = divmod(rest, 26)
+    return _LETTERS[a % 26] + _LETTERS[b] + _LETTERS[c]
+
+
+class StockMarket:
+    """Populates and perturbs the stocks/trades tables deterministically."""
+
+    def __init__(
+        self,
+        db: Database,
+        seed: int = 7,
+        price_low: int = 0,
+        price_high: int = 1000,
+        with_trades: bool = False,
+        index_columns: Sequence[Sequence[str]] = (("sid",),),
+    ):
+        self.db = db
+        self.rng = random.Random(seed)
+        self.price_low = price_low
+        self.price_high = price_high
+        self.stocks = db.create_table("stocks", STOCKS_SCHEMA, indexes=index_columns)
+        self.trades = (
+            db.create_table("trades", TRADES_SCHEMA, indexes=[("sid",)])
+            if with_trades
+            else None
+        )
+        self._next_sid = 1
+        self._live_tids: List[Tid] = []
+
+    # -- population -----------------------------------------------------------
+
+    def _new_row(self):
+        sid = self._next_sid
+        self._next_sid += 1
+        price = self.rng.randrange(self.price_low, self.price_high)
+        return (sid, symbol_name(sid), price)
+
+    def populate(self, n_rows: int, trades_per_stock: int = 0) -> None:
+        rows = [self._new_row() for __ in range(n_rows)]
+        self._live_tids.extend(self.stocks.insert_many(rows))
+        if trades_per_stock and self.trades is not None:
+            trade_rows = []
+            for sid, __, price in rows:
+                for __ in range(trades_per_stock):
+                    shares = self.rng.randrange(1, 100)
+                    trade_rows.append((sid, shares, shares * price))
+            self.trades.insert_many(trade_rows)
+
+    # -- perturbation ------------------------------------------------------------
+
+    def tick(
+        self,
+        n_updates: int,
+        p_insert: float = 0.0,
+        p_delete: float = 0.0,
+        volatility: int = 50,
+        zipf: Optional[ZipfSampler] = None,
+    ) -> int:
+        """Apply one batch of market activity in a single transaction.
+
+        Each update is an insert (new listing) with probability
+        ``p_insert``, a delete (delisting) with ``p_delete``, else a
+        price modification by a uniform step in [-volatility,
+        volatility] clamped to the price range. ``zipf`` optionally
+        skews which rows get modified. Returns operations applied.
+        """
+        applied = 0
+        with self.db.begin() as txn:
+            for __ in range(n_updates):
+                roll = self.rng.random()
+                if roll < p_insert:
+                    tid = txn.insert_into(self.stocks, self._new_row())
+                    self._live_tids.append(tid)
+                elif roll < p_insert + p_delete and self._live_tids:
+                    position = self.rng.randrange(len(self._live_tids))
+                    tid = self._live_tids.pop(position)
+                    txn.delete_from(self.stocks, tid)
+                elif self._live_tids:
+                    position = (
+                        min(zipf.sample(), len(self._live_tids) - 1)
+                        if zipf is not None
+                        else self.rng.randrange(len(self._live_tids))
+                    )
+                    tid = self._live_tids[position]
+                    values = txn.read(self.stocks, tid)
+                    if values is None:
+                        continue
+                    step = self.rng.randint(-volatility, volatility)
+                    price = max(
+                        self.price_low,
+                        min(self.price_high - 1, values[2] + step),
+                    )
+                    txn.modify_in(self.stocks, tid, updates={"price": price})
+                else:
+                    continue
+                applied += 1
+        return applied
+
+    def modify_in_band(
+        self, n_updates: int, low: int, high: int
+    ) -> int:
+        """Set ``n_updates`` random rows' prices uniformly in [low, high).
+
+        Used to steer updates into (or away from) a query's selection
+        band — the relevance knob of experiment E10.
+        """
+        applied = 0
+        with self.db.begin() as txn:
+            for __ in range(min(n_updates, len(self._live_tids))):
+                tid = self._live_tids[self.rng.randrange(len(self._live_tids))]
+                price = self.rng.randrange(low, high)
+                txn.modify_in(self.stocks, tid, updates={"price": price})
+                applied += 1
+        return applied
+
+    def selectivity_of(self, threshold: int) -> float:
+        """Analytic selectivity of ``price > threshold``."""
+        span = self.price_high - self.price_low
+        above = max(0, self.price_high - 1 - threshold)
+        return min(1.0, above / span)
+
+    def live_count(self) -> int:
+        return len(self.stocks)

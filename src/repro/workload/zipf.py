@@ -1,0 +1,40 @@
+"""Deterministic Zipf sampling for skewed update targeting."""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with probability ∝ 1/(rank+1)^s.
+
+    Uses a precomputed CDF and binary search, so sampling is O(log n)
+    and fully determined by the supplied RNG.
+    """
+
+    def __init__(self, n: int, s: float = 1.0, rng: random.Random = None):
+        if n <= 0:
+            raise ValueError("ZipfSampler needs n >= 1")
+        if s < 0:
+            raise ValueError("Zipf exponent must be non-negative")
+        self.n = n
+        self.s = s
+        self.rng = rng if rng is not None else random.Random(0)
+        weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight
+            cumulative.append(acc / total)
+        self._cdf = cumulative
+
+    def sample(self) -> int:
+        """One rank in [0, n)."""
+        u = self.rng.random()
+        return bisect.bisect_left(self._cdf, u)
+
+    def sample_many(self, count: int) -> List[int]:
+        return [self.sample() for __ in range(count)]

@@ -1,0 +1,124 @@
+"""Tests for the three comparison baselines (and E9's correctness demo)."""
+
+import pytest
+
+from repro.metrics import Metrics
+from repro.relational import parse_query
+from repro.baselines.naive import NaivePoller
+from repro.baselines.reeval import ReevaluationRefresher
+from repro.baselines.terry import AppendOnlyViolation, TerryContinuousQuery
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT sid, name, price FROM stocks WHERE price > 500"
+
+
+@pytest.fixture
+def market(db):
+    market = StockMarket(db, seed=21)
+    market.populate(200)
+    return market
+
+
+class TestReevaluation:
+    def test_matches_truth_under_general_updates(self, db, market):
+        q = parse_query(WATCH)
+        refresher = ReevaluationRefresher(q, db)
+        for __ in range(3):
+            market.tick(40, p_insert=0.2, p_delete=0.2)
+            delta = refresher.refresh()
+            assert refresher.result == db.query(q)
+        assert refresher.refreshes == 3
+
+    def test_delta_reflects_changes_only(self, db, market):
+        q = parse_query(WATCH)
+        refresher = ReevaluationRefresher(q, db)
+        delta = refresher.refresh()
+        assert delta.is_empty()  # nothing changed
+
+    def test_scans_base_every_refresh(self, db, market):
+        metrics = Metrics()
+        q = parse_query(WATCH)
+        refresher = ReevaluationRefresher(q, db, metrics=metrics)
+        base = metrics[Metrics.ROWS_SCANNED]
+        refresher.refresh()
+        assert metrics[Metrics.ROWS_SCANNED] == base + 200
+
+
+class TestTerry:
+    def test_correct_on_append_only(self, db, market):
+        q = parse_query(WATCH)
+        terry = TerryContinuousQuery(q, db, strict=True)
+        market.tick(50, p_insert=1.0)  # pure appends
+        new = terry.refresh()
+        assert terry.result == db.query(q)
+        assert all(v[2] > 500 for v in new.values_set())
+
+    def test_incremental_only_new_matches_reported(self, db, market):
+        q = parse_query(WATCH)
+        terry = TerryContinuousQuery(q, db, strict=True)
+        market.tick(30, p_insert=1.0)
+        first = terry.refresh()
+        market.tick(30, p_insert=1.0)
+        second = terry.refresh()
+        assert not set(first.tids()) & set(second.tids())
+
+    def test_strict_mode_raises_on_modify(self, db, market):
+        q = parse_query(WATCH)
+        terry = TerryContinuousQuery(q, db, strict=True)
+        market.tick(10)  # modifications
+        with pytest.raises(AppendOnlyViolation):
+            terry.refresh()
+
+    def test_nonstrict_mode_goes_stale(self, db, market):
+        """E9's motivation: deletions are invisible to continuous
+        queries, so the result set is a superset of the truth."""
+        q = parse_query(WATCH)
+        terry = TerryContinuousQuery(q, db, strict=False)
+        market.tick(80, p_delete=0.8, p_insert=0.2)
+        terry.refresh()
+        truth = db.query(q)
+        assert terry.ignored_updates > 0
+        assert len(terry.result) > len(truth)
+        # Every true row is present (it never loses data)...
+        stale_tids = set(terry.result.tids())
+        assert set(truth.tids()) <= stale_tids or len(truth) == 0
+
+    def test_join_on_append_only(self, db):
+        market = StockMarket(db, seed=22, with_trades=True)
+        market.populate(50, trades_per_stock=1)
+        q = parse_query(
+            "SELECT s.name, t.shares FROM stocks s, trades t "
+            "WHERE s.sid = t.sid AND s.price > 500"
+        )
+        terry = TerryContinuousQuery(q, db, strict=True)
+        with db.begin() as txn:
+            txn.insert_into(market.stocks, (9001, "NEW", 900))
+            txn.insert_into(market.trades, (9001, 10, 9000))
+        terry.refresh()
+        assert terry.result == db.query(q)
+
+
+class TestNaive:
+    def test_poll_ships_everything(self, db, market):
+        q = parse_query(WATCH)
+        poller = NaivePoller(q, db)
+        result = poller.poll()
+        assert result == db.query(q)
+        assert poller.polls == 1
+
+    def test_poll_filtered_shows_only_new_values(self, db, market):
+        q = parse_query(WATCH)
+        poller = NaivePoller(q, db)
+        ts = db.now()
+        market.modify_in_band(5, 900, 1000)
+        fresh = poller.poll_filtered()
+        # Every reported row is genuinely new by value.
+        assert all(v[2] >= 900 for v in fresh.values_set())
+
+    def test_poll_filtered_still_scans_base(self, db, market):
+        metrics = Metrics()
+        q = parse_query(WATCH)
+        poller = NaivePoller(q, db, metrics=metrics)
+        base = metrics[Metrics.ROWS_SCANNED]
+        poller.poll_filtered()
+        assert metrics[Metrics.ROWS_SCANNED] == base + 200

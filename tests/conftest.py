@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.relational import AttributeType, Schema
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+STOCKS_PAIRS = [
+    ("sid", AttributeType.INT),
+    ("name", AttributeType.STR),
+    ("price", AttributeType.INT),
+]
+
+
+@pytest.fixture
+def stocks_schema():
+    return Schema.of(*STOCKS_PAIRS)
+
+
+@pytest.fixture
+def stocks(db):
+    """The paper's Example 1 starting state.
+
+    Example 1/2 use three rows; tids are noted on the fixture for
+    convenience: DEC@156 -> tid 1, QLI@145 -> tid 2, DEC@150 -> tid 3.
+    """
+    table = db.create_table("stocks", STOCKS_PAIRS, indexes=[("sid",)])
+    table.insert_many(
+        [
+            (100000, "DEC", 156),
+            (92394, "QLI", 145),
+            (120992, "DEC", 150),
+        ]
+    )
+    return table
+
+
+@pytest.fixture
+def stocks_tids(stocks):
+    """Map of sid -> tid for the Example 1 rows."""
+    return {row.values[0]: row.tid for row in stocks.rows()}
+
+
+def run_example1_transaction(db, stocks, stocks_tids):
+    """Apply the paper's Example 1 transaction T.
+
+    Begin Transaction T
+        Insert (101088, MAC, 117);
+        Modify (120992, DEC, 150) = (120992, DEC, 149);
+        Delete (092394);
+    End Transaction
+    """
+    with db.begin() as txn:
+        txn.insert_into(stocks, (101088, "MAC", 117))
+        txn.modify_in(stocks, stocks_tids[120992], updates={"price": 149})
+        txn.delete_from(stocks, stocks_tids[92394])
+    return txn

@@ -1,0 +1,50 @@
+"""Delivery modes applied to aggregate CQs (rollup notifications)."""
+
+import pytest
+
+from repro.core import CQManager, DeliveryMode
+from repro.relational import AttributeType
+
+ROLLUP = "SELECT name, SUM(price) AS total FROM stocks GROUP BY name"
+
+
+@pytest.fixture
+def mgr_with_mode(db, stocks):
+    def build(mode):
+        mgr = CQManager(db)
+        mgr.register_sql("rollup", ROLLUP, mode=mode)
+        mgr.drain()
+        return mgr
+
+    return build
+
+
+def test_differential_mode(db, stocks, mgr_with_mode):
+    mgr = mgr_with_mode(DeliveryMode.DIFFERENTIAL)
+    stocks.insert((9, "DEC", 100))  # DEC group total changes
+    note = mgr.drain()[0]
+    entry = note.delta.get(("DEC",))
+    assert entry.old == ("DEC", 306) and entry.new == ("DEC", 406)
+
+
+def test_insertions_only_mode(db, stocks, mgr_with_mode):
+    mgr = mgr_with_mode(DeliveryMode.INSERTIONS_ONLY)
+    stocks.insert((9, "NEW", 42))  # a brand-new group appears
+    note = mgr.drain()[0]
+    assert ("NEW", 42) in note.result.values_set()
+    assert note.delta is None
+
+
+def test_deletions_only_mode(db, stocks, stocks_tids, mgr_with_mode):
+    mgr = mgr_with_mode(DeliveryMode.DELETIONS_ONLY)
+    stocks.delete(stocks_tids[92394])  # QLI group disappears
+    note = mgr.drain()[0]
+    assert note.result.values_set() == {("QLI", 145)}
+
+
+def test_complete_mode(db, stocks, mgr_with_mode):
+    mgr = mgr_with_mode(DeliveryMode.COMPLETE)
+    stocks.insert((9, "DEC", 100))
+    note = mgr.drain()[0]
+    assert note.result == db.query(ROLLUP)
+    assert note.delta is not None

@@ -1,0 +1,70 @@
+"""Tests for the CQ triple definition and its invariants."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.relational import parse_query
+from repro.core.continual_query import (
+    ContinualQuery,
+    CQStatus,
+    DeliveryMode,
+    Engine,
+)
+from repro.core.termination import Never
+from repro.core.triggers import OnEveryChange
+
+
+def spj():
+    return parse_query("SELECT name FROM stocks WHERE price > 120")
+
+
+def agg():
+    return parse_query("SELECT SUM(price) AS total FROM stocks")
+
+
+class TestConstruction:
+    def test_defaults(self):
+        cq = ContinualQuery("watch", spj())
+        assert isinstance(cq.trigger, OnEveryChange)
+        assert isinstance(cq.stop, Never)
+        assert cq.mode is DeliveryMode.DIFFERENTIAL
+        assert cq.engine is Engine.DRA
+        assert cq.status is CQStatus.ACTIVE
+        assert cq.executions == 0
+
+    def test_name_required(self):
+        with pytest.raises(RegistrationError):
+            ContinualQuery("", spj())
+
+    def test_complete_mode_requires_kept_result(self):
+        with pytest.raises(RegistrationError):
+            ContinualQuery(
+                "w", spj(), mode=DeliveryMode.COMPLETE, keep_result=False
+            )
+
+    def test_differential_without_kept_result_ok(self):
+        cq = ContinualQuery("w", spj(), keep_result=False)
+        assert not cq.keep_result
+
+
+class TestIntrospection:
+    def test_is_aggregate(self):
+        assert not ContinualQuery("a", spj()).is_aggregate
+        assert ContinualQuery("b", agg()).is_aggregate
+
+    def test_spj_core(self):
+        cq = ContinualQuery("b", agg())
+        assert cq.spj_core is cq.query.core
+
+    def test_table_names_deduplicated(self):
+        q = parse_query(
+            "SELECT a.name FROM stocks a, stocks b WHERE a.sid = b.sid"
+        )
+        cq = ContinualQuery("self", q)
+        assert cq.table_names == ("stocks",)
+
+    def test_table_names_multi(self):
+        q = parse_query(
+            "SELECT s.name FROM stocks s, trades t WHERE s.sid = t.sid"
+        )
+        assert ContinualQuery("j", q).table_names == ("stocks", "trades")

@@ -1,0 +1,136 @@
+"""Tests for epsilon specifications (paper Sections 3.2, 5.3).
+
+Includes experiment X3: the checking-account sum-up query with
+|Deposits − Withdrawals| >= 0.5M.
+"""
+
+import pytest
+
+from repro.errors import TriggerError
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.delta.differential import DeltaEntry, DeltaRelation
+from repro.core.epsilon import (
+    CountEpsilon,
+    MagnitudeEpsilon,
+    NetChangeEpsilon,
+    ResultDriftEpsilon,
+)
+
+SCHEMA = Schema.of(("owner", AttributeType.STR), ("amount", AttributeType.FLOAT))
+
+
+def delta(*entries):
+    return DeltaRelation(SCHEMA, entries)
+
+
+def deposit(tid, amount, ts=1):
+    return DeltaEntry(tid, None, ("x", float(amount)), ts)
+
+
+def withdrawal(tid, amount, ts=1):
+    return DeltaEntry(tid, ("x", float(amount)), None, ts)
+
+
+def balance_change(tid, old, new, ts=1):
+    return DeltaEntry(tid, ("x", float(old)), ("x", float(new)), ts)
+
+
+class TestCountEpsilon:
+    def test_counts_net_entries(self):
+        spec = CountEpsilon(3)
+        spec.observe("t", delta(deposit(1, 5), deposit(2, 5)))
+        assert not spec.exceeded()
+        spec.observe("t", delta(deposit(3, 5)))
+        assert spec.exceeded()
+
+    def test_reset(self):
+        spec = CountEpsilon(1)
+        spec.observe("t", delta(deposit(1, 5)))
+        spec.reset()
+        assert not spec.exceeded()
+        assert spec.divergence == 0
+
+    def test_positive_limit_required(self):
+        with pytest.raises(TriggerError):
+            CountEpsilon(0)
+
+
+class TestNetChangeEpsilon:
+    def test_paper_checking_account_example(self):
+        """X3: fire when |Deposits − Withdrawals| >= 0.5M."""
+        spec = NetChangeEpsilon(500_000.0, "amount")
+        spec.observe("accounts", delta(deposit(1, 300_000)))
+        assert not spec.exceeded()
+        spec.observe("accounts", delta(withdrawal(2, 100_000)))
+        assert not spec.exceeded()  # net = 200k
+        spec.observe("accounts", delta(deposit(3, 300_000)))
+        assert spec.exceeded()  # net = 500k
+
+    def test_deposits_and_withdrawals_cancel(self):
+        spec = NetChangeEpsilon(100.0, "amount")
+        spec.observe("t", delta(deposit(1, 1000), withdrawal(2, 950)))
+        assert not spec.exceeded()
+        assert spec.divergence == 50.0
+
+    def test_modification_contributes_its_change(self):
+        spec = NetChangeEpsilon(100.0, "amount")
+        spec.observe("t", delta(balance_change(1, 500, 650)))
+        assert spec.divergence == 150.0
+        assert spec.exceeded()
+
+    def test_negative_net_fires_by_magnitude(self):
+        spec = NetChangeEpsilon(100.0, "amount")
+        spec.observe("t", delta(withdrawal(1, 150)))
+        assert spec.exceeded()
+
+    def test_table_filter(self):
+        spec = NetChangeEpsilon(100.0, "amount", table="accounts")
+        spec.observe("other", delta(deposit(1, 1000)))
+        assert not spec.exceeded()
+        spec.observe("accounts", delta(deposit(2, 1000)))
+        assert spec.exceeded()
+
+    def test_missing_column_ignored(self):
+        spec = NetChangeEpsilon(1.0, "balance")
+        spec.observe("t", delta(deposit(1, 1000)))  # schema has no 'balance'
+        assert not spec.exceeded()
+
+    def test_null_values_treated_as_zero(self):
+        spec = NetChangeEpsilon(10.0, "amount")
+        spec.observe("t", delta(DeltaEntry(1, None, ("x", None), 1)))
+        assert spec.divergence == 0.0
+
+
+class TestMagnitudeEpsilon:
+    def test_direction_does_not_cancel(self):
+        spec = MagnitudeEpsilon(100.0, "amount")
+        spec.observe("t", delta(deposit(1, 60), withdrawal(2, 60)))
+        assert spec.divergence == 120.0
+        assert spec.exceeded()
+
+    def test_modification_uses_absolute_change(self):
+        spec = MagnitudeEpsilon(100.0, "amount")
+        spec.observe("t", delta(balance_change(1, 500, 450)))
+        assert spec.divergence == 50.0
+
+
+class TestResultDriftEpsilon:
+    def test_fires_when_maintained_value_drifts(self):
+        spec = ResultDriftEpsilon(10.0)
+        spec.note_current(100.0)  # first observation pins reported
+        assert not spec.exceeded()
+        spec.note_current(105.0)
+        assert not spec.exceeded()
+        spec.note_current(111.0)
+        assert spec.exceeded()
+        spec.reset()
+        assert not spec.exceeded()
+        assert spec.reported == 111.0
+
+    def test_none_transitions(self):
+        spec = ResultDriftEpsilon(10.0)
+        spec.note_current(None)
+        assert not spec.exceeded()
+        spec.note_current(5.0)  # reported None, current 5 -> must re-report
+        assert spec.exceeded()

@@ -1,0 +1,107 @@
+"""Tests for active-delta-zone garbage collection (paper Section 5.4)."""
+
+from repro.core import CQManager, EvaluationStrategy
+from repro.core.gc import ActiveDeltaZones
+from repro.relational import AttributeType
+
+WATCH_SQL = "SELECT name FROM stocks WHERE price > 120"
+
+
+class TestZoneAccounting:
+    def test_horizon_is_oldest_watcher(self, db, stocks):
+        zones = ActiveDeltaZones(db)
+        zones.register("fast", ("stocks",), ts=100)
+        zones.register("slow", ("stocks",), ts=40)
+        assert zones.horizon("stocks") == 40
+        zones.advance("slow", 80)
+        assert zones.horizon("stocks") == 80
+
+    def test_advance_never_moves_backward(self, db, stocks):
+        zones = ActiveDeltaZones(db)
+        zones.register("cq", ("stocks",), ts=100)
+        zones.advance("cq", 50)
+        assert zones.horizon("stocks") == 100
+
+    def test_unwatched_table_has_no_horizon(self, db, stocks):
+        zones = ActiveDeltaZones(db)
+        assert zones.horizon("stocks") is None
+
+    def test_remove_frees_zone(self, db, stocks):
+        zones = ActiveDeltaZones(db)
+        zones.register("cq", ("stocks",), ts=10)
+        zones.remove("cq")
+        assert zones.horizon("stocks") is None
+        assert zones.watchers("stocks") == []
+
+
+class TestCollection:
+    def test_collect_prunes_to_horizon(self, db, stocks, stocks_tids):
+        zones = ActiveDeltaZones(db)
+        stocks.modify(stocks_tids[120992], updates={"price": 149})
+        ts = db.now()
+        stocks.modify(stocks_tids[120992], updates={"price": 148})
+        zones.register("cq", ("stocks",), ts=ts)
+        pruned = zones.collect()
+        # Everything up to ts retired; the later record survives.
+        assert pruned["stocks"] >= 1
+        assert len(stocks.log.since(ts)) == 1
+
+    def test_unwatched_tables_kept_by_default(self, db, stocks):
+        zones = ActiveDeltaZones(db)
+        stocks.insert((9, "X", 1))
+        assert zones.collect() == {}
+        assert zones.collect(include_unwatched=True)["stocks"] >= 1
+
+    def test_oldest_zone_bounds_system_zone(self, db, stocks):
+        """A slow CQ holds back GC for everything it reads."""
+        zones = ActiveDeltaZones(db)
+        slow_ts = db.now()
+        zones.register("slow", ("stocks",), ts=slow_ts)
+        stocks.insert((8, "A", 1))
+        mid = db.now()
+        zones.register("fast", ("stocks",), ts=mid)
+        stocks.insert((9, "B", 1))
+        zones.collect()
+        # slow's zone starts before both inserts: its window survives.
+        assert len(stocks.log.since(slow_ts)) == 2
+
+
+class TestManagerIntegration:
+    def test_zones_advance_with_executions(self, db, stocks):
+        mgr = CQManager(db)
+        mgr.register_sql("watch", WATCH_SQL)
+        before = mgr.zones.horizon("stocks")
+        stocks.insert((9, "SUN", 500))
+        assert mgr.zones.horizon("stocks") > before
+
+    def test_auto_gc_bounds_log(self, db, stocks):
+        mgr = CQManager(db, auto_gc=True)
+        mgr.register_sql("watch", WATCH_SQL)
+        for i in range(20):
+            stocks.insert((100 + i, "SUN", 500 + i))
+        # Every commit triggered a refresh which then pruned the log.
+        assert len(stocks.log) <= 1
+
+    def test_manual_collect_garbage(self, db, stocks):
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql("watch", WATCH_SQL)
+        for i in range(5):
+            stocks.insert((100 + i, "SUN", 500 + i))
+        mgr.poll()
+        pruned = mgr.collect_garbage()
+        assert pruned.get("stocks", 0) >= 5
+
+    def test_multiple_cq_cadences(self, db, stocks):
+        """The system delta zone is pinned by the least-advanced CQ."""
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        from repro.core import Every
+
+        mgr.register_sql("fast", WATCH_SQL, trigger=Every(1))
+        mgr.register_sql("slow", WATCH_SQL, trigger=Every(10_000))
+        slow_ts = mgr.get("slow").last_execution_ts
+        for i in range(5):
+            stocks.insert((100 + i, "SUN", 500 + i))
+            mgr.poll()
+        mgr.collect_garbage()
+        # slow hasn't refreshed: its whole window is preserved.
+        assert len(stocks.log.since(slow_ts)) == 5

@@ -1,0 +1,78 @@
+"""Tests for result-sequence history and the EverySinceResult trigger."""
+
+import pytest
+
+from repro.core import CQManager, EvaluationStrategy, NotificationKind
+from repro.core.triggers import Every, EverySinceResult, TriggerContext
+from repro.errors import TriggerError
+
+WATCH = "SELECT name FROM stocks WHERE price > 120"
+
+
+class TestHistory:
+    def test_disabled_by_default(self, db, stocks):
+        mgr = CQManager(db)
+        mgr.register_sql("watch", WATCH)
+        stocks.insert((9, "SUN", 500))
+        assert mgr.history("watch") == []
+
+    def test_sequence_retained(self, db, stocks):
+        mgr = CQManager(db, history_limit=10)
+        mgr.register_sql("watch", WATCH)
+        stocks.insert((8, "AAA", 500))
+        stocks.insert((9, "BBB", 500))
+        history = mgr.history("watch")
+        assert [n.kind for n in history] == [
+            NotificationKind.INITIAL,
+            NotificationKind.REFRESH,
+            NotificationKind.REFRESH,
+        ]
+        assert [n.seq for n in history] == [1, 2, 3]
+
+    def test_bounded(self, db, stocks):
+        mgr = CQManager(db, history_limit=2)
+        mgr.register_sql("watch", WATCH)
+        for i in range(5):
+            stocks.insert((100 + i, "SUN", 500 + i))
+        history = mgr.history("watch")
+        assert len(history) == 2
+        assert history[-1].seq == 6
+
+    def test_unknown_cq_empty(self, db, stocks):
+        assert CQManager(db, history_limit=3).history("nope") == []
+
+
+class TestEverySinceResult:
+    def ctx(self, now, last_exec, last_result):
+        return TriggerContext(now, last_exec, 1, True, last_result_ts=last_result)
+
+    def test_anchored_on_result_not_execution(self):
+        trigger = EverySinceResult(10)
+        # Executed recently (t=9) but last result long ago (t=0).
+        assert trigger.should_fire(self.ctx(now=10, last_exec=9, last_result=0))
+        assert not trigger.should_fire(self.ctx(now=10, last_exec=0, last_result=5))
+
+    def test_every_is_anchored_on_execution(self):
+        trigger = Every(10)
+        assert not trigger.should_fire(self.ctx(now=10, last_exec=9, last_result=0))
+
+    def test_positive_interval_required(self):
+        with pytest.raises(TriggerError):
+            EverySinceResult(0)
+
+    def test_empty_refreshes_do_not_reset_the_clock(self, db, stocks):
+        """Irrelevant churn keeps executing but produces no result; a
+        result-anchored trigger keeps counting from the last *result*."""
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql("watch", WATCH, trigger=EverySinceResult(5))
+        mgr.drain()
+        last_result_ts = db.now()
+        for __ in range(6):
+            stocks.insert((1000 + db.now(), "LOW", 10))  # irrelevant
+            mgr.poll()
+        # Time advanced past the interval with executions but no
+        # results; a relevant update now fires immediately.
+        assert db.now() - last_result_ts >= 5
+        stocks.insert((9999, "SUN", 500))
+        notes = mgr.poll()
+        assert len(notes) == 1

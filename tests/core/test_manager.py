@@ -1,0 +1,295 @@
+"""Tests for the CQ manager: the full continual-query lifecycle."""
+
+import pytest
+
+from tests.conftest import run_example1_transaction
+
+from repro.errors import RegistrationError
+from repro.core import (
+    AfterExecutions,
+    AtTime,
+    CQManager,
+    CQStatus,
+    DeliveryMode,
+    Engine,
+    EpsilonTrigger,
+    EvaluationStrategy,
+    Every,
+    NetChangeEpsilon,
+    NotificationKind,
+    OnUpdate,
+    ResultDriftEpsilon,
+)
+from repro.relational import AttributeType
+from repro.relational.expressions import col, lit
+from repro.relational.predicates import ge
+
+WATCH_SQL = "SELECT sid, name, price FROM stocks WHERE price > 120"
+
+
+class TestRegistration:
+    def test_initial_notification(self, db, stocks):
+        mgr = CQManager(db)
+        mgr.register_sql("watch", WATCH_SQL)
+        notes = mgr.drain()
+        assert len(notes) == 1
+        assert notes[0].kind is NotificationKind.INITIAL
+        assert len(notes[0].result) == 3
+
+    def test_duplicate_name_rejected(self, db, stocks):
+        mgr = CQManager(db)
+        mgr.register_sql("watch", WATCH_SQL)
+        with pytest.raises(RegistrationError):
+            mgr.register_sql("watch", WATCH_SQL)
+
+    def test_unknown_table_rejected(self, db):
+        mgr = CQManager(db)
+        with pytest.raises(Exception):
+            mgr.register_sql("watch", "SELECT x FROM nope")
+
+    def test_callback_invoked(self, db, stocks):
+        seen = []
+        mgr = CQManager(db)
+        mgr.register_sql("watch", WATCH_SQL, on_notify=seen.append)
+        stocks.insert((9, "SUN", 500))
+        assert [n.kind for n in seen] == [
+            NotificationKind.INITIAL,
+            NotificationKind.REFRESH,
+        ]
+
+    def test_lookup_api(self, db, stocks):
+        mgr = CQManager(db)
+        cq = mgr.register_sql("watch", WATCH_SQL)
+        assert "watch" in mgr and mgr.get("watch") is cq
+        assert len(mgr) == 1 and mgr.active() == [cq]
+
+
+class TestImmediateStrategy:
+    def test_refresh_on_relevant_commit(self, db, stocks, stocks_tids):
+        mgr = CQManager(db, strategy=EvaluationStrategy.IMMEDIATE)
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.drain()
+        run_example1_transaction(db, stocks, stocks_tids)
+        notes = mgr.drain()
+        assert len(notes) == 1
+        assert len(notes[0].delta) == 2
+
+    def test_irrelevant_commit_produces_nothing(self, db, stocks):
+        mgr = CQManager(db, strategy=EvaluationStrategy.IMMEDIATE)
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.drain()
+        stocks.insert((9, "LOW", 10))
+        assert mgr.drain() == []
+
+    def test_unrelated_table_ignored(self, db, stocks):
+        other = db.create_table("other", [("x", AttributeType.INT)])
+        mgr = CQManager(db, strategy=EvaluationStrategy.IMMEDIATE)
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.drain()
+        other.insert((1,))
+        assert mgr.drain() == []
+
+
+class TestPeriodicStrategy:
+    def test_no_refresh_until_poll(self, db, stocks):
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.drain()
+        stocks.insert((9, "SUN", 500))
+        assert mgr._outbox == []
+        notes = mgr.poll()
+        assert len(notes) == 1
+
+    def test_batched_updates_consolidated(self, db, stocks):
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.drain()
+        tid = stocks.insert((9, "SUN", 500))
+        stocks.modify(tid, updates={"price": 510})
+        notes = mgr.poll()
+        # Net effect: one insert at the final price.
+        delta = notes[0].delta
+        assert len(delta) == 1
+        assert delta.get(tid).new == (9, "SUN", 510)
+
+    def test_every_trigger_uses_virtual_time(self, db, stocks):
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql("watch", WATCH_SQL, trigger=Every(100))
+        mgr.drain()
+        stocks.insert((9, "SUN", 500))
+        assert mgr.poll() == []  # interval not reached
+        notes = mgr.poll(advance_to=db.now() + 200)
+        assert len(notes) == 1
+
+
+class TestDeliveryModes:
+    def prepare(self, db, stocks, stocks_tids, mode, **kw):
+        mgr = CQManager(db)
+        mgr.register_sql("watch", WATCH_SQL, mode=mode, **kw)
+        mgr.drain()
+        run_example1_transaction(db, stocks, stocks_tids)
+        return mgr.drain()[0]
+
+    def test_differential(self, db, stocks, stocks_tids):
+        note = self.prepare(db, stocks, stocks_tids, DeliveryMode.DIFFERENTIAL)
+        assert note.delta is not None and note.result is None
+
+    def test_insertions_only(self, db, stocks, stocks_tids):
+        note = self.prepare(db, stocks, stocks_tids, DeliveryMode.INSERTIONS_ONLY)
+        assert note.delta is None
+        assert note.result.values_set() == {(120992, "DEC", 149)}
+
+    def test_deletions_only(self, db, stocks, stocks_tids):
+        note = self.prepare(db, stocks, stocks_tids, DeliveryMode.DELETIONS_ONLY)
+        assert note.result.values_set() == {
+            (92394, "QLI", 145),
+            (120992, "DEC", 150),
+        }
+
+    def test_complete(self, db, stocks, stocks_tids):
+        note = self.prepare(db, stocks, stocks_tids, DeliveryMode.COMPLETE)
+        assert note.result == db.query(WATCH_SQL)
+        assert note.delta is not None
+
+
+class TestEngines:
+    def test_reevaluate_engine_matches_dra(self, db, stocks, stocks_tids):
+        mgr = CQManager(db)
+        mgr.register_sql("dra", WATCH_SQL, engine=Engine.DRA)
+        mgr.register_sql("reeval", WATCH_SQL, engine=Engine.REEVALUATE)
+        mgr.drain()
+        run_example1_transaction(db, stocks, stocks_tids)
+        notes = {n.cq_name: n for n in mgr.drain()}
+        # Same delta content from both engines (timestamps may differ).
+        dra_entries = {
+            (e.tid, e.old, e.new) for e in notes["dra"].delta
+        }
+        reeval_entries = {
+            (e.tid, e.old, e.new) for e in notes["reeval"].delta
+        }
+        assert dra_entries == reeval_entries
+
+    def test_reevaluate_requires_kept_result(self, db, stocks):
+        mgr = CQManager(db)
+        with pytest.raises(RegistrationError):
+            mgr.register_sql(
+                "x", WATCH_SQL, engine=Engine.REEVALUATE, keep_result=False
+            )
+
+
+class TestEpsilonCQs:
+    def test_net_change_epsilon_cq(self, db):
+        accounts = db.create_table(
+            "accounts", [("owner", AttributeType.STR), ("amount", AttributeType.FLOAT)]
+        )
+        mgr = CQManager(db)
+        mgr.register_sql(
+            "sum",
+            "SELECT SUM(amount) AS total FROM accounts",
+            trigger=EpsilonTrigger(NetChangeEpsilon(100.0, "amount")),
+            mode=DeliveryMode.COMPLETE,
+        )
+        mgr.drain()
+        accounts.insert(("a", 60.0))
+        assert mgr.drain() == []  # below epsilon
+        accounts.insert(("b", 50.0))
+        notes = mgr.drain()
+        assert len(notes) == 1
+        assert notes[0].result.get(()) == (110.0,)
+
+    def test_drift_epsilon_cq(self, db):
+        accounts = db.create_table(
+            "accounts", [("owner", AttributeType.STR), ("amount", AttributeType.FLOAT)]
+        )
+        accounts.insert(("seed", 1000.0))
+        mgr = CQManager(db)
+        mgr.register_sql(
+            "sum",
+            "SELECT SUM(amount) AS total FROM accounts",
+            trigger=EpsilonTrigger(ResultDriftEpsilon(100.0)),
+            mode=DeliveryMode.COMPLETE,
+        )
+        mgr.drain()
+        accounts.insert(("a", 40.0))
+        accounts.insert(("b", 40.0))
+        assert mgr.drain() == []  # drift 80 < 100
+        accounts.insert(("c", 40.0))
+        notes = mgr.drain()
+        assert notes and notes[0].result.get(()) == (1120.0,)
+
+    def test_drift_epsilon_requires_global_aggregate(self, db, stocks):
+        mgr = CQManager(db)
+        with pytest.raises(RegistrationError):
+            mgr.register_sql(
+                "bad",
+                WATCH_SQL,
+                trigger=EpsilonTrigger(ResultDriftEpsilon(1.0)),
+            )
+
+    def test_on_update_trigger_cq(self, db):
+        accounts = db.create_table(
+            "accounts", [("owner", AttributeType.STR), ("amount", AttributeType.FLOAT)]
+        )
+        mgr = CQManager(db)
+        mgr.register_sql(
+            "big-deposits",
+            "SELECT owner, amount FROM accounts",
+            trigger=OnUpdate("accounts", ge(col("amount"), lit(1_000_000.0))),
+        )
+        mgr.drain()
+        accounts.insert(("small", 10.0))
+        assert mgr.drain() == []
+        accounts.insert(("whale", 2_000_000.0))
+        notes = mgr.drain()
+        # Both pending rows delivered once the trigger finally fires.
+        assert len(notes) == 1 and len(notes[0].delta) == 2
+
+
+class TestTermination:
+    def test_after_executions(self, db, stocks):
+        mgr = CQManager(db)
+        mgr.register_sql("watch", WATCH_SQL, stop=AfterExecutions(2))
+        stocks.insert((8, "AAA", 500))
+        stocks.insert((9, "BBB", 500))  # would be third result
+        kinds = [n.kind for n in mgr.drain()]
+        assert kinds == [
+            NotificationKind.INITIAL,
+            NotificationKind.REFRESH,
+            NotificationKind.STOPPED,
+        ]
+        assert mgr.get("watch").status is CQStatus.STOPPED
+
+    def test_stopped_cq_ignores_updates(self, db, stocks):
+        mgr = CQManager(db)
+        mgr.register_sql("watch", WATCH_SQL, stop=AfterExecutions(1))
+        mgr.poll()
+        mgr.drain()
+        stocks.insert((9, "SUN", 500))
+        assert mgr.drain() == []
+
+    def test_at_time_stop_on_poll(self, db, stocks):
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql("watch", WATCH_SQL, stop=AtTime(50))
+        mgr.drain()
+        notes = mgr.poll(advance_to=60)
+        assert [n.kind for n in notes] == [NotificationKind.STOPPED]
+
+    def test_deregister(self, db, stocks):
+        mgr = CQManager(db)
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.drain()
+        mgr.deregister("watch")
+        notes = mgr.drain()
+        assert [n.kind for n in notes] == [NotificationKind.STOPPED]
+        mgr.deregister("watch")  # idempotent
+
+
+class TestSequenceNumbers:
+    def test_seq_increments_per_result(self, db, stocks):
+        mgr = CQManager(db)
+        mgr.register_sql("watch", WATCH_SQL)
+        stocks.insert((8, "AAA", 500))
+        stocks.insert((7, "LOW", 10))  # irrelevant: no seq consumed
+        stocks.insert((9, "BBB", 500))
+        notes = mgr.drain()
+        assert [n.seq for n in notes] == [1, 2, 3]

@@ -1,0 +1,56 @@
+"""Tests for the Notification value object."""
+
+from repro.core.continual_query import DeliveryMode
+from repro.core.results import Notification, NotificationKind
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.delta.differential import DeltaEntry, DeltaRelation
+
+SCHEMA = Schema.of(("x", AttributeType.INT))
+
+
+def relation(n):
+    return Relation.from_pairs(SCHEMA, [(i, (i,)) for i in range(n)])
+
+
+def delta():
+    return DeltaRelation(SCHEMA, [DeltaEntry(1, None, (5,), 1)])
+
+
+class TestSummary:
+    def test_initial(self):
+        note = Notification(
+            "watch", NotificationKind.INITIAL, 1, 5,
+            DeliveryMode.COMPLETE, result=relation(3),
+        )
+        text = note.summary()
+        assert "watch" in text and "#1" in text and "3 rows" in text
+        assert "initial" in text
+
+    def test_refresh_with_delta(self):
+        note = Notification(
+            "watch", NotificationKind.REFRESH, 2, 9,
+            DeliveryMode.DIFFERENTIAL, delta=delta(),
+        )
+        assert "DeltaRelation" in note.summary()
+        assert "[9]" in note.summary()
+
+    def test_refresh_with_result_only(self):
+        note = Notification(
+            "watch", NotificationKind.REFRESH, 2, 9,
+            DeliveryMode.INSERTIONS_ONLY, result=relation(2),
+        )
+        assert "2 rows" in note.summary()
+
+    def test_stopped(self):
+        note = Notification(
+            "watch", NotificationKind.STOPPED, 4, 11, DeliveryMode.DIFFERENTIAL
+        )
+        assert "stopped" in note.summary()
+
+    def test_repr_contains_summary(self):
+        note = Notification(
+            "watch", NotificationKind.STOPPED, 4, 11, DeliveryMode.DIFFERENTIAL
+        )
+        assert note.summary() in repr(note)

@@ -1,0 +1,49 @@
+"""Tests for manager introspection (describe / status_report)."""
+
+from repro.core import AfterExecutions, CQManager, Engine
+
+WATCH = "SELECT name FROM stocks WHERE price > 120"
+
+
+def test_describe_fields(db, stocks):
+    mgr = CQManager(db)
+    mgr.register_sql("watch", WATCH, engine=Engine.REEVALUATE)
+    records = mgr.describe()
+    assert len(records) == 1
+    record = records[0]
+    assert record["name"] == "watch"
+    assert record["status"] == "active"
+    assert record["engine"] == "reevaluate"
+    assert record["tables"] == "stocks"
+    assert record["results"] == 1
+    assert record["result_rows"] == 3
+    assert record["pending_updates"] is False
+
+
+def test_describe_pending_updates(db, stocks):
+    from repro.core import EvaluationStrategy
+
+    mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+    mgr.register_sql("watch", WATCH)
+    stocks.insert((9, "SUN", 500))
+    assert mgr.describe()[0]["pending_updates"] is True
+    mgr.poll()
+    assert mgr.describe()[0]["pending_updates"] is False
+
+
+def test_describe_stopped_cq(db, stocks):
+    mgr = CQManager(db)
+    mgr.register_sql("watch", WATCH, stop=AfterExecutions(1))
+    mgr.poll()
+    record = mgr.describe()[0]
+    assert record["status"] == "stopped"
+    assert record["pending_updates"] is False
+
+
+def test_status_report_renders(db, stocks):
+    mgr = CQManager(db)
+    mgr.register_sql("watch", WATCH)
+    report = mgr.status_report()
+    assert "watch" in report
+    assert "active" in report
+    assert "stocks" in report

@@ -1,0 +1,39 @@
+"""Tests for Stop conditions (paper Section 3.1)."""
+
+import pytest
+
+from repro.errors import TriggerError
+from repro.core.termination import AfterExecutions, AtTime, Never, WhenCondition
+from repro.core.triggers import TriggerContext
+
+
+def ctx(now=0, executions=1):
+    return TriggerContext(now, 0, executions, False)
+
+
+def test_never():
+    assert not Never().should_stop(ctx(now=10**9, executions=10**6))
+
+
+def test_at_time():
+    stop = AtTime(100)
+    assert not stop.should_stop(ctx(now=99))
+    assert stop.should_stop(ctx(now=100))
+    assert stop.should_stop(ctx(now=101))
+
+
+def test_after_executions():
+    stop = AfterExecutions(3)
+    assert not stop.should_stop(ctx(executions=2))
+    assert stop.should_stop(ctx(executions=3))
+
+
+def test_after_executions_positive():
+    with pytest.raises(TriggerError):
+        AfterExecutions(0)
+
+
+def test_when_condition():
+    stop = WhenCondition(lambda c: c.now > 5 and c.executions > 1)
+    assert not stop.should_stop(ctx(now=10, executions=1))
+    assert stop.should_stop(ctx(now=10, executions=2))

@@ -1,0 +1,152 @@
+"""Tests for the four trigger forms of paper Section 3.1."""
+
+import pytest
+
+from repro.errors import TriggerError
+from repro.relational.expressions import col, lit
+from repro.relational.predicates import ge
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.delta.differential import DeltaEntry, DeltaRelation
+from repro.core.epsilon import CountEpsilon
+from repro.core.triggers import (
+    AllOf,
+    AnyOf,
+    At,
+    Custom,
+    EpsilonTrigger,
+    Every,
+    OnEveryChange,
+    OnUpdate,
+    TriggerContext,
+)
+
+SCHEMA = Schema.of(("amount", AttributeType.INT))
+
+
+def ctx(now=0, last=0, executions=1, pending=False):
+    return TriggerContext(now, last, executions, pending)
+
+
+def insert_delta(amount, ts=1):
+    return DeltaRelation(SCHEMA, [DeltaEntry(ts, None, (amount,), ts)])
+
+
+class TestOnEveryChange:
+    def test_fires_only_with_pending(self):
+        trigger = OnEveryChange()
+        assert trigger.should_fire(ctx(pending=True))
+        assert not trigger.should_fire(ctx(pending=False))
+
+
+class TestEvery:
+    def test_fires_after_interval(self):
+        trigger = Every(10)
+        assert not trigger.should_fire(ctx(now=9, last=0))
+        assert trigger.should_fire(ctx(now=10, last=0))
+
+    def test_anchored_at_last_execution(self):
+        trigger = Every(10)
+        assert not trigger.should_fire(ctx(now=19, last=10))
+        assert trigger.should_fire(ctx(now=20, last=10))
+
+    def test_positive_interval_required(self):
+        with pytest.raises(TriggerError):
+            Every(0)
+
+
+class TestAt:
+    def test_fires_at_each_time_once(self):
+        trigger = At([5, 10])
+        assert not trigger.should_fire(ctx(now=4))
+        assert trigger.should_fire(ctx(now=5))
+        trigger.notify_fired(ctx(now=5))
+        assert not trigger.should_fire(ctx(now=6))
+        assert trigger.should_fire(ctx(now=10))
+        trigger.notify_fired(ctx(now=10))
+        assert trigger.exhausted
+
+    def test_late_poll_collapses_missed_times(self):
+        trigger = At([5, 10])
+        assert trigger.should_fire(ctx(now=99))
+        trigger.notify_fired(ctx(now=99))
+        assert trigger.exhausted  # both schedule points consumed
+
+
+class TestOnUpdate:
+    def test_paper_million_dollar_deposit(self):
+        # "Q should be executed whenever a deposit of one million
+        # dollars is made."
+        trigger = OnUpdate("accounts", ge(col("amount"), lit(1_000_000)))
+        trigger.observe("accounts", insert_delta(500))
+        assert not trigger.should_fire(ctx())
+        trigger.observe("accounts", insert_delta(2_000_000))
+        assert trigger.should_fire(ctx())
+        trigger.notify_fired(ctx())
+        assert not trigger.should_fire(ctx())
+
+    def test_ignores_other_tables(self):
+        trigger = OnUpdate("accounts", ge(col("amount"), lit(1)))
+        trigger.observe("stocks", insert_delta(100))
+        assert not trigger.should_fire(ctx())
+
+    def test_delete_side_opt_in(self):
+        delete = DeltaRelation(SCHEMA, [DeltaEntry(1, (999,), None, 1)])
+        ignoring = OnUpdate("t", ge(col("amount"), lit(500)))
+        ignoring.observe("t", delete)
+        assert not ignoring.should_fire(ctx())
+        watching = OnUpdate("t", ge(col("amount"), lit(500)), include_deletes=True)
+        watching.observe("t", delete)
+        assert watching.should_fire(ctx())
+
+    def test_modify_tests_new_side(self):
+        modify = DeltaRelation(SCHEMA, [DeltaEntry(1, (1,), (600,), 1)])
+        trigger = OnUpdate("t", ge(col("amount"), lit(500)))
+        trigger.observe("t", modify)
+        assert trigger.should_fire(ctx())
+
+
+class TestEpsilonTrigger:
+    def test_delegates_to_spec(self):
+        trigger = EpsilonTrigger(CountEpsilon(2))
+        trigger.observe("t", insert_delta(1))
+        assert not trigger.should_fire(ctx())
+        trigger.observe("t", insert_delta(2))
+        assert trigger.should_fire(ctx())
+        trigger.notify_fired(ctx())
+        assert not trigger.should_fire(ctx())  # spec reset
+
+
+class TestCompound:
+    def test_any_of(self):
+        trigger = Every(100) | OnEveryChange()
+        assert trigger.should_fire(ctx(now=1, pending=True))
+        assert not trigger.should_fire(ctx(now=1, pending=False))
+        assert trigger.should_fire(ctx(now=100, pending=False))
+
+    def test_all_of(self):
+        trigger = Every(10) & OnEveryChange()
+        assert not trigger.should_fire(ctx(now=10, pending=False))
+        assert not trigger.should_fire(ctx(now=5, pending=True))
+        assert trigger.should_fire(ctx(now=10, pending=True))
+
+    def test_observe_and_fired_propagate(self):
+        epsilon = CountEpsilon(1)
+        trigger = AnyOf(EpsilonTrigger(epsilon), Every(1000))
+        trigger.observe("t", insert_delta(1))
+        assert epsilon.exceeded()
+        trigger.notify_fired(ctx())
+        assert not epsilon.exceeded()
+
+    def test_empty_compound_rejected(self):
+        with pytest.raises(TriggerError):
+            AnyOf()
+        with pytest.raises(TriggerError):
+            AllOf()
+
+
+class TestCustom:
+    def test_callable(self):
+        trigger = Custom(lambda c: c.executions >= 3)
+        assert not trigger.should_fire(ctx(executions=2))
+        assert trigger.should_fire(ctx(executions=3))

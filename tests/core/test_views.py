@@ -1,0 +1,125 @@
+"""Tests for materialized views over CQs (nested continual queries)."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.core import CQManager, DeliveryMode, EvaluationStrategy
+from repro.core.views import MaterializedView
+from repro.workload.stocks import StockMarket
+from repro import Database
+
+HOT = "SELECT sid, name, price FROM stocks WHERE price > 700"
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    market = StockMarket(db, seed=314)
+    market.populate(300)
+    mgr = CQManager(db, strategy=EvaluationStrategy.IMMEDIATE)
+    return db, market, mgr
+
+
+class TestViewMaintenance:
+    def test_backfill_at_creation(self, setup):
+        db, market, mgr = setup
+        mgr.register_sql("hot", HOT)
+        view = MaterializedView(mgr, "hot", "hot_view")
+        assert view.table.current.values_set() == db.query(HOT).values_set()
+
+    def test_view_tracks_upstream(self, setup):
+        db, market, mgr = setup
+        mgr.register_sql("hot", HOT)
+        view = MaterializedView(mgr, "hot", "hot_view")
+        for __ in range(5):
+            market.tick(30, p_insert=0.2, p_delete=0.2)
+            assert (
+                view.table.current.values_set() == db.query(HOT).values_set()
+            )
+
+    def test_requires_delta_delivery(self, setup):
+        db, market, mgr = setup
+        mgr.register_sql("ins", HOT, mode=DeliveryMode.INSERTIONS_ONLY)
+        with pytest.raises(RegistrationError):
+            MaterializedView(mgr, "ins", "v")
+
+    def test_close_freezes_view(self, setup):
+        db, market, mgr = setup
+        mgr.register_sql("hot", HOT)
+        view = MaterializedView(mgr, "hot", "hot_view")
+        frozen = view.table.current.values_set()
+        view.close()
+        market.tick(30)
+        assert view.table.current.values_set() == frozen
+
+
+class TestNestedCQs:
+    def test_cq_over_a_view(self, setup):
+        """The Alert-style nesting: an aggregate CQ over a CQ's result."""
+        db, market, mgr = setup
+        mgr.register_sql("hot", HOT)
+        MaterializedView(mgr, "hot", "hot_view")
+        count_cq = mgr.register_sql(
+            "hot-count",
+            "SELECT COUNT(*) AS n FROM hot_view",
+            mode=DeliveryMode.COMPLETE,
+        )
+        mgr.drain()
+        market.tick(40, p_insert=0.3, p_delete=0.2)
+        expected = len(db.query(HOT))
+        assert count_cq.previous_result.get(()) == (expected,)
+
+    def test_view_joined_with_base_table(self, setup):
+        db, market, mgr = setup
+        owners = db.create_table(
+            "owners",
+            [("sid", __import__("repro").AttributeType.INT),
+             ("owner", __import__("repro").AttributeType.STR)],
+        )
+        with db.begin() as txn:
+            for row in list(market.stocks.rows())[:100]:
+                txn.insert_into(owners, (row.values[0], f"o{row.values[0]}"))
+        mgr.register_sql("hot", HOT)
+        MaterializedView(mgr, "hot", "hot_view")
+        join_sql = (
+            "SELECT v.name, o.owner FROM hot_view v, owners o "
+            "WHERE v.sid = o.sid"
+        )
+        join_cq = mgr.register_sql("hot-owners", join_sql,
+                                   mode=DeliveryMode.COMPLETE)
+        mgr.drain()
+        market.tick(30, p_insert=0.2, p_delete=0.2)
+        assert join_cq.previous_result == db.query(join_sql)
+
+    def test_two_level_nesting(self, setup):
+        """view over a view: CQ -> view -> CQ -> view -> CQ."""
+        db, market, mgr = setup
+        mgr.register_sql("hot", HOT)
+        MaterializedView(mgr, "hot", "level1")
+        mgr.register_sql(
+            "very-hot", "SELECT sid, name, price FROM level1 WHERE price > 900"
+        )
+        MaterializedView(mgr, "very-hot", "level2")
+        top = mgr.register_sql(
+            "very-hot-count",
+            "SELECT COUNT(*) AS n FROM level2",
+            mode=DeliveryMode.COMPLETE,
+        )
+        mgr.drain()
+        for __ in range(4):
+            market.tick(40, volatility=300)
+        expected = len(
+            db.query("SELECT sid FROM stocks WHERE price > 900")
+        )
+        assert top.previous_result.get(()) == (expected,)
+
+    def test_view_over_aggregate_cq(self, setup):
+        db, market, mgr = setup
+        agg_sql = (
+            "SELECT name, COUNT(*) AS n FROM stocks GROUP BY name"
+        )
+        mgr.register_sql("by-name", agg_sql, mode=DeliveryMode.COMPLETE)
+        view = MaterializedView(mgr, "by-name", "name_counts")
+        market.tick(30, p_insert=0.5)
+        expected = db.query(agg_sql).values_set()
+        assert view.table.current.values_set() == expected

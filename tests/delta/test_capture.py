@@ -1,0 +1,60 @@
+"""Tests for delta capture from table logs and external buffers."""
+
+import pytest
+
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.storage.update_log import UpdateKind, UpdateRecord
+from repro.delta.capture import DeltaBuffer, delta_since, deltas_since
+
+SCHEMA = Schema.of(("x", AttributeType.INT))
+
+
+def rec(tid, ts, kind=UpdateKind.INSERT, old=None, new=(1,)):
+    return UpdateRecord(kind, tid, old, new, ts, txn_id=1)
+
+
+class TestTableCapture:
+    def test_delta_since_consolidates_window(self, db, stocks, stocks_tids):
+        ts = db.now()
+        stocks.modify(stocks_tids[120992], updates={"price": 149})
+        stocks.modify(stocks_tids[120992], updates={"price": 148})
+        delta = delta_since(stocks, ts)
+        assert len(delta) == 1
+        entry = delta.get(stocks_tids[120992])
+        assert entry.old[2] == 150 and entry.new[2] == 148
+
+    def test_deltas_since_skips_unchanged_tables(self, db, stocks):
+        other = db.create_table("other", [("x", AttributeType.INT)])
+        ts = db.now()
+        stocks.insert((9, "X", 1))
+        deltas = deltas_since([stocks, other], ts)
+        assert set(deltas) == {"stocks"}
+
+    def test_window_respects_since(self, db, stocks):
+        stocks.insert((9, "X", 1))
+        ts = db.now()
+        assert delta_since(stocks, ts).is_empty()
+
+
+class TestDeltaBuffer:
+    def test_push_and_window(self):
+        buffer = DeltaBuffer(SCHEMA)
+        buffer.push(rec(1, ts=1))
+        buffer.push(rec(2, ts=3))
+        assert len(buffer) == 2
+        assert len(buffer.delta_since(0)) == 2
+        assert len(buffer.delta_since(1)) == 1
+        assert buffer.delta_since(3).is_empty()
+
+    def test_rejects_decreasing_ts(self):
+        buffer = DeltaBuffer(SCHEMA)
+        buffer.push(rec(1, ts=5))
+        with pytest.raises(ValueError):
+            buffer.push(rec(2, ts=4))
+
+    def test_prune(self):
+        buffer = DeltaBuffer(SCHEMA)
+        buffer.push_all([rec(1, ts=1), rec(2, ts=2), rec(3, ts=3)])
+        assert buffer.prune_before(2) == 2
+        assert len(buffer) == 1

@@ -1,0 +1,69 @@
+"""Tests for delta composition (consecutive windows folded into one)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeltaConsolidationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.delta.diff import diff
+from repro.delta.differential import ChangeKind, DeltaEntry, DeltaRelation
+
+SCHEMA = Schema.of(("v", AttributeType.INT))
+
+
+def rel(pairs):
+    return Relation.from_pairs(SCHEMA, [(tid, (v,)) for tid, v in pairs])
+
+
+class TestCompose:
+    def test_disjoint_tids_union(self):
+        first = DeltaRelation(SCHEMA, [DeltaEntry(1, None, (10,), 1)])
+        second = DeltaRelation(SCHEMA, [DeltaEntry(2, (5,), None, 2)])
+        composed = first.compose(second)
+        assert len(composed) == 2
+
+    def test_insert_then_modify_folds(self):
+        first = DeltaRelation(SCHEMA, [DeltaEntry(1, None, (10,), 1)])
+        second = DeltaRelation(SCHEMA, [DeltaEntry(1, (10,), (20,), 2)])
+        entry = first.compose(second).get(1)
+        assert entry.kind is ChangeKind.INSERT and entry.new == (20,)
+
+    def test_insert_then_delete_cancels(self):
+        first = DeltaRelation(SCHEMA, [DeltaEntry(1, None, (10,), 1)])
+        second = DeltaRelation(SCHEMA, [DeltaEntry(1, (10,), None, 2)])
+        assert first.compose(second).is_empty()
+
+    def test_modify_back_cancels(self):
+        first = DeltaRelation(SCHEMA, [DeltaEntry(1, (5,), (9,), 1)])
+        second = DeltaRelation(SCHEMA, [DeltaEntry(1, (9,), (5,), 2)])
+        assert first.compose(second).is_empty()
+
+    def test_mismatched_windows_rejected(self):
+        first = DeltaRelation(SCHEMA, [DeltaEntry(1, (5,), (9,), 1)])
+        second = DeltaRelation(SCHEMA, [DeltaEntry(1, (7,), (8,), 2)])
+        with pytest.raises(DeltaConsolidationError):
+            first.compose(second)
+
+    def test_timestamps_from_later_delta(self):
+        first = DeltaRelation(SCHEMA, [DeltaEntry(1, (5,), (9,), 1)])
+        second = DeltaRelation(SCHEMA, [DeltaEntry(1, (9,), (7,), 8)])
+        assert first.compose(second).get(1).ts == 8
+
+
+@given(
+    a=st.dictionaries(st.integers(0, 15), st.integers(0, 4), max_size=12),
+    b=st.dictionaries(st.integers(0, 15), st.integers(0, 4), max_size=12),
+    c=st.dictionaries(st.integers(0, 15), st.integers(0, 4), max_size=12),
+)
+def test_compose_equals_direct_diff_property(a, b, c):
+    """Diff(A,B) ∘ Diff(B,C) == Diff(A,C) for arbitrary states."""
+    ra, rb, rc = rel(a.items()), rel(b.items()), rel(c.items())
+    composed = diff(ra, rb, 1).compose(diff(rb, rc, 2))
+    direct = {
+        (e.tid, e.old, e.new) for e in diff(ra, rc)
+    }
+    got = {(e.tid, e.old, e.new) for e in composed}
+    assert got == direct
+    assert composed.apply_to(ra) == rc

@@ -1,0 +1,51 @@
+"""Tests for the Diff operator (paper Section 4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.delta.diff import diff
+from repro.delta.differential import ChangeKind
+
+SCHEMA = Schema.of(("v", AttributeType.INT))
+
+
+def rel(pairs):
+    return Relation.from_pairs(SCHEMA, [(tid, (v,)) for tid, v in pairs])
+
+
+class TestDiff:
+    def test_classifies_all_kinds(self):
+        old = rel([(1, 10), (2, 20), (3, 30)])
+        new = rel([(2, 21), (3, 30), (4, 40)])
+        delta = diff(old, new, ts=7)
+        assert delta.get(1).kind is ChangeKind.DELETE
+        assert delta.get(2).kind is ChangeKind.MODIFY
+        assert delta.get(3) is None  # unchanged
+        assert delta.get(4).kind is ChangeKind.INSERT
+        assert all(entry.ts == 7 for entry in delta)
+
+    def test_identical_relations_empty_diff(self):
+        a = rel([(1, 10)])
+        assert diff(a, a.copy()).is_empty()
+
+    def test_incompatible_schemas_rejected(self):
+        other = Relation(Schema.of(("a", AttributeType.STR)))
+        with pytest.raises(SchemaError):
+            diff(rel([]), other)
+
+
+@given(
+    st.dictionaries(st.integers(0, 30), st.integers(0, 5), max_size=25),
+    st.dictionaries(st.integers(0, 30), st.integers(0, 5), max_size=25),
+)
+def test_diff_apply_roundtrip_property(old_map, new_map):
+    """apply(old, Diff(old, new)) == new for arbitrary states."""
+    old = rel(old_map.items())
+    new = rel(new_map.items())
+    delta = diff(old, new)
+    assert delta.apply_to(old) == new
+    assert delta.unapply_from(new) == old

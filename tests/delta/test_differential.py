@@ -1,0 +1,200 @@
+"""Tests for differential relations: consolidation and operators."""
+
+import pytest
+
+from repro.errors import DeltaConsolidationError
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.storage.update_log import UpdateKind, UpdateRecord
+from repro.delta.differential import ChangeKind, DeltaEntry, DeltaRelation
+
+SCHEMA = Schema.of(("name", AttributeType.STR), ("price", AttributeType.INT))
+
+
+def rec(kind, tid, old, new, ts):
+    return UpdateRecord(kind, tid, old, new, ts, txn_id=1)
+
+
+class TestEntry:
+    def test_kinds(self):
+        assert DeltaEntry(1, None, ("A", 1), 1).kind is ChangeKind.INSERT
+        assert DeltaEntry(1, ("A", 1), None, 1).kind is ChangeKind.DELETE
+        assert DeltaEntry(1, ("A", 1), ("A", 2), 1).kind is ChangeKind.MODIFY
+
+    def test_both_sides_null_rejected(self):
+        with pytest.raises(DeltaConsolidationError):
+            DeltaEntry(1, None, None, 1)
+
+
+class TestConsolidation:
+    def test_single_ops(self):
+        delta = DeltaRelation.from_records(
+            SCHEMA,
+            [
+                rec(UpdateKind.INSERT, 1, None, ("A", 1), 1),
+                rec(UpdateKind.MODIFY, 2, ("B", 2), ("B", 3), 1),
+                rec(UpdateKind.DELETE, 3, ("C", 9), None, 1),
+            ],
+        )
+        assert len(delta) == 3
+        assert delta.get(1).kind is ChangeKind.INSERT
+        assert delta.get(2).kind is ChangeKind.MODIFY
+        assert delta.get(3).kind is ChangeKind.DELETE
+
+    def test_insert_then_modify_folds_to_insert(self):
+        delta = DeltaRelation.from_records(
+            SCHEMA,
+            [
+                rec(UpdateKind.INSERT, 1, None, ("A", 1), 1),
+                rec(UpdateKind.MODIFY, 1, ("A", 1), ("A", 5), 2),
+            ],
+        )
+        entry = delta.get(1)
+        assert entry.kind is ChangeKind.INSERT
+        assert entry.new == ("A", 5)
+        assert entry.ts == 2  # stamped with the latest contributing ts
+
+    def test_insert_then_delete_cancels(self):
+        delta = DeltaRelation.from_records(
+            SCHEMA,
+            [
+                rec(UpdateKind.INSERT, 1, None, ("A", 1), 1),
+                rec(UpdateKind.DELETE, 1, ("A", 1), None, 2),
+            ],
+        )
+        assert delta.is_empty()
+
+    def test_modify_chain_composes(self):
+        delta = DeltaRelation.from_records(
+            SCHEMA,
+            [
+                rec(UpdateKind.MODIFY, 1, ("A", 1), ("A", 2), 1),
+                rec(UpdateKind.MODIFY, 1, ("A", 2), ("A", 3), 2),
+            ],
+        )
+        entry = delta.get(1)
+        assert entry.old == ("A", 1) and entry.new == ("A", 3)
+
+    def test_modify_back_to_original_cancels(self):
+        delta = DeltaRelation.from_records(
+            SCHEMA,
+            [
+                rec(UpdateKind.MODIFY, 1, ("A", 1), ("A", 2), 1),
+                rec(UpdateKind.MODIFY, 1, ("A", 2), ("A", 1), 2),
+            ],
+        )
+        assert delta.is_empty()
+
+    def test_modify_then_delete_is_delete_of_original(self):
+        delta = DeltaRelation.from_records(
+            SCHEMA,
+            [
+                rec(UpdateKind.MODIFY, 1, ("A", 1), ("A", 2), 1),
+                rec(UpdateKind.DELETE, 1, ("A", 2), None, 2),
+            ],
+        )
+        entry = delta.get(1)
+        assert entry.kind is ChangeKind.DELETE and entry.old == ("A", 1)
+
+    def test_delete_then_reinsert_is_modify(self):
+        delta = DeltaRelation.from_records(
+            SCHEMA,
+            [
+                rec(UpdateKind.DELETE, 1, ("A", 1), None, 1),
+                rec(UpdateKind.INSERT, 1, None, ("A", 9), 2),
+            ],
+        )
+        assert delta.get(1).kind is ChangeKind.MODIFY
+
+    def test_chain_inconsistency_detected(self):
+        with pytest.raises(DeltaConsolidationError):
+            DeltaRelation.from_records(
+                SCHEMA,
+                [
+                    rec(UpdateKind.INSERT, 1, None, ("A", 1), 1),
+                    rec(UpdateKind.INSERT, 1, None, ("A", 2), 2),
+                ],
+            )
+        with pytest.raises(DeltaConsolidationError):
+            DeltaRelation.from_records(
+                SCHEMA,
+                [
+                    rec(UpdateKind.MODIFY, 1, ("A", 1), ("A", 2), 1),
+                    rec(UpdateKind.MODIFY, 1, ("A", 99), ("A", 3), 2),
+                ],
+            )
+
+    def test_duplicate_tid_entries_rejected(self):
+        entries = [
+            DeltaEntry(1, None, ("A", 1), 1),
+            DeltaEntry(1, None, ("A", 2), 2),
+        ]
+        with pytest.raises(DeltaConsolidationError):
+            DeltaRelation(SCHEMA, entries)
+
+
+class TestOperators:
+    @pytest.fixture
+    def delta(self):
+        return DeltaRelation(
+            SCHEMA,
+            [
+                DeltaEntry(1, None, ("MAC", 117), 10),  # insert
+                DeltaEntry(2, ("QLI", 145), None, 10),  # delete
+                DeltaEntry(3, ("DEC", 150), ("DEC", 149), 10),  # modify
+            ],
+        )
+
+    def test_insertions_include_modify_new_side(self, delta):
+        ins = delta.insertions()
+        assert sorted(ins.tids()) == [1, 3]
+        assert ins.get(3) == ("DEC", 149)
+
+    def test_deletions_include_modify_old_side(self, delta):
+        dels = delta.deletions()
+        assert sorted(dels.tids()) == [2, 3]
+        assert dels.get(3) == ("DEC", 150)
+
+    def test_pure_variants(self, delta):
+        assert list(delta.pure_insertions().tids()) == [1]
+        assert list(delta.pure_deletions().tids()) == [2]
+        assert [e.tid for e in delta.modifications()] == [3]
+
+    def test_filter_since(self, delta):
+        assert len(delta.filter_since(9)) == 3
+        assert delta.filter_since(10).is_empty()
+
+    def test_apply_unapply_roundtrip(self, delta):
+        from repro.relational.relation import Relation
+
+        old = Relation.from_pairs(
+            SCHEMA, [(2, ("QLI", 145)), (3, ("DEC", 150)), (4, ("IBM", 75))]
+        )
+        new = delta.apply_to(old)
+        assert sorted(new.tids()) == [1, 3, 4]
+        assert new.get(3) == ("DEC", 149)
+        back = delta.unapply_from(new)
+        assert back == old
+
+    def test_reversed_is_inverse(self, delta):
+        from repro.relational.relation import Relation
+
+        old = Relation.from_pairs(SCHEMA, [(2, ("QLI", 145)), (3, ("DEC", 150))])
+        assert delta.reversed().apply_to(delta.apply_to(old)) == old
+
+    def test_max_ts(self, delta):
+        assert delta.max_ts() == 10
+        assert DeltaRelation(SCHEMA).max_ts() == 0
+
+    def test_wide_relation_shape(self, delta):
+        wide = delta.as_wide_relation()
+        assert wide.schema.names == (
+            "name_old",
+            "price_old",
+            "name_new",
+            "price_new",
+            "ts",
+        )
+        assert wide.get(1) == (None, None, "MAC", 117, 10)
+        assert wide.get(2) == ("QLI", 145, None, None, 10)
+        assert wide.get(3) == ("DEC", 150, "DEC", 149, 10)

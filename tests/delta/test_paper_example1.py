@@ -1,0 +1,75 @@
+"""Experiment X1: exact reproduction of the paper's Example 1.
+
+Transaction T updates the Stocks relation by insertion, deletion and
+modification; ΔStocks must capture the three changes, and the
+insertions/deletions operators must return exactly the rows the paper
+lists (modulo the OCR garbling of the printed table, the semantics in
+the surrounding text are unambiguous: insertions(ΔStocks) = newly
+inserted rows plus new sides of modifications; deletions(ΔStocks) =
+removed rows plus old sides of modifications).
+"""
+
+from tests.conftest import run_example1_transaction
+
+from repro.delta.capture import delta_since
+from repro.delta.differential import ChangeKind
+
+
+def test_example1_delta_contents(db, stocks, stocks_tids):
+    ts_last = db.now()
+    run_example1_transaction(db, stocks, stocks_tids)
+    delta = delta_since(stocks, ts_last)
+
+    assert len(delta) == 3
+    by_kind = {entry.kind: entry for entry in delta}
+
+    insert = by_kind[ChangeKind.INSERT]
+    assert insert.old is None
+    assert insert.new == (101088, "MAC", 117)
+
+    modify = by_kind[ChangeKind.MODIFY]
+    assert modify.old == (120992, "DEC", 150)
+    assert modify.new == (120992, "DEC", 149)
+
+    delete = by_kind[ChangeKind.DELETE]
+    assert delete.old == (92394, "QLI", 145)
+    assert delete.new is None
+
+    # All three share the single commit timestamp of T.
+    assert len({entry.ts for entry in delta}) == 1
+
+
+def test_example1_insertions_operator(db, stocks, stocks_tids):
+    """insertions(ΔStocks) = {(101088, MAC, 117), (120992, DEC, 149)}."""
+    ts_last = db.now()
+    run_example1_transaction(db, stocks, stocks_tids)
+    delta = delta_since(stocks, ts_last)
+    values = delta.insertions().values_set()
+    assert values == {(101088, "MAC", 117), (120992, "DEC", 149)}
+
+
+def test_example1_deletions_operator(db, stocks, stocks_tids):
+    """deletions(ΔStocks) = {(092394, QLI, 145), (120992, DEC, 150)}."""
+    ts_last = db.now()
+    run_example1_transaction(db, stocks, stocks_tids)
+    delta = delta_since(stocks, ts_last)
+    values = delta.deletions().values_set()
+    assert values == {(92394, "QLI", 145), (120992, "DEC", 150)}
+
+
+def test_example1_wide_table_renders_like_the_paper(db, stocks, stocks_tids):
+    ts_last = db.now()
+    run_example1_transaction(db, stocks, stocks_tids)
+    delta = delta_since(stocks, ts_last)
+    text = delta.as_wide_relation().to_table_string()
+    # Missing sides render as dashes, as in the printed table.
+    assert "MAC" in text and "QLI" in text and "-" in text
+
+
+def test_example1_new_state_from_delta(db, stocks, stocks_tids):
+    ts_last = db.now()
+    old_state = stocks.snapshot()
+    run_example1_transaction(db, stocks, stocks_tids)
+    delta = delta_since(stocks, ts_last)
+    assert delta.apply_to(old_state) == stocks.current
+    assert delta.unapply_from(stocks.current) == old_state

@@ -1,0 +1,115 @@
+"""Tests for old-state views and old-state index probes."""
+
+import pytest
+
+from repro.relational.indexes import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.delta.differential import DeltaEntry, DeltaRelation
+from repro.delta.views import CurrentStateIndex, OldStateIndex, OldStateView
+
+SCHEMA = Schema.of(("name", AttributeType.STR), ("price", AttributeType.INT))
+
+
+@pytest.fixture
+def current():
+    # State AFTER: MAC inserted (tid 4), DEC modified 150->149 (tid 3),
+    # QLI deleted (tid 2), DEC@156 untouched (tid 1).
+    return Relation.from_pairs(
+        SCHEMA,
+        [(1, ("DEC", 156)), (3, ("DEC", 149)), (4, ("MAC", 117))],
+    )
+
+
+@pytest.fixture
+def delta():
+    return DeltaRelation(
+        SCHEMA,
+        [
+            DeltaEntry(4, None, ("MAC", 117), 5),
+            DeltaEntry(2, ("QLI", 145), None, 5),
+            DeltaEntry(3, ("DEC", 150), ("DEC", 149), 5),
+        ],
+    )
+
+
+class TestOldStateView:
+    def test_lookup_semantics(self, current, delta):
+        view = OldStateView(current, delta)
+        assert view.get_or_none(1) == ("DEC", 156)  # untouched
+        assert view.get_or_none(2) == ("QLI", 145)  # deleted: old visible
+        assert view.get_or_none(3) == ("DEC", 150)  # modified: old value
+        assert view.get_or_none(4) is None  # inserted: absent before
+
+    def test_contains(self, current, delta):
+        view = OldStateView(current, delta)
+        assert 2 in view and 4 not in view
+
+    def test_iteration_and_len(self, current, delta):
+        view = OldStateView(current, delta)
+        rows = {row.tid: row.values for row in view}
+        assert rows == {
+            1: ("DEC", 156),
+            2: ("QLI", 145),
+            3: ("DEC", 150),
+        }
+        assert len(view) == 3
+
+    def test_materialize_equals_iteration(self, current, delta):
+        view = OldStateView(current, delta)
+        materialized = view.materialize()
+        assert {r.tid for r in materialized} == {1, 2, 3}
+        assert materialized.get(3) == ("DEC", 150)
+
+    def test_empty_delta_is_identity(self, current):
+        view = OldStateView(current, DeltaRelation(SCHEMA))
+        assert view.materialize() == current
+
+
+class TestOldStateIndex:
+    def test_probe_returns_old_rows(self, current, delta):
+        index = HashIndex.build(current, (0,))  # by name, current state
+        old_index = OldStateIndex(index, delta, current)
+        dec_rows = dict(old_index.lookup(("DEC",)))
+        assert dec_rows == {1: ("DEC", 156), 3: ("DEC", 150)}
+
+    def test_probe_sees_deleted_rows(self, current, delta):
+        index = HashIndex.build(current, (0,))
+        old_index = OldStateIndex(index, delta, current)
+        assert old_index.lookup(("QLI",)) == [(2, ("QLI", 145))]
+
+    def test_probe_hides_inserted_rows(self, current, delta):
+        index = HashIndex.build(current, (0,))
+        old_index = OldStateIndex(index, delta, current)
+        assert old_index.lookup(("MAC",)) == []
+
+    def test_probe_by_changed_key_column(self, current, delta):
+        # Index on price: tid 3's key moved 150 -> 149.
+        index = HashIndex.build(current, (1,))
+        old_index = OldStateIndex(index, delta, current)
+        assert old_index.lookup((149,)) == []  # 149 didn't exist before
+        assert old_index.lookup((150,)) == [(3, ("DEC", 150))]
+
+    def test_matches_materialized_old_state(self, current, delta):
+        index = HashIndex.build(current, (0,))
+        old_index = OldStateIndex(index, delta, current)
+        old_state = OldStateView(current, delta).materialize()
+        for key in [("DEC",), ("QLI",), ("MAC",), ("ZZZ",)]:
+            expected = sorted(
+                (row.tid, row.values)
+                for row in old_state
+                if (row.values[0],) == key
+            )
+            assert sorted(old_index.lookup(key)) == expected
+
+
+class TestCurrentStateIndex:
+    def test_lookup(self, current):
+        index = HashIndex.build(current, (0,))
+        wrapper = CurrentStateIndex(index, current)
+        assert dict(wrapper.lookup(("DEC",))) == {
+            1: ("DEC", 156),
+            3: ("DEC", 149),
+        }
+        assert wrapper.lookup(("QLI",)) == []

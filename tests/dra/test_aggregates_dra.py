@@ -1,0 +1,149 @@
+"""Tests for differential aggregate maintenance."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.relational import AttributeType, evaluate_aggregate, parse_query
+from repro.delta.capture import deltas_since
+from repro.delta.differential import ChangeKind
+from repro.dra.aggregates import DifferentialAggregate
+
+
+@pytest.fixture
+def bankdb(db):
+    accounts = db.create_table(
+        "accounts",
+        [
+            ("owner", AttributeType.STR),
+            ("branch", AttributeType.STR),
+            ("amount", AttributeType.INT),
+        ],
+    )
+    accounts.insert_many(
+        [
+            ("alice", "north", 100),
+            ("bob", "north", 250),
+            ("carol", "south", 40),
+        ]
+    )
+    return db, accounts
+
+
+def check_against_complete(state, db, query):
+    assert state.current() == evaluate_aggregate(query, db.relation)
+
+
+class TestGlobal:
+    def test_initialize_matches_complete(self, bankdb):
+        db, __ = bankdb
+        q = parse_query("SELECT SUM(amount) AS total, COUNT(*) AS n FROM accounts")
+        state = DifferentialAggregate(q, db)
+        result = state.initialize()
+        assert result.get(()) == (390, 3)
+
+    def test_update_requires_initialize(self, bankdb):
+        db, accounts = bankdb
+        q = parse_query("SELECT SUM(amount) AS total FROM accounts")
+        state = DifferentialAggregate(q, db)
+        with pytest.raises(ReproError):
+            state.update({}, ts=1)
+
+    def test_incremental_sum_count(self, bankdb):
+        db, accounts = bankdb
+        q = parse_query("SELECT SUM(amount) AS total, COUNT(*) AS n FROM accounts")
+        state = DifferentialAggregate(q, db)
+        state.initialize()
+        ts = db.now()
+        accounts.insert(("dave", "south", 60))
+        tid = next(r.tid for r in accounts.rows() if r.values[0] == "alice")
+        accounts.modify(tid, updates={"amount": 90})
+        delta = state.update(deltas_since([accounts], ts), ts=db.now())
+        entry = delta.get(())
+        assert entry.old == (390, 3) and entry.new == (440, 4)
+        check_against_complete(state, db, q)
+
+    def test_global_survives_emptying(self, bankdb):
+        db, accounts = bankdb
+        q = parse_query("SELECT SUM(amount) AS total, COUNT(*) AS n FROM accounts")
+        state = DifferentialAggregate(q, db)
+        state.initialize()
+        ts = db.now()
+        for row in list(accounts.rows()):
+            accounts.delete(row.tid)
+        delta = state.update(deltas_since([accounts], ts), ts=db.now())
+        assert delta.get(()).new == (None, 0)
+        check_against_complete(state, db, q)
+
+    def test_no_change_empty_delta(self, bankdb):
+        db, accounts = bankdb
+        q = parse_query("SELECT COUNT(*) AS n FROM accounts")
+        state = DifferentialAggregate(q, db)
+        state.initialize()
+        assert state.update({}, ts=db.now()).is_empty()
+
+
+class TestPredicatedAggregates:
+    def test_only_matching_rows_counted(self, bankdb):
+        db, accounts = bankdb
+        q = parse_query(
+            "SELECT SUM(amount) AS total FROM accounts WHERE amount > 50"
+        )
+        state = DifferentialAggregate(q, db)
+        assert state.initialize().get(()) == (350,)
+        ts = db.now()
+        tid = next(r.tid for r in accounts.rows() if r.values[0] == "carol")
+        accounts.modify(tid, updates={"amount": 80})  # crosses into the band
+        delta = state.update(deltas_since([accounts], ts), ts=db.now())
+        assert delta.get(()).new == (430,)
+        check_against_complete(state, db, q)
+
+
+class TestGrouped:
+    def test_group_rows_appear_and_disappear(self, bankdb):
+        db, accounts = bankdb
+        q = parse_query(
+            "SELECT branch, COUNT(*) AS n FROM accounts GROUP BY branch"
+        )
+        state = DifferentialAggregate(q, db)
+        state.initialize()
+        ts = db.now()
+        tid = next(r.tid for r in accounts.rows() if r.values[0] == "carol")
+        accounts.delete(tid)  # south empties out
+        accounts.insert(("erin", "west", 10))  # new group
+        delta = state.update(deltas_since([accounts], ts), ts=db.now())
+        south = delta.get(("south",))
+        assert south.kind is ChangeKind.DELETE
+        west = delta.get(("west",))
+        assert west.kind is ChangeKind.INSERT and west.new == ("west", 1)
+        check_against_complete(state, db, q)
+
+    def test_group_migration_on_key_change(self, bankdb):
+        db, accounts = bankdb
+        q = parse_query(
+            "SELECT branch, SUM(amount) AS total FROM accounts GROUP BY branch"
+        )
+        state = DifferentialAggregate(q, db)
+        state.initialize()
+        ts = db.now()
+        tid = next(r.tid for r in accounts.rows() if r.values[0] == "bob")
+        accounts.modify(tid, updates={"branch": "south"})
+        delta = state.update(deltas_since([accounts], ts), ts=db.now())
+        assert delta.get(("north",)).new == ("north", 100)
+        assert delta.get(("south",)).new == ("south", 290)
+        check_against_complete(state, db, q)
+
+
+class TestMinMax:
+    def test_min_max_with_extremum_deletion(self, bankdb):
+        db, accounts = bankdb
+        q = parse_query(
+            "SELECT MIN(amount) AS lo, MAX(amount) AS hi FROM accounts"
+        )
+        state = DifferentialAggregate(q, db)
+        assert state.initialize().get(()) == (40, 250)
+        ts = db.now()
+        tid = next(r.tid for r in accounts.rows() if r.values[2] == 250)
+        accounts.delete(tid)  # removes the max
+        delta = state.update(deltas_since([accounts], ts), ts=db.now())
+        assert delta.get(()).new == (40, 100)
+        check_against_complete(state, db, q)

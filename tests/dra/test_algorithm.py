@@ -1,0 +1,173 @@
+"""Tests for the DRA driver (Algorithm 1 end to end)."""
+
+import pytest
+
+from tests.conftest import run_example1_transaction
+
+from repro.errors import QueryError, ReproError
+from repro.metrics import Metrics
+from repro.relational import AttributeType, parse_query
+from repro.delta.capture import deltas_since
+from repro.delta.differential import ChangeKind
+from repro.dra.algorithm import dra_execute
+
+
+@pytest.fixture
+def watch_query():
+    return parse_query("SELECT name, price FROM stocks WHERE price > 120")
+
+
+class TestInputs:
+    def test_needs_deltas_or_since(self, db, stocks, watch_query):
+        with pytest.raises(QueryError):
+            dra_execute(watch_query, db)
+
+    def test_since_reads_table_logs(self, db, stocks, stocks_tids, watch_query):
+        ts = db.now()
+        run_example1_transaction(db, stocks, stocks_tids)
+        result = dra_execute(watch_query, db, since=ts)
+        assert len(result.delta) == 2
+
+    def test_ts_defaults_to_now(self, db, stocks, watch_query):
+        ts = db.now()
+        stocks.insert((9, "SUN", 500))
+        result = dra_execute(watch_query, db, since=ts)
+        assert all(e.ts == db.now() for e in result.delta)
+
+
+class TestOutcome:
+    def test_no_changes_fast_path(self, db, stocks, watch_query):
+        result = dra_execute(watch_query, db, deltas={})
+        assert result.skipped and result.delta.is_empty()
+        assert result.terms_evaluated == 0
+
+    def test_irrelevant_updates_skipped(self, db, stocks, watch_query):
+        ts = db.now()
+        stocks.insert((9, "LOW", 10))   # price <= 120: invisible
+        result = dra_execute(watch_query, db, since=ts)
+        assert result.skipped
+        assert result.changed_aliases == ()
+
+    def test_changed_aliases_and_terms(self, db, stocks, watch_query):
+        ts = db.now()
+        stocks.insert((9, "SUN", 500))
+        result = dra_execute(watch_query, db, since=ts)
+        assert result.changed_aliases == ("stocks",)
+        assert result.terms_evaluated == 1
+
+    def test_complete_result_requires_previous(self, db, stocks, watch_query):
+        ts = db.now()
+        stocks.insert((9, "SUN", 500))
+        result = dra_execute(watch_query, db, since=ts)
+        with pytest.raises(ReproError):
+            result.complete_result()
+
+    def test_complete_result_formula(self, db, stocks, stocks_tids, watch_query):
+        previous = db.query(watch_query)
+        ts = db.now()
+        run_example1_transaction(db, stocks, stocks_tids)
+        result = dra_execute(watch_query, db, since=ts, previous=previous)
+        assert result.complete_result() == db.query(watch_query)
+
+    def test_insertions_deletions_views(self, db, stocks, stocks_tids, watch_query):
+        ts = db.now()
+        run_example1_transaction(db, stocks, stocks_tids)
+        result = dra_execute(watch_query, db, since=ts)
+        assert result.insertions().values_set() == {("DEC", 149)}
+        assert result.deletions().values_set() == {("QLI", 145), ("DEC", 150)}
+
+
+class TestConstantGate:
+    def test_constant_false_query_never_changes(self, db, stocks):
+        q = parse_query("SELECT name FROM stocks WHERE 1 > 2")
+        ts = db.now()
+        stocks.insert((9, "SUN", 500))
+        result = dra_execute(q, db, since=ts)
+        assert result.delta.is_empty()
+
+    def test_constant_true_conjunct_ignored(self, db, stocks):
+        q = parse_query("SELECT name FROM stocks WHERE 2 > 1 AND price > 120")
+        ts = db.now()
+        stocks.insert((9, "SUN", 500))
+        result = dra_execute(q, db, since=ts)
+        assert len(result.delta) == 1
+
+
+class TestProjectionSemantics:
+    def test_invisible_modify_produces_no_delta(self, db, stocks, stocks_tids):
+        q = parse_query("SELECT name FROM stocks WHERE price > 120")
+        ts = db.now()
+        # 150 -> 149: still >120, and name unchanged => invisible.
+        stocks.modify(stocks_tids[120992], updates={"price": 149})
+        result = dra_execute(q, db, since=ts)
+        assert result.delta.is_empty()
+
+    def test_visible_modify_after_projection(self, db, stocks, stocks_tids):
+        q = parse_query("SELECT name, price FROM stocks WHERE price > 120")
+        ts = db.now()
+        stocks.modify(stocks_tids[120992], updates={"price": 149})
+        result = dra_execute(q, db, since=ts)
+        entry = result.delta.get(stocks_tids[120992])
+        assert entry.kind is ChangeKind.MODIFY
+
+
+class TestMetrics:
+    def test_counts_delta_rows_not_base_scans(self, db, stocks, watch_query):
+        # Single-relation select: DRA must not scan the base table.
+        stocks.insert_many([(100 + i, "BULK", 500 + i) for i in range(50)])
+        ts = db.now()
+        stocks.insert((9, "SUN", 500))
+        metrics = Metrics()
+        dra_execute(watch_query, db, since=ts, metrics=metrics)
+        assert metrics[Metrics.DELTA_ROWS_READ] >= 1
+        assert metrics[Metrics.ROWS_SCANNED] == 0
+        assert metrics[Metrics.TERMS_EVALUATED] == 1
+
+
+class TestMultiTableExecution:
+    @pytest.fixture
+    def jdb(self, db, stocks):
+        trades = db.create_table(
+            "trades",
+            [("sid", AttributeType.INT), ("qty", AttributeType.INT)],
+            indexes=[("sid",)],
+        )
+        trades.insert_many([(100000, 5), (120992, 7)])
+        stocks.create_index(["sid"])
+        return db, stocks, trades
+
+    def test_term_count_grows_with_changed_relations(self, jdb):
+        db, stocks, trades = jdb
+        q = parse_query(
+            "SELECT s.name, t.qty FROM stocks s, trades t WHERE s.sid = t.sid"
+        )
+        ts = db.now()
+        stocks.insert((7, "MAC", 117))
+        trades.insert((7, 3))
+        result = dra_execute(q, db, since=ts)
+        assert result.terms_evaluated == 3  # 2^2 - 1
+        assert sorted(result.changed_aliases) == ["s", "t"]
+
+    def test_one_sided_change_single_term(self, jdb):
+        db, stocks, trades = jdb
+        q = parse_query(
+            "SELECT s.name, t.qty FROM stocks s, trades t WHERE s.sid = t.sid"
+        )
+        ts = db.now()
+        trades.insert((100000, 9))
+        result = dra_execute(q, db, since=ts)
+        assert result.terms_evaluated == 1
+        assert [e.kind for e in result.delta] == [ChangeKind.INSERT]
+
+    def test_self_join_both_aliases_change(self, jdb):
+        db, stocks, __ = jdb
+        q = parse_query(
+            "SELECT a.name FROM stocks a, stocks b "
+            "WHERE a.sid = b.sid AND a.price > b.price"
+        )
+        ts = db.now()
+        stocks.insert((7, "MAC", 117))
+        result = dra_execute(q, db, since=ts)
+        # Both aliases read the same changed table.
+        assert sorted(result.changed_aliases) == ["a", "b"]
+        assert result.terms_evaluated == 3

@@ -1,0 +1,238 @@
+"""Property tests for the paper's equivalence theorem.
+
+Section 4.2: "the differential re-evaluation of these queries is
+functionally equivalent to the complete re-evaluation solution." Here
+hypothesis generates arbitrary database states, arbitrary general
+update histories (inserts, deletes, in-place modifications spread over
+multiple transactions), and a family of SPJ queries; for every sample
+DRA's output must equal Propagate's, and the assembled complete result
+must equal re-running the query from scratch.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.relational import AttributeType, parse_query
+from repro.delta.capture import deltas_since
+from repro.delta.propagate import propagate
+from repro.dra.algorithm import dra_execute
+
+SMALL = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def update_ops(draw, max_ops=15):
+    """A batch of abstract ops; indexes resolve against live tids later."""
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    for __ in range(n):
+        kind = draw(st.sampled_from(["insert", "delete", "modify"]))
+        ops.append((kind, draw(SMALL), draw(SMALL), draw(st.integers(0, 10_000))))
+    return ops
+
+
+def build_r_s(r_rows, s_rows, with_indexes):
+    db = Database()
+    r = db.create_table(
+        "r",
+        [("a", AttributeType.INT), ("b", AttributeType.INT)],
+        indexes=[("a",)] if with_indexes else (),
+    )
+    s = db.create_table(
+        "s",
+        [("a", AttributeType.INT), ("c", AttributeType.INT)],
+        indexes=[("a",)] if with_indexes else (),
+    )
+    r.insert_many(r_rows)
+    s.insert_many(s_rows)
+    return db, r, s
+
+
+def apply_ops(db, table, ops, txn_size=4):
+    """Apply abstract ops; pick targets deterministically from the draw."""
+    live = [row.tid for row in table.rows()]
+    i = 0
+    while i < len(ops):
+        with db.begin() as txn:
+            for kind, x, y, pick in ops[i : i + txn_size]:
+                if kind == "insert" or not live:
+                    live.append(txn.insert_into(table, (x, y)))
+                elif kind == "delete":
+                    tid = live.pop(pick % len(live))
+                    txn.delete_from(table, tid)
+                else:
+                    tid = live[pick % len(live)]
+                    if txn.read(table, tid) is not None:
+                        txn.modify_in(table, tid, values=(x, y))
+        i += txn_size
+
+
+def assert_equivalent(db, tables, query, ts_last, previous):
+    deltas = deltas_since(tables, ts_last)
+    result = dra_execute(query, db, deltas=deltas, previous=previous, ts=99)
+    expected = propagate(query, db.relation, deltas, ts=99)
+    assert result.delta == expected
+    assert result.complete_result() == db.query(query)
+
+
+ROWS = st.lists(st.tuples(SMALL, SMALL), max_size=10)
+
+
+class TestSelectEquivalence:
+    @given(rows=ROWS, ops=update_ops(), threshold=SMALL)
+    @settings(max_examples=60, deadline=None)
+    def test_selection_query(self, rows, ops, threshold):
+        db, r, __ = build_r_s(rows, [], with_indexes=False)
+        query = parse_query(f"SELECT a, b FROM r WHERE b > {threshold}")
+        previous = db.query(query)
+        ts_last = db.now()
+        apply_ops(db, r, ops)
+        assert_equivalent(db, [r], query, ts_last, previous)
+
+    @given(rows=ROWS, ops=update_ops(), threshold=SMALL)
+    @settings(max_examples=40, deadline=None)
+    def test_projection_collapses_changes(self, rows, ops, threshold):
+        db, r, __ = build_r_s(rows, [], with_indexes=False)
+        query = parse_query(f"SELECT a FROM r WHERE b >= {threshold}")
+        previous = db.query(query)
+        ts_last = db.now()
+        apply_ops(db, r, ops)
+        assert_equivalent(db, [r], query, ts_last, previous)
+
+    @given(rows=ROWS, ops=update_ops())
+    @settings(max_examples=30, deadline=None)
+    def test_distance_predicate(self, rows, ops):
+        db, r, __ = build_r_s(rows, [], with_indexes=False)
+        query = parse_query("SELECT a, b FROM r WHERE ABS(b - 2) > 1")
+        previous = db.query(query)
+        ts_last = db.now()
+        apply_ops(db, r, ops)
+        assert_equivalent(db, [r], query, ts_last, previous)
+
+
+class TestJoinEquivalence:
+    @given(
+        r_rows=ROWS,
+        s_rows=ROWS,
+        r_ops=update_ops(max_ops=8),
+        s_ops=update_ops(max_ops=8),
+        with_indexes=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_two_way_equijoin(self, r_rows, s_rows, r_ops, s_ops, with_indexes):
+        db, r, s = build_r_s(r_rows, s_rows, with_indexes)
+        query = parse_query(
+            "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND r.b > 1"
+        )
+        previous = db.query(query)
+        ts_last = db.now()
+        apply_ops(db, r, r_ops)
+        apply_ops(db, s, s_ops)
+        assert_equivalent(db, [r, s], query, ts_last, previous)
+
+    @given(
+        r_rows=ROWS,
+        s_rows=ROWS,
+        r_ops=update_ops(max_ops=6),
+        s_ops=update_ops(max_ops=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_join_with_residual_predicate(self, r_rows, s_rows, r_ops, s_ops):
+        db, r, s = build_r_s(r_rows, s_rows, with_indexes=True)
+        query = parse_query(
+            "SELECT r.a, s.c FROM r, s WHERE r.a = s.a AND r.b > s.c"
+        )
+        previous = db.query(query)
+        ts_last = db.now()
+        apply_ops(db, r, r_ops)
+        apply_ops(db, s, s_ops)
+        assert_equivalent(db, [r, s], query, ts_last, previous)
+
+    @given(
+        r_rows=ROWS,
+        s_rows=ROWS,
+        r_ops=update_ops(max_ops=5),
+        s_ops=update_ops(max_ops=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cartesian_product(self, r_rows, s_rows, r_ops, s_ops):
+        db, r, s = build_r_s(r_rows, s_rows, with_indexes=False)
+        query = parse_query("SELECT r.a, s.c FROM r, s WHERE r.b > 2")
+        previous = db.query(query)
+        ts_last = db.now()
+        apply_ops(db, r, r_ops)
+        apply_ops(db, s, s_ops)
+        assert_equivalent(db, [r, s], query, ts_last, previous)
+
+    @given(rows=ROWS, ops=update_ops(max_ops=6))
+    @settings(max_examples=30, deadline=None)
+    def test_self_join(self, rows, ops):
+        db, r, __ = build_r_s(rows, [], with_indexes=True)
+        query = parse_query(
+            "SELECT x.b AS xb, y.b AS yb FROM r x, r y "
+            "WHERE x.a = y.a AND x.b > y.b"
+        )
+        previous = db.query(query)
+        ts_last = db.now()
+        apply_ops(db, r, ops)
+        assert_equivalent(db, [r], query, ts_last, previous)
+
+
+class TestAggregateEquivalence:
+    @given(rows=ROWS, ops=update_ops())
+    @settings(max_examples=40, deadline=None)
+    def test_global_sum_count(self, rows, ops):
+        from repro.dra.aggregates import DifferentialAggregate
+        from repro.relational import evaluate_aggregate
+
+        db, r, __ = build_r_s(rows, [], with_indexes=False)
+        query = parse_query(
+            "SELECT SUM(b) AS total, COUNT(*) AS n FROM r WHERE b > 1"
+        )
+        state = DifferentialAggregate(query, db)
+        state.initialize()
+        ts_last = db.now()
+        apply_ops(db, r, ops)
+        state.update(deltas_since([r], ts_last), ts=99)
+        assert state.current() == evaluate_aggregate(query, db.relation)
+
+    @given(rows=ROWS, ops=update_ops())
+    @settings(max_examples=40, deadline=None)
+    def test_grouped_min_max(self, rows, ops):
+        from repro.dra.aggregates import DifferentialAggregate
+        from repro.relational import evaluate_aggregate
+
+        db, r, __ = build_r_s(rows, [], with_indexes=False)
+        query = parse_query(
+            "SELECT a, MIN(b) AS lo, MAX(b) AS hi FROM r GROUP BY a"
+        )
+        state = DifferentialAggregate(query, db)
+        state.initialize()
+        ts_last = db.now()
+        apply_ops(db, r, ops)
+        state.update(deltas_since([r], ts_last), ts=99)
+        assert state.current() == evaluate_aggregate(query, db.relation)
+
+
+class TestRepeatedExecutions:
+    @given(
+        rows=ROWS,
+        batches=st.lists(update_ops(max_ops=6), min_size=2, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_chained_differential_executions(self, rows, batches):
+        """E_1, E_2, ... each computed from the previous one only."""
+        db, r, __ = build_r_s(rows, [], with_indexes=False)
+        query = parse_query("SELECT a, b FROM r WHERE b > 1")
+        current = db.query(query)
+        ts_last = db.now()
+        for ops in batches:
+            apply_ops(db, r, ops)
+            now = db.now()
+            deltas = deltas_since([r], ts_last)
+            result = dra_execute(
+                query, db, deltas=deltas, previous=current, ts=now
+            )
+            current = result.complete_result()
+            ts_last = now
+            assert current == db.query(query)

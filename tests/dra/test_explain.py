@@ -1,0 +1,70 @@
+"""Tests for the DRA explain/trace facility."""
+
+from repro.relational import AttributeType, parse_query
+from repro.dra.algorithm import dra_execute
+
+
+def test_traces_absent_by_default(db, stocks):
+    ts = db.now()
+    stocks.insert((9, "SUN", 500))
+    result = dra_execute(
+        parse_query("SELECT name FROM stocks WHERE price > 120"),
+        db,
+        since=ts,
+    )
+    assert result.traces is None
+
+
+def test_traces_one_per_term(db, stocks):
+    trades = db.create_table(
+        "trades",
+        [("sid", AttributeType.INT), ("qty", AttributeType.INT)],
+        indexes=[("sid",)],
+    )
+    stocks.create_index(["sid"])
+    trades.insert_many([(100000, 5)])
+    q = parse_query(
+        "SELECT s.name, t.qty FROM stocks s, trades t WHERE s.sid = t.sid"
+    )
+    ts = db.now()
+    stocks.insert((7, "MAC", 117))
+    trades.insert((7, 3))
+    result = dra_execute(q, db, since=ts, explain=True)
+    assert len(result.traces) == 3
+    substitutions = {frozenset(t.substituted) for t in result.traces}
+    assert substitutions == {
+        frozenset({"s"}),
+        frozenset({"t"}),
+        frozenset({"s", "t"}),
+    }
+    for trace in result.traces:
+        assert trace.seed_rows >= 1
+        assert trace.candidates >= 0
+
+
+def test_explain_text(db, stocks):
+    ts = db.now()
+    stocks.insert((9, "SUN", 500))
+    result = dra_execute(
+        parse_query("SELECT name FROM stocks WHERE price > 120"),
+        db,
+        since=ts,
+        explain=True,
+    )
+    text = result.explain()
+    assert "1 term" in text
+    assert "TermTrace" in text
+    assert "result delta" in text
+
+
+def test_explain_on_skipped_execution(db, stocks):
+    ts = db.now()
+    stocks.insert((9, "LOW", 10))
+    result = dra_execute(
+        parse_query("SELECT name FROM stocks WHERE price > 120"),
+        db,
+        since=ts,
+        explain=True,
+    )
+    assert result.skipped
+    assert "skipped" in result.explain()

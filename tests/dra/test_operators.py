@@ -1,0 +1,136 @@
+"""Tests for the paper-named operators DiffSelect, DiffProj, DiffJoin.
+
+Each is checked against its Propagate instantiation — the paper's
+functional-equivalence theorem for the individual operators.
+"""
+
+import pytest
+
+from repro.relational import AttributeType, parse_query
+from repro.relational.expressions import col, lit
+from repro.relational.predicates import gt
+from repro.relational.schema import Schema
+from repro.delta.capture import deltas_since
+from repro.delta.differential import ChangeKind, DeltaEntry, DeltaRelation
+from repro.delta.propagate import propagate
+from repro.dra.operators import diff_join, diff_project, diff_select
+
+SCHEMA = Schema.of(("name", AttributeType.STR), ("price", AttributeType.INT))
+
+
+@pytest.fixture
+def delta():
+    return DeltaRelation(
+        SCHEMA,
+        [
+            DeltaEntry(1, None, ("MAC", 117), 1),          # insert, fails F
+            DeltaEntry(2, None, ("SUN", 300), 1),          # insert, passes F
+            DeltaEntry(3, ("QLI", 145), None, 1),          # delete, passed F
+            DeltaEntry(4, ("LOW", 10), None, 1),           # delete, failed F
+            DeltaEntry(5, ("DEC", 150), ("DEC", 149), 1),  # modify T->T
+            DeltaEntry(6, ("HAL", 130), ("HAL", 90), 1),   # modify T->F
+            DeltaEntry(7, ("IBM", 80), ("IBM", 200), 1),   # modify F->T
+            DeltaEntry(8, ("ZIP", 5), ("ZIP", 7), 1),      # modify F->F
+        ],
+    )
+
+
+class TestDiffSelect:
+    def test_four_modification_cases(self, delta):
+        out = diff_select(delta, gt(col("price"), lit(120)))
+        assert out.get(5).kind is ChangeKind.MODIFY  # both sides pass
+        assert out.get(6).kind is ChangeKind.DELETE  # left the result
+        assert out.get(6).old == ("HAL", 130)
+        assert out.get(7).kind is ChangeKind.INSERT  # entered the result
+        assert out.get(7).new == ("IBM", 200)
+        assert out.get(8) is None  # never in the result
+
+    def test_insert_delete_cases(self, delta):
+        out = diff_select(delta, gt(col("price"), lit(120)))
+        assert out.get(1) is None
+        assert out.get(2).kind is ChangeKind.INSERT
+        assert out.get(3).kind is ChangeKind.DELETE
+        assert out.get(4) is None
+
+    def test_true_predicate_passes_everything(self, delta):
+        from repro.relational.predicates import TruePredicate
+
+        assert len(diff_select(delta, TruePredicate())) == len(delta)
+
+
+class TestDiffProject:
+    def test_projection_drops_invisible_modifies(self, delta):
+        out = diff_project(delta, ["name"])
+        # Modifies that change only price vanish under π_name.
+        assert out.get(5) is None and out.get(8) is None
+        assert out.get(2).new == ("SUN",)
+        assert out.get(3).old == ("QLI",)
+
+    def test_projection_schema(self, delta):
+        out = diff_project(delta, ["price"])
+        assert out.schema.names == ("price",)
+        assert out.get(5).old == (150,) and out.get(5).new == (149,)
+
+    def test_projection_keeps_tids(self, delta):
+        out = diff_project(delta, ["name"])
+        assert all(entry.tid in delta for entry in out)
+
+
+class TestDiffJoin:
+    def make_db(self):
+        from repro import Database
+
+        db = Database()
+        stocks = db.create_table(
+            "stocks",
+            [("sid", AttributeType.INT), ("name", AttributeType.STR), ("price", AttributeType.INT)],
+            indexes=[("sid",)],
+        )
+        trades = db.create_table(
+            "trades",
+            [("sid", AttributeType.INT), ("qty", AttributeType.INT)],
+            indexes=[("sid",)],
+        )
+        stocks.insert_many([(1, "DEC", 156), (2, "QLI", 145), (3, "IBM", 80)])
+        trades.insert_many([(1, 5), (3, 7), (1, 2)])
+        return db, stocks, trades
+
+    def test_diff_join_matches_propagate(self):
+        db, stocks, trades = self.make_db()
+        q = parse_query(
+            "SELECT s.name, t.qty FROM stocks s, trades t "
+            "WHERE s.sid = t.sid AND s.price > 100"
+        )
+        ts = db.now()
+        with db.begin() as txn:
+            txn.insert_into(trades, (2, 9))     # new partner for QLI
+            txn.insert_into(stocks, (4, "SUN", 500))
+            txn.insert_into(trades, (4, 1))     # both sides new
+        deltas = deltas_since([stocks, trades], ts)
+        got = diff_join(q, db, deltas, ts=db.now())
+        expected = propagate(q, db.relation, deltas, ts=db.now())
+        assert got == expected
+        assert len(got) == 2
+
+    def test_diff_join_handles_modify_breaking_join(self):
+        db, stocks, trades = self.make_db()
+        q = parse_query(
+            "SELECT s.name, t.qty FROM stocks s, trades t WHERE s.sid = t.sid"
+        )
+        ts = db.now()
+        tid = next(r.tid for r in trades.rows() if r.values == (3, 7))
+        trades.modify(tid, updates={"sid": 2})  # IBM loses, QLI gains
+        deltas = deltas_since([stocks, trades], ts)
+        got = diff_join(q, db, deltas, ts=db.now())
+        expected = propagate(q, db.relation, deltas, ts=db.now())
+        assert got == expected
+        kinds = sorted(e.kind.value for e in got)
+        assert kinds == ["delete", "insert"]
+
+    def test_diff_join_requires_two_relations(self):
+        from repro.errors import QueryError
+
+        db, stocks, trades = self.make_db()
+        q = parse_query("SELECT name FROM stocks")
+        with pytest.raises(QueryError):
+            diff_join(q, db, {})

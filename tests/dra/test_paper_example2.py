@@ -1,0 +1,97 @@
+"""Experiment X2: exact reproduction of the paper's Example 2.
+
+The continual query Q = σ_price>120(Stocks). After Example 1's
+transaction T:
+
+* the differential result contains the DEC modification (150 -> 149,
+  both sides above 120) and the QLI deletion;
+* the MAC insertion at price 117 does not appear (fails the predicate);
+* deletions(σ_F(ΔStocks)) yields the removed-tuples notification;
+* the complete current result equals E_i ∪ insertions − deletions.
+"""
+
+import pytest
+
+from tests.conftest import run_example1_transaction
+
+from repro.relational import parse_query
+from repro.delta.capture import deltas_since
+from repro.delta.differential import ChangeKind
+from repro.delta.propagate import propagate
+from repro.dra.algorithm import dra_execute
+
+
+@pytest.fixture
+def query():
+    return parse_query("SELECT sid, name, price FROM stocks WHERE price > 120")
+
+
+@pytest.fixture
+def executed(db, stocks, stocks_tids, query):
+    previous = db.query(query)  # E_i
+    ts_last = db.now()
+    run_example1_transaction(db, stocks, stocks_tids)
+    result = dra_execute(query, db, since=ts_last, previous=previous)
+    return db, stocks, stocks_tids, query, previous, ts_last, result
+
+
+def test_previous_result_matches_paper(db, stocks, query):
+    """Q(Stocks) = {(120992, DEC, 150), (092394, QLI, 145), (100000, DEC, 156)}.
+
+    (The paper's prose lists the two rows it goes on to discuss; the
+    fixture's third row DEC@156 also satisfies price > 120.)
+    """
+    values = db.query(query).values_set()
+    assert (120992, "DEC", 150) in values
+    assert (92394, "QLI", 145) in values
+
+
+def test_differential_result_contents(executed):
+    __, __, stocks_tids, __, __, __, result = executed
+    delta = result.delta
+    assert len(delta) == 2
+    modify = delta.get(stocks_tids[120992])
+    assert modify.kind is ChangeKind.MODIFY
+    assert modify.old == (120992, "DEC", 150)
+    assert modify.new == (120992, "DEC", 149)
+    delete = delta.get(stocks_tids[92394])
+    assert delete.kind is ChangeKind.DELETE
+    assert delete.old == (92394, "QLI", 145)
+
+
+def test_mac_insertion_invisible(executed):
+    """(101088, MAC, 117) fails price > 120 on its only (new) side."""
+    __, __, __, __, __, __, result = executed
+    assert all(
+        entry.new is None or entry.new[1] != "MAC" for entry in result.delta
+    )
+
+
+def test_deleted_tuple_notification(executed):
+    """deletions(σ_F(ΔStocks)) shows tuples removed from the result."""
+    __, __, __, __, __, __, result = executed
+    values = result.deletions().values_set()
+    assert values == {(92394, "QLI", 145), (120992, "DEC", 150)}
+
+
+def test_complete_result_formula_matches_rerun(executed):
+    db, __, __, query, __, __, result = executed
+    assert result.complete_result() == db.query(query)
+
+
+def test_equivalent_to_propagate(executed):
+    """The paper's equivalence: DRA == Propagate on Example 2."""
+    db, stocks, __, query, __, ts_last, result = executed
+    expected = propagate(
+        query, db.relation, deltas_since([stocks], ts_last), ts=result.ts
+    )
+    assert result.delta == expected
+
+
+def test_search_space_limited_by_timestamp(db, stocks, stocks_tids, query):
+    """Updates before the last execution never re-enter the delta."""
+    stocks.modify(stocks_tids[100000], updates={"price": 160})
+    ts_last = db.now()  # CQ executed here
+    run_example1_transaction(db, stocks, stocks_tids)
+    result = dra_execute(query, db, since=ts_last)
+    assert stocks_tids[100000] not in result.delta

@@ -1,0 +1,67 @@
+"""Tests for irrelevant-update detection (paper Section 5.2)."""
+
+from repro.relational import parse_query
+from repro.delta.capture import deltas_since
+from repro.dra.relevance import is_relevant, relevant_entry_counts
+
+
+def scopes_for(db, query):
+    return {ref.alias: db.table(ref.table).schema for ref in query.relations}
+
+
+def test_update_outside_selection_band_is_irrelevant(db, stocks):
+    q = parse_query("SELECT name FROM stocks WHERE price > 120")
+    ts = db.now()
+    stocks.insert((9, "LOW", 10))
+    deltas = deltas_since([stocks], ts)
+    assert not is_relevant(q, scopes_for(db, q), deltas)
+
+
+def test_update_inside_band_is_relevant(db, stocks):
+    q = parse_query("SELECT name FROM stocks WHERE price > 120")
+    ts = db.now()
+    stocks.insert((9, "HI", 500))
+    deltas = deltas_since([stocks], ts)
+    assert is_relevant(q, scopes_for(db, q), deltas)
+
+
+def test_modify_leaving_band_is_relevant(db, stocks, stocks_tids):
+    """old side passes, new side fails: the row leaves the result."""
+    q = parse_query("SELECT name FROM stocks WHERE price > 120")
+    ts = db.now()
+    stocks.modify(stocks_tids[120992], updates={"price": 10})
+    deltas = deltas_since([stocks], ts)
+    assert is_relevant(q, scopes_for(db, q), deltas)
+
+
+def test_modify_entirely_below_band_is_irrelevant(db, stocks):
+    q = parse_query("SELECT name FROM stocks WHERE price > 120")
+    tid = stocks.insert((9, "LOW", 10))
+    ts = db.now()
+    stocks.modify(tid, updates={"price": 20})
+    deltas = deltas_since([stocks], ts)
+    assert not is_relevant(q, scopes_for(db, q), deltas)
+
+
+def test_counts_per_alias(db, stocks):
+    q = parse_query("SELECT name FROM stocks WHERE price > 120")
+    ts = db.now()
+    stocks.insert((8, "LOW", 10))
+    stocks.insert((9, "HI", 500))
+    deltas = deltas_since([stocks], ts)
+    counts = relevant_entry_counts(q, scopes_for(db, q), deltas)
+    assert counts["stocks"] == (1, 2)
+
+
+def test_no_local_predicate_everything_relevant(db, stocks):
+    q = parse_query("SELECT name FROM stocks")
+    ts = db.now()
+    stocks.insert((9, "ANY", 1))
+    deltas = deltas_since([stocks], ts)
+    counts = relevant_entry_counts(q, scopes_for(db, q), deltas)
+    assert counts["stocks"] == (1, 1)
+
+
+def test_empty_deltas_irrelevant(db, stocks):
+    q = parse_query("SELECT name FROM stocks")
+    assert not is_relevant(q, scopes_for(db, q), {})

@@ -1,0 +1,51 @@
+"""Tests for Algorithm 1 step 1 (the substitution truth table)."""
+
+import pytest
+
+from repro.dra.truth_table import TruthTable
+
+
+def test_term_count_is_two_to_k_minus_one():
+    for k in range(0, 5):
+        aliases = [f"r{i}" for i in range(6)]
+        table = TruthTable(aliases, aliases[:k])
+        assert table.term_count == 2**k - 1
+        assert len(list(table.rows())) == table.term_count
+
+
+def test_rows_are_nonempty_subsets_of_changed():
+    table = TruthTable(["a", "b", "c"], ["a", "c"])
+    rows = list(table.rows())
+    assert frozenset({"a"}) in rows
+    assert frozenset({"c"}) in rows
+    assert frozenset({"a", "c"}) in rows
+    assert len(rows) == 3
+    assert all(row for row in rows)  # no empty row
+
+
+def test_rows_ordered_smallest_first():
+    table = TruthTable(["a", "b", "c"], ["a", "b", "c"])
+    sizes = [len(row) for row in table.rows()]
+    assert sizes == sorted(sizes)
+
+
+def test_binary_rows_match_paper_form():
+    table = TruthTable(["a", "b"], ["a", "b"])
+    binary = table.as_binary_rows()
+    assert sorted(binary) == [(0, 1), (1, 0), (1, 1)]
+
+
+def test_changed_preserves_query_order():
+    table = TruthTable(["a", "b", "c"], ["c", "a"])
+    assert table.changed == ("a", "c")
+
+
+def test_unknown_changed_alias_rejected():
+    with pytest.raises(ValueError):
+        TruthTable(["a"], ["zz"])
+
+
+def test_no_changes_no_terms():
+    table = TruthTable(["a", "b"], [])
+    assert table.term_count == 0
+    assert list(table.rows()) == []

@@ -1,0 +1,186 @@
+"""Tests for divergence-controlled epsilon queries (ESR substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.errors import ReproError
+from repro.esr.divergence import EpsilonScan, UpdateIntent
+from repro.relational import AttributeType
+
+
+def build_accounts(n, seed=1):
+    rng = random.Random(seed)
+    db = Database()
+    accounts = db.create_table(
+        "accounts",
+        [("owner", AttributeType.STR), ("amount", AttributeType.INT)],
+    )
+    tids = accounts.insert_many(
+        (f"c{i}", rng.randrange(100, 1000)) for i in range(n)
+    )
+    return db, accounts, tids
+
+
+class TestUpdateIntent:
+    def test_dry_run_resolves_old_values(self):
+        db, accounts, tids = build_accounts(3)
+        intent = UpdateIntent().modify(tids[0], {"amount": 1}).delete(tids[1])
+        effects = intent.dry_run(accounts)
+        assert effects[0][0] == tids[0]
+        assert effects[0][2][1] == 1
+        assert effects[1][2] is None
+
+    def test_dry_run_chains_within_intent(self):
+        db, accounts, tids = build_accounts(1)
+        intent = (
+            UpdateIntent()
+            .modify(tids[0], {"amount": 5})
+            .modify(tids[0], {"amount": 9})
+        )
+        effects = intent.dry_run(accounts)
+        assert effects[1][1][1] == 5  # second op sees the first's result
+
+    def test_dry_run_skips_dead_tids(self):
+        db, accounts, tids = build_accounts(1)
+        accounts.delete(tids[0])
+        intent = UpdateIntent().modify(tids[0], {"amount": 5})
+        assert intent.dry_run(accounts) == []
+
+    def test_apply_is_one_transaction(self):
+        db, accounts, tids = build_accounts(2)
+        batches = []
+        accounts.subscribe(lambda t, r: batches.append(len(r)))
+        UpdateIntent().modify(tids[0], {"amount": 1}).insert(("x", 2)).apply(
+            db, accounts
+        )
+        assert batches == [2]
+
+
+class TestDivergenceControl:
+    def test_zero_epsilon_is_serializable(self):
+        """ε = 0: every conflicting update blocks; the answer is exact."""
+        db, accounts, tids = build_accounts(500)
+        scan = EpsilonScan(db, accounts, "amount", epsilon=0.0, chunk_size=50)
+        intents = [
+            UpdateIntent().modify(tids[i], {"amount": 5_000})
+            for i in range(0, 100, 10)
+        ]
+        report = scan.run(intents)
+        # Conflicting intents (targets in the read prefix) deferred;
+        # the reported answer equals the scan-end exact value.
+        assert report.error == 0
+        assert report.imported == 0
+        assert report.deferred_final > 0
+
+    def test_generous_epsilon_admits_everything(self):
+        db, accounts, tids = build_accounts(500)
+        scan = EpsilonScan(
+            db, accounts, "amount", epsilon=10**9, chunk_size=50
+        )
+        intents = [
+            UpdateIntent().modify(tids[i], {"amount": 5_000})
+            for i in range(0, 100, 10)
+        ]
+        report = scan.run(intents)
+        assert report.deferred_final == 0
+        assert report.admitted == len(intents)
+        assert report.error <= report.imported <= 10**9
+
+    def test_error_bounded_by_epsilon(self):
+        db, accounts, tids = build_accounts(1_000, seed=5)
+        epsilon = 2_000.0
+        scan = EpsilonScan(db, accounts, "amount", epsilon, chunk_size=100)
+        rng = random.Random(9)
+        intents = [
+            UpdateIntent().modify(
+                tids[rng.randrange(len(tids))],
+                {"amount": rng.randrange(100, 1000)},
+            )
+            for __ in range(60)
+        ]
+        report = scan.run(intents)
+        assert report.error <= report.imported + 1e-9
+        assert report.imported <= epsilon + 1e-9
+
+    def test_updates_ahead_of_cursor_are_free(self):
+        """Changes the scan has not yet reached import nothing."""
+        db, accounts, tids = build_accounts(500)
+        scan = EpsilonScan(db, accounts, "amount", epsilon=0.0, chunk_size=50)
+        # All targets live near the end of the tid order: by the time
+        # any chunk boundary offers them, most are still unread.
+        intents = [
+            UpdateIntent().modify(tids[-1 - i], {"amount": 777})
+            for i in range(5)
+        ]
+        report = scan.run(intents)
+        assert report.admitted == 5
+        assert report.error == 0  # scan read the new values itself
+
+    def test_inserts_never_conflict(self):
+        db, accounts, tids = build_accounts(300)
+        scan = EpsilonScan(db, accounts, "amount", epsilon=0.0, chunk_size=50)
+        intents = [UpdateIntent().insert((f"new{i}", 100)) for i in range(5)]
+        report = scan.run(intents)
+        assert report.admitted == 5
+        # Fresh tids land ahead of the cursor: the scan counts them.
+        assert report.error == 0
+
+    def test_validation(self):
+        db, accounts, __ = build_accounts(1)
+        with pytest.raises(ReproError):
+            EpsilonScan(db, accounts, "amount", epsilon=-1.0)
+        with pytest.raises(ReproError):
+            EpsilonScan(db, accounts, "amount", epsilon=1.0, chunk_size=0)
+
+
+@given(
+    seed=st.integers(0, 1_000),
+    epsilon=st.sampled_from([0.0, 500.0, 5_000.0, 10**9]),
+    n_intents=st.integers(0, 30),
+)
+@settings(max_examples=40, deadline=None)
+def test_esr_guarantee_property(seed, epsilon, n_intents):
+    """|reported − exact_at_scan_end| ≤ imported ≤ ε, always."""
+    rng = random.Random(seed)
+    db, accounts, tids = build_accounts(200, seed=seed)
+    intents = []
+    for __ in range(n_intents):
+        roll = rng.random()
+        if roll < 0.5:
+            intents.append(
+                UpdateIntent().modify(
+                    tids[rng.randrange(len(tids))],
+                    {"amount": rng.randrange(100, 1000)},
+                )
+            )
+        elif roll < 0.75:
+            intents.append(UpdateIntent().delete(tids[rng.randrange(len(tids))]))
+        else:
+            intents.append(UpdateIntent().insert((f"n{rng.random()}", 500)))
+    scan = EpsilonScan(db, accounts, "amount", epsilon, chunk_size=37)
+    report = scan.run(intents)
+    assert report.error <= report.imported + 1e-9
+    assert report.imported <= epsilon + 1e-9
+    assert report.admitted + report.deferred_final == n_intents
+
+
+def test_concurrency_grows_with_epsilon():
+    """The paper's point: bigger ε admits more concurrent updates."""
+    admitted = {}
+    for epsilon in (0.0, 1_000.0, 50_000.0):
+        db, accounts, tids = build_accounts(800, seed=3)
+        rng = random.Random(4)
+        intents = [
+            UpdateIntent().modify(
+                tids[rng.randrange(200)],  # front of the scan: conflicty
+                {"amount": rng.randrange(100, 2000)},
+            )
+            for __ in range(40)
+        ]
+        scan = EpsilonScan(db, accounts, "amount", epsilon, chunk_size=100)
+        admitted[epsilon] = scan.run(intents).admitted
+    assert admitted[0.0] <= admitted[1_000.0] <= admitted[50_000.0]
+    assert admitted[50_000.0] > admitted[0.0]

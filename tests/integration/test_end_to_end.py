@@ -1,0 +1,146 @@
+"""End-to-end integration: workloads, manager, CQs, GC, termination."""
+
+import pytest
+
+from repro import Database
+from repro.core import (
+    AfterExecutions,
+    CQManager,
+    DeliveryMode,
+    EpsilonTrigger,
+    EvaluationStrategy,
+    Every,
+    NetChangeEpsilon,
+    NotificationKind,
+)
+from repro.metrics import Metrics
+from repro.workload.accounts import Bank
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT sid, name, price FROM stocks WHERE price > 700"
+JOIN = (
+    "SELECT s.name, t.shares FROM stocks s, trades t "
+    "WHERE s.sid = t.sid AND s.price > 700"
+)
+
+
+class TestLongRunningStockMonitor:
+    def test_complete_mode_tracks_truth_over_many_rounds(self, db):
+        market = StockMarket(db, seed=31)
+        market.populate(400)
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql("watch", WATCH, mode=DeliveryMode.COMPLETE)
+        mgr.drain()
+        for round_no in range(10):
+            market.tick(30, p_insert=0.15, p_delete=0.15)
+            notes = mgr.poll()
+            latest = [n for n in notes if n.kind is NotificationKind.REFRESH]
+            if latest:
+                assert latest[-1].result == db.query(WATCH)
+        assert mgr.get("watch").previous_result == db.query(WATCH)
+
+    def test_join_cq_with_indexes(self, db):
+        market = StockMarket(db, seed=32, with_trades=True)
+        market.populate(200, trades_per_stock=2)
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql("join", JOIN, mode=DeliveryMode.COMPLETE)
+        mgr.drain()
+        for __ in range(5):
+            market.tick(25, p_insert=0.1, p_delete=0.1)
+            with db.begin() as txn:
+                txn.insert_into(market.trades, (1, 5, 100))
+            mgr.poll()
+        assert mgr.get("join").previous_result == db.query(JOIN)
+
+    def test_dra_touches_no_base_rows_on_sparse_updates(self, db):
+        metrics = Metrics()
+        market = StockMarket(db, seed=33)
+        market.populate(5000)
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC, metrics=metrics)
+        mgr.register_sql("watch", WATCH)
+        mgr.drain()
+        metrics.reset()
+        market.tick(10)
+        mgr.poll()
+        # A selection CQ re-evaluates from the delta alone.
+        assert metrics[Metrics.ROWS_SCANNED] == 0
+        assert 0 < metrics[Metrics.DELTA_ROWS_READ] <= 20
+
+
+class TestBankEpsilonScenario:
+    def test_epsilon_cq_fires_sparsely(self, db):
+        bank = Bank(db, seed=34)
+        bank.populate(100)
+        mgr = CQManager(db)
+        mgr.register_sql(
+            "sum",
+            "SELECT SUM(amount) AS total FROM accounts",
+            trigger=EpsilonTrigger(NetChangeEpsilon(50_000.0, "amount")),
+            mode=DeliveryMode.COMPLETE,
+        )
+        mgr.drain()
+        refreshes = 0
+        days = 0
+        for __ in range(30):
+            bank.business_day(20, mean_amount=500.0, deposit_bias=0.8)
+            days += 1
+            refreshes += len(mgr.drain())
+        # Fires much less often than daily, but does fire eventually.
+        assert 0 < refreshes < days
+
+    def test_reported_sum_correct_when_fired(self, db):
+        bank = Bank(db, seed=35)
+        bank.populate(50)
+        reported = []
+        mgr = CQManager(db)
+        mgr.register_sql(
+            "sum",
+            "SELECT SUM(amount) AS total FROM accounts",
+            trigger=EpsilonTrigger(NetChangeEpsilon(10_000.0, "amount")),
+            mode=DeliveryMode.COMPLETE,
+            on_notify=lambda n: reported.append(n),
+        )
+        for __ in range(20):
+            bank.business_day(10, mean_amount=2000.0, deposit_bias=0.9)
+        final = [n for n in reported if n.kind is NotificationKind.REFRESH]
+        assert final
+        last_total = final[-1].result.get(())[0]
+        # The last fired report was exact at its firing time; since
+        # then at most epsilon of drift accumulated.
+        assert last_total == pytest.approx(
+            bank.total_balance(),
+            abs=10_000.0 + 2000.0 * 50,  # epsilon + one day's tail
+        )
+
+
+class TestLifecycleAndGC:
+    def test_terminated_cq_releases_gc_horizon(self, db):
+        market = StockMarket(db, seed=36)
+        market.populate(50)
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql("short", WATCH, stop=AfterExecutions(1))
+        mgr.register_sql("long", WATCH, trigger=Every(1))
+        mgr.poll()
+        market.tick(20)
+        mgr.poll()  # 'short' stops; 'long' refreshes
+        assert mgr.get("short").name not in [
+            cq.name for cq in mgr.active()
+        ]
+        market.tick(20)
+        mgr.poll()
+        pruned = mgr.collect_garbage()
+        # With only 'long' active and caught up, the whole log drains.
+        assert len(market.stocks.log.since(mgr.get("long").last_execution_ts)) == 0
+        assert pruned.get("stocks", 0) > 0
+
+    def test_gc_bounds_log_growth(self, db):
+        market = StockMarket(db, seed=37)
+        market.populate(100)
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC, auto_gc=True)
+        mgr.register_sql("watch", WATCH, trigger=Every(1))
+        sizes = []
+        for __ in range(15):
+            market.tick(20)
+            mgr.poll()
+            sizes.append(len(market.stocks.log))
+        assert max(sizes) <= 40  # bounded, not cumulative (300 updates)

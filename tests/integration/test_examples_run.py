@@ -1,0 +1,53 @@
+"""Every example script (and the module demo) must run cleanly.
+
+Examples are executable documentation; this keeps them from rotting as
+the library evolves. Each runs in a subprocess with a generous timeout
+and must exit 0 without writing to stderr.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[s.stem for s in EXAMPLE_SCRIPTS]
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples should narrate their run"
+
+
+def test_module_demo_runs():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "ICDCS" in completed.stdout
+
+
+def test_expected_examples_present():
+    names = {s.stem for s in EXAMPLE_SCRIPTS}
+    assert {
+        "quickstart",
+        "stock_monitor",
+        "bank_epsilon",
+        "filesys_monitor",
+        "multi_source_aggregator",
+        "federated_sites",
+        "nested_views",
+    } <= names

@@ -1,0 +1,133 @@
+"""Integration: heterogeneous sources feeding one CQ manager.
+
+The paper's Internet scenario: relational data, an append-only feed, a
+file system, and a snapshot-only legacy source all flow through DIOM
+translators into differential relations, and a single DRA-backed CQ
+joins across them.
+"""
+
+import pytest
+
+from repro import Database
+from repro.core import CQManager, DeliveryMode, EvaluationStrategy
+from repro.relational import AttributeType, Schema
+from repro.sources.append_log import AppendOnlyFeed
+from repro.sources.base import MirrorAdapter
+from repro.sources.filesystem import FileSystemSource, SimulatedFileSystem
+from repro.sources.snapshot import SnapshotDiffSource
+
+NEWS_SCHEMA = Schema.of(
+    ("sym", AttributeType.STR), ("headline", AttributeType.STR)
+)
+QUOTES_SCHEMA = Schema.of(("sym", AttributeType.STR), ("px", AttributeType.FLOAT))
+
+
+@pytest.fixture
+def world(db):
+    news = AppendOnlyFeed(NEWS_SCHEMA)
+    quotes = SnapshotDiffSource(QUOTES_SCHEMA, ["sym"])
+    fs = SimulatedFileSystem()
+    adapters = {
+        "news": MirrorAdapter(db, "news", news),
+        "quotes": MirrorAdapter(db, "quotes", quotes),
+        "files": MirrorAdapter(db, "files", FileSystemSource(fs)),
+    }
+    return db, news, quotes, fs, adapters
+
+
+def sync_all(adapters):
+    for adapter in adapters.values():
+        adapter.sync()
+
+
+class TestCrossSourceJoin:
+    def test_news_quotes_join_cq(self, world):
+        db, news, quotes, __, adapters = world
+        quotes.publish([("IBM", 75.0), ("DEC", 150.0)])
+        sync_all(adapters)
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql(
+            "hot-news",
+            "SELECT n.headline, q.px FROM news n, quotes q "
+            "WHERE n.sym = q.sym AND q.px > 100",
+            mode=DeliveryMode.COMPLETE,
+        )
+        mgr.drain()
+
+        news.append(("DEC", "DEC beats estimates"))
+        news.append(("IBM", "IBM flat"))
+        sync_all(adapters)
+        notes = mgr.poll()
+        assert len(notes) == 1
+        assert notes[0].result.values_set() == {
+            ("DEC beats estimates", 150.0)
+        }
+
+        # A quote crossing the threshold pulls old news into the result.
+        quotes.publish([("IBM", 120.0), ("DEC", 150.0)])
+        sync_all(adapters)
+        notes = mgr.poll()
+        inserted = notes[0].delta.insertions().values_set()
+        assert ("IBM flat", 120.0) in inserted
+
+    def test_snapshot_deletion_propagates(self, world):
+        db, news, quotes, __, adapters = world
+        quotes.publish([("IBM", 175.0)])
+        news.append(("IBM", "IBM news"))
+        sync_all(adapters)
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql(
+            "watch",
+            "SELECT n.headline FROM news n, quotes q "
+            "WHERE n.sym = q.sym AND q.px > 100",
+            mode=DeliveryMode.DELETIONS_ONLY,
+        )
+        mgr.drain()
+        quotes.publish([])  # the legacy source dropped everything
+        sync_all(adapters)
+        notes = mgr.poll()
+        assert notes[0].result.values_set() == {("IBM news",)}
+
+
+class TestFilesystemMonitoring:
+    def test_directory_size_aggregate(self, world):
+        db, __, __, fs, adapters = world
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql(
+            "dir-usage",
+            "SELECT directory, SUM(size) AS bytes FROM files GROUP BY directory",
+            mode=DeliveryMode.COMPLETE,
+        )
+        mgr.drain()
+        fs.create("/logs/a.log", 100)
+        fs.create("/logs/b.log", 50)
+        fs.create("/tmp/x", 1)
+        sync_all(adapters)
+        notes = mgr.poll()
+        result = notes[0].result
+        assert result.get(("/logs",)) == ("/logs", 150)
+        fs.remove("/logs/a.log")
+        sync_all(adapters)
+        notes = mgr.poll()
+        assert notes[0].result.get(("/logs",)) == ("/logs", 50)
+
+    def test_consistency_with_rerun_after_churn(self, world):
+        db, news, quotes, fs, adapters = world
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql(
+            "big", "SELECT path, size FROM files WHERE size > 10",
+            mode=DeliveryMode.COMPLETE,
+        )
+        mgr.drain()
+        for i in range(10):
+            fs.create(f"/data/f{i}", i * 5)
+        sync_all(adapters)
+        mgr.poll()
+        for i in range(0, 10, 2):
+            fs.write(f"/data/f{i}", 100)
+        fs.remove("/data/f9")
+        sync_all(adapters)
+        mgr.poll()
+        assert mgr.get("big").previous_result == db.query(
+            "SELECT path, size FROM files WHERE size > 10"
+        )

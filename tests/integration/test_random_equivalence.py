@@ -1,0 +1,113 @@
+"""Seeded randomized long-run equivalence (heavier than hypothesis).
+
+Drives the full manager stack with thousands of random general updates
+across several query shapes and asserts, after every poll, that the
+differentially maintained result equals a from-scratch re-evaluation.
+This is the paper's equivalence theorem exercised at system level.
+"""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.core import CQManager, DeliveryMode, EvaluationStrategy
+from repro.relational import AttributeType
+from repro.workload.generators import TableWorkload
+from repro.workload.stocks import StockMarket
+
+QUERIES = [
+    "SELECT sid, name, price FROM stocks WHERE price > 500",
+    "SELECT name FROM stocks WHERE price > 250 AND price < 750",
+    "SELECT sid, price FROM stocks WHERE ABS(price - 500) > 400",
+    "SELECT SUM(price) AS total, COUNT(*) AS n FROM stocks WHERE price > 100",
+    "SELECT name, COUNT(*) AS n FROM stocks GROUP BY name",
+]
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_single_table_long_run(seed):
+    db = Database()
+    market = StockMarket(db, seed=seed)
+    market.populate(300)
+    mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+    for i, sql in enumerate(QUERIES):
+        mgr.register_sql(f"q{i}", sql, mode=DeliveryMode.COMPLETE)
+    mgr.drain()
+    for round_no in range(12):
+        market.tick(40, p_insert=0.2, p_delete=0.2, volatility=200)
+        mgr.poll()
+        for i, sql in enumerate(QUERIES):
+            assert mgr.get(f"q{i}").previous_result == db.query(sql), (
+                f"divergence at round {round_no} on query {i} (seed {seed})"
+            )
+
+
+@pytest.mark.parametrize("seed", [404, 505])
+def test_join_long_run(seed):
+    db = Database()
+    rng = random.Random(seed)
+    r = db.create_table(
+        "r", [("k", AttributeType.INT), ("v", AttributeType.INT)],
+        indexes=[("k",)],
+    )
+    s = db.create_table(
+        "s", [("k", AttributeType.INT), ("w", AttributeType.INT)],
+        indexes=[("k",)],
+    )
+    make_row = lambda rng: (rng.randrange(40), rng.randrange(100))
+    mutate = lambda rng, old: (old[0], rng.randrange(100))
+    wl_r = TableWorkload(db, r, make_row, mutate, seed=seed)
+    wl_s = TableWorkload(db, s, make_row, mutate, seed=seed + 1)
+    wl_r.seed_rows(80)
+    wl_s.seed_rows(80)
+
+    sql = (
+        "SELECT r.v, s.w FROM r, s WHERE r.k = s.k AND r.v > 30 AND s.w < 70"
+    )
+    mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+    mgr.register_sql("join", sql, mode=DeliveryMode.COMPLETE)
+    mgr.drain()
+    for round_no in range(10):
+        wl_r.run(25, transaction_size=5)
+        wl_s.run(25, transaction_size=5)
+        mgr.poll()
+        assert mgr.get("join").previous_result == db.query(sql), (
+            f"join divergence at round {round_no} (seed {seed})"
+        )
+
+
+def test_three_way_join_long_run():
+    db = Database()
+    tables = {}
+    for name in ("a", "b", "c"):
+        tables[name] = db.create_table(
+            name, [("k", AttributeType.INT), (f"v_{name}", AttributeType.INT)],
+            indexes=[("k",)],
+        )
+    workloads = {
+        name: TableWorkload(
+            db,
+            table,
+            lambda rng: (rng.randrange(15), rng.randrange(50)),
+            lambda rng, old: (old[0], rng.randrange(50)),
+            seed=hash(name) % 1000,
+        )
+        for name, table in tables.items()
+    }
+    for workload in workloads.values():
+        workload.seed_rows(30)
+    sql = (
+        "SELECT a.v_a, b.v_b, c.v_c FROM a, b, c "
+        "WHERE a.k = b.k AND b.k = c.k AND a.v_a > 10"
+    )
+    mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+    mgr.register_sql("three", sql, mode=DeliveryMode.COMPLETE)
+    mgr.drain()
+    for round_no in range(8):
+        for workload in workloads.values():
+            workload.run(15, transaction_size=5)
+        mgr.poll()
+        assert mgr.get("three").previous_result == db.query(sql), (
+            f"three-way divergence at round {round_no}"
+        )

@@ -1,0 +1,67 @@
+"""Tests for message size accounting."""
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.delta.differential import DeltaEntry, DeltaRelation
+from repro.net.messages import (
+    ENVELOPE_BYTES,
+    ROW_OVERHEAD_BYTES,
+    DeltaMessage,
+    FullResultMessage,
+    InitialResultMessage,
+    RegisterMessage,
+    delta_wire_size,
+    relation_wire_size,
+)
+
+SCHEMA = Schema.of(("name", AttributeType.STR), ("price", AttributeType.INT))
+
+
+def relation(n):
+    return Relation.from_pairs(SCHEMA, [(i, ("AAA", 100 + i)) for i in range(n)])
+
+
+class TestSizes:
+    def test_relation_size_scales_with_rows(self):
+        one = relation_wire_size(relation(1))
+        ten = relation_wire_size(relation(10))
+        assert ten == 10 * one
+
+    def test_relation_row_size_components(self):
+        # "AAA" = 4+3 bytes, price int = 8 bytes, overhead 12.
+        assert relation_wire_size(relation(1)) == ROW_OVERHEAD_BYTES + 7 + 8
+
+    def test_delta_insert_cheaper_than_modify(self):
+        insert = DeltaRelation(
+            SCHEMA, [DeltaEntry(1, None, ("AAA", 1), 1)]
+        )
+        modify = DeltaRelation(
+            SCHEMA, [DeltaEntry(1, ("AAA", 1), ("AAA", 2), 1)]
+        )
+        assert delta_wire_size(modify) > delta_wire_size(insert)
+
+    def test_empty_delta_costs_nothing(self):
+        assert delta_wire_size(DeltaRelation(SCHEMA)) == 0
+
+
+class TestMessages:
+    def test_register_size_includes_sql(self):
+        short = RegisterMessage("q", "SELECT * FROM t")
+        long = RegisterMessage("q", "SELECT * FROM t WHERE x > 1 AND y < 2")
+        assert long.wire_size() > short.wire_size()
+
+    def test_envelopes(self):
+        rel = relation(3)
+        initial = InitialResultMessage("q", rel, ts=1)
+        full = FullResultMessage("q", rel, ts=1)
+        assert initial.wire_size() == full.wire_size()
+        assert initial.wire_size() == ENVELOPE_BYTES + relation_wire_size(rel)
+
+    def test_delta_message_smaller_than_full_for_small_changes(self):
+        rel = relation(100)
+        delta = DeltaRelation(SCHEMA, [DeltaEntry(1, None, ("AAA", 1), 1)])
+        assert (
+            DeltaMessage("q", delta, ts=1).wire_size()
+            < FullResultMessage("q", rel, ts=1).wire_size()
+        )

@@ -1,0 +1,83 @@
+"""Tests for remaining public surface of the net and sources layers."""
+
+import pytest
+
+from repro import Database
+from repro.errors import RegistrationError
+from repro.net.client import CQClient
+from repro.net.messages import DeltaAvailableMessage, FetchMessage
+from repro.net.server import CQServer, Protocol
+from repro.net.simnet import SimulatedNetwork
+from repro.sources.remote import RemoteTableSource, records_wire_size
+from repro.storage.update_log import UpdateKind, UpdateRecord
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT name FROM stocks WHERE price > 500"
+
+
+class TestServerSurface:
+    def test_duplicate_register_via_handle(self, db):
+        StockMarket(db, seed=1).populate(10)
+        server = CQServer(db, SimulatedNetwork())
+        client = CQClient("c")
+        server.attach(client)
+        client.register("w", WATCH)
+        from repro.net.messages import RegisterMessage
+
+        with pytest.raises(RegistrationError):
+            server.handle_register("c", RegisterMessage("w", WATCH))
+
+    def test_subscriptions_listing(self, db):
+        StockMarket(db, seed=2).populate(10)
+        server = CQServer(db, SimulatedNetwork())
+        for i in range(3):
+            client = CQClient(f"c{i}")
+            server.attach(client)
+            client.register("w", WATCH)
+        subs = server.subscriptions()
+        assert len(subs) == 3
+        assert {s.client_id for s in subs} == {"c0", "c1", "c2"}
+
+    def test_deliver_to_detached_client(self, db):
+        StockMarket(db, seed=3).populate(10)
+        server = CQServer(db, SimulatedNetwork())
+        from repro.errors import NetworkError
+        from repro.net.messages import FullResultMessage
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema
+        from repro.relational.types import AttributeType
+
+        with pytest.raises(NetworkError):
+            server._deliver(
+                "ghost",
+                FullResultMessage(
+                    "w", Relation(Schema.of(("x", AttributeType.INT))), 1
+                ),
+            )
+
+
+class TestMessageSurface:
+    def test_delta_available_fields_and_size(self):
+        message = DeltaAvailableMessage("w", ts=5, entry_count=7, pending_bytes=999)
+        assert message.wire_size() == 64 + 16
+        assert "7 entries" in repr(message)
+
+    def test_fetch_message(self):
+        assert FetchMessage("w").wire_size() == 64
+        assert "w" in repr(FetchMessage("w"))
+
+
+class TestRemoteWireSize:
+    def test_records_wire_size_components(self):
+        insert = UpdateRecord(UpdateKind.INSERT, 1, None, (1, "AB"), 1, 1)
+        modify = UpdateRecord(UpdateKind.MODIFY, 1, (1, "AB"), (1, "CD"), 2, 1)
+        assert records_wire_size([insert]) == 20 + 8 + (4 + 2)
+        assert records_wire_size([modify]) == 20 + 2 * (8 + 4 + 2)
+        assert records_wire_size([]) == 0
+
+    def test_source_repr_tracks_pulls(self, db):
+        market = StockMarket(db, seed=4)
+        market.populate(5)
+        source = RemoteTableSource(market.stocks)
+        source.drain()
+        assert "pulls=1" in repr(source)

@@ -1,0 +1,137 @@
+"""Tests for the client-server CQ protocols (paper Section 5.1)."""
+
+import pytest
+
+from repro.errors import NetworkError, RegistrationError
+from repro.net.client import CQClient
+from repro.net.messages import DeltaMessage, FullResultMessage, InitialResultMessage
+from repro.net.server import CQServer, Protocol
+from repro.net.simnet import SimulatedNetwork
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT name, price FROM stocks WHERE price > 800"
+
+
+@pytest.fixture
+def deployment(db):
+    market = StockMarket(db, seed=13)
+    market.populate(500)
+    net = SimulatedNetwork()
+    server = CQServer(db, net)
+    return db, market, net, server
+
+
+def attach_client(server, name, protocol):
+    client = CQClient(name)
+    server.attach(client)
+    client.register("watch", WATCH, protocol)
+    return client
+
+
+class TestRegistration:
+    def test_initial_result_shipped(self, deployment):
+        db, market, net, server = deployment
+        client = attach_client(server, "c1", Protocol.DRA_DELTA)
+        assert client.result("watch") == db.query(WATCH)
+        assert isinstance(client.history()[0], InitialResultMessage)
+        assert net.link("server", "c1").messages == 1
+
+    def test_duplicate_registration_rejected(self, deployment):
+        __, __, __, server = deployment
+        client = attach_client(server, "c1", Protocol.DRA_DELTA)
+        with pytest.raises(RegistrationError):
+            client.register("watch", WATCH)
+
+    def test_unattached_client_cannot_register(self):
+        client = CQClient("lonely")
+        with pytest.raises(NetworkError):
+            client.register("watch", WATCH)
+
+    def test_aggregate_queries_rejected(self, deployment):
+        __, __, __, server = deployment
+        client = CQClient("c1")
+        server.attach(client)
+        with pytest.raises(RegistrationError):
+            client.register("agg", "SELECT SUM(price) AS t FROM stocks")
+
+
+class TestRefreshProtocols:
+    @pytest.mark.parametrize(
+        "protocol",
+        [Protocol.DRA_DELTA, Protocol.REEVAL_DELTA, Protocol.REEVAL_FULL],
+    )
+    def test_client_converges_to_truth(self, deployment, protocol):
+        db, market, __, server = deployment
+        client = attach_client(server, "c1", protocol)
+        for __ in range(4):
+            market.tick(30, p_insert=0.1, p_delete=0.1)
+            server.refresh_all()
+        assert client.result("watch") == db.query(WATCH)
+
+    def test_delta_protocols_skip_no_change(self, deployment):
+        db, market, net, server = deployment
+        dra = attach_client(server, "dra", Protocol.DRA_DELTA)
+        full = attach_client(server, "full", Protocol.REEVAL_FULL)
+        before_dra = net.link("server", "dra").messages
+        before_full = net.link("server", "full").messages
+        server.refresh_all()  # nothing changed
+        assert net.link("server", "dra").messages == before_dra
+        assert net.link("server", "full").messages == before_full + 1
+
+    def test_dra_ships_fewer_bytes_than_full(self, deployment):
+        db, market, net, server = deployment
+        attach_client(server, "dra", Protocol.DRA_DELTA)
+        attach_client(server, "full", Protocol.REEVAL_FULL)
+        for __ in range(5):
+            market.tick(10)
+            server.refresh_all()
+        dra_bytes = net.link("server", "dra").bytes
+        full_bytes = net.link("server", "full").bytes
+        assert dra_bytes < full_bytes
+
+    def test_message_kinds_per_protocol(self, deployment):
+        db, market, __, server = deployment
+        dra = attach_client(server, "dra", Protocol.DRA_DELTA)
+        reeval = attach_client(server, "rv", Protocol.REEVAL_DELTA)
+        full = attach_client(server, "full", Protocol.REEVAL_FULL)
+        market.tick(50)
+        server.refresh_all()
+        assert isinstance(dra.history()[-1], DeltaMessage)
+        assert isinstance(reeval.history()[-1], DeltaMessage)
+        assert isinstance(full.history()[-1], FullResultMessage)
+
+    def test_dra_avoids_base_scans_on_refresh(self, deployment):
+        from repro.metrics import Metrics
+
+        db, market, __, server = deployment
+        attach_client(server, "dra", Protocol.DRA_DELTA)
+        market.tick(5)
+        server.metrics.reset()
+        server.refresh_all()
+        assert server.metrics[Metrics.ROWS_SCANNED] == 0
+
+    def test_reeval_scans_base_each_refresh(self, deployment):
+        from repro.metrics import Metrics
+
+        db, market, __, server = deployment
+        attach_client(server, "rv", Protocol.REEVAL_DELTA)
+        market.tick(5)
+        server.metrics.reset()
+        server.refresh_all()
+        assert server.metrics[Metrics.ROWS_SCANNED] >= 500
+
+
+class TestClientErrors:
+    def test_delta_for_unknown_cq(self):
+        from repro.delta.differential import DeltaRelation
+        from repro.relational.schema import Schema
+        from repro.relational.types import AttributeType
+
+        client = CQClient("c")
+        schema = Schema.of(("x", AttributeType.INT))
+        with pytest.raises(NetworkError):
+            client.receive(DeltaMessage("ghost", DeltaRelation(schema), 1))
+
+    def test_unknown_result_lookup(self):
+        with pytest.raises(NetworkError):
+            CQClient("c").result("nope")

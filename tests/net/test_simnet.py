@@ -1,0 +1,53 @@
+"""Tests for the simulated network cost model."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.metrics import Metrics
+from repro.net.simnet import SimulatedNetwork
+
+
+class TestCostModel:
+    def test_transfer_time(self):
+        net = SimulatedNetwork(latency_seconds=0.01, bandwidth_bytes_per_second=1000)
+        assert net.transfer_time(0) == pytest.approx(0.01)
+        assert net.transfer_time(500) == pytest.approx(0.01 + 0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(NetworkError):
+            SimulatedNetwork(latency_seconds=-1)
+        with pytest.raises(NetworkError):
+            SimulatedNetwork(bandwidth_bytes_per_second=0)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(NetworkError):
+            SimulatedNetwork().send("a", "b", -1)
+
+
+class TestAccounting:
+    def test_per_link_and_total(self):
+        net = SimulatedNetwork()
+        net.send("server", "c1", 100)
+        net.send("server", "c1", 50)
+        net.send("server", "c2", 10)
+        link = net.link("server", "c1")
+        assert link.bytes == 150 and link.messages == 2
+        assert net.total.bytes == 160 and net.total.messages == 3
+
+    def test_links_are_directional(self):
+        net = SimulatedNetwork()
+        net.send("a", "b", 5)
+        assert net.link("b", "a").bytes == 0
+
+    def test_metrics_charged(self):
+        net = SimulatedNetwork()
+        metrics = Metrics()
+        net.send("a", "b", 42, metrics)
+        assert metrics[Metrics.BYTES_SENT] == 42
+        assert metrics[Metrics.MESSAGES_SENT] == 1
+
+    def test_reset(self):
+        net = SimulatedNetwork()
+        net.send("a", "b", 5)
+        net.reset()
+        assert net.total.bytes == 0 and net.links() == {}

@@ -1,0 +1,204 @@
+"""Tests for aggregate accumulators and complete aggregate evaluation."""
+
+import pytest
+
+from repro.errors import ExpressionError, QueryError
+from repro.relational.aggregates import (
+    AggregateQuery,
+    AggregateSpec,
+    AvgAccumulator,
+    CountAccumulator,
+    MaxAccumulator,
+    MinAccumulator,
+    SumAccumulator,
+    evaluate_aggregate,
+)
+from repro.relational.algebra import RelationRef, SPJQuery
+from repro.relational.expressions import col, lit
+from repro.relational.predicates import gt
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+SCHEMA = Schema.of(
+    ("branch", AttributeType.STR),
+    ("amount", AttributeType.INT),
+)
+
+
+def resolver_for(rows):
+    rel = Relation.from_pairs(SCHEMA, list(enumerate(rows)))
+    return {"accounts": rel}.__getitem__
+
+
+class TestAccumulators:
+    def test_sum_add_remove(self):
+        acc = SumAccumulator()
+        acc.add(5)
+        acc.add(7)
+        acc.remove(5)
+        assert acc.result() == 7
+
+    def test_sum_empty_is_null(self):
+        acc = SumAccumulator()
+        assert acc.result() is None
+        acc.add(3)
+        acc.remove(3)
+        assert acc.result() is None
+
+    def test_sum_ignores_null(self):
+        acc = SumAccumulator()
+        acc.add(None)
+        assert acc.result() is None and acc.is_empty()
+
+    def test_count_star_counts_nulls(self):
+        acc = CountAccumulator(star=True)
+        acc.add(None)
+        acc.add(1)
+        assert acc.result() == 2
+
+    def test_count_column_skips_nulls(self):
+        acc = CountAccumulator()
+        acc.add(None)
+        acc.add(1)
+        assert acc.result() == 1
+        acc.remove(1)
+        assert acc.result() == 0
+
+    def test_avg(self):
+        acc = AvgAccumulator()
+        for v in (10, 20, 30):
+            acc.add(v)
+        acc.remove(30)
+        assert acc.result() == 15.0
+
+    def test_min_max_basic(self):
+        lo, hi = MinAccumulator(), MaxAccumulator()
+        for v in (5, 1, 9):
+            lo.add(v)
+            hi.add(v)
+        assert lo.result() == 1 and hi.result() == 9
+
+    def test_max_removal_of_extremum_rescans(self):
+        acc = MaxAccumulator()
+        for v in (5, 9, 9, 3):
+            acc.add(v)
+        acc.remove(9)
+        assert acc.result() == 9  # one 9 remains
+        acc.remove(9)
+        assert acc.result() == 5
+
+    def test_min_removal_then_add(self):
+        acc = MinAccumulator()
+        acc.add(4)
+        acc.remove(4)
+        assert acc.result() is None
+        acc.add(8)
+        assert acc.result() == 8
+
+
+class TestSpecs:
+    def test_default_names(self):
+        assert AggregateSpec("SUM", col("amount")).name == "sum_amount"
+        assert AggregateSpec("COUNT", None).name == "count"
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            AggregateSpec("MEDIAN", col("amount"))
+
+    def test_non_count_requires_column(self):
+        with pytest.raises(ExpressionError):
+            AggregateSpec("SUM", None)
+
+    def test_result_types(self):
+        assert (
+            AggregateSpec("COUNT", None).result_type(None)
+            is AttributeType.INT
+        )
+        assert (
+            AggregateSpec("AVG", col("x")).result_type(AttributeType.INT)
+            is AttributeType.FLOAT
+        )
+        assert (
+            AggregateSpec("SUM", col("x")).result_type(AttributeType.FLOAT)
+            is AttributeType.FLOAT
+        )
+
+
+class TestEvaluation:
+    def core(self, predicate=None):
+        return SPJQuery(
+            [RelationRef("accounts")],
+            predicate if predicate is not None else gt(col("amount"), lit(-1)),
+        )
+
+    def test_global_aggregates(self):
+        q = AggregateQuery(
+            self.core(),
+            [
+                AggregateSpec("SUM", col("amount"), "total"),
+                AggregateSpec("COUNT", None, "n"),
+                AggregateSpec("MIN", col("amount"), "lo"),
+            ],
+        )
+        out = evaluate_aggregate(
+            q, resolver_for([("a", 10), ("a", 20), ("b", 5)])
+        )
+        assert len(out) == 1
+        assert out.get(()) == (35, 3, 5)
+
+    def test_global_aggregate_over_empty_input(self):
+        q = AggregateQuery(
+            self.core(gt(col("amount"), lit(1000))),
+            [AggregateSpec("SUM", col("amount"), "total"), AggregateSpec("COUNT", None, "n")],
+        )
+        out = evaluate_aggregate(q, resolver_for([("a", 10)]))
+        assert out.get(()) == (None, 0)
+
+    def test_group_by(self):
+        q = AggregateQuery(
+            self.core(),
+            [AggregateSpec("SUM", col("amount"), "total")],
+            group_by=[col("branch")],
+        )
+        out = evaluate_aggregate(
+            q, resolver_for([("a", 10), ("a", 20), ("b", 5)])
+        )
+        assert out.get(("a",)) == ("a", 30)
+        assert out.get(("b",)) == ("b", 5)
+
+    def test_group_by_respects_predicate(self):
+        q = AggregateQuery(
+            self.core(gt(col("amount"), lit(8))),
+            [AggregateSpec("COUNT", None, "n")],
+            group_by=[col("branch")],
+        )
+        out = evaluate_aggregate(
+            q, resolver_for([("a", 10), ("a", 2), ("b", 5)])
+        )
+        assert out.get(("a",)) == ("a", 1)
+        assert ("b",) not in out
+
+    def test_output_schema(self):
+        q = AggregateQuery(
+            self.core(),
+            [AggregateSpec("AVG", col("amount"), "mean")],
+            group_by=[col("branch")],
+        )
+        schema = q.output_schema(SCHEMA)
+        assert schema.names == ("branch", "mean")
+        assert schema.type_of("mean") is AttributeType.FLOAT
+
+    def test_requires_aggregates(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(self.core(), [])
+
+    def test_to_sql(self):
+        q = AggregateQuery(
+            self.core(),
+            [AggregateSpec("SUM", col("amount"), "total")],
+            group_by=[col("branch")],
+        )
+        sql = q.to_sql()
+        assert sql.startswith("SELECT branch, SUM(amount) AS total FROM")
+        assert sql.endswith("GROUP BY branch")

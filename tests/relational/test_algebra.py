@@ -1,0 +1,103 @@
+"""Tests for algebra trees, SPJQuery, and SPJ normalization."""
+
+import pytest
+
+from repro.errors import QueryError, UnsupportedQueryError
+from repro.relational.algebra import (
+    Difference,
+    Join,
+    OutputColumn,
+    Project,
+    RelationRef,
+    Scan,
+    Select,
+    SPJQuery,
+    Union,
+    normalize,
+)
+from repro.relational.expressions import col, lit
+from repro.relational.predicates import TruePredicate, eq, gt
+
+
+class TestSPJQuery:
+    def test_requires_relations(self):
+        with pytest.raises(QueryError):
+            SPJQuery([])
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(QueryError):
+            SPJQuery([RelationRef("t", "a"), RelationRef("u", "a")])
+
+    def test_self_join_with_distinct_aliases(self):
+        q = SPJQuery([RelationRef("t", "a"), RelationRef("t", "b")])
+        assert q.table_names == ("t", "t")
+        assert q.alias_for_table("t") == ["a", "b"]
+
+    def test_to_sql_shape(self):
+        q = SPJQuery(
+            [RelationRef("stocks")],
+            gt(col("price"), lit(120)),
+            [OutputColumn(col("name")), OutputColumn(col("price"), "px")],
+        )
+        sql = q.to_sql()
+        assert sql == "SELECT name, price AS px FROM stocks WHERE price > 120"
+
+    def test_select_star_sql(self):
+        q = SPJQuery([RelationRef("stocks")])
+        assert q.to_sql() == "SELECT * FROM stocks"
+
+    def test_equality_and_hash(self):
+        a = SPJQuery([RelationRef("t")], gt(col("x"), lit(1)))
+        b = SPJQuery([RelationRef("t")], gt(col("x"), lit(1)))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestNormalize:
+    def test_select_over_scan(self):
+        q = normalize(Select(Scan("stocks"), gt(col("price"), lit(120))))
+        assert q.table_names == ("stocks",)
+        assert q.predicate == gt(col("price"), lit(120))
+        assert q.projection is None
+
+    def test_project_select_join(self):
+        tree = Project(
+            Select(
+                Join(
+                    Scan("stocks", "s"),
+                    Scan("trades", "t"),
+                    eq(col("sid", "s"), col("sid", "t")),
+                ),
+                gt(col("price", "s"), lit(100)),
+            ),
+            [(col("name", "s"), None), (col("qty", "t"), "quantity")],
+        )
+        q = normalize(tree)
+        assert q.aliases == ("s", "t")
+        conjuncts = q.predicate.conjuncts()
+        assert len(conjuncts) == 2
+        assert q.projection[1].name == "quantity"
+
+    def test_nested_joins_flatten(self):
+        tree = Join(Join(Scan("a"), Scan("b")), Scan("c"))
+        q = normalize(tree)
+        assert q.aliases == ("a", "b", "c")
+
+    def test_project_below_select_rejected(self):
+        tree = Select(
+            Project(Scan("t"), [(col("x"), None)]), gt(col("x"), lit(1))
+        )
+        with pytest.raises(UnsupportedQueryError):
+            normalize(tree)
+
+    def test_union_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            normalize(Union(Scan("a"), Scan("b")))
+
+    def test_difference_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            normalize(Difference(Scan("a"), Scan("b")))
+
+    def test_scan_only(self):
+        q = normalize(Scan("t", "alias"))
+        assert q.aliases == ("alias",)
+        assert isinstance(q.predicate, TruePredicate)

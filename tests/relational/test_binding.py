@@ -1,0 +1,61 @@
+"""Tests for name resolution across one or many relation scopes."""
+
+import pytest
+
+from repro.errors import AmbiguousAttributeError, UnknownAttributeError
+from repro.relational.binding import EnvBinder, SingleRowBinder, qualifiers_used
+from repro.relational.expressions import ColumnRef, col
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+STOCKS = Schema.of(("sid", AttributeType.INT), ("price", AttributeType.INT))
+TRADES = Schema.of(("sid", AttributeType.INT), ("qty", AttributeType.INT))
+SCOPES = {"s": STOCKS, "t": TRADES}
+
+
+class TestEnvBinder:
+    def test_qualified_resolution(self):
+        binder = EnvBinder(SCOPES)
+        assert binder.resolve(ColumnRef("price", "s")) == ("s", 1)
+        assert binder.resolve(ColumnRef("qty", "t")) == ("t", 1)
+
+    def test_unqualified_unique_resolution(self):
+        binder = EnvBinder(SCOPES)
+        assert binder.resolve(ColumnRef("qty")) == ("t", 1)
+
+    def test_ambiguous_unqualified(self):
+        binder = EnvBinder(SCOPES)
+        with pytest.raises(AmbiguousAttributeError):
+            binder.resolve(ColumnRef("sid"))
+
+    def test_unknown_name(self):
+        binder = EnvBinder(SCOPES)
+        with pytest.raises(UnknownAttributeError):
+            binder.resolve(ColumnRef("volume"))
+
+    def test_unknown_qualifier(self):
+        binder = EnvBinder(SCOPES)
+        with pytest.raises(UnknownAttributeError):
+            binder.resolve(ColumnRef("price", "zz"))
+
+    def test_accessor_reads_env(self):
+        binder = EnvBinder(SCOPES)
+        accessor = ColumnRef("price", "s").compile(binder)
+        env = {"s": (7, 120), "t": (7, 3)}
+        assert accessor(env) == 120
+
+
+class TestSingleRowBinder:
+    def test_accessor_reads_tuple(self):
+        accessor = col("price").compile(SingleRowBinder(STOCKS))
+        assert accessor((9, 55)) == 55
+
+    def test_alias_checking(self):
+        binder = SingleRowBinder(STOCKS, alias="s")
+        accessor = ColumnRef("price", "s").compile(binder)
+        assert accessor((9, 55)) == 55
+
+
+def test_qualifiers_used():
+    refs = [ColumnRef("price", "s"), ColumnRef("qty")]
+    assert qualifiers_used(refs, SCOPES) == {"s", "t"}

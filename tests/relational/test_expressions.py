@@ -1,0 +1,105 @@
+"""Tests for scalar expressions and their compilation."""
+
+import pytest
+
+from repro.errors import ExpressionError, UnknownAttributeError
+from repro.relational.binding import SingleRowBinder
+from repro.relational.expressions import (
+    Abs,
+    Arithmetic,
+    ColumnRef,
+    Literal,
+    Negate,
+    col,
+    lit,
+)
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+SCHEMA = Schema.of(("a", AttributeType.INT), ("b", AttributeType.INT))
+BINDER = SingleRowBinder(SCHEMA)
+
+
+def run(expr, row):
+    return expr.compile(BINDER)(row)
+
+
+class TestBasics:
+    def test_literal(self):
+        assert run(lit(42), (0, 0)) == 42
+
+    def test_column_ref(self):
+        assert run(col("b"), (1, 2)) == 2
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownAttributeError):
+            col("zzz").compile(BINDER)
+
+    def test_col_parses_dotted_shorthand(self):
+        ref = col("stocks.price")
+        assert ref.qualifier == "stocks" and ref.name == "price"
+
+    def test_qualifier_must_match_alias(self):
+        binder = SingleRowBinder(SCHEMA, alias="s")
+        assert ColumnRef("a", "s").compile(binder)((5, 6)) == 5
+        with pytest.raises(UnknownAttributeError):
+            ColumnRef("a", "t").compile(binder)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExpressionError):
+            ColumnRef("")
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,expected", [("+", 9), ("-", 3), ("*", 18), ("/", 2.0)]
+    )
+    def test_operators(self, op, expected):
+        assert run(Arithmetic(op, col("a"), col("b")), (6, 3)) == expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Arithmetic("%", col("a"), col("b"))
+
+    def test_null_propagates(self):
+        assert run(col("a") + col("b"), (None, 3)) is None
+
+    def test_operator_overloads(self):
+        expr = (col("a") + lit(1)) * lit(2)
+        assert run(expr, (5, 0)) == 12
+
+    def test_nested(self):
+        expr = Arithmetic("+", Arithmetic("*", col("a"), lit(10)), col("b"))
+        assert run(expr, (3, 4)) == 34
+
+
+class TestUnary:
+    def test_abs(self):
+        assert run(Abs(col("a") - lit(75)), (70, 0)) == 5
+
+    def test_abs_null(self):
+        assert run(Abs(col("a")), (None, 0)) is None
+
+    def test_negate(self):
+        assert run(Negate(col("a")), (4, 0)) == -4
+
+    def test_negate_null(self):
+        assert run(Negate(col("a")), (None, 0)) is None
+
+
+class TestStructure:
+    def test_equality(self):
+        assert col("a") + lit(1) == col("a") + lit(1)
+        assert col("a") + lit(1) != col("a") + lit(2)
+
+    def test_hashable(self):
+        assert len({col("a"), col("a"), col("b")}) == 2
+
+    def test_to_sql(self):
+        assert (col("a") + lit(1)).to_sql() == "(a + 1)"
+        assert Abs(col("x", "s")).to_sql() == "ABS(s.x)"
+        assert lit("o'brien").to_sql() == "'o''brien'"
+
+    def test_column_refs_enumeration(self):
+        expr = Abs(col("a") - col("b"))
+        assert {ref.name for ref in expr.column_refs()} == {"a", "b"}

@@ -1,0 +1,130 @@
+"""Tests for HAVING: complete evaluation and differential maintenance."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.relational import AttributeType, evaluate_aggregate, parse_query
+from repro.delta.capture import deltas_since
+from repro.delta.differential import ChangeKind
+from repro.dra.aggregates import DifferentialAggregate
+
+
+@pytest.fixture
+def bankdb(db):
+    accounts = db.create_table(
+        "accounts",
+        [("owner", AttributeType.STR), ("branch", AttributeType.STR),
+         ("amount", AttributeType.INT)],
+    )
+    accounts.insert_many(
+        [
+            ("alice", "north", 100),
+            ("bob", "north", 250),
+            ("carol", "south", 40),
+            ("dave", "west", 75),
+        ]
+    )
+    return db, accounts
+
+GROUPED = (
+    "SELECT branch, SUM(amount) AS total FROM accounts "
+    "GROUP BY branch HAVING total > 100"
+)
+
+
+class TestParsing:
+    def test_having_parsed(self):
+        q = parse_query(GROUPED)
+        assert q.having is not None
+        assert "HAVING total > 100" in q.to_sql()
+
+    def test_having_without_aggregates_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query("SELECT owner FROM accounts HAVING owner = 'x'")
+
+    def test_having_on_group_column(self):
+        q = parse_query(
+            "SELECT branch, COUNT(*) AS n FROM accounts "
+            "GROUP BY branch HAVING branch = 'north'"
+        )
+        assert q.having is not None
+
+
+class TestCompleteEvaluation:
+    def test_groups_filtered(self, bankdb):
+        db, __ = bankdb
+        out = db.query(GROUPED)
+        assert out.values_set() == {("north", 350)}
+
+    def test_global_having(self, bankdb):
+        db, __ = bankdb
+        out = db.query(
+            "SELECT SUM(amount) AS total FROM accounts HAVING total > 1000"
+        )
+        assert len(out) == 0
+        out = db.query(
+            "SELECT SUM(amount) AS total FROM accounts HAVING total > 100"
+        )
+        assert out.get(()) == (465,)
+
+    def test_having_composes_with_where(self, bankdb):
+        db, __ = bankdb
+        out = db.query(
+            "SELECT branch, COUNT(*) AS n FROM accounts WHERE amount > 50 "
+            "GROUP BY branch HAVING n >= 2"
+        )
+        assert out.values_set() == {("north", 2)}
+
+
+class TestDifferentialMaintenance:
+    def test_group_crosses_having_boundary(self, bankdb):
+        db, accounts = bankdb
+        q = parse_query(GROUPED)
+        state = DifferentialAggregate(q, db)
+        assert state.initialize().values_set() == {("north", 350)}
+        ts = db.now()
+        accounts.insert(("erin", "south", 90))  # south: 40 -> 130
+        delta = state.update(deltas_since([accounts], ts), ts=db.now())
+        entry = delta.get(("south",))
+        assert entry.kind is ChangeKind.INSERT  # group became visible
+        assert entry.new == ("south", 130)
+        assert state.current() == db.query(GROUPED)
+
+    def test_group_drops_below_having(self, bankdb):
+        db, accounts = bankdb
+        q = parse_query(GROUPED)
+        state = DifferentialAggregate(q, db)
+        state.initialize()
+        ts = db.now()
+        tid = next(r.tid for r in accounts.rows() if r.values[0] == "bob")
+        accounts.delete(tid)  # north: 350 -> 100, filtered out
+        delta = state.update(deltas_since([accounts], ts), ts=db.now())
+        entry = delta.get(("north",))
+        assert entry.kind is ChangeKind.DELETE
+        assert state.current() == db.query(GROUPED)
+        assert len(state.current()) == 0
+
+    def test_invisible_movement_below_threshold(self, bankdb):
+        """Changes entirely below the HAVING bar produce no delta."""
+        db, accounts = bankdb
+        q = parse_query(GROUPED)
+        state = DifferentialAggregate(q, db)
+        state.initialize()
+        ts = db.now()
+        tid = next(r.tid for r in accounts.rows() if r.values[0] == "carol")
+        accounts.modify(tid, updates={"amount": 55})  # south 40 -> 55
+        delta = state.update(deltas_since([accounts], ts), ts=db.now())
+        assert delta.is_empty()
+        assert state.current() == db.query(GROUPED)
+
+    def test_manager_integration(self, bankdb):
+        from repro.core import CQManager, DeliveryMode
+
+        db, accounts = bankdb
+        mgr = CQManager(db)
+        mgr.register_sql("rich", GROUPED, mode=DeliveryMode.COMPLETE)
+        mgr.drain()
+        accounts.insert(("frank", "west", 200))  # west: 75 -> 275
+        notes = mgr.drain()
+        assert notes and notes[0].result == db.query(GROUPED)
+        assert ("west", 275) in notes[0].result.values_set()

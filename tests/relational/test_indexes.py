@@ -1,0 +1,103 @@
+"""Tests for hash indexes and index sets."""
+
+import pytest
+
+from repro.metrics import Metrics
+from repro.relational.indexes import HashIndex, IndexSet
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+SCHEMA = Schema.of(
+    ("sid", AttributeType.INT),
+    ("name", AttributeType.STR),
+    ("price", AttributeType.INT),
+)
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_pairs(
+        SCHEMA,
+        [
+            (1, (100, "DEC", 156)),
+            (2, (200, "QLI", 145)),
+            (3, (300, "DEC", 150)),
+        ],
+    )
+
+
+class TestHashIndex:
+    def test_build_and_lookup(self, relation):
+        index = HashIndex.build(relation, (1,))
+        assert index.lookup(("DEC",)) == {1, 3}
+        assert index.lookup(("ZZZ",)) == frozenset()
+
+    def test_on_columns(self, relation):
+        index = HashIndex.on_columns(SCHEMA, ["name", "price"])
+        assert index.positions == (1, 2)
+
+    def test_needs_key_columns(self):
+        with pytest.raises(ValueError):
+            HashIndex(())
+
+    def test_insert_remove(self, relation):
+        index = HashIndex.build(relation, (1,))
+        index.remove(1, (100, "DEC", 156))
+        assert index.lookup(("DEC",)) == {3}
+        index.remove(3, (300, "DEC", 150))
+        assert index.lookup(("DEC",)) == frozenset()
+        assert index.bucket_count() == 1  # QLI remains
+
+    def test_update_moves_between_buckets(self, relation):
+        index = HashIndex.build(relation, (1,))
+        index.update(1, (100, "DEC", 156), (100, "QLI", 156))
+        assert 1 in index.lookup(("QLI",))
+        assert index.lookup(("DEC",)) == {3}
+
+    def test_update_same_key_is_noop(self, relation):
+        index = HashIndex.build(relation, (1,))
+        index.update(1, (100, "DEC", 156), (100, "DEC", 999))
+        assert index.lookup(("DEC",)) == {1, 3}
+
+    def test_len_counts_entries(self, relation):
+        index = HashIndex.build(relation, (1,))
+        assert len(index) == 3
+
+    def test_lookup_counts_probes(self, relation):
+        metrics = Metrics()
+        index = HashIndex.build(relation, (1,))
+        index.lookup(("DEC",), metrics)
+        index.lookup(("QLI",), metrics)
+        assert metrics[Metrics.INDEX_PROBES] == 2
+
+
+class TestIndexSet:
+    def test_routing_on_updates(self, relation):
+        indexes = IndexSet()
+        by_name = HashIndex.build(relation, (1,))
+        by_sid = HashIndex.build(relation, (0,))
+        indexes.add(by_name)
+        indexes.add(by_sid)
+        indexes.on_insert(4, (400, "MAC", 117))
+        assert 4 in by_name.lookup(("MAC",))
+        assert 4 in by_sid.lookup((400,))
+        indexes.on_modify(4, (400, "MAC", 117), (400, "MAC2", 117))
+        assert 4 in by_name.lookup(("MAC2",))
+        indexes.on_delete(4, (400, "MAC2", 117))
+        assert 4 not in by_name.lookup(("MAC2",))
+        assert 4 not in by_sid.lookup((400,))
+
+    def test_best_for_matches_any_order(self, relation):
+        indexes = IndexSet()
+        index = HashIndex.build(relation, (1, 2))
+        indexes.add(index)
+        assert indexes.best_for((2, 1)) is index
+        assert indexes.best_for((0,)) is None
+
+    def test_single_column(self, relation):
+        indexes = IndexSet()
+        index = HashIndex.build(relation, (0,))
+        indexes.add(index)
+        assert indexes.single_column(0) is index
+        assert indexes.single_column(1) is None

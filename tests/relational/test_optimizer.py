@@ -1,0 +1,81 @@
+"""Tests for the Section 5.2 heuristics (conjunct ordering, explain)."""
+
+from repro.relational.algebra import RelationRef, SPJQuery
+from repro.relational.expressions import Abs, col, lit
+from repro.relational.optimizer import (
+    expression_cost,
+    explain,
+    order_conjuncts,
+    predicate_cost,
+    refine,
+)
+from repro.relational.predicates import And, eq, gt
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+SCHEMA = Schema.of(
+    ("sid", AttributeType.INT),
+    ("name", AttributeType.STR),
+    ("price", AttributeType.INT),
+)
+
+
+def test_expression_cost_ordering():
+    assert expression_cost(lit(1)) < expression_cost(col("price"))
+    assert expression_cost(col("price")) < expression_cost(
+        Abs(col("price") - lit(75))
+    )
+
+
+def test_predicate_cost_grows_with_structure():
+    cheap = eq(col("name"), lit("DEC"))
+    pricey = gt(Abs(col("price") - lit(75)), lit(5))
+    assert predicate_cost(cheap) < predicate_cost(pricey)
+
+
+def test_order_conjuncts_puts_cheap_first():
+    expensive = gt(Abs(col("price") - lit(75)), lit(5))
+    cheap = eq(col("name"), lit("IBM"))
+    ordered = order_conjuncts(And(expensive, cheap))
+    assert ordered.conjuncts()[0] == cheap
+
+
+def test_order_conjuncts_prefers_literal_equality():
+    range_test = gt(col("price"), lit(120))
+    equality = eq(col("name"), lit("IBM"))
+    ordered = order_conjuncts(And(range_test, equality))
+    assert ordered.conjuncts()[0] == equality
+
+
+def test_order_single_conjunct_passthrough():
+    pred = gt(col("price"), lit(1))
+    assert order_conjuncts(pred) is pred
+
+
+def test_refine_preserves_query_shape():
+    q = SPJQuery(
+        [RelationRef("stocks", "s")],
+        And(
+            gt(Abs(col("price") - lit(75)), lit(5)),
+            eq(col("name"), lit("IBM")),
+        ),
+    )
+    refined = refine(q)
+    assert refined.relations == q.relations
+    assert set(refined.predicate.conjuncts()) == set(q.predicate.conjuncts())
+
+
+def test_explain_mentions_all_parts():
+    q = SPJQuery(
+        [RelationRef("stocks", "s"), RelationRef("stocks", "t")],
+        And(
+            eq(col("sid", "s"), col("sid", "t")),
+            gt(col("price", "s"), lit(100)),
+            gt(col("price", "s"), col("price", "t")),
+        ),
+    )
+    text = explain(q, {"s": SCHEMA, "t": SCHEMA})
+    assert "scan stocks AS s" in text
+    assert "join edges" in text
+    assert "residual" in text
+    assert "project: *" in text

@@ -1,0 +1,82 @@
+"""Tests for predicate decomposition (local / join edge / residual)."""
+
+from repro.relational.algebra import RelationRef, SPJQuery
+from repro.relational.expressions import col, lit
+from repro.relational.planning import plan_predicate
+from repro.relational.predicates import And, Or, TruePredicate, eq, gt, lt
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+STOCKS = Schema.of(("sid", AttributeType.INT), ("price", AttributeType.INT))
+TRADES = Schema.of(("sid", AttributeType.INT), ("qty", AttributeType.INT))
+SCOPES = {"s": STOCKS, "t": TRADES}
+
+
+def test_local_conjuncts_assigned_per_alias():
+    pred = And(gt(col("price", "s"), lit(100)), lt(col("qty", "t"), lit(5)))
+    plan = plan_predicate(pred, SCOPES)
+    assert plan.local["s"] == [gt(col("price", "s"), lit(100))]
+    assert plan.local["t"] == [lt(col("qty", "t"), lit(5))]
+    assert not plan.edges and not plan.residual
+
+
+def test_equijoin_becomes_edge():
+    pred = eq(col("sid", "s"), col("sid", "t"))
+    plan = plan_predicate(pred, SCOPES)
+    assert len(plan.edges) == 1
+    edge = plan.edges[0]
+    assert edge.touches("s") and edge.touches("t")
+    assert edge.other("s") == "t"
+    assert edge.position_for("s") == 0 and edge.position_for("t") == 0
+
+
+def test_cross_relation_inequality_is_residual():
+    pred = gt(col("price", "s"), col("qty", "t"))
+    plan = plan_predicate(pred, SCOPES)
+    assert not plan.edges
+    assert len(plan.residual) == 1
+    __, aliases = plan.residual[0]
+    assert aliases == {"s", "t"}
+
+
+def test_cross_relation_or_is_residual():
+    pred = Or(gt(col("price", "s"), lit(1)), gt(col("qty", "t"), lit(1)))
+    plan = plan_predicate(pred, SCOPES)
+    assert len(plan.residual) == 1
+
+
+def test_constant_conjunct_is_residual_with_empty_aliases():
+    pred = gt(lit(2), lit(1))
+    plan = plan_predicate(pred, SCOPES)
+    assert plan.residual[0][1] == set()
+
+
+def test_local_predicate_builds_conjunction():
+    pred = And(
+        gt(col("price", "s"), lit(100)),
+        lt(col("price", "s"), lit(900)),
+    )
+    plan = plan_predicate(pred, SCOPES)
+    local = plan.local_predicate("s")
+    assert len(local.conjuncts()) == 2
+    assert isinstance(plan.local_predicate("t"), TruePredicate)
+
+
+def test_edges_between_and_residual_ready():
+    pred = And(
+        eq(col("sid", "s"), col("sid", "t")),
+        gt(col("price", "s"), col("qty", "t")),
+    )
+    plan = plan_predicate(pred, SCOPES)
+    assert plan.edges_between({"s"}, "t") == plan.edges
+    assert plan.edges_between({"t"}, "s") == plan.edges
+    assert plan.residual_ready({"s"}, set()) == []
+    ready = plan.residual_ready({"s", "t"}, set())
+    assert len(ready) == 1
+    assert plan.residual_ready({"s", "t"}, {ready[0][0]}) == []
+
+
+def test_single_relation_queries_have_no_edges():
+    q = SPJQuery([RelationRef("stocks", "s")], gt(col("price"), lit(120)))
+    plan = plan_predicate(q.predicate, {"s": STOCKS})
+    assert plan.local["s"] and not plan.edges and not plan.residual

@@ -1,0 +1,129 @@
+"""Tests for predicates: comparisons, connectives, null handling."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.binding import SingleRowBinder
+from repro.relational.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Not,
+    Or,
+    TruePredicate,
+    conjunction,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+from repro.relational.expressions import Abs, col, lit
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+SCHEMA = Schema.of(("price", AttributeType.INT), ("name", AttributeType.STR))
+BINDER = SingleRowBinder(SCHEMA)
+
+
+def holds(pred, row):
+    return pred.compile(BINDER)(row)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "builder,row,expected",
+        [
+            (lambda: gt(col("price"), lit(120)), (150, "DEC"), True),
+            (lambda: gt(col("price"), lit(120)), (120, "DEC"), False),
+            (lambda: ge(col("price"), lit(120)), (120, "DEC"), True),
+            (lambda: lt(col("price"), lit(120)), (100, "DEC"), True),
+            (lambda: le(col("price"), lit(120)), (121, "DEC"), False),
+            (lambda: eq(col("name"), lit("DEC")), (1, "DEC"), True),
+            (lambda: ne(col("name"), lit("DEC")), (1, "QLI"), True),
+        ],
+    )
+    def test_operators(self, builder, row, expected):
+        assert holds(builder(), row) is expected
+
+    def test_operator_aliases(self):
+        assert Comparison("==", col("price"), lit(1)).op == "="
+        assert Comparison("<>", col("price"), lit(1)).op == "!="
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", col("price"), lit(1))
+
+    def test_null_comparisons_are_false(self):
+        assert holds(gt(col("price"), lit(120)), (None, "x")) is False
+        assert holds(eq(col("price"), lit(None)), (1, "x")) is False
+
+    def test_paper_q3_distance_predicate(self):
+        # "IBM stock transactions that differ by more than $5 from $75"
+        q3 = And(
+            eq(col("name"), lit("IBM")),
+            gt(Abs(col("price") - lit(75)), lit(5)),
+        )
+        assert holds(q3, (85, "IBM"))
+        assert not holds(q3, (78, "IBM"))
+        assert not holds(q3, (85, "DEC"))
+
+
+class TestConnectives:
+    def test_and_flattens(self):
+        pred = And(And(gt(col("price"), lit(1)), TruePredicate()), eq(col("name"), lit("a")))
+        assert len(pred.children) == 2
+
+    def test_and_semantics(self):
+        pred = And(gt(col("price"), lit(100)), eq(col("name"), lit("DEC")))
+        assert holds(pred, (150, "DEC"))
+        assert not holds(pred, (150, "QLI"))
+
+    def test_or_semantics(self):
+        pred = Or(lt(col("price"), lit(10)), eq(col("name"), lit("DEC")))
+        assert holds(pred, (500, "DEC"))
+        assert holds(pred, (5, "QLI"))
+        assert not holds(pred, (500, "QLI"))
+
+    def test_not(self):
+        assert holds(Not(gt(col("price"), lit(100))), (50, "x"))
+
+    def test_not_negate_returns_child(self):
+        inner = gt(col("price"), lit(1))
+        assert Not(inner).negate() is inner
+
+    def test_comparison_negate(self):
+        assert gt(col("price"), lit(1)).negate() == le(col("price"), lit(1))
+
+    def test_true_false(self):
+        assert holds(TruePredicate(), (1, "x"))
+        assert not holds(FalsePredicate(), (1, "x"))
+        assert isinstance(TruePredicate().negate(), FalsePredicate)
+        assert isinstance(FalsePredicate().negate(), TruePredicate)
+
+
+class TestConjunctHandling:
+    def test_conjuncts_flatten(self):
+        pred = And(gt(col("price"), lit(1)), And(lt(col("price"), lit(9)), ne(col("name"), lit("a"))))
+        assert len(pred.conjuncts()) == 3
+
+    def test_true_has_no_conjuncts(self):
+        assert TruePredicate().conjuncts() == []
+
+    def test_conjunction_of_empty_is_true(self):
+        assert isinstance(conjunction([]), TruePredicate)
+
+    def test_conjunction_single_passthrough(self):
+        pred = gt(col("price"), lit(1))
+        assert conjunction([pred]) is pred
+
+    def test_is_equijoin_pair(self):
+        assert eq(col("a", "s"), col("b", "t")).is_equijoin_pair()
+        assert not eq(col("a", "s"), lit(5)).is_equijoin_pair()
+        assert not gt(col("a", "s"), col("b", "t")).is_equijoin_pair()
+
+    def test_to_sql_round_trips_structure(self):
+        pred = And(gt(col("price"), lit(120)), Or(eq(col("name"), lit("A")), eq(col("name"), lit("B"))))
+        text = pred.to_sql()
+        assert "AND" in text and "OR" in text

@@ -1,0 +1,54 @@
+"""Tests for presentation helpers: sorted_rows, top-N delivery."""
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+SCHEMA = Schema.of(("name", AttributeType.STR), ("price", AttributeType.INT))
+
+
+def make(rows):
+    return Relation.from_pairs(SCHEMA, rows)
+
+
+class TestTop:
+    def test_descending_default(self):
+        rel = make([(1, ("a", 10)), (2, ("b", 30)), (3, ("c", 20))])
+        top = rel.top(2, by="price")
+        assert [row.values[1] for row in top] == [30, 20]
+
+    def test_ascending(self):
+        rel = make([(1, ("a", 10)), (2, ("b", 30)), (3, ("c", 20))])
+        top = rel.top(2, by="price", descending=False)
+        assert [row.values[1] for row in top] == [10, 20]
+
+    def test_n_larger_than_relation(self):
+        rel = make([(1, ("a", 10))])
+        assert len(rel.top(99, by="price")) == 1
+
+    def test_nulls_sort_last(self):
+        rel = make([(1, ("a", None)), (2, ("b", 5))])
+        top = rel.top(2, by="price")
+        assert top[0].values[1] == 5
+        assert top[1].values[1] is None
+
+    def test_zero_and_negative_n(self):
+        rel = make([(1, ("a", 10))])
+        assert rel.top(0, by="price") == []
+        assert rel.top(-3, by="price") == []
+
+    def test_string_ordering(self):
+        rel = make([(1, ("zeta", 1)), (2, ("alpha", 2))])
+        top = rel.top(1, by="name", descending=False)
+        assert top[0].values[0] == "alpha"
+
+
+class TestSortedRows:
+    def test_deterministic_over_mixed_tids(self):
+        rel = Relation.from_pairs(
+            SCHEMA, [((2, 1), ("x", 1)), (1, ("y", 2)), ((1, 9), ("z", 3))]
+        )
+        first = [row.tid for row in rel.sorted_rows()]
+        second = [row.tid for row in rel.sorted_rows()]
+        assert first == second
+        assert len(first) == 3

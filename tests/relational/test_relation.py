@@ -1,0 +1,150 @@
+"""Tests for Relation: container behaviour and complete algebra ops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+SCHEMA = Schema.of(("k", AttributeType.INT), ("v", AttributeType.STR))
+
+
+def make(pairs):
+    return Relation.from_pairs(SCHEMA, pairs)
+
+
+class TestContainer:
+    def test_add_get_len(self):
+        rel = make([(1, (10, "a")), (2, (20, "b"))])
+        assert len(rel) == 2
+        assert rel.get(1) == (10, "a")
+        assert rel.get_or_none(3) is None
+
+    def test_add_overwrites_same_tid(self):
+        rel = make([(1, (10, "a"))])
+        rel.add(1, (11, "b"))
+        assert len(rel) == 1
+        assert rel.get(1) == (11, "b")
+
+    def test_add_validates(self):
+        rel = make([])
+        with pytest.raises(SchemaError):
+            rel.add(1, ("not-int", "a"))
+
+    def test_remove_and_discard(self):
+        rel = make([(1, (10, "a"))])
+        rel.remove(1)
+        assert 1 not in rel
+        rel.discard(1)  # no-op, no raise
+
+    def test_iteration_yields_rows(self):
+        rel = make([(1, (10, "a"))])
+        rows = list(rel)
+        assert rows == [Row(1, (10, "a"))]
+
+    def test_copy_is_independent(self):
+        rel = make([(1, (10, "a"))])
+        clone = rel.copy()
+        clone.add(2, (20, "b"))
+        assert len(rel) == 1 and len(clone) == 2
+
+    def test_equality_is_content_based(self):
+        assert make([(1, (10, "a"))]) == make([(1, (10, "a"))])
+        assert make([(1, (10, "a"))]) != make([(2, (10, "a"))])
+        assert make([(1, (10, "a"))]) != make([(1, (11, "a"))])
+
+
+class TestAlgebra:
+    def test_select(self):
+        rel = make([(1, (10, "a")), (2, (20, "b")), (3, (30, "c"))])
+        out = rel.select(lambda values: values[0] > 15)
+        assert sorted(row.tid for row in out) == [2, 3]
+
+    def test_project_keeps_tids(self):
+        rel = make([(1, (10, "a")), (2, (20, "a"))])
+        out = rel.project(["v"])
+        assert out.get(1) == ("a",)
+        assert out.get(2) == ("a",)
+        assert len(out) == 2  # duplicates survive because tids differ
+
+    def test_distinct_values(self):
+        rel = make([(1, (10, "a")), (2, (10, "a")), (3, (20, "b"))])
+        assert len(rel.distinct_values()) == 2
+
+    def test_join_composite_tids(self):
+        right_schema = Schema.of(("k2", AttributeType.INT), ("v2", AttributeType.STR))
+        left = make([(1, (10, "a")), (2, (20, "b"))])
+        right = Relation.from_pairs(right_schema, [(7, (10, "x")), (8, (30, "y"))])
+        out = left.join(right, lambda lv, rv: lv[0] == rv[0])
+        assert len(out) == 1
+        assert out.get((1, 7)) == (10, "a", 10, "x")
+
+    def test_equijoin_matches_nested_loop(self):
+        right_schema = Schema.of(("k2", AttributeType.INT), ("v2", AttributeType.STR))
+        left = make([(i, (i % 3, str(i))) for i in range(1, 8)])
+        right = Relation.from_pairs(
+            right_schema, [(100 + i, (i % 3, "r")) for i in range(1, 5)]
+        )
+        theta = left.join(right, lambda lv, rv: lv[0] == rv[0])
+        hashed = left.equijoin(right, (0,), (0,))
+        assert theta == hashed
+
+    def test_union_tid_keyed(self):
+        a = make([(1, (10, "a")), (2, (20, "b"))])
+        b = make([(2, (21, "B")), (3, (30, "c"))])
+        out = a.union(b)
+        assert len(out) == 3
+        assert out.get(2) == (21, "B")  # other side wins on collision
+
+    def test_difference_tid_keyed(self):
+        a = make([(1, (10, "a")), (2, (20, "b"))])
+        b = make([(2, (99, "?"))])
+        out = a.difference(b)
+        assert sorted(row.tid for row in out) == [1]
+
+    def test_intersect(self):
+        a = make([(1, (10, "a")), (2, (20, "b"))])
+        b = make([(2, (99, "?")), (3, (1, "z"))])
+        assert [row.tid for row in a.intersect(b)] == [2]
+
+    def test_union_requires_compatible_schema(self):
+        other = Relation(Schema.of(("only", AttributeType.STR)))
+        with pytest.raises(SchemaError):
+            make([]).union(other)
+
+
+class TestPresentation:
+    def test_table_string_contains_data(self):
+        text = make([(1, (10, "abc"))]).to_table_string()
+        assert "abc" in text and "k" in text and "v" in text
+
+    def test_table_string_truncates(self):
+        rel = make([(i, (i, "x")) for i in range(30)])
+        text = rel.to_table_string(limit=5)
+        assert "more rows" in text
+
+    def test_none_rendered_as_dash(self):
+        rel = make([(1, (None, None))])
+        assert "-" in rel.to_table_string()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.integers(-5, 5)),
+        max_size=40,
+    )
+)
+def test_union_difference_roundtrip_property(pairs):
+    """(A ∪ B) − B has no tids of B and all tids of A − B."""
+    schema = Schema.of(("x", AttributeType.INT))
+    a = Relation(schema)
+    b = Relation(schema)
+    for tid, x in pairs:
+        (a if x % 2 == 0 else b).add(tid, (x,))
+    union = a.union(b)
+    out = union.difference(b)
+    assert all(row.tid not in b for row in out)
+    for row in a:
+        assert (row.tid in out) == (row.tid not in b)

@@ -1,0 +1,126 @@
+"""Tests for schemas: construction, lookup, projection, compatibility."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(
+        ("sid", AttributeType.INT),
+        ("name", AttributeType.STR),
+        ("price", AttributeType.INT),
+    )
+
+
+class TestConstruction:
+    def test_of_builds_in_order(self, schema):
+        assert schema.names == ("sid", "name", "price")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", AttributeType.INT), ("a", AttributeType.STR))
+
+    def test_dot_in_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("s.price", AttributeType.INT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", AttributeType.INT)
+
+    def test_non_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["not-an-attribute"])
+
+    def test_empty_schema_allowed(self):
+        assert len(Schema([])) == 0
+
+
+class TestLookup:
+    def test_position(self, schema):
+        assert schema.position("price") == 2
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.position("volume")
+
+    def test_contains(self, schema):
+        assert "name" in schema
+        assert "volume" not in schema
+
+    def test_type_of(self, schema):
+        assert schema.type_of("name") is AttributeType.STR
+
+
+class TestRowValidation:
+    def test_valid_row(self, schema):
+        assert schema.validate_row((1, "DEC", 156)) == (1, "DEC", 156)
+
+    def test_arity_mismatch(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, "DEC"))
+
+    def test_type_mismatch(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, "DEC", "expensive"))
+
+    def test_nulls_allowed(self, schema):
+        assert schema.validate_row((None, None, None)) == (None, None, None)
+
+    def test_coercion_applied(self):
+        schema = Schema.of(("x", AttributeType.FLOAT))
+        row = schema.validate_row((3,))
+        assert isinstance(row[0], float)
+
+
+class TestDerivation:
+    def test_project_reorders(self, schema):
+        projected = schema.project(["price", "sid"])
+        assert projected.names == ("price", "sid")
+
+    def test_rename(self, schema):
+        renamed = schema.rename({"price": "cost"})
+        assert renamed.names == ("sid", "name", "cost")
+        assert renamed.type_of("cost") is AttributeType.INT
+
+    def test_concat(self, schema):
+        other = Schema.of(("qty", AttributeType.INT))
+        assert schema.concat(other).names == ("sid", "name", "price", "qty")
+
+    def test_concat_collision_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.concat(schema)
+
+
+class TestCompatibility:
+    def test_union_compatible_ignores_names(self, schema):
+        other = Schema.of(
+            ("a", AttributeType.INT),
+            ("b", AttributeType.STR),
+            ("c", AttributeType.INT),
+        )
+        assert schema.union_compatible(other)
+
+    def test_union_incompatible_types(self, schema):
+        other = Schema.of(
+            ("a", AttributeType.INT),
+            ("b", AttributeType.STR),
+            ("c", AttributeType.STR),
+        )
+        assert not schema.union_compatible(other)
+
+    def test_union_incompatible_arity(self, schema):
+        assert not schema.union_compatible(Schema.of(("a", AttributeType.INT)))
+
+    def test_equality_and_hash(self, schema):
+        clone = Schema.of(
+            ("sid", AttributeType.INT),
+            ("name", AttributeType.STR),
+            ("price", AttributeType.INT),
+        )
+        assert schema == clone
+        assert hash(schema) == hash(clone)

@@ -1,0 +1,78 @@
+"""Tests for the SQL-subset tokenizer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.relational.sql.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.text for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:3])
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("Stocks")[0]
+        assert token.kind is TokenKind.IDENT and token.text == "Stocks"
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0 and tokens[1].position == 3
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.value == 42 and isinstance(token.value, int)
+
+    def test_float(self):
+        token = tokenize("3.25")[0]
+        assert token.value == 3.25 and isinstance(token.value, float)
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_trailing_dot_is_symbol(self):
+        # `stocks.price`: the dot must not be eaten by a number.
+        assert texts("a.b") == ["a", ".", "b"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert tokenize("'IBM'")[0].value == "IBM"
+
+    def test_escaped_quote(self):
+        assert tokenize("'o''brien'")[0].value == "o'brien"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+
+class TestSymbols:
+    def test_two_char_symbols_win(self):
+        assert texts("a <= b >= c <> d != e") == [
+            "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e",
+        ]
+
+    def test_arithmetic_symbols(self):
+        assert texts("(a + b) * 2 / 1 - 3") == [
+            "(", "a", "+", "b", ")", "*", "2", "/", "1", "-", "3",
+        ]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2

@@ -1,0 +1,173 @@
+"""Tests for the SQL-subset parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError, UnsupportedQueryError
+from repro.relational.aggregates import AggregateQuery
+from repro.relational.algebra import SPJQuery
+from repro.relational.expressions import Abs, col, lit
+from repro.relational.predicates import And, Comparison, Not, Or
+from repro.relational.sql import parse_query
+
+
+class TestProjection:
+    def test_select_star(self):
+        q = parse_query("SELECT * FROM stocks")
+        assert isinstance(q, SPJQuery)
+        assert q.projection is None
+
+    def test_column_list_with_aliases(self):
+        q = parse_query("SELECT name, price AS px, price p2 FROM stocks")
+        assert [c.name for c in q.projection] == ["name", "px", "p2"]
+
+    def test_qualified_columns(self):
+        q = parse_query("SELECT s.name FROM stocks s")
+        assert q.projection[0].ref.qualifier == "s"
+
+    def test_distinct_rejected_with_hint(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query("SELECT DISTINCT name FROM stocks")
+
+
+class TestFrom:
+    def test_aliases(self):
+        q = parse_query("SELECT * FROM stocks AS s, trades t")
+        assert q.aliases == ("s", "t")
+        assert q.table_names == ("stocks", "trades")
+
+    def test_default_alias_is_table(self):
+        q = parse_query("SELECT * FROM stocks")
+        assert q.aliases == ("stocks",)
+
+
+class TestWhere:
+    def test_simple_comparison(self):
+        q = parse_query("SELECT * FROM stocks WHERE price > 120")
+        assert q.predicate == Comparison(">", col("price"), lit(120))
+
+    def test_and_or_precedence(self):
+        q = parse_query(
+            "SELECT * FROM t WHERE a > 1 AND b < 2 OR c = 3"
+        )
+        # AND binds tighter: (a>1 AND b<2) OR c=3
+        assert isinstance(q.predicate, Or)
+        assert len(q.predicate.children) == 2
+        assert isinstance(q.predicate.children[0], And)
+
+    def test_parenthesized_predicate(self):
+        q = parse_query("SELECT * FROM t WHERE a > 1 AND (b < 2 OR c = 3)")
+        assert isinstance(q.predicate, And)
+        assert isinstance(q.predicate.children[1], Or)
+
+    def test_parenthesized_arithmetic(self):
+        q = parse_query("SELECT * FROM t WHERE (a + b) * 2 > 10")
+        assert isinstance(q.predicate, Comparison)
+
+    def test_not(self):
+        q = parse_query("SELECT * FROM t WHERE NOT a > 1")
+        assert isinstance(q.predicate, Not)
+
+    def test_between(self):
+        q = parse_query("SELECT * FROM t WHERE a BETWEEN 1 AND 5")
+        conjuncts = q.predicate.conjuncts()
+        assert len(conjuncts) == 2
+
+    def test_abs_function(self):
+        q = parse_query(
+            "SELECT * FROM stocks WHERE ABS(price - 75) > 5"
+        )
+        comparison = q.predicate
+        assert isinstance(comparison.left, Abs)
+
+    def test_paper_q3(self):
+        # Q3: "IBM stock transactions that differ by more than $5 from $75"
+        q = parse_query(
+            "SELECT * FROM stocks WHERE name = 'IBM' AND ABS(price - 75) > 5"
+        )
+        assert len(q.predicate.conjuncts()) == 2
+
+    def test_string_and_negative_literals(self):
+        q = parse_query("SELECT * FROM t WHERE name = 'x' AND delta > -5")
+        assert len(q.predicate.conjuncts()) == 2
+
+    def test_join_condition(self):
+        q = parse_query(
+            "SELECT s.name FROM stocks s, trades t WHERE s.sid = t.sid"
+        )
+        assert q.predicate.is_equijoin_pair()
+
+
+class TestAggregates:
+    def test_global_aggregate(self):
+        q = parse_query("SELECT SUM(amount) AS total FROM accounts")
+        assert isinstance(q, AggregateQuery)
+        assert q.aggregates[0].func == "SUM"
+        assert q.aggregates[0].name == "total"
+        assert not q.group_by
+
+    def test_count_star(self):
+        q = parse_query("SELECT COUNT(*) AS n FROM accounts")
+        assert q.aggregates[0].ref is None
+
+    def test_count_star_only_for_count(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT SUM(*) FROM accounts")
+
+    def test_group_by(self):
+        q = parse_query(
+            "SELECT branch, SUM(amount) AS total FROM accounts GROUP BY branch"
+        )
+        assert [r.name for r in q.group_by] == ["branch"]
+
+    def test_ungrouped_plain_column_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query("SELECT branch, SUM(amount) FROM accounts")
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query("SELECT branch FROM accounts GROUP BY branch")
+
+    def test_aggregate_with_where(self):
+        q = parse_query(
+            "SELECT AVG(price) AS mean FROM stocks WHERE price > 10"
+        )
+        assert not isinstance(q.core.predicate, type(None))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a >",
+            "SELECT * FROM t trailing garbage (",
+            "FROM t SELECT *",
+            "SELECT * FROM t WHERE a ! b",
+        ],
+    )
+    def test_syntax_errors(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_query(sql)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            parse_query("SELECT * FROM t WHERE a > > 1")
+        assert excinfo.value.position >= 0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT name, price FROM stocks WHERE price > 120",
+            "SELECT s.name FROM stocks s, trades t WHERE s.sid = t.sid AND t.qty > 5",
+            "SELECT * FROM stocks WHERE name = 'IBM' AND ABS(price - 75) > 5",
+        ],
+    )
+    def test_parse_to_sql_reparses(self, sql):
+        """to_sql() output is itself parseable and equal as a query."""
+        first = parse_query(sql)
+        second = parse_query(first.to_sql())
+        assert first == second

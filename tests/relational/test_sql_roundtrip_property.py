@@ -1,0 +1,155 @@
+"""Property test: generated SPJ queries survive to_sql -> parse."""
+
+from hypothesis import given, strategies as st
+
+from repro.relational.algebra import OutputColumn, RelationRef, SPJQuery
+from repro.relational.expressions import Abs, ColumnRef, Literal, col, lit
+from repro.relational.predicates import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjunction,
+)
+from repro.relational.sql import parse_query
+
+TABLES = [("stocks", "s"), ("trades", "t")]
+COLUMNS = {"s": ["sid", "name", "price"], "t": ["sid", "qty"]}
+# Expressions must be well-typed: arithmetic/range tests use numeric
+# columns; the string column only appears in equality with a string.
+NUMERIC_COLUMNS = {"s": ["sid", "price"], "t": ["sid", "qty"]}
+
+alias_st = st.sampled_from(["s", "t"])
+
+
+@st.composite
+def column_ref(draw, alias=None):
+    alias = alias or draw(alias_st)
+    return ColumnRef(draw(st.sampled_from(COLUMNS[alias])), alias)
+
+
+@st.composite
+def numeric_ref(draw, alias=None):
+    alias = alias or draw(alias_st)
+    return ColumnRef(draw(st.sampled_from(NUMERIC_COLUMNS[alias])), alias)
+
+
+@st.composite
+def scalar(draw):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return Literal(draw(st.integers(-100, 100)))
+    if kind == 1:
+        return draw(numeric_ref())
+    if kind == 2:
+        return Abs(draw(numeric_ref()) - Literal(draw(st.integers(0, 50))))
+    return draw(numeric_ref()) + Literal(draw(st.integers(1, 9)))
+
+
+@st.composite
+def comparison(draw):
+    if draw(st.integers(0, 4)) == 0:
+        # A string comparison on the one STR column.
+        return Comparison(
+            draw(st.sampled_from(["=", "!="])),
+            ColumnRef("name", "s"),
+            Literal(draw(st.sampled_from(["ABC", "XYZ", ""]))),
+        )
+    op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+    return Comparison(op, draw(scalar()), draw(scalar()))
+
+
+@st.composite
+def predicate(draw, depth=2):
+    if depth == 0:
+        return draw(comparison())
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(comparison())
+    if kind == 1:
+        return And(draw(predicate(depth - 1)), draw(predicate(depth - 1)))
+    if kind == 2:
+        return Or(draw(predicate(depth - 1)), draw(predicate(depth - 1)))
+    return Not(draw(predicate(depth - 1)))
+
+
+@st.composite
+def spj_query(draw):
+    use_both = draw(st.booleans())
+    refs = [RelationRef("stocks", "s")]
+    if use_both:
+        refs.append(RelationRef("trades", "t"))
+    aliases = [r.alias for r in refs]
+    conjuncts = draw(
+        st.lists(predicate(), max_size=3)
+    )
+    # Restrict refs to in-scope aliases by rewriting qualifiers.
+    def rescope_expr(expr):
+        if isinstance(expr, ColumnRef) and expr.qualifier not in aliases:
+            # Re-home out-of-scope refs onto 's', preserving typing.
+            if expr.name in COLUMNS["s"]:
+                return ColumnRef(expr.name, "s")
+            return ColumnRef("price", "s")
+        if isinstance(expr, Abs):
+            return Abs(rescope_expr(expr.operand))
+        from repro.relational.expressions import Arithmetic
+
+        if isinstance(expr, Arithmetic):
+            return Arithmetic(
+                expr.op, rescope_expr(expr.left), rescope_expr(expr.right)
+            )
+        return expr
+
+    def rescope(pred):
+        if isinstance(pred, Comparison):
+            return Comparison(
+                pred.op, rescope_expr(pred.left), rescope_expr(pred.right)
+            )
+        if isinstance(pred, And):
+            return And(*[rescope(c) for c in pred.children])
+        if isinstance(pred, Or):
+            return Or(*[rescope(c) for c in pred.children])
+        if isinstance(pred, Not):
+            return Not(rescope(pred.child))
+        return pred
+
+    where = conjunction([rescope(c) for c in conjuncts])
+    n_cols = draw(st.integers(1, 3))
+    projection = []
+    seen = set()
+    for i in range(n_cols):
+        ref = draw(column_ref(alias=draw(st.sampled_from(aliases))))
+        name = f"c{i}"
+        projection.append(OutputColumn(ref, name))
+        seen.add(name)
+    return SPJQuery(refs, where, projection)
+
+
+@given(query=spj_query())
+def test_to_sql_parse_roundtrip(query):
+    sql = query.to_sql()
+    reparsed = parse_query(sql)
+    assert reparsed == query, f"round-trip failed for: {sql}"
+
+
+@given(query=spj_query())
+def test_roundtrip_evaluates_identically(query):
+    """Not just structural equality: both evaluate the same."""
+    from repro.relational import AttributeType
+    from repro import Database
+
+    db = Database()
+    stocks = db.create_table(
+        "stocks",
+        [("sid", AttributeType.INT), ("name", AttributeType.STR),
+         ("price", AttributeType.INT)],
+    )
+    trades = db.create_table(
+        "trades", [("sid", AttributeType.INT), ("qty", AttributeType.INT)]
+    )
+    stocks.insert_many([(i, "ABC", i * 7 % 50) for i in range(10)])
+    trades.insert_many([(i % 5, i) for i in range(8)])
+    reparsed = parse_query(query.to_sql())
+    assert db.query(query) == db.query(reparsed)

@@ -1,0 +1,89 @@
+"""Tests for compile-time type checking of expressions and predicates."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.binding import EnvBinder, SingleRowBinder
+from repro.relational.expressions import Abs, Negate, col, lit
+from repro.relational.predicates import eq, gt
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+SCHEMA = Schema.of(
+    ("name", AttributeType.STR),
+    ("price", AttributeType.INT),
+    ("ratio", AttributeType.FLOAT),
+    ("hot", AttributeType.BOOL),
+)
+BINDER = SingleRowBinder(SCHEMA)
+
+
+class TestExpressionTyping:
+    def test_column_types_inferred(self):
+        assert col("price").infer_type(BINDER) is AttributeType.INT
+        assert col("name").infer_type(BINDER) is AttributeType.STR
+
+    def test_literal_types_inferred(self):
+        assert lit(5).infer_type(BINDER) is AttributeType.INT
+        assert lit("x").infer_type(BINDER) is AttributeType.STR
+        assert lit(None).infer_type(BINDER) is None
+
+    def test_arithmetic_promotes_to_float(self):
+        assert (col("price") + lit(1)).infer_type(BINDER) is AttributeType.INT
+        assert (col("price") + col("ratio")).infer_type(BINDER) is AttributeType.FLOAT
+        assert (col("price") / lit(2)).infer_type(BINDER) is AttributeType.FLOAT
+
+    def test_arithmetic_over_string_rejected(self):
+        with pytest.raises(ExpressionError):
+            (col("name") + lit(1)).infer_type(BINDER)
+
+    def test_arithmetic_over_bool_rejected(self):
+        with pytest.raises(ExpressionError):
+            (col("hot") * lit(2)).infer_type(BINDER)
+
+    def test_abs_and_negate_require_numeric(self):
+        assert Abs(col("ratio")).infer_type(BINDER) is AttributeType.FLOAT
+        with pytest.raises(ExpressionError):
+            Abs(col("name")).infer_type(BINDER)
+        with pytest.raises(ExpressionError):
+            Negate(col("hot")).infer_type(BINDER)
+
+
+class TestComparisonTyping:
+    def test_numeric_cross_comparison_allowed(self):
+        gt(col("price"), col("ratio")).compile(BINDER)
+
+    def test_same_type_comparison_allowed(self):
+        eq(col("name"), lit("IBM")).compile(BINDER)
+        eq(col("hot"), lit(True)).compile(BINDER)
+
+    def test_string_vs_int_rejected_at_compile(self):
+        with pytest.raises(ExpressionError):
+            gt(col("name"), lit(5)).compile(BINDER)
+
+    def test_bool_vs_int_rejected(self):
+        with pytest.raises(ExpressionError):
+            eq(col("hot"), lit(1)).compile(BINDER)
+
+    def test_null_literal_comparisons_permissive(self):
+        # Unknown type on one side: compiles; evaluates to False.
+        compiled = eq(col("name"), lit(None)).compile(BINDER)
+        assert compiled(("IBM", 1, 1.0, True)) is False
+
+    def test_ill_typed_sql_rejected_at_query_time(self, db, stocks):
+        with pytest.raises(ExpressionError):
+            db.query("SELECT name FROM stocks WHERE name > 5")
+
+    def test_ill_typed_sql_in_env_binder(self, db, stocks):
+        trades = db.create_table(
+            "trades",
+            [("sid", AttributeType.INT), ("note", AttributeType.STR)],
+        )
+        with pytest.raises(ExpressionError):
+            db.query(
+                "SELECT s.name FROM stocks s, trades t WHERE s.price = t.note"
+            )
+
+    def test_arithmetic_type_error_in_where(self, db, stocks):
+        with pytest.raises(ExpressionError):
+            db.query("SELECT name FROM stocks WHERE name + 1 > 2")

@@ -1,0 +1,87 @@
+"""Tests for attribute types: validation, coercion, wire sizes."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import (
+    AttributeType,
+    infer_type,
+    value_wire_size,
+)
+
+
+class TestValidate:
+    def test_int_accepts_int(self):
+        assert AttributeType.INT.validate(42) == 42
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.INT.validate(True)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.INT.validate(1.5)
+
+    def test_float_coerces_int(self):
+        value = AttributeType.FLOAT.validate(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_accepts_float(self):
+        assert AttributeType.FLOAT.validate(2.5) == 2.5
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.FLOAT.validate(False)
+
+    def test_str_accepts_str(self):
+        assert AttributeType.STR.validate("DEC") == "DEC"
+
+    def test_str_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.STR.validate(7)
+
+    def test_bool_accepts_bool(self):
+        assert AttributeType.BOOL.validate(True) is True
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.BOOL.validate(1)
+
+    @pytest.mark.parametrize(
+        "attr_type",
+        [AttributeType.INT, AttributeType.FLOAT, AttributeType.STR, AttributeType.BOOL],
+    )
+    def test_none_always_accepted(self, attr_type):
+        # Differential relations use nulls for the missing side.
+        assert attr_type.validate(None) is None
+
+
+class TestInference:
+    def test_infer_each_type(self):
+        assert infer_type(1) is AttributeType.INT
+        assert infer_type(1.0) is AttributeType.FLOAT
+        assert infer_type("x") is AttributeType.STR
+        assert infer_type(True) is AttributeType.BOOL
+
+    def test_infer_rejects_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestNumericAndSizes:
+    def test_is_numeric(self):
+        assert AttributeType.INT.is_numeric()
+        assert AttributeType.FLOAT.is_numeric()
+        assert not AttributeType.STR.is_numeric()
+        assert not AttributeType.BOOL.is_numeric()
+
+    def test_wire_size_of_values(self):
+        assert value_wire_size(None) == 1
+        assert value_wire_size(True) == 1
+        assert value_wire_size(12345) == 8
+        assert value_wire_size(1.5) == 8
+        assert value_wire_size("abc") == 4 + 3
+
+    def test_wire_size_utf8(self):
+        assert value_wire_size("é") == 4 + 2

@@ -1,0 +1,126 @@
+"""Tests for the append-only feed and snapshot-diff sources."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.sources.append_log import AppendOnlyFeed
+from repro.sources.base import MirrorAdapter
+from repro.sources.snapshot import CSVSnapshotSource, SnapshotDiffSource
+from repro.storage.update_log import UpdateKind
+
+QUOTE_SCHEMA = Schema.of(("sym", AttributeType.STR), ("px", AttributeType.FLOAT))
+
+
+class TestAppendOnlyFeed:
+    def test_append_assigns_keys(self):
+        feed = AppendOnlyFeed(QUOTE_SCHEMA)
+        k1 = feed.append(("IBM", 75.0))
+        k2 = feed.append(("DEC", 150.0))
+        assert k2 > k1
+
+    def test_drain_clears(self):
+        feed = AppendOnlyFeed(QUOTE_SCHEMA)
+        feed.append_many([("IBM", 75.0), ("DEC", 150.0)])
+        events = feed.drain()
+        assert len(events) == 2
+        assert all(e.kind is UpdateKind.INSERT for e in events)
+        assert feed.drain() == []
+
+    def test_mutations_forbidden(self):
+        feed = AppendOnlyFeed(QUOTE_SCHEMA)
+        key = feed.append(("IBM", 75.0))
+        with pytest.raises(SourceError):
+            feed.delete(key)
+        with pytest.raises(SourceError):
+            feed.modify(key, ("IBM", 80.0))
+
+    def test_rows_validated(self):
+        feed = AppendOnlyFeed(QUOTE_SCHEMA)
+        with pytest.raises(Exception):
+            feed.append((75.0, "IBM"))
+
+    def test_mirrors_into_table(self, db):
+        feed = AppendOnlyFeed(QUOTE_SCHEMA)
+        adapter = MirrorAdapter(db, "quotes", feed)
+        feed.append(("IBM", 75.0))
+        adapter.sync()
+        assert adapter.table.current.values_set() == {("IBM", 75.0)}
+
+
+class TestSnapshotDiff:
+    def test_first_snapshot_all_inserts(self):
+        source = SnapshotDiffSource(QUOTE_SCHEMA, ["sym"])
+        counts = source.publish([("IBM", 75.0), ("DEC", 150.0)])
+        assert counts == {"insert": 2, "modify": 0, "delete": 0}
+
+    def test_diff_against_previous(self):
+        source = SnapshotDiffSource(QUOTE_SCHEMA, ["sym"])
+        source.publish([("IBM", 75.0), ("DEC", 150.0)])
+        source.drain()
+        counts = source.publish([("IBM", 81.0), ("HPQ", 33.0)])
+        assert counts == {"insert": 1, "modify": 1, "delete": 1}
+        kinds = {e.key: e.kind for e in source.drain()}
+        assert kinds[("IBM",)] is UpdateKind.MODIFY
+        assert kinds[("HPQ",)] is UpdateKind.INSERT
+        assert kinds[("DEC",)] is UpdateKind.DELETE
+
+    def test_unchanged_rows_produce_nothing(self):
+        source = SnapshotDiffSource(QUOTE_SCHEMA, ["sym"])
+        source.publish([("IBM", 75.0)])
+        source.drain()
+        assert source.publish([("IBM", 75.0)]) == {
+            "insert": 0,
+            "modify": 0,
+            "delete": 0,
+        }
+
+    def test_duplicate_keys_rejected(self):
+        source = SnapshotDiffSource(QUOTE_SCHEMA, ["sym"])
+        with pytest.raises(SourceError):
+            source.publish([("IBM", 75.0), ("IBM", 80.0)])
+
+    def test_key_columns_required(self):
+        with pytest.raises(SourceError):
+            SnapshotDiffSource(QUOTE_SCHEMA, [])
+
+    def test_mirrors_into_table(self, db):
+        source = SnapshotDiffSource(QUOTE_SCHEMA, ["sym"])
+        adapter = MirrorAdapter(db, "quotes", source)
+        source.publish([("IBM", 75.0)])
+        adapter.sync()
+        source.publish([("IBM", 80.0)])
+        adapter.sync()
+        assert adapter.table.current.values_set() == {("IBM", 80.0)}
+
+
+class TestCSVSnapshot:
+    def test_header_checked(self):
+        source = CSVSnapshotSource(QUOTE_SCHEMA, ["sym"])
+        with pytest.raises(SourceError):
+            source.publish_csv("wrong,header\nIBM,75.0")
+
+    def test_values_coerced(self):
+        schema = Schema.of(
+            ("sym", AttributeType.STR),
+            ("px", AttributeType.FLOAT),
+            ("n", AttributeType.INT),
+            ("hot", AttributeType.BOOL),
+        )
+        source = CSVSnapshotSource(schema, ["sym"])
+        source.publish_csv("sym,px,n,hot\nIBM, 75.5 ,3,true")
+        event = source.drain()[0]
+        assert event.values == ("IBM", 75.5, 3, True)
+
+    def test_empty_csv_clears_state(self):
+        source = CSVSnapshotSource(QUOTE_SCHEMA, ["sym"])
+        source.publish_csv("sym,px\nIBM,75.0")
+        source.drain()
+        counts = source.publish_csv("sym,px")
+        assert counts["delete"] == 1
+
+    def test_arity_mismatch_rejected(self):
+        source = CSVSnapshotSource(QUOTE_SCHEMA, ["sym"])
+        with pytest.raises(SourceError):
+            source.publish_csv("sym,px\nIBM")

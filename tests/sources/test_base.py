@@ -1,0 +1,125 @@
+"""Tests for the mirror adapter (DIOM translator, paper Section 5.5)."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.storage.update_log import UpdateKind
+from repro.sources.base import MirrorAdapter, Source, SourceEvent
+
+SCHEMA = Schema.of(("key", AttributeType.STR), ("value", AttributeType.INT))
+
+
+class ScriptedSource(Source):
+    """A source whose events the test pushes in directly."""
+
+    def __init__(self, schema=SCHEMA):
+        self._schema = schema
+        self.pending = []
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def drain(self):
+        out, self.pending = self.pending, []
+        return out
+
+
+def insert(key, value):
+    return SourceEvent(UpdateKind.INSERT, key, (key, value))
+
+
+def modify(key, value):
+    return SourceEvent(UpdateKind.MODIFY, key, (key, value))
+
+
+def delete(key):
+    return SourceEvent(UpdateKind.DELETE, key, None)
+
+
+class TestSync:
+    def test_insert_modify_delete_cycle(self, db):
+        source = ScriptedSource()
+        adapter = MirrorAdapter(db, "mirror", source)
+        source.pending = [insert("a", 1), insert("b", 2)]
+        assert adapter.sync() == 2
+        assert len(adapter.table) == 2
+        source.pending = [modify("a", 10), delete("b")]
+        adapter.sync()
+        values = adapter.table.current.values_set()
+        assert values == {("a", 10)}
+
+    def test_sync_is_one_transaction(self, db):
+        source = ScriptedSource()
+        adapter = MirrorAdapter(db, "mirror", source)
+        batches = []
+        adapter.table.subscribe(lambda t, records: batches.append(len(records)))
+        source.pending = [insert("a", 1), insert("b", 2), delete_after := modify("a", 3)]
+        adapter.sync()
+        assert batches == [3]
+
+    def test_empty_sync_no_transaction(self, db):
+        source = ScriptedSource()
+        adapter = MirrorAdapter(db, "mirror", source)
+        ts = db.now()
+        assert adapter.sync() == 0
+        assert db.now() == ts
+
+    def test_events_feed_cq_deltas(self, db):
+        from repro.delta.capture import delta_since
+
+        source = ScriptedSource()
+        adapter = MirrorAdapter(db, "mirror", source)
+        source.pending = [insert("a", 1)]
+        adapter.sync()
+        ts = db.now()
+        source.pending = [modify("a", 5), insert("b", 2)]
+        adapter.sync()
+        delta = delta_since(adapter.table, ts)
+        assert len(delta) == 2
+
+
+class TestResilience:
+    def test_modify_of_unknown_key_coerced_to_insert(self, db):
+        source = ScriptedSource()
+        adapter = MirrorAdapter(db, "mirror", source)
+        source.pending = [modify("ghost", 7)]
+        adapter.sync()
+        assert adapter.coerced_inserts == 1
+        assert adapter.table.current.values_set() == {("ghost", 7)}
+
+    def test_delete_of_unknown_key_dropped(self, db):
+        source = ScriptedSource()
+        adapter = MirrorAdapter(db, "mirror", source)
+        source.pending = [delete("ghost")]
+        adapter.sync()
+        assert adapter.dropped_deletes == 1
+        assert len(adapter.table) == 0
+
+    def test_reannounced_insert_becomes_modify(self, db):
+        source = ScriptedSource()
+        adapter = MirrorAdapter(db, "mirror", source)
+        source.pending = [insert("a", 1)]
+        adapter.sync()
+        source.pending = [insert("a", 99)]
+        adapter.sync()
+        assert adapter.table.current.values_set() == {("a", 99)}
+        assert len(adapter.table) == 1
+
+
+class TestWiring:
+    def test_existing_table_schema_must_match(self, db):
+        db.create_table("mirror", [("different", AttributeType.STR)])
+        with pytest.raises(SourceError):
+            MirrorAdapter(db, "mirror", ScriptedSource())
+
+    def test_existing_compatible_table_reused(self, db):
+        table = db.create_table("mirror", SCHEMA)
+        adapter = MirrorAdapter(db, "mirror", ScriptedSource())
+        assert adapter.table is table
+
+    def test_event_validation(self):
+        with pytest.raises(SourceError):
+            SourceEvent(UpdateKind.INSERT, "k", None)

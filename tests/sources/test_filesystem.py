@@ -1,0 +1,110 @@
+"""Tests for the simulated file system and its translator."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.sources.base import MirrorAdapter
+from repro.sources.filesystem import (
+    FILES_SCHEMA,
+    FileSystemSource,
+    SimulatedFileSystem,
+)
+from repro.storage.update_log import UpdateKind
+
+
+@pytest.fixture
+def fs():
+    return SimulatedFileSystem()
+
+
+class TestFileOps:
+    def test_create_and_exists(self, fs):
+        fs.create("/a/b.txt", 10)
+        assert fs.exists("/a/b.txt")
+        assert fs.size_of("/a/b.txt") == 10
+
+    def test_paths_normalized(self, fs):
+        fs.create("a//b/../c.txt", 3)
+        assert fs.exists("/a/c.txt")
+
+    def test_create_existing_rejected(self, fs):
+        fs.create("/x", 1)
+        with pytest.raises(SourceError):
+            fs.create("/x", 1)
+
+    def test_write_changes_size_and_mtime(self, fs):
+        fs.create("/x", 1)
+        events = fs.drain_journal()
+        fs.write("/x", 50)
+        event = fs.drain_journal()[0]
+        assert event.kind is UpdateKind.MODIFY
+        assert event.values[2] == 50
+        assert event.values[3] > events[0].values[3]
+
+    def test_write_missing_rejected(self, fs):
+        with pytest.raises(SourceError):
+            fs.write("/nope", 1)
+
+    def test_touch_creates_or_bumps(self, fs):
+        fs.touch("/x")
+        assert fs.exists("/x")
+        first = fs.drain_journal()
+        fs.touch("/x")
+        event = fs.drain_journal()[0]
+        assert event.kind is UpdateKind.MODIFY
+
+    def test_remove(self, fs):
+        fs.create("/x", 1)
+        fs.remove("/x")
+        assert not fs.exists("/x")
+        with pytest.raises(SourceError):
+            fs.remove("/x")
+
+    def test_rename_is_delete_plus_create(self, fs):
+        fs.create("/old", 7)
+        fs.drain_journal()
+        fs.rename("/old", "/new")
+        kinds = [e.kind for e in fs.drain_journal()]
+        assert kinds == [UpdateKind.DELETE, UpdateKind.INSERT]
+        assert fs.size_of("/new") == 7
+
+    def test_rename_collision_rejected(self, fs):
+        fs.create("/a", 1)
+        fs.create("/b", 1)
+        with pytest.raises(SourceError):
+            fs.rename("/a", "/b")
+
+    def test_listdir(self, fs):
+        fs.create("/d/a", 1)
+        fs.create("/d/b", 1)
+        fs.create("/other/c", 1)
+        assert fs.listdir("/d") == ["/d/a", "/d/b"]
+
+    def test_root_is_not_a_file(self, fs):
+        with pytest.raises(SourceError):
+            fs.create("/", 1)
+
+
+class TestTranslator:
+    def test_schema(self, fs):
+        assert FileSystemSource(fs).schema == FILES_SCHEMA
+
+    def test_end_to_end_file_monitoring(self, db, fs):
+        """The paper's §5.5 scenario: FS updates drive a CQ via DRA."""
+        from repro.core import CQManager
+
+        adapter = MirrorAdapter(db, "files", FileSystemSource(fs))
+        fs.create("/var/log/app.log", 10)
+        adapter.sync()
+        mgr = CQManager(db)
+        mgr.register_sql(
+            "big-files", "SELECT path, size FROM files WHERE size > 100"
+        )
+        mgr.drain()
+        fs.write("/var/log/app.log", 5000)
+        fs.create("/tmp/small", 5)
+        adapter.sync()
+        notes = mgr.drain()
+        assert len(notes) == 1
+        inserted = notes[0].delta.insertions().values_set()
+        assert inserted == {("/var/log/app.log", 5000)}

@@ -1,0 +1,64 @@
+"""Tests for the database catalog and query entry points."""
+
+import pytest
+
+from repro.errors import DuplicateTableError, NoSuchTableError
+from repro.relational import AttributeType, Schema
+
+
+class TestCatalog:
+    def test_create_with_pairs(self, db):
+        table = db.create_table("t", [("x", AttributeType.INT)])
+        assert table.schema.names == ("x",)
+
+    def test_create_with_schema(self, db):
+        schema = Schema.of(("x", AttributeType.INT))
+        assert db.create_table("t", schema).schema is schema
+
+    def test_create_with_indexes(self, db):
+        table = db.create_table(
+            "t", [("x", AttributeType.INT)], indexes=[("x",)]
+        )
+        assert table.index_for((0,)) is not None
+
+    def test_duplicate_rejected(self, db):
+        db.create_table("t", [("x", AttributeType.INT)])
+        with pytest.raises(DuplicateTableError):
+            db.create_table("t", [("x", AttributeType.INT)])
+
+    def test_lookup_and_contains(self, db):
+        db.create_table("t", [("x", AttributeType.INT)])
+        assert "t" in db and "u" not in db
+        with pytest.raises(NoSuchTableError):
+            db.table("u")
+
+    def test_drop(self, db):
+        db.create_table("t", [("x", AttributeType.INT)])
+        db.drop_table("t")
+        assert "t" not in db
+        with pytest.raises(NoSuchTableError):
+            db.drop_table("t")
+
+    def test_shared_clock(self, db, stocks):
+        before = db.now()
+        stocks.insert((9, "X", 1))
+        assert db.now() == before + 1
+
+
+class TestQueries:
+    def test_sql_text(self, db, stocks):
+        out = db.query("SELECT name FROM stocks WHERE price > 150")
+        assert [row.values for row in out] == [("DEC",)]
+
+    def test_parsed_query_object(self, db, stocks):
+        q = db.parse("SELECT name FROM stocks WHERE price > 150")
+        assert db.query(q) == db.query("SELECT name FROM stocks WHERE price > 150")
+
+    def test_aggregate_sql(self, db, stocks):
+        out = db.query("SELECT COUNT(*) AS n, SUM(price) AS total FROM stocks")
+        assert out.get(()) == (3, 451)
+
+    def test_relation_is_live_view(self, db, stocks):
+        live = db.relation("stocks")
+        stocks.insert((9, "X", 1))
+        assert len(live) == 4

@@ -1,0 +1,118 @@
+"""Tests for tables: mutation, indexes, logging, observers."""
+
+import pytest
+
+from repro.errors import NoSuchTupleError
+from repro.storage.update_log import UpdateKind
+
+
+class TestBasics:
+    def test_insert_assigns_increasing_tids(self, stocks):
+        tid = stocks.insert((1, "NEW", 5))
+        tid2 = stocks.insert((2, "NEW2", 6))
+        assert tid2 > tid
+        assert stocks.get(tid) == (1, "NEW", 5)
+
+    def test_len_and_contains(self, stocks, stocks_tids):
+        assert len(stocks) == 3
+        assert stocks_tids[100000] in stocks
+
+    def test_get_missing_raises(self, stocks):
+        with pytest.raises(NoSuchTupleError):
+            stocks.get(9999)
+
+    def test_modify_full_values(self, stocks, stocks_tids):
+        tid = stocks_tids[120992]
+        stocks.modify(tid, values=(120992, "DEC", 149))
+        assert stocks.get(tid) == (120992, "DEC", 149)
+
+    def test_modify_by_updates_dict(self, stocks, stocks_tids):
+        tid = stocks_tids[120992]
+        stocks.modify(tid, updates={"price": 149})
+        assert stocks.get(tid)[2] == 149
+
+    def test_delete(self, stocks, stocks_tids):
+        stocks.delete(stocks_tids[92394])
+        assert stocks_tids[92394] not in stocks
+        assert len(stocks) == 2
+
+    def test_snapshot_is_independent(self, stocks):
+        snap = stocks.snapshot()
+        stocks.insert((9, "X", 1))
+        assert len(snap) == 3 and len(stocks) == 4
+
+
+class TestLogging:
+    def test_every_change_logged_with_commit_ts(self, db, stocks, stocks_tids):
+        before = len(stocks.log)
+        ts = db.now()
+        stocks.insert((7, "NEW", 10))
+        records = stocks.log.since(ts)
+        assert len(records) == 1 and len(stocks.log) == before + 1
+        assert records[0].kind is UpdateKind.INSERT
+        assert records[0].ts == db.now()
+
+    def test_modify_logs_old_and_new(self, db, stocks, stocks_tids):
+        ts = db.now()
+        stocks.modify(stocks_tids[120992], updates={"price": 149})
+        record = stocks.log.since(ts)[0]
+        assert record.old == (120992, "DEC", 150)
+        assert record.new == (120992, "DEC", 149)
+
+    def test_delete_logs_old(self, db, stocks, stocks_tids):
+        ts = db.now()
+        stocks.delete(stocks_tids[92394])
+        record = stocks.log.since(ts)[0]
+        assert record.kind is UpdateKind.DELETE
+        assert record.old == (92394, "QLI", 145)
+        assert record.new is None
+
+
+class TestIndexes:
+    def test_create_index_backfills(self, stocks):
+        index = stocks.create_index(["name"])
+        assert len(index.lookup(("DEC",))) == 2
+
+    def test_create_index_idempotent(self, stocks):
+        a = stocks.create_index(["name"])
+        b = stocks.create_index(["name"])
+        assert a is b
+
+    def test_index_maintained_through_updates(self, stocks, stocks_tids):
+        index = stocks.create_index(["name"])
+        tid = stocks.insert((7, "MAC", 117))
+        assert tid in index.lookup(("MAC",))
+        stocks.modify(tid, updates={"name": "MAC2"})
+        assert tid in index.lookup(("MAC2",))
+        assert tid not in index.lookup(("MAC",))
+        stocks.delete(tid)
+        assert tid not in index.lookup(("MAC2",))
+
+    def test_index_for_positions(self, stocks):
+        stocks.create_index(["sid"])
+        assert stocks.index_for((0,)) is not None
+        assert stocks.index_for((2,)) is None
+
+
+class TestObservers:
+    def test_observer_sees_committed_batch(self, db, stocks, stocks_tids):
+        seen = []
+        stocks.subscribe(lambda table, records: seen.append(list(records)))
+        with db.begin() as txn:
+            txn.insert_into(stocks, (7, "MAC", 117))
+            txn.delete_from(stocks, stocks_tids[92394])
+        assert len(seen) == 1
+        assert [r.kind for r in seen[0]] == [UpdateKind.INSERT, UpdateKind.DELETE]
+
+    def test_unsubscribe(self, stocks):
+        seen = []
+        unsubscribe = stocks.subscribe(lambda t, r: seen.append(r))
+        unsubscribe()
+        stocks.insert((7, "MAC", 117))
+        assert seen == []
+
+    def test_insert_many_is_one_batch(self, stocks):
+        batches = []
+        stocks.subscribe(lambda t, r: batches.append(len(r)))
+        stocks.insert_many([(7, "A", 1), (8, "B", 2)])
+        assert batches == [2]

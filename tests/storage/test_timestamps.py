@@ -1,0 +1,32 @@
+"""Tests for the logical clock."""
+
+from repro.storage.timestamps import EPOCH, LogicalClock
+
+
+def test_starts_at_epoch():
+    assert LogicalClock().now() == EPOCH
+
+
+def test_tick_is_strictly_monotone():
+    clock = LogicalClock()
+    seen = [clock.tick() for __ in range(5)]
+    assert seen == sorted(set(seen))
+    assert clock.now() == seen[-1]
+
+
+def test_now_does_not_advance():
+    clock = LogicalClock()
+    clock.tick()
+    assert clock.now() == clock.now()
+
+
+def test_advance_to_moves_forward_only():
+    clock = LogicalClock()
+    clock.advance_to(10)
+    assert clock.now() == 10
+    clock.advance_to(5)  # no-op: never goes backward
+    assert clock.now() == 10
+
+
+def test_custom_start():
+    assert LogicalClock(start=100).tick() == 101

@@ -1,0 +1,134 @@
+"""Tests for transactions: atomicity, visibility, validation."""
+
+import pytest
+
+from repro.errors import NoSuchTupleError, TransactionError
+from repro.storage.update_log import UpdateKind
+
+
+class TestLifecycle:
+    def test_commit_applies_all(self, db, stocks, stocks_tids):
+        txn = db.begin()
+        txn.insert_into(stocks, (101088, "MAC", 117))
+        txn.modify_in(stocks, stocks_tids[120992], updates={"price": 149})
+        txn.delete_from(stocks, stocks_tids[92394])
+        assert len(stocks) == 3  # nothing visible yet
+        txn.commit()
+        assert len(stocks) == 3  # +1 insert -1 delete
+        assert stocks.get(stocks_tids[120992])[2] == 149
+
+    def test_abort_applies_nothing(self, db, stocks):
+        txn = db.begin()
+        txn.insert_into(stocks, (7, "MAC", 117))
+        txn.abort()
+        assert len(stocks) == 3
+        assert txn.state == "aborted"
+
+    def test_commit_twice_rejected(self, db, stocks):
+        txn = db.begin()
+        txn.insert_into(stocks, (7, "MAC", 117))
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_ops_after_commit_rejected(self, db, stocks):
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.insert_into(stocks, (7, "MAC", 117))
+
+    def test_context_manager_commits(self, db, stocks):
+        with db.begin() as txn:
+            txn.insert_into(stocks, (7, "MAC", 117))
+        assert len(stocks) == 4
+
+    def test_context_manager_aborts_on_exception(self, db, stocks):
+        with pytest.raises(RuntimeError):
+            with db.begin() as txn:
+                txn.insert_into(stocks, (7, "MAC", 117))
+                raise RuntimeError("boom")
+        assert len(stocks) == 3
+
+    def test_single_commit_timestamp(self, db, stocks, stocks_tids):
+        ts_before = db.now()
+        with db.begin() as txn:
+            txn.insert_into(stocks, (7, "MAC", 117))
+            txn.delete_from(stocks, stocks_tids[92394])
+        records = stocks.log.since(ts_before)
+        assert len({r.ts for r in records}) == 1
+        assert all(r.txn_id == records[0].txn_id for r in records)
+
+
+class TestVisibility:
+    def test_reads_own_inserts(self, db, stocks):
+        with db.begin() as txn:
+            tid = txn.insert_into(stocks, (7, "MAC", 117))
+            assert txn.read(stocks, tid) == (7, "MAC", 117)
+
+    def test_modify_own_insert_folds(self, db, stocks):
+        ts = db.now()
+        with db.begin() as txn:
+            tid = txn.insert_into(stocks, (7, "MAC", 117))
+            txn.modify_in(stocks, tid, updates={"price": 118})
+        assert stocks.get(tid)[2] == 118
+        records = stocks.log.since(ts)
+        assert [r.kind for r in records] == [UpdateKind.INSERT, UpdateKind.MODIFY]
+
+    def test_delete_own_insert(self, db, stocks):
+        with db.begin() as txn:
+            tid = txn.insert_into(stocks, (7, "MAC", 117))
+            txn.delete_from(stocks, tid)
+        assert tid not in stocks
+
+    def test_chained_modifies_use_latest_old(self, db, stocks, stocks_tids):
+        ts = db.now()
+        tid = stocks_tids[120992]
+        with db.begin() as txn:
+            txn.modify_in(stocks, tid, updates={"price": 149})
+            txn.modify_in(stocks, tid, updates={"price": 148})
+        records = stocks.log.since(ts)
+        assert records[1].old[2] == 149 and records[1].new[2] == 148
+
+    def test_read_of_deleted_is_none(self, db, stocks, stocks_tids):
+        with db.begin() as txn:
+            txn.delete_from(stocks, stocks_tids[92394])
+            assert txn.read(stocks, stocks_tids[92394]) is None
+
+
+class TestValidation:
+    def test_delete_unknown_tid(self, db, stocks):
+        with pytest.raises(NoSuchTupleError):
+            with db.begin() as txn:
+                txn.delete_from(stocks, 9999)
+
+    def test_double_delete_rejected(self, db, stocks, stocks_tids):
+        with pytest.raises(NoSuchTupleError):
+            with db.begin() as txn:
+                txn.delete_from(stocks, stocks_tids[92394])
+                txn.delete_from(stocks, stocks_tids[92394])
+
+    def test_modify_needs_exactly_one_form(self, db, stocks, stocks_tids):
+        with pytest.raises(TransactionError):
+            with db.begin() as txn:
+                txn.modify_in(stocks, stocks_tids[92394])
+
+    def test_insert_validates_types(self, db, stocks):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            with db.begin() as txn:
+                txn.insert_into(stocks, ("bad", "MAC", 117))
+
+
+class TestMultiTable:
+    def test_spans_tables_atomically(self, db, stocks):
+        from repro.relational.types import AttributeType
+
+        trades = db.create_table(
+            "trades", [("sid", AttributeType.INT), ("qty", AttributeType.INT)]
+        )
+        ts = db.now()
+        with db.begin() as txn:
+            txn.insert_into(stocks, (7, "MAC", 117))
+            txn.insert_into(trades, (7, 10))
+        assert stocks.log.since(ts)[0].ts == trades.log.since(ts)[0].ts

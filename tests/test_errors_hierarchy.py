@@ -1,0 +1,50 @@
+"""Every library error derives from ReproError (catchable at the API)."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import ReproError
+
+
+def all_error_classes():
+    return [
+        obj
+        for __, obj in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == "repro.errors"
+    ]
+
+
+def test_everything_derives_from_repro_error():
+    classes = all_error_classes()
+    assert len(classes) > 15
+    for cls in classes:
+        assert issubclass(cls, ReproError), cls
+
+
+def test_specialized_errors_also_derive():
+    from repro.baselines.terry import AppendOnlyViolation
+    from repro.core.persistence import UnserializableCQ
+    from repro.dra.assembly import WeightInvariantError
+
+    for cls in (AppendOnlyViolation, UnserializableCQ, WeightInvariantError):
+        assert issubclass(cls, ReproError)
+
+
+def test_sql_syntax_error_carries_position():
+    from repro.errors import SQLSyntaxError
+
+    error = SQLSyntaxError("bad", position=7)
+    assert error.position == 7
+    assert SQLSyntaxError("bad").position == -1
+
+
+def test_one_except_clause_suffices():
+    from repro import Database
+
+    db = Database()
+    with pytest.raises(ReproError):
+        db.table("missing")
+    with pytest.raises(ReproError):
+        db.query("SELECT FROM")

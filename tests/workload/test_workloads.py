@@ -1,0 +1,166 @@
+"""Tests for the deterministic workload generators."""
+
+import pytest
+
+from repro import Database
+from repro.workload.accounts import Bank
+from repro.workload.generators import TableWorkload
+from repro.workload.stocks import StockMarket, symbol_name
+from repro.workload.zipf import ZipfSampler
+
+
+class TestStockMarket:
+    def test_populate(self, db):
+        market = StockMarket(db, seed=1)
+        market.populate(100)
+        assert market.live_count() == 100
+        prices = [row.values[2] for row in market.stocks.rows()]
+        assert all(0 <= p < 1000 for p in prices)
+
+    def test_deterministic_across_seeds(self):
+        def build(seed):
+            db = Database()
+            market = StockMarket(db, seed=seed)
+            market.populate(50)
+            market.tick(20, p_insert=0.2, p_delete=0.2)
+            return sorted(r.values for r in market.stocks.rows())
+
+        assert build(42) == build(42)
+        assert build(42) != build(43)
+
+    def test_tick_respects_mix(self, db):
+        market = StockMarket(db, seed=2)
+        market.populate(100)
+        market.tick(50, p_insert=1.0)
+        assert market.live_count() == 150
+        market.tick(50, p_delete=1.0)
+        assert market.live_count() == 100
+
+    def test_tick_is_one_transaction(self, db):
+        market = StockMarket(db, seed=3)
+        market.populate(10)
+        batches = []
+        market.stocks.subscribe(lambda t, records: batches.append(len(records)))
+        market.tick(5)
+        assert len(batches) == 1
+
+    def test_modify_in_band(self, db):
+        market = StockMarket(db, seed=4)
+        market.populate(50)
+        ts = db.now()
+        market.modify_in_band(20, 900, 1000)
+        changed = market.stocks.log.since(ts)
+        assert all(900 <= r.new[2] < 1000 for r in changed)
+
+    def test_selectivity_analytic(self, db):
+        market = StockMarket(db, seed=5)
+        assert market.selectivity_of(0) == pytest.approx(0.999)
+        assert market.selectivity_of(900) == pytest.approx(0.099)
+        assert market.selectivity_of(999) == 0.0
+
+    def test_symbol_names(self):
+        assert symbol_name(0) == "AAA"
+        assert symbol_name(1) == "AAB"
+        assert len({symbol_name(i) for i in range(1000)}) == 1000
+
+    def test_trades_population(self, db):
+        market = StockMarket(db, seed=6, with_trades=True)
+        market.populate(10, trades_per_stock=3)
+        assert len(market.trades) == 30
+
+
+class TestBank:
+    def test_populate_and_business_day(self, db):
+        bank = Bank(db, seed=1)
+        bank.populate(20)
+        before = bank.total_balance()
+        net = bank.business_day(100, deposit_bias=1.0)
+        assert net > 0
+        assert bank.total_balance() == pytest.approx(before + net)
+
+    def test_no_overdrafts(self, db):
+        bank = Bank(db, seed=2)
+        bank.populate(5)
+        bank.business_day(500, mean_amount=50_000, deposit_bias=0.0)
+        assert all(row.values[3] >= 0 for row in bank.accounts.rows())
+
+    def test_open_close(self, db):
+        bank = Bank(db, seed=3)
+        bank.populate(10)
+        bank.business_day(100, p_open=1.0)
+        assert bank.live_count() == 110
+        bank.business_day(100, p_close=1.0)
+        assert bank.live_count() == 10
+
+
+class TestTableWorkload:
+    def test_runs_requested_operations(self, db, stocks):
+        workload = TableWorkload(
+            db,
+            stocks,
+            row_factory=lambda rng: (rng.randrange(10**6), "GEN", rng.randrange(1000)),
+            row_mutator=lambda rng, old: (old[0], old[1], rng.randrange(1000)),
+            seed=9,
+        )
+        workload.run(100, transaction_size=7)
+        assert workload.operations_applied == 100
+        assert len(stocks.log) >= 100
+
+    def test_weights_validate(self, db, stocks):
+        with pytest.raises(ValueError):
+            TableWorkload(
+                db,
+                stocks,
+                row_factory=lambda rng: (),
+                row_mutator=lambda rng, old: old,
+                insert_weight=0,
+                delete_weight=0,
+                modify_weight=0,
+            )
+
+    def test_seed_rows(self, db, stocks):
+        workload = TableWorkload(
+            db,
+            stocks,
+            row_factory=lambda rng: (rng.randrange(10**6), "GEN", 5),
+            row_mutator=lambda rng, old: old,
+        )
+        workload.seed_rows(10)
+        assert len(stocks) == 13
+
+
+class TestZipf:
+    def test_determinism(self):
+        import random
+
+        a = ZipfSampler(100, 1.2, random.Random(5)).sample_many(50)
+        b = ZipfSampler(100, 1.2, random.Random(5)).sample_many(50)
+        assert a == b
+
+    def test_skew(self):
+        import random
+
+        sampler = ZipfSampler(1000, 1.5, random.Random(0))
+        samples = sampler.sample_many(2000)
+        head = sum(1 for s in samples if s < 10)
+        assert head > len(samples) * 0.4  # heavy head
+
+    def test_uniform_when_s_zero(self):
+        import random
+
+        sampler = ZipfSampler(10, 0.0, random.Random(0))
+        samples = sampler.sample_many(5000)
+        counts = [samples.count(i) for i in range(10)]
+        assert min(counts) > 300  # roughly uniform
+
+    def test_bounds(self):
+        import random
+
+        sampler = ZipfSampler(7, 2.0, random.Random(1))
+        assert all(0 <= s < 7 for s in sampler.sample_many(200))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -1.0)
