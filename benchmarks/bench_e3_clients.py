@@ -5,8 +5,17 @@ Sweep the client count with a fixed update batch per refresh cycle and
 measure the server's work per cycle. Claim shape: with the naive
 protocol the server re-scans the base table once *per client*; with DRA
 the per-client cost is delta-sized, so server work stays near-flat as
-clients grow.
+clients grow — and with the shared-delta refresh layer (delta-batch
+cache + shared evaluation) the per-cycle cost is independent of the
+client count altogether.
+
+Run ``python benchmarks/bench_e3_clients.py --smoke`` for a fast
+self-check that delta-batch sharing is active (used by CI): it builds
+8 distinct CQs over one hot table and asserts ``delta_batches_reused``
+is charged on both the server and the manager refresh paths.
 """
+
+import sys
 
 import pytest
 
@@ -22,15 +31,28 @@ BASE_ROWS = 2_000
 CLIENT_COUNTS = [1, 8, 32]
 
 
-def build(n_clients, protocol, seed=3):
+def build(
+    n_clients,
+    protocol,
+    seed=3,
+    share_evaluation=False,
+    share_deltas=True,
+    queries=None,
+):
     db = Database()
     market = StockMarket(db, seed=seed)
     market.populate(BASE_ROWS)
-    server = CQServer(db, SimulatedNetwork())
+    server = CQServer(
+        db,
+        SimulatedNetwork(),
+        share_evaluation=share_evaluation,
+        share_deltas=share_deltas,
+    )
     for i in range(n_clients):
         client = CQClient(f"c{i}")
         server.attach(client)
-        client.register("watch", WATCH, protocol)
+        sql = WATCH if queries is None else queries[i % len(queries)]
+        client.register("watch", sql, protocol)
     return db, market, server
 
 
@@ -39,8 +61,10 @@ def one_cycle(market, server):
     server.refresh_all()
 
 
-def server_work_per_cycle(n_clients, protocol):
-    db, market, server = build(n_clients, protocol)
+def server_work_per_cycle(n_clients, protocol, share_evaluation=False):
+    db, market, server = build(
+        n_clients, protocol, share_evaluation=share_evaluation
+    )
     market.tick(20)
     server.metrics.reset()
     server.refresh_all()
@@ -57,10 +81,14 @@ def test_server_work_vs_client_count(print_table, benchmark):
     work = {}
     for n in CLIENT_COUNTS:
         work[(n, "dra")] = server_work_per_cycle(n, Protocol.DRA_DELTA)
+        work[(n, "shared")] = server_work_per_cycle(
+            n, Protocol.DRA_DELTA, share_evaluation=True
+        )
         work[(n, "naive")] = server_work_per_cycle(n, Protocol.REEVAL_FULL)
         rows.append(
             {
                 "clients": n,
+                "shared_server_ops": work[(n, "shared")],
                 "dra_server_ops": work[(n, "dra")],
                 "naive_server_ops": work[(n, "naive")],
                 "naive/dra": round(
@@ -78,7 +106,53 @@ def test_server_work_vs_client_count(print_table, benchmark):
     # client costs at most both sides of the 20-update batch.
     assert work[(32, "dra")] < work[(32, "naive")] / 10
     assert work[(32, "dra")] / 32 <= 2 * 20
+    # The shared-delta scheduler makes server work per cycle flat in
+    # the client count: 32 identical subscriptions cost one refresh.
+    assert work[(32, "shared")] <= work[(1, "dra")] * 2
     benchmark(lambda: server_work_per_cycle(8, Protocol.DRA_DELTA))
+
+
+def test_delta_sharing_cuts_delta_reads(print_table):
+    """With ≥32 CQs over a shared table, the shared-delta refresh path
+    reads each delta batch once — ≥2x fewer delta rows than the
+    per-subscription baseline (the PR's headline acceptance claim)."""
+    readings = {}
+    for label, kwargs in [
+        ("private", dict(share_evaluation=False, share_deltas=False)),
+        ("shared", dict(share_evaluation=True, share_deltas=True)),
+    ]:
+        db, market, server = build(32, Protocol.DRA_DELTA, **kwargs)
+        market.tick(20)
+        server.metrics.reset()
+        server.refresh_all()
+        readings[label] = server.metrics.snapshot()
+    print_table(
+        [
+            {"config": label, **{k: v for k, v in sorted(m.items())}}
+            for label, m in readings.items()
+        ],
+        columns=["config", "delta_rows_read", "delta_batches_computed",
+                 "delta_batches_reused", "index_probes"],
+        title="E3b: 32 subscriptions, one hot table",
+    )
+    private = readings["private"].get(Metrics.DELTA_ROWS_READ, 0)
+    shared = readings["shared"].get(Metrics.DELTA_ROWS_READ, 0)
+    assert private > 0
+    assert shared * 2 <= private, (shared, private)
+    # With distinct queries per client, evaluation can't be shared but
+    # consolidation still is: every subscription after the first reuses
+    # the cycle's cached batch.
+    queries = [
+        f"SELECT sid, price FROM stocks WHERE price > {600 + 20 * i}"
+        for i in range(8)
+    ]
+    db, market, server = build(
+        32, Protocol.DRA_DELTA, share_deltas=True, queries=queries
+    )
+    market.tick(20)
+    server.metrics.reset()
+    server.refresh_all()
+    assert server.metrics[Metrics.DELTA_BATCHES_REUSED] >= 31
 
 
 @pytest.mark.parametrize("n_clients", CLIENT_COUNTS)
@@ -93,3 +167,100 @@ def test_cycle_naive(benchmark, n_clients):
     benchmark.group = f"e3 clients={n_clients}"
     db, market, server = build(n_clients, Protocol.REEVAL_FULL)
     benchmark(lambda: one_cycle(market, server))
+
+
+# -- smoke entry point (CI) ---------------------------------------------------
+
+
+def smoke(n_cqs=8):
+    """Fast self-check that delta-batch sharing is wired up end to end.
+
+    Returns the (server, manager) reuse counts; raises AssertionError
+    when either refresh path stops sharing.
+    """
+    from repro.bench.harness import format_table, summarize_latency
+    from repro.core import CQManager, EvaluationStrategy
+
+    queries = [
+        f"SELECT sid, price FROM stocks WHERE price > {500 + 25 * i}"
+        for i in range(n_cqs)
+    ]
+
+    # Server path: distinct queries, one hot table, shared batches.
+    db, market, server = build(
+        n_cqs, Protocol.DRA_DELTA, queries=queries, share_deltas=True
+    )
+    market.tick(20)
+    server.metrics.reset()
+    server.refresh_all()
+    server_reused = server.metrics[Metrics.DELTA_BATCHES_REUSED]
+    assert server_reused > 0, "server refresh cycle shared no delta batches"
+
+    # Manager path: same queries behind CQManager.poll() with the
+    # shared-delta scheduler and the parallel refresh pool.
+    db = Database()
+    market = StockMarket(db, seed=3)
+    market.populate(BASE_ROWS)
+    metrics = Metrics()
+    manager = CQManager(
+        db,
+        strategy=EvaluationStrategy.PERIODIC,
+        metrics=metrics,
+        parallelism=4,
+    )
+    for i, sql in enumerate(queries):
+        manager.register_sql(f"q{i}", sql)
+    manager.drain()
+    market.tick(20)
+    manager.poll()
+    manager_reused = metrics[Metrics.DELTA_BATCHES_REUSED]
+    assert manager_reused > 0, "manager poll shared no delta batches"
+    for i, sql in enumerate(queries):
+        assert manager.get(f"q{i}").previous_result == db.query(sql)
+
+    print(
+        format_table(
+            [
+                {"path": "server", "cqs": n_cqs, "delta_batches_reused": server_reused},
+                {"path": "manager", "cqs": n_cqs, "delta_batches_reused": manager_reused},
+            ],
+            title="E3 smoke: shared-delta refresh",
+        )
+    )
+    latency = metrics.histogram(Metrics.REFRESH_LATENCY_US)
+    print(
+        format_table(
+            [summarize_latency(latency)],
+            title="manager refresh latency (us)",
+        )
+    )
+    return server_reused, manager_reused
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fast delta-sharing self-check and exit",
+    )
+    parser.add_argument(
+        "--cqs",
+        type=int,
+        default=8,
+        help="number of CQs over the shared table (smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("run the full sweep via pytest; use --smoke here")
+    if args.cqs < 2:
+        parser.error("--cqs must be >= 2: one CQ has nothing to share")
+    smoke(n_cqs=args.cqs)
+    print("e3 smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,10 @@ benchmark prints and EXPERIMENTS.md records.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics import Histogram
 
 
 def time_fn(fn: Callable[[], Any], repeat: int = 3) -> float:
@@ -70,6 +73,23 @@ def _format_cell(value: Any) -> str:
     if isinstance(value, int):
         return f"{value:,}"
     return str(value)
+
+
+def summarize_latency(histogram: "Histogram", unit: str = "us") -> Dict[str, Any]:
+    """One row of latency summary stats from a metrics histogram.
+
+    Feed the result rows to :func:`format_table`; percentiles are
+    bucket upper bounds (see :class:`repro.metrics.Histogram`), which
+    is the right resolution for illustrating refresh-latency shapes
+    without pretending Python timings are precise.
+    """
+    return {
+        "n": histogram.count,
+        f"mean_{unit}": round(histogram.mean, 1),
+        f"p50_{unit}": histogram.percentile(50),
+        f"p95_{unit}": histogram.percentile(95),
+        f"max_{unit}": round(histogram.max or 0.0, 1),
+    }
 
 
 def geometric_mean(values: Sequence[float]) -> float:

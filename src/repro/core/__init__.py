@@ -26,6 +26,12 @@ from repro.core.persistence import (
     save_manager,
 )
 from repro.core.results import Notification, NotificationKind
+from repro.core.scheduler import (
+    DeltaBatchCache,
+    RefreshScheduler,
+    is_data_only_trigger,
+    is_skip_safe,
+)
 from repro.core.views import MaterializedView
 from repro.core.termination import (
     AfterExecutions,
@@ -61,6 +67,7 @@ __all__ = [
     "CountEpsilon",
     "Custom",
     "DeliveryMode",
+    "DeltaBatchCache",
     "Engine",
     "EpsilonSpec",
     "EpsilonTrigger",
@@ -75,12 +82,15 @@ __all__ = [
     "NotificationKind",
     "OnEveryChange",
     "OnUpdate",
+    "RefreshScheduler",
     "ResultDriftEpsilon",
     "StopCondition",
     "Trigger",
     "TriggerContext",
     "UnserializableCQ",
     "WhenCondition",
+    "is_data_only_trigger",
+    "is_skip_safe",
     "load_manager",
     "manager_from_dict",
     "manager_to_dict",

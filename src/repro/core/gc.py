@@ -35,7 +35,9 @@ class ActiveDeltaZones:
 
     def watchers(self, table: str) -> List[str]:
         return [
-            name for name, (tables, __) in self._zones.items() if table in tables
+            name
+            for name, (tables, __) in list(self._zones.items())
+            if table in tables
         ]
 
     def horizon(self, table: str) -> Optional[Timestamp]:
@@ -43,9 +45,15 @@ class ActiveDeltaZones:
 
         None when no CQ reads the table — the caller decides whether
         unwatched logs may be discarded wholesale.
+
+        Zone snapshots are taken with ``list`` so a parallel refresh
+        advancing (or a finalizing CQ removing) a zone mid-collection
+        never trips dict-mutation errors; a concurrently advanced zone
+        only makes the horizon *older* than strictly necessary, which
+        is always safe.
         """
         boundaries = [
-            ts for tables, ts in self._zones.values() if table in tables
+            ts for tables, ts in list(self._zones.values()) if table in tables
         ]
         return min(boundaries) if boundaries else None
 

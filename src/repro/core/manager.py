@@ -20,8 +20,9 @@ The manager owns every registered continual query's lifecycle:
 from __future__ import annotations
 
 import enum
+import threading
 from collections import deque
-from typing import Callable, Deque, Dict, Iterator, List, Optional, Union
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import RegistrationError
 from repro.metrics import Metrics
@@ -46,6 +47,7 @@ from repro.core.continual_query import (
 from repro.core.epsilon import ResultDriftEpsilon
 from repro.core.gc import ActiveDeltaZones
 from repro.core.results import Notification, NotificationKind
+from repro.core.scheduler import DeltaBatchCache, RefreshScheduler
 from repro.core.termination import StopCondition
 from repro.core.triggers import (
     AllOf,
@@ -75,6 +77,9 @@ class CQManager:
         auto_gc: bool = False,
         metrics: Optional[Metrics] = None,
         history_limit: int = 0,
+        parallelism: int = 0,
+        share_deltas: bool = True,
+        group_triggers: bool = True,
     ):
         self.db = db
         self.strategy = strategy
@@ -82,6 +87,19 @@ class CQManager:
         self.metrics = metrics
         #: Per-CQ retained notification history length (0 = none).
         self.history_limit = history_limit
+        #: Shared-delta refresh scheduling behind :meth:`poll`:
+        #: ``parallelism=N`` (N > 1) refreshes independent CQs on N
+        #: worker threads; ``share_deltas`` consolidates each table's
+        #: delta batch once per poll window; ``group_triggers`` skips
+        #: whole footprint groups whose tables saw no commits. The
+        #: defaults preserve strict sequential refresh order; all three
+        #: preserve the paper's result-sequence semantics exactly.
+        self.scheduler = RefreshScheduler(
+            self,
+            parallelism=parallelism,
+            share_deltas=share_deltas,
+            group_triggers=group_triggers,
+        )
         self.zones = ActiveDeltaZones(db)
         self._cqs: Dict[str, ContinualQuery] = {}
         self._unsubscribes: Dict[str, List[Callable[[], None]]] = {}
@@ -95,6 +113,14 @@ class CQManager:
         self._history: Dict[str, Deque[Notification]] = {}
         # When each CQ last produced a result (vs merely executed).
         self._last_result_ts: Dict[str, Timestamp] = {}
+        # Installed by the scheduler for the duration of one poll; all
+        # delta consolidation goes through it when present.
+        self._delta_cache: Optional[DeltaBatchCache] = None
+        # Parallel refresh support: _emit appends under the lock, and
+        # with _defer_callbacks the scheduler delivers callbacks after
+        # re-sequencing the poll's notifications.
+        self._emit_lock = threading.Lock()
+        self._defer_callbacks = False
 
     # -- registration -----------------------------------------------------
 
@@ -239,20 +265,25 @@ class CQManager:
         ``advance_to`` moves virtual time forward first (the paper's
         "system-defined default interval, say every day at midnight").
         Returns all notifications produced since the previous drain.
+
+        The actual refresh work is delegated to the manager's
+        :class:`~repro.core.scheduler.RefreshScheduler`, which shares
+        delta-batch consolidation across CQs, skips footprint groups
+        with no pending commits, and (when ``parallelism > 1``) runs
+        independent refreshes concurrently.
         """
         if advance_to is not None:
             self.db.clock.advance_to(advance_to)
-        now = self.db.now()
-        for cq in list(self._cqs.values()):
-            self._maybe_execute(cq, now)
+        self.scheduler.run(self.db.now())
         return self.drain()
 
     run_once = poll
 
     def drain(self) -> List[Notification]:
         """Remove and return all queued notifications."""
-        out = self._outbox
-        self._outbox = []
+        with self._emit_lock:
+            out = self._outbox
+            self._outbox = []
         return out
 
     def subscribe_notifications(
@@ -314,30 +345,50 @@ class CQManager:
             last_result_ts=self._last_result_ts.get(cq.name),
         )
 
+    def _deltas_for(
+        self, table_names: Tuple[str, ...], since: Timestamp
+    ) -> Dict[str, DeltaRelation]:
+        """Consolidated per-table deltas after ``since``.
+
+        Goes through the poll's shared :class:`DeltaBatchCache` when
+        the scheduler installed one, so every CQ (whatever its engine)
+        reading the same table over the same window shares one
+        consolidation pass; otherwise falls back to a private read.
+        """
+        cache = self._delta_cache
+        if cache is not None:
+            return cache.deltas(table_names, since, self.db.now())
+        return deltas_since(
+            [self.db.table(name) for name in table_names], since
+        )
+
     def _refresh_aggregate(self, cq: ContinualQuery, now: Timestamp) -> None:
         applied = self._agg_applied[cq.name]
-        tables = [self.db.table(name) for name in cq.table_names]
-        deltas = deltas_since(tables, applied)
+        deltas = self._deltas_for(cq.table_names, applied)
         if deltas:
             cq.aggregate_state.update(deltas, now, self.metrics)
-            self._agg_applied[cq.name] = now
-            self.zones.advance(cq.name, now)
+        # Advance even when the window was empty (or consolidated to
+        # nothing): the next differential read starts at `now` either
+        # way, and a zone left behind `now` lets _execute's own advance
+        # plus auto-GC prune past what we'd later ask to read.
+        self._agg_applied[cq.name] = now
+        self.zones.advance(cq.name, now)
         for spec in _drift_specs(cq.trigger):
             spec.note_current(_headline_value(cq.aggregate_state.result))
 
     def _eager_apply(self, cq: ContinualQuery, now: Timestamp) -> None:
         """Fold all committed changes into the maintained result."""
         applied = self._eager_applied[cq.name]
-        tables = [self.db.table(name) for name in cq.table_names]
-        deltas = deltas_since(tables, applied)
+        deltas = self._deltas_for(cq.table_names, applied)
         if deltas:
             result = dra_execute(
                 cq.query, self.db, deltas=deltas, ts=now, metrics=self.metrics
             )
             cq.maintained_result = result.delta.apply_to(cq.maintained_result)
-            self._eager_applied[cq.name] = now
-            # The log window below `now` is consumed: let GC advance.
-            self.zones.advance(cq.name, now)
+        # The log window below `now` is consumed (an empty or net-zero
+        # window counts): let GC advance past it.
+        self._eager_applied[cq.name] = now
+        self.zones.advance(cq.name, now)
 
     def _execute(self, cq: ContinualQuery, now: Timestamp) -> None:
         if cq.engine is Engine.REEVALUATE:
@@ -356,7 +407,7 @@ class CQManager:
         if self.auto_gc:
             self.zones.collect()
         if self.metrics:
-            self.metrics.count("cq_refreshes")
+            self.metrics.count(Metrics.CQ_REFRESHES)
         if delta.is_empty():
             # Nothing changed: no element is appended to the result
             # sequence and nothing is sent (Section 5.2).
@@ -366,8 +417,7 @@ class CQManager:
         self._emit(self._notification(cq, delta, now))
 
     def _execute_dra(self, cq: ContinualQuery, now: Timestamp) -> DeltaRelation:
-        tables = [self.db.table(name) for name in cq.table_names]
-        deltas = deltas_since(tables, cq.last_execution_ts)
+        deltas = self._deltas_for(cq.table_names, cq.last_execution_ts)
         result = dra_execute(
             cq.query,
             self.db,
@@ -444,10 +494,16 @@ class CQManager:
         )
 
     def _emit(self, notification: Notification) -> None:
-        history = self._history.get(notification.cq_name)
-        if history is not None:
-            history.append(notification)
-        self._outbox.append(notification)
+        with self._emit_lock:
+            history = self._history.get(notification.cq_name)
+            if history is not None:
+                history.append(notification)
+            self._outbox.append(notification)
+            if self._defer_callbacks:
+                # Parallel refresh: the scheduler re-sequences this
+                # poll's notifications into registration order and
+                # fires the callbacks itself afterwards.
+                return
         for callback in self._callbacks.get(notification.cq_name, ()):
             callback(notification)
 

@@ -6,17 +6,108 @@ Python is noisy and implementation-biased, so the benchmark harness
 reports deterministic operation counts alongside timings. Any engine
 entry point accepts an optional :class:`Metrics` and charges counters
 to it.
+
+Counters are thread-safe: the shared-delta refresh scheduler
+(:mod:`repro.core.scheduler`) runs independent CQ refreshes on a
+thread pool, and every worker charges the same :class:`Metrics`.
+``count`` takes an internal lock, so totals stay exact under
+contention; alternatively give each worker its own instance and
+:meth:`merge` them afterwards.
+
+Besides counters, a :class:`Metrics` holds named :class:`Histogram`
+distributions (power-of-two buckets) via :meth:`observe` — the refresh
+scheduler records per-CQ refresh latency there.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Histogram:
+    """A power-of-two-bucketed distribution of non-negative samples.
+
+    Bucket ``e`` counts samples with ``2**(e-1) < value <= 2**e``
+    (bucket 0 holds values <= 1). Exact ``count``/``total``/``min``/
+    ``max`` ride along, so means are exact and percentiles are bucket
+    upper bounds — plenty for latency reporting, cheap to merge.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram samples must be >= 0, got {value}")
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        exp = 0
+        bound = 1.0
+        while value > bound:
+            exp += 1
+            bound *= 2.0
+        self._buckets[exp] = self._buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The bucket upper bound covering the ``p``-th percentile."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.count:
+            return 0.0
+        target = self.count * p / 100.0
+        seen = 0
+        for exp in sorted(self._buckets):
+            seen += self._buckets[exp]
+            if seen >= target:
+                return float(2**exp)
+        return float(self.max if self.max is not None else 0.0)
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is not None:
+                self.min = bound if self.min is None else min(self.min, bound)
+                self.max = bound if self.max is None else max(self.max, bound)
+        for exp, n in other._buckets.items():
+            self._buckets[exp] = self._buckets.get(exp, 0) + n
+
+    def copy(self) -> "Histogram":
+        out = Histogram()
+        out.merge(self)
+        return out
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """``(upper_bound_exponent, count)`` pairs, ascending."""
+        return sorted(self._buckets.items())
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, mean={self.mean:.1f}, "
+            f"p95<={self.percentile(95):.0f}, max={self.max})"
+        )
 
 
 class Metrics:
     """A named bag of monotonically increasing counters."""
 
-    __slots__ = ("_counters",)
+    __slots__ = ("_counters", "_histograms", "_lock")
 
     # Canonical counter names used across the engine. Free-form names
     # are also allowed; these constants just prevent typos.
@@ -30,13 +121,23 @@ class Metrics:
     PREDICATE_EVALS = "predicate_evals"
     EXECUTIONS = "executions"
     EXECUTIONS_SKIPPED = "executions_skipped"
+    # Shared-delta refresh scheduler (Section 5.2/5.4 sharing layer).
+    DELTA_BATCHES_COMPUTED = "delta_batches_computed"
+    DELTA_BATCHES_REUSED = "delta_batches_reused"
+    GROUPS_SKIPPED = "groups_skipped"
+    CQ_REFRESHES = "cq_refreshes"
+    # Histogram names.
+    REFRESH_LATENCY_US = "refresh_latency_us"
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def count(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (creating it at zero)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def get(self, name: str) -> int:
         return self._counters.get(name, 0)
@@ -45,36 +146,74 @@ class Metrics:
         return self.get(name)
 
     def __iter__(self) -> Iterator[Tuple[str, int]]:
-        return iter(sorted(self._counters.items()))
+        return iter(sorted(self.snapshot().items()))
 
     def __len__(self) -> int:
         return len(self._counters)
 
     def __bool__(self) -> bool:
         # Always truthy: engine code guards counter charging with a bare
-        # `if metrics:`, which must hold even before the first count.
+        # `if metrics:`, which must hold even before the first count —
+        # and regardless of how many counters this instance has seen.
+        # Per-worker instances handed out by the parallel refresh path
+        # rely on this exactly like the long-lived shared one.
         return True
 
     def reset(self) -> None:
-        self._counters.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
 
     def snapshot(self) -> Dict[str, int]:
         """An independent copy of the current counter values."""
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def merge(self, other: "Metrics") -> None:
-        """Add all of ``other``'s counters into this one."""
-        for name, value in other._counters.items():
-            self.count(name, value)
+        """Add all of ``other``'s counters and histograms into this one."""
+        counters = other.snapshot()
+        with other._lock:
+            histograms = {
+                name: hist.copy() for name, hist in other._histograms.items()
+            }
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, hist in histograms.items():
+                mine = self._histograms.get(name)
+                if mine is None:
+                    self._histograms[name] = hist
+                else:
+                    mine.merge(hist)
 
     def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
         """Counter increases since an earlier :meth:`snapshot`."""
         out = {}
-        for name, value in self._counters.items():
+        for name, value in self.snapshot().items():
             delta = value - earlier.get(name, 0)
             if delta:
                 out[name] = delta
         return out
+
+    # -- histograms -------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a sample in histogram ``name`` (creating it empty)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """Histogram ``name`` (an empty one if nothing was observed)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            return hist.copy() if hist is not None else Histogram()
+
+    def histograms(self) -> Dict[str, Histogram]:
+        with self._lock:
+            return {name: h.copy() for name, h in self._histograms.items()}
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in self)

@@ -27,6 +27,7 @@ from repro.storage.timestamps import Timestamp
 from repro.delta.capture import deltas_since
 from repro.delta.diff import diff
 from repro.dra.algorithm import dra_execute
+from repro.core.scheduler import DeltaBatchCache
 from repro.net.messages import (
     DeltaAvailableMessage,
     DeltaMessage,
@@ -92,6 +93,14 @@ class CQServer:
     evaluated once per refresh cycle and the resulting delta is shipped
     to every subscriber — making server compute per cycle independent
     of the subscriber count (experiment E3b).
+
+    Independently of full-evaluation sharing, ``share_deltas`` (on by
+    default) routes every subscription's delta consolidation through a
+    per-cycle :class:`~repro.core.scheduler.DeltaBatchCache`: even
+    subscriptions with *different* queries share one update-log pass
+    per (table, window) — observable as ``delta_batches_reused`` in
+    the server metrics. The consolidated batches are identical to the
+    private reads, so refresh results are unchanged.
     """
 
     def __init__(
@@ -101,12 +110,14 @@ class CQServer:
         name: str = "server",
         metrics: Optional[Metrics] = None,
         share_evaluation: bool = False,
+        share_deltas: bool = True,
     ):
         self.db = db
         self.network = network
         self.name = name
         self.metrics = metrics if metrics is not None else Metrics()
         self.share_evaluation = share_evaluation
+        self.share_deltas = share_deltas
         self._clients: Dict[str, "object"] = {}
         self._subscriptions: Dict[Tuple[str, str], Subscription] = {}
 
@@ -166,18 +177,39 @@ class CQServer:
         """Recompute and ship every subscription; returns message count."""
         sent = 0
         shared: Dict[Tuple[str, Protocol, Timestamp], "object"] = {}
+        cache = (
+            DeltaBatchCache(self.db, self.metrics) if self.share_deltas else None
+        )
         for subscription in self._subscriptions.values():
             if self.share_evaluation and subscription.protocol is Protocol.DRA_DELTA:
-                if self._refresh_shared_dra(subscription, shared):
+                if self._refresh_shared_dra(subscription, shared, cache):
                     sent += 1
-            elif self._refresh_one(subscription):
+            elif self._refresh_one(subscription, cache):
                 sent += 1
         return sent
+
+    def _deltas_for(
+        self,
+        subscription: Subscription,
+        cache: Optional[DeltaBatchCache],
+        now: Timestamp,
+    ):
+        """The subscription's consolidated refresh window, shared with
+        every other subscription on the same (table, window) when the
+        per-cycle delta-batch cache is enabled."""
+        table_names = set(subscription.query.table_names)
+        if cache is not None:
+            return cache.deltas(table_names, subscription.last_ts, now)
+        return deltas_since(
+            [self.db.table(name) for name in table_names],
+            subscription.last_ts,
+        )
 
     def _refresh_shared_dra(
         self,
         subscription: Subscription,
         shared: Dict[Tuple[str, Protocol, Timestamp], "object"],
+        cache: Optional[DeltaBatchCache] = None,
     ) -> bool:
         """DRA refresh with one evaluation per (query, window) group."""
         now = self.db.now()
@@ -188,11 +220,7 @@ class CQServer:
         )
         result = shared.get(key)
         if result is None:
-            tables = [
-                self.db.table(name)
-                for name in set(subscription.query.table_names)
-            ]
-            deltas = deltas_since(tables, subscription.last_ts)
+            deltas = self._deltas_for(subscription, cache, now)
             result = dra_execute(
                 subscription.query,
                 self.db,
@@ -234,14 +262,14 @@ class CQServer:
         )
         return True
 
-    def _refresh_one(self, subscription: Subscription) -> bool:
+    def _refresh_one(
+        self,
+        subscription: Subscription,
+        cache: Optional[DeltaBatchCache] = None,
+    ) -> bool:
         now = self.db.now()
         if subscription.protocol is Protocol.DRA_LAZY:
-            tables = [
-                self.db.table(name)
-                for name in set(subscription.query.table_names)
-            ]
-            deltas = deltas_since(tables, subscription.last_ts)
+            deltas = self._deltas_for(subscription, cache, now)
             result = dra_execute(
                 subscription.query,
                 self.db,
@@ -272,11 +300,7 @@ class CQServer:
             )
             return True
         if subscription.protocol is Protocol.DRA_DELTA:
-            tables = [
-                self.db.table(name)
-                for name in set(subscription.query.table_names)
-            ]
-            deltas = deltas_since(tables, subscription.last_ts)
+            deltas = self._deltas_for(subscription, cache, now)
             result = dra_execute(
                 subscription.query,
                 self.db,

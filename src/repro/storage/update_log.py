@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import bisect
 import enum
+import threading
 from typing import Iterator, List, Optional, Sequence
 
 from repro.relational.relation import Tid, Values
@@ -74,17 +75,25 @@ class UpdateLog:
     Records arrive in non-decreasing ``ts`` order (commit order).
     ``since(ts)`` binary-searches the boundary, so reading "everything
     after the last CQ execution" costs O(log n + answer).
+
+    ``since`` and ``prune_before`` hold an internal lock, so a reader
+    never observes a half-pruned log: the parallel refresh scheduler
+    lets one CQ's post-refresh garbage collection race another CQ's
+    delta consolidation, and each operation must be atomic for the
+    active-delta-zone invariant (GC only ever prunes below every
+    reader's window) to carry over to the physical lists.
     """
 
-    __slots__ = ("_records", "_timestamps", "pruned_through")
+    __slots__ = ("_records", "_timestamps", "pruned_through", "_lock")
 
     def __init__(self) -> None:
         self._records: List[UpdateRecord] = []
         self._timestamps: List[Timestamp] = []
         #: Highest timestamp removed by garbage collection (0 if none).
         self.pruned_through: Timestamp = 0
+        self._lock = threading.Lock()
 
-    def append(self, record: UpdateRecord) -> None:
+    def _append(self, record: UpdateRecord) -> None:
         if self._timestamps and record.ts < self._timestamps[-1]:
             raise ValueError(
                 f"log timestamps must be non-decreasing; got {record.ts} "
@@ -93,9 +102,14 @@ class UpdateLog:
         self._records.append(record)
         self._timestamps.append(record.ts)
 
+    def append(self, record: UpdateRecord) -> None:
+        with self._lock:
+            self._append(record)
+
     def extend(self, records: Sequence[UpdateRecord]) -> None:
-        for record in records:
-            self.append(record)
+        with self._lock:
+            for record in records:
+                self._append(record)
 
     def since(self, ts: Timestamp) -> List[UpdateRecord]:
         """All records with ``record.ts > ts``, in commit order.
@@ -104,13 +118,14 @@ class UpdateLog:
         silently drop changes — a CQ asking for history older than the
         GC horizon is a bug in zone accounting.
         """
-        if ts < self.pruned_through:
-            raise ValueError(
-                f"log pruned through ts={self.pruned_through}; "
-                f"cannot read since ts={ts}"
-            )
-        start = bisect.bisect_right(self._timestamps, ts)
-        return self._records[start:]
+        with self._lock:
+            if ts < self.pruned_through:
+                raise ValueError(
+                    f"log pruned through ts={self.pruned_through}; "
+                    f"cannot read since ts={ts}"
+                )
+            start = bisect.bisect_right(self._timestamps, ts)
+            return self._records[start:]
 
     def prune_before(self, ts: Timestamp) -> int:
         """Drop records with ``record.ts <= ts``; returns count dropped.
@@ -118,14 +133,15 @@ class UpdateLog:
         This implements retiring data outside the system active delta
         zone (Section 5.4).
         """
-        cut = bisect.bisect_right(self._timestamps, ts)
-        if cut == 0:
-            return 0
-        dropped = self._records[:cut]
-        self._records = self._records[cut:]
-        self._timestamps = self._timestamps[cut:]
-        self.pruned_through = max(self.pruned_through, ts)
-        return len(dropped)
+        with self._lock:
+            cut = bisect.bisect_right(self._timestamps, ts)
+            if cut == 0:
+                return 0
+            dropped = self._records[:cut]
+            self._records = self._records[cut:]
+            self._timestamps = self._timestamps[cut:]
+            self.pruned_through = max(self.pruned_through, ts)
+            return len(dropped)
 
     def __len__(self) -> int:
         return len(self._records)

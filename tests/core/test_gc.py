@@ -1,7 +1,8 @@
 """Tests for active-delta-zone garbage collection (paper Section 5.4)."""
 
-from repro.core import CQManager, EvaluationStrategy
+from repro.core import CQManager, EvaluationStrategy, Every
 from repro.core.gc import ActiveDeltaZones
+from repro.metrics import Metrics
 from repro.relational import AttributeType
 
 WATCH_SQL = "SELECT name FROM stocks WHERE price > 120"
@@ -94,7 +95,6 @@ class TestManagerIntegration:
     def test_multiple_cq_cadences(self, db, stocks):
         """The system delta zone is pinned by the least-advanced CQ."""
         mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
-        from repro.core import Every
 
         mgr.register_sql("fast", WATCH_SQL, trigger=Every(1))
         mgr.register_sql("slow", WATCH_SQL, trigger=Every(10_000))
@@ -105,3 +105,89 @@ class TestManagerIntegration:
         mgr.collect_garbage()
         # slow hasn't refreshed: its whole window is preserved.
         assert len(stocks.log.since(slow_ts)) == 5
+
+
+class TestGCUnderSharing:
+    """Auto-GC with the shared-delta scheduler (Section 5.4 under the
+    sharing layer): a fast CQ's pruning must never reach into a slower
+    CQ's active delta zone, even when both read one cached batch."""
+
+    def test_pruning_never_drops_slow_cq_window(self, db, stocks):
+        metrics = Metrics()
+        mgr = CQManager(
+            db,
+            strategy=EvaluationStrategy.PERIODIC,
+            auto_gc=True,
+            metrics=metrics,
+            share_deltas=True,
+        )
+        mgr.register_sql("fast", WATCH_SQL, trigger=Every(1))
+        mgr.register_sql("slow", WATCH_SQL, trigger=Every(10_000))
+        slow_ts = mgr.get("slow").last_execution_ts
+        mgr.drain()
+        for i in range(6):
+            stocks.insert((100 + i, "SUN", 500 + i))
+            mgr.poll()
+        # fast refreshed (and pruned) every round; slow has not run,
+        # so its whole window must have survived every prune.
+        assert mgr.get("fast").executions > mgr.get("slow").executions
+        assert len(stocks.log.since(slow_ts)) == 6
+        # Now let slow fire: its differential refresh over the retained
+        # window must equal complete re-evaluation — nothing was lost.
+        db.clock.advance_to(db.now() + 20_000)
+        mgr.poll()
+        assert mgr.get("slow").previous_result == db.query(WATCH_SQL)
+
+    def test_shared_batch_is_cached_once_for_aligned_cqs(self, db, stocks):
+        """Two CQs with identical windows share one consolidation; GC
+        after the first refresh must not invalidate the second's read."""
+        metrics = Metrics()
+        mgr = CQManager(
+            db,
+            strategy=EvaluationStrategy.PERIODIC,
+            auto_gc=True,
+            metrics=metrics,
+        )
+        mgr.register_sql("a", WATCH_SQL)
+        mgr.register_sql("b", "SELECT sid FROM stocks WHERE price > 140")
+        mgr.drain()
+        for i in range(4):
+            stocks.insert((200 + i, "SUN", 500 + i))
+            notes = mgr.poll()
+            # Both CQs refreshed from the same poll window.
+            assert {n.cq_name for n in notes} == {"a", "b"}
+        # Same (table, since, now) key each poll: one consolidation,
+        # one reuse — despite auto_gc pruning between polls.
+        assert metrics[Metrics.DELTA_BATCHES_COMPUTED] == 4
+        assert metrics[Metrics.DELTA_BATCHES_REUSED] == 4
+        for name in ("a", "b"):
+            sql = mgr.get(name).query.to_sql()
+            assert mgr.get(name).previous_result == db.query(sql)
+
+    def test_parallel_auto_gc_respects_zones(self):
+        """Races between refresh threads and GC must never prune into
+        any CQ's unread window (the Section 5.4 invariant under the
+        parallel refresh path)."""
+        from repro.workload.stocks import StockMarket
+        from repro import Database
+
+        db = Database()
+        market = StockMarket(db, seed=31)
+        market.populate(100)
+        mgr = CQManager(
+            db,
+            strategy=EvaluationStrategy.PERIODIC,
+            auto_gc=True,
+            parallelism=4,
+        )
+        mgr.register_sql("fast", "SELECT sid, price FROM stocks WHERE price > 100", trigger=Every(1))
+        mgr.register_sql("slow", "SELECT sid, price FROM stocks WHERE price > 200", trigger=Every(50))
+        mgr.register_sql("eager", "SELECT sid, price FROM stocks WHERE price > 300")
+        for __ in range(8):
+            market.tick(15)
+            mgr.poll()  # a dropped window would raise or diverge below
+        db.clock.advance_to(db.now() + 100)
+        mgr.poll()
+        for name in ("fast", "slow", "eager"):
+            sql = mgr.get(name).query.to_sql()
+            assert mgr.get(name).previous_result == db.query(sql)

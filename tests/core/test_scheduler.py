@@ -1,0 +1,223 @@
+"""Unit tests for the shared-delta refresh scheduler.
+
+Covers the three sharing layers in isolation: the per-poll delta-batch
+cache, footprint-grouped trigger skipping, and the parallel refresh
+path's re-sequencing — plus the drop-in guarantee that the default
+configuration reproduces the sequential manager's behavior exactly.
+"""
+
+import pytest
+
+from repro import Database
+from repro.core import (
+    AfterExecutions,
+    AnyOf,
+    CQManager,
+    CountEpsilon,
+    Custom,
+    DeltaBatchCache,
+    EpsilonTrigger,
+    EvaluationStrategy,
+    Every,
+    OnEveryChange,
+    OnUpdate,
+    is_data_only_trigger,
+    is_skip_safe,
+)
+from repro.core.continual_query import ContinualQuery
+from repro.metrics import Metrics
+from repro.relational.expressions import col, lit
+from repro.relational.predicates import ge
+from repro.relational.sql import parse_query
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT sid, name, price FROM stocks WHERE price > 120"
+
+
+def _cq(trigger=None, stop=None):
+    return ContinualQuery(
+        "cq", parse_query(WATCH), trigger=trigger, stop=stop
+    )
+
+
+class TestDeltaBatchCache:
+    def test_one_consolidation_per_window(self, db, stocks):
+        metrics = Metrics()
+        ts0 = db.now()
+        stocks.insert((7, "NEW", 500))
+        now = db.now()
+        cache = DeltaBatchCache(db, metrics)
+        first = cache.deltas(("stocks",), ts0, now)
+        second = cache.deltas(("stocks",), ts0, now)
+        assert first["stocks"] is second["stocks"]
+        assert cache.misses == 1 and cache.hits == 1
+        assert metrics[Metrics.DELTA_BATCHES_COMPUTED] == 1
+        assert metrics[Metrics.DELTA_BATCHES_REUSED] == 1
+
+    def test_distinct_windows_are_distinct_batches(self, db, stocks):
+        ts0 = db.now()
+        stocks.insert((7, "NEW", 500))
+        ts1 = db.now()
+        stocks.insert((8, "NEW2", 600))
+        now = db.now()
+        cache = DeltaBatchCache(db, None)
+        wide = cache.batch("stocks", ts0, now)
+        narrow = cache.batch("stocks", ts1, now)
+        assert len(wide) == 2 and len(narrow) == 1
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_empty_batches_are_skipped_like_deltas_since(self, db, stocks):
+        now = db.now()
+        cache = DeltaBatchCache(db, None)
+        assert cache.deltas(("stocks",), now, now) == {}
+
+    def test_matches_private_consolidation(self, db, stocks, stocks_tids):
+        from repro.delta.capture import deltas_since
+
+        ts0 = db.now()
+        stocks.modify(stocks_tids[120992], updates={"price": 149})
+        stocks.delete(stocks_tids[92394])
+        cache = DeltaBatchCache(db, None)
+        shared = cache.deltas(("stocks",), ts0, db.now())
+        private = deltas_since([stocks], ts0)
+        assert shared["stocks"] == private["stocks"]
+
+
+class TestSkipClassification:
+    def test_data_only_triggers(self):
+        assert is_data_only_trigger(OnEveryChange())
+        assert is_data_only_trigger(EpsilonTrigger(CountEpsilon(3)))
+        assert is_data_only_trigger(
+            OnUpdate("stocks", ge(col("price"), lit(100)))
+        )
+        assert is_data_only_trigger(
+            AnyOf(OnEveryChange(), EpsilonTrigger(CountEpsilon(3)))
+        )
+
+    def test_time_and_custom_triggers_are_not(self):
+        assert not is_data_only_trigger(Every(5))
+        assert not is_data_only_trigger(Custom(lambda ctx: True))
+        assert not is_data_only_trigger(AnyOf(OnEveryChange(), Every(5)))
+
+    def test_skip_safe_requires_never_stop(self):
+        assert is_skip_safe(_cq())
+        assert not is_skip_safe(_cq(stop=AfterExecutions(3)))
+        assert not is_skip_safe(_cq(trigger=Every(5)))
+
+
+class TestGroupedTriggerEvaluation:
+    def test_quiet_groups_are_skipped(self, db, stocks):
+        metrics = Metrics()
+        mgr = CQManager(
+            db, strategy=EvaluationStrategy.PERIODIC, metrics=metrics
+        )
+        for i in range(4):
+            mgr.register_sql(f"q{i}", WATCH)
+        mgr.drain()
+        mgr.poll()  # nothing committed since registration
+        assert metrics[Metrics.GROUPS_SKIPPED] == 1
+        # A commit wakes the whole group again.
+        stocks.insert((9, "SUN", 500))
+        before = metrics[Metrics.GROUPS_SKIPPED]
+        notes = mgr.poll()
+        assert metrics[Metrics.GROUPS_SKIPPED] == before
+        assert len(notes) == 4
+
+    def test_time_triggered_cq_still_fires_on_quiet_poll(self, db, stocks):
+        mgr = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        mgr.register_sql("timed", WATCH, trigger=Every(2))
+        mgr.drain()
+        db.clock.advance_to(db.now() + 10)
+        mgr.poll()
+        # Executed (even though nothing changed, so no notification).
+        assert mgr.get("timed").last_execution_ts == db.now()
+
+    def test_quiet_poll_skips_are_unobservable(self, db, stocks):
+        skipping = CQManager(db, strategy=EvaluationStrategy.PERIODIC)
+        skipping.register_sql("watch", WATCH)
+        assert skipping.poll() and not skipping.poll()
+        stocks.insert((9, "SUN", 500))
+        assert len(skipping.poll()) == 1
+
+    def test_group_skipping_can_be_disabled(self, db, stocks):
+        metrics = Metrics()
+        mgr = CQManager(
+            db,
+            strategy=EvaluationStrategy.PERIODIC,
+            metrics=metrics,
+            group_triggers=False,
+        )
+        mgr.register_sql("watch", WATCH)
+        mgr.poll()
+        assert metrics[Metrics.GROUPS_SKIPPED] == 0
+
+
+class TestParallelRefresh:
+    @pytest.mark.parametrize("parallelism", [2, 4, 8])
+    def test_matches_sequential_notifications(self, parallelism):
+        def run(parallelism):
+            db = Database()
+            market = StockMarket(db, seed=11)
+            market.populate(150)
+            mgr = CQManager(
+                db,
+                strategy=EvaluationStrategy.PERIODIC,
+                parallelism=parallelism,
+            )
+            for i in range(10):
+                mgr.register_sql(
+                    f"q{i}",
+                    f"SELECT sid, price FROM stocks WHERE price > {50 * i}",
+                )
+            mgr.drain()
+            out = []
+            for __ in range(4):
+                market.tick(25)
+                out.append(
+                    [
+                        (n.cq_name, n.kind.value, n.seq, n.ts)
+                        for n in mgr.poll()
+                    ]
+                )
+            return out
+
+        assert run(parallelism) == run(0)
+
+    def test_callbacks_fire_in_registration_order(self, db, stocks):
+        mgr = CQManager(
+            db, strategy=EvaluationStrategy.PERIODIC, parallelism=4
+        )
+        seen = []
+        for i in range(6):
+            mgr.register_sql(
+                f"q{i}",
+                WATCH,
+                on_notify=lambda n: seen.append(n.cq_name),
+            )
+        seen.clear()
+        stocks.insert((9, "SUN", 500))
+        mgr.poll()
+        assert seen == [f"q{i}" for i in range(6)]
+
+    def test_parallel_refresh_results_are_correct(self):
+        db = Database()
+        market = StockMarket(db, seed=5)
+        market.populate(120)
+        mgr = CQManager(
+            db, strategy=EvaluationStrategy.PERIODIC, parallelism=4
+        )
+        queries = {
+            f"q{i}": f"SELECT sid, price FROM stocks WHERE price > {100 * i}"
+            for i in range(8)
+        }
+        for name, sql in queries.items():
+            mgr.register_sql(name, sql)
+        for __ in range(5):
+            market.tick(30, p_insert=0.2, p_delete=0.2)
+            mgr.poll()
+        for name, sql in queries.items():
+            assert mgr.get(name).previous_result == db.query(sql)
+
+    def test_rejects_negative_parallelism(self, db):
+        with pytest.raises(ValueError):
+            CQManager(db, parallelism=-1)
