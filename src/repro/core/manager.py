@@ -37,6 +37,7 @@ from repro.delta.differential import DeltaRelation
 from repro.delta.diff import diff
 from repro.dra.aggregates import DifferentialAggregate
 from repro.dra.algorithm import dra_execute
+from repro.dra.prepared import PlanCache, PreparedCQ
 from repro.core.continual_query import (
     ContinualQuery,
     CQStatus,
@@ -80,6 +81,7 @@ class CQManager:
         parallelism: int = 0,
         share_deltas: bool = True,
         group_triggers: bool = True,
+        prepare_plans: bool = True,
     ):
         self.db = db
         self.strategy = strategy
@@ -100,6 +102,14 @@ class CQManager:
             share_deltas=share_deltas,
             group_triggers=group_triggers,
         )
+        #: Registration-time compilation (:mod:`repro.dra.prepared`):
+        #: one :class:`PreparedCQ` per CQ, keyed by name. Every refresh
+        #: revalidates against the live catalog (schema identity +
+        #: index-set versions) and silently re-prepares when a table
+        #: changed underneath the plan; ``prepare_plans=False`` falls
+        #: back to per-refresh planning for baseline comparisons.
+        self.prepare_plans = prepare_plans
+        self.plans = PlanCache(db, metrics)
         self.zones = ActiveDeltaZones(db)
         self._cqs: Dict[str, ContinualQuery] = {}
         self._unsubscribes: Dict[str, List[Callable[[], None]]] = {}
@@ -144,6 +154,12 @@ class CQManager:
             raise RegistrationError(
                 "ResultDriftEpsilon triggers require a global aggregate CQ"
             )
+
+        # Compile once, up front: derives the predicate plan, local and
+        # residual predicates, and the projection, and auto-creates any
+        # missing single-column join indexes — so even E_0 below runs
+        # against the indexes the differential refreshes will probe.
+        self._prepared_for(cq)
 
         now = self.db.now()
         if cq.is_aggregate:
@@ -217,10 +233,15 @@ class CQManager:
     register_sql = register_query
 
     def deregister(self, name: str) -> None:
+        """Stop ``name`` and release it: the CQ leaves the registry and
+        its name (and plan-cache slot) become reusable. CQs finalized
+        by their own stop condition stay visible as STOPPED instead."""
         cq = self._cqs.get(name)
         if cq is None:
             return
         self._finalize(cq, self.db.now())
+        del self._cqs[name]
+        self._callbacks.pop(name, None)
 
     # -- lookup ----------------------------------------------------------------
 
@@ -362,11 +383,24 @@ class CQManager:
             [self.db.table(name) for name in table_names], since
         )
 
+    def _prepared_for(self, cq: ContinualQuery) -> Optional[PreparedCQ]:
+        """The CQ's cached prepared plan (None when preparation is off
+        or the engine never runs DRA). Aggregates are planned on their
+        SPJ core — the part DRA differentiates."""
+        if not self.prepare_plans:
+            return None
+        if cq.engine is Engine.REEVALUATE and not cq.is_aggregate:
+            return None
+        query = cq.query.core if cq.is_aggregate else cq.query
+        return self.plans.get(cq.name, query)
+
     def _refresh_aggregate(self, cq: ContinualQuery, now: Timestamp) -> None:
         applied = self._agg_applied[cq.name]
         deltas = self._deltas_for(cq.table_names, applied)
         if deltas:
-            cq.aggregate_state.update(deltas, now, self.metrics)
+            cq.aggregate_state.update(
+                deltas, now, self.metrics, prepared=self._prepared_for(cq)
+            )
         # Advance even when the window was empty (or consolidated to
         # nothing): the next differential read starts at `now` either
         # way, and a zone left behind `now` lets _execute's own advance
@@ -382,7 +416,12 @@ class CQManager:
         deltas = self._deltas_for(cq.table_names, applied)
         if deltas:
             result = dra_execute(
-                cq.query, self.db, deltas=deltas, ts=now, metrics=self.metrics
+                cq.query,
+                self.db,
+                deltas=deltas,
+                ts=now,
+                metrics=self.metrics,
+                prepared=self._prepared_for(cq),
             )
             cq.maintained_result = result.delta.apply_to(cq.maintained_result)
         # The log window below `now` is consumed (an empty or net-zero
@@ -425,6 +464,7 @@ class CQManager:
             previous=cq.previous_result,
             ts=now,
             metrics=self.metrics,
+            prepared=self._prepared_for(cq),
         )
         if cq.keep_result and result.has_changes():
             cq.previous_result = result.complete_result()
@@ -477,6 +517,7 @@ class CQManager:
         if cq.status is CQStatus.STOPPED:
             return
         cq.status = CQStatus.STOPPED
+        self.plans.invalidate(cq.name)
         for unsubscribe in self._unsubscribes.pop(cq.name, []):
             unsubscribe()
         self.zones.remove(cq.name)
@@ -541,6 +582,7 @@ class CQManager:
                         else None
                     ),
                     "pending_updates": pending,
+                    "plan_cached": cq.name in self.plans,
                     "trigger": repr(cq.trigger),
                 }
             )
@@ -550,7 +592,7 @@ class CQManager:
         """The :meth:`describe` records as an aligned text table."""
         from repro.bench.harness import format_table
 
-        return format_table(
+        report = format_table(
             self.describe(),
             columns=[
                 "name",
@@ -562,9 +604,19 @@ class CQManager:
                 "last_ts",
                 "result_rows",
                 "pending_updates",
+                "plan_cached",
             ],
             title=f"CQManager: {len(self._cqs)} queries, now={self.db.now()}",
         )
+        if self.metrics:
+            m = self.metrics
+            report += (
+                f"\nplans: prepared={m.get(Metrics.PLANS_PREPARED)} "
+                f"cache_hits={m.get(Metrics.PLAN_CACHE_HITS)} "
+                f"invalidations={m.get(Metrics.PLAN_CACHE_INVALIDATIONS)} "
+                f"base_scans={m.get(Metrics.BASE_SCANS)}"
+            )
+        return report
 
     def __repr__(self) -> str:
         return (

@@ -256,6 +256,11 @@ class RefreshScheduler:
         so the observable sequence matches the sequential schedule.
         """
         manager = self.manager
+        # Warm the plan cache on this thread first: a (re-)prepare may
+        # create missing join indexes — a catalog mutation that must
+        # not race with workers probing those same tables.
+        for cq in runnable:
+            manager._prepared_for(cq)
         with manager._emit_lock:
             start = len(manager._outbox)
             manager._defer_callbacks = True

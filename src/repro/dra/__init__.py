@@ -3,6 +3,9 @@
 See DESIGN.md S4. Entry points:
 
 * :func:`dra_execute` — Algorithm 1 for SPJ queries;
+* :func:`prepare_cq` / :class:`PreparedCQ` / :class:`PlanCache` — the
+  registration-time compilation layer feeding ``dra_execute``'s
+  ``prepared=`` fast path;
 * :class:`DifferentialAggregate` — incremental aggregate maintenance;
 * :func:`diff_select` / :func:`diff_project` / :func:`diff_join` — the
   paper's named differential operator forms;
@@ -13,12 +16,15 @@ from repro.dra.aggregates import DifferentialAggregate
 from repro.dra.algorithm import dra_execute
 from repro.dra.assembly import DRAResult, WeightInvariantError
 from repro.dra.operators import diff_join, diff_project, diff_select
+from repro.dra.prepared import PlanCache, PreparedCQ, prepare_cq
 from repro.dra.relevance import is_relevant, relevant_entry_counts
 from repro.dra.truth_table import TruthTable
 
 __all__ = [
     "DRAResult",
     "DifferentialAggregate",
+    "PlanCache",
+    "PreparedCQ",
     "TruthTable",
     "WeightInvariantError",
     "diff_join",
@@ -26,5 +32,6 @@ __all__ = [
     "diff_select",
     "dra_execute",
     "is_relevant",
+    "prepare_cq",
     "relevant_entry_counts",
 ]

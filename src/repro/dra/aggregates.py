@@ -83,12 +83,23 @@ class DifferentialAggregate:
         deltas: Mapping[str, DeltaRelation],
         ts: Timestamp,
         metrics: Optional[Metrics] = None,
+        prepared=None,
     ) -> DeltaRelation:
-        """Fold the base-table deltas in; returns the aggregate delta."""
+        """Fold the base-table deltas in; returns the aggregate delta.
+
+        ``prepared`` is an optional pre-compiled plan for the SPJ core
+        (see :func:`repro.dra.prepared.prepare_cq`) — the manager hands
+        its cached one through so the core's differential never replans.
+        """
         if not self._initialized:
             raise ReproError("call initialize() before update()")
         core_delta = dra_execute(
-            self.query.core, self.db, deltas=deltas, ts=ts, metrics=metrics
+            self.query.core,
+            self.db,
+            deltas=deltas,
+            ts=ts,
+            metrics=metrics,
+            prepared=prepared,
         ).delta
 
         touched: Dict[GroupKey, Optional[Values]] = {}

@@ -17,6 +17,13 @@ Inputs (iii)/(iv) interact exactly as the paper describes: the deltas
 handed to the algorithm are consolidated from each table's update log
 *restricted to timestamps after the last execution* — the "proper
 timestamp predicate" the CQ manager appends.
+
+Planning and compilation happen once, not per refresh: pass a
+``prepared`` plan (see :func:`repro.dra.prepared.prepare_cq`) to skip
+scope/plan/predicate/projection derivation entirely — the manager and
+server cache one per CQ. Without it, the query is prepared on the fly
+(the one-shot path for baselines and demos), which leaves results
+identical and only costs the compile.
 """
 
 from __future__ import annotations
@@ -26,13 +33,6 @@ from typing import Dict, Mapping, Optional
 from repro.errors import QueryError
 from repro.metrics import Metrics
 from repro.relational.algebra import SPJQuery
-from repro.relational.binding import EnvBinder, SingleRowBinder
-from repro.relational.evaluate import (
-    compile_projection,
-    spj_output_schema,
-)
-from repro.relational.planning import plan_predicate
-from repro.relational.predicates import TruePredicate
 from repro.relational.relation import Relation
 from repro.storage.database import Database
 from repro.storage.timestamps import Timestamp
@@ -40,8 +40,8 @@ from repro.delta.capture import deltas_since
 from repro.delta.differential import DeltaRelation
 from repro.dra.assembly import DRAResult, TermTrace, accumulate, to_delta
 from repro.dra.operands import BaseOperand, DeltaOperand
+from repro.dra.prepared import PreparedCQ, prepare_cq
 from repro.dra.terms import evaluate_term
-from repro.dra.truth_table import TruthTable
 
 
 def dra_execute(
@@ -53,6 +53,7 @@ def dra_execute(
     ts: Optional[Timestamp] = None,
     metrics: Optional[Metrics] = None,
     explain: bool = False,
+    prepared: Optional[PreparedCQ] = None,
 ) -> DRAResult:
     """Differentially re-evaluate ``query`` against ``db``.
 
@@ -61,8 +62,13 @@ def dra_execute(
     of the tables' update logs. ``previous`` is the retained result of
     the last execution — optional; without it only differential
     delivery is available. ``ts`` stamps the produced delta entries
-    (defaults to the database's current time).
+    (defaults to the database's current time). ``prepared`` must have
+    been compiled from an equivalent query over the same catalog (the
+    caller — typically a plan cache — is responsible for staleness);
+    omitted, the query is prepared here, once, for this execution.
     """
+    if prepared is None:
+        prepared = prepare_cq(query, db, metrics=metrics, auto_index=False)
     if deltas is None:
         if since is None:
             raise QueryError("dra_execute needs either deltas or since=")
@@ -72,36 +78,26 @@ def dra_execute(
     if ts is None:
         ts = db.now()
 
-    scopes = {
-        ref.alias: db.table(ref.table).schema for ref in query.relations
-    }
-    out_schema = spj_output_schema(query, scopes)
-    plan = plan_predicate(query.predicate, scopes)
-    binder = EnvBinder(scopes)
+    out_schema = prepared.out_schema
 
     # Constant conjuncts gate the whole query: if any is false the
     # result is empty at every execution, so the delta is empty too.
-    for pred, aliases in plan.residual:
-        if not aliases and not pred.compile(EnvBinder({}))({}):
-            return DRAResult(
-                DeltaRelation(out_schema), out_schema, previous, ts, (), 0
-            )
+    if prepared.never_matches:
+        return DRAResult(
+            DeltaRelation(out_schema), out_schema, previous, ts, (), 0
+        )
 
     # Build operands once; they are shared by all truth-table terms.
+    compiled_local = prepared.compiled_local
     delta_operands: Dict[str, DeltaOperand] = {}
     base_operands: Dict[str, BaseOperand] = {}
     changed = []
     for ref in query.relations:
         table = db.table(ref.table)
         table_delta = deltas.get(ref.table)
-        local = plan.local_predicate(ref.alias)
-        compiled_local = (
-            None
-            if isinstance(local, TruePredicate)
-            else local.compile(SingleRowBinder(table.schema, ref.alias))
-        )
+        local = compiled_local[ref.alias]
         if table_delta is not None and not table_delta.is_empty():
-            operand = DeltaOperand(ref.alias, table_delta, compiled_local, metrics)
+            operand = DeltaOperand(ref.alias, table_delta, local, metrics)
             # Local filtering may empty the operand: every change to
             # this relation is irrelevant to the query (Section 5.2),
             # and σ_local(R_old) == σ_local(R_new), so the alias can be
@@ -110,7 +106,7 @@ def dra_execute(
                 delta_operands[ref.alias] = operand
                 changed.append(ref.alias)
         base_operands[ref.alias] = BaseOperand(
-            ref.alias, table, table_delta, compiled_local, metrics
+            ref.alias, table, table_delta, local, metrics
         )
 
     if not changed:
@@ -121,37 +117,27 @@ def dra_execute(
             DeltaRelation(out_schema), out_schema, previous, ts, (), 0, skipped=True
         )
 
-    residual_compiled = {
-        index: pred.compile(binder)
-        for index, (pred, aliases) in enumerate(plan.residual)
-        if aliases
-    }
-    project = compile_projection(query, scopes)
-
-    table = TruthTable(query.aliases, changed)
+    changed_key = tuple(changed)
     traces: Optional[list] = [] if explain else None
 
     def run_terms():
-        for row in table.rows():
-            partials = evaluate_term(
-                row,
-                query.aliases,
+        for row in prepared.truth_rows(changed_key):
+            seed = min(row, key=lambda a: len(delta_operands[a]))
+            entries = evaluate_term(
+                prepared.term_plan(row, seed),
                 delta_operands,
                 base_operands,
-                plan,
-                residual_compiled,
                 metrics,
             )
             if traces is not None:
-                seed = min(row, key=lambda a: len(delta_operands[a]))
                 traces.append(
                     TermTrace(
-                        row, seed, len(delta_operands[seed]), len(partials)
+                        row, seed, len(delta_operands[seed]), len(entries)
                     )
                 )
-            yield partials
+            yield entries
 
-    weights = accumulate(run_terms(), query.aliases, project)
+    weights = accumulate(run_terms())
     delta = to_delta(weights, out_schema, ts)
     if metrics:
         metrics.count(Metrics.EXECUTIONS)
@@ -160,7 +146,7 @@ def dra_execute(
         out_schema,
         previous,
         ts,
-        tuple(changed),
-        table.term_count,
+        changed_key,
+        prepared.truth_table(changed_key).term_count,
         traces=traces,
     )

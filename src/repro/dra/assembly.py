@@ -11,14 +11,14 @@ execution's result (Algorithm 1 input (v)).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.relational.relation import Relation, Tid, Values
 from repro.relational.schema import Schema
 from repro.storage.timestamps import Timestamp
 from repro.delta.differential import DeltaEntry, DeltaRelation
-from repro.dra.terms import Partial
+from repro.dra.terms import Entry
 
 
 class WeightInvariantError(ReproError):
@@ -31,22 +31,20 @@ class WeightInvariantError(ReproError):
 
 
 def accumulate(
-    term_results: Iterable[List[Partial]],
-    aliases: Sequence[str],
-    project,
+    term_results: Iterable[List[Entry]],
 ) -> Dict[Tuple[Tid, Values], int]:
-    """Sum weighted, projected candidates across terms (step 3)."""
+    """Sum weighted, projected candidates across terms (step 3).
+
+    Terms arrive already projected — each candidate is a flat
+    ``(result tid, output values, weight)`` triple produced by the
+    term's prepared plan — so step 3 is a pure signed sum.
+    """
     weights: Dict[Tuple[Tid, Values], int] = {}
-    single = len(aliases) == 1
-    only = aliases[0] if single else None
-    for partials in term_results:
-        for tids, vals, weight in partials:
-            if single:
-                ctid = tids[only]
-            else:
-                ctid = tuple(tids[alias] for alias in aliases)
-            key = (ctid, project(vals))
-            total = weights.get(key, 0) + weight
+    get = weights.get
+    for entries in term_results:
+        for ctid, values, weight in entries:
+            key = (ctid, values)
+            total = get(key, 0) + weight
             if total:
                 weights[key] = total
             else:

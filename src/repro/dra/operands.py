@@ -30,7 +30,7 @@ SignedRow = Tuple[Tid, Values, int]  # (tid, values, weight ±1)
 class DeltaOperand:
     """The signed, locally filtered rows of one changed operand."""
 
-    __slots__ = ("alias", "rows")
+    __slots__ = ("alias", "rows", "_indexes")
 
     def __init__(
         self,
@@ -53,6 +53,7 @@ class DeltaOperand:
             ):
                 rows.append((entry.tid, entry.new, +1))
         self.rows = rows
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[SignedRow]]] = {}
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -60,11 +61,16 @@ class DeltaOperand:
     def index_on(
         self, positions: Tuple[int, ...]
     ) -> Dict[Tuple, List[SignedRow]]:
-        """Transient hash index of the signed rows on ``positions``."""
-        buckets: Dict[Tuple, List[SignedRow]] = {}
-        for tid, values, weight in self.rows:
-            key = tuple(values[p] for p in positions)
-            buckets.setdefault(key, []).append((tid, values, weight))
+        """Transient hash index of the signed rows on ``positions``,
+        built once per operand per position tuple (several truth-table
+        terms attach the same operand over the same join edges)."""
+        buckets = self._indexes.get(positions)
+        if buckets is None:
+            buckets = {}
+            for tid, values, weight in self.rows:
+                key = tuple(values[p] for p in positions)
+                buckets.setdefault(key, []).append((tid, values, weight))
+            self._indexes[positions] = buckets
         return buckets
 
 
@@ -142,6 +148,8 @@ class BaseOperand:
         scan = self._scan_cache.get(positions)
         if scan is None:
             scan = {}
+            if self.metrics:
+                self.metrics.count(Metrics.BASE_SCANS)
             for row in self._old_view:
                 if self.metrics:
                     self.metrics.count(Metrics.ROWS_SCANNED)
@@ -153,6 +161,8 @@ class BaseOperand:
     def scan(self) -> List[Tuple[Tid, Values]]:
         """Full old-state scan (cartesian fallback), locally filtered."""
         out = []
+        if self.metrics:
+            self.metrics.count(Metrics.BASE_SCANS)
         for row in self._old_view:
             if self.metrics:
                 self.metrics.count(Metrics.ROWS_SCANNED)

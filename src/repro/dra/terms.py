@@ -2,12 +2,19 @@
 
 A term substitutes ΔR_i for R_i at the positions its truth-table row
 marks with 1 and keeps the old base contents elsewhere. Evaluation is
-*seeded at the deltas*: the smallest substituted operand's signed rows
-form the initial partial results, and every further operand is attached
-either by probing (base operands, via old-state hash indexes) or by a
-transient hash lookup / cross product (delta operands). Base relations
-are never iterated unless the join graph is disconnected or no index
-fits — which the metrics make visible.
+*seeded at the deltas*: the seed operand's signed rows form the initial
+partial results, and every further operand is attached either by
+probing (base operands, via old-state hash indexes) or by a transient
+hash lookup / cross product (delta operands). Base relations are never
+iterated unless the join graph is disconnected or no index fits —
+which the metrics make visible (``base_scans``).
+
+The attachment order, join-key positions, residual predicates, and
+projection all come pre-resolved from a
+:class:`~repro.dra.prepared.TermPlan`: a partial here is a flat
+``(tids, values, weight)`` triple of tuples indexed by attachment slot
+and extended functionally — attaching a row is two tuple appends, with
+no per-row dict copies anywhere in the innermost join loop.
 
 Each partial carries a weight: the product of its delta rows' signs
 (+1 for new sides, −1 for old sides; base rows are +1). Summing
@@ -17,164 +24,129 @@ Q(S_new) − Q(S_old) in signed-set algebra.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics import Metrics
-from repro.relational.planning import PredicatePlan
 from repro.relational.predicates import CompiledPredicate
 from repro.relational.relation import Tid, Values
 from repro.dra.operands import BaseOperand, DeltaOperand
 
-# (tids per alias, values per alias, weight)
-Partial = Tuple[Dict[str, Tid], Dict[str, Values], int]
+# A partial result mid-attachment: slot-indexed flat tuples.
+Partial = Tuple[Tuple[Tid, ...], Tuple[Values, ...], int]
+# A finished, projected candidate: (result tid, output values, weight).
+Entry = Tuple[Tid, Values, int]
 
 
 def evaluate_term(
-    substituted: FrozenSet[str],
-    aliases: Sequence[str],
+    plan,
     delta_operands: Dict[str, DeltaOperand],
     base_operands: Dict[str, BaseOperand],
-    plan: PredicatePlan,
-    residual_compiled: Dict[int, CompiledPredicate],
     metrics: Optional[Metrics] = None,
-) -> List[Partial]:
-    """All weighted candidate rows of one term."""
+) -> List[Entry]:
+    """All weighted, projected candidate rows of one term.
+
+    ``plan`` is the term's :class:`~repro.dra.prepared.TermPlan`; the
+    operand dicts are this execution's delta seeds and old-state base
+    views.
+    """
     if metrics:
         metrics.count(Metrics.TERMS_EVALUATED)
 
-    # Seed with the smallest substituted delta operand.
-    seed_alias = min(substituted, key=lambda a: len(delta_operands[a]))
     partials: List[Partial] = [
-        ({seed_alias: tid}, {seed_alias: values}, weight)
-        for tid, values, weight in delta_operands[seed_alias].rows
+        ((tid,), (values,), weight)
+        for tid, values, weight in delta_operands[plan.seed].rows
     ]
-    bound: Set[str] = {seed_alias}
-    applied: Set[int] = set()
-    partials = _apply_residuals(partials, plan, bound, applied, residual_compiled)
+    partials = _apply_residuals(partials, plan.seed_residuals)
 
-    remaining = [a for a in aliases if a != seed_alias]
-    while remaining and partials:
-        alias = _pick_next(remaining, substituted, bound, plan)
-        remaining.remove(alias)
-        edges = plan.edges_between(bound, alias)
-        if alias in substituted:
-            partials = _attach_delta(
-                partials, alias, delta_operands[alias], edges
-            )
+    for step in plan.steps:
+        if not partials:
+            return []
+        if step.is_delta:
+            partials = _attach_delta(partials, delta_operands[step.alias], step)
         else:
-            partials = _attach_base(
-                partials, alias, base_operands[alias], edges
-            )
-        bound.add(alias)
-        partials = _apply_residuals(partials, plan, bound, applied, residual_compiled)
+            partials = _attach_base(partials, base_operands[step.alias], step)
+        partials = _apply_residuals(partials, step.residuals)
 
-    # Remaining aliases with no partials left: term contributes nothing.
-    return partials
+    return _project(partials, plan)
 
 
-def _pick_next(
-    remaining: List[str],
-    substituted: FrozenSet[str],
-    bound: Set[str],
-    plan: PredicatePlan,
-) -> str:
-    """Attachment order: connected deltas, connected bases, then
-    unconnected deltas (small cross products) before unconnected bases."""
-
-    def priority(alias: str) -> int:
-        connected = bool(plan.edges_between(bound, alias))
-        is_delta = alias in substituted
-        if connected and is_delta:
-            return 0
-        if connected:
-            return 1
-        if is_delta:
-            return 2
-        return 3
-
-    return min(remaining, key=lambda a: (priority(a), remaining.index(a)))
+def _project(partials: Sequence[Partial], plan) -> List[Entry]:
+    project = plan.project
+    perm = plan.tid_perm
+    if perm is None:
+        return [(tids[0], project(vals), w) for tids, vals, w in partials]
+    return [
+        (tuple(tids[i] for i in perm), project(vals), w)
+        for tids, vals, w in partials
+    ]
 
 
 def _attach_delta(
     partials: List[Partial],
-    alias: str,
     operand: DeltaOperand,
-    edges,
+    step,
 ) -> List[Partial]:
     out: List[Partial] = []
-    if edges:
-        positions = tuple(e.position_for(alias) for e in edges)
-        buckets = operand.index_on(positions)
-        key_sources = [
-            (e.other(alias), e.position_for(e.other(alias))) for e in edges
-        ]
-        for tids, vals, weight in partials:
-            key = tuple(vals[a][p] for a, p in key_sources)
-            for tid, values, w in buckets.get(key, ()):
-                new_tids = dict(tids)
-                new_tids[alias] = tid
-                new_vals = dict(vals)
-                new_vals[alias] = values
-                out.append((new_tids, new_vals, weight * w))
+    append = out.append
+    if step.key_positions:
+        lookup = operand.index_on(step.key_positions).get
+        sources = step.key_sources
+        if len(sources) == 1:
+            (s, p), = sources
+            for tids, vals, weight in partials:
+                bucket = lookup((vals[s][p],))
+                if bucket:
+                    for tid, values, w in bucket:
+                        append((tids + (tid,), vals + (values,), weight * w))
+        else:
+            for tids, vals, weight in partials:
+                bucket = lookup(tuple(vals[s][p] for s, p in sources))
+                if bucket:
+                    for tid, values, w in bucket:
+                        append((tids + (tid,), vals + (values,), weight * w))
     else:
         rows = operand.rows
         for tids, vals, weight in partials:
             for tid, values, w in rows:
-                new_tids = dict(tids)
-                new_tids[alias] = tid
-                new_vals = dict(vals)
-                new_vals[alias] = values
-                out.append((new_tids, new_vals, weight * w))
+                append((tids + (tid,), vals + (values,), weight * w))
     return out
 
 
 def _attach_base(
     partials: List[Partial],
-    alias: str,
     operand: BaseOperand,
-    edges,
+    step,
 ) -> List[Partial]:
     out: List[Partial] = []
-    if edges:
-        positions = tuple(e.position_for(alias) for e in edges)
-        key_sources = [
-            (e.other(alias), e.position_for(e.other(alias))) for e in edges
-        ]
-        for tids, vals, weight in partials:
-            key = tuple(vals[a][p] for a, p in key_sources)
-            for tid, values in operand.probe(positions, key):
-                new_tids = dict(tids)
-                new_tids[alias] = tid
-                new_vals = dict(vals)
-                new_vals[alias] = values
-                out.append((new_tids, new_vals, weight))
+    append = out.append
+    if step.key_positions:
+        positions = step.key_positions
+        sources = step.key_sources
+        probe = operand.probe
+        if len(sources) == 1:
+            (s, p), = sources
+            for tids, vals, weight in partials:
+                for tid, values in probe(positions, (vals[s][p],)):
+                    append((tids + (tid,), vals + (values,), weight))
+        else:
+            for tids, vals, weight in partials:
+                key = tuple(vals[s][p] for s, p in sources)
+                for tid, values in probe(positions, key):
+                    append((tids + (tid,), vals + (values,), weight))
     else:
         rows = operand.scan()
         for tids, vals, weight in partials:
             for tid, values in rows:
-                new_tids = dict(tids)
-                new_tids[alias] = tid
-                new_vals = dict(vals)
-                new_vals[alias] = values
-                out.append((new_tids, new_vals, weight))
+                append((tids + (tid,), vals + (values,), weight))
     return out
 
 
 def _apply_residuals(
     partials: List[Partial],
-    plan: PredicatePlan,
-    bound: Set[str],
-    applied: Set[int],
-    residual_compiled: Dict[int, CompiledPredicate],
+    residuals: Tuple[CompiledPredicate, ...],
 ) -> List[Partial]:
-    for index, __ in plan.residual_ready(bound, applied):
-        compiled = residual_compiled.get(index)
-        applied.add(index)
-        if compiled is None:  # constant conjunct, gated by the driver
-            continue
-        partials = [
-            (tids, vals, weight)
-            for tids, vals, weight in partials
-            if compiled(vals)
-        ]
+    for compiled in residuals:
+        if not partials:
+            break
+        partials = [p for p in partials if compiled(p[1])]
     return partials

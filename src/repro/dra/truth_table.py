@@ -21,7 +21,7 @@ from typing import FrozenSet, Iterator, List, Sequence, Tuple
 class TruthTable:
     """The non-zero substitution vectors for a set of changed operands."""
 
-    __slots__ = ("aliases", "changed")
+    __slots__ = ("aliases", "changed", "_rows")
 
     def __init__(self, aliases: Sequence[str], changed: Sequence[str]):
         self.aliases = tuple(aliases)
@@ -31,6 +31,7 @@ class TruthTable:
             raise ValueError(f"changed aliases not in query: {sorted(unknown)}")
         # Preserve query order for deterministic term enumeration.
         self.changed = tuple(a for a in self.aliases if a in changed_set)
+        self._rows: Tuple[FrozenSet[str], ...] = ()
 
     @property
     def term_count(self) -> int:
@@ -47,6 +48,14 @@ class TruthTable:
         for size in range(1, len(self.changed) + 1):
             for subset in combinations(self.changed, size):
                 yield frozenset(subset)
+
+    def rows_tuple(self) -> Tuple[FrozenSet[str], ...]:
+        """The :meth:`rows` enumeration, materialized and cached — a
+        prepared CQ keeps the table itself per changed-set, so repeated
+        refreshes with the same changed operands re-enumerate nothing."""
+        if not self._rows:
+            self._rows = tuple(self.rows())
+        return self._rows
 
     def as_binary_rows(self) -> List[Tuple[int, ...]]:
         """The table in the paper's binary form, one column per changed

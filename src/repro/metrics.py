@@ -126,6 +126,14 @@ class Metrics:
     DELTA_BATCHES_REUSED = "delta_batches_reused"
     GROUPS_SKIPPED = "groups_skipped"
     CQ_REFRESHES = "cq_refreshes"
+    # Prepared-plan compilation layer (registration-time compile).
+    PREDICATE_PLANS = "predicate_plans"
+    PLANS_PREPARED = "plans_prepared"
+    PLAN_CACHE_HITS = "plan_cache_hits"
+    PLAN_CACHE_INVALIDATIONS = "plan_cache_invalidations"
+    # Base-operand probes that degraded to a transient scan because no
+    # maintained index covered the probe positions.
+    BASE_SCANS = "base_scans"
     # Histogram names.
     REFRESH_LATENCY_US = "refresh_latency_us"
 

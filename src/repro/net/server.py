@@ -27,6 +27,7 @@ from repro.storage.timestamps import Timestamp
 from repro.delta.capture import deltas_since
 from repro.delta.diff import diff
 from repro.dra.algorithm import dra_execute
+from repro.dra.prepared import PlanCache, PreparedCQ
 from repro.core.scheduler import DeltaBatchCache
 from repro.net.messages import (
     DeltaAvailableMessage,
@@ -55,6 +56,7 @@ class Subscription:
         "client_id",
         "cq_name",
         "query",
+        "sql_key",
         "protocol",
         "last_ts",
         "previous_result",
@@ -73,6 +75,10 @@ class Subscription:
         self.client_id = client_id
         self.cq_name = cq_name
         self.query = query
+        # Canonical SQL, rendered once: the key under which this
+        # subscription shares evaluation groups and prepared plans with
+        # identical subscriptions from other clients.
+        self.sql_key = query.to_sql()
         self.protocol = protocol
         self.last_ts = last_ts
         # Retained server-side copy of the last shipped result state
@@ -118,6 +124,10 @@ class CQServer:
         self.metrics = metrics if metrics is not None else Metrics()
         self.share_evaluation = share_evaluation
         self.share_deltas = share_deltas
+        #: Prepared plans keyed by canonical query SQL: identical
+        #: subscriptions from different clients share one compiled
+        #: plan, revalidated against the catalog on every use.
+        self.plans = PlanCache(db, self.metrics)
         self._clients: Dict[str, "object"] = {}
         self._subscriptions: Dict[Tuple[str, str], Subscription] = {}
 
@@ -157,6 +167,10 @@ class CQServer:
                 "the client-server protocol serves SPJ queries; aggregate "
                 "CQs are managed by CQManager"
             )
+        if protocol in (Protocol.DRA_DELTA, Protocol.DRA_LAZY):
+            # Compile before E_0: auto-created join indexes serve the
+            # initial evaluation and every later differential refresh.
+            self.plans.get(query.to_sql(), query)
         now = self.db.now()
         result = self.db.query(query, self.metrics)
         subscription = Subscription(
@@ -188,6 +202,10 @@ class CQServer:
                 sent += 1
         return sent
 
+    def _prepared(self, subscription: Subscription) -> PreparedCQ:
+        """The subscription's cached compiled plan (shared by SQL)."""
+        return self.plans.get(subscription.sql_key, subscription.query)
+
     def _deltas_for(
         self,
         subscription: Subscription,
@@ -214,7 +232,7 @@ class CQServer:
         """DRA refresh with one evaluation per (query, window) group."""
         now = self.db.now()
         key = (
-            subscription.query.to_sql(),
+            subscription.sql_key,
             subscription.protocol,
             subscription.last_ts,
         )
@@ -227,6 +245,7 @@ class CQServer:
                 deltas=deltas,
                 ts=now,
                 metrics=self.metrics,
+                prepared=self._prepared(subscription),
             )
             shared[key] = result
         subscription.last_ts = now
@@ -276,6 +295,7 @@ class CQServer:
                 deltas=deltas,
                 ts=now,
                 metrics=self.metrics,
+                prepared=self._prepared(subscription),
             )
             subscription.last_ts = now
             if not result.has_changes():
@@ -308,6 +328,7 @@ class CQServer:
                 previous=subscription.previous_result,
                 ts=now,
                 metrics=self.metrics,
+                prepared=self._prepared(subscription),
             )
             subscription.last_ts = now
             if not result.has_changes():

@@ -111,7 +111,7 @@ def evaluate_spj(
 ) -> Relation:
     """Evaluate an SPJ query over full base relations."""
     scopes = scopes_for(query, resolver)
-    plan = plan_predicate(query.predicate, scopes)
+    plan = plan_predicate(query.predicate, scopes, metrics)
 
     # Constant conjuncts gate the whole query.
     out_schema = spj_output_schema(query, scopes)

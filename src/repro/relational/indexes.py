@@ -91,26 +91,40 @@ _EMPTY: Set[Tid] = frozenset()  # type: ignore[assignment]
 
 
 class IndexSet:
-    """The indexes attached to one table, keyed by position tuple."""
+    """The indexes attached to one table, keyed by position tuple.
 
-    __slots__ = ("_indexes",)
+    ``version`` increments whenever an index is added; prepared CQ
+    plans record it at compile time so a later index creation
+    invalidates (and re-prepares) any plan that assumed its absence.
+    """
+
+    __slots__ = ("_indexes", "_by_sorted", "version")
 
     def __init__(self) -> None:
         self._indexes: Dict[Tuple[int, ...], HashIndex] = {}
+        # Canonical (sorted-positions) map maintained at add() time so
+        # best_for is one dict lookup instead of a scan over every
+        # index key per probe-plan resolution.
+        self._by_sorted: Dict[Tuple[int, ...], HashIndex] = {}
+        self.version = 0
 
     def add(self, index: HashIndex) -> None:
         self._indexes[index.positions] = index
+        # First registration wins for a given column set, matching the
+        # old linear scan's insertion-order preference.
+        self._by_sorted.setdefault(tuple(sorted(index.positions)), index)
+        self.version += 1
 
     def get(self, positions: Tuple[int, ...]) -> Optional[HashIndex]:
         return self._indexes.get(tuple(positions))
 
     def best_for(self, positions: Iterable[int]) -> Optional[HashIndex]:
         """An index whose key is exactly ``positions`` in any order."""
-        wanted = tuple(sorted(positions))
-        for key, index in self._indexes.items():
-            if tuple(sorted(key)) == wanted:
-                return index
-        return None
+        wanted = tuple(positions)
+        exact = self._indexes.get(wanted)
+        if exact is not None:
+            return exact
+        return self._by_sorted.get(tuple(sorted(wanted)))
 
     def single_column(self, position: int) -> Optional[HashIndex]:
         return self._indexes.get((position,))

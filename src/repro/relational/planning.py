@@ -14,8 +14,9 @@ decomposition of an SPJ predicate F:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
+from repro.metrics import Metrics
 from repro.relational.binding import EnvBinder
 from repro.relational.predicates import (
     Comparison,
@@ -119,10 +120,22 @@ class PredicatePlan:
         return out
 
 
+# Total plan_predicate invocations since import. Prepared-plan smoke
+# checks read this to prove planning work amortizes to zero per
+# refresh; it is a plain counter, exact only under single-threaded use.
+plan_calls = 0
+
+
 def plan_predicate(
-    predicate: Predicate, scopes: Mapping[str, Schema]
+    predicate: Predicate,
+    scopes: Mapping[str, Schema],
+    metrics: Optional[Metrics] = None,
 ) -> PredicatePlan:
     """Decompose ``predicate`` into local / join-edge / residual parts."""
+    global plan_calls
+    plan_calls += 1
+    if metrics:
+        metrics.count(Metrics.PREDICATE_PLANS)
     binder = EnvBinder(scopes)
     local: Dict[str, List[Predicate]] = {alias: [] for alias in scopes}
     edges: List[JoinEdge] = []

@@ -1,0 +1,120 @@
+"""Plan-cache lifecycle through the CQ manager.
+
+Registration compiles once; every refresh hits the cache; deregister
+and catalog changes (new index, replaced table) invalidate; a CQ
+re-registered under an old name gets a fresh plan, never the ghost of
+the previous query.
+"""
+
+import pytest
+
+from repro import Database
+from repro.metrics import Metrics
+from repro.core import CQManager, EvaluationStrategy
+from repro.relational import AttributeType
+
+
+@pytest.fixture
+def metrics():
+    return Metrics()
+
+
+@pytest.fixture
+def mgr(db, stocks, metrics):
+    return CQManager(
+        db, strategy=EvaluationStrategy.PERIODIC, metrics=metrics
+    )
+
+
+WATCH_SQL = "SELECT name, price FROM stocks WHERE price > 120"
+
+
+class TestCacheLifecycle:
+    def test_register_prepares_once(self, mgr, metrics):
+        mgr.register_sql("watch", WATCH_SQL)
+        assert "watch" in mgr.plans
+        assert metrics[Metrics.PLANS_PREPARED] == 1
+
+    def test_refreshes_hit_the_cache(self, mgr, stocks, metrics):
+        mgr.register_sql("watch", WATCH_SQL)
+        prepared_before = metrics[Metrics.PLANS_PREPARED]
+        for i in range(3):
+            stocks.insert((900 + i, "NEW", 200 + i))
+            mgr.poll()
+        assert metrics[Metrics.PLAN_CACHE_HITS] >= 3
+        assert metrics[Metrics.PLANS_PREPARED] == prepared_before
+
+    def test_deregister_invalidates(self, mgr, metrics):
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.deregister("watch")
+        assert "watch" not in mgr.plans
+        assert metrics[Metrics.PLAN_CACHE_INVALIDATIONS] == 1
+
+    def test_reregister_same_name_gets_fresh_plan(self, mgr, db, stocks):
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.deregister("watch")
+        other = db.create_table(
+            "trades", [("sid", AttributeType.INT), ("qty", AttributeType.INT)]
+        )
+        mgr.drain()
+        notes = []
+        mgr.register_sql(
+            "watch",
+            "SELECT sid, qty FROM trades WHERE qty > 3",
+            on_notify=notes.append,
+        )
+        other.insert((1, 10))
+        mgr.poll()
+        refresh = [n for n in notes if n.kind.value == "refresh"]
+        assert len(refresh) == 1
+        assert [tuple(e.new) for e in refresh[0].delta] == [(1, 10)]
+
+    def test_index_added_after_prepare_reprepares(self, mgr, stocks, metrics):
+        mgr.register_sql("watch", WATCH_SQL)
+        prepared_before = metrics[Metrics.PLANS_PREPARED]
+        stocks.create_index(["name"])
+        stocks.insert((900, "NEW", 200))
+        mgr.poll()
+        assert metrics[Metrics.PLAN_CACHE_INVALIDATIONS] >= 1
+        assert metrics[Metrics.PLANS_PREPARED] == prepared_before + 1
+        # The re-prepared plan serves subsequent refreshes from cache.
+        hits = metrics[Metrics.PLAN_CACHE_HITS]
+        stocks.insert((901, "NEW", 201))
+        mgr.poll()
+        assert metrics[Metrics.PLAN_CACHE_HITS] > hits
+
+    def test_prepare_plans_false_keeps_cache_empty(self, db, stocks, metrics):
+        mgr = CQManager(
+            db,
+            strategy=EvaluationStrategy.PERIODIC,
+            metrics=metrics,
+            prepare_plans=False,
+        )
+        mgr.register_sql("watch", WATCH_SQL)
+        stocks.insert((900, "NEW", 200))
+        mgr.poll()
+        # Nothing is cached: each refresh prepared privately (the
+        # one-shot path inside dra_execute) and nothing ever hit.
+        assert len(mgr.plans) == 0
+        assert metrics[Metrics.PLAN_CACHE_HITS] == 0
+
+    def test_aggregates_share_the_cache(self, mgr, stocks, metrics):
+        mgr.register_sql("total", "SELECT SUM(price) AS total FROM stocks")
+        assert "total" in mgr.plans
+        hits = metrics[Metrics.PLAN_CACHE_HITS]
+        stocks.insert((900, "NEW", 200))
+        mgr.poll()
+        assert metrics[Metrics.PLAN_CACHE_HITS] > hits
+
+
+class TestIntrospection:
+    def test_describe_reports_plan_cached(self, mgr):
+        mgr.register_sql("watch", WATCH_SQL)
+        record = mgr.describe()[0]
+        assert record["plan_cached"] is True
+
+    def test_status_report_has_plan_counters(self, mgr):
+        mgr.register_sql("watch", WATCH_SQL)
+        report = mgr.status_report()
+        assert "plan_cached" in report
+        assert "plans: prepared=" in report

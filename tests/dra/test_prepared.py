@@ -1,0 +1,152 @@
+"""Tests for the registration-time compilation layer (prepared plans).
+
+The contract of :mod:`repro.dra.prepared` is twofold: a prepared
+execution must be indistinguishable from an unprepared one (same delta,
+entry for entry), and after the one-time compile a refresh must never
+call the predicate planner again.
+"""
+
+import pytest
+
+from repro.metrics import Metrics
+from repro.relational import AttributeType, parse_query
+from repro.relational import planning
+from repro.dra.algorithm import dra_execute
+from repro.dra.prepared import prepare_cq
+
+JOIN_SQL = (
+    "SELECT stocks.name AS name, trades.qty AS qty "
+    "FROM stocks, trades "
+    "WHERE stocks.sid = trades.sid AND stocks.price > 100"
+)
+
+
+@pytest.fixture
+def trades(db, stocks):
+    table = db.create_table(
+        "trades", [("sid", AttributeType.INT), ("qty", AttributeType.INT)]
+    )
+    table.insert_many([(100000, 5), (92394, 7), (120992, 2)])
+    return table
+
+
+@pytest.fixture
+def join_query():
+    return parse_query(JOIN_SQL)
+
+
+def delta_signature(result):
+    return sorted(
+        (entry.tid, entry.old, entry.new) for entry in result.delta
+    )
+
+
+class TestEquivalence:
+    def test_prepared_matches_unprepared(self, db, stocks, trades, join_query):
+        prepared = prepare_cq(join_query, db)
+        for sid, price, qty in [(55, 300, 9), (92394, 90, 1), (100000, 101, 4)]:
+            ts = db.now()
+            stocks.insert((sid, f"S{sid}", price))
+            trades.insert((sid, qty))
+            bare = dra_execute(join_query, db, since=ts)
+            fast = dra_execute(join_query, db, since=ts, prepared=prepared)
+            assert delta_signature(fast) == delta_signature(bare)
+            assert fast.changed_aliases == bare.changed_aliases
+            assert fast.terms_evaluated == bare.terms_evaluated
+
+    def test_never_matches_gate(self, db, stocks):
+        query = parse_query("SELECT name FROM stocks WHERE 1 > 2")
+        prepared = prepare_cq(query, db)
+        assert prepared.never_matches
+        ts = db.now()
+        stocks.insert((9, "SUN", 500))
+        result = dra_execute(query, db, since=ts, prepared=prepared)
+        assert result.delta.is_empty()
+        assert result.terms_evaluated == 0
+
+
+class TestNoReplanning:
+    def test_prepared_refreshes_never_plan(self, db, stocks, trades, join_query):
+        prepared = prepare_cq(join_query, db)
+        before = planning.plan_calls
+        for i in range(5):
+            ts = db.now()
+            stocks.insert((1000 + i, "NEW", 200 + i))
+            trades.insert((1000 + i, i))
+            dra_execute(join_query, db, since=ts, prepared=prepared)
+        assert planning.plan_calls == before
+
+    def test_unprepared_replans_every_call(self, db, stocks, trades, join_query):
+        before = planning.plan_calls
+        ts = db.now()
+        stocks.insert((9, "SUN", 500))
+        dra_execute(join_query, db, since=ts)
+        dra_execute(join_query, db, since=ts)
+        assert planning.plan_calls == before + 2
+
+    def test_prepare_charges_counters(self, db, stocks, trades, join_query):
+        metrics = Metrics()
+        prepare_cq(join_query, db, metrics=metrics)
+        assert metrics[Metrics.PLANS_PREPARED] == 1
+        assert metrics[Metrics.PREDICATE_PLANS] == 1
+
+
+class TestAutoIndex:
+    def test_join_columns_get_indexes(self, db, stocks, trades, join_query):
+        sid_pos = trades.schema.position("sid")
+        assert trades.indexes.best_for((sid_pos,)) is None
+        prepare_cq(join_query, db)
+        assert trades.indexes.best_for((sid_pos,)) is not None
+
+    def test_auto_index_false_mutates_nothing(self, db, stocks, trades, join_query):
+        version = trades.indexes.version
+        prepare_cq(join_query, db, auto_index=False)
+        assert trades.indexes.version == version
+
+    def test_base_scans_counted_without_indexes(
+        self, db, stocks, trades, join_query
+    ):
+        metrics = Metrics()
+        prepared = prepare_cq(join_query, db, metrics=metrics, auto_index=False)
+        ts = db.now()
+        stocks.insert((55, "NEW", 300))
+        trades.insert((55, 9))
+        dra_execute(join_query, db, since=ts, metrics=metrics, prepared=prepared)
+        # Probing unindexed trades.sid degrades to a transient scan.
+        assert metrics[Metrics.BASE_SCANS] > 0
+
+    def test_no_base_scans_with_auto_indexes(
+        self, db, stocks, trades, join_query
+    ):
+        metrics = Metrics()
+        prepared = prepare_cq(join_query, db, metrics=metrics)
+        ts = db.now()
+        stocks.insert((55, "NEW", 300))
+        trades.insert((55, 9))
+        dra_execute(join_query, db, since=ts, metrics=metrics, prepared=prepared)
+        assert metrics[Metrics.BASE_SCANS] == 0
+
+
+class TestStaleness:
+    def test_fresh_plan_is_valid(self, db, stocks, trades, join_query):
+        prepared = prepare_cq(join_query, db)
+        assert prepared.is_valid(db)
+
+    def test_new_index_invalidates(self, db, stocks, trades, join_query):
+        prepared = prepare_cq(join_query, db)
+        trades.create_index(["qty"])
+        assert not prepared.is_valid(db)
+
+    def test_dropped_table_invalidates(self, db, stocks, join_query):
+        trades = db.create_table(
+            "trades", [("sid", AttributeType.INT), ("qty", AttributeType.INT)]
+        )
+        prepared = prepare_cq(join_query, db)
+        assert prepared.is_valid(db)
+        db.drop_table("trades")
+        db.create_table(
+            "trades", [("sid", AttributeType.INT), ("qty", AttributeType.INT)]
+        )
+        # Same name and layout, but a different schema object: the plan
+        # compiled accessors against the old catalog entry.
+        assert not prepared.is_valid(db)

@@ -1,10 +1,11 @@
 """Equivalence property harness for the shared-delta refresh scheduler.
 
 The scheduler's contract is that sharing never shows: for any workload,
-the sequential manager, the shared-cache scheduler, the parallel
+the sequential manager (planning from scratch each refresh), the
+prepared-plan manager, the shared-cache scheduler, the parallel
 scheduler (N=4), and complete re-evaluation must all produce the same
 result sequence Q(S_1)..Q(S_n) — the paper's equivalence theorem lifted
-from one refresh to the whole scheduling layer.
+from one refresh to the whole scheduling and compilation layers.
 
 Schedules are randomized but fully deterministic given a seed: a
 symbolic op script (inserts/deletes/modifies over 2–4 tables in
@@ -35,12 +36,25 @@ from repro.core import (
 from repro.relational import AttributeType
 
 CONFIGS = {
-    # Seed semantics: no sharing, no grouping, strictly sequential.
+    # Seed semantics: no sharing, no grouping, strictly sequential,
+    # every refresh planned from scratch.
     "sequential": dict(
+        engine=Engine.DRA,
+        manager=dict(
+            share_deltas=False,
+            group_triggers=False,
+            parallelism=0,
+            prepare_plans=False,
+        ),
+    ),
+    # Registration-time compilation alone: same strict sequential
+    # scheduling, but every refresh runs off the cached PreparedCQ
+    # (with auto-created join indexes) instead of replanning.
+    "prepared": dict(
         engine=Engine.DRA,
         manager=dict(share_deltas=False, group_triggers=False, parallelism=0),
     ),
-    # The tentpole defaults: delta-batch cache + grouped triggers.
+    # The scheduler defaults: delta-batch cache + grouped triggers.
     "cached": dict(engine=Engine.DRA, manager=dict()),
     # Opt-in thread pool on top of the cache.
     "parallel": dict(engine=Engine.DRA, manager=dict(parallelism=4)),
