@@ -127,3 +127,116 @@ def test_refresh_round_naive(benchmark):
         server.refresh_all()
 
     benchmark(round_trip)
+
+
+# -- real-socket smoke entry point (CI) ---------------------------------------
+
+
+def real_smoke(rows=2_000, rounds=5, updates_per_round=20):
+    """Replay the E2 claim over loopback TCP with *measured* bytes.
+
+    Two sessions subscribe to the same CQ — one on DRA_DELTA, one on
+    REEVAL_FULL — and the per-connection encoded byte counts after
+    ``rounds`` refresh cycles must show the delta protocol well under
+    the naive one. Raises AssertionError when the claim fails.
+    """
+    import asyncio
+
+    from repro.bench.harness import format_table
+    from repro.net.client import CQSession
+    from repro.net.service import CQService
+
+    async def scenario():
+        db = Database()
+        market = StockMarket(db, seed=11)
+        market.populate(rows)
+        service = CQService(db)
+        addr = await service.start()
+        sessions = {}
+        for name, protocol in [
+            ("dra", Protocol.DRA_DELTA),
+            ("naive", Protocol.REEVAL_FULL),
+        ]:
+            session = CQSession(name, *addr)
+            await session.connect()
+            await session.register("watch", WATCH, protocol)
+            sessions[name] = session
+        # Registration ships a full initial result to both; measure
+        # refresh traffic only, from this baseline.
+        baseline = {
+            name: service.sessions()[name].conn.bytes_sent
+            for name in sessions
+        }
+        for __ in range(rounds):
+            market.tick(updates_per_round, p_insert=0.1, p_delete=0.1)
+            await service.refresh()
+            for session in sessions.values():
+                await session.wait_applied("watch", db.now(), timeout=10.0)
+        truth = db.query(WATCH)
+        for session in sessions.values():
+            assert session.result("watch") == truth
+        measured = {
+            name: service.sessions()[name].conn.bytes_sent - baseline[name]
+            for name in sessions
+        }
+        for session in sessions.values():
+            await session.close()
+        await service.stop()
+        return measured
+
+    measured = asyncio.run(scenario())
+    dra_bytes, naive_bytes = measured["dra"], measured["naive"]
+    print(
+        format_table(
+            [
+                {
+                    "rounds": rounds,
+                    "updates/round": updates_per_round,
+                    "dra_bytes": dra_bytes,
+                    "naive_bytes": naive_bytes,
+                    "dra_savings_x": round(naive_bytes / max(1, dra_bytes), 1),
+                }
+            ],
+            title="E2 smoke: measured refresh bytes over loopback TCP",
+        )
+    )
+    assert dra_bytes > 0, "DRA session saw no refresh traffic"
+    assert dra_bytes * 3 < naive_bytes, (
+        f"DRA shipped {dra_bytes} bytes vs naive {naive_bytes}; "
+        "expected at least a 3x reduction"
+    )
+    return measured
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--real",
+        action="store_true",
+        help="run over real loopback sockets instead of the simulator",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fast traffic self-check and exit",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=2_000,
+        help="base table size (real smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    if not (args.real and args.smoke):
+        parser.error("run the full sweep via pytest; use --real --smoke here")
+    real_smoke(rows=args.rows)
+    print("e2 real-socket smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

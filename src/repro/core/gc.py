@@ -30,6 +30,24 @@ class ActiveDeltaZones:
         tables, old_ts = self._zones[cq_name]
         self._zones[cq_name] = (tables, max(old_ts, ts))
 
+    def try_advance(self, cq_name: str, ts: Timestamp) -> bool:
+        """Advance if the zone exists; False when it does not.
+
+        Transport sessions advance boundaries from client
+        acknowledgements, which can race an unsubscribe or eviction —
+        an ack for a zone that is already gone is a no-op, not an
+        error.
+        """
+        if cq_name not in self._zones:
+            return False
+        self.advance(cq_name, ts)
+        return True
+
+    def boundary(self, cq_name: str) -> Optional[Timestamp]:
+        """The zone boundary for one CQ, or None if not registered."""
+        entry = self._zones.get(cq_name)
+        return entry[1] if entry is not None else None
+
     def remove(self, cq_name: str) -> None:
         self._zones.pop(cq_name, None)
 

@@ -554,6 +554,29 @@ class CQManager:
         """Prune update logs outside the system active delta zone."""
         return self.zones.collect(include_unwatched=include_unwatched)
 
+    def pin_zone(self, name: str, tables: Tuple[str, ...], ts: Timestamp) -> None:
+        """Hold the update-log suffix newer than ``ts`` for an external
+        reader (e.g. a transport session replaying a reconnect window).
+
+        The pin participates in the system active delta zone exactly
+        like a CQ's own zone: :meth:`collect_garbage` will not prune
+        past it until :meth:`release_zone` drops it. ``name`` must not
+        collide with a registered CQ name.
+        """
+        if name in self._cqs:
+            raise RegistrationError(
+                f"zone name {name!r} collides with a registered CQ"
+            )
+        self.zones.register(name, tuple(tables), ts)
+
+    def release_zone(self, name: str) -> None:
+        """Drop an external pin installed by :meth:`pin_zone`."""
+        if name in self._cqs:
+            raise RegistrationError(
+                f"{name!r} is a registered CQ; deregister it instead"
+            )
+        self.zones.remove(name)
+
     # -- introspection ---------------------------------------------------------
 
     def describe(self) -> List[Dict[str, object]]:

@@ -330,3 +330,104 @@ def save_manager(manager: CQManager, path: str) -> None:
 def load_manager(path: str) -> CQManager:
     with open(path, "r", encoding="utf-8") as handle:
         return manager_from_dict(json.load(handle))
+
+
+# -- CQ server serialization --------------------------------------------------
+
+
+def server_to_dict(server) -> Dict[str, Any]:
+    """Checkpoint a :class:`~repro.net.server.CQServer`.
+
+    Captures the database (contents *and* update logs, including
+    pruned_through marks) plus every subscription's identity, protocol,
+    and refresh position. Retained result copies are not serialized —
+    they are a pure function of the checkpointed state and are
+    re-derived on restore. A lazy subscription's un-fetched pending
+    delta is likewise not serialized: reconnecting clients resume
+    through :meth:`CQServer.replay`, which recomputes their missed
+    window from the restored logs, so nothing shipped to a client can
+    be lost by flattening.
+    """
+    subscriptions = []
+    for (client_id, cq_name), sub in server._subscriptions.items():
+        subscriptions.append(
+            {
+                "client": client_id,
+                "cq": cq_name,
+                "sql": sub.query.to_sql(),
+                "protocol": sub.protocol.value,
+                "last_ts": sub.last_ts,
+            }
+        )
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "cq_server",
+        "name": server.name,
+        "database": database_to_dict(server.db),
+        "subscriptions": subscriptions,
+    }
+
+
+def server_from_dict(data: Dict[str, Any], network=None, metrics=None):
+    """Restore a CQ server from :func:`server_to_dict`.
+
+    Each subscription's retained previous result is rebuilt at its
+    ``last_ts`` by evaluating the query over the restored base state
+    with the pending window's effects unapplied — the same
+    reconstruction :func:`manager_from_dict` uses. Replay zones are
+    re-registered at each subscription's last refresh, so the first
+    post-restore garbage collection cannot prune a window a
+    reconnecting client may still request.
+    """
+    from repro.net.server import CQServer, Protocol, Subscription
+    from repro.net.simnet import SimulatedNetwork
+    from repro.delta.capture import deltas_since
+    from repro.delta.propagate import old_resolver
+    from repro.relational.evaluate import evaluate_spj
+    from repro.relational.sql import parse_query
+
+    if data.get("format") != FORMAT_VERSION or data.get("kind") != "cq_server":
+        raise ReproError(
+            f"not a CQ server checkpoint (format={data.get('format')!r}, "
+            f"kind={data.get('kind')!r})"
+        )
+    db = database_from_dict(data["database"])
+    server = CQServer(
+        db,
+        network if network is not None else SimulatedNetwork(),
+        name=data["name"],
+        metrics=metrics,
+    )
+    for entry in data["subscriptions"]:
+        query = parse_query(entry["sql"])
+        protocol = Protocol(entry["protocol"])
+        last_ts = entry["last_ts"]
+        if protocol in (Protocol.DRA_DELTA, Protocol.DRA_LAZY):
+            server.plans.get(query.to_sql(), query)
+        pending = deltas_since(
+            [db.table(name) for name in set(query.table_names)], last_ts
+        )
+        if pending:
+            previous = evaluate_spj(query, old_resolver(db.relation, pending))
+        else:
+            previous = evaluate_spj(query, db.relation)
+        subscription = Subscription(
+            entry["client"], entry["cq"], query, protocol, last_ts, previous
+        )
+        server._subscriptions[(entry["client"], entry["cq"])] = subscription
+        server.zones.register(
+            server._zone(entry["client"], entry["cq"]),
+            tuple(query.table_names),
+            last_ts,
+        )
+    return server
+
+
+def save_server(server, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(server_to_dict(server), handle)
+
+
+def load_server(path: str, network=None, metrics=None):
+    with open(path, "r", encoding="utf-8") as handle:
+        return server_from_dict(json.load(handle), network, metrics)

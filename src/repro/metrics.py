@@ -134,6 +134,15 @@ class Metrics:
     # Base-operand probes that degraded to a transient scan because no
     # maintained index covered the probe positions.
     BASE_SCANS = "base_scans"
+    # Transport layer (wire codec, sessions, reconnect replay).
+    BYTES_ENCODED = "bytes_encoded"
+    MESSAGES_DROPPED = "messages_dropped"
+    RECONNECTS = "reconnects"
+    HEARTBEATS_MISSED = "heartbeats_missed"
+    REPLAY_FALLBACKS = "replay_fallbacks"
+    REPLAYS = "replays"
+    BACKPRESSURE_DEGRADES = "backpressure_degrades"
+    RESYNCS = "resyncs"
     # Histogram names.
     REFRESH_LATENCY_US = "refresh_latency_us"
 

@@ -1,27 +1,46 @@
-"""The CQ client: registers queries and maintains cached results.
+"""CQ clients: registering queries and maintaining cached results.
 
 "Caching the results on the client side makes the servers more
 scalable with respect to the number of clients" (Section 5.1): a
 client applies shipped deltas to its local copy instead of re-pulling
 the full result.
+
+Two client kinds live here:
+
+* :class:`CQClient` — the in-process endpoint used with
+  :class:`~repro.net.simnet.SimulatedNetwork` deployments (benchmarks,
+  deterministic tests);
+* :class:`CQSession` — the asyncio endpoint for a real
+  :class:`~repro.net.service.CQService`: it dials over a transport,
+  heartbeats, reconnects with exponential backoff + jitter, and on
+  resume asks the server to replay its missed window differentially.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import asyncio
+import random
+from typing import Callable, Dict, List, Optional
 
-from repro.errors import NetworkError
+from repro.errors import NetworkError, ReproError
 from repro.relational.relation import Relation
+from repro.storage.timestamps import Timestamp
 from repro.net.messages import (
     DeltaAvailableMessage,
     DeltaMessage,
     FetchMessage,
     FullResultMessage,
+    HeartbeatAckMessage,
+    HeartbeatMessage,
+    HelloAckMessage,
+    HelloMessage,
     InitialResultMessage,
     Message,
     RegisterMessage,
+    ResyncMessage,
 )
 from repro.net.server import Protocol
+from repro.net.transport import FrameConnection, TcpTransport
 
 
 class CQClient:
@@ -34,20 +53,29 @@ class CQClient:
         self._history: List[Message] = []
         # Lazy protocol: the latest pending-delta notice per CQ.
         self._pending: Dict[str, DeltaAvailableMessage] = {}
+        #: Deltas that arrived for a CQ this client holds no cached
+        #: result for (a normal race after a client restart).
+        self.stale_deltas = 0
 
     # -- outbound ------------------------------------------------------------
+
+    def _send(self, message: Message) -> bool:
+        """Charge one client->server message; False when the network
+        lost it (injected faults)."""
+        if self.server is None:
+            raise NetworkError(f"client {self.name!r} is not attached")
+        duration = self.server.network.send(
+            self.name, self.server.name, message.wire_size(), self.server.metrics
+        )
+        return duration is not None
 
     def register(
         self, cq_name: str, sql: str, protocol: Protocol = Protocol.DRA_DELTA
     ) -> None:
         """Install a CQ at the attached server."""
-        if self.server is None:
-            raise NetworkError(f"client {self.name!r} is not attached")
-        message = RegisterMessage(cq_name, sql)
-        self.server.network.send(
-            self.name, self.server.name, message.wire_size(), self.server.metrics
-        )
-        self.server.handle_register(self.name, message, protocol)
+        message = RegisterMessage(cq_name, sql, protocol.value)
+        if self._send(message):
+            self.server.handle_register(self.name, message, protocol)
 
     # -- inbound -----------------------------------------------------------------
 
@@ -60,9 +88,18 @@ class CQClient:
         elif isinstance(message, DeltaMessage):
             cached = self._results.get(message.cq_name)
             if cached is None:
-                raise NetworkError(
-                    f"delta for unknown CQ {message.cq_name!r} at {self.name!r}"
-                )
+                # A delta for a CQ we hold no result for: normal after
+                # a client restart (the server refreshed before seeing
+                # the new session). Ask for the full copy instead of
+                # treating the race as a protocol error.
+                self.stale_deltas += 1
+                if self.server is not None and self._send(
+                    ResyncMessage(message.cq_name)
+                ):
+                    self.server.handle_resync(
+                        self.name, ResyncMessage(message.cq_name)
+                    )
+                return
             self._results[message.cq_name] = message.delta.apply_to(cached)
             self._pending.pop(message.cq_name, None)
         elif isinstance(message, DeltaAvailableMessage):
@@ -82,13 +119,9 @@ class CQClient:
         Returns True if a delta arrived (the cached result is then
         current as of the last refresh the server performed).
         """
-        if self.server is None:
-            raise NetworkError(f"client {self.name!r} is not attached")
-        message = FetchMessage(cq_name)
-        self.server.network.send(
-            self.name, self.server.name, message.wire_size(), self.server.metrics
-        )
-        return self.server.handle_fetch(self.name, message)
+        if self._send(FetchMessage(cq_name)):
+            return self.server.handle_fetch(self.name, FetchMessage(cq_name))
+        return False
 
     # -- inspection -----------------------------------------------------------------
 
@@ -100,8 +133,265 @@ class CQClient:
                 f"client {self.name!r} has no result for {cq_name!r}"
             ) from None
 
+    def forget(self, cq_name: str) -> None:
+        """Drop the cached result (simulates client state loss)."""
+        self._results.pop(cq_name, None)
+        self._pending.pop(cq_name, None)
+
     def history(self) -> List[Message]:
         return list(self._history)
 
     def __repr__(self) -> str:
         return f"CQClient({self.name!r}, {len(self._results)} cached results)"
+
+
+class CQSession:
+    """An asyncio CQ subscriber over a real transport.
+
+    The session dials the service, identifies itself with a Hello
+    frame, and keeps cached results current by applying pushed deltas.
+    When the connection dies it reconnects with exponential backoff
+    plus jitter, resuming with its last-applied timestamp per CQ so the
+    server can replay exactly the missed window as one consolidated
+    delta (or fall back to a full result when garbage collection has
+    passed the session's horizon).
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        host: str,
+        port: int,
+        transport: Optional[TcpTransport] = None,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        backoff_jitter: float = 0.5,
+        max_attempts: int = 20,
+        seed: int = 0,
+        auto_fetch: bool = True,
+    ):
+        self.client_id = client_id
+        self.host = host
+        self.port = port
+        self.transport = transport if transport is not None else TcpTransport()
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.max_attempts = max_attempts
+        self.auto_fetch = auto_fetch
+        self._rng = random.Random(seed)
+        self._conn: Optional[FrameConnection] = None
+        self._task: Optional[asyncio.Task] = None
+        self._closing = False
+        self._results: Dict[str, Relation] = {}
+        #: CQ name -> last refresh timestamp applied locally. This is
+        #: the resume map sent in every Hello and heartbeat ack.
+        self.applied: Dict[str, Timestamp] = {}
+        self._registered: Dict[str, tuple] = {}
+        self._updated = asyncio.Event()
+        self.server_name: Optional[str] = None
+        # Visible session counters (tests and ops assertions).
+        self.reconnects = 0
+        self.heartbeats = 0
+        self.stale_deltas = 0
+        self.full_results = 0
+        self.deltas_applied = 0
+        self.lazy_notices = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def connect(self, timeout: float = 10.0) -> None:
+        """Dial and handshake; starts the background reader."""
+        if self._task is not None:
+            raise NetworkError(f"session {self.client_id!r} already running")
+        self._closing = False
+        self._task = asyncio.ensure_future(self._run())
+        await self._wait_for(lambda: self.connected, timeout)
+
+    async def close(self) -> None:
+        self._closing = True
+        if self._conn is not None:
+            self._conn.close()
+            await self._conn.wait_closed()
+            self._conn = None
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+
+    async def redial(self, host: str, port: int, timeout: float = 10.0) -> None:
+        """Point the session at a different address (server restart)
+        and reconnect there, resuming differentially."""
+        self.host = host
+        self.port = port
+        if self._conn is not None and not self._conn.closed:
+            self._conn.abort()
+        await self._wait_for(lambda: self.connected, timeout)
+
+    @property
+    def connected(self) -> bool:
+        return self._conn is not None and not self._conn.closed
+
+    # -- requests ----------------------------------------------------------
+
+    async def register(
+        self,
+        cq_name: str,
+        sql: str,
+        protocol: Protocol = Protocol.DRA_DELTA,
+        timeout: float = 10.0,
+    ) -> Relation:
+        """Install a CQ and wait for its initial result."""
+        self._registered[cq_name] = (sql, protocol.value)
+        await self._send(RegisterMessage(cq_name, sql, protocol.value))
+        await self._wait_for(lambda: cq_name in self._results, timeout)
+        return self._results[cq_name]
+
+    async def fetch(self, cq_name: str) -> None:
+        """Request the pending lazy delta for one CQ."""
+        await self._send(FetchMessage(cq_name))
+
+    async def wait_applied(
+        self, cq_name: str, ts: Timestamp, timeout: float = 10.0
+    ) -> None:
+        """Block until the local cache reflects refresh time ``ts``."""
+        await self._wait_for(
+            lambda: self.applied.get(cq_name, -1) >= ts, timeout
+        )
+
+    def result(self, cq_name: str) -> Relation:
+        try:
+            return self._results[cq_name]
+        except KeyError:
+            raise NetworkError(
+                f"session {self.client_id!r} has no result for {cq_name!r}"
+            ) from None
+
+    # -- internals ---------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return delay * (1.0 + self.backoff_jitter * self._rng.random())
+
+    def _notify(self) -> None:
+        self._updated.set()
+
+    async def _wait_for(
+        self, predicate: Callable[[], bool], timeout: float
+    ) -> None:
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while not predicate():
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise NetworkError(
+                    f"session {self.client_id!r} timed out waiting"
+                )
+            self._updated.clear()
+            if predicate():  # re-check after clear to avoid a lost wakeup
+                return
+            try:
+                await asyncio.wait_for(self._updated.wait(), remaining)
+            except asyncio.TimeoutError:
+                pass
+
+    async def _send(self, message: Message) -> None:
+        if self._conn is None or self._conn.closed:
+            raise NetworkError(f"session {self.client_id!r} is not connected")
+        await self._conn.send(message)
+
+    async def _dial(self) -> None:
+        conn = await self.transport.connect(self.host, self.port)
+        await conn.send(HelloMessage(self.client_id, dict(self.applied)))
+        ack = await conn.recv()
+        if not isinstance(ack, HelloAckMessage):
+            conn.close()
+            raise NetworkError(f"expected HelloAck, got {ack!r}")
+        self.server_name = ack.server_name
+        self._conn = conn
+        # CQs the server does not know (it restarted without us, or we
+        # registered while disconnected): install them now.
+        for cq_name in ack.unknown:
+            spec = self._registered.get(cq_name)
+            if spec is not None:
+                await conn.send(RegisterMessage(cq_name, spec[0], spec[1]))
+        self._notify()
+
+    async def _run(self) -> None:
+        attempt = 0
+        first = True
+        while not self._closing:
+            if self._conn is None or self._conn.closed:
+                if not first:
+                    attempt += 1
+                    if attempt > self.max_attempts:
+                        self._notify()
+                        return
+                    await asyncio.sleep(self._backoff(attempt))
+                try:
+                    await self._dial()
+                except (NetworkError, OSError):
+                    if first:
+                        attempt += 1
+                        if attempt > self.max_attempts:
+                            self._notify()
+                            return
+                        await asyncio.sleep(self._backoff(attempt))
+                    continue
+                attempt = 0
+                first = False
+                continue
+            message = await self._conn.recv()
+            if message is None:
+                self._conn = None
+                if not self._closing:
+                    self.reconnects += 1
+                continue
+            try:
+                await self._handle(message)
+            except NetworkError:
+                continue  # connection died mid-reply; reconnect loop
+
+    async def _handle(self, message: Message) -> None:
+        if isinstance(message, (InitialResultMessage, FullResultMessage)):
+            self._results[message.cq_name] = message.result.copy()
+            self.applied[message.cq_name] = message.ts
+            if isinstance(message, FullResultMessage):
+                self.full_results += 1
+        elif isinstance(message, DeltaMessage):
+            cached = self._results.get(message.cq_name)
+            if cached is None:
+                self.stale_deltas += 1
+                await self._send(ResyncMessage(message.cq_name))
+                return
+            try:
+                self._results[message.cq_name] = message.delta.apply_to(cached)
+            except (KeyError, ReproError):
+                # Our cache diverged from what the server believes we
+                # hold (lost frames); a full copy resynchronizes.
+                self.stale_deltas += 1
+                await self._send(ResyncMessage(message.cq_name))
+                return
+            self.applied[message.cq_name] = message.ts
+            self.deltas_applied += 1
+        elif isinstance(message, DeltaAvailableMessage):
+            self.lazy_notices += 1
+            if self.auto_fetch:
+                await self._send(FetchMessage(message.cq_name))
+        elif isinstance(message, HeartbeatMessage):
+            self.heartbeats += 1
+            await self._send(
+                HeartbeatAckMessage(message.ts, dict(self.applied))
+            )
+        # HelloAck outside the handshake and anything unknown: ignore.
+        self._notify()
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return (
+            f"CQSession({self.client_id!r}, {state}, "
+            f"{len(self._results)} cached results)"
+        )

@@ -1,0 +1,277 @@
+"""Length-prefixed wire codec for CQ protocol messages.
+
+Frame layout::
+
+    +----------------+---------------------------+
+    | 4 bytes, BE    | UTF-8 JSON payload        |
+    | payload length | {"t": <tag>, ...fields}   |
+    +----------------+---------------------------+
+
+JSON keeps the codec debuggable (a captured frame is readable) while
+the length prefix gives unambiguous streaming over TCP. Tids are ints
+or nested tuples of tids (join provenance); tuples encode as JSON
+arrays and decode back to tuples recursively, which is unambiguous
+because scalar tids are never arrays. Attribute values are scalars
+(int/float/str/bool/None), validated against the schema on decode so a
+corrupted or hand-forged frame fails loudly instead of poisoning a
+cached result.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.errors import NetworkError
+from repro.relational.relation import Relation, Tid, Values
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.delta.differential import DeltaEntry, DeltaRelation
+from repro.net.messages import (
+    DeltaAvailableMessage,
+    DeltaMessage,
+    FetchMessage,
+    FullResultMessage,
+    HeartbeatAckMessage,
+    HeartbeatMessage,
+    HelloAckMessage,
+    HelloMessage,
+    InitialResultMessage,
+    Message,
+    RegisterMessage,
+    ResyncMessage,
+)
+
+#: Frames above this are rejected: a length prefix this large is far
+#: more likely stream corruption than a legitimate payload.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+# -- schema / relation / delta payloads ---------------------------------------
+
+
+def _schema_to_json(schema: Schema) -> List[List[str]]:
+    return [[a.name, a.type.value] for a in schema]
+
+
+def _schema_from_json(data: List[List[str]]) -> Schema:
+    return Schema.of(*((name, AttributeType(type_)) for name, type_ in data))
+
+
+def _tid_to_json(tid: Tid) -> Any:
+    if isinstance(tid, tuple):
+        return [_tid_to_json(part) for part in tid]
+    return tid
+
+
+def _tid_from_json(data: Any) -> Tid:
+    if isinstance(data, list):
+        return tuple(_tid_from_json(part) for part in data)
+    return data
+
+
+def _values_from_json(data: Optional[List[Any]]) -> Optional[Values]:
+    return None if data is None else tuple(data)
+
+
+def _relation_to_json(relation: Relation) -> Dict[str, Any]:
+    return {
+        "schema": _schema_to_json(relation.schema),
+        "rows": [
+            [_tid_to_json(row.tid), list(row.values)] for row in relation
+        ],
+    }
+
+
+def _relation_from_json(data: Dict[str, Any]) -> Relation:
+    schema = _schema_from_json(data["schema"])
+    out = Relation(schema)
+    for tid, values in data["rows"]:
+        out.add(_tid_from_json(tid), tuple(values))
+    return out
+
+
+def _delta_to_json(delta: DeltaRelation) -> Dict[str, Any]:
+    return {
+        "schema": _schema_to_json(delta.schema),
+        "entries": [
+            [
+                _tid_to_json(e.tid),
+                None if e.old is None else list(e.old),
+                None if e.new is None else list(e.new),
+                e.ts,
+            ]
+            for e in delta
+        ],
+    }
+
+
+def _delta_from_json(data: Dict[str, Any]) -> DeltaRelation:
+    schema = _schema_from_json(data["schema"])
+    return DeltaRelation(
+        schema,
+        (
+            DeltaEntry(
+                _tid_from_json(tid),
+                _values_from_json(old),
+                _values_from_json(new),
+                ts,
+            )
+            for tid, old, new, ts in data["entries"]
+        ),
+    )
+
+
+# -- per-message payloads -----------------------------------------------------
+
+_TO_JSON: Dict[Type[Message], Tuple[str, Callable[[Message], Dict[str, Any]]]] = {
+    RegisterMessage: (
+        "register",
+        lambda m: {"cq": m.cq_name, "sql": m.sql, "protocol": m.protocol},
+    ),
+    InitialResultMessage: (
+        "initial_result",
+        lambda m: {"cq": m.cq_name, "result": _relation_to_json(m.result), "ts": m.ts},
+    ),
+    FullResultMessage: (
+        "full_result",
+        lambda m: {"cq": m.cq_name, "result": _relation_to_json(m.result), "ts": m.ts},
+    ),
+    DeltaMessage: (
+        "delta",
+        lambda m: {"cq": m.cq_name, "delta": _delta_to_json(m.delta), "ts": m.ts},
+    ),
+    DeltaAvailableMessage: (
+        "delta_available",
+        lambda m: {
+            "cq": m.cq_name,
+            "ts": m.ts,
+            "entries": m.entry_count,
+            "pending": m.pending_bytes,
+        },
+    ),
+    FetchMessage: ("fetch", lambda m: {"cq": m.cq_name}),
+    ResyncMessage: ("resync", lambda m: {"cq": m.cq_name}),
+    HelloMessage: (
+        "hello",
+        lambda m: {"client": m.client_id, "resume": m.resume},
+    ),
+    HelloAckMessage: (
+        "hello_ack",
+        lambda m: {
+            "server": m.server_name,
+            "ts": m.ts,
+            "resumed": m.resumed,
+            "unknown": m.unknown,
+        },
+    ),
+    HeartbeatMessage: ("heartbeat", lambda m: {"ts": m.ts}),
+    HeartbeatAckMessage: (
+        "heartbeat_ack",
+        lambda m: {"ts": m.ts, "applied": m.applied},
+    ),
+}
+
+_FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Message]] = {
+    "register": lambda d: RegisterMessage(d["cq"], d["sql"], d.get("protocol")),
+    "initial_result": lambda d: InitialResultMessage(
+        d["cq"], _relation_from_json(d["result"]), d["ts"]
+    ),
+    "full_result": lambda d: FullResultMessage(
+        d["cq"], _relation_from_json(d["result"]), d["ts"]
+    ),
+    "delta": lambda d: DeltaMessage(d["cq"], _delta_from_json(d["delta"]), d["ts"]),
+    "delta_available": lambda d: DeltaAvailableMessage(
+        d["cq"], d["ts"], d["entries"], d["pending"]
+    ),
+    "fetch": lambda d: FetchMessage(d["cq"]),
+    "resync": lambda d: ResyncMessage(d["cq"]),
+    "hello": lambda d: HelloMessage(d["client"], d["resume"]),
+    "hello_ack": lambda d: HelloAckMessage(
+        d["server"], d["ts"], d["resumed"], d["unknown"]
+    ),
+    "heartbeat": lambda d: HeartbeatMessage(d["ts"]),
+    "heartbeat_ack": lambda d: HeartbeatAckMessage(d["ts"], d["applied"]),
+}
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_payload(message: Message) -> bytes:
+    """The JSON payload of one message, without the length prefix."""
+    try:
+        tag, to_json = _TO_JSON[type(message)]
+    except KeyError:
+        raise NetworkError(f"no codec for message type {type(message).__name__}")
+    body = to_json(message)
+    body["t"] = tag
+    return json.dumps(body, separators=(",", ":")).encode("utf-8")
+
+
+def decode_payload(payload: bytes) -> Message:
+    """Rebuild a message from one JSON payload."""
+    try:
+        body = json.loads(payload.decode("utf-8"))
+        tag = body["t"]
+        from_json = _FROM_JSON[tag]
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise NetworkError(f"undecodable frame payload: {exc}") from exc
+    try:
+        return from_json(body)
+    except NetworkError:
+        raise
+    except Exception as exc:  # malformed field structure or bad values
+        raise NetworkError(f"malformed {tag!r} frame: {exc}") from exc
+
+
+def encode_frame(message: Message) -> bytes:
+    """One complete wire frame: 4-byte length prefix + payload."""
+    payload = encode_payload(message)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise NetworkError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def encoded_size(message: Message) -> int:
+    """Measured wire size (frame bytes) of one message."""
+    return _LENGTH.size + len(encode_payload(message))
+
+
+class FrameDecoder:
+    """Incremental frame reassembly for a byte stream.
+
+    Feed arbitrary chunks (as a socket delivers them); complete
+    messages come out in order. Partial frames are buffered until the
+    rest arrives.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Message]:
+        self._buffer.extend(data)
+        out: List[Message] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return out
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise NetworkError(
+                    f"frame length {length} exceeds MAX_FRAME_BYTES "
+                    "(corrupted stream?)"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return out
+            payload = bytes(self._buffer[_LENGTH.size : end])
+            del self._buffer[:end]
+            out.append(decode_payload(payload))
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

@@ -1,26 +1,33 @@
-"""Wire messages and size estimation.
+"""Wire messages and size accounting.
 
-Messages carry live Python objects (the network is simulated), but
-each knows its nominal serialized size, computed from the same
-per-value accounting everywhere, so byte comparisons between protocols
-are apples-to-apples.
+Every message type here round-trips through the length-prefixed wire
+codec (:mod:`repro.net.codec`); :meth:`Message.wire_size` is the
+*measured* size of the encoded frame, so byte comparisons between
+protocols reflect what actually crosses a socket. The per-value
+estimators (:func:`relation_wire_size`, :func:`delta_wire_size`) remain
+as cheap nominal approximations for pending-size notices and horizon
+accounting, where encoding the payload just to size it would defeat the
+purpose of the lazy protocol.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional
 
 from repro.relational.relation import Relation
 from repro.relational.types import value_wire_size
 from repro.delta.differential import DeltaRelation
+from repro.storage.timestamps import Timestamp
 
-#: Fixed per-message envelope (headers, CQ id, sequence number).
+#: Nominal per-message envelope (headers, CQ id, sequence number) used
+#: by the estimators below.
 ENVELOPE_BYTES = 64
-#: Fixed per-row overhead (tid + framing).
+#: Nominal per-row overhead (tid + framing) used by the estimators.
 ROW_OVERHEAD_BYTES = 12
 
 
 def relation_wire_size(relation: Relation) -> int:
-    """Nominal bytes to ship a complete relation."""
+    """Nominal bytes to ship a complete relation (estimate)."""
     total = 0
     for row in relation:
         total += ROW_OVERHEAD_BYTES
@@ -29,7 +36,7 @@ def relation_wire_size(relation: Relation) -> int:
 
 
 def delta_wire_size(delta: DeltaRelation) -> int:
-    """Nominal bytes to ship a differential relation.
+    """Nominal bytes to ship a differential relation (estimate).
 
     Inserts and deletes ship one side; modifications ship both (the
     wide form of the paper's Example 1 table).
@@ -48,18 +55,24 @@ class Message:
     """Base class for CQ protocol messages."""
 
     def wire_size(self) -> int:
-        raise NotImplementedError
+        """Measured size in bytes of this message's encoded frame."""
+        from repro.net.codec import encoded_size
+
+        return encoded_size(self)
 
 
 class RegisterMessage(Message):
-    """Client -> server: install a continual query."""
+    """Client -> server: install a continual query.
 
-    def __init__(self, cq_name: str, sql: str):
+    ``protocol`` names the refresh protocol (a ``Protocol`` enum value)
+    so registration carries everything needed over a real wire; the
+    in-process path may still pass the protocol out of band.
+    """
+
+    def __init__(self, cq_name: str, sql: str, protocol: Optional[str] = None):
         self.cq_name = cq_name
         self.sql = sql
-
-    def wire_size(self) -> int:
-        return ENVELOPE_BYTES + len(self.sql.encode("utf-8"))
+        self.protocol = protocol
 
     def __repr__(self) -> str:
         return f"RegisterMessage({self.cq_name!r})"
@@ -73,9 +86,6 @@ class InitialResultMessage(Message):
         self.result = result
         self.ts = ts
 
-    def wire_size(self) -> int:
-        return ENVELOPE_BYTES + relation_wire_size(self.result)
-
     def __repr__(self) -> str:
         return f"InitialResultMessage({self.cq_name!r}, {len(self.result)} rows)"
 
@@ -87,9 +97,6 @@ class DeltaMessage(Message):
         self.cq_name = cq_name
         self.delta = delta
         self.ts = ts
-
-    def wire_size(self) -> int:
-        return ENVELOPE_BYTES + delta_wire_size(self.delta)
 
     def __repr__(self) -> str:
         return f"DeltaMessage({self.cq_name!r}, {self.delta!r})"
@@ -107,9 +114,6 @@ class DeltaAvailableMessage(Message):
         self.entry_count = entry_count
         self.pending_bytes = pending_bytes
 
-    def wire_size(self) -> int:
-        return ENVELOPE_BYTES + 16  # two counters
-
     def __repr__(self) -> str:
         return (
             f"DeltaAvailableMessage({self.cq_name!r}, {self.entry_count} "
@@ -123,23 +127,100 @@ class FetchMessage(Message):
     def __init__(self, cq_name: str):
         self.cq_name = cq_name
 
-    def wire_size(self) -> int:
-        return ENVELOPE_BYTES
-
     def __repr__(self) -> str:
         return f"FetchMessage({self.cq_name!r})"
 
 
 class FullResultMessage(Message):
-    """Server -> client: a complete refreshed result (naive protocol)."""
+    """Server -> client: a complete refreshed result (naive protocol,
+    or the replay fallback when GC has passed a resuming client)."""
 
     def __init__(self, cq_name: str, result: Relation, ts: int):
         self.cq_name = cq_name
         self.result = result
         self.ts = ts
 
-    def wire_size(self) -> int:
-        return ENVELOPE_BYTES + relation_wire_size(self.result)
-
     def __repr__(self) -> str:
         return f"FullResultMessage({self.cq_name!r}, {len(self.result)} rows)"
+
+
+class ResyncMessage(Message):
+    """Client -> server: my cached copy for this CQ is unusable (e.g. a
+    delta arrived for a CQ I no longer hold after a restart); please
+    re-send the complete result."""
+
+    def __init__(self, cq_name: str):
+        self.cq_name = cq_name
+
+    def __repr__(self) -> str:
+        return f"ResyncMessage({self.cq_name!r})"
+
+
+class HelloMessage(Message):
+    """Client -> server: first frame of every connection.
+
+    ``resume`` maps CQ name -> the timestamp of the last refresh the
+    client *applied*. On a fresh connect it is empty; on reconnect the
+    server replays the missed window differentially from the update
+    logs (paper Section 5.4's active delta zone bounds how far back
+    that is possible)."""
+
+    def __init__(self, client_id: str, resume: Optional[Dict[str, Timestamp]] = None):
+        self.client_id = client_id
+        self.resume = dict(resume or {})
+
+    def __repr__(self) -> str:
+        return f"HelloMessage({self.client_id!r}, resume={self.resume})"
+
+
+class HelloAckMessage(Message):
+    """Server -> client: connection accepted.
+
+    ``resumed`` lists CQs whose missed window is being replayed (the
+    replay follows as DeltaMessage or FullResultMessage frames);
+    ``unknown`` lists resume requests the server has no subscription
+    for — the client should re-register those."""
+
+    def __init__(
+        self,
+        server_name: str,
+        ts: Timestamp,
+        resumed: Optional[List[str]] = None,
+        unknown: Optional[List[str]] = None,
+    ):
+        self.server_name = server_name
+        self.ts = ts
+        self.resumed = list(resumed or [])
+        self.unknown = list(unknown or [])
+
+    def __repr__(self) -> str:
+        return (
+            f"HelloAckMessage({self.server_name!r}, ts={self.ts}, "
+            f"resumed={self.resumed}, unknown={self.unknown})"
+        )
+
+
+class HeartbeatMessage(Message):
+    """Server -> client: liveness probe carrying the server clock."""
+
+    def __init__(self, ts: Timestamp):
+        self.ts = ts
+
+    def __repr__(self) -> str:
+        return f"HeartbeatMessage(ts={self.ts})"
+
+
+class HeartbeatAckMessage(Message):
+    """Client -> server: heartbeat reply.
+
+    ``applied`` maps CQ name -> last applied refresh timestamp; the
+    server advances the subscription's GC-protected zone boundary from
+    it, so update logs are retained exactly as far back as a live
+    client might still need for delta replay."""
+
+    def __init__(self, ts: Timestamp, applied: Optional[Dict[str, Timestamp]] = None):
+        self.ts = ts
+        self.applied = dict(applied or {})
+
+    def __repr__(self) -> str:
+        return f"HeartbeatAckMessage(ts={self.ts}, applied={self.applied})"

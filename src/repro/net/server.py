@@ -28,6 +28,7 @@ from repro.delta.capture import deltas_since
 from repro.delta.diff import diff
 from repro.dra.algorithm import dra_execute
 from repro.dra.prepared import PlanCache, PreparedCQ
+from repro.core.gc import ActiveDeltaZones
 from repro.core.scheduler import DeltaBatchCache
 from repro.net.messages import (
     DeltaAvailableMessage,
@@ -37,6 +38,7 @@ from repro.net.messages import (
     InitialResultMessage,
     Message,
     RegisterMessage,
+    ResyncMessage,
     delta_wire_size,
 )
 from repro.net.simnet import SimulatedNetwork
@@ -128,6 +130,11 @@ class CQServer:
         #: subscriptions from different clients share one compiled
         #: plan, revalidated against the catalog on every use.
         self.plans = PlanCache(db, self.metrics)
+        #: Per-subscription active delta zones (paper Section 5.4): one
+        #: boundary per (client, cq) pinning the update-log suffix a
+        #: connected client may still need for differential replay.
+        #: :meth:`collect_garbage` prunes up to the oldest boundary.
+        self.zones = ActiveDeltaZones(db)
         self._clients: Dict[str, "object"] = {}
         self._subscriptions: Dict[Tuple[str, str], Subscription] = {}
 
@@ -138,14 +145,76 @@ class CQServer:
         self._clients[client.name] = client
         client.server = self
 
-    def _deliver(self, client_id: str, message: Message) -> None:
+    def detach(self, client_id: str) -> None:
+        """Disconnect a client endpoint; its subscriptions survive for
+        a later reconnect, but deliveries to it stop."""
+        self._clients.pop(client_id, None)
+
+    def _deliver(self, client_id: str, message: Message) -> bool:
+        """Ship one message; returns False when the network lost it."""
         client = self._clients.get(client_id)
         if client is None:
             raise NetworkError(f"no attached client {client_id!r}")
-        self.network.send(
+        duration = self.network.send(
             self.name, client_id, message.wire_size(), self.metrics
         )
+        if duration is None:
+            return False
         client.receive(message)
+        return True
+
+    # -- GC zones ----------------------------------------------------------
+
+    @staticmethod
+    def _zone(client_id: str, cq_name: str) -> str:
+        return f"{client_id}:{cq_name}"
+
+    def _note_refresh(self, subscription: Subscription, delivered: bool) -> None:
+        """Advance the subscription's zone after a refresh.
+
+        Session endpoints (real sockets) set ``defer_zone_advance``:
+        their boundary only moves when the client *acknowledges* having
+        applied a refresh, so the replay window survives in-flight
+        loss. In-process clients apply synchronously, so a successful
+        delivery (or an empty window) advances immediately.
+        """
+        client = self._clients.get(subscription.client_id)
+        if client is not None and getattr(client, "defer_zone_advance", False):
+            return
+        if delivered:
+            self.zones.try_advance(
+                self._zone(subscription.client_id, subscription.cq_name),
+                subscription.last_ts,
+            )
+
+    def advance_zone(self, client_id: str, cq_name: str, ts: Timestamp) -> bool:
+        """Move a subscription's replay boundary (client acked ``ts``)."""
+        return self.zones.try_advance(self._zone(client_id, cq_name), ts)
+
+    def release_zones(self, client_id: str) -> None:
+        """Stop GC-protecting a client's replay windows (disconnect):
+        its subscriptions survive, but the update-log suffix behind its
+        last acknowledged refresh may now be retired."""
+        for (cid, cq_name) in self._subscriptions:
+            if cid == client_id:
+                self.zones.remove(self._zone(cid, cq_name))
+
+    def pin_zones(self, client_id: str, applied: Dict[str, Timestamp]) -> None:
+        """(Re-)register a reconnecting client's replay boundaries at
+        its last-applied timestamps."""
+        for (cid, cq_name), subscription in self._subscriptions.items():
+            if cid != client_id:
+                continue
+            ts = applied.get(cq_name, subscription.last_ts)
+            self.zones.register(
+                self._zone(cid, cq_name),
+                tuple(subscription.query.table_names),
+                ts,
+            )
+
+    def collect_garbage(self, include_unwatched: bool = False) -> Dict[str, int]:
+        """Prune update logs up to the oldest subscription boundary."""
+        return self.zones.collect(include_unwatched=include_unwatched)
 
     # -- registration -----------------------------------------------------------
 
@@ -153,13 +222,24 @@ class CQServer:
         self,
         client_id: str,
         message: RegisterMessage,
-        protocol: Protocol = Protocol.DRA_DELTA,
+        protocol: Optional[Protocol] = None,
     ) -> Subscription:
-        """Install a subscription and ship the initial result."""
+        """Install a subscription and ship the initial result.
+
+        The protocol comes from the explicit argument (in-process
+        path), the message's ``protocol`` field (wire path), or
+        defaults to DRA_DELTA.
+        """
         key = (client_id, message.cq_name)
         if key in self._subscriptions:
             raise RegistrationError(
                 f"client {client_id!r} already registered {message.cq_name!r}"
+            )
+        if protocol is None:
+            protocol = (
+                Protocol(message.protocol)
+                if message.protocol
+                else Protocol.DRA_DELTA
             )
         query = parse_query(message.sql)
         if not isinstance(query, SPJQuery):
@@ -177,13 +257,31 @@ class CQServer:
             client_id, message.cq_name, query, protocol, now, result
         )
         self._subscriptions[key] = subscription
+        self.zones.register(
+            self._zone(client_id, message.cq_name),
+            tuple(query.table_names),
+            now,
+        )
         self._deliver(
             client_id, InitialResultMessage(message.cq_name, result, now)
         )
         return subscription
 
+    def deregister(self, client_id: str, cq_name: str) -> None:
+        """Drop a subscription and its GC-protected zone."""
+        if self._subscriptions.pop((client_id, cq_name), None) is None:
+            raise RegistrationError(
+                f"no subscription {cq_name!r} for client {client_id!r}"
+            )
+        self.zones.remove(self._zone(client_id, cq_name))
+
     def subscriptions(self) -> List[Subscription]:
         return list(self._subscriptions.values())
+
+    def subscriptions_for(self, client_id: str) -> List[Subscription]:
+        return [
+            s for (cid, __), s in self._subscriptions.items() if cid == client_id
+        ]
 
     # -- refresh ------------------------------------------------------------------
 
@@ -250,15 +348,17 @@ class CQServer:
             shared[key] = result
         subscription.last_ts = now
         if result.delta.is_empty():
+            self._note_refresh(subscription, True)
             return False
         subscription.previous_result = result.delta.apply_to(
             subscription.previous_result
         )
-        self._deliver(
+        delivered = self._deliver(
             subscription.client_id,
             DeltaMessage(subscription.cq_name, result.delta, now),
         )
-        return True
+        self._note_refresh(subscription, delivered)
+        return delivered
 
     def handle_fetch(self, client_id: str, message: FetchMessage) -> bool:
         """Ship a lazy subscription's accumulated delta; returns True
@@ -275,10 +375,116 @@ class CQServer:
         subscription.previous_result = pending.apply_to(
             subscription.previous_result
         )
-        self._deliver(
+        delivered = self._deliver(
             client_id,
-            DeltaMessage(subscription.cq_name, pending, self.db.now()),
+            DeltaMessage(subscription.cq_name, pending, subscription.last_ts),
         )
+        self._note_refresh(subscription, delivered)
+        return delivered
+
+    def handle_resync(self, client_id: str, message: ResyncMessage) -> bool:
+        """Re-ship the retained result copy to a client whose cache is
+        unusable (e.g. a delta raced a client restart). No recompute:
+        the server's Section 3.3 copy is exactly the last shipped
+        state."""
+        subscription = self._subscriptions.get((client_id, message.cq_name))
+        if subscription is None:
+            return False
+        self.metrics.count(Metrics.RESYNCS)
+        return self._deliver(
+            client_id,
+            FullResultMessage(
+                subscription.cq_name,
+                subscription.previous_result,
+                subscription.last_ts,
+            ),
+        )
+
+    # -- reconnect replay --------------------------------------------------
+
+    def replay(self, client_id: str, cq_name: str, since_ts: Timestamp) -> bool:
+        """Resume a reconnected client differentially (Section 5.4).
+
+        The client last applied a refresh at ``since_ts``; everything
+        newer is its missed window. While the window is still inside
+        the table's active delta zone, the resume is a single
+        DeltaMessage consolidated from the update logs — full-result
+        bytes never cross the wire. When garbage collection has pruned
+        past the client's horizon, the only sound answer is a complete
+        result (counted as ``replay_fallbacks``).
+
+        Returns True for a differential resume, False for a fallback.
+        """
+        subscription = self._subscriptions.get((client_id, cq_name))
+        if subscription is None:
+            raise RegistrationError(
+                f"no subscription {cq_name!r} for client {client_id!r}"
+            )
+        now = self.db.now()
+        tables = [
+            self.db.table(name) for name in set(subscription.query.table_names)
+        ]
+        window_intact = all(
+            table.log.pruned_through <= since_ts for table in tables
+        )
+        if subscription.protocol is Protocol.REEVAL_FULL or not window_intact:
+            result = self.db.query(subscription.query, self.metrics)
+            subscription.previous_result = result
+            subscription.pending_delta = None
+            subscription.last_ts = now
+            if subscription.protocol is not Protocol.REEVAL_FULL:
+                self.metrics.count(Metrics.REPLAY_FALLBACKS)
+            self.zones.register(
+                self._zone(client_id, cq_name),
+                tuple(subscription.query.table_names),
+                since_ts,
+            )
+            self._deliver(client_id, FullResultMessage(cq_name, result, now))
+            return False
+        # Realign the server's retained copy to state(now) over its own
+        # (narrower) window first: previous_result is at last_ts, with
+        # any un-fetched lazy delta still pending on top of it.
+        current = subscription.previous_result
+        if (
+            subscription.pending_delta is not None
+            and not subscription.pending_delta.is_empty()
+        ):
+            current = subscription.pending_delta.apply_to(current)
+            subscription.pending_delta = None
+        own_window = deltas_since(tables, subscription.last_ts)
+        if own_window:
+            advanced = dra_execute(
+                subscription.query,
+                self.db,
+                deltas=own_window,
+                previous=current,
+                ts=now,
+                metrics=self.metrics,
+                prepared=self._prepared(subscription),
+            )
+            current = advanced.complete_result()
+        subscription.previous_result = current
+        subscription.last_ts = now
+        # The client's replay: one consolidated delta over its whole
+        # missed window, applicable directly to its cached copy.
+        replayed = dra_execute(
+            subscription.query,
+            self.db,
+            deltas=deltas_since(tables, since_ts),
+            ts=now,
+            metrics=self.metrics,
+            prepared=self._prepared(subscription),
+        )
+        self.metrics.count(Metrics.REPLAYS)
+        self.zones.register(
+            self._zone(client_id, cq_name),
+            tuple(subscription.query.table_names),
+            since_ts,
+        )
+        if not replayed.delta.is_empty():
+            self._deliver(
+                client_id, DeltaMessage(cq_name, replayed.delta, now)
+            )
         return True
 
     def _refresh_one(
@@ -309,7 +515,7 @@ class CQServer:
             if subscription.pending_delta.is_empty():
                 subscription.pending_delta = None
                 return False
-            self._deliver(
+            return self._deliver(
                 subscription.client_id,
                 DeltaAvailableMessage(
                     subscription.cq_name,
@@ -318,7 +524,6 @@ class CQServer:
                     delta_wire_size(subscription.pending_delta),
                 ),
             )
-            return True
         if subscription.protocol is Protocol.DRA_DELTA:
             deltas = self._deltas_for(subscription, cache, now)
             result = dra_execute(
@@ -332,36 +537,95 @@ class CQServer:
             )
             subscription.last_ts = now
             if not result.has_changes():
+                self._note_refresh(subscription, True)
                 return False
             subscription.previous_result = result.complete_result()
-            self._deliver(
+            delivered = self._deliver(
                 subscription.client_id,
                 DeltaMessage(subscription.cq_name, result.delta, now),
             )
-            return True
+            self._note_refresh(subscription, delivered)
+            return delivered
 
         new_result = self.db.query(subscription.query, self.metrics)
         if subscription.protocol is Protocol.REEVAL_DELTA:
             delta = diff(subscription.previous_result, new_result, now)
             subscription.last_ts = now
             if delta.is_empty():
+                self._note_refresh(subscription, True)
                 return False
             subscription.previous_result = new_result
-            self._deliver(
+            delivered = self._deliver(
                 subscription.client_id,
                 DeltaMessage(subscription.cq_name, delta, now),
             )
-            return True
+            self._note_refresh(subscription, delivered)
+            return delivered
 
         # REEVAL_FULL ships unconditionally: without a retained diff
         # there is no way to know nothing changed.
         subscription.last_ts = now
         subscription.previous_result = new_result
-        self._deliver(
+        delivered = self._deliver(
             subscription.client_id,
             FullResultMessage(subscription.cq_name, new_result, now),
         )
-        return True
+        self._note_refresh(subscription, delivered)
+        return delivered
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> List[Dict[str, object]]:
+        """One status record per subscription (for ops tooling)."""
+        out = []
+        for (client_id, cq_name), sub in self._subscriptions.items():
+            pending = sub.pending_delta
+            out.append(
+                {
+                    "client": client_id,
+                    "cq": cq_name,
+                    "protocol": sub.protocol.value,
+                    "last_ts": sub.last_ts,
+                    "result_rows": len(sub.previous_result),
+                    "pending_entries": 0 if pending is None else len(pending),
+                    "zone": self.zones.boundary(self._zone(client_id, cq_name)),
+                }
+            )
+        return out
+
+    def status_report(self) -> str:
+        """Subscriptions plus connection counters as a text report."""
+        from repro.bench.harness import format_table
+
+        report = format_table(
+            self.describe(),
+            columns=[
+                "client",
+                "cq",
+                "protocol",
+                "last_ts",
+                "result_rows",
+                "pending_entries",
+                "zone",
+            ],
+            title=(
+                f"CQServer {self.name!r}: {len(self._subscriptions)} "
+                f"subscriptions, now={self.db.now()}"
+            ),
+        )
+        m = self.metrics
+        report += (
+            f"\nconnections: reconnects={m.get(Metrics.RECONNECTS)} "
+            f"heartbeats_missed={m.get(Metrics.HEARTBEATS_MISSED)} "
+            f"replays={m.get(Metrics.REPLAYS)} "
+            f"replay_fallbacks={m.get(Metrics.REPLAY_FALLBACKS)} "
+            f"resyncs={m.get(Metrics.RESYNCS)}"
+            f"\ntransport: bytes_encoded={m.get(Metrics.BYTES_ENCODED)} "
+            f"bytes_sent={m.get(Metrics.BYTES_SENT)} "
+            f"messages_dropped={m.get(Metrics.MESSAGES_DROPPED)} "
+            f"backpressure_degrades={m.get(Metrics.BACKPRESSURE_DEGRADES)}"
+        )
+        return report
 
     def __repr__(self) -> str:
         return (

@@ -6,11 +6,19 @@ reducing the network traffic"). The simulation therefore charges each
 message a deterministic cost — latency plus size over bandwidth — and
 keeps byte/message counters per link, which the E2/E3 benchmarks
 report. No real sockets: everything runs in-process.
+
+Faults are injectable and deterministic: a seeded drop probability, a
+fixed added latency, and directed partitions. A lost message shows up
+in the link's ``drops`` counter and :meth:`send` returns ``None`` so
+callers (the CQ server's delivery path) know the receiver never saw
+it. With no faults configured, behavior is byte-for-byte identical to
+the fault-free network.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import random
+from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.metrics import Metrics
@@ -19,17 +27,18 @@ from repro.metrics import Metrics
 class LinkStats:
     """Counters for one directed (src, dst) link."""
 
-    __slots__ = ("bytes", "messages", "busy_seconds")
+    __slots__ = ("bytes", "messages", "busy_seconds", "drops")
 
     def __init__(self) -> None:
         self.bytes = 0
         self.messages = 0
         self.busy_seconds = 0.0
+        self.drops = 0
 
     def __repr__(self) -> str:
         return (
             f"LinkStats({self.messages} msgs, {self.bytes} bytes, "
-            f"{self.busy_seconds:.6f}s)"
+            f"{self.busy_seconds:.6f}s, {self.drops} drops)"
         )
 
 
@@ -40,6 +49,7 @@ class SimulatedNetwork:
         self,
         latency_seconds: float = 0.001,
         bandwidth_bytes_per_second: float = 1_000_000.0,
+        seed: int = 0,
     ):
         if latency_seconds < 0:
             raise NetworkError("latency must be non-negative")
@@ -49,10 +59,57 @@ class SimulatedNetwork:
         self.bandwidth = bandwidth_bytes_per_second
         self._links: Dict[Tuple[str, str], LinkStats] = {}
         self.total = LinkStats()
+        # Fault plan: off by default, so the network is lossless and
+        # the RNG is never consulted (existing traffic is unchanged).
+        self.drop_probability = 0.0
+        self.extra_latency_seconds = 0.0
+        self._partitions: Set[Tuple[str, str]] = set()
+        self._rng = random.Random(seed)
+
+    # -- fault injection ---------------------------------------------------
+
+    def set_faults(
+        self,
+        drop_probability: float = 0.0,
+        extra_latency_seconds: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Configure loss and added delay (deterministic under ``seed``)."""
+        if not 0.0 <= drop_probability <= 1.0:
+            raise NetworkError("drop probability must be in [0, 1]")
+        if extra_latency_seconds < 0:
+            raise NetworkError("extra latency must be non-negative")
+        self.drop_probability = drop_probability
+        self.extra_latency_seconds = extra_latency_seconds
+        if seed is not None:
+            self._rng = random.Random(seed)
+
+    def partition(self, src: str, dst: str, bidirectional: bool = True) -> None:
+        """Sever the directed (src, dst) link (and its reverse by default)."""
+        self._partitions.add((src, dst))
+        if bidirectional:
+            self._partitions.add((dst, src))
+
+    def heal(self, src: Optional[str] = None, dst: Optional[str] = None) -> None:
+        """Remove partitions: the (src, dst) pair, or all when omitted."""
+        if src is None and dst is None:
+            self._partitions.clear()
+            return
+        self._partitions.discard((src, dst))
+        self._partitions.discard((dst, src))
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._partitions
+
+    # -- traffic -----------------------------------------------------------
 
     def transfer_time(self, payload_bytes: int) -> float:
         """Simulated seconds to deliver one message of this size."""
-        return self.latency_seconds + payload_bytes / self.bandwidth
+        return (
+            self.latency_seconds
+            + self.extra_latency_seconds
+            + payload_bytes / self.bandwidth
+        )
 
     def send(
         self,
@@ -60,12 +117,27 @@ class SimulatedNetwork:
         dst: str,
         payload_bytes: int,
         metrics: Optional[Metrics] = None,
-    ) -> float:
-        """Account for one message; returns its simulated duration."""
+    ) -> Optional[float]:
+        """Account for one message; returns its simulated duration.
+
+        Returns ``None`` when the message is lost to a partition or a
+        probabilistic drop — the bytes never crossed, so only the
+        ``drops`` counters move.
+        """
         if payload_bytes < 0:
             raise NetworkError("payload size must be non-negative")
-        duration = self.transfer_time(payload_bytes)
         link = self._links.setdefault((src, dst), LinkStats())
+        lost = (src, dst) in self._partitions or (
+            self.drop_probability > 0.0
+            and self._rng.random() < self.drop_probability
+        )
+        if lost:
+            link.drops += 1
+            self.total.drops += 1
+            if metrics:
+                metrics.count(Metrics.MESSAGES_DROPPED)
+            return None
+        duration = self.transfer_time(payload_bytes)
         for stats in (link, self.total):
             stats.bytes += payload_bytes
             stats.messages += 1

@@ -1,0 +1,246 @@
+"""Transports: how encoded CQ messages move between endpoints.
+
+Two implementations of one abstraction:
+
+* :class:`SimulatedTransport` — wraps the in-process
+  :class:`~repro.net.simnet.SimulatedNetwork` (with its injectable
+  drop/delay/partition faults) and delivers message objects directly,
+  charging the *measured* encoded frame size. This is the deterministic
+  harness every benchmark and most tests run on.
+* :class:`TcpTransport` — real asyncio TCP sockets. Frames produced by
+  :mod:`repro.net.codec` cross a loopback (or actual) network; the
+  :class:`FrameConnection` wrapper handles framing, byte accounting,
+  and injected faults (frame drops, severed connections) for
+  crash/recovery tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.metrics import Metrics
+from repro.net.codec import MAX_FRAME_BYTES, _LENGTH, decode_payload, encode_frame
+from repro.net.messages import Message
+from repro.net.simnet import SimulatedNetwork
+
+
+class Transport:
+    """Message-level delivery between named endpoints.
+
+    ``deliver`` returns True when the destination received the message
+    and False when the transport lost it (drop, partition, dead
+    connection) — the sender's state machine decides whether loss is
+    fatal (sim tests) or recovered later via reconnect replay.
+    """
+
+    def deliver(
+        self,
+        src: str,
+        dst: str,
+        message: Message,
+        metrics: Optional[Metrics] = None,
+    ) -> bool:
+        raise NotImplementedError
+
+
+class SimulatedTransport(Transport):
+    """The simulated network as a Transport (measured frame sizes)."""
+
+    def __init__(self, network: Optional[SimulatedNetwork] = None):
+        self.network = network if network is not None else SimulatedNetwork()
+        self._receivers = {}
+
+    def attach(self, name: str, receive: Callable[[Message], None]) -> None:
+        self._receivers[name] = receive
+
+    def detach(self, name: str) -> None:
+        self._receivers.pop(name, None)
+
+    def deliver(
+        self,
+        src: str,
+        dst: str,
+        message: Message,
+        metrics: Optional[Metrics] = None,
+    ) -> bool:
+        receive = self._receivers.get(dst)
+        if receive is None:
+            raise NetworkError(f"no attached endpoint {dst!r}")
+        duration = self.network.send(src, dst, message.wire_size(), metrics)
+        if duration is None:
+            return False
+        receive(message)
+        return True
+
+
+class FaultInjector:
+    """Deterministic fault plan shared by TCP connections.
+
+    ``drop_rate`` silently discards outbound frames (application-level
+    loss: the frame is simply never written, so stream framing stays
+    intact). ``sever_all`` abruptly aborts every registered connection,
+    the "kill the connection mid-stream" fault reconnect tests inject.
+    """
+
+    def __init__(self, drop_rate: float = 0.0, seed: int = 0):
+        if not 0.0 <= drop_rate <= 1.0:
+            raise NetworkError("drop rate must be in [0, 1]")
+        self.drop_rate = drop_rate
+        self._rng = random.Random(seed)
+        self._connections: List["FrameConnection"] = []
+        self.frames_dropped = 0
+        self.severed = 0
+
+    def register(self, connection: "FrameConnection") -> None:
+        self._connections.append(connection)
+
+    def should_drop(self) -> bool:
+        if self.drop_rate <= 0.0:
+            return False
+        if self._rng.random() < self.drop_rate:
+            self.frames_dropped += 1
+            return True
+        return False
+
+    def sever_all(self) -> int:
+        """Abort every live registered connection; returns the count."""
+        count = 0
+        for connection in self._connections:
+            if not connection.closed:
+                connection.abort()
+                count += 1
+        self.severed += count
+        return count
+
+
+class FrameConnection:
+    """One framed message stream over an asyncio TCP connection."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        metrics: Optional[Metrics] = None,
+        injector: Optional[FaultInjector] = None,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.metrics = metrics
+        self.injector = injector
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.closed = False
+        if injector is not None:
+            injector.register(self)
+
+    async def send(self, message: Message) -> int:
+        """Encode and write one frame; returns bytes written (0 if the
+        frame was dropped by the fault injector)."""
+        if self.closed:
+            raise NetworkError("connection is closed")
+        frame = encode_frame(message)
+        if self.injector is not None and self.injector.should_drop():
+            return 0
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self.closed = True
+            raise NetworkError(f"send failed: {exc}") from exc
+        self.bytes_sent += len(frame)
+        if self.metrics:
+            self.metrics.count(Metrics.BYTES_ENCODED, len(frame))
+        return len(frame)
+
+    async def recv(self) -> Optional[Message]:
+        """Read one message; None on clean or abrupt EOF."""
+        try:
+            prefix = await self._reader.readexactly(_LENGTH.size)
+            (length,) = _LENGTH.unpack(prefix)
+            if length > MAX_FRAME_BYTES:
+                raise NetworkError(
+                    f"frame length {length} exceeds MAX_FRAME_BYTES"
+                )
+            payload = await self._reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            self.closed = True
+            return None
+        self.bytes_received += len(payload) + _LENGTH.size
+        return decode_payload(payload)
+
+    def abort(self) -> None:
+        """Drop the connection without flushing (simulates a cut link)."""
+        self.closed = True
+        transport = self._writer.transport
+        if transport is not None:
+            transport.abort()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._writer.close()
+        except (ConnectionError, OSError):  # already torn down
+            pass
+
+    async def wait_closed(self, timeout: float = 1.0) -> None:
+        """Wait (bounded) for the transport to finish closing.
+
+        Bounded because ``StreamWriter.wait_closed`` can block
+        indefinitely on an already-reset connection; teardown must
+        never hang on a peer that is gone.
+        """
+        try:
+            # Shielded: the close waiter is one shared future per
+            # connection, and a timeout here must not cancel it for
+            # every other waiter.
+            await asyncio.wait_for(
+                asyncio.shield(self._writer.wait_closed()), timeout
+            )
+        except (
+            asyncio.TimeoutError,
+            asyncio.CancelledError,
+            ConnectionError,
+            OSError,
+        ):
+            pass
+
+
+class TcpTransport:
+    """Factory for framed connections over real asyncio TCP sockets."""
+
+    def __init__(
+        self,
+        metrics: Optional[Metrics] = None,
+        injector: Optional[FaultInjector] = None,
+    ):
+        self.metrics = metrics
+        self.injector = injector
+
+    async def connect(self, host: str, port: int) -> FrameConnection:
+        reader, writer = await asyncio.open_connection(host, port)
+        return FrameConnection(reader, writer, self.metrics, self.injector)
+
+    async def serve(
+        self,
+        host: str,
+        port: int,
+        on_connection: Callable[[FrameConnection], "asyncio.Future"],
+    ) -> Tuple[asyncio.AbstractServer, Tuple[str, int]]:
+        """Listen and hand each accepted connection to ``on_connection``
+        (a coroutine function). Returns the server and its bound address
+        (useful with ``port=0``)."""
+
+        async def handler(reader, writer):
+            connection = FrameConnection(
+                reader, writer, self.metrics, self.injector
+            )
+            await on_connection(connection)
+
+        server = await asyncio.start_server(handler, host, port)
+        sock = server.sockets[0].getsockname()
+        return server, (sock[0], sock[1])

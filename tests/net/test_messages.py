@@ -5,7 +5,6 @@ from repro.relational.schema import Schema
 from repro.relational.types import AttributeType
 from repro.delta.differential import DeltaEntry, DeltaRelation
 from repro.net.messages import (
-    ENVELOPE_BYTES,
     ROW_OVERHEAD_BYTES,
     DeltaMessage,
     FullResultMessage,
@@ -51,12 +50,21 @@ class TestMessages:
         long = RegisterMessage("q", "SELECT * FROM t WHERE x > 1 AND y < 2")
         assert long.wire_size() > short.wire_size()
 
-    def test_envelopes(self):
+    def test_wire_size_is_measured_frame_size(self):
+        from repro.net.codec import encode_frame
+
         rel = relation(3)
         initial = InitialResultMessage("q", rel, ts=1)
         full = FullResultMessage("q", rel, ts=1)
-        assert initial.wire_size() == full.wire_size()
-        assert initial.wire_size() == ENVELOPE_BYTES + relation_wire_size(rel)
+        assert initial.wire_size() == len(encode_frame(initial))
+        assert full.wire_size() == len(encode_frame(full))
+        # Both carry the same payload; only the type tag differs.
+        assert abs(initial.wire_size() - full.wire_size()) < 8
+
+    def test_result_messages_scale_with_rows(self):
+        small = InitialResultMessage("q", relation(2), ts=1)
+        large = InitialResultMessage("q", relation(50), ts=1)
+        assert large.wire_size() > small.wire_size()
 
     def test_delta_message_smaller_than_full_for_small_changes(self):
         rel = relation(100)

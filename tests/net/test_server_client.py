@@ -122,15 +122,27 @@ class TestRefreshProtocols:
 
 
 class TestClientErrors:
-    def test_delta_for_unknown_cq(self):
+    def test_delta_for_unknown_cq_counted_not_fatal(self):
         from repro.delta.differential import DeltaRelation
         from repro.relational.schema import Schema
         from repro.relational.types import AttributeType
 
         client = CQClient("c")
         schema = Schema.of(("x", AttributeType.INT))
-        with pytest.raises(NetworkError):
-            client.receive(DeltaMessage("ghost", DeltaRelation(schema), 1))
+        client.receive(DeltaMessage("ghost", DeltaRelation(schema), 1))
+        assert client.stale_deltas == 1
+
+    def test_delta_for_unknown_cq_triggers_resync(self, deployment):
+        db, market, __, server = deployment
+        client = attach_client(server, "c1", Protocol.DRA_DELTA)
+        client.forget("watch")
+        # A refresh delta now races the client's state loss: the client
+        # asks for a full copy instead of erroring out.
+        market.tick(5)
+        server.refresh_all()
+        assert client.stale_deltas >= 1
+        assert server.metrics["resyncs"] >= 1
+        assert client.result("watch") == db.query(WATCH)
 
     def test_unknown_result_lookup(self):
         with pytest.raises(NetworkError):

@@ -1,0 +1,274 @@
+"""Tests for the asyncio CQ service and client sessions (real sockets).
+
+No pytest-asyncio in the environment: each test is a plain function
+running its coroutine with ``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.metrics import Metrics
+from repro.net.client import CQSession
+from repro.net.messages import HeartbeatMessage, HelloAckMessage, HelloMessage
+from repro.net.server import Protocol
+from repro.net.service import CQService
+from repro.net.transport import TcpTransport
+from repro.storage.database import Database
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT name, price FROM stocks WHERE price > 800"
+
+
+def build_market(rows=200, seed=13):
+    db = Database()
+    market = StockMarket(db, seed=seed)
+    market.populate(rows)
+    return db, market
+
+
+async def start_service(db, **kwargs):
+    service = CQService(db, **kwargs)
+    addr = await service.start()
+    return service, addr
+
+
+class TestPushProtocol:
+    def test_register_ships_initial_result(self):
+        async def scenario():
+            db, market = build_market()
+            service, addr = await start_service(db)
+            session = CQSession("c1", *addr)
+            await session.connect()
+            result = await session.register("watch", WATCH)
+            assert result == db.query(WATCH)
+            await session.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_refresh_pushes_delta_over_socket(self):
+        async def scenario():
+            db, market = build_market()
+            service, addr = await start_service(db)
+            session = CQSession("c1", *addr)
+            await session.connect()
+            await session.register("watch", WATCH)
+            market.tick(50)
+            await service.refresh()
+            await session.wait_applied("watch", db.now())
+            assert session.result("watch") == db.query(WATCH)
+            assert session.deltas_applied >= 1
+            assert session.full_results == 0
+            assert service.metrics[Metrics.BYTES_ENCODED] > 0
+            await session.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_lazy_protocol_over_socket(self):
+        async def scenario():
+            db, market = build_market()
+            service, addr = await start_service(db)
+            session = CQSession("c1", *addr)  # auto_fetch on by default
+            await session.connect()
+            await session.register("watch", WATCH, Protocol.DRA_LAZY)
+            market.tick(50)
+            await service.refresh()
+            await session.wait_applied("watch", db.now())
+            assert session.lazy_notices >= 1
+            assert session.result("watch") == db.query(WATCH)
+            await session.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_stale_delta_triggers_resync_full_result(self):
+        async def scenario():
+            db, market = build_market()
+            service, addr = await start_service(db)
+            session = CQSession("c1", *addr)
+            await session.connect()
+            await session.register("watch", WATCH)
+            # Simulate client-side state loss: the next delta cannot
+            # apply, so the session must request a full copy.
+            session._results.pop("watch")
+            market.tick(50)
+            await service.refresh()
+            await session.wait_applied("watch", db.now())
+            assert session.stale_deltas >= 1
+            assert session.full_results >= 1
+            assert service.metrics[Metrics.RESYNCS] >= 1
+            assert session.result("watch") == db.query(WATCH)
+            await session.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+
+class TestHeartbeats:
+    def test_heartbeat_acks_advance_zone(self):
+        async def scenario():
+            db, market = build_market()
+            service, addr = await start_service(db, heartbeat_interval=0.02)
+            session = CQSession("c1", *addr)
+            await session.connect()
+            await session.register("watch", WATCH)
+            market.tick(50)
+            await service.refresh()
+            await session.wait_applied("watch", db.now())
+            applied = session.applied["watch"]
+            for __ in range(50):
+                if service.server.zones.boundary("c1:watch") == applied:
+                    break
+                await asyncio.sleep(0.02)
+            assert service.server.zones.boundary("c1:watch") == applied
+            assert session.heartbeats >= 1
+            await session.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_mute_client_evicted_after_missed_heartbeats(self):
+        async def scenario():
+            db, __ = build_market(rows=20)
+            service, addr = await start_service(
+                db, heartbeat_interval=0.02, miss_limit=1
+            )
+            transport = TcpTransport()
+            conn = await transport.connect(*addr)
+            await conn.send(HelloMessage("mute", {}))
+            ack = await conn.recv()
+            assert isinstance(ack, HelloAckMessage)
+            # Never ack a heartbeat: the server must cut us off.
+            while True:
+                message = await conn.recv()
+                if message is None:
+                    break
+            assert service.metrics[Metrics.HEARTBEATS_MISSED] >= 1
+            for __ in range(50):
+                if "mute" not in service.sessions():
+                    break
+                await asyncio.sleep(0.02)
+            assert "mute" not in service.sessions()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_idle_timeout_evicts_silent_connection(self):
+        async def scenario():
+            db, __ = build_market(rows=20)
+            service, addr = await start_service(
+                db,
+                heartbeat_interval=0.02,
+                miss_limit=100,
+                idle_timeout=0.05,
+            )
+            transport = TcpTransport()
+            conn = await transport.connect(*addr)
+            await conn.send(HelloMessage("quiet", {}))
+            await conn.recv()
+            while True:
+                message = await conn.recv()
+                if message is None:
+                    break
+            assert "quiet" not in service.sessions()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+
+class TestBackpressure:
+    def test_backlogged_session_degrades_to_lazy_and_recovers(self):
+        async def scenario():
+            db, market = build_market()
+            service, addr = await start_service(db, queue_limit=4)
+            session = CQSession("c1", *addr, auto_fetch=False)
+            await session.connect()
+            await session.register("watch", WATCH)
+            (sub,) = service.server.subscriptions_for("c1")
+            server_session = service.sessions()["c1"]
+            # Simulate a consumer that cannot keep up: stuff the outbox
+            # past the limit (no await between, so the writer can't
+            # drain mid-setup) and run a refresh cycle.
+            for __ in range(service.queue_limit):
+                server_session.outbox.append(HeartbeatMessage(db.now()))
+            market.tick(50)
+            await service.refresh()
+            assert sub.protocol is Protocol.DRA_LAZY
+            assert service.metrics[Metrics.BACKPRESSURE_DEGRADES] == 1
+            # While degraded, the refresh accumulated server-side; the
+            # client got a notice, not the delta.
+            assert sub.pending_delta is not None
+            # Let the queue drain, then the next cycle restores the
+            # push protocol and ships the consolidated delta.
+            await asyncio.sleep(0.05)
+            market.tick(10)
+            await service.refresh()
+            assert sub.protocol is Protocol.DRA_DELTA
+            await session.wait_applied("watch", db.now())
+            assert session.result("watch") == db.query(WATCH)
+            assert session.full_results == 0
+            await session.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+
+class TestLifecycle:
+    def test_evict_cuts_connection(self):
+        async def scenario():
+            db, __ = build_market(rows=20)
+            service, addr = await start_service(db)
+            session = CQSession("c1", *addr, max_attempts=1)
+            await session.connect()
+            assert service.evict("c1")
+            for __ in range(50):
+                if not session.connected:
+                    break
+                await asyncio.sleep(0.02)
+            await session.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_second_connection_replaces_first(self):
+        async def scenario():
+            db, __ = build_market(rows=20)
+            service, addr = await start_service(db)
+            first = CQSession("c1", *addr)
+            await first.connect()
+            second = CQSession("c1", *addr)
+            await second.connect()
+            for __ in range(50):
+                if service.sessions().get("c1") is not None:
+                    break
+                await asyncio.sleep(0.02)
+            assert service.metrics[Metrics.RECONNECTS] >= 1
+            await first.close()
+            await second.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_status_report_lists_connection_counters(self):
+        async def scenario():
+            db, __ = build_market(rows=20)
+            service, addr = await start_service(db)
+            session = CQSession("c1", *addr)
+            await session.connect()
+            await session.register("watch", WATCH)
+            report = service.status_report()
+            for needle in (
+                "reconnects=",
+                "heartbeats_missed=",
+                "replay_fallbacks=",
+                "bytes_encoded=",
+                "backpressure_degrades=",
+                "watch",
+            ):
+                assert needle in report
+            await session.close()
+            await service.stop()
+
+        asyncio.run(scenario())
