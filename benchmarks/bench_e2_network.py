@@ -132,13 +132,15 @@ def test_refresh_round_naive(benchmark):
 # -- real-socket smoke entry point (CI) ---------------------------------------
 
 
-def real_smoke(rows=2_000, rounds=5, updates_per_round=20):
+def real_smoke(rows=2_000, rounds=5, updates_per_round=20, durability=None):
     """Replay the E2 claim over loopback TCP with *measured* bytes.
 
     Two sessions subscribe to the same CQ — one on DRA_DELTA, one on
     REEVAL_FULL — and the per-connection encoded byte counts after
     ``rounds`` refresh cycles must show the delta protocol well under
     the naive one. Raises AssertionError when the claim fails.
+    ``durability`` optionally journals every commit through a WAL at
+    that path (the crash-safe configuration).
     """
     import asyncio
 
@@ -150,7 +152,7 @@ def real_smoke(rows=2_000, rounds=5, updates_per_round=20):
         db = Database()
         market = StockMarket(db, seed=11)
         market.populate(rows)
-        service = CQService(db)
+        service = CQService(db, durability=durability)
         addr = await service.start()
         sessions = {}
         for name, protocol in [
@@ -208,6 +210,102 @@ def real_smoke(rows=2_000, rounds=5, updates_per_round=20):
     return measured
 
 
+# -- durability overhead smoke (CI) --------------------------------------------
+
+
+def durability_smoke(
+    rows=2_000,
+    rounds=8,
+    updates_per_round=40,
+    policy="batch",
+    repeats=3,
+    out_path="BENCH_e2.json",
+    budget_pct=15.0,
+):
+    """Measure the WAL's cost on the loopback refresh path.
+
+    Runs the same update+refresh loop with and without a write-ahead
+    log (``fsync=policy``), best-of-``repeats`` each, and asserts the
+    journaled configuration stays within ``budget_pct`` of the plain
+    one. The measurements land in ``out_path`` (BENCH_e2 notes).
+    """
+    import asyncio
+    import json
+    import os
+    import tempfile
+    import time
+
+    from repro.bench.harness import format_table
+    from repro.net.client import CQSession
+    from repro.net.service import CQService
+
+    async def one_run(durability):
+        db = Database(durability=durability)
+        market = StockMarket(db, seed=29)
+        market.populate(rows)
+        service = CQService(db)
+        addr = await service.start()
+        session = CQSession("bench", *addr)
+        await session.connect()
+        await session.register("watch", WATCH, Protocol.DRA_DELTA)
+        start = time.perf_counter()
+        for __ in range(rounds):
+            market.tick(updates_per_round, p_insert=0.1, p_delete=0.1)
+            await service.refresh()
+            await session.wait_applied("watch", db.now(), timeout=10.0)
+        elapsed = time.perf_counter() - start
+        assert session.result("watch") == db.query(WATCH)
+        await session.close()
+        await service.stop()
+        if db.wal is not None:
+            db.wal.close()
+        return elapsed
+
+    def best_of(durability_factory):
+        times = []
+        for __ in range(repeats):
+            times.append(asyncio.run(one_run(durability_factory())))
+        return min(times)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        counter = iter(range(1_000))
+
+        def wal_path():
+            from repro.storage.wal import WriteAheadLog
+
+            path = os.path.join(tmp, f"bench-{next(counter)}.wal")
+            return WriteAheadLog(path, fsync=policy)
+
+        plain_s = best_of(lambda: None)
+        wal_s = best_of(wal_path)
+
+    overhead_pct = (wal_s - plain_s) / plain_s * 100.0
+    record = {
+        "benchmark": "e2_durability_smoke",
+        "rows": rows,
+        "rounds": rounds,
+        "updates_per_round": updates_per_round,
+        "fsync_policy": policy,
+        "plain_s": round(plain_s, 4),
+        "wal_s": round(wal_s, 4),
+        "overhead_pct": round(overhead_pct, 1),
+        "budget_pct": budget_pct,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(
+        format_table(
+            [record], title="E2 durability smoke: WAL overhead on refresh path"
+        )
+    )
+    assert overhead_pct < budget_pct, (
+        f"WAL ({policy}) overhead {overhead_pct:.1f}% exceeds the "
+        f"{budget_pct:.0f}% budget ({wal_s:.3f}s vs {plain_s:.3f}s)"
+    )
+    return record
+
+
 def main(argv=None):
     import argparse
 
@@ -228,10 +326,19 @@ def main(argv=None):
         default=2_000,
         help="base table size (real smoke mode)",
     )
+    parser.add_argument(
+        "--durability",
+        choices=["always", "batch", "off"],
+        default=None,
+        help="also measure WAL overhead under this fsync policy "
+        "(asserts it stays under ~15%% and writes BENCH_e2.json)",
+    )
     args = parser.parse_args(argv)
     if not (args.real and args.smoke):
         parser.error("run the full sweep via pytest; use --real --smoke here")
     real_smoke(rows=args.rows)
+    if args.durability:
+        durability_smoke(rows=args.rows, policy=args.durability)
     print("e2 real-socket smoke ok")
     return 0
 

@@ -82,8 +82,19 @@ class CQManager:
         share_deltas: bool = True,
         group_triggers: bool = True,
         prepare_plans: bool = True,
+        durability=None,
     ):
         self.db = db
+        #: ``durability=`` accepts a WriteAheadLog (or path) and attaches
+        #: it to the database, so every commit *and* every CQ
+        #: register/deregister below is journaled; recovery goes through
+        #: :func:`repro.core.persistence.recover_manager`.
+        if durability is not None and db.wal is None:
+            if isinstance(durability, str):
+                from repro.storage.wal import WriteAheadLog
+
+                durability = WriteAheadLog(durability, metrics=metrics)
+            db.attach_wal(durability)
         self.strategy = strategy
         self.auto_gc = auto_gc
         self.metrics = metrics
@@ -191,6 +202,8 @@ class CQManager:
                 self.db.subscribe(table_name, self._make_observer(cq))
             )
         self._unsubscribes[cq.name] = unsubscribes
+        if self.db.wal is not None:
+            self._journal_cq_register(cq)
 
         self._emit(
             Notification(
@@ -242,6 +255,43 @@ class CQManager:
         self._finalize(cq, self.db.now())
         del self._cqs[name]
         self._callbacks.pop(name, None)
+        if self.db.wal is not None:
+            from repro.storage.wal import KIND_CQ_DEREGISTER
+
+            self.db.wal.log_event(KIND_CQ_DEREGISTER, name=name)
+
+    def _journal_cq_register(self, cq: ContinualQuery) -> None:
+        """Journal a registration so a crash before the next checkpoint
+        does not lose the CQ. Callable-based triggers and stop
+        conditions cannot ride along in a journal any more than in a
+        checkpoint; they are journaled as None and recovery substitutes
+        the defaults (the data, windows, and results all survive)."""
+        from repro.core.persistence import (
+            UnserializableCQ,
+            _stop_to_dict,
+            trigger_to_dict,
+        )
+        from repro.storage.wal import KIND_CQ_REGISTER
+
+        try:
+            trigger = trigger_to_dict(cq.trigger)
+        except UnserializableCQ:
+            trigger = None
+        try:
+            stop = _stop_to_dict(cq.stop)
+        except UnserializableCQ:
+            stop = None
+        self.db.wal.log_event(
+            KIND_CQ_REGISTER,
+            name=cq.name,
+            sql=cq.query.to_sql(),
+            mode=cq.mode.value,
+            engine=cq.engine.value,
+            keep_result=cq.keep_result,
+            trigger=trigger,
+            stop=stop,
+            ts=self.db.now(),
+        )
 
     # -- lookup ----------------------------------------------------------------
 

@@ -17,11 +17,16 @@ clear error — code cannot ride along in a JSON file.
 
 from __future__ import annotations
 
-import json
-from typing import Any, Dict
+import os
+from typing import Any, Dict, Optional
 
-from repro.errors import ReproError
-from repro.storage.snapshots import database_from_dict, database_to_dict
+from repro.errors import CheckpointError, ReproError
+from repro.storage.snapshots import (
+    database_from_dict,
+    database_to_dict,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.core.continual_query import ContinualQuery, CQStatus, DeliveryMode, Engine
 from repro.core.epsilon import (
     CountEpsilon,
@@ -237,7 +242,9 @@ def manager_from_dict(data: Dict[str, Any]) -> CQManager:
     not-yet-delivered updates.
     """
     if data.get("format") != FORMAT_VERSION:
-        raise ReproError(f"unsupported checkpoint format {data.get('format')!r}")
+        raise CheckpointError(
+            f"unsupported manager checkpoint format {data.get('format')!r}"
+        )
     db = database_from_dict(data["database"])
     manager = CQManager(
         db,
@@ -323,13 +330,23 @@ def manager_from_dict(data: Dict[str, Any]) -> CQManager:
 
 
 def save_manager(manager: CQManager, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manager_to_dict(manager), handle)
+    """Atomically checkpoint a manager; a journaling database also gets
+    its WAL truncated and re-seeded (the checkpoint supersedes it)."""
+    write_checkpoint(path, manager_to_dict(manager))
+    _retire_wal(manager.db)
 
 
 def load_manager(path: str) -> CQManager:
-    with open(path, "r", encoding="utf-8") as handle:
-        return manager_from_dict(json.load(handle))
+    return manager_from_dict(read_checkpoint(path))
+
+
+def _retire_wal(db) -> None:
+    """After a checkpoint lands, the journal restarts from the current
+    table set; see :func:`repro.storage.wal.rebase_wal`."""
+    if db.wal is not None and not db.wal.closed:
+        from repro.storage.wal import rebase_wal
+
+        rebase_wal(db.wal, db)
 
 
 # -- CQ server serialization --------------------------------------------------
@@ -387,7 +404,7 @@ def server_from_dict(data: Dict[str, Any], network=None, metrics=None):
     from repro.relational.sql import parse_query
 
     if data.get("format") != FORMAT_VERSION or data.get("kind") != "cq_server":
-        raise ReproError(
+        raise CheckpointError(
             f"not a CQ server checkpoint (format={data.get('format')!r}, "
             f"kind={data.get('kind')!r})"
         )
@@ -424,10 +441,182 @@ def server_from_dict(data: Dict[str, Any], network=None, metrics=None):
 
 
 def save_server(server, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(server_to_dict(server), handle)
+    """Atomically checkpoint a server; a journaling database also gets
+    its WAL truncated and re-seeded (the checkpoint supersedes it)."""
+    write_checkpoint(path, server_to_dict(server))
+    _retire_wal(server.db)
+    if server.db.wal is not None and not server.db.wal.closed:
+        # Re-seed subscription events too, so the journal alone can
+        # rebuild the subscription set if the checkpoint file is lost.
+        from repro.storage.wal import KIND_SUB_REGISTER
+
+        for (client_id, cq_name), sub in server._subscriptions.items():
+            server.db.wal.log_event(
+                KIND_SUB_REGISTER,
+                client=client_id,
+                cq=cq_name,
+                sql=sub.sql_key,
+                protocol=sub.protocol.value,
+                ts=sub.last_ts,
+            )
 
 
 def load_server(path: str, network=None, metrics=None):
-    with open(path, "r", encoding="utf-8") as handle:
-        return server_from_dict(json.load(handle), network, metrics)
+    return server_from_dict(read_checkpoint(path), network, metrics)
+
+
+# -- crash recovery (checkpoint + WAL suffix) ---------------------------------
+
+
+def _replay_wal(db, wal_path: str, metrics=None):
+    """Scan + replay a journal on top of an (optionally restored) db.
+
+    Frames at or below the database clock are already covered by the
+    checkpoint the db came from. Returns the replay summary, whose
+    ``cq_events`` the manager/server recovery below re-applies at its
+    own level. Re-opens the journal for appending and attaches it."""
+    from repro.metrics import Metrics
+    from repro.storage.wal import WriteAheadLog, replay_entries, scan_wal
+
+    recovery = scan_wal(wal_path, repair=True)
+    summary = replay_entries(db, recovery.entries, base_ts=db.now())
+    if metrics:
+        metrics.count(Metrics.WAL_RECOVERED, len(recovery.entries))
+        if recovery.torn:
+            metrics.count(Metrics.WAL_TORN_TRUNCATIONS)
+    wal = WriteAheadLog(wal_path, metrics=metrics)
+    db.attach_wal(wal, journal_existing=False)
+    return summary
+
+
+def recover_manager(
+    wal_path: str,
+    checkpoint_path: Optional[str] = None,
+    metrics=None,
+) -> CQManager:
+    """Rebuild a CQ manager after a crash: checkpoint + WAL suffix.
+
+    Loads the last checkpoint when one exists, replays every journal
+    frame newer than it (tolerating a torn tail), then re-applies CQ
+    register/deregister events the checkpoint had not absorbed. A CQ
+    recovered from a journal event re-runs its initial execution over
+    the recovered state — its result stream resumes from recovery time,
+    which is the strongest guarantee available without checkpointed
+    result copies. The journal is re-opened and re-attached, so the
+    recovered manager journals exactly like the crashed one did.
+    """
+    from repro.storage.database import Database
+
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        manager = load_manager(checkpoint_path)
+    else:
+        manager = CQManager(Database(), metrics=metrics)
+    if metrics is not None:
+        manager.metrics = metrics
+    summary = _replay_wal(manager.db, wal_path, metrics=metrics)
+    # Net out the journal's lifecycle events: the last event per CQ
+    # name wins (register, or deregister = None).
+    desired: Dict[str, Optional[Dict[str, Any]]] = {}
+    for event in summary.cq_events:
+        if event["k"] == "cq_register":
+            desired[event["name"]] = event
+        elif event["k"] == "cq_deregister":
+            desired[event["name"]] = None
+    wal, manager.db.wal = manager.db.wal, None  # don't re-journal replays
+    try:
+        for name, event in desired.items():
+            if event is None:
+                manager.deregister(name)
+            elif name not in manager:
+                manager.register_query(
+                    name,
+                    event["sql"],
+                    trigger=(
+                        trigger_from_dict(event["trigger"])
+                        if event.get("trigger")
+                        else None
+                    ),
+                    stop=(
+                        _stop_from_dict(event["stop"])
+                        if event.get("stop")
+                        else None
+                    ),
+                    mode=DeliveryMode(event["mode"]),
+                    engine=Engine(event["engine"]),
+                    keep_result=event["keep_result"],
+                )
+    finally:
+        manager.db.wal = wal
+    return manager
+
+
+def recover_server(
+    wal_path: str,
+    checkpoint_path: Optional[str] = None,
+    network=None,
+    metrics=None,
+):
+    """Rebuild a CQ server after a crash: checkpoint + WAL suffix.
+
+    Subscriptions journaled after the last checkpoint are re-created
+    with their retained result reconstructed at their registration
+    timestamp when the recovered update logs still cover that window
+    (so a reconnecting client resumes differentially), and at recovery
+    time otherwise.
+    """
+    from repro.net.server import CQServer, Protocol, Subscription
+    from repro.net.simnet import SimulatedNetwork
+    from repro.delta.capture import deltas_since
+    from repro.delta.propagate import old_resolver
+    from repro.relational.evaluate import evaluate_spj
+    from repro.relational.sql import parse_query
+    from repro.storage.database import Database
+
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        server = load_server(checkpoint_path, network, metrics)
+    else:
+        server = CQServer(
+            Database(),
+            network if network is not None else SimulatedNetwork(),
+            metrics=metrics,
+        )
+    db = server.db
+    summary = _replay_wal(db, wal_path, metrics=server.metrics)
+    desired: Dict[tuple, Optional[Dict[str, Any]]] = {}
+    for event in summary.cq_events:
+        if event["k"] == "sub_register":
+            desired[(event["client"], event["cq"])] = event
+        elif event["k"] == "sub_deregister":
+            desired[(event["client"], event["cq"])] = None
+    for key, event in desired.items():
+        if event is None:
+            if key in server._subscriptions:
+                server.deregister(*key)
+            continue
+        if key in server._subscriptions:
+            continue
+        query = parse_query(event["sql"])
+        protocol = Protocol(event["protocol"])
+        if protocol in (Protocol.DRA_DELTA, Protocol.DRA_LAZY):
+            server.plans.get(query.to_sql(), query)
+        last_ts = event.get("ts", db.now())
+        tables = [db.table(name) for name in set(query.table_names)]
+        try:
+            pending = deltas_since(tables, last_ts)
+        except ValueError:
+            # The logs no longer reach back to the registration point
+            # (baseline-flattened history); resume from recovery time.
+            last_ts = db.now()
+            pending = {}
+        if pending:
+            previous = evaluate_spj(query, old_resolver(db.relation, pending))
+        else:
+            previous = evaluate_spj(query, db.relation)
+        subscription = Subscription(
+            key[0], key[1], query, protocol, last_ts, previous
+        )
+        server._subscriptions[key] = subscription
+        server.zones.register(
+            server._zone(*key), tuple(query.table_names), last_ts
+        )
+    return server

@@ -68,6 +68,14 @@ class TransactionError(StorageError):
     """Illegal transaction state transition (e.g. commit twice)."""
 
 
+class WALError(StorageError):
+    """The write-ahead log is unusable (bad header, closed, misuse)."""
+
+
+class CheckpointError(StorageError):
+    """A checkpoint file failed validation (version, checksum, shape)."""
+
+
 class DeltaError(ReproError):
     """Errors from the differential-relation layer."""
 
@@ -94,3 +102,17 @@ class SourceError(ReproError):
 
 class NetworkError(ReproError):
     """Errors from the simulated network layer."""
+
+
+class CodecError(NetworkError):
+    """A wire frame is malformed: oversized length prefix, undecodable
+    payload, or field structure that fails validation."""
+
+
+class ConnectTimeout(NetworkError):
+    """A session could not establish a connection within its total
+    deadline; ``attempts`` counts the dial attempts made."""
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts

@@ -143,6 +143,14 @@ class Metrics:
     REPLAYS = "replays"
     BACKPRESSURE_DEGRADES = "backpressure_degrades"
     RESYNCS = "resyncs"
+    # Durability and self-verification layer (WAL, digests, audits).
+    WAL_APPENDS = "wal_appends"
+    WAL_RECOVERED = "wal_recovered"
+    WAL_TORN_TRUNCATIONS = "wal_torn_truncations"
+    DIGEST_MISMATCHES = "digest_mismatches"
+    AUDITS = "audits"
+    AUDIT_DIVERGENCES = "audit_divergences"
+    CODEC_ERRORS = "codec_errors"
     # Histogram names.
     REFRESH_LATENCY_US = "refresh_latency_us"
 

@@ -22,9 +22,10 @@ import asyncio
 import random
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import NetworkError, ReproError
+from repro.errors import ConnectTimeout, NetworkError, ReproError
 from repro.relational.relation import Relation
 from repro.storage.timestamps import Timestamp
+from repro.net.digest import relation_digest
 from repro.net.messages import (
     DeltaAvailableMessage,
     DeltaMessage,
@@ -56,6 +57,9 @@ class CQClient:
         #: Deltas that arrived for a CQ this client holds no cached
         #: result for (a normal race after a client restart).
         self.stale_deltas = 0
+        #: Results whose post-apply digest did not match the server's
+        #: stamp; each one discarded the cache and triggered a resync.
+        self.digest_mismatches = 0
 
     # -- outbound ------------------------------------------------------------
 
@@ -81,9 +85,9 @@ class CQClient:
 
     def receive(self, message: Message) -> None:
         self._history.append(message)
-        if isinstance(message, InitialResultMessage):
-            self._results[message.cq_name] = message.result.copy()
-        elif isinstance(message, FullResultMessage):
+        if isinstance(message, (InitialResultMessage, FullResultMessage)):
+            if not self._verify(message.cq_name, message.result, message.digest):
+                return
             self._results[message.cq_name] = message.result.copy()
         elif isinstance(message, DeltaMessage):
             cached = self._results.get(message.cq_name)
@@ -93,19 +97,35 @@ class CQClient:
                 # the new session). Ask for the full copy instead of
                 # treating the race as a protocol error.
                 self.stale_deltas += 1
-                if self.server is not None and self._send(
-                    ResyncMessage(message.cq_name)
-                ):
-                    self.server.handle_resync(
-                        self.name, ResyncMessage(message.cq_name)
-                    )
+                self._resync(message.cq_name)
                 return
-            self._results[message.cq_name] = message.delta.apply_to(cached)
+            applied = message.delta.apply_to(cached)
+            if not self._verify(message.cq_name, applied, message.digest):
+                return
+            self._results[message.cq_name] = applied
             self._pending.pop(message.cq_name, None)
         elif isinstance(message, DeltaAvailableMessage):
             self._pending[message.cq_name] = message
         else:
             raise NetworkError(f"unexpected message {message!r}")
+
+    def _verify(self, cq_name: str, result: Relation, digest) -> bool:
+        """Check a post-apply result against the server's stamp; on
+        mismatch discard the cache, count it, and resync."""
+        if digest is None or relation_digest(result) == digest:
+            return True
+        self.digest_mismatches += 1
+        if self.server is not None:
+            from repro.metrics import Metrics
+
+            self.server.metrics.count(Metrics.DIGEST_MISMATCHES)
+        self._results.pop(cq_name, None)
+        self._resync(cq_name)
+        return False
+
+    def _resync(self, cq_name: str) -> None:
+        if self.server is not None and self._send(ResyncMessage(cq_name)):
+            self.server.handle_resync(self.name, ResyncMessage(cq_name))
 
     # -- lazy protocol --------------------------------------------------------
 
@@ -197,16 +217,47 @@ class CQSession:
         self.full_results = 0
         self.deltas_applied = 0
         self.lazy_notices = 0
+        self.digest_mismatches = 0
+        self.connect_attempts = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     async def connect(self, timeout: float = 10.0) -> None:
-        """Dial and handshake; starts the background reader."""
+        """Dial and handshake; starts the background reader.
+
+        ``timeout`` is a *total* deadline spanning every dial attempt
+        and backoff sleep, not a per-attempt budget. On expiry — or as
+        soon as the retry loop exhausts ``max_attempts``, whichever
+        comes first — the session is torn down and
+        :class:`~repro.errors.ConnectTimeout` reports how many dial
+        attempts were made, so callers can retry cleanly.
+        """
         if self._task is not None:
             raise NetworkError(f"session {self.client_id!r} already running")
         self._closing = False
+        self.connect_attempts = 0
         self._task = asyncio.ensure_future(self._run())
-        await self._wait_for(lambda: self.connected, timeout)
+        try:
+            await self._wait_for(
+                lambda: self.connected or self._task.done(), timeout
+            )
+        except NetworkError:
+            await self.close()
+            raise ConnectTimeout(
+                f"session {self.client_id!r} could not connect to "
+                f"{self.host}:{self.port} within {timeout}s "
+                f"({self.connect_attempts} attempts)",
+                attempts=self.connect_attempts,
+            ) from None
+        if not self.connected:
+            # The retry loop gave up (max_attempts) before the deadline.
+            await self.close()
+            raise ConnectTimeout(
+                f"session {self.client_id!r} gave up connecting to "
+                f"{self.host}:{self.port} after "
+                f"{self.connect_attempts} attempts",
+                attempts=self.connect_attempts,
+            )
 
     async def close(self) -> None:
         self._closing = True
@@ -304,6 +355,7 @@ class CQSession:
         await self._conn.send(message)
 
     async def _dial(self) -> None:
+        self.connect_attempts += 1
         conn = await self.transport.connect(self.host, self.port)
         await conn.send(HelloMessage(self.client_id, dict(self.applied)))
         ack = await conn.recv()
@@ -357,6 +409,10 @@ class CQSession:
 
     async def _handle(self, message: Message) -> None:
         if isinstance(message, (InitialResultMessage, FullResultMessage)):
+            if not await self._verify(
+                message.cq_name, message.result, message.digest
+            ):
+                return
             self._results[message.cq_name] = message.result.copy()
             self.applied[message.cq_name] = message.ts
             if isinstance(message, FullResultMessage):
@@ -368,13 +424,18 @@ class CQSession:
                 await self._send(ResyncMessage(message.cq_name))
                 return
             try:
-                self._results[message.cq_name] = message.delta.apply_to(cached)
+                applied = message.delta.apply_to(cached)
             except (KeyError, ReproError):
                 # Our cache diverged from what the server believes we
                 # hold (lost frames); a full copy resynchronizes.
                 self.stale_deltas += 1
                 await self._send(ResyncMessage(message.cq_name))
                 return
+            if not await self._verify(
+                message.cq_name, applied, message.digest
+            ):
+                return
+            self._results[message.cq_name] = applied
             self.applied[message.cq_name] = message.ts
             self.deltas_applied += 1
         elif isinstance(message, DeltaAvailableMessage):
@@ -388,6 +449,17 @@ class CQSession:
             )
         # HelloAck outside the handshake and anything unknown: ignore.
         self._notify()
+
+    async def _verify(self, cq_name: str, result: Relation, digest) -> bool:
+        """Compare a post-apply result against the server's digest
+        stamp; on mismatch discard the cached copy (it is provably not
+        what the server shipped from) and request a full resync."""
+        if digest is None or relation_digest(result) == digest:
+            return True
+        self.digest_mismatches += 1
+        self._results.pop(cq_name, None)
+        await self._send(ResyncMessage(cq_name))
+        return False
 
     def __repr__(self) -> str:
         state = "connected" if self.connected else "disconnected"

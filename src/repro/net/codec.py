@@ -23,7 +23,7 @@ import json
 import struct
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
-from repro.errors import NetworkError
+from repro.errors import CodecError, NetworkError
 from repro.relational.relation import Relation, Tid, Values
 from repro.relational.schema import Schema
 from repro.relational.types import AttributeType
@@ -44,8 +44,9 @@ from repro.net.messages import (
 )
 
 #: Frames above this are rejected: a length prefix this large is far
-#: more likely stream corruption than a legitimate payload.
-MAX_FRAME_BYTES = 64 * 1024 * 1024
+#: more likely stream corruption than a legitimate payload. Decoders
+#: accept a per-instance override for deployments with bigger results.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _LENGTH = struct.Struct(">I")
 
@@ -134,15 +135,30 @@ _TO_JSON: Dict[Type[Message], Tuple[str, Callable[[Message], Dict[str, Any]]]] =
     ),
     InitialResultMessage: (
         "initial_result",
-        lambda m: {"cq": m.cq_name, "result": _relation_to_json(m.result), "ts": m.ts},
+        lambda m: {
+            "cq": m.cq_name,
+            "result": _relation_to_json(m.result),
+            "ts": m.ts,
+            "dg": m.digest,
+        },
     ),
     FullResultMessage: (
         "full_result",
-        lambda m: {"cq": m.cq_name, "result": _relation_to_json(m.result), "ts": m.ts},
+        lambda m: {
+            "cq": m.cq_name,
+            "result": _relation_to_json(m.result),
+            "ts": m.ts,
+            "dg": m.digest,
+        },
     ),
     DeltaMessage: (
         "delta",
-        lambda m: {"cq": m.cq_name, "delta": _delta_to_json(m.delta), "ts": m.ts},
+        lambda m: {
+            "cq": m.cq_name,
+            "delta": _delta_to_json(m.delta),
+            "ts": m.ts,
+            "dg": m.digest,
+        },
     ),
     DeltaAvailableMessage: (
         "delta_available",
@@ -178,12 +194,14 @@ _TO_JSON: Dict[Type[Message], Tuple[str, Callable[[Message], Dict[str, Any]]]] =
 _FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Message]] = {
     "register": lambda d: RegisterMessage(d["cq"], d["sql"], d.get("protocol")),
     "initial_result": lambda d: InitialResultMessage(
-        d["cq"], _relation_from_json(d["result"]), d["ts"]
+        d["cq"], _relation_from_json(d["result"]), d["ts"], d.get("dg")
     ),
     "full_result": lambda d: FullResultMessage(
-        d["cq"], _relation_from_json(d["result"]), d["ts"]
+        d["cq"], _relation_from_json(d["result"]), d["ts"], d.get("dg")
     ),
-    "delta": lambda d: DeltaMessage(d["cq"], _delta_from_json(d["delta"]), d["ts"]),
+    "delta": lambda d: DeltaMessage(
+        d["cq"], _delta_from_json(d["delta"]), d["ts"], d.get("dg")
+    ),
     "delta_available": lambda d: DeltaAvailableMessage(
         d["cq"], d["ts"], d["entries"], d["pending"]
     ),
@@ -213,19 +231,25 @@ def encode_payload(message: Message) -> bytes:
 
 
 def decode_payload(payload: bytes) -> Message:
-    """Rebuild a message from one JSON payload."""
+    """Rebuild a message from one JSON payload.
+
+    Raises :class:`~repro.errors.CodecError` (a ``NetworkError``
+    subtype, so existing handlers keep working) on undecodable JSON,
+    unknown tags, or field structure that fails validation. The frame
+    *boundary* is still intact in these cases — callers that own a
+    stream may count the error and continue with the next frame."""
     try:
         body = json.loads(payload.decode("utf-8"))
         tag = body["t"]
         from_json = _FROM_JSON[tag]
-    except (ValueError, KeyError, UnicodeDecodeError) as exc:
-        raise NetworkError(f"undecodable frame payload: {exc}") from exc
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise CodecError(f"undecodable frame payload: {exc}") from exc
     try:
         return from_json(body)
     except NetworkError:
         raise
     except Exception as exc:  # malformed field structure or bad values
-        raise NetworkError(f"malformed {tag!r} frame: {exc}") from exc
+        raise CodecError(f"malformed {tag!r} frame: {exc}") from exc
 
 
 def encode_frame(message: Message) -> bytes:
@@ -249,10 +273,21 @@ class FrameDecoder:
     Feed arbitrary chunks (as a socket delivers them); complete
     messages come out in order. Partial frames are buffered until the
     rest arrives.
+
+    Hardened against hostile or damaged input: a length prefix above
+    ``max_frame_bytes`` means stream framing is lost (everything after
+    it is unparseable) and raises :class:`~repro.errors.CodecError`; a
+    frame whose *payload* is malformed but whose boundary is intact is
+    counted in :attr:`errors` and skipped, and decoding continues with
+    the next frame — one poisoned message does not tear down the
+    stream.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
         self._buffer = bytearray()
+        self.max_frame_bytes = max_frame_bytes
+        #: Malformed-but-framed payloads skipped so far.
+        self.errors = 0
 
     def feed(self, data: bytes) -> List[Message]:
         self._buffer.extend(data)
@@ -261,17 +296,20 @@ class FrameDecoder:
             if len(self._buffer) < _LENGTH.size:
                 return out
             (length,) = _LENGTH.unpack_from(self._buffer)
-            if length > MAX_FRAME_BYTES:
-                raise NetworkError(
-                    f"frame length {length} exceeds MAX_FRAME_BYTES "
-                    "(corrupted stream?)"
+            if length > self.max_frame_bytes:
+                raise CodecError(
+                    f"frame length {length} exceeds max_frame_bytes "
+                    f"{self.max_frame_bytes} (corrupted stream?)"
                 )
             end = _LENGTH.size + length
             if len(self._buffer) < end:
                 return out
             payload = bytes(self._buffer[_LENGTH.size : end])
             del self._buffer[:end]
-            out.append(decode_payload(payload))
+            try:
+                out.append(decode_payload(payload))
+            except CodecError:
+                self.errors += 1
 
     def pending_bytes(self) -> int:
         return len(self._buffer)

@@ -1,0 +1,51 @@
+"""Order-insensitive digests of query results.
+
+Every result-bearing frame the server ships (initial, full, delta) is
+stamped with a digest of the *post-apply* retained result. A client
+applies the frame, digests its own copy, and compares: any divergence —
+a lost frame the server believed delivered, a bit flip the codec let
+through, a server-side bug — is detected at the moment it happens
+instead of surfacing as silently wrong results.
+
+The digest must be order-insensitive because a relation is a tid-keyed
+set: two copies holding the same rows are equal regardless of iteration
+order. Each row (tid + values) hashes independently through BLAKE2b and
+the per-row hashes are XOR-folded; the row count rides along so results
+that XOR to the same value with different cardinalities (e.g. a row
+present twice vs. absent) still differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.relational.relation import Relation, Tid
+
+
+def _canon_tid(tid: Tid) -> Any:
+    """Tids are ints or nested tuples (join provenance); canonicalize
+    tuples to lists for a deterministic JSON form."""
+    if isinstance(tid, tuple):
+        return [_canon_tid(part) for part in tid]
+    return tid
+
+
+def row_digest(tid: Tid, values) -> int:
+    payload = json.dumps(
+        [_canon_tid(tid), list(values)], separators=(",", ":")
+    ).encode("utf-8")
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "big"
+    )
+
+
+def relation_digest(relation: Relation) -> str:
+    """A compact, order-insensitive fingerprint: ``<count>:<xor-hex>``."""
+    acc = 0
+    count = 0
+    for row in relation:
+        acc ^= row_digest(row.tid, row.values)
+        count += 1
+    return f"{count}:{acc:016x}"

@@ -79,24 +79,47 @@ class RegisterMessage(Message):
 
 
 class InitialResultMessage(Message):
-    """Server -> client: E_0, the complete first result."""
+    """Server -> client: E_0, the complete first result.
 
-    def __init__(self, cq_name: str, result: Relation, ts: int):
+    ``digest`` (when stamped) is the order-insensitive fingerprint of
+    the shipped result (:func:`repro.net.digest.relation_digest`); the
+    client verifies its copy against it after storing."""
+
+    def __init__(
+        self,
+        cq_name: str,
+        result: Relation,
+        ts: int,
+        digest: Optional[str] = None,
+    ):
         self.cq_name = cq_name
         self.result = result
         self.ts = ts
+        self.digest = digest
 
     def __repr__(self) -> str:
         return f"InitialResultMessage({self.cq_name!r}, {len(self.result)} rows)"
 
 
 class DeltaMessage(Message):
-    """Server -> client: the differential refresh (the DRA protocol)."""
+    """Server -> client: the differential refresh (the DRA protocol).
 
-    def __init__(self, cq_name: str, delta: DeltaRelation, ts: int):
+    ``digest`` fingerprints the *post-apply* retained result: the state
+    the client's cached copy must reach after applying this delta. A
+    mismatch after apply means the client's copy had silently diverged
+    (or the frame was corrupted) — it discards the copy and resyncs."""
+
+    def __init__(
+        self,
+        cq_name: str,
+        delta: DeltaRelation,
+        ts: int,
+        digest: Optional[str] = None,
+    ):
         self.cq_name = cq_name
         self.delta = delta
         self.ts = ts
+        self.digest = digest
 
     def __repr__(self) -> str:
         return f"DeltaMessage({self.cq_name!r}, {self.delta!r})"
@@ -135,10 +158,17 @@ class FullResultMessage(Message):
     """Server -> client: a complete refreshed result (naive protocol,
     or the replay fallback when GC has passed a resuming client)."""
 
-    def __init__(self, cq_name: str, result: Relation, ts: int):
+    def __init__(
+        self,
+        cq_name: str,
+        result: Relation,
+        ts: int,
+        digest: Optional[str] = None,
+    ):
         self.cq_name = cq_name
         self.result = result
         self.ts = ts
+        self.digest = digest
 
     def __repr__(self) -> str:
         return f"FullResultMessage({self.cq_name!r}, {len(self.result)} rows)"

@@ -30,6 +30,7 @@ from repro.dra.algorithm import dra_execute
 from repro.dra.prepared import PlanCache, PreparedCQ
 from repro.core.gc import ActiveDeltaZones
 from repro.core.scheduler import DeltaBatchCache
+from repro.net.digest import relation_digest
 from repro.net.messages import (
     DeltaAvailableMessage,
     DeltaMessage,
@@ -119,6 +120,7 @@ class CQServer:
         metrics: Optional[Metrics] = None,
         share_evaluation: bool = False,
         share_deltas: bool = True,
+        audit_interval: int = 0,
     ):
         self.db = db
         self.network = network
@@ -126,6 +128,12 @@ class CQServer:
         self.metrics = metrics if metrics is not None else Metrics()
         self.share_evaluation = share_evaluation
         self.share_deltas = share_deltas
+        #: Sampled self-audit: every ``audit_interval``-th differential
+        #: refresh also runs a full re-evaluation and compares digests,
+        #: counting (and healing) any divergence between the maintained
+        #: copy and the ground truth. 0 disables the audit.
+        self.audit_interval = audit_interval
+        self._refreshes_since_audit = 0
         #: Prepared plans keyed by canonical query SQL: identical
         #: subscriptions from different clients share one compiled
         #: plan, revalidated against the catalog on every use.
@@ -262,8 +270,22 @@ class CQServer:
             tuple(query.table_names),
             now,
         )
+        if self.db.wal is not None:
+            from repro.storage.wal import KIND_SUB_REGISTER
+
+            self.db.wal.log_event(
+                KIND_SUB_REGISTER,
+                client=client_id,
+                cq=message.cq_name,
+                sql=subscription.sql_key,
+                protocol=protocol.value,
+                ts=now,
+            )
         self._deliver(
-            client_id, InitialResultMessage(message.cq_name, result, now)
+            client_id,
+            InitialResultMessage(
+                message.cq_name, result, now, relation_digest(result)
+            ),
         )
         return subscription
 
@@ -274,6 +296,12 @@ class CQServer:
                 f"no subscription {cq_name!r} for client {client_id!r}"
             )
         self.zones.remove(self._zone(client_id, cq_name))
+        if self.db.wal is not None:
+            from repro.storage.wal import KIND_SUB_DEREGISTER
+
+            self.db.wal.log_event(
+                KIND_SUB_DEREGISTER, client=client_id, cq=cq_name
+            )
 
     def subscriptions(self) -> List[Subscription]:
         return list(self._subscriptions.values())
@@ -353,12 +381,42 @@ class CQServer:
         subscription.previous_result = result.delta.apply_to(
             subscription.previous_result
         )
+        self._maybe_audit(subscription)
         delivered = self._deliver(
             subscription.client_id,
-            DeltaMessage(subscription.cq_name, result.delta, now),
+            DeltaMessage(
+                subscription.cq_name,
+                result.delta,
+                now,
+                relation_digest(subscription.previous_result),
+            ),
         )
         self._note_refresh(subscription, delivered)
         return delivered
+
+    def _maybe_audit(self, subscription: Subscription) -> None:
+        """Sampled self-verification of the maintained retained copy.
+
+        Every ``audit_interval``-th differential refresh re-runs the
+        query from scratch and compares digests. A divergence means the
+        incremental path drifted from ground truth (the failure class
+        digests exist to catch); it is counted and the retained copy is
+        healed to the re-evaluated result, so the *next* delta the
+        client applies will digest-mismatch and trigger its resync.
+        """
+        if not self.audit_interval:
+            return
+        self._refreshes_since_audit += 1
+        if self._refreshes_since_audit < self.audit_interval:
+            return
+        self._refreshes_since_audit = 0
+        self.metrics.count(Metrics.AUDITS)
+        truth = self.db.query(subscription.query)
+        if relation_digest(truth) != relation_digest(
+            subscription.previous_result
+        ):
+            self.metrics.count(Metrics.AUDIT_DIVERGENCES)
+            subscription.previous_result = truth
 
     def handle_fetch(self, client_id: str, message: FetchMessage) -> bool:
         """Ship a lazy subscription's accumulated delta; returns True
@@ -377,7 +435,12 @@ class CQServer:
         )
         delivered = self._deliver(
             client_id,
-            DeltaMessage(subscription.cq_name, pending, subscription.last_ts),
+            DeltaMessage(
+                subscription.cq_name,
+                pending,
+                subscription.last_ts,
+                relation_digest(subscription.previous_result),
+            ),
         )
         self._note_refresh(subscription, delivered)
         return delivered
@@ -397,6 +460,7 @@ class CQServer:
                 subscription.cq_name,
                 subscription.previous_result,
                 subscription.last_ts,
+                relation_digest(subscription.previous_result),
             ),
         )
 
@@ -439,7 +503,12 @@ class CQServer:
                 tuple(subscription.query.table_names),
                 since_ts,
             )
-            self._deliver(client_id, FullResultMessage(cq_name, result, now))
+            self._deliver(
+                client_id,
+                FullResultMessage(
+                    cq_name, result, now, relation_digest(result)
+                ),
+            )
             return False
         # Realign the server's retained copy to state(now) over its own
         # (narrower) window first: previous_result is at last_ts, with
@@ -482,8 +551,16 @@ class CQServer:
             since_ts,
         )
         if not replayed.delta.is_empty():
+            # The post-apply state of the *client's* copy is the same
+            # realigned current result the server now retains.
             self._deliver(
-                client_id, DeltaMessage(cq_name, replayed.delta, now)
+                client_id,
+                DeltaMessage(
+                    cq_name,
+                    replayed.delta,
+                    now,
+                    relation_digest(subscription.previous_result),
+                ),
             )
         return True
 
@@ -540,9 +617,15 @@ class CQServer:
                 self._note_refresh(subscription, True)
                 return False
             subscription.previous_result = result.complete_result()
+            self._maybe_audit(subscription)
             delivered = self._deliver(
                 subscription.client_id,
-                DeltaMessage(subscription.cq_name, result.delta, now),
+                DeltaMessage(
+                    subscription.cq_name,
+                    result.delta,
+                    now,
+                    relation_digest(subscription.previous_result),
+                ),
             )
             self._note_refresh(subscription, delivered)
             return delivered
@@ -557,7 +640,12 @@ class CQServer:
             subscription.previous_result = new_result
             delivered = self._deliver(
                 subscription.client_id,
-                DeltaMessage(subscription.cq_name, delta, now),
+                DeltaMessage(
+                    subscription.cq_name,
+                    delta,
+                    now,
+                    relation_digest(new_result),
+                ),
             )
             self._note_refresh(subscription, delivered)
             return delivered
@@ -568,7 +656,9 @@ class CQServer:
         subscription.previous_result = new_result
         delivered = self._deliver(
             subscription.client_id,
-            FullResultMessage(subscription.cq_name, new_result, now),
+            FullResultMessage(
+                subscription.cq_name, new_result, now, relation_digest(new_result)
+            ),
         )
         self._note_refresh(subscription, delivered)
         return delivered
@@ -624,6 +714,13 @@ class CQServer:
             f"bytes_sent={m.get(Metrics.BYTES_SENT)} "
             f"messages_dropped={m.get(Metrics.MESSAGES_DROPPED)} "
             f"backpressure_degrades={m.get(Metrics.BACKPRESSURE_DEGRADES)}"
+            f"\ndurability: wal_appends={m.get(Metrics.WAL_APPENDS)} "
+            f"wal_recovered={m.get(Metrics.WAL_RECOVERED)} "
+            f"wal_torn_truncations={m.get(Metrics.WAL_TORN_TRUNCATIONS)} "
+            f"digest_mismatches={m.get(Metrics.DIGEST_MISMATCHES)} "
+            f"audits={m.get(Metrics.AUDITS)} "
+            f"audit_divergences={m.get(Metrics.AUDIT_DIVERGENCES)} "
+            f"codec_errors={m.get(Metrics.CODEC_ERRORS)}"
         )
         return report
 

@@ -212,11 +212,23 @@ class CQService:
         injector: Optional[FaultInjector] = None,
         server: Optional[CQServer] = None,
         share_evaluation: bool = False,
+        durability=None,
+        audit_interval: int = 0,
     ):
         self.db = db
         self.metrics = metrics if metrics is not None else (
             server.metrics if server is not None else Metrics()
         )
+        #: ``durability=`` accepts a WriteAheadLog or a path; commits
+        #: and subscription register/deregister events journal through
+        #: it, and :meth:`CQService.recover` rebuilds a crashed service
+        #: from the journal (plus the latest checkpoint, if any).
+        if durability is not None and db.wal is None:
+            if isinstance(durability, str):
+                from repro.storage.wal import WriteAheadLog
+
+                durability = WriteAheadLog(durability, metrics=self.metrics)
+            db.attach_wal(durability)
         if server is None:
             # Message-level accounting still flows through a (lossless,
             # zero-latency) simulated network; the wire-level truth is
@@ -227,7 +239,10 @@ class CQService:
                 name=name,
                 metrics=self.metrics,
                 share_evaluation=share_evaluation,
+                audit_interval=audit_interval,
             )
+        elif audit_interval and not server.audit_interval:
+            server.audit_interval = audit_interval
         self.server = server
         self.host = host
         self.port = port
@@ -242,6 +257,30 @@ class CQService:
         self._known_clients = set()
 
     # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        wal_path: str,
+        checkpoint_path: Optional[str] = None,
+        metrics: Optional[Metrics] = None,
+        **kwargs,
+    ) -> "CQService":
+        """Rebuild a crashed service from its journal (+ checkpoint).
+
+        Replays the write-ahead log on top of the latest checkpoint
+        (tolerating a torn tail), re-creates journaled subscriptions,
+        and returns a service ready to :meth:`start` — reconnecting
+        sessions then resume differentially through the normal
+        Hello/replay handshake. ``kwargs`` pass through to the
+        constructor (host, port, heartbeat_interval, ...)."""
+        from repro.core.persistence import recover_server
+
+        metrics = metrics if metrics is not None else Metrics()
+        server = recover_server(
+            wal_path, checkpoint_path=checkpoint_path, metrics=metrics
+        )
+        return cls(server.db, metrics=metrics, server=server, **kwargs)
 
     async def start(self) -> Tuple[str, int]:
         """Bind and listen; returns the bound (host, port)."""
@@ -322,11 +361,18 @@ class CQService:
             sub.protocol = Protocol.DRA_DELTA
             pending = sub.pending_delta
             if pending is not None and not pending.is_empty():
+                from repro.net.digest import relation_digest
+
                 sub.pending_delta = None
                 sub.previous_result = pending.apply_to(sub.previous_result)
                 self.server._deliver(
                     session.client_id,
-                    DeltaMessage(sub.cq_name, pending, sub.last_ts),
+                    DeltaMessage(
+                        sub.cq_name,
+                        pending,
+                        sub.last_ts,
+                        relation_digest(sub.previous_result),
+                    ),
                 )
         session.degraded.clear()
 

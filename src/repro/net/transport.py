@@ -20,7 +20,7 @@ import asyncio
 import random
 from typing import Callable, List, Optional, Tuple
 
-from repro.errors import NetworkError
+from repro.errors import CodecError, NetworkError
 from repro.metrics import Metrics
 from repro.net.codec import MAX_FRAME_BYTES, _LENGTH, decode_payload, encode_frame
 from repro.net.messages import Message
@@ -132,6 +132,10 @@ class FrameConnection:
         self.injector = injector
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Malformed frames skipped on this connection (intact framing,
+        #: undecodable payload). Oversized length prefixes are fatal
+        #: instead — framing is lost — and close the connection.
+        self.codec_errors = 0
         self.closed = False
         if injector is not None:
             injector.register(self)
@@ -156,20 +160,37 @@ class FrameConnection:
         return len(frame)
 
     async def recv(self) -> Optional[Message]:
-        """Read one message; None on clean or abrupt EOF."""
-        try:
-            prefix = await self._reader.readexactly(_LENGTH.size)
-            (length,) = _LENGTH.unpack(prefix)
-            if length > MAX_FRAME_BYTES:
-                raise NetworkError(
-                    f"frame length {length} exceeds MAX_FRAME_BYTES"
-                )
-            payload = await self._reader.readexactly(length)
-        except (asyncio.IncompleteReadError, ConnectionError, OSError):
-            self.closed = True
-            return None
-        self.bytes_received += len(payload) + _LENGTH.size
-        return decode_payload(payload)
+        """Read one message; None on clean or abrupt EOF.
+
+        A malformed payload inside an intact frame is counted
+        (``codec_errors``) and skipped — the read loop continues with
+        the next frame instead of tearing the session down. An
+        oversized length prefix means framing is lost: the connection
+        closes (returns None) after counting the error, because no
+        later byte can be trusted as a frame boundary."""
+        while True:
+            try:
+                prefix = await self._reader.readexactly(_LENGTH.size)
+                (length,) = _LENGTH.unpack(prefix)
+                if length > MAX_FRAME_BYTES:
+                    self._count_codec_error()
+                    self.close()
+                    return None
+                payload = await self._reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                self.closed = True
+                return None
+            self.bytes_received += len(payload) + _LENGTH.size
+            try:
+                return decode_payload(payload)
+            except CodecError:
+                self._count_codec_error()
+                continue
+
+    def _count_codec_error(self) -> None:
+        self.codec_errors += 1
+        if self.metrics:
+            self.metrics.count(Metrics.CODEC_ERRORS)
 
     def abort(self) -> None:
         """Drop the connection without flushing (simulates a cut link)."""

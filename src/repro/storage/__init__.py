@@ -14,8 +14,12 @@ from repro.storage.table import Table
 from repro.storage.timestamps import EPOCH, LogicalClock, Timestamp
 from repro.storage.transactions import Transaction
 from repro.storage.update_log import UpdateKind, UpdateLog, UpdateRecord
+from repro.storage.wal import WriteAheadLog, recover_database, scan_wal
 
 __all__ = [
+    "WriteAheadLog",
+    "recover_database",
+    "scan_wal",
     "Database",
     "EPOCH",
     "LogicalClock",

@@ -2,7 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import DuplicateTableError, NoSuchTableError
 from repro.metrics import Metrics
@@ -17,15 +27,56 @@ from repro.storage.table import Observer, Table
 from repro.storage.timestamps import LogicalClock, Timestamp
 from repro.storage.transactions import Transaction
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.wal import WriteAheadLog
+
 Query = Union[SPJQuery, AggregateQuery]
 
 
 class Database:
-    """A collection of tables, a shared clock, and query entry points."""
+    """A collection of tables, a shared clock, and query entry points.
 
-    def __init__(self, clock: Optional[LogicalClock] = None):
+    ``durability`` turns on write-ahead logging: pass a
+    :class:`~repro.storage.wal.WriteAheadLog` (or a path string, which
+    opens one with the ``fsync`` policy — default ``batch``) and every
+    commit is journaled before it is applied. Recover a crashed
+    database with :func:`repro.storage.wal.recover_database`.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[LogicalClock] = None,
+        durability: Union["WriteAheadLog", str, None] = None,
+        fsync: str = "batch",
+    ):
         self.clock = clock or LogicalClock()
         self._tables: Dict[str, Table] = {}
+        self.wal: Optional["WriteAheadLog"] = None
+        if durability is not None:
+            if isinstance(durability, str):
+                from repro.storage.wal import WriteAheadLog
+
+                durability = WriteAheadLog(durability, fsync=fsync)
+            self.attach_wal(durability)
+
+    # -- durability --------------------------------------------------------
+
+    def attach_wal(self, wal: "WriteAheadLog", journal_existing: bool = True) -> None:
+        """Journal all future commits (and table DDL) through ``wal``.
+
+        With ``journal_existing`` (the default) a creation frame is
+        journaled for every table already in the catalog, so a journal
+        attached to a populated database still replays standalone.
+        Recovery passes ``journal_existing=False``: the restored tables
+        came *from* the journal (or from a checkpoint that supersedes
+        it) and must not be re-journaled.
+        """
+        self.wal = wal
+        for table in self._tables.values():
+            table.wal = wal
+            if journal_existing:
+                wal.log_create_table(table)
+                wal.log_baseline(table, self.now())
 
     # -- catalog ----------------------------------------------------------
 
@@ -46,11 +97,16 @@ class Database:
         for columns in indexes:
             table.create_index(columns)
         self._tables[name] = table
+        table.wal = self.wal
+        if self.wal is not None:
+            self.wal.log_create_table(table)
         return table
 
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise NoSuchTableError(f"no table {name!r}")
+        if self.wal is not None:
+            self.wal.log_drop_table(name)
         del self._tables[name]
 
     def table(self, name: str) -> Table:

@@ -31,6 +31,9 @@ class Table:
         self.current = Relation(schema)
         self.indexes = IndexSet()
         self.log = UpdateLog()
+        #: Set by the owning Database when durability is on; commits
+        #: journal through it before they apply.
+        self.wal = None
         self._observers: List[Observer] = []
         self._next_tid = 1
 

@@ -154,6 +154,17 @@ class Transaction:
                 for kind, tid, old, new in pending.ops
             ]
             per_table.append((pending.table, records))
+        # Write-ahead: journal every record before any of them applies,
+        # then hit one durability barrier for the whole transaction. A
+        # crash after the barrier replays the commit; a crash before it
+        # loses an unacknowledged commit — never half of one.
+        barrier_wal = None
+        for table, records in per_table:
+            if table.wal is not None and records:
+                table.wal.log_commit(table.name, records)
+                barrier_wal = table.wal
+        if barrier_wal is not None:
+            barrier_wal.commit_barrier()
         for table, records in per_table:
             table.apply_committed(records)
         # Observers run after *all* tables are consistent, so a CQ

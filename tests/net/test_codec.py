@@ -7,7 +7,7 @@ deltas mixing inserts, deletes, and modifies.
 
 import pytest
 
-from repro.errors import NetworkError
+from repro.errors import CodecError, NetworkError
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.types import AttributeType
@@ -73,6 +73,11 @@ EVERY_MESSAGE = [
     InitialResultMessage("watch", sample_relation(), ts=5),
     FullResultMessage("watch", sample_relation(), ts=6),
     DeltaMessage("watch", sample_delta(), ts=7),
+    # Digest-stamped variants: the self-verification digest must
+    # survive the wire (older peers simply leave it None).
+    InitialResultMessage("watch", sample_relation(), 5, "3:00deadbeef001234"),
+    FullResultMessage("watch", sample_relation(), 6, "3:00deadbeef001234"),
+    DeltaMessage("watch", sample_delta(), 7, "2:00deadbeef005678"),
     DeltaAvailableMessage("watch", ts=8, entry_count=12, pending_bytes=456),
     FetchMessage("watch"),
     ResyncMessage("watch"),
@@ -175,3 +180,109 @@ class TestMalformedInput:
         bogus = (MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"x"
         with pytest.raises(NetworkError):
             FrameDecoder().feed(bogus)
+
+
+class TestHardening:
+    """Damaged input must be *contained*: a malformed payload inside an
+    intact frame is counted and skipped; only a corrupted length prefix
+    (framing lost) is fatal. Every error is a typed ``CodecError``, a
+    ``NetworkError`` subtype, so existing handlers keep working."""
+
+    def test_errors_are_typed_codec_errors(self):
+        with pytest.raises(CodecError):
+            decode_payload(b"{truncated json")
+        with pytest.raises(CodecError):
+            decode_payload(b'{"t":"delta","cq":"q"}')
+        with pytest.raises(CodecError):
+            FrameDecoder().feed((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        assert issubclass(CodecError, NetworkError)
+
+    def test_truncated_payload_in_intact_frame_is_skipped(self):
+        good = encode_frame(HeartbeatMessage(1))
+        payload = encode_payload(FetchMessage("q"))[:-4]  # torn JSON
+        bad = len(payload).to_bytes(4, "big") + payload
+        decoder = FrameDecoder()
+        out = decoder.feed(bad + good)
+        # The poisoned frame is counted; the stream continues.
+        assert decoder.errors == 1
+        assert [type(m) for m in out] == [HeartbeatMessage]
+
+    def test_bit_flipped_frame_is_skipped_stream_survives(self):
+        frames = [
+            encode_frame(HeartbeatMessage(1)),
+            encode_frame(FetchMessage("q")),
+            encode_frame(HeartbeatMessage(2)),
+        ]
+        # Flip a payload byte in the middle frame (length prefix kept
+        # intact so framing survives).
+        middle = bytearray(frames[1])
+        middle[6] ^= 0xFF
+        decoder = FrameDecoder()
+        out = decoder.feed(frames[0] + bytes(middle) + frames[2])
+        assert decoder.errors == 1
+        assert [m.ts for m in out if isinstance(m, HeartbeatMessage)] == [1, 2]
+
+    def test_every_bit_flip_is_detected_or_harmless(self):
+        """Flip each payload byte of one frame in turn: the decoder
+        either skips it (counted) or decodes a well-formed message —
+        it never raises and never stalls the stream."""
+        frame = encode_frame(HeartbeatMessage(7))
+        trailer = encode_frame(FetchMessage("q"))
+        for i in range(4, len(frame)):  # payload bytes only
+            damaged = bytearray(frame)
+            damaged[i] ^= 0x40
+            decoder = FrameDecoder()
+            out = decoder.feed(bytes(damaged) + trailer)
+            assert decoder.errors in (0, 1)
+            assert type(out[-1]) is FetchMessage
+
+    def test_custom_frame_limit(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        with pytest.raises(CodecError):
+            decoder.feed((65).to_bytes(4, "big") + b"x" * 65)
+        small = encode_frame(HeartbeatMessage(1))
+        assert len(small) - 4 <= 64
+        assert FrameDecoder(max_frame_bytes=64).feed(small)[0].ts == 1
+
+    def test_frameconnection_counts_codec_errors(self):
+        """Over a real socket pair: a poisoned frame is skipped and
+        counted on the connection; later frames still arrive."""
+        import asyncio
+
+        from repro.net.transport import TcpTransport
+
+        async def scenario():
+            received = []
+            done = asyncio.Event()
+
+            async def on_connection(conn):
+                while True:
+                    message = await conn.recv()
+                    if message is None:
+                        break
+                    received.append(message)
+                    if len(received) == 2:
+                        done.set()
+                server_conns.append(conn)
+
+            server_conns = []
+            transport = TcpTransport()
+            server, (host, port) = await transport.serve(
+                "127.0.0.1", 0, on_connection
+            )
+            conn = await transport.connect(host, port)
+            await conn.send(HeartbeatMessage(1))
+            # Hand-forged poisoned frame: intact framing, broken JSON.
+            payload = b'{"t":"delta","cq":"q"}'
+            conn._writer.write(len(payload).to_bytes(4, "big") + payload)
+            await conn._writer.drain()
+            await conn.send(HeartbeatMessage(2))
+            await asyncio.wait_for(done.wait(), 5)
+            conn.close()
+            await conn.wait_closed()
+            server.close()
+            await server.wait_closed()
+            assert [m.ts for m in received] == [1, 2]
+            assert server_conns[0].codec_errors == 1
+
+        asyncio.run(scenario())

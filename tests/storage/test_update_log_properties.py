@@ -1,0 +1,117 @@
+"""Property-based tests for the per-table update log.
+
+``since`` and ``prune_before`` implement the active-delta-zone
+contract (paper Section 5.4): ``since(ts)`` returns exactly the
+records newer than ``ts``, and pruning below every reader's window
+never changes any legal read. Hypothesis drives both over arbitrary
+non-decreasing timestamp sequences — including empty windows,
+duplicate timestamps, and prune points past the latest record, the
+edges a handful of example tests always miss.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.update_log import UpdateKind, UpdateLog, UpdateRecord
+
+
+def make_log(timestamps):
+    """A log with one insert per timestamp (sorted to commit order)."""
+    log = UpdateLog()
+    for i, ts in enumerate(sorted(timestamps)):
+        log.append(
+            UpdateRecord(UpdateKind.INSERT, i, None, (i,), ts, txn_id=i)
+        )
+    return log
+
+
+# Small bounded ints force frequent duplicate timestamps.
+timestamp_lists = st.lists(st.integers(min_value=1, max_value=20), max_size=30)
+probe_ts = st.integers(min_value=0, max_value=25)
+
+
+class TestSince:
+    @given(timestamps=timestamp_lists, ts=probe_ts)
+    def test_since_is_exactly_the_records_after_ts(self, timestamps, ts):
+        log = make_log(timestamps)
+        expected = [r for r in log if r.ts > ts]
+        assert log.since(ts) == expected
+
+    @given(timestamps=timestamp_lists)
+    def test_since_latest_is_empty_window(self, timestamps):
+        log = make_log(timestamps)
+        assert log.since(log.latest_ts()) == []
+
+    @given(timestamps=timestamp_lists, ts=probe_ts)
+    def test_duplicate_timestamps_kept_or_dropped_together(self, timestamps, ts):
+        """The boundary is exclusive: every record at exactly ``ts``
+        is excluded, every record one tick later included — duplicates
+        never straddle the cut."""
+        log = make_log(timestamps)
+        window = log.since(ts)
+        assert all(r.ts > ts for r in window)
+        in_window = {id(r) for r in window}
+        for record in log:
+            assert (id(record) in in_window) == (record.ts > ts)
+
+
+class TestPruneBefore:
+    @given(timestamps=timestamp_lists, cut=probe_ts)
+    def test_prune_drops_exactly_the_old_records(self, timestamps, cut):
+        log = make_log(timestamps)
+        survivors = [r for r in log if r.ts > cut]
+        dropped = log.prune_before(cut)
+        assert dropped == len(timestamps) - len(survivors)
+        assert list(log) == survivors
+        assert len(log) == len(survivors)
+
+    @given(timestamps=timestamp_lists)
+    def test_prune_past_latest_empties_the_log(self, timestamps):
+        log = make_log(timestamps)
+        latest = log.latest_ts()
+        assert log.prune_before(latest + 5) == len(timestamps)
+        assert len(log) == 0
+        assert log.since(latest + 5) == []
+
+    @given(timestamps=timestamp_lists, cut=probe_ts)
+    def test_prune_never_lowers_the_horizon(self, timestamps, cut):
+        log = make_log(timestamps)
+        log.prune_before(cut)
+        first_horizon = log.pruned_through
+        # A second, lower prune is a no-op on the horizon.
+        log.prune_before(max(0, cut - 3))
+        assert log.pruned_through == first_horizon
+
+    @given(timestamps=timestamp_lists, cut=probe_ts, probe=probe_ts)
+    def test_reads_above_the_horizon_are_unchanged_by_pruning(
+        self, timestamps, cut, probe
+    ):
+        """The zone invariant: pruning below a reader's window must not
+        change what the reader sees; reaching below the horizon raises
+        instead of silently dropping records."""
+        log = make_log(timestamps)
+        before = {probe_at: log.since(probe_at) for probe_at in range(26)}
+        log.prune_before(cut)
+        if probe >= log.pruned_through:
+            assert log.since(probe) == before[probe]
+        else:
+            try:
+                log.since(probe)
+            except ValueError:
+                pass
+            else:
+                raise AssertionError(
+                    "read below the pruned horizon should raise"
+                )
+
+    @settings(max_examples=30)
+    @given(timestamps=timestamp_lists, cuts=st.lists(probe_ts, max_size=5))
+    def test_repeated_pruning_is_cumulative(self, timestamps, cuts):
+        log = make_log(timestamps)
+        total = sum(log.prune_before(cut) for cut in cuts)
+        high = max(cuts, default=0)
+        assert total == sum(1 for ts in timestamps if ts <= high)
+        assert all(r.ts > high for r in log)
+        # The horizon only advances when records are actually dropped
+        # (a no-op prune leaves it alone), so it never exceeds ``high``.
+        assert log.pruned_through <= high
