@@ -237,6 +237,100 @@ def smoke(n_cqs=8):
     return server_reused, manager_reused
 
 
+def obs_smoke(n_cqs=8, cycles=20):
+    """Fast self-check of the observability layer (used by CI).
+
+    Runs the manager-path workload untraced and fully traced
+    (sample rate 1.0), then asserts three things: every pipeline stage
+    shows up as spans with per-CQ attribution, the Prometheus
+    exposition parses and carries the expected series, and full
+    tracing costs at most 10% wall time over the untraced run.
+    """
+    from repro.bench.harness import format_table, time_fn
+    from repro.core import CQManager, EvaluationStrategy
+    from repro.obs import (
+        Tracer,
+        counter_value,
+        parse_prometheus_text,
+        prometheus_text,
+    )
+
+    queries = [
+        f"SELECT sid, price FROM stocks WHERE price > {500 + 25 * i}"
+        for i in range(n_cqs)
+    ]
+
+    def run_cycles(tracer):
+        db = Database()
+        market = StockMarket(db, seed=3)
+        market.populate(BASE_ROWS)
+        metrics = Metrics()
+        manager = CQManager(
+            db,
+            strategy=EvaluationStrategy.PERIODIC,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        for i, sql in enumerate(queries):
+            manager.register_sql(f"q{i}", sql)
+        manager.drain()
+        for __ in range(cycles):
+            market.tick(20)
+            manager.poll()
+        return metrics
+
+    untraced_s = time_fn(lambda: run_cycles(None), repeat=5)
+
+    tracer = Tracer(sample_rate=1.0, max_spans=1_000_000)
+
+    def traced_run():
+        tracer.reset()
+        return run_cycles(tracer)
+
+    traced_s = time_fn(traced_run, repeat=5)
+    metrics = traced_run()
+
+    # 1. Every pipeline stage left spans, attributed to the right CQs.
+    required = {"scheduler.poll", "cq.trigger", "cq.refresh", "cq.notify"}
+    span_names = {record["name"] for record in tracer.spans()}
+    missing = required - span_names
+    assert not missing, f"traced run produced no spans for: {sorted(missing)}"
+    assert {"delta.consolidate", "dra.apply"} & span_names, (
+        "traced run surfaced no delta/DRA work"
+    )
+    refresh_cqs = {record["cq"] for record in tracer.spans("cq.refresh")}
+    assert refresh_cqs == {f"q{i}" for i in range(n_cqs)}, refresh_cqs
+
+    # 2. The exposition round-trips through the strict parser.
+    parsed = parse_prometheus_text(prometheus_text(metrics))
+    for series in ("repro_cq_refreshes", "repro_delta_rows_read"):
+        value = counter_value(parsed, series)
+        assert value and value > 0, f"{series} missing from exposition"
+    assert "repro_refresh_latency_us_bucket" in parsed
+
+    # 3. Full tracing stays within the 10% overhead budget. Best-of-5
+    # wall times on a sub-second workload still jitter; the +2ms
+    # epsilon keeps the gate about the trend, not scheduler noise.
+    overhead = (traced_s - untraced_s) / untraced_s
+    print(
+        format_table(
+            [
+                {
+                    "untraced_s": round(untraced_s, 4),
+                    "traced_s": round(traced_s, 4),
+                    "overhead_pct": round(100 * overhead, 2),
+                    "spans": len(tracer.spans()),
+                }
+            ],
+            title="obs smoke: tracing overhead",
+        )
+    )
+    assert traced_s <= untraced_s * 1.10 + 0.002, (
+        f"tracing overhead {100 * overhead:.1f}% exceeds the 10% budget"
+    )
+    return overhead
+
+
 def main(argv=None):
     import argparse
 
@@ -247,18 +341,29 @@ def main(argv=None):
         help="run the fast delta-sharing self-check and exit",
     )
     parser.add_argument(
+        "--obs-smoke",
+        action="store_true",
+        help="run the tracing/exporter self-check and exit",
+    )
+    parser.add_argument(
         "--cqs",
         type=int,
         default=8,
         help="number of CQs over the shared table (smoke mode)",
     )
     args = parser.parse_args(argv)
-    if not args.smoke:
-        parser.error("run the full sweep via pytest; use --smoke here")
+    if not args.smoke and not args.obs_smoke:
+        parser.error(
+            "run the full sweep via pytest; use --smoke/--obs-smoke here"
+        )
     if args.cqs < 2:
         parser.error("--cqs must be >= 2: one CQ has nothing to share")
-    smoke(n_cqs=args.cqs)
-    print("e3 smoke ok")
+    if args.smoke:
+        smoke(n_cqs=args.cqs)
+        print("e3 smoke ok")
+    if args.obs_smoke:
+        obs_smoke(n_cqs=args.cqs)
+        print("obs smoke ok")
     return 0
 
 

@@ -48,6 +48,11 @@ class ActiveDeltaZones:
         entry = self._zones.get(cq_name)
         return entry[1] if entry is not None else None
 
+    def boundaries(self) -> Dict[str, Timestamp]:
+        """All registered zone boundaries, ``{name: ts}`` (for ops
+        introspection — the StatsReply payload ships this map)."""
+        return {name: ts for name, (__, ts) in self._zones.items()}
+
     def remove(self, cq_name: str) -> None:
         self._zones.pop(cq_name, None)
 

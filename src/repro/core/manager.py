@@ -26,6 +26,8 @@ from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import RegistrationError
 from repro.metrics import Metrics
+from repro.obs.stats import CQStats
+from repro.obs.trace import Tracer
 from repro.relational.evaluate import evaluate_spj
 from repro.relational.sql import parse_query
 from repro.storage.database import Database
@@ -83,6 +85,8 @@ class CQManager:
         group_triggers: bool = True,
         prepare_plans: bool = True,
         durability=None,
+        tracer: Optional[Tracer] = None,
+        slow_refresh_us: Optional[float] = None,
     ):
         self.db = db
         #: ``durability=`` accepts a WriteAheadLog (or path) and attaches
@@ -98,6 +102,19 @@ class CQManager:
         self.strategy = strategy
         self.auto_gc = auto_gc
         self.metrics = metrics
+        #: Observability (DESIGN.md §9): ``tracer`` wraps every refresh
+        #: stage in spans (a disabled tracer — the default — costs one
+        #: shared no-op span per stage); ``stats`` accumulates per-CQ
+        #: cost tables; refreshes slower than ``slow_refresh_us`` leave
+        #: one structured event each in ``slow_refreshes``.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.stats = CQStats()
+        self.slow_refresh_us = slow_refresh_us
+        self.slow_refreshes: Deque[Dict[str, object]] = deque(maxlen=256)
+        # Installed per refresh by the scheduler: a scoped TeeMetrics
+        # that also charges self.metrics; _refresh_metrics() routes the
+        # engines' charges through it for per-CQ attribution.
+        self._local_metrics = threading.local()
         #: Per-CQ retained notification history length (0 = none).
         self.history_limit = history_limit
         #: Shared-delta refresh scheduling behind :meth:`poll`:
@@ -385,6 +402,33 @@ class CQManager:
 
     # -- execution ----------------------------------------------------------------
 
+    def _refresh_metrics(self) -> Optional[Metrics]:
+        """The metrics bag engines charge during a refresh: the scoped
+        per-CQ tee when the scheduler installed one on this thread,
+        otherwise the shared bag."""
+        scoped = getattr(self._local_metrics, "value", None)
+        return scoped if scoped is not None else self.metrics
+
+    def _note_slow_refresh(
+        self, cq_name: str, latency_us: float, counters: Dict[str, int]
+    ) -> None:
+        """Record one structured event when a refresh crosses the
+        slow-refresh threshold (no-op when no threshold is set)."""
+        threshold = self.slow_refresh_us
+        if threshold is None or latency_us < threshold:
+            return
+        event: Dict[str, object] = {
+            "event": "slow_refresh",
+            "cq": cq_name,
+            "latency_us": round(latency_us, 3),
+            "threshold_us": threshold,
+            "ts": self.db.now(),
+        }
+        event.update(counters)
+        self.slow_refreshes.append(event)
+        if self.tracer.sink is not None:
+            self.tracer.sink.write(event)
+
     def _maybe_execute(self, cq: ContinualQuery, now: Timestamp) -> None:
         if cq.status is not CQStatus.ACTIVE:
             return
@@ -392,11 +436,17 @@ class CQManager:
             # Differential T_cq evaluation for drift-based epsilons:
             # fold pending deltas into the maintained aggregate first.
             self._refresh_aggregate(cq, now)
-        ctx = self._context(cq, now)
-        if cq.stop.should_stop(ctx):
+        with self.tracer.span(
+            "cq.trigger", cq=cq.name, tables=",".join(cq.table_names)
+        ) as span:
+            ctx = self._context(cq, now)
+            stopped = cq.stop.should_stop(ctx)
+            fired = (not stopped) and cq.trigger.should_fire(ctx)
+            span.set(stopped=stopped, fired=fired)
+        if stopped:
             self._finalize(cq, now)
             return
-        if not cq.trigger.should_fire(ctx):
+        if not fired:
             return
         self._execute(cq, now)
         ctx = self._context(cq, now)
@@ -449,7 +499,10 @@ class CQManager:
         deltas = self._deltas_for(cq.table_names, applied)
         if deltas:
             cq.aggregate_state.update(
-                deltas, now, self.metrics, prepared=self._prepared_for(cq)
+                deltas,
+                now,
+                self._refresh_metrics(),
+                prepared=self._prepared_for(cq),
             )
         # Advance even when the window was empty (or consolidated to
         # nothing): the next differential read starts at `now` either
@@ -470,8 +523,9 @@ class CQManager:
                 self.db,
                 deltas=deltas,
                 ts=now,
-                metrics=self.metrics,
+                metrics=self._refresh_metrics(),
                 prepared=self._prepared_for(cq),
+                tracer=self.tracer,
             )
             cq.maintained_result = result.delta.apply_to(cq.maintained_result)
         # The log window below `now` is consumed (an empty or net-zero
@@ -495,8 +549,9 @@ class CQManager:
         cq.trigger.notify_fired(ctx)
         if self.auto_gc:
             self.zones.collect()
-        if self.metrics:
-            self.metrics.count(Metrics.CQ_REFRESHES)
+        metrics = self._refresh_metrics()
+        if metrics:
+            metrics.count(Metrics.CQ_REFRESHES)
         if delta.is_empty():
             # Nothing changed: no element is appended to the result
             # sequence and nothing is sent (Section 5.2).
@@ -507,15 +562,22 @@ class CQManager:
 
     def _execute_dra(self, cq: ContinualQuery, now: Timestamp) -> DeltaRelation:
         deltas = self._deltas_for(cq.table_names, cq.last_execution_ts)
-        result = dra_execute(
-            cq.query,
-            self.db,
-            deltas=deltas,
-            previous=cq.previous_result,
-            ts=now,
-            metrics=self.metrics,
-            prepared=self._prepared_for(cq),
-        )
+        with self.tracer.span("dra.apply", cq=cq.name) as span:
+            result = dra_execute(
+                cq.query,
+                self.db,
+                deltas=deltas,
+                previous=cq.previous_result,
+                ts=now,
+                metrics=self._refresh_metrics(),
+                prepared=self._prepared_for(cq),
+                tracer=self.tracer,
+            )
+            span.set(
+                changed=",".join(sorted(result.changed_aliases)),
+                terms=result.terms_evaluated,
+                delta_rows=len(result.delta),
+            )
         if cq.keep_result and result.has_changes():
             cq.previous_result = result.complete_result()
         return result.delta
@@ -536,7 +598,7 @@ class CQManager:
         return delta
 
     def _execute_reevaluate(self, cq: ContinualQuery, now: Timestamp) -> DeltaRelation:
-        new_result = self.db.query(cq.query, self.metrics)
+        new_result = self.db.query(cq.query, self._refresh_metrics())
         delta = diff(cq.previous_result, new_result, now)
         cq.previous_result = new_result
         return delta
@@ -585,18 +647,28 @@ class CQManager:
         )
 
     def _emit(self, notification: Notification) -> None:
-        with self._emit_lock:
-            history = self._history.get(notification.cq_name)
-            if history is not None:
-                history.append(notification)
-            self._outbox.append(notification)
-            if self._defer_callbacks:
-                # Parallel refresh: the scheduler re-sequences this
-                # poll's notifications into registration order and
-                # fires the callbacks itself afterwards.
-                return
-        for callback in self._callbacks.get(notification.cq_name, ()):
-            callback(notification)
+        with self.tracer.span(
+            "cq.notify",
+            cq=notification.cq_name,
+            kind=notification.kind.value,
+            seq=notification.seq,
+        ) as span:
+            with self._emit_lock:
+                history = self._history.get(notification.cq_name)
+                if history is not None:
+                    history.append(notification)
+                self._outbox.append(notification)
+                if self._defer_callbacks:
+                    # Parallel refresh: the scheduler re-sequences this
+                    # poll's notifications into registration order and
+                    # fires the callbacks itself afterwards.
+                    span.set(deferred=True)
+                    return
+            delivered = 0
+            for callback in self._callbacks.get(notification.cq_name, ()):
+                callback(notification)
+                delivered += 1
+            span.set(callbacks=delivered)
 
     # -- garbage collection ------------------------------------------------------
 
@@ -640,6 +712,8 @@ class CQManager:
                     for name in cq.table_names
                 )
             )
+            cost = self.stats.counters(cq.name)
+            latency = self.stats.latency(cq.name)
             out.append(
                 {
                     "name": cq.name,
@@ -657,6 +731,14 @@ class CQManager:
                     "pending_updates": pending,
                     "plan_cached": cq.name in self.plans,
                     "trigger": repr(cq.trigger),
+                    # Cumulative per-CQ cost attribution (DESIGN.md §9);
+                    # populated by scheduler-driven refreshes.
+                    "rows_scanned": cost.get(Metrics.ROWS_SCANNED, 0),
+                    "delta_rows_read": cost.get(Metrics.DELTA_ROWS_READ, 0),
+                    "refreshes": cost.get(Metrics.CQ_REFRESHES, 0),
+                    "refresh_p95_us": (
+                        latency.percentile(95) if latency.count else None
+                    ),
                 }
             )
         return out

@@ -32,10 +32,12 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from threading import Lock
+from threading import Event, Lock
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics import Metrics
+from repro.obs.stats import TeeMetrics
+from repro.obs.trace import NULL_SPAN, Tracer
 from repro.storage.database import Database
 from repro.storage.timestamps import Timestamp
 from repro.delta.capture import delta_since
@@ -55,6 +57,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.manager import CQManager
 
 
+class _PendingBatch:
+    """Placeholder for one in-flight or finished consolidation."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = Event()
+        self.value: Optional[DeltaRelation] = None
+        self.error: Optional[BaseException] = None
+
+
 class DeltaBatchCache:
     """A per-poll cache of consolidated per-table delta batches.
 
@@ -64,16 +77,26 @@ class DeltaBatchCache:
     on commits — within one poll it is constant, so the cache can never
     serve a batch that is missing a mid-poll commit.
 
-    Thread-safe: the parallel refresh path has many workers resolving
-    batches concurrently. The lock is held across the consolidation
-    itself so the reuse counters stay exact.
+    Thread-safe, and the consolidation itself runs *outside* the cache
+    lock: the first reader of a key inserts a placeholder under the
+    lock (a double-checked insert), computes the batch unlocked, then
+    publishes it; concurrent readers of the *same* key block only on
+    that key's event, and readers of *different* keys never serialize
+    on each other. The reuse counters stay exact because ownership of
+    each key is decided exactly once, under the lock.
     """
 
-    def __init__(self, db: Database, metrics: Optional[Metrics] = None):
+    def __init__(
+        self,
+        db: Database,
+        metrics: Optional[Metrics] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.db = db
         self.metrics = metrics
+        self.tracer = tracer
         self._lock = Lock()
-        self._batches: Dict[Tuple[str, Timestamp, Timestamp], DeltaRelation] = {}
+        self._batches: Dict[Tuple[str, Timestamp, Timestamp], _PendingBatch] = {}
         self.hits = 0
         self.misses = 0
 
@@ -83,18 +106,46 @@ class DeltaBatchCache:
         """The consolidated delta of one table over ``(since, now]``."""
         key = (table_name, since, now)
         with self._lock:
-            cached = self._batches.get(key)
-            if cached is not None:
+            entry = self._batches.get(key)
+            if entry is None:
+                entry = self._batches[key] = _PendingBatch()
+                owner = True
+                self.misses += 1
+            else:
+                owner = False
                 self.hits += 1
-                if self.metrics:
-                    self.metrics.count(Metrics.DELTA_BATCHES_REUSED)
-                return cached
-            batch = delta_since(self.db.table(table_name), since)
-            self._batches[key] = batch
-            self.misses += 1
+        if not owner:
             if self.metrics:
-                self.metrics.count(Metrics.DELTA_BATCHES_COMPUTED)
-            return batch
+                self.metrics.count(Metrics.DELTA_BATCHES_REUSED)
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+            assert entry.value is not None
+            return entry.value
+        span = (
+            self.tracer.span(
+                "delta.consolidate", table=table_name, since=since, now=now
+            )
+            if self.tracer is not None
+            else NULL_SPAN
+        )
+        try:
+            with span:
+                batch = delta_since(self.db.table(table_name), since)
+                span.set(entries=len(batch))
+        except BaseException as exc:
+            # Un-publish the key so a later reader retries rather than
+            # inheriting this failure forever; wake current waiters.
+            entry.error = exc
+            with self._lock:
+                self._batches.pop(key, None)
+            entry.event.set()
+            raise
+        entry.value = batch
+        if self.metrics:
+            self.metrics.count(Metrics.DELTA_BATCHES_COMPUTED)
+        entry.event.set()
+        return batch
 
     def deltas(
         self, table_names: Sequence[str], since: Timestamp, now: Timestamp
@@ -110,11 +161,14 @@ class DeltaBatchCache:
         return out
 
     def __len__(self) -> int:
-        return len(self._batches)
+        with self._lock:
+            return sum(
+                1 for entry in self._batches.values() if entry.value is not None
+            )
 
     def __repr__(self) -> str:
         return (
-            f"DeltaBatchCache({len(self._batches)} batches, "
+            f"DeltaBatchCache({len(self)} batches, "
             f"hits={self.hits}, misses={self.misses})"
         )
 
@@ -175,21 +229,25 @@ class RefreshScheduler:
     def run(self, now: Timestamp) -> None:
         """Evaluate one poll: select runnable CQs, refresh them."""
         manager = self.manager
-        runnable = self._select(list(manager._cqs.values()))
-        cache = (
-            DeltaBatchCache(manager.db, manager.metrics)
-            if self.share_deltas
-            else None
-        )
-        manager._delta_cache = cache
-        try:
-            if self.parallelism > 1 and len(runnable) > 1:
-                self._run_parallel(runnable, now)
-            else:
-                for cq in runnable:
-                    self._refresh_one(cq, now)
-        finally:
-            manager._delta_cache = None
+        with manager.tracer.span(
+            "scheduler.poll", now=now, registered=len(manager._cqs)
+        ) as poll_span:
+            runnable = self._select(list(manager._cqs.values()))
+            poll_span.set(runnable=len(runnable))
+            cache = (
+                DeltaBatchCache(manager.db, manager.metrics, manager.tracer)
+                if self.share_deltas
+                else None
+            )
+            manager._delta_cache = cache
+            try:
+                if self.parallelism > 1 and len(runnable) > 1:
+                    self._run_parallel(runnable, now)
+                else:
+                    for cq in runnable:
+                        self._refresh_one(cq, now)
+            finally:
+                manager._delta_cache = None
 
     # -- grouped trigger evaluation ---------------------------------------
 
@@ -236,13 +294,32 @@ class RefreshScheduler:
 
     def _refresh_one(self, cq: ContinualQuery, now: Timestamp) -> None:
         manager = self.manager
+        # Scope counter charges to this refresh: the tee still charges
+        # the shared bag, the scoped copy feeds per-CQ attribution.
+        scoped = TeeMetrics(manager.metrics if manager.metrics else None)
+        manager._local_metrics.value = scoped
         start = time.perf_counter()
-        manager._maybe_execute(cq, now)
-        if manager.metrics:
-            manager.metrics.observe(
-                Metrics.REFRESH_LATENCY_US,
-                (time.perf_counter() - start) * 1e6,
-            )
+        span = manager.tracer.span(
+            "cq.refresh", cq=cq.name, tables=",".join(cq.table_names)
+        )
+        with span:
+            try:
+                manager._maybe_execute(cq, now)
+            finally:
+                manager._local_metrics.value = None
+                latency_us = (time.perf_counter() - start) * 1e6
+                counters = {
+                    name: value
+                    for name, value in scoped.snapshot().items()
+                    if value
+                }
+                manager.stats.record(cq.name, counters, latency_us)
+                span.set(latency_us=round(latency_us, 3), **counters)
+                if manager.metrics:
+                    manager.metrics.observe(
+                        Metrics.REFRESH_LATENCY_US, latency_us
+                    )
+                manager._note_slow_refresh(cq.name, latency_us, counters)
 
     def _run_parallel(
         self, runnable: Sequence[ContinualQuery], now: Timestamp
@@ -275,15 +352,22 @@ class RefreshScheduler:
                 for future in futures:
                     future.result()
         finally:
+            # Callbacks must fire even when a worker raised: the pool's
+            # context manager has already joined every future, so the
+            # surviving CQs' notifications are complete and buffered in
+            # the outbox — deliver them before the exception propagates,
+            # or their callbacks are silently lost.
             order = {name: i for i, name in enumerate(manager._cqs)}
             with manager._emit_lock:
                 manager._defer_callbacks = False
                 tail = manager._outbox[start:]
                 tail.sort(key=lambda n: order.get(n.cq_name, len(order)))
                 manager._outbox[start:] = tail
-        for notification in tail:
-            for callback in manager._callbacks.get(notification.cq_name, ()):
-                callback(notification)
+            for notification in tail:
+                for callback in manager._callbacks.get(
+                    notification.cq_name, ()
+                ):
+                    callback(notification)
 
     def __repr__(self) -> str:
         return (

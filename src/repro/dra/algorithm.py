@@ -54,6 +54,7 @@ def dra_execute(
     metrics: Optional[Metrics] = None,
     explain: bool = False,
     prepared: Optional[PreparedCQ] = None,
+    tracer=None,
 ) -> DRAResult:
     """Differentially re-evaluate ``query`` against ``db``.
 
@@ -66,6 +67,8 @@ def dra_execute(
     been compiled from an equivalent query over the same catalog (the
     caller — typically a plan cache — is responsible for staleness);
     omitted, the query is prepared here, once, for this execution.
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) wraps each evaluated
+    truth-table term in a ``dra.term`` span.
     """
     if prepared is None:
         prepared = prepare_cq(query, db, metrics=metrics, auto_index=False)
@@ -120,15 +123,34 @@ def dra_execute(
     changed_key = tuple(changed)
     traces: Optional[list] = [] if explain else None
 
+    # Guard the per-term span plumbing so the hot loop stays unchanged
+    # when tracing is off (the overwhelmingly common case).
+    trace_terms = tracer is not None and tracer.enabled
+
     def run_terms():
         for row in prepared.truth_rows(changed_key):
             seed = min(row, key=lambda a: len(delta_operands[a]))
-            entries = evaluate_term(
-                prepared.term_plan(row, seed),
-                delta_operands,
-                base_operands,
-                metrics,
-            )
+            if trace_terms:
+                with tracer.span(
+                    "dra.term", row=",".join(row), seed=seed
+                ) as span:
+                    entries = evaluate_term(
+                        prepared.term_plan(row, seed),
+                        delta_operands,
+                        base_operands,
+                        metrics,
+                    )
+                    span.set(
+                        seed_rows=len(delta_operands[seed]),
+                        entries=len(entries),
+                    )
+            else:
+                entries = evaluate_term(
+                    prepared.term_plan(row, seed),
+                    delta_operands,
+                    base_operands,
+                    metrics,
+                )
             if traces is not None:
                 traces.append(
                     TermTrace(

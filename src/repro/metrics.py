@@ -62,18 +62,24 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """The bucket upper bound covering the ``p``-th percentile."""
+        """The bucket upper bound covering the ``p``-th percentile,
+        clamped to the observed ``max`` so the estimate never exceeds a
+        value that was actually seen. ``percentile(0)`` is ``min``.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self.count:
             return 0.0
+        if p == 0:
+            return float(self.min if self.min is not None else 0.0)
+        observed_max = float(self.max if self.max is not None else 0.0)
         target = self.count * p / 100.0
         seen = 0
         for exp in sorted(self._buckets):
             seen += self._buckets[exp]
             if seen >= target:
-                return float(2**exp)
-        return float(self.max if self.max is not None else 0.0)
+                return min(float(2**exp), observed_max)
+        return observed_max
 
     def merge(self, other: "Histogram") -> None:
         self.count += other.count

@@ -38,6 +38,8 @@ from repro.net.messages import (
     InitialResultMessage,
     Message,
     RegisterMessage,
+    StatsMessage,
+    StatsReplyMessage,
     ResyncMessage,
 )
 from repro.net.server import Protocol
@@ -219,6 +221,9 @@ class CQSession:
         self.lazy_notices = 0
         self.digest_mismatches = 0
         self.connect_attempts = 0
+        self.stats_replies = 0
+        #: The most recent StatsReply payload (see :meth:`stats`).
+        self.last_stats: Optional[Dict[str, object]] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -304,6 +309,15 @@ class CQSession:
     async def fetch(self, cq_name: str) -> None:
         """Request the pending lazy delta for one CQ."""
         await self._send(FetchMessage(cq_name))
+
+    async def stats(self, timeout: float = 10.0) -> Dict[str, object]:
+        """Ask the server for its live stats payload (admin
+        introspection over the wire) and wait for the reply."""
+        target = self.stats_replies + 1
+        await self._send(StatsMessage())
+        await self._wait_for(lambda: self.stats_replies >= target, timeout)
+        assert self.last_stats is not None
+        return self.last_stats
 
     async def wait_applied(
         self, cq_name: str, ts: Timestamp, timeout: float = 10.0
@@ -442,6 +456,9 @@ class CQSession:
             self.lazy_notices += 1
             if self.auto_fetch:
                 await self._send(FetchMessage(message.cq_name))
+        elif isinstance(message, StatsReplyMessage):
+            self.last_stats = message.payload
+            self.stats_replies += 1
         elif isinstance(message, HeartbeatMessage):
             self.heartbeats += 1
             await self._send(

@@ -41,6 +41,8 @@ from repro.net.messages import (
     Message,
     RegisterMessage,
     ResyncMessage,
+    StatsMessage,
+    StatsReplyMessage,
 )
 
 #: Frames above this are rejected: a length prefix this large is far
@@ -189,6 +191,8 @@ _TO_JSON: Dict[Type[Message], Tuple[str, Callable[[Message], Dict[str, Any]]]] =
         "heartbeat_ack",
         lambda m: {"ts": m.ts, "applied": m.applied},
     ),
+    StatsMessage: ("stats", lambda m: {}),
+    StatsReplyMessage: ("stats_reply", lambda m: {"payload": m.payload}),
 }
 
 _FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Message]] = {
@@ -213,6 +217,8 @@ _FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Message]] = {
     ),
     "heartbeat": lambda d: HeartbeatMessage(d["ts"]),
     "heartbeat_ack": lambda d: HeartbeatAckMessage(d["ts"], d["applied"]),
+    "stats": lambda d: StatsMessage(),
+    "stats_reply": lambda d: StatsReplyMessage(d["payload"]),
 }
 
 

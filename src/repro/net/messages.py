@@ -230,6 +230,28 @@ class HelloAckMessage(Message):
         )
 
 
+class StatsMessage(Message):
+    """Client -> server: admin introspection request.
+
+    The server answers with a :class:`StatsReplyMessage` carrying its
+    full :meth:`repro.net.service.CQService.stats` payload — live
+    subscriptions, zone boundaries, per-session outbox depths and
+    degraded sets, and the WAL/digest/backpressure counters."""
+
+    def __repr__(self) -> str:
+        return "StatsMessage()"
+
+
+class StatsReplyMessage(Message):
+    """Server -> client: the stats payload (a JSON-safe dict)."""
+
+    def __init__(self, payload: Dict[str, object]):
+        self.payload = dict(payload)
+
+    def __repr__(self) -> str:
+        return f"StatsReplyMessage({sorted(self.payload)})"
+
+
 class HeartbeatMessage(Message):
     """Server -> client: liveness probe carrying the server clock."""
 

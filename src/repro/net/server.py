@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError, RegistrationError
 from repro.metrics import Metrics
+from repro.obs.stats import CQStats, TeeMetrics
+from repro.obs.trace import Tracer
 from repro.relational.algebra import SPJQuery
 from repro.relational.relation import Relation
 from repro.relational.sql import parse_query
@@ -121,11 +123,20 @@ class CQServer:
         share_evaluation: bool = False,
         share_deltas: bool = True,
         audit_interval: int = 0,
+        tracer: Optional[Tracer] = None,
     ):
         self.db = db
         self.network = network
         self.name = name
         self.metrics = metrics if metrics is not None else Metrics()
+        #: Observability (DESIGN.md §9): spans around each
+        #: subscription's refresh and each wire delivery, plus per-CQ
+        #: cumulative cost attribution in ``stats``.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.stats = CQStats()
+        # Installed around one subscription's refresh: a scoped
+        # TeeMetrics that also charges self.metrics, feeding stats.
+        self._scoped_metrics: Optional[TeeMetrics] = None
         self.share_evaluation = share_evaluation
         self.share_deltas = share_deltas
         #: Sampled self-audit: every ``audit_interval``-th differential
@@ -158,17 +169,39 @@ class CQServer:
         a later reconnect, but deliveries to it stop."""
         self._clients.pop(client_id, None)
 
+    def _metrics(self) -> Metrics:
+        """The bag the refresh machinery charges: the per-subscription
+        tee while a refresh is scoped, the shared bag otherwise."""
+        scoped = self._scoped_metrics
+        return scoped if scoped is not None else self.metrics
+
     def _deliver(self, client_id: str, message: Message) -> bool:
         """Ship one message; returns False when the network lost it."""
         client = self._clients.get(client_id)
         if client is None:
             raise NetworkError(f"no attached client {client_id!r}")
-        duration = self.network.send(
-            self.name, client_id, message.wire_size(), self.metrics
-        )
-        if duration is None:
-            return False
-        client.receive(message)
+        size = message.wire_size()
+        with self.tracer.span(
+            "wire.send",
+            client=client_id,
+            msg=type(message).__name__,
+            bytes=size,
+        ) as span:
+            duration = self.network.send(
+                self.name, client_id, size, self._metrics()
+            )
+            if duration is None:
+                span.set(dropped=True)
+                return False
+            client.receive(message)
+        cq_name = getattr(message, "cq_name", None)
+        if cq_name is not None and self._scoped_metrics is None:
+            # Outside a scoped refresh (fetch / resync / replay) the
+            # per-CQ byte attribution is charged here directly.
+            self.stats.record(
+                cq_name,
+                {Metrics.BYTES_SENT: size, Metrics.MESSAGES_SENT: 1},
+            )
         return True
 
     # -- GC zones ----------------------------------------------------------
@@ -318,13 +351,53 @@ class CQServer:
         sent = 0
         shared: Dict[Tuple[str, Protocol, Timestamp], "object"] = {}
         cache = (
-            DeltaBatchCache(self.db, self.metrics) if self.share_deltas else None
+            DeltaBatchCache(self.db, self.metrics, self.tracer)
+            if self.share_deltas
+            else None
         )
         for subscription in self._subscriptions.values():
-            if self.share_evaluation and subscription.protocol is Protocol.DRA_DELTA:
-                if self._refresh_shared_dra(subscription, shared, cache):
-                    sent += 1
-            elif self._refresh_one(subscription, cache):
+            # Scope counter charges to this subscription's refresh:
+            # the tee still charges the shared bag, the scoped copy
+            # feeds the per-CQ attribution table.
+            scoped = TeeMetrics(self.metrics)
+            self._scoped_metrics = scoped
+            delivered = False
+            span = self.tracer.span(
+                "sub.refresh",
+                client=subscription.client_id,
+                cq=subscription.cq_name,
+                protocol=subscription.protocol.value,
+            )
+            try:
+                with span:
+                    if (
+                        self.share_evaluation
+                        and subscription.protocol is Protocol.DRA_DELTA
+                    ):
+                        delivered = self._refresh_shared_dra(
+                            subscription, shared, cache
+                        )
+                    else:
+                        delivered = self._refresh_one(subscription, cache)
+                    span.set(
+                        delivered=delivered,
+                        **{
+                            name: value
+                            for name, value in scoped.snapshot().items()
+                            if value
+                        },
+                    )
+            finally:
+                self._scoped_metrics = None
+                self.stats.record(
+                    subscription.cq_name,
+                    {
+                        name: value
+                        for name, value in scoped.snapshot().items()
+                        if value
+                    },
+                )
+            if delivered:
                 sent += 1
         return sent
 
@@ -370,8 +443,9 @@ class CQServer:
                 self.db,
                 deltas=deltas,
                 ts=now,
-                metrics=self.metrics,
+                metrics=self._metrics(),
                 prepared=self._prepared(subscription),
+                tracer=self.tracer,
             )
             shared[key] = result
         subscription.last_ts = now
@@ -410,12 +484,12 @@ class CQServer:
         if self._refreshes_since_audit < self.audit_interval:
             return
         self._refreshes_since_audit = 0
-        self.metrics.count(Metrics.AUDITS)
+        self._metrics().count(Metrics.AUDITS)
         truth = self.db.query(subscription.query)
         if relation_digest(truth) != relation_digest(
             subscription.previous_result
         ):
-            self.metrics.count(Metrics.AUDIT_DIVERGENCES)
+            self._metrics().count(Metrics.AUDIT_DIVERGENCES)
             subscription.previous_result = truth
 
     def handle_fetch(self, client_id: str, message: FetchMessage) -> bool:
@@ -577,8 +651,9 @@ class CQServer:
                 self.db,
                 deltas=deltas,
                 ts=now,
-                metrics=self.metrics,
+                metrics=self._metrics(),
                 prepared=self._prepared(subscription),
+                tracer=self.tracer,
             )
             subscription.last_ts = now
             if not result.has_changes():
@@ -609,8 +684,9 @@ class CQServer:
                 deltas=deltas,
                 previous=subscription.previous_result,
                 ts=now,
-                metrics=self.metrics,
+                metrics=self._metrics(),
                 prepared=self._prepared(subscription),
+                tracer=self.tracer,
             )
             subscription.last_ts = now
             if not result.has_changes():
@@ -630,7 +706,7 @@ class CQServer:
             self._note_refresh(subscription, delivered)
             return delivered
 
-        new_result = self.db.query(subscription.query, self.metrics)
+        new_result = self.db.query(subscription.query, self._metrics())
         if subscription.protocol is Protocol.REEVAL_DELTA:
             delta = diff(subscription.previous_result, new_result, now)
             subscription.last_ts = now
@@ -670,6 +746,7 @@ class CQServer:
         out = []
         for (client_id, cq_name), sub in self._subscriptions.items():
             pending = sub.pending_delta
+            cost = self.stats.counters(cq_name)
             out.append(
                 {
                     "client": client_id,
@@ -679,6 +756,11 @@ class CQServer:
                     "result_rows": len(sub.previous_result),
                     "pending_entries": 0 if pending is None else len(pending),
                     "zone": self.zones.boundary(self._zone(client_id, cq_name)),
+                    # Cumulative per-CQ cost attribution (DESIGN.md §9),
+                    # aggregated across clients subscribed to the CQ.
+                    "rows_scanned": cost.get(Metrics.ROWS_SCANNED, 0),
+                    "delta_rows_read": cost.get(Metrics.DELTA_ROWS_READ, 0),
+                    "bytes_sent": cost.get(Metrics.BYTES_SENT, 0),
                 }
             )
         return out

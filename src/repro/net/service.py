@@ -44,6 +44,8 @@ from repro.net.messages import (
     Message,
     RegisterMessage,
     ResyncMessage,
+    StatsMessage,
+    StatsReplyMessage,
 )
 from repro.net.server import CQServer, Protocol
 from repro.net.simnet import SimulatedNetwork
@@ -158,6 +160,10 @@ class _Session:
                 server.handle_fetch(self.client_id, message)
             elif isinstance(message, ResyncMessage):
                 server.handle_resync(self.client_id, message)
+            elif isinstance(message, StatsMessage):
+                # Admin introspection: answer with the live service
+                # stats payload over the same connection.
+                self.receive(StatsReplyMessage(self.service.stats()))
             elif isinstance(message, HeartbeatAckMessage):
                 self.unacked_heartbeats = 0
                 for cq_name, ts in message.applied.items():
@@ -214,6 +220,7 @@ class CQService:
         share_evaluation: bool = False,
         durability=None,
         audit_interval: int = 0,
+        tracer=None,
     ):
         self.db = db
         self.metrics = metrics if metrics is not None else (
@@ -240,10 +247,15 @@ class CQService:
                 metrics=self.metrics,
                 share_evaluation=share_evaluation,
                 audit_interval=audit_interval,
+                tracer=tracer,
             )
-        elif audit_interval and not server.audit_interval:
-            server.audit_interval = audit_interval
+        else:
+            if audit_interval and not server.audit_interval:
+                server.audit_interval = audit_interval
+            if tracer is not None:
+                server.tracer = tracer
         self.server = server
+        self.tracer = server.tracer
         self.host = host
         self.port = port
         self.queue_limit = queue_limit
@@ -423,11 +435,94 @@ class CQService:
             await session.shutdown()
 
     def _drop_session(self, client_id: str) -> None:
-        self._sessions.pop(client_id, None)
+        session = self._sessions.pop(client_id, None)
+        if session is not None and session.degraded:
+            # Disconnecting while degraded must not park the
+            # subscription on DRA_LAZY forever: the next connection
+            # starts with a fresh (empty) degraded set, so _restore
+            # would never fire for it. Fold the accumulated delta into
+            # the retained copy (no delivery — the peer is gone, and a
+            # reconnect replays from the update logs anyway) and resume
+            # the push protocol.
+            for sub in self.server.subscriptions_for(client_id):
+                if sub.cq_name not in session.degraded:
+                    continue
+                sub.protocol = Protocol.DRA_DELTA
+                pending = sub.pending_delta
+                if pending is not None and not pending.is_empty():
+                    sub.pending_delta = None
+                    sub.previous_result = pending.apply_to(
+                        sub.previous_result
+                    )
+            session.degraded.clear()
         self.server.release_zones(client_id)
         self.server.detach(client_id)
 
     # -- introspection -----------------------------------------------------
+
+    #: Counters every stats payload reports even at zero, so operators
+    #: (and the wire protocol's consumers) can rely on their presence.
+    _STATS_COUNTERS = (
+        Metrics.WAL_APPENDS,
+        Metrics.WAL_RECOVERED,
+        Metrics.WAL_TORN_TRUNCATIONS,
+        Metrics.DIGEST_MISMATCHES,
+        Metrics.AUDITS,
+        Metrics.AUDIT_DIVERGENCES,
+        Metrics.BACKPRESSURE_DEGRADES,
+        Metrics.CODEC_ERRORS,
+        Metrics.BYTES_ENCODED,
+        Metrics.BYTES_SENT,
+        Metrics.RECONNECTS,
+        Metrics.HEARTBEATS_MISSED,
+        Metrics.REPLAYS,
+        Metrics.REPLAY_FALLBACKS,
+        Metrics.RESYNCS,
+    )
+
+    def stats(self) -> Dict[str, object]:
+        """The live introspection payload (JSON-safe): counters,
+        histograms, subscriptions, per-CQ cost tables, session queue
+        depths and degraded sets, and GC zone boundaries. This is what
+        a :class:`~repro.net.messages.StatsMessage` gets back."""
+        counters = self.metrics.snapshot()
+        for name in self._STATS_COUNTERS:
+            counters.setdefault(name, 0)
+        histograms = {}
+        for name, hist in self.metrics.histograms().items():
+            histograms[name] = {
+                "count": hist.count,
+                "total": hist.total,
+                "min": hist.min,
+                "max": hist.max,
+                "buckets": [[exp, n] for exp, n in hist.buckets()],
+            }
+        sessions = [
+            {
+                "client": session.client_id,
+                "outbox": len(session.outbox),
+                "degraded": sorted(session.degraded),
+                "unacked_heartbeats": session.unacked_heartbeats,
+                "closed": session.closed,
+            }
+            for session in self._sessions.values()
+        ]
+        return {
+            "server": self.server.name,
+            "now": self.db.now(),
+            "counters": counters,
+            "histograms": histograms,
+            "subscriptions": self.server.describe(),
+            "per_cq": self.server.stats.to_dict(),
+            "sessions": sessions,
+            "zones": self.server.zones.boundaries(),
+        }
+
+    def prometheus(self) -> str:
+        """The service metrics in Prometheus text exposition format."""
+        from repro.obs.export import prometheus_text
+
+        return prometheus_text(self.metrics)
 
     def status_report(self) -> str:
         return self.server.status_report()

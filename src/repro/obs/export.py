@@ -1,0 +1,92 @@
+"""Prometheus text exposition for :class:`~repro.metrics.Metrics`.
+
+Counters become ``<ns>_<name>`` counter samples; histograms become the
+standard cumulative ``_bucket{le="..."}`` series (power-of-two upper
+bounds, plus ``+Inf``) with ``_sum`` and ``_count``. The output is the
+text format every Prometheus scraper accepts; :func:`parse_prometheus_text`
+is the inverse used by tests and the smoke bench to prove the exposition
+round-trips without a real scraper in the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.metrics import Metrics
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def prometheus_text(metrics: Metrics, namespace: str = "repro") -> str:
+    """Render ``metrics`` in the Prometheus text exposition format."""
+    ns = _sanitize(namespace)
+    lines = []
+    for name, value in sorted(metrics.snapshot().items()):
+        metric = f"{ns}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, hist in sorted(metrics.histograms().items()):
+        metric = f"{ns}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for exp, count in hist.buckets():
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{float(2 ** exp)}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {hist.total}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse exposition text back into ``{metric: {labels: value}}``.
+
+    ``labels`` is a sorted tuple of ``(label, value)`` pairs (empty for
+    plain counters). Raises ``ValueError`` on any malformed sample line,
+    which is what makes it useful as a format check.
+    """
+    out: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        value = float(value_part)  # raises ValueError if not a number
+        labels: Tuple[Tuple[str, str], ...] = ()
+        metric = name_part
+        if "{" in name_part:
+            metric, _, label_part = name_part.partition("{")
+            if not label_part.endswith("}"):
+                raise ValueError(f"malformed labels in line: {raw!r}")
+            pairs = []
+            for item in label_part[:-1].split(","):
+                if not item:
+                    continue
+                key, eq, val = item.partition("=")
+                if eq != "=" or len(val) < 2 or val[0] != '"' or val[-1] != '"':
+                    raise ValueError(f"malformed label {item!r} in line: {raw!r}")
+                pairs.append((key.strip(), val[1:-1]))
+            labels = tuple(sorted(pairs))
+        if not metric or not all(
+            c.isalnum() or c in "_:" for c in metric
+        ):
+            raise ValueError(f"malformed metric name {metric!r} in line: {raw!r}")
+        out.setdefault(metric, {})[labels] = value
+    return out
+
+
+def counter_value(
+    parsed: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]],
+    metric: str,
+) -> Optional[float]:
+    """The label-free sample for ``metric``, or ``None`` if absent."""
+    samples = parsed.get(metric)
+    if not samples:
+        return None
+    return samples.get(())

@@ -1,0 +1,77 @@
+"""JSON-lines trace sink with size-based rotation.
+
+A :class:`JsonlTraceSink` accepts finished span records (plain dicts)
+from a :class:`~repro.obs.trace.Tracer` and appends them, one JSON
+object per line, to ``path``. When the file would exceed ``max_bytes``
+it rotates ``path`` → ``path.1`` → ``path.2`` … keeping at most
+``max_files`` rotated generations — enough to cap disk usage in a soak
+run without an external log shipper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, List
+
+
+class JsonlTraceSink:
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 16 * 1024 * 1024,
+        max_files: int = 3,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
+        if max_files < 1:
+            raise ValueError(f"max_files must be >= 1, got {max_files}")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.written = 0
+        self.rotations = 0
+        self._lock = threading.Lock()
+        self._size = os.path.getsize(path) if os.path.exists(path) else 0
+
+    def write(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            if self._size and self._size + len(data) > self.max_bytes:
+                self._rotate()
+            with open(self.path, "ab") as fh:
+                fh.write(data)
+            self._size += len(data)
+            self.written += 1
+
+    def _rotate(self) -> None:
+        oldest = f"{self.path}.{self.max_files}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for n in range(self.max_files - 1, 0, -1):
+            src = f"{self.path}.{n}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{n + 1}")
+        if os.path.exists(self.path):
+            os.replace(self.path, f"{self.path}.1")
+        self._size = 0
+        self.rotations += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"JsonlTraceSink({self.path!r}, written={self.written}, "
+            f"rotations={self.rotations})"
+        )
+
+
+def read_spans(path: str) -> List[Dict[str, Any]]:
+    """All span records in a sink file, oldest first."""
+    out: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

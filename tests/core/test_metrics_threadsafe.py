@@ -11,7 +11,7 @@ import threading
 
 from repro import Database
 from repro.core import CQManager, EvaluationStrategy
-from repro.metrics import Metrics
+from repro.metrics import Histogram, Metrics
 from repro.storage.update_log import UpdateKind, UpdateLog, UpdateRecord
 from repro.workload.stocks import StockMarket
 
@@ -77,6 +77,50 @@ class TestMetricsThreadSafety:
         m.count("x")
         m.reset()
         assert bool(m)
+
+
+class TestHistogramPercentileEdges:
+    def test_percentile_never_exceeds_observed_max(self):
+        # All samples identical: the covering bucket's upper bound is
+        # 128, but no observed value exceeds 100 — the estimate must
+        # clamp to the true max, not overshoot to the bucket edge.
+        h = Histogram()
+        for __ in range(1_000):
+            h.observe(100)
+        assert h.percentile(50) == 100
+        assert h.percentile(99) == 100
+        assert h.percentile(100) == 100
+
+    def test_percentile_zero_is_min(self):
+        h = Histogram()
+        for v in (7, 40, 3, 900):
+            h.observe(v)
+        assert h.percentile(0) == 3
+        assert h.percentile(100) == 900
+
+    def test_percentile_of_empty_histogram_is_zero(self):
+        h = Histogram()
+        assert h.percentile(0) == 0.0
+        assert h.percentile(50) == 0.0
+        assert h.percentile(99) == 0.0
+
+    def test_interior_percentiles_stay_bucket_bounds(self):
+        # Clamping only bites at the top: interior percentiles still
+        # report the covering bucket's upper bound.
+        h = Histogram()
+        for v in (1, 2, 3, 4, 5, 6, 7, 8):
+            h.observe(v)
+        assert h.percentile(50) == 4  # bucket e=2 covers (2, 4]
+        assert h.percentile(100) == 8
+
+    def test_percentile_bounds_hold_for_mixed_samples(self):
+        h = Histogram()
+        samples = [3, 3, 3, 3, 3, 3, 3, 3, 3, 100]
+        for v in samples:
+            h.observe(v)
+        for p in (0, 10, 50, 90, 99, 100):
+            estimate = h.percentile(p)
+            assert min(samples) <= estimate <= max(samples)
 
 
 class TestLogPruneAtomicity:

@@ -221,3 +221,41 @@ class TestParallelRefresh:
     def test_rejects_negative_parallelism(self, db):
         with pytest.raises(ValueError):
             CQManager(db, parallelism=-1)
+
+    def test_worker_exception_still_delivers_surviving_callbacks(
+        self, db, stocks
+    ):
+        """One CQ raising mid-pool must not eat the other CQs'
+        notifications: their refreshes completed, so their callbacks
+        fire (in registration order) before the exception propagates."""
+        mgr = CQManager(
+            db, strategy=EvaluationStrategy.PERIODIC, parallelism=2
+        )
+        seen = []
+        for i in range(4):
+            mgr.register_sql(
+                f"q{i}",
+                WATCH,
+                on_notify=lambda n: seen.append(n.cq_name),
+            )
+        seen.clear()
+
+        original = mgr._maybe_execute
+
+        def exploding(cq, now):
+            if cq.name == "q1":
+                raise RuntimeError("q1 refresh blew up")
+            original(cq, now)
+
+        mgr._maybe_execute = exploding
+        stocks.insert((9, "SUN", 500))
+        with pytest.raises(RuntimeError, match="q1 refresh blew up"):
+            mgr.poll()
+        assert seen == ["q0", "q2", "q3"]
+        # Deferred-delivery mode is off again: the next poll behaves
+        # normally.
+        mgr._maybe_execute = original
+        seen.clear()
+        stocks.insert((10, "MOON", 501))
+        mgr.poll()
+        assert seen == [f"q{i}" for i in range(4)]

@@ -21,6 +21,7 @@ import random
 import pytest
 
 from repro import Database
+from repro.metrics import Metrics
 from repro.core import (
     AnyOf,
     CountEpsilon,
@@ -160,8 +161,9 @@ def build_trigger(spec):
 
 def run_schedule(schedule, config):
     """Replay one schedule under one configuration; return the
-    observable signature: per-poll notification tuples with complete
-    result states, plus every CQ's final result."""
+    observable signature (per-poll notification tuples with complete
+    result states), every CQ's final result, and the number of delta
+    consolidations the run performed."""
     tables, seed_rows, cq_specs, trigger_specs, steps = schedule
     db = Database()
     handles = {}
@@ -178,6 +180,7 @@ def run_schedule(schedule, config):
         db,
         strategy=EvaluationStrategy.PERIODIC,
         auto_gc=True,
+        metrics=Metrics(),
         **config["manager"],
     )
     for (cq_name, sql), trig_spec in zip(cq_specs, trigger_specs):
@@ -244,7 +247,7 @@ def run_schedule(schedule, config):
         assert result == db.query(sql), (
             f"{cq_name} diverged from complete re-evaluation"
         )
-    return signature, final
+    return signature, final, mgr.metrics[Metrics.DELTA_BATCHES_COMPUTED]
 
 
 def signatures(schedule):
@@ -252,8 +255,23 @@ def signatures(schedule):
 
 
 def mismatches(results):
-    base = results["sequential"]
-    return [name for name, got in results.items() if got != base]
+    # Compare the observable outputs (signature + final results) only;
+    # consolidation counts legitimately differ across configurations.
+    base = results["sequential"][:2]
+    return [name for name, got in results.items() if got[:2] != base]
+
+
+def assert_no_extra_consolidations(seed, results):
+    """Parallel workers racing the per-key cache must not consolidate
+    any window more than once: the thread pool may not do more
+    `delta_since` passes than the sequential cached scheduler."""
+    cached = results["cached"][2]
+    parallel = results["parallel"][2]
+    assert parallel <= cached, (
+        f"seed {seed}: parallel scheduler consolidated {parallel} delta "
+        f"batches vs {cached} for the sequential cached scheduler — the "
+        f"per-key cache admitted duplicate consolidations under races"
+    )
 
 
 def shrink(seed, schedule):
@@ -281,6 +299,7 @@ def test_scheduler_equivalence_randomized(chunk):
         seed = 7_000 + chunk * per_chunk + i
         schedule = make_schedule(seed)
         results = signatures(schedule)
+        assert_no_extra_consolidations(seed, results)
         bad = mismatches(results)
         if bad:
             shrunk, still_bad = shrink(seed, schedule)
@@ -296,6 +315,9 @@ def test_all_four_configs_share_one_known_answer():
     four configurations doing real work (not vacuously equal)."""
     schedule = make_schedule(99)
     results = signatures(schedule)
-    base_signature, base_final = results["sequential"]
+    base_signature, base_final, __ = results["sequential"]
     assert base_signature, "schedule produced no notifications"
     assert mismatches(results) == []
+    assert_no_extra_consolidations(99, results)
+    # The cached configurations actually share (not vacuously equal).
+    assert results["cached"][2] > 0

@@ -33,6 +33,8 @@ from repro.net.messages import (
     Message,
     RegisterMessage,
     ResyncMessage,
+    StatsMessage,
+    StatsReplyMessage,
 )
 
 SCHEMA = Schema.of(
@@ -85,6 +87,10 @@ EVERY_MESSAGE = [
     HelloAckMessage("server", 10, resumed=["watch"], unknown=["other"]),
     HeartbeatMessage(11),
     HeartbeatAckMessage(11, {"watch": 10}),
+    StatsMessage(),
+    StatsReplyMessage(
+        {"server": "s", "counters": {"wal_appends": 3}, "zones": {"c:watch": 4}}
+    ),
 ]
 
 

@@ -215,6 +215,185 @@ class TestBackpressure:
         asyncio.run(scenario())
 
 
+    def test_restore_races_fresh_degrade_in_same_cycle(self):
+        """One backpressure pass can restore a drained session while it
+        degrades a freshly backlogged one; each subscription is counted
+        once and both converge."""
+
+        async def scenario():
+            db, market = build_market()
+            service, addr = await start_service(db, queue_limit=4)
+            fast = CQSession("fast", *addr, auto_fetch=False)
+            slow = CQSession("slow", *addr, auto_fetch=False)
+            await fast.connect()
+            await slow.connect()
+            await fast.register("watch", WATCH)
+            await slow.register("watch", WATCH)
+            (fast_sub,) = service.server.subscriptions_for("fast")
+            (slow_sub,) = service.server.subscriptions_for("slow")
+
+            # Cycle 1: only `fast` is backlogged — it degrades.
+            for __ in range(service.queue_limit):
+                service.sessions()["fast"].outbox.append(
+                    HeartbeatMessage(db.now())
+                )
+            market.tick(50)
+            await service.refresh()
+            assert fast_sub.protocol is Protocol.DRA_LAZY
+            assert slow_sub.protocol is Protocol.DRA_DELTA
+            assert service.metrics[Metrics.BACKPRESSURE_DEGRADES] == 1
+
+            # Let `fast` drain, then stuff `slow` with no await in
+            # between: cycle 2 sees a restorable session and a freshly
+            # backlogged one in the same _apply_backpressure pass.
+            await asyncio.sleep(0.05)
+            for __ in range(service.queue_limit):
+                service.sessions()["slow"].outbox.append(
+                    HeartbeatMessage(db.now())
+                )
+            market.tick(10)
+            await service.refresh()
+            assert fast_sub.protocol is Protocol.DRA_DELTA
+            assert slow_sub.protocol is Protocol.DRA_LAZY
+            assert service.sessions()["fast"].degraded == set()
+            assert service.sessions()["slow"].degraded == {"watch"}
+            # Exactly one degrade per subscription — the second cycle
+            # must not re-count fast's restored sub or double-count
+            # slow's already-lazy one on later cycles.
+            market.tick(10)
+            await service.refresh()
+            assert service.metrics[Metrics.BACKPRESSURE_DEGRADES] == 2
+
+            # Both drain and converge on the live result.
+            await asyncio.sleep(0.05)
+            market.tick(10)
+            await service.refresh()
+            assert fast_sub.protocol is Protocol.DRA_DELTA
+            assert slow_sub.protocol is Protocol.DRA_DELTA
+            for client in (fast, slow):
+                await client.wait_applied("watch", db.now())
+                assert client.result("watch") == db.query(WATCH)
+            await fast.close()
+            await slow.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_disconnect_while_degraded_restores_subscription(self):
+        """A session dropping mid-degrade must not park its retained
+        subscription on DRA_LAZY: a reconnecting client starts a fresh
+        (empty) degraded set, so nothing would ever restore it."""
+
+        async def scenario():
+            db, market = build_market()
+            service, addr = await start_service(db, queue_limit=4)
+            session = CQSession("c1", *addr, auto_fetch=False)
+            await session.connect()
+            await session.register("watch", WATCH)
+            (sub,) = service.server.subscriptions_for("c1")
+            for __ in range(service.queue_limit):
+                service.sessions()["c1"].outbox.append(
+                    HeartbeatMessage(db.now())
+                )
+            market.tick(50)
+            await service.refresh()
+            assert sub.protocol is Protocol.DRA_LAZY
+            assert sub.pending_delta is not None
+
+            # Drop the connection while degraded.
+            await session.close()
+            for __ in range(50):
+                if "c1" not in service.sessions():
+                    break
+                await asyncio.sleep(0.02)
+            assert "c1" not in service.sessions()
+            # The retained subscription resumed the push protocol, the
+            # accumulated delta was folded into the retained result
+            # (not lost, not left pending), and the zone is released.
+            assert sub.protocol is Protocol.DRA_DELTA
+            assert sub.pending_delta is None
+            assert sub.previous_result == db.query(WATCH)
+            assert "c1:watch" not in service.server.zones.boundaries()
+
+            # A reconnect resumes cleanly and keeps receiving deltas.
+            session2 = CQSession("c1", *addr, auto_fetch=False)
+            await session2.connect()
+            await session2.register("watch", WATCH)
+            market.tick(10)
+            await service.refresh()
+            await session2.wait_applied("watch", db.now())
+            assert session2.result("watch") == db.query(WATCH)
+            assert service.metrics[Metrics.BACKPRESSURE_DEGRADES] == 1
+            await session2.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+
+class TestStats:
+    def test_stats_reply_round_trips_over_live_socket(self, tmp_path):
+        async def scenario():
+            db, market = build_market(rows=50)
+            service, addr = await start_service(
+                db, durability=str(tmp_path / "service.wal")
+            )
+            session = CQSession("c1", *addr)
+            await session.connect()
+            await session.register("watch", WATCH)
+            market.tick(20)
+            await service.refresh()
+            await session.wait_applied("watch", db.now())
+
+            stats = await session.stats()
+            counters = stats["counters"]
+            # Ops-critical counters are always present, even at zero.
+            for key in (
+                Metrics.WAL_APPENDS,
+                Metrics.WAL_RECOVERED,
+                Metrics.DIGEST_MISMATCHES,
+                Metrics.BACKPRESSURE_DEGRADES,
+                Metrics.BYTES_ENCODED,
+                Metrics.RECONNECTS,
+                Metrics.RESYNCS,
+            ):
+                assert key in counters
+            assert counters[Metrics.WAL_APPENDS] > 0
+            assert counters[Metrics.BYTES_ENCODED] > 0
+            assert counters[Metrics.DIGEST_MISMATCHES] == 0
+
+            assert stats["server"] == "server"
+            (sess,) = stats["sessions"]
+            assert sess["client"] == "c1"
+            assert sess["degraded"] == []
+            assert "c1:watch" in stats["zones"]
+            (sub_row,) = stats["subscriptions"]
+            assert sub_row["cq"] == "watch"
+            assert sub_row["bytes_sent"] > 0
+            assert "watch" in stats["per_cq"]
+            await session.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_prometheus_exposition_parses(self):
+        async def scenario():
+            db, market = build_market(rows=50)
+            service, addr = await start_service(db)
+            session = CQSession("c1", *addr)
+            await session.connect()
+            await session.register("watch", WATCH)
+            market.tick(20)
+            await service.refresh()
+            from repro.obs import counter_value, parse_prometheus_text
+
+            parsed = parse_prometheus_text(service.prometheus())
+            assert counter_value(parsed, "repro_bytes_encoded") > 0
+            await session.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+
 class TestLifecycle:
     def test_evict_cuts_connection(self):
         async def scenario():

@@ -1,0 +1,110 @@
+"""Exporter round-trips: Prometheus text exposition and the JSONL
+trace sink.
+
+The parser is intentionally strict — it doubles as the format check in
+the smoke bench — so both directions are exercised here: valid output
+parses back to the exact values, malformed lines raise.
+"""
+
+import pytest
+
+from repro.metrics import Metrics
+from repro.obs import (
+    JsonlTraceSink,
+    Tracer,
+    counter_value,
+    parse_prometheus_text,
+    prometheus_text,
+    read_spans,
+)
+
+
+class TestPrometheusText:
+    def test_counters_round_trip(self):
+        metrics = Metrics()
+        metrics.count(Metrics.CQ_REFRESHES, 3)
+        metrics.count(Metrics.ROWS_SCANNED, 41)
+        parsed = parse_prometheus_text(prometheus_text(metrics))
+        assert counter_value(parsed, "repro_cq_refreshes") == 3
+        assert counter_value(parsed, "repro_rows_scanned") == 41
+
+    def test_histograms_are_cumulative_with_inf_bucket(self):
+        metrics = Metrics()
+        for v in (1, 3, 3, 100):
+            metrics.observe("lat_us", v)
+        parsed = parse_prometheus_text(prometheus_text(metrics))
+        buckets = parsed["repro_lat_us_bucket"]
+        # Cumulative counts never decrease along increasing bounds.
+        ordered = sorted(
+            (
+                (float("inf") if le == "+Inf" else float(le), count)
+                for ((__, le),), count in buckets.items()
+            )
+        )
+        counts = [count for __, count in ordered]
+        assert counts == sorted(counts)
+        assert ordered[-1] == (float("inf"), 4)
+        assert counter_value(parsed, "repro_lat_us_sum") == 107
+        assert counter_value(parsed, "repro_lat_us_count") == 4
+
+    def test_namespace_and_names_are_sanitized(self):
+        metrics = Metrics()
+        metrics.count("weird name-here", 1)
+        parsed = parse_prometheus_text(
+            prometheus_text(metrics, namespace="my app")
+        )
+        assert counter_value(parsed, "my_app_weird_name_here") == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "just_a_name\n",
+            "metric not_a_number\n",
+            'metric{le="unterminated 3\n',
+            'metric{le=unquoted} 3\n',
+            "bad~metric 3\n",
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+    def test_comments_and_blank_lines_are_ignored(self):
+        parsed = parse_prometheus_text("\n# TYPE x counter\n\nx 1\n")
+        assert counter_value(parsed, "x") == 1
+
+
+class TestJsonlTraceSink:
+    def test_tracer_spans_land_in_the_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(sink=JsonlTraceSink(path))
+        with tracer.span("refresh", cq="q0"):
+            pass
+        (record,) = read_spans(path)
+        assert record["name"] == "refresh"
+        assert record["cq"] == "q0"
+        assert record["dur_us"] >= 0
+
+    def test_rotation_caps_generations(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlTraceSink(path, max_bytes=200, max_files=2)
+        for i in range(50):
+            sink.write({"name": "s", "i": i})
+        assert sink.written == 50
+        assert sink.rotations > 0
+        assert (tmp_path / "trace.jsonl").exists()
+        assert (tmp_path / "trace.jsonl.1").exists()
+        assert not (tmp_path / "trace.jsonl.3").exists()
+        # Nothing kept exceeds the cap, every surviving line parses,
+        # and the live file holds the newest records.
+        for name in ("trace.jsonl", "trace.jsonl.1", "trace.jsonl.2"):
+            if (tmp_path / name).exists():
+                assert (tmp_path / name).stat().st_size <= 200
+        live = read_spans(path)
+        assert live[-1]["i"] == 49
+
+    def test_rejects_bad_limits(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTraceSink(str(tmp_path / "t"), max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonlTraceSink(str(tmp_path / "t"), max_files=0)

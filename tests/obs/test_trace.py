@@ -1,0 +1,175 @@
+"""Unit tests for the dependency-free tracer.
+
+Determinism is the contract under test: an injected clock makes
+durations exact, a seeded sampler makes sampling reproducible, and
+per-thread span stacks keep parallel workers' traces from
+interleaving.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    """Monotone fake seconds source: each call advances by ``step``."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpanLifecycle:
+    def test_durations_come_from_the_injected_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("stage") as span:
+            pass
+        assert span.duration_us == pytest.approx(1e6)
+        (record,) = tracer.spans("stage")
+        assert record["dur_us"] == pytest.approx(1e6)
+
+    def test_attrs_and_set_land_in_the_record(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("refresh", cq="q0") as span:
+            span.set(rows=7)
+        (record,) = tracer.spans("refresh")
+        assert record["cq"] == "q0"
+        assert record["rows"] == 7
+
+    def test_children_nest_under_the_current_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Children finish first: record order is inner, outer.
+        assert [r["name"] for r in tracer.drain()] == ["outer", "inner"][::-1]
+
+    def test_exceptions_stamp_an_error_attr_and_propagate(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("stage failed")
+        (record,) = tracer.spans("boom")
+        assert "RuntimeError" in record["error"]
+
+
+class TestSampling:
+    def test_disabled_tracer_hands_out_the_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", cq="q")
+        assert span is NULL_SPAN
+        with span:
+            span.set(rows=1)
+        assert tracer.spans() == []
+
+    def test_sample_rate_zero_records_nothing(self):
+        tracer = Tracer(sample_rate=0.0, clock=FakeClock())
+        for __ in range(20):
+            with tracer.span("stage"):
+                pass
+        assert tracer.spans() == []
+
+    def test_seeded_sampling_is_reproducible(self):
+        def sampled_indexes(seed):
+            tracer = Tracer(sample_rate=0.5, seed=seed, clock=FakeClock())
+            for i in range(200):
+                with tracer.span("stage", i=i):
+                    pass
+            return [r["i"] for r in tracer.spans()]
+
+        first = sampled_indexes(42)
+        assert first == sampled_indexes(42)
+        assert first != sampled_indexes(43)
+        assert 0 < len(first) < 200
+
+    def test_children_inherit_the_root_sampling_decision(self):
+        tracer = Tracer(sample_rate=0.5, seed=7, clock=FakeClock())
+        for i in range(50):
+            with tracer.span("root", i=i) as root:
+                with tracer.span("child", i=i) as child:
+                    assert child.sampled == root.sampled
+        roots = {r["i"] for r in tracer.spans("root")}
+        children = {r["i"] for r in tracer.spans("child")}
+        assert roots == children
+
+    def test_rejects_out_of_range_sample_rate(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestRetention:
+    def test_max_spans_bounds_memory_and_counts_drops(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=5)
+        for __ in range(9):
+            with tracer.span("stage"):
+                pass
+        assert len(tracer.spans()) == 5
+        assert tracer.dropped == 4
+        tracer.reset()
+        assert tracer.spans() == []
+        assert tracer.dropped == 0
+
+    def test_drain_removes_and_returns(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("stage"):
+            pass
+        assert [r["name"] for r in tracer.drain()] == ["stage"]
+        assert tracer.spans() == []
+
+    def test_sink_receives_every_sampled_record(self):
+        class ListSink:
+            def __init__(self):
+                self.records = []
+
+            def write(self, record):
+                self.records.append(record)
+
+        sink = ListSink()
+        tracer = Tracer(clock=FakeClock(), sink=sink)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r["name"] for r in sink.records] == ["a", "b"]
+
+
+class TestThreading:
+    def test_each_thread_gets_its_own_root(self):
+        tracer = Tracer(clock=FakeClock())
+        barrier = threading.Barrier(4)
+
+        def worker(i):
+            barrier.wait()
+            with tracer.span("worker-root", worker=i):
+                with tracer.span("worker-child", worker=i):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        roots = tracer.spans("worker-root")
+        children = tracer.spans("worker-child")
+        assert len(roots) == 4 and len(children) == 4
+        # Every root really is a root, and each child binds to its own
+        # worker's root — never to another thread's span.
+        assert all(r["parent"] is None for r in roots)
+        root_by_worker = {r["worker"]: r for r in roots}
+        for child in children:
+            root = root_by_worker[child["worker"]]
+            assert child["parent"] == root["span"]
+            assert child["trace"] == root["trace"]
