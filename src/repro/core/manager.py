@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import threading
 from collections import deque
-from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.errors import RegistrationError
 from repro.metrics import Metrics
@@ -39,6 +39,7 @@ from repro.delta.differential import DeltaRelation
 from repro.delta.diff import diff
 from repro.dra.aggregates import DifferentialAggregate
 from repro.dra.algorithm import dra_execute
+from repro.dra.predindex import PredicateIndex
 from repro.dra.prepared import PlanCache, PreparedCQ
 from repro.core.continual_query import (
     ContinualQuery,
@@ -87,6 +88,7 @@ class CQManager:
         durability=None,
         tracer: Optional[Tracer] = None,
         slow_refresh_us: Optional[float] = None,
+        fanout: bool = False,
     ):
         self.db = db
         #: ``durability=`` accepts a WriteAheadLog (or path) and attaches
@@ -154,6 +156,25 @@ class CQManager:
         # Installed by the scheduler for the duration of one poll; all
         # delta consolidation goes through it when present.
         self._delta_cache: Optional[DeltaBatchCache] = None
+        #: Predicate-index fan-out (DESIGN.md §10): every non-baseline
+        #: CQ's alias-local predicates live in one shared
+        #: :class:`PredicateIndex`, so a poll routes the consolidated
+        #: batch to the affected CQ set in one pass instead of probing
+        #: every CQ's plan; unrouted CQs return an empty delta without
+        #: running an engine (the Section 5.2 relevance theorem makes
+        #: that exact). CQs sharing a ``sql_key`` (identical SQL text)
+        #: additionally share one DRA evaluation per refresh window.
+        self.fanout_index: Optional[PredicateIndex] = (
+            PredicateIndex(metrics) if fanout else None
+        )
+        self._cq_sql_key: Dict[str, str] = {}
+        self._sql_groups: Dict[str, Set[str]] = {}
+        # (tables, since, now) -> routed CQ names; (sql_key, since, now)
+        # -> shared DRAResult. Both are window-scoped: cleared each poll
+        # and bounded against IMMEDIATE-strategy growth.
+        self._fanout_routes: Dict[Tuple, Set[str]] = {}
+        self._shared_results: Dict[Tuple[str, Timestamp, Timestamp], object] = {}
+        self._fanout_lock = threading.Lock()
         # Parallel refresh support: _emit appends under the lock, and
         # with _defer_callbacks the scheduler delivers callbacks after
         # re-sequencing the poll's notifications.
@@ -206,6 +227,7 @@ class CQManager:
         cq.last_execution_ts = now
         cq.executions = 1
         self._cqs[cq.name] = cq
+        self._fanout_register(cq)
         if on_notify is not None:
             self._callbacks.setdefault(cq.name, []).append(on_notify)
         self.zones.register(cq.name, cq.table_names, now)
@@ -324,6 +346,76 @@ class CQManager:
     def __len__(self) -> int:
         return len(self._cqs)
 
+    # -- predicate-index fan-out -------------------------------------------------
+
+    def _fanout_register(self, cq: ContinualQuery) -> None:
+        """Index a CQ's local predicates and join its ``sql_key`` group.
+
+        Baseline (REEVALUATE) CQs never read deltas, so they are not
+        indexed and always refresh; aggregates index their SPJ core —
+        the part DRA differentiates."""
+        index = self.fanout_index
+        if index is None or cq.engine is Engine.REEVALUATE:
+            return
+        query = cq.query.core if cq.is_aggregate else cq.query
+        scopes = {
+            ref.alias: self.db.table(ref.table).schema
+            for ref in query.relations
+        }
+        index.add(cq.name, query, scopes)
+        sql_key = cq.query.to_sql()
+        self._cq_sql_key[cq.name] = sql_key
+        group = self._sql_groups.setdefault(sql_key, set())
+        if not group and self.metrics:
+            self.metrics.count(Metrics.SHARED_GROUPS)
+        group.add(cq.name)
+
+    def _fanout_routed(
+        self, table_names: Tuple[str, ...], since: Timestamp
+    ) -> Set[str]:
+        """The CQ names with at least one relevant pending entry in
+        ``table_names`` over the window ``(since, now]`` — one
+        :meth:`PredicateIndex.match_batch` pass shared by every CQ with
+        the same footprint refreshing over the same window. Scoped to
+        the asking CQ's own tables so the read stays inside the log
+        suffix its delta zone protects from GC."""
+        now = self.db.now()
+        key = (table_names, since, now)
+        with self._fanout_lock:
+            routed = self._fanout_routes.get(key)
+        if routed is not None:
+            return routed
+        deltas = self._deltas_for(table_names, since)
+        routed = self.fanout_index.match_batch(deltas)
+        with self._fanout_lock:
+            if len(self._fanout_routes) > 128:
+                self._fanout_routes.clear()
+            self._fanout_routes[key] = routed
+        return routed
+
+    def _fanout_irrelevant(self, cq: ContinualQuery, since: Timestamp) -> bool:
+        """True when the index proves every pending delta entry is
+        irrelevant to ``cq`` (Section 5.2): the refresh may return an
+        empty delta without running an engine. Unindexed CQs and
+        quarantined (stale-signature) CQs never take the fast path —
+        they refresh normally, which is always sound."""
+        index = self.fanout_index
+        if index is None or cq.name not in index:
+            return False
+        if cq.name in index.stale():
+            return False
+        return cq.name not in self._fanout_routed(cq.table_names, since)
+
+    def _fanout_out_schema(self, cq: ContinualQuery):
+        """The output schema for a skipped refresh's empty delta (None
+        when it cannot be had cheaply — the caller then evaluates)."""
+        prepared = self._prepared_for(cq)
+        if prepared is not None:
+            return prepared.out_schema
+        if cq.previous_result is not None:
+            return cq.previous_result.schema
+        return None
+
     # -- update observation ------------------------------------------------------
 
     def _make_observer(self, cq: ContinualQuery):
@@ -362,6 +454,10 @@ class CQManager:
         """
         if advance_to is not None:
             self.db.clock.advance_to(advance_to)
+        if self.fanout_index is not None:
+            with self._fanout_lock:
+                self._fanout_routes.clear()
+                self._shared_results.clear()
         self.scheduler.run(self.db.now())
         return self.drain()
 
@@ -496,7 +592,12 @@ class CQManager:
 
     def _refresh_aggregate(self, cq: ContinualQuery, now: Timestamp) -> None:
         applied = self._agg_applied[cq.name]
-        deltas = self._deltas_for(cq.table_names, applied)
+        if self._fanout_irrelevant(cq, applied):
+            # Every pending entry misses the SPJ core's local slices:
+            # the aggregate state cannot change, only the window moves.
+            deltas = {}
+        else:
+            deltas = self._deltas_for(cq.table_names, applied)
         if deltas:
             cq.aggregate_state.update(
                 deltas,
@@ -516,7 +617,10 @@ class CQManager:
     def _eager_apply(self, cq: ContinualQuery, now: Timestamp) -> None:
         """Fold all committed changes into the maintained result."""
         applied = self._eager_applied[cq.name]
-        deltas = self._deltas_for(cq.table_names, applied)
+        if self._fanout_irrelevant(cq, applied):
+            deltas = {}
+        else:
+            deltas = self._deltas_for(cq.table_names, applied)
         if deltas:
             result = dra_execute(
                 cq.query,
@@ -561,25 +665,55 @@ class CQManager:
         self._emit(self._notification(cq, delta, now))
 
     def _execute_dra(self, cq: ContinualQuery, now: Timestamp) -> DeltaRelation:
-        deltas = self._deltas_for(cq.table_names, cq.last_execution_ts)
-        with self.tracer.span("dra.apply", cq=cq.name) as span:
-            result = dra_execute(
-                cq.query,
-                self.db,
-                deltas=deltas,
-                previous=cq.previous_result,
-                ts=now,
-                metrics=self._refresh_metrics(),
-                prepared=self._prepared_for(cq),
-                tracer=self.tracer,
-            )
-            span.set(
-                changed=",".join(sorted(result.changed_aliases)),
-                terms=result.terms_evaluated,
-                delta_rows=len(result.delta),
-            )
+        since = cq.last_execution_ts
+        if self._fanout_irrelevant(cq, since):
+            schema = self._fanout_out_schema(cq)
+            if schema is not None:
+                return DeltaRelation(schema)
+        deltas = self._deltas_for(cq.table_names, since)
+        # Shared materialization: CQs with identical SQL text and the
+        # same refresh window have content-identical previous results
+        # (both are Q(state at `since`)), so the whole DRAResult is
+        # computed once per (sql_key, window) and reused group-wide.
+        shared_key = None
+        result = None
+        if self.fanout_index is not None and cq.keep_result:
+            sql_key = self._cq_sql_key.get(cq.name)
+            if sql_key is not None and len(self._sql_groups.get(sql_key, ())) > 1:
+                shared_key = (sql_key, since, now)
+                with self._fanout_lock:
+                    result = self._shared_results.get(shared_key)
+                if result is not None and self.metrics:
+                    self.metrics.count(Metrics.SHARED_GROUP_HITS)
+        if result is None:
+            with self.tracer.span("dra.apply", cq=cq.name) as span:
+                result = dra_execute(
+                    cq.query,
+                    self.db,
+                    deltas=deltas,
+                    previous=cq.previous_result,
+                    ts=now,
+                    metrics=self._refresh_metrics(),
+                    prepared=self._prepared_for(cq),
+                    tracer=self.tracer,
+                )
+                span.set(
+                    changed=",".join(sorted(result.changed_aliases)),
+                    terms=result.terms_evaluated,
+                    delta_rows=len(result.delta),
+                )
+            if shared_key is not None:
+                with self._fanout_lock:
+                    if len(self._shared_results) > 128:
+                        self._shared_results.clear()
+                    self._shared_results[shared_key] = result
         if cq.keep_result and result.has_changes():
-            cq.previous_result = result.complete_result()
+            if shared_key is not None:
+                # Never alias a shared result's materialization across
+                # group members: each applies the delta to its own copy.
+                cq.previous_result = result.delta.apply_to(cq.previous_result)
+            else:
+                cq.previous_result = result.complete_result()
         return result.delta
 
     def _execute_aggregate(self, cq: ContinualQuery, now: Timestamp) -> DeltaRelation:
@@ -630,6 +764,17 @@ class CQManager:
             return
         cq.status = CQStatus.STOPPED
         self.plans.invalidate(cq.name)
+        if self.fanout_index is not None:
+            # Drop the CQ's index entries and leave its sql_key group,
+            # so no future batch is routed to a dead subscriber.
+            self.fanout_index.remove(cq.name)
+            sql_key = self._cq_sql_key.pop(cq.name, None)
+            if sql_key is not None:
+                group = self._sql_groups.get(sql_key)
+                if group is not None:
+                    group.discard(cq.name)
+                    if not group:
+                        del self._sql_groups[sql_key]
         for unsubscribe in self._unsubscribes.pop(cq.name, []):
             unsubscribe()
         self.zones.remove(cq.name)
@@ -739,6 +884,17 @@ class CQManager:
                     "refresh_p95_us": (
                         latency.percentile(95) if latency.count else None
                     ),
+                    # Fan-out routing membership (DESIGN.md §10); the
+                    # global routing counters live in the metrics bag.
+                    "fanout_indexed": (
+                        self.fanout_index is not None
+                        and cq.name in self.fanout_index
+                    ),
+                    "sql_group_size": (
+                        len(self._sql_groups.get(self._cq_sql_key.get(cq.name), ()))
+                        if self.fanout_index is not None
+                        else None
+                    ),
                 }
             )
         return out
@@ -771,6 +927,21 @@ class CQManager:
                 f"invalidations={m.get(Metrics.PLAN_CACHE_INVALIDATIONS)} "
                 f"base_scans={m.get(Metrics.BASE_SCANS)}"
             )
+        if self.fanout_index is not None:
+            info = self.fanout_index.describe()
+            report += (
+                f"\nfanout: indexed={info['subscriptions']} "
+                f"eq={info['eq_entries']} interval={info['interval_entries']} "
+                f"scan={info['scan_entries']} stale={info['stale']} "
+                f"groups={len(self._sql_groups)}"
+            )
+            if self.metrics:
+                m = self.metrics
+                report += (
+                    f" probes={m.get(Metrics.PREDINDEX_PROBES)} "
+                    f"matches={m.get(Metrics.PREDINDEX_MATCHES)} "
+                    f"group_hits={m.get(Metrics.SHARED_GROUP_HITS)}"
+                )
         return report
 
     def __repr__(self) -> str:

@@ -9,13 +9,17 @@ See DESIGN.md S4. Entry points:
 * :class:`DifferentialAggregate` — incremental aggregate maintenance;
 * :func:`diff_select` / :func:`diff_project` / :func:`diff_join` — the
   paper's named differential operator forms;
-* :func:`is_relevant` — Section 5.2's irrelevant-update pre-test.
+* :func:`is_relevant` — Section 5.2's irrelevant-update pre-test;
+* :class:`PredicateIndex` — the Section 5.2 relevance test turned into
+  a shared attribute index over every subscription's local predicates,
+  routing one consolidated delta batch to the affected subscriptions.
 """
 
 from repro.dra.aggregates import DifferentialAggregate
 from repro.dra.algorithm import dra_execute
 from repro.dra.assembly import DRAResult, WeightInvariantError
 from repro.dra.operators import diff_join, diff_project, diff_select
+from repro.dra.predindex import IntervalIndex, PredicateIndex
 from repro.dra.prepared import PlanCache, PreparedCQ, prepare_cq
 from repro.dra.relevance import is_relevant, relevant_entry_counts
 from repro.dra.truth_table import TruthTable
@@ -23,7 +27,9 @@ from repro.dra.truth_table import TruthTable
 __all__ = [
     "DRAResult",
     "DifferentialAggregate",
+    "IntervalIndex",
     "PlanCache",
+    "PredicateIndex",
     "PreparedCQ",
     "TruthTable",
     "WeightInvariantError",

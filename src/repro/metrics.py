@@ -149,6 +149,15 @@ class Metrics:
     REPLAYS = "replays"
     BACKPRESSURE_DEGRADES = "backpressure_degrades"
     RESYNCS = "resyncs"
+    # Predicate-index fan-out layer (repro.dra.predindex): candidate
+    # entries inspected while routing a batch, subscriptions routed,
+    # signature recompiles forced by schema changes, and shared
+    # materialization groups (created / joined beyond the first member).
+    PREDINDEX_PROBES = "predindex_probes"
+    PREDINDEX_MATCHES = "predindex_matches"
+    PREDINDEX_INVALIDATIONS = "predindex_invalidations"
+    SHARED_GROUPS = "shared_groups"
+    SHARED_GROUP_HITS = "shared_group_hits"
     # Durability and self-verification layer (WAL, digests, audits).
     WAL_APPENDS = "wal_appends"
     WAL_RECOVERED = "wal_recovered"

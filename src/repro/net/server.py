@@ -15,7 +15,7 @@ are computed and shipped:
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import NetworkError, RegistrationError
 from repro.metrics import Metrics
@@ -29,6 +29,7 @@ from repro.storage.timestamps import Timestamp
 from repro.delta.capture import deltas_since
 from repro.delta.diff import diff
 from repro.dra.algorithm import dra_execute
+from repro.dra.predindex import PredicateIndex
 from repro.dra.prepared import PlanCache, PreparedCQ
 from repro.core.gc import ActiveDeltaZones
 from repro.core.scheduler import DeltaBatchCache
@@ -95,6 +96,39 @@ class Subscription:
         self.pending_delta = None
 
 
+class SharedGroup:
+    """All subscriptions sharing one canonical SQL text.
+
+    The group owns the fan-out unit of work: one predicate-index entry
+    (``sub_id`` = ``sql_key``), one maintained result, one DRA
+    evaluation per refresh cycle. ``result`` is only ever *replaced*
+    (``delta.apply_to`` returns a fresh relation), never mutated in
+    place, so member subscriptions may alias it as their retained copy
+    and lazily-degraded snapshots stay coherent.
+    """
+
+    __slots__ = ("sql_key", "query", "members", "result", "last_ts")
+
+    def __init__(
+        self,
+        sql_key: str,
+        query: SPJQuery,
+        result: Relation,
+        last_ts: Timestamp,
+    ):
+        self.sql_key = sql_key
+        self.query = query
+        #: Subscription keys ``(client_id, cq_name)`` in the group.
+        self.members: Set[Tuple[str, str]] = set()
+        #: The maintained result at ``last_ts`` — Q(state at last_ts).
+        self.result = result
+        self.last_ts = last_ts
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.query.table_names)))
+
+
 class CQServer:
     """Hosts the database and serves continual-query subscriptions.
 
@@ -124,6 +158,7 @@ class CQServer:
         share_deltas: bool = True,
         audit_interval: int = 0,
         tracer: Optional[Tracer] = None,
+        fanout: bool = False,
     ):
         self.db = db
         self.network = network
@@ -156,6 +191,18 @@ class CQServer:
         self.zones = ActiveDeltaZones(db)
         self._clients: Dict[str, "object"] = {}
         self._subscriptions: Dict[Tuple[str, str], Subscription] = {}
+        #: Predicate-index fan-out (DESIGN.md §10): subscriptions group
+        #: by ``sql_key``; one index entry per group routes each cycle's
+        #: consolidated batch to the affected groups, each of which
+        #: evaluates once and ships the delta to every member — server
+        #: compute per cycle scales with affected *templates*, not
+        #: subscribers. Detached members are skipped (their zones keep
+        #: the replay window); deregistering the last member drops the
+        #: group and its index entry.
+        self.fanout_index: Optional[PredicateIndex] = (
+            PredicateIndex(self.metrics) if fanout else None
+        )
+        self._groups: Dict[str, SharedGroup] = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -293,11 +340,17 @@ class CQServer:
             # initial evaluation and every later differential refresh.
             self.plans.get(query.to_sql(), query)
         now = self.db.now()
-        result = self.db.query(query, self.metrics)
+        group = None
+        if self.fanout_index is not None:
+            result, group = self._join_group(query, now)
+        else:
+            result = self.db.query(query, self.metrics)
         subscription = Subscription(
             client_id, message.cq_name, query, protocol, now, result
         )
         self._subscriptions[key] = subscription
+        if group is not None:
+            group.members.add(key)
         self.zones.register(
             self._zone(client_id, message.cq_name),
             tuple(query.table_names),
@@ -323,12 +376,17 @@ class CQServer:
         return subscription
 
     def deregister(self, client_id: str, cq_name: str) -> None:
-        """Drop a subscription and its GC-protected zone."""
-        if self._subscriptions.pop((client_id, cq_name), None) is None:
+        """Drop a subscription, its GC-protected zone, and its shared
+        ``sql_key`` group membership — the last member leaving also
+        drops the group and its predicate-index entry, so no later
+        batch is ever routed (or fanned out) to a dead subscriber."""
+        subscription = self._subscriptions.pop((client_id, cq_name), None)
+        if subscription is None:
             raise RegistrationError(
                 f"no subscription {cq_name!r} for client {client_id!r}"
             )
         self.zones.remove(self._zone(client_id, cq_name))
+        self._leave_group(subscription, (client_id, cq_name))
         if self.db.wal is not None:
             from repro.storage.wal import KIND_SUB_DEREGISTER
 
@@ -344,10 +402,222 @@ class CQServer:
             s for (cid, __), s in self._subscriptions.items() if cid == client_id
         ]
 
+    # -- shared materialization groups -------------------------------------
+
+    def _join_group(
+        self, query: SPJQuery, now: Timestamp
+    ) -> Tuple[Relation, "SharedGroup"]:
+        """The shared group (and its current result) for one query.
+
+        The first subscription of a template pays the full E_0 and
+        installs the group's predicate-index entry; every later one
+        reuses the maintained group result — advanced differentially to
+        ``now`` first — instead of re-running the query.
+        """
+        sql_key = query.to_sql()
+        group = self._groups.get(sql_key)
+        if group is None:
+            result = self.db.query(query, self.metrics)
+            group = SharedGroup(sql_key, query, result, now)
+            self._groups[sql_key] = group
+            scopes = {
+                ref.alias: self.db.table(ref.table).schema
+                for ref in query.relations
+            }
+            self.fanout_index.add(sql_key, query, scopes)
+            self.metrics.count(Metrics.SHARED_GROUPS)
+        else:
+            self._advance_group(group, now)
+            self.metrics.count(Metrics.SHARED_GROUP_HITS)
+        return group.result, group
+
+    def _leave_group(
+        self, subscription: Subscription, key: Tuple[str, str]
+    ) -> None:
+        if self.fanout_index is None:
+            return
+        group = self._groups.get(subscription.sql_key)
+        if group is None:
+            return
+        group.members.discard(key)
+        if not group.members:
+            del self._groups[subscription.sql_key]
+            self.fanout_index.remove(subscription.sql_key)
+
+    def _advance_group(self, group: SharedGroup, now: Timestamp) -> None:
+        """Bring ``group.result`` forward to Q(state at ``now``)."""
+        if group.last_ts >= now:
+            return
+        deltas = deltas_since(
+            [self.db.table(name) for name in group.tables], group.last_ts
+        )
+        if deltas:
+            result = dra_execute(
+                group.query,
+                self.db,
+                deltas=deltas,
+                previous=group.result,
+                ts=now,
+                metrics=self._metrics(),
+                prepared=self.plans.get(group.sql_key, group.query),
+                tracer=self.tracer,
+            )
+            if result.has_changes():
+                group.result = result.delta.apply_to(group.result)
+        group.last_ts = now
+
+    def _window(
+        self,
+        tables: Tuple[str, ...],
+        since: Timestamp,
+        cache: Optional[DeltaBatchCache],
+        now: Timestamp,
+    ):
+        if cache is not None:
+            return cache.deltas(set(tables), since, now)
+        return deltas_since([self.db.table(name) for name in tables], since)
+
+    def _refresh_fanout(self) -> int:
+        """One predicate-index pass decides which ``sql_key`` groups see
+        relevant entries this cycle; unaffected groups advance without
+        evaluating anything (the Section 5.2 relevance theorem makes
+        their result deltas provably empty), affected groups evaluate
+        once and fan the delta out to every member. Members whose
+        window diverged from the group's (a reconnect replay realigned
+        them mid-cycle) fall back to the per-subscription path and
+        rejoin the group next cycle. Detached members are skipped, not
+        raised on — their zones hold the replay window for reconnect.
+        """
+        sent = 0
+        now = self.db.now()
+        cache = (
+            DeltaBatchCache(self.db, self.metrics, self.tracer)
+            if self.share_deltas
+            else None
+        )
+        routes: Dict[Tuple[Tuple[str, ...], Timestamp], Set[str]] = {}
+        handled: Set[Tuple[str, str]] = set()
+        for sql_key in list(self._groups):
+            group = self._groups[sql_key]
+            members = [
+                self._subscriptions[key]
+                for key in sorted(group.members)
+                if key in self._subscriptions
+            ]
+            sharable = [
+                s
+                for s in members
+                if s.protocol in (Protocol.DRA_DELTA, Protocol.DRA_LAZY)
+                and s.last_ts == group.last_ts
+            ]
+            since = group.last_ts
+            route_key = (group.tables, since)
+            routed = routes.get(route_key)
+            if routed is None:
+                routed = self.fanout_index.match_batch(
+                    self._window(group.tables, since, cache, now)
+                )
+                routes[route_key] = routed
+            if sql_key not in routed:
+                group.last_ts = now
+                for s in sharable:
+                    s.last_ts = now
+                    self._note_refresh(s, True)
+                    handled.add((s.client_id, s.cq_name))
+                continue
+            result = dra_execute(
+                group.query,
+                self.db,
+                deltas=self._window(group.tables, since, cache, now),
+                previous=group.result,
+                ts=now,
+                metrics=self.metrics,
+                prepared=self.plans.get(sql_key, group.query),
+                tracer=self.tracer,
+            )
+            if result.has_changes():
+                group.result = result.delta.apply_to(group.result)
+            group.last_ts = now
+            if len(sharable) > 1:
+                self.metrics.count(
+                    Metrics.SHARED_GROUP_HITS, len(sharable) - 1
+                )
+            for s in sharable:
+                handled.add((s.client_id, s.cq_name))
+                s.last_ts = now
+                if s.protocol is Protocol.DRA_DELTA:
+                    s.previous_result = group.result
+                    if result.delta.is_empty():
+                        self._note_refresh(s, True)
+                        continue
+                    if s.client_id not in self._clients:
+                        self._note_refresh(s, False)
+                        continue
+                    delivered = self._deliver(
+                        s.client_id,
+                        DeltaMessage(
+                            s.cq_name,
+                            result.delta,
+                            now,
+                            relation_digest(group.result),
+                        ),
+                    )
+                    self._note_refresh(s, delivered)
+                    if delivered:
+                        sent += 1
+                else:  # DRA_LAZY: accumulate, announce, apply on fetch.
+                    if result.delta.is_empty():
+                        continue
+                    if s.pending_delta is None:
+                        s.pending_delta = result.delta
+                    else:
+                        s.pending_delta = s.pending_delta.compose(result.delta)
+                    if s.pending_delta.is_empty():
+                        s.pending_delta = None
+                        continue
+                    if s.client_id not in self._clients:
+                        continue
+                    delivered = self._deliver(
+                        s.client_id,
+                        DeltaAvailableMessage(
+                            s.cq_name,
+                            now,
+                            len(s.pending_delta),
+                            delta_wire_size(s.pending_delta),
+                        ),
+                    )
+                    if delivered:
+                        sent += 1
+        # Everyone else — REEVAL baselines, diverged windows — refreshes
+        # on the per-subscription path with scoped cost attribution.
+        for key, subscription in list(self._subscriptions.items()):
+            if key in handled:
+                continue
+            scoped = TeeMetrics(self.metrics)
+            self._scoped_metrics = scoped
+            delivered = False
+            try:
+                delivered = self._refresh_one(subscription, cache)
+            finally:
+                self._scoped_metrics = None
+                self.stats.record(
+                    subscription.cq_name,
+                    {
+                        name: value
+                        for name, value in scoped.snapshot().items()
+                        if value
+                    },
+                )
+            if delivered:
+                sent += 1
+        return sent
+
     # -- refresh ------------------------------------------------------------------
 
     def refresh_all(self) -> int:
         """Recompute and ship every subscription; returns message count."""
+        if self.fanout_index is not None:
+            return self._refresh_fanout()
         sent = 0
         shared: Dict[Tuple[str, Protocol, Timestamp], "object"] = {}
         cache = (
@@ -761,6 +1031,14 @@ class CQServer:
                     "rows_scanned": cost.get(Metrics.ROWS_SCANNED, 0),
                     "delta_rows_read": cost.get(Metrics.DELTA_ROWS_READ, 0),
                     "bytes_sent": cost.get(Metrics.BYTES_SENT, 0),
+                    # Fan-out group membership (DESIGN.md §10); the
+                    # global routing counters live in the metrics bag.
+                    "sql_group_size": (
+                        len(self._groups[sub.sql_key].members)
+                        if self.fanout_index is not None
+                        and sub.sql_key in self._groups
+                        else None
+                    ),
                 }
             )
         return out
@@ -804,6 +1082,19 @@ class CQServer:
             f"audit_divergences={m.get(Metrics.AUDIT_DIVERGENCES)} "
             f"codec_errors={m.get(Metrics.CODEC_ERRORS)}"
         )
+        if self.fanout_index is not None:
+            info = self.fanout_index.describe()
+            report += (
+                f"\nfanout: groups={len(self._groups)} "
+                f"indexed={info['subscriptions']} "
+                f"eq={info['eq_entries']} "
+                f"interval={info['interval_entries']} "
+                f"scan={info['scan_entries']} stale={info['stale']} "
+                f"probes={m.get(Metrics.PREDINDEX_PROBES)} "
+                f"matches={m.get(Metrics.PREDINDEX_MATCHES)} "
+                f"shared_groups={m.get(Metrics.SHARED_GROUPS)} "
+                f"group_hits={m.get(Metrics.SHARED_GROUP_HITS)}"
+            )
         return report
 
     def __repr__(self) -> str:

@@ -221,6 +221,7 @@ class CQService:
         durability=None,
         audit_interval: int = 0,
         tracer=None,
+        fanout: bool = False,
     ):
         self.db = db
         self.metrics = metrics if metrics is not None else (
@@ -248,6 +249,7 @@ class CQService:
                 share_evaluation=share_evaluation,
                 audit_interval=audit_interval,
                 tracer=tracer,
+                fanout=fanout,
             )
         else:
             if audit_interval and not server.audit_interval:
@@ -478,6 +480,11 @@ class CQService:
         Metrics.REPLAYS,
         Metrics.REPLAY_FALLBACKS,
         Metrics.RESYNCS,
+        Metrics.PREDINDEX_PROBES,
+        Metrics.PREDINDEX_MATCHES,
+        Metrics.PREDINDEX_INVALIDATIONS,
+        Metrics.SHARED_GROUPS,
+        Metrics.SHARED_GROUP_HITS,
     )
 
     def stats(self) -> Dict[str, object]:

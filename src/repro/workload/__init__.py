@@ -1,6 +1,7 @@
 """Deterministic workload generators. See DESIGN.md S8."""
 
 from repro.workload.accounts import ACCOUNTS_SCHEMA, Bank
+from repro.workload.fanout import FanoutWorkload, Subscription
 from repro.workload.generators import TableWorkload
 from repro.workload.stocks import (
     STOCKS_SCHEMA,
@@ -13,8 +14,10 @@ from repro.workload.zipf import ZipfSampler
 __all__ = [
     "ACCOUNTS_SCHEMA",
     "Bank",
+    "FanoutWorkload",
     "STOCKS_SCHEMA",
     "StockMarket",
+    "Subscription",
     "TRADES_SCHEMA",
     "TableWorkload",
     "ZipfSampler",

@@ -1,0 +1,121 @@
+"""Zipf-skewed subscriber populations for the fan-out experiments.
+
+A fan-out deployment is many subscribers running *parameterized*
+variants of a few query templates: most subscribers watch a handful of
+popular slices, a long tail watches everything else. This module
+stamps out such a population deterministically — template popularity
+follows a Zipf law over template rank, and every subscription is a
+``(name, sql)`` pair ready for ``CQManager.register_sql`` or a
+``CQClient.register`` call.
+
+Two template families cover the predicate-index shapes:
+
+* equality — ``WHERE <column> = v`` (hash-bucket routing), and
+* interval — ``WHERE <column> >= lo AND <column> < hi`` (interval
+  stabbing).
+
+Because popular templates repeat with identical parameters, the
+generated population also exercises shared materialization: repeats
+share a canonical SQL text, so the manager/server collapses them into
+one maintained group.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One generated subscriber: a name, its SQL, and its template rank."""
+
+    name: str
+    sql: str
+    template_rank: int
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return (self.name, self.sql)
+
+
+@dataclass(frozen=True)
+class _Template:
+    rank: int
+    sql: str
+
+
+class FanoutWorkload:
+    """Stamps out a Zipf-skewed population of parameterized subscriptions.
+
+    ``n_templates`` distinct predicate templates are instantiated over
+    ``domain = [low, high)``; each generated subscriber picks its
+    template by Zipf rank (exponent ``skew``), so rank-0 templates
+    collect the bulk of the population. ``eq_fraction`` of the
+    templates are equality predicates, the rest half-open intervals of
+    width ``interval_width``. Everything is driven by one seeded RNG:
+    the same constructor arguments always produce the same
+    subscriptions, in the same order.
+    """
+
+    def __init__(
+        self,
+        n_templates: int = 100,
+        seed: int = 0,
+        skew: float = 1.0,
+        table: str = "stocks",
+        column: str = "price",
+        projection: str = "name, price",
+        domain: Tuple[int, int] = (0, 1000),
+        eq_fraction: float = 0.5,
+        interval_width: int = 50,
+    ):
+        if n_templates <= 0:
+            raise ValueError("FanoutWorkload needs n_templates >= 1")
+        low, high = domain
+        if high <= low:
+            raise ValueError("domain must be a non-empty half-open interval")
+        if not 0.0 <= eq_fraction <= 1.0:
+            raise ValueError("eq_fraction must lie in [0, 1]")
+        if interval_width <= 0:
+            raise ValueError("interval_width must be positive")
+        self.table = table
+        self.column = column
+        self.domain = (low, high)
+        self.rng = random.Random(seed)
+        self.sampler = ZipfSampler(n_templates, s=skew, rng=self.rng)
+        self._templates: List[_Template] = []
+        n_eq = round(n_templates * eq_fraction)
+        for rank in range(n_templates):
+            if rank < n_eq:
+                value = self.rng.randrange(low, high)
+                predicate = f"{column} = {value}"
+            else:
+                span = min(interval_width, high - low)
+                lo = self.rng.randrange(low, high - span + 1)
+                predicate = f"{column} >= {lo} AND {column} < {lo + span}"
+            self._templates.append(
+                _Template(
+                    rank,
+                    f"SELECT {projection} FROM {table} WHERE {predicate}",
+                )
+            )
+        self._issued = 0
+
+    def templates(self) -> List[str]:
+        """The distinct template SQL texts, by rank."""
+        return [t.sql for t in self._templates]
+
+    def next_subscription(self) -> Subscription:
+        """One more subscriber, drawn from the Zipf popularity law."""
+        rank = self.sampler.sample()
+        name = f"sub{self._issued}"
+        self._issued += 1
+        return Subscription(name, self._templates[rank].sql, rank)
+
+    def subscriptions(self, count: int) -> List[Subscription]:
+        """The next ``count`` subscribers (deterministic per seed)."""
+        return [self.next_subscription() for __ in range(count)]

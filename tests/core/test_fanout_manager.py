@@ -1,0 +1,151 @@
+"""Manager-side fan-out: index routing, shared windows, teardown.
+
+``CQManager(fanout=True)`` holds every non-baseline CQ's local
+predicates in one :class:`~repro.dra.predindex.PredicateIndex`; a poll
+routes the consolidated batch once and CQs outside the routed set
+return a provably-empty delta without running an engine. CQs with
+identical SQL additionally share one DRA evaluation per refresh
+window. The equivalence harness proves the notification sequences
+match the sequential configuration; these tests pin the mechanics —
+registration, routing skips, shared-window hits, and the deregister
+regression (index entries must die with the CQ).
+"""
+
+import pytest
+
+from repro.core import CQManager, Engine, EvaluationStrategy
+from repro.metrics import Metrics
+from repro.relational import AttributeType
+
+
+WATCH_SQL = "SELECT sid, name, price FROM stocks WHERE price > 120"
+
+
+def make_manager(db, **kwargs):
+    return CQManager(
+        db,
+        strategy=EvaluationStrategy.PERIODIC,
+        metrics=Metrics(),
+        fanout=True,
+        **kwargs,
+    )
+
+
+def insert(db, table, *rows):
+    with db.begin() as txn:
+        for row in rows:
+            txn.insert_into(db.table(table), row)
+
+
+class TestIndexLifecycle:
+    def test_registered_cqs_are_indexed(self, db, stocks):
+        mgr = make_manager(db)
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.register_sql("base", WATCH_SQL, engine=Engine.REEVALUATE)
+        assert "watch" in mgr.fanout_index
+        # Baselines never read deltas: not indexed, never skipped.
+        assert "base" not in mgr.fanout_index
+
+    def test_deregister_drops_index_entries(self, db, stocks):
+        """Regression: a deregistered CQ must leave the index and its
+        sql_key group — no routing work, no stale fan-out."""
+        mgr = make_manager(db)
+        mgr.register_sql("a", WATCH_SQL)
+        mgr.register_sql("b", WATCH_SQL)
+        mgr.drain()
+        assert len(mgr.fanout_index) == 2
+        mgr.deregister("a")
+        assert "a" not in mgr.fanout_index
+        assert len(mgr.fanout_index) == 1
+        mgr.deregister("b")
+        assert len(mgr.fanout_index) == 0
+        assert mgr._sql_groups == {}
+        mgr.drain()
+        # Later polls route to nobody and notify nobody.
+        insert(db, "stocks", (7, "NEW", 500))
+        assert mgr.poll(advance_to=db.now() + 1) == []
+
+    def test_stop_condition_also_cleans_up(self, db, stocks):
+        from repro.core import AfterExecutions
+
+        mgr = make_manager(db)
+        mgr.register_sql("once", WATCH_SQL, stop=AfterExecutions(1))
+        insert(db, "stocks", (7, "NEW", 500))
+        mgr.poll(advance_to=db.now() + 1)
+        insert(db, "stocks", (8, "NEW2", 600))
+        mgr.poll(advance_to=db.now() + 1)
+        assert "once" not in mgr.fanout_index
+
+
+class TestRoutingSkip:
+    def test_irrelevant_updates_skip_refresh_work(self, db, stocks):
+        """Updates entirely outside every CQ's slice route to nobody:
+        the poll produces no notifications and near-zero probes."""
+        mgr = make_manager(db)
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.drain()
+        insert(db, "stocks", (50, "LOW", 10))  # price > 120 misses
+        notes = mgr.poll(advance_to=db.now() + 1)
+        assert notes == []
+        assert mgr.metrics[Metrics.PREDINDEX_MATCHES] == 0
+
+    def test_relevant_updates_still_notify(self, db, stocks):
+        mgr = make_manager(db)
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.drain()
+        insert(db, "stocks", (50, "HI", 900))
+        notes = mgr.poll(advance_to=db.now() + 1)
+        assert len(notes) == 1
+        assert mgr.metrics[Metrics.PREDINDEX_MATCHES] >= 1
+
+    def test_immediate_strategy_also_routes(self, db, stocks):
+        mgr = CQManager(
+            db,
+            strategy=EvaluationStrategy.IMMEDIATE,
+            metrics=Metrics(),
+            fanout=True,
+        )
+        mgr.register_sql("watch", WATCH_SQL)
+        mgr.drain()
+        insert(db, "stocks", (50, "LOW", 10))
+        assert mgr.drain() == []
+        insert(db, "stocks", (51, "HI", 900))
+        notes = mgr.drain()
+        assert len(notes) == 1
+
+    def test_aggregate_cqs_take_the_fast_path(self, db, stocks):
+        mgr = make_manager(db)
+        mgr.register_sql(
+            "total", "SELECT COUNT(*) AS n FROM stocks WHERE price > 120"
+        )
+        mgr.drain()
+        insert(db, "stocks", (50, "LOW", 10))
+        assert mgr.poll(advance_to=db.now() + 1) == []
+        insert(db, "stocks", (51, "HI", 900))
+        notes = mgr.poll(advance_to=db.now() + 1)
+        assert len(notes) == 1
+
+
+class TestSharedWindows:
+    def test_identical_sql_evaluates_once_per_window(self, db, stocks):
+        mgr = make_manager(db)
+        for i in range(5):
+            mgr.register_sql(f"w{i}", WATCH_SQL)
+        mgr.drain()
+        insert(db, "stocks", (50, "HI", 900))
+        notes = mgr.poll(advance_to=db.now() + 1)
+        assert len(notes) == 5
+        # Four of the five refreshes reused the shared DRAResult.
+        assert mgr.metrics[Metrics.SHARED_GROUP_HITS] == 4
+        assert mgr.metrics[Metrics.SHARED_GROUPS] == 1
+        # Every CQ's maintained result is independently correct.
+        for i in range(5):
+            assert mgr.get(f"w{i}").previous_result == db.query(WATCH_SQL)
+
+    def test_shared_members_do_not_alias_results(self, db, stocks):
+        mgr = make_manager(db)
+        mgr.register_sql("a", WATCH_SQL)
+        mgr.register_sql("b", WATCH_SQL)
+        insert(db, "stocks", (50, "HI", 900))
+        mgr.poll(advance_to=db.now() + 1)
+        assert mgr.get("a").previous_result is not mgr.get("b").previous_result

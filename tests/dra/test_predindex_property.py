@@ -1,0 +1,221 @@
+"""Property suite: PredicateIndex routing ≡ the naive relevance oracle.
+
+The fan-out layer's whole contract is exactness: for any schema, any
+set of subscription predicates (equalities, ranges, conjunctions,
+disjunctions, negations), and any delta batch (inserts, deletes,
+modifies, null attribute values), :meth:`PredicateIndex.match_batch`
+must return precisely the subscriptions the paper's Section 5.2
+relevance test (:func:`repro.dra.relevance.is_relevant`) would select
+by probing every subscription one at a time. Hypothesis drives the
+randomization; the oracle is the spec.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import Metrics
+from repro.relational.algebra import RelationRef, SPJQuery
+from repro.relational.expressions import ColumnRef, Literal
+from repro.relational.predicates import (
+    Comparison,
+    Not,
+    Or,
+    TruePredicate,
+    conjunction,
+)
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.delta.differential import DeltaEntry, DeltaRelation
+from repro.dra.predindex import PredicateIndex
+from repro.dra.relevance import is_relevant
+
+OPS = ["=", "!=", "<", "<=", ">", ">="]
+
+
+@st.composite
+def schemas(draw):
+    """2–5 columns, mixed INT/STR, named c0..c4."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    types = [
+        draw(st.sampled_from([AttributeType.INT, AttributeType.STR]))
+        for __ in range(n)
+    ]
+    return Schema.of(*[(f"c{i}", t) for i, t in enumerate(types)])
+
+
+def _value_strategy(column_type):
+    if column_type is AttributeType.INT:
+        return st.integers(min_value=-5, max_value=15)
+    return st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+@st.composite
+def atoms(draw, schema):
+    """One column-vs-literal comparison, literal on either side."""
+    position = draw(st.integers(0, len(schema) - 1))
+    attribute = schema.attributes[position]
+    op = draw(st.sampled_from(OPS))
+    value = draw(_value_strategy(attribute.type))
+    ref = ColumnRef(attribute.name)
+    if draw(st.booleans()):
+        return Comparison(op, ref, Literal(value))
+    return Comparison(op, Literal(value), ref)
+
+
+@st.composite
+def local_predicates(draw, schema):
+    """A conjunction of 0–3 conjuncts: atoms, ORs of atoms, NOTs."""
+    n = draw(st.integers(min_value=0, max_value=3))
+    conjuncts = []
+    for __ in range(n):
+        shape = draw(st.sampled_from(["atom", "atom", "atom", "or", "not"]))
+        if shape == "atom":
+            conjuncts.append(draw(atoms(schema)))
+        elif shape == "or":
+            conjuncts.append(Or(draw(atoms(schema)), draw(atoms(schema))))
+        else:
+            conjuncts.append(Not(draw(atoms(schema))))
+    return conjunction(conjuncts)
+
+
+@st.composite
+def delta_batches(draw, schema):
+    """A consolidated batch over one table: nulls included."""
+    n = draw(st.integers(min_value=0, max_value=8))
+
+    def row():
+        return tuple(
+            draw(
+                st.one_of(
+                    st.none(), _value_strategy(attribute.type)
+                )
+            )
+            for attribute in schema.attributes
+        )
+
+    entries = []
+    for tid in range(n):
+        kind = draw(st.sampled_from(["insert", "delete", "modify"]))
+        old = None if kind == "insert" else row()
+        new = None if kind == "delete" else row()
+        entries.append(DeltaEntry(tid, old, new, ts=tid + 1))
+    return DeltaRelation(schema, entries)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_index_matches_oracle_single_table(data):
+    schema = data.draw(schemas())
+    n_subs = data.draw(st.integers(min_value=1, max_value=8))
+    scopes = {"t": schema}
+
+    index = PredicateIndex(Metrics())
+    queries = {}
+    for i in range(n_subs):
+        predicate = data.draw(local_predicates(schema))
+        query = SPJQuery([RelationRef("t")], predicate)
+        queries[f"sub{i}"] = query
+        index.add(f"sub{i}", query, scopes)
+
+    delta = data.draw(delta_batches(schema))
+    deltas = {"t": delta}
+
+    expected = {
+        sub_id
+        for sub_id, query in queries.items()
+        if is_relevant(query, scopes, deltas)
+    }
+    assert index.match_batch(deltas) == expected
+
+    # The targeted single-subscription check agrees entry by entry.
+    for sub_id in queries:
+        assert index.matches(sub_id, deltas) == (sub_id in expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_index_matches_oracle_self_join(data):
+    """Two aliases over one table: a subscription is affected when any
+    alias's local slice is touched — exactly the oracle's disjunction
+    over aliases."""
+    schema = data.draw(schemas())
+    scopes_template = {"a": schema, "b": schema}
+
+    index = PredicateIndex()
+    queries = {}
+    n_subs = data.draw(st.integers(min_value=1, max_value=5))
+    join = Comparison("=", ColumnRef("c0", "a"), ColumnRef("c0", "b"))
+    for i in range(n_subs):
+        local_a = data.draw(local_predicates(schema))
+        local_b = data.draw(local_predicates(schema))
+        qualified = conjunction(
+            [join, _qualify(local_a, "a"), _qualify(local_b, "b")]
+        )
+        query = SPJQuery(
+            [RelationRef("t", "a"), RelationRef("t", "b")], qualified
+        )
+        queries[f"sub{i}"] = query
+        index.add(f"sub{i}", query, scopes_template)
+
+    delta = data.draw(delta_batches(schema))
+    deltas = {"t": delta}
+    expected = {
+        sub_id
+        for sub_id, query in queries.items()
+        if is_relevant(query, scopes_template, deltas)
+    }
+    assert index.match_batch(deltas) == expected
+
+
+def _qualify_expr(expression, alias):
+    if isinstance(expression, ColumnRef):
+        return ColumnRef(expression.name, alias)
+    return expression
+
+
+def _qualify(predicate, alias):
+    """Rewrite a single-relation predicate's refs to a fixed alias."""
+    if isinstance(predicate, Comparison):
+        return Comparison(
+            predicate.op,
+            _qualify_expr(predicate.left, alias),
+            _qualify_expr(predicate.right, alias),
+        )
+    if isinstance(predicate, Or):
+        return Or(*[_qualify(child, alias) for child in predicate.children])
+    if isinstance(predicate, Not):
+        return Not(_qualify(predicate.child, alias))
+    if isinstance(predicate, TruePredicate):
+        return predicate
+    children = [_qualify(child, alias) for child in predicate.conjuncts()]
+    return conjunction(children)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_index_stable_under_removal(data):
+    """Removing a subscription removes exactly its matches — the index
+    stays exact for the survivors."""
+    schema = data.draw(schemas())
+    scopes = {"t": schema}
+    index = PredicateIndex()
+    queries = {}
+    for i in range(data.draw(st.integers(min_value=2, max_value=6))):
+        query = SPJQuery(
+            [RelationRef("t")], data.draw(local_predicates(schema))
+        )
+        queries[f"sub{i}"] = query
+        index.add(f"sub{i}", query, scopes)
+
+    removed = data.draw(st.sampled_from(sorted(queries)))
+    assert index.remove(removed)
+    del queries[removed]
+    assert removed not in index
+
+    delta = data.draw(delta_batches(schema))
+    deltas = {"t": delta}
+    expected = {
+        sub_id
+        for sub_id, query in queries.items()
+        if is_relevant(query, scopes, deltas)
+    }
+    assert index.match_batch(deltas) == expected

@@ -59,6 +59,10 @@ CONFIGS = {
     "cached": dict(engine=Engine.DRA, manager=dict()),
     # Opt-in thread pool on top of the cache.
     "parallel": dict(engine=Engine.DRA, manager=dict(parallelism=4)),
+    # Predicate-index fan-out: one routing pass per poll decides which
+    # CQs can skip their refresh with a provably-empty delta, and CQs
+    # with identical SQL share one DRA evaluation per window.
+    "predindex": dict(engine=Engine.DRA, manager=dict(fanout=True)),
     # The paper's baseline: complete re-evaluation + Diff.
     "reeval": dict(engine=Engine.REEVALUATE, manager=dict()),
 }

@@ -1,0 +1,233 @@
+"""Server-side fan-out: sql_key groups + predicate-index routing.
+
+``CQServer(fanout=True)`` groups subscriptions by canonical SQL text;
+each group owns one maintained result and one predicate-index entry,
+so a refresh cycle routes the consolidated batch to affected *groups*
+and evaluates once per group, not once per subscriber. These tests
+cover the group lifecycle, the deregister/teardown regression (no
+stale fan-out to dead subscribers), detached-member skipping, lazy
+members, and probe-count sublinearity.
+"""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.metrics import Metrics
+from repro.relational.types import AttributeType
+from repro.net.client import CQClient
+from repro.net.server import CQServer, Protocol
+from repro.net.simnet import SimulatedNetwork
+from repro.workload.stocks import StockMarket
+
+WATCH = "SELECT name, price FROM stocks WHERE price > 800"
+OTHER = "SELECT name, price FROM stocks WHERE price < 40"
+
+
+@pytest.fixture
+def deployment(db):
+    market = StockMarket(db, seed=13)
+    market.populate(400)
+    net = SimulatedNetwork()
+    metrics = Metrics()
+    server = CQServer(db, net, metrics=metrics, fanout=True)
+    return db, market, net, server
+
+
+def attach_client(server, name, sql=WATCH, protocol=Protocol.DRA_DELTA):
+    client = CQClient(name)
+    server.attach(client)
+    client.register("watch", sql, protocol)
+    return client
+
+
+class TestGroups:
+    def test_same_sql_shares_one_group(self, deployment):
+        db, __, __, server = deployment
+        clients = [attach_client(server, f"c{i}") for i in range(5)]
+        assert len(server._groups) == 1
+        assert len(server.fanout_index) == 1
+        # Members beyond the first reuse the group's maintained result
+        # instead of re-running E_0.
+        assert server.metrics[Metrics.SHARED_GROUPS] == 1
+        assert server.metrics[Metrics.SHARED_GROUP_HITS] >= 4
+        for client in clients:
+            assert client.result("watch") == db.query(WATCH)
+
+    def test_distinct_sql_distinct_groups(self, deployment):
+        __, __, __, server = deployment
+        attach_client(server, "a", WATCH)
+        attach_client(server, "b", OTHER)
+        assert len(server._groups) == 2
+        assert len(server.fanout_index) == 2
+
+    def test_group_members_converge(self, deployment):
+        db, market, __, server = deployment
+        clients = [attach_client(server, f"c{i}") for i in range(4)]
+        clients.append(attach_client(server, "lazy", WATCH, Protocol.DRA_LAZY))
+        clients.append(attach_client(server, "rv", WATCH, Protocol.REEVAL_DELTA))
+        for __ in range(4):
+            market.tick(30, p_insert=0.1, p_delete=0.1)
+            server.refresh_all()
+        clients[4].fetch("watch")
+        for client in clients:
+            assert client.result("watch") == db.query(WATCH)
+
+    def test_group_evaluates_once_per_cycle(self, deployment):
+        db, market, __, server = deployment
+        for i in range(6):
+            attach_client(server, f"c{i}")
+        market.tick(40, p_insert=0.2)
+        before = server.metrics.snapshot()
+        server.refresh_all()
+        spent = server.metrics.diff(before)
+        # One evaluation for six members: five group hits per cycle.
+        assert spent.get(Metrics.SHARED_GROUP_HITS, 0) == 5
+
+    def test_registration_after_changes_sees_current_state(self, deployment):
+        db, market, __, server = deployment
+        attach_client(server, "first")
+        market.tick(50, p_insert=0.2, p_delete=0.1)
+        late = attach_client(server, "late")
+        assert late.result("watch") == db.query(WATCH)
+
+
+class TestTeardown:
+    def test_deregister_leaves_group_then_drops_it(self, deployment):
+        __, __, __, server = deployment
+        attach_client(server, "a")
+        attach_client(server, "b")
+        server.deregister("a", "watch")
+        assert len(server._groups) == 1
+        assert "a" not in {
+            s.client_id for s in server.subscriptions()
+        }
+        server.deregister("b", "watch")
+        assert server._groups == {}
+        assert len(server.fanout_index) == 0
+
+    def test_no_fanout_to_deregistered_subscriber(self, deployment):
+        """Regression: a dead subscriber must not receive (or break)
+        later refreshes once its group entry is gone."""
+        db, market, net, server = deployment
+        kept = attach_client(server, "kept")
+        gone = attach_client(server, "gone")
+        server.deregister("gone", "watch")
+        before = net.link("server", "gone").messages
+        for __ in range(3):
+            market.tick(30, p_insert=0.2)
+            server.refresh_all()
+        assert net.link("server", "gone").messages == before
+        assert kept.result("watch") == db.query(WATCH)
+
+    def test_deregister_unknown_still_raises(self, deployment):
+        __, __, __, server = deployment
+        with pytest.raises(RegistrationError):
+            server.deregister("nobody", "watch")
+
+    def test_detached_member_skipped_not_raised(self, deployment):
+        """A group fan-out over a detached client's subscription skips
+        the delivery instead of raising NetworkError; the attached
+        members still converge and the detached subscription survives
+        for reconnect."""
+        db, market, __, server = deployment
+        kept = attach_client(server, "kept")
+        attach_client(server, "away")
+        server.detach("away")
+        for __ in range(3):
+            market.tick(30, p_insert=0.2, p_delete=0.1)
+            server.refresh_all()  # must not raise
+        assert kept.result("watch") == db.query(WATCH)
+        assert len(server.subscriptions_for("away")) == 1
+
+
+class TestRouting:
+    def test_unaffected_groups_skip_evaluation(self, db):
+        """Updates touching only one template's slice leave the other
+        groups unrouted: no evaluation, no messages."""
+        db.create_table(
+            "stocks",
+            [("name", AttributeType.STR), ("price", AttributeType.INT)],
+        )
+        table = db.table("stocks")
+        with db.begin() as txn:
+            for i in range(50):
+                txn.insert_into(table, (f"s{i}", i * 10))
+        net = SimulatedNetwork()
+        server = CQServer(db, net, metrics=Metrics(), fanout=True)
+        low = CQClient("low")
+        server.attach(low)
+        low.register("watch", "SELECT name FROM stocks WHERE price < 100")
+        high = CQClient("high")
+        server.attach(high)
+        high.register("watch", "SELECT name FROM stocks WHERE price > 10000")
+        before_high = net.link("server", "high").messages
+        with db.begin() as txn:
+            txn.insert_into(db.table("stocks"), ("tiny", 5))
+        server.refresh_all()
+        assert net.link("server", "high").messages == before_high
+        assert low.result("watch") == db.query(
+            "SELECT name FROM stocks WHERE price < 100"
+        )
+
+    def test_probe_count_sublinear_in_subscribers(self, db):
+        """200 equality templates, one touched row: routed probes stay
+        near-constant instead of scaling with the subscriber count."""
+        db.create_table(
+            "stocks",
+            [("name", AttributeType.STR), ("price", AttributeType.INT)],
+        )
+        table = db.table("stocks")
+        with db.begin() as txn:
+            for i in range(200):
+                txn.insert_into(table, (f"s{i}", i))
+        net = SimulatedNetwork()
+        metrics = Metrics()
+        server = CQServer(db, net, metrics=metrics, fanout=True)
+        clients = []
+        for i in range(200):
+            client = CQClient(f"c{i}")
+            server.attach(client)
+            client.register(
+                "watch", f"SELECT name FROM stocks WHERE price = {i}"
+            )
+            clients.append(client)
+        with db.begin() as txn:
+            txn.insert_into(db.table("stocks"), ("hit", 7))
+        before = metrics.snapshot()
+        server.refresh_all()
+        spent = metrics.diff(before)
+        assert spent.get(Metrics.PREDINDEX_MATCHES, 0) == 1
+        # Two sides per entry at most; nowhere near 200 plan probes.
+        assert spent.get(Metrics.PREDINDEX_PROBES, 0) <= 10
+        assert clients[7].result("watch") == db.query(
+            "SELECT name FROM stocks WHERE price = 7"
+        )
+
+
+class TestEquivalence:
+    def test_fanout_matches_plain_server(self):
+        """The same scripted workload through a fan-out server and a
+        plain per-subscription server produces identical client
+        states."""
+        from repro import Database
+
+        results = {}
+        for fanout in (False, True):
+            db = Database()
+            market = StockMarket(db, seed=99)
+            market.populate(300)
+            server = CQServer(
+                db, SimulatedNetwork(), metrics=Metrics(), fanout=fanout
+            )
+            clients = [
+                attach_client(server, f"c{i}", WATCH) for i in range(3)
+            ]
+            clients.append(attach_client(server, "o", OTHER))
+            for __ in range(5):
+                market.tick(25, p_insert=0.15, p_delete=0.1)
+                server.refresh_all()
+            results[fanout] = [
+                sorted(row.values for row in client.result("watch"))
+                for client in clients
+            ]
+        assert results[False] == results[True]

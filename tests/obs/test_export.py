@@ -73,6 +73,47 @@ class TestPrometheusText:
         parsed = parse_prometheus_text("\n# TYPE x counter\n\nx 1\n")
         assert counter_value(parsed, "x") == 1
 
+    def test_fanout_counters_export(self):
+        """The predicate-index fan-out counters ride the same
+        exposition path as every other counter."""
+        metrics = Metrics()
+        metrics.count(Metrics.PREDINDEX_PROBES, 12)
+        metrics.count(Metrics.PREDINDEX_MATCHES, 4)
+        metrics.count(Metrics.PREDINDEX_INVALIDATIONS, 1)
+        metrics.count(Metrics.SHARED_GROUPS, 2)
+        metrics.count(Metrics.SHARED_GROUP_HITS, 9)
+        parsed = parse_prometheus_text(prometheus_text(metrics))
+        assert counter_value(parsed, "repro_predindex_probes") == 12
+        assert counter_value(parsed, "repro_predindex_matches") == 4
+        assert counter_value(parsed, "repro_predindex_invalidations") == 1
+        assert counter_value(parsed, "repro_shared_groups") == 2
+        assert counter_value(parsed, "repro_shared_group_hits") == 9
+
+    def test_fanout_counters_export_from_live_server(self, db):
+        """End-to-end: a fan-out refresh cycle leaves the routing
+        counters in the scrape, and the strict parser accepts it."""
+        from repro.net.client import CQClient
+        from repro.net.server import CQServer
+        from repro.net.simnet import SimulatedNetwork
+        from repro.workload.stocks import StockMarket
+
+        market = StockMarket(db, seed=3)
+        market.populate(100)
+        metrics = Metrics()
+        server = CQServer(db, SimulatedNetwork(), metrics=metrics, fanout=True)
+        for i in range(2):
+            client = CQClient(f"c{i}")
+            server.attach(client)
+            client.register(
+                "watch", "SELECT name, price FROM stocks WHERE price > 500"
+            )
+        market.tick(20, p_insert=0.2)
+        server.refresh_all()
+        parsed = parse_prometheus_text(prometheus_text(metrics))
+        assert counter_value(parsed, "repro_shared_groups") == 1
+        assert counter_value(parsed, "repro_shared_group_hits") >= 1
+        assert counter_value(parsed, "repro_predindex_probes") >= 1
+
 
 class TestJsonlTraceSink:
     def test_tracer_spans_land_in_the_file(self, tmp_path):

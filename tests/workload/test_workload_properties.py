@@ -1,0 +1,208 @@
+"""Property tests for the workload generators.
+
+The workload layer is the input side of every experiment, so its
+guarantees — seeded determinism, value bounds, valid output — are
+properties, not examples. Hypothesis drives the parameter space:
+Zipf samplers over arbitrary (n, s, seed), TableWorkload over random
+operation mixes, and the fan-out subscription generator over random
+template configurations (every emitted SQL text must parse and keep
+its constants inside the configured domain).
+"""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.relational.expressions import Literal
+from repro.relational.predicates import Comparison
+from repro.relational.sql import parse_query
+from repro.relational.types import AttributeType
+from repro.workload.fanout import FanoutWorkload
+from repro.workload.generators import TableWorkload
+from repro.workload.zipf import ZipfSampler
+
+
+class TestZipfProperties:
+    @given(
+        n=st.integers(1, 500),
+        s=st.floats(0.0, 3.0, allow_nan=False),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_samples_stay_in_bounds(self, n, s, seed):
+        sampler = ZipfSampler(n, s=s, rng=random.Random(seed))
+        for rank in sampler.sample_many(200):
+            assert 0 <= rank < n
+
+    @given(
+        n=st.integers(1, 200),
+        s=st.floats(0.0, 3.0, allow_nan=False),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_seed_determinism(self, n, s, seed):
+        a = ZipfSampler(n, s=s, rng=random.Random(seed)).sample_many(100)
+        b = ZipfSampler(n, s=s, rng=random.Random(seed)).sample_many(100)
+        assert a == b
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_skew_concentrates_mass_on_low_ranks(self, seed):
+        flat = ZipfSampler(50, s=0.0, rng=random.Random(seed))
+        skewed = ZipfSampler(50, s=1.5, rng=random.Random(seed))
+        flat_head = sum(1 for r in flat.sample_many(2000) if r < 5)
+        skewed_head = sum(1 for r in skewed.sample_many(2000) if r < 5)
+        assert skewed_head > flat_head
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, s=-0.5)
+
+
+class TestTableWorkloadProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        operations=st.integers(1, 120),
+        txn_size=st.integers(1, 20),
+        weights=st.tuples(
+            st.floats(0.0, 4.0), st.floats(0.0, 4.0), st.floats(0.1, 4.0)
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_stays_valid(self, seed, operations, txn_size, weights):
+        """After any run: live tids match the table, every row fits the
+        schema bounds its factory promised, counters add up."""
+        insert_w, delete_w, modify_w = weights
+        db = Database()
+        table = db.create_table(
+            "items", [("k", AttributeType.INT), ("v", AttributeType.INT)]
+        )
+        workload = TableWorkload(
+            db,
+            table,
+            row_factory=lambda rng: (rng.randrange(100), rng.randrange(50)),
+            row_mutator=lambda rng, old: (old[0], rng.randrange(50)),
+            seed=seed,
+            insert_weight=insert_w,
+            delete_weight=delete_w,
+            modify_weight=modify_w,
+        )
+        workload.seed_rows(10)
+        workload.run(operations, transaction_size=txn_size)
+        rows = list(table.rows())
+        assert sorted(r.tid for r in rows) == sorted(workload.live_tids())
+        for row in rows:
+            k, v = row.values
+            assert 0 <= k < 100 and 0 <= v < 50
+        assert workload.operations_applied <= 10 + operations
+
+    @given(seed=st.integers(0, 2**16), operations=st.integers(1, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_seed_determinism(self, seed, operations):
+        def build():
+            db = Database()
+            table = db.create_table("items", [("v", AttributeType.INT)])
+            workload = TableWorkload(
+                db,
+                table,
+                row_factory=lambda rng: (rng.randrange(1000),),
+                row_mutator=lambda rng, old: (rng.randrange(1000),),
+                seed=seed,
+            )
+            workload.seed_rows(5)
+            workload.run(operations)
+            return sorted(r.values for r in table.rows())
+
+        assert build() == build()
+
+
+class TestFanoutWorkloadProperties:
+    @given(
+        n_templates=st.integers(1, 60),
+        seed=st.integers(0, 2**16),
+        skew=st.floats(0.0, 2.5, allow_nan=False),
+        eq_fraction=st.floats(0.0, 1.0, allow_nan=False),
+        low=st.integers(-100, 100),
+        span=st.integers(1, 500),
+        width=st.integers(1, 80),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_emitted_sql_parses_with_constants_in_domain(
+        self, n_templates, seed, skew, eq_fraction, low, span, width
+    ):
+        workload = FanoutWorkload(
+            n_templates=n_templates,
+            seed=seed,
+            skew=skew,
+            domain=(low, low + span),
+            eq_fraction=eq_fraction,
+            interval_width=width,
+        )
+        for sub in workload.subscriptions(30):
+            query = parse_query(sub.sql)
+            assert tuple(query.table_names) == ("stocks",)
+            for constant in _constants(query.predicate):
+                assert low <= constant < low + span
+            assert 0 <= sub.template_rank < n_templates
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_seed_determinism(self, seed):
+        def build():
+            workload = FanoutWorkload(n_templates=40, seed=seed)
+            return [s.pair for s in workload.subscriptions(100)]
+
+        assert build() == build()
+        assert build() != [
+            s.pair
+            for s in FanoutWorkload(n_templates=40, seed=seed + 1).subscriptions(100)
+        ]
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_skew_shares_templates(self, seed):
+        """With real skew, far fewer distinct SQL texts than subscribers
+        — the population actually exercises shared materialization."""
+        workload = FanoutWorkload(n_templates=50, seed=seed, skew=1.2)
+        subs = workload.subscriptions(500)
+        counts = Counter(s.sql for s in subs)
+        assert len(counts) < len(subs)
+        assert max(counts.values()) >= 500 / 50
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FanoutWorkload(n_templates=0)
+        with pytest.raises(ValueError):
+            FanoutWorkload(domain=(10, 10))
+        with pytest.raises(ValueError):
+            FanoutWorkload(eq_fraction=1.5)
+        with pytest.raises(ValueError):
+            FanoutWorkload(interval_width=0)
+
+
+def _constants(predicate):
+    """Every literal constant mentioned in a predicate tree."""
+    found = []
+    stack = [predicate]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Comparison):
+            for side in (node.left, node.right):
+                if isinstance(side, Literal):
+                    found.append(side.value)
+            continue
+        for attr in ("left", "right", "operand", "operands"):
+            child = getattr(node, attr, None)
+            if child is None:
+                continue
+            if isinstance(child, (list, tuple)):
+                stack.extend(child)
+            else:
+                stack.append(child)
+    return found
