@@ -89,8 +89,15 @@ class CQManager:
         tracer: Optional[Tracer] = None,
         slow_refresh_us: Optional[float] = None,
         fanout: bool = False,
+        columnar: bool = False,
     ):
         self.db = db
+        #: Columnar term evaluation (DESIGN.md §11): every DRA refresh
+        #: this manager runs executes through the struct-of-arrays
+        #: kernel pipelines in :mod:`repro.dra.kernels` instead of the
+        #: per-row interpreter. Results are identical; the per-kernel
+        #: cost shows up as ``kernel_calls``/``kernel_rows`` counters.
+        self.columnar = columnar
         #: ``durability=`` accepts a WriteAheadLog (or path) and attaches
         #: it to the database, so every commit *and* every CQ
         #: register/deregister below is journaled; recovery goes through
@@ -604,6 +611,7 @@ class CQManager:
                 now,
                 self._refresh_metrics(),
                 prepared=self._prepared_for(cq),
+                columnar=self.columnar,
             )
         # Advance even when the window was empty (or consolidated to
         # nothing): the next differential read starts at `now` either
@@ -630,6 +638,7 @@ class CQManager:
                 metrics=self._refresh_metrics(),
                 prepared=self._prepared_for(cq),
                 tracer=self.tracer,
+                columnar=self.columnar,
             )
             cq.maintained_result = result.delta.apply_to(cq.maintained_result)
         # The log window below `now` is consumed (an empty or net-zero
@@ -696,6 +705,7 @@ class CQManager:
                     metrics=self._refresh_metrics(),
                     prepared=self._prepared_for(cq),
                     tracer=self.tracer,
+                    columnar=self.columnar,
                 )
                 span.set(
                     changed=",".join(sorted(result.changed_aliases)),
@@ -881,6 +891,18 @@ class CQManager:
                     "rows_scanned": cost.get(Metrics.ROWS_SCANNED, 0),
                     "delta_rows_read": cost.get(Metrics.DELTA_ROWS_READ, 0),
                     "refreshes": cost.get(Metrics.CQ_REFRESHES, 0),
+                    # Columnar kernel attribution (DESIGN.md §11):
+                    # non-zero only for refreshes run with columnar=True.
+                    "kernel_calls": cost.get(Metrics.KERNEL_CALLS, 0),
+                    "rows_per_kernel_call": (
+                        round(
+                            cost.get(Metrics.KERNEL_ROWS, 0)
+                            / cost[Metrics.KERNEL_CALLS],
+                            3,
+                        )
+                        if cost.get(Metrics.KERNEL_CALLS)
+                        else 0
+                    ),
                     "refresh_p95_us": (
                         latency.percentile(95) if latency.count else None
                     ),
@@ -927,6 +949,14 @@ class CQManager:
                 f"invalidations={m.get(Metrics.PLAN_CACHE_INVALIDATIONS)} "
                 f"base_scans={m.get(Metrics.BASE_SCANS)}"
             )
+            calls = m.get(Metrics.KERNEL_CALLS)
+            if calls:
+                report += (
+                    f"\nkernels: calls={calls} "
+                    f"rows={m.get(Metrics.KERNEL_ROWS)} "
+                    f"rows_per_call="
+                    f"{m.get(Metrics.KERNEL_ROWS) / calls:.1f}"
+                )
         if self.fanout_index is not None:
             info = self.fanout_index.describe()
             report += (

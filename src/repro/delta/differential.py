@@ -106,6 +106,20 @@ class DeltaRelation:
     # -- construction -----------------------------------------------------
 
     @classmethod
+    def from_consolidated(
+        cls, schema: Schema, entries: Dict[Tid, DeltaEntry]
+    ) -> "DeltaRelation":
+        """Adopt an already-consolidated ``{tid: entry}`` mapping.
+
+        Skips the per-entry duplicate-tid check — the mapping's keys
+        guarantee uniqueness. The caller must ensure each entry's tid
+        equals its key and transfers ownership of ``entries``.
+        """
+        out = cls(schema)
+        out._entries = entries
+        return out
+
+    @classmethod
     def from_records(
         cls, schema: Schema, records: Sequence[UpdateRecord]
     ) -> "DeltaRelation":
@@ -178,6 +192,23 @@ class DeltaRelation:
 
     def is_empty(self) -> bool:
         return not self._entries
+
+    def signed_rows(self) -> Iterator[tuple]:
+        """The delta as a Z-set: ``(tid, values, weight)`` triples, the
+        old side of each entry with weight −1 and the new side with +1.
+
+        This is the signed-set reading of §4.1 the DRA term evaluators
+        are built on: a modify contributes both sides, and summing
+        weighted join results over terms yields Q(S_new) − Q(S_old)
+        directly. Emission order (old before new, entries in
+        consolidation order) is deterministic so the row and columnar
+        evaluators see identical operand layouts.
+        """
+        for entry in self._entries.values():
+            if entry.old is not None:
+                yield (entry.tid, entry.old, -1)
+            if entry.new is not None:
+                yield (entry.tid, entry.new, +1)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DeltaRelation):

@@ -10,6 +10,9 @@ See DESIGN.md S4. Entry points:
 * :func:`diff_select` / :func:`diff_project` / :func:`diff_join` — the
   paper's named differential operator forms;
 * :func:`is_relevant` — Section 5.2's irrelevant-update pre-test;
+* :class:`ColumnBatch` / :class:`TermKernel` — the columnar kernel
+  layer behind ``dra_execute(columnar=True)``: struct-of-arrays
+  batches swept by plan-specialized kernels;
 * :class:`PredicateIndex` — the Section 5.2 relevance test turned into
   a shared attribute index over every subscription's local predicates,
   routing one consolidated delta batch to the affected subscriptions.
@@ -18,6 +21,7 @@ See DESIGN.md S4. Entry points:
 from repro.dra.aggregates import DifferentialAggregate
 from repro.dra.algorithm import dra_execute
 from repro.dra.assembly import DRAResult, WeightInvariantError
+from repro.dra.kernels import ColumnBatch, TermKernel, compile_term_kernel
 from repro.dra.operators import diff_join, diff_project, diff_select
 from repro.dra.predindex import IntervalIndex, PredicateIndex
 from repro.dra.prepared import PlanCache, PreparedCQ, prepare_cq
@@ -25,14 +29,17 @@ from repro.dra.relevance import is_relevant, relevant_entry_counts
 from repro.dra.truth_table import TruthTable
 
 __all__ = [
+    "ColumnBatch",
     "DRAResult",
     "DifferentialAggregate",
     "IntervalIndex",
     "PlanCache",
     "PredicateIndex",
     "PreparedCQ",
+    "TermKernel",
     "TruthTable",
     "WeightInvariantError",
+    "compile_term_kernel",
     "diff_join",
     "diff_project",
     "diff_select",

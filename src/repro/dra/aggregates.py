@@ -84,12 +84,15 @@ class DifferentialAggregate:
         ts: Timestamp,
         metrics: Optional[Metrics] = None,
         prepared=None,
+        columnar: bool = False,
     ) -> DeltaRelation:
         """Fold the base-table deltas in; returns the aggregate delta.
 
         ``prepared`` is an optional pre-compiled plan for the SPJ core
         (see :func:`repro.dra.prepared.prepare_cq`) — the manager hands
-        its cached one through so the core's differential never replans.
+        its cached one through so the core's differential never
+        replans. ``columnar`` selects the struct-of-arrays kernel
+        evaluator for the core differential (DESIGN.md §11).
         """
         if not self._initialized:
             raise ReproError("call initialize() before update()")
@@ -100,6 +103,7 @@ class DifferentialAggregate:
             ts=ts,
             metrics=metrics,
             prepared=prepared,
+            columnar=columnar,
         ).delta
 
         touched: Dict[GroupKey, Optional[Values]] = {}

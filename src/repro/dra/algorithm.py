@@ -39,6 +39,7 @@ from repro.storage.timestamps import Timestamp
 from repro.delta.capture import deltas_since
 from repro.delta.differential import DeltaRelation
 from repro.dra.assembly import DRAResult, TermTrace, accumulate, to_delta
+from repro.dra.kernels import KernelStats
 from repro.dra.operands import BaseOperand, DeltaOperand
 from repro.dra.prepared import PreparedCQ, prepare_cq
 from repro.dra.terms import evaluate_term
@@ -55,6 +56,7 @@ def dra_execute(
     explain: bool = False,
     prepared: Optional[PreparedCQ] = None,
     tracer=None,
+    columnar: bool = False,
 ) -> DRAResult:
     """Differentially re-evaluate ``query`` against ``db``.
 
@@ -68,7 +70,10 @@ def dra_execute(
     caller — typically a plan cache — is responsible for staleness);
     omitted, the query is prepared here, once, for this execution.
     ``tracer`` (a :class:`repro.obs.trace.Tracer`) wraps each evaluated
-    truth-table term in a ``dra.term`` span.
+    truth-table term in a ``dra.term`` span. With ``columnar=True``,
+    terms execute as compiled struct-of-arrays kernel pipelines
+    (:mod:`repro.dra.kernels`) instead of the per-row interpreter —
+    identical results, batch-at-a-time work.
     """
     if prepared is None:
         prepared = prepare_cq(query, db, metrics=metrics, auto_index=False)
@@ -95,12 +100,16 @@ def dra_execute(
     delta_operands: Dict[str, DeltaOperand] = {}
     base_operands: Dict[str, BaseOperand] = {}
     changed = []
+    local_specs = prepared.local_specs
     for ref in query.relations:
         table = db.table(ref.table)
         table_delta = deltas.get(ref.table)
         local = compiled_local[ref.alias]
+        spec = local_specs.get(ref.alias)
         if table_delta is not None and not table_delta.is_empty():
-            operand = DeltaOperand(ref.alias, table_delta, local, metrics)
+            operand = DeltaOperand(
+                ref.alias, table_delta, local, metrics, filter_spec=spec
+            )
             # Local filtering may empty the operand: every change to
             # this relation is irrelevant to the query (Section 5.2),
             # and σ_local(R_old) == σ_local(R_new), so the alias can be
@@ -109,7 +118,7 @@ def dra_execute(
                 delta_operands[ref.alias] = operand
                 changed.append(ref.alias)
         base_operands[ref.alias] = BaseOperand(
-            ref.alias, table, table_delta, local, metrics
+            ref.alias, table, table_delta, local, metrics, filter_spec=spec
         )
 
     if not changed:
@@ -159,7 +168,42 @@ def dra_execute(
                 )
             yield entries
 
-    weights = accumulate(run_terms())
+    def run_terms_columnar():
+        """Step 2+3 in one pass: each term's kernel pipeline sums its
+        weighted candidates straight into the shared weights dict.
+        Kernel counters accumulate locally and flush once."""
+        weights: Dict = {}
+        stats = KernelStats()
+        for row in prepared.truth_rows(changed_key):
+            seed = min(row, key=lambda a: len(delta_operands[a]))
+            kernel = prepared.term_kernel(row, seed)
+            if metrics:
+                metrics.count(Metrics.TERMS_EVALUATED)
+            if trace_terms:
+                with tracer.span(
+                    "dra.term", row=",".join(row), seed=seed
+                ) as span:
+                    produced = kernel.execute(
+                        delta_operands, base_operands, weights, stats, tracer
+                    )
+                    span.set(
+                        seed_rows=len(delta_operands[seed]),
+                        entries=produced,
+                    )
+            else:
+                produced = kernel.execute(
+                    delta_operands, base_operands, weights, stats
+                )
+            if traces is not None:
+                traces.append(
+                    TermTrace(row, seed, len(delta_operands[seed]), produced)
+                )
+        if metrics and stats.calls:
+            metrics.count(Metrics.KERNEL_CALLS, stats.calls)
+            metrics.count(Metrics.KERNEL_ROWS, stats.rows)
+        return weights
+
+    weights = run_terms_columnar() if columnar else accumulate(run_terms())
     delta = to_delta(weights, out_schema, ts)
     if metrics:
         metrics.count(Metrics.EXECUTIONS)

@@ -61,31 +61,41 @@ def to_delta(
     old_side: Dict[Tid, Values] = {}
     new_side: Dict[Tid, Values] = {}
     for (ctid, values), weight in weights.items():
-        if weight == -1:
-            if ctid in old_side:
-                raise WeightInvariantError(
-                    f"two old-side rows for result tid {ctid!r}"
-                )
-            old_side[ctid] = values
-        elif weight == +1:
-            if ctid in new_side:
-                raise WeightInvariantError(
-                    f"two new-side rows for result tid {ctid!r}"
-                )
+        if weight == 1:
             new_side[ctid] = values
+        elif weight == -1:
+            old_side[ctid] = values
         else:
             raise WeightInvariantError(
                 f"weight {weight} for result tid {ctid!r}; expected ±1"
             )
-    entries = []
+    if len(old_side) + len(new_side) != len(weights):
+        # A tid landed twice on the same side and one insert silently
+        # overwrote the other; re-walk to name the offender.
+        seen_old: set = set()
+        seen_new: set = set()
+        for (ctid, _values), weight in weights.items():
+            side, seen = (
+                ("new", seen_new) if weight == 1 else ("old", seen_old)
+            )
+            if ctid in seen:
+                raise WeightInvariantError(
+                    f"two {side}-side rows for result tid {ctid!r}"
+                )
+            seen.add(ctid)
+    # The side dicts are tid-keyed, so entry tids are unique by
+    # construction: build the consolidated mapping directly and skip
+    # DeltaRelation's per-entry duplicate check.
+    entries: Dict[Tid, DeltaEntry] = {}
+    pop_new = new_side.pop
     for ctid, values in old_side.items():
-        new_values = new_side.pop(ctid, None)
+        new_values = pop_new(ctid, None)
         if new_values == values:
             continue  # defensive; zero-sum pairs were dropped earlier
-        entries.append(DeltaEntry(ctid, values, new_values, ts))
+        entries[ctid] = DeltaEntry(ctid, values, new_values, ts)
     for ctid, values in new_side.items():
-        entries.append(DeltaEntry(ctid, None, values, ts))
-    return DeltaRelation(schema, entries)
+        entries[ctid] = DeltaEntry(ctid, None, values, ts)
+    return DeltaRelation.from_consolidated(schema, entries)
 
 
 class TermTrace:

@@ -1,0 +1,703 @@
+"""Columnar Z-set kernels: batch evaluation of truth-table terms.
+
+The row evaluator (:mod:`repro.dra.terms`) interprets one partial at a
+time: every attach is two tuple appends per output row, every residual
+a per-row closure call, every projection a per-row generator. That is
+the textbook interpreted-IVM shape DBToaster and DBSP showed you can
+beat by an order of magnitude — not with different algebra but by
+compiling the maintenance program into per-update *kernels* that sweep
+whole batches.
+
+This module is that compilation step for the DRA. A term's data lives
+in a :class:`ColumnBatch` — struct-of-arrays: one tid column and one
+values column per attachment slot plus a signed-weight vector — and a
+:class:`TermKernel` (compiled once per ``(substituted set, seed)`` from
+the existing :class:`~repro.dra.prepared.TermPlan`, memoized on the
+prepared CQ) executes a flat list of kernel calls:
+
+* **seed** — the delta operand's signed rows, exposed zero-copy as the
+  batch's first slot (:meth:`repro.dra.operands.DeltaOperand.columns`);
+* **filter** — batched residual application. Comparison conjuncts over
+  column refs and literals specialize to single- or two-column index
+  selectors (``[i for i, row in enumerate(col) if ...]``); anything
+  else falls back to the row-compiled predicate over zipped slot
+  columns. A stage that keeps everything returns the batch unchanged;
+* **attach** — hash-join probe building output columns by index-gather:
+  one ``gather`` list of source row indexes drives
+  ``[col[i] for i in gather]`` per existing column, and the attached
+  slot's columns are appended fresh. Base probes memoize per *distinct*
+  key within the call, so fan-out joins pay one probe per key instead
+  of one per row;
+* **accumulate** — fused projection + signed sum straight into the
+  execution-wide weights dict: projection columns are gathered by
+  ``(slot, position)`` and zipped into output tuples, composite result
+  tids by zipping permuted tid columns.
+
+Any stage that empties the batch short-circuits the term. Kernel-level
+observability is accumulated locally (one
+``kernel_calls``/``kernel_rows`` flush per execution, never per row)
+and each kernel call gets a ``dra.kernel`` span when tracing is on.
+
+Columnar output is bit-identical to the row evaluator by construction
+(same operand indexes, same NULL semantics, same weights algebra);
+``tests/dra/test_kernels_property.py`` holds that equivalence under
+randomized schemas, updates, and plans.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.relational.expressions import ColumnRef, Literal
+from repro.relational.predicates import Comparison, _SWAPPED as _SWAP
+from repro.relational.relation import Tid, Values
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+# Kernel kinds, used for span/debug labels.
+SEED = "seed"
+FILTER = "filter"
+ATTACH_DELTA = "attach_delta"
+ATTACH_BASE = "attach_base"
+ACCUMULATE = "accumulate"
+
+
+class ColumnBatch:
+    """Struct-of-arrays partials of one term evaluation.
+
+    ``tids[slot]`` / ``vals[slot]`` are parallel per-slot columns (one
+    tid, one values tuple per row), ``weights`` the signed-weight
+    vector. Columns are append-only and shared freely between batches:
+    kernels build new outer lists but never mutate a column in place,
+    which is what lets the seed kernel expose the delta operand's
+    cached columns zero-copy.
+    """
+
+    __slots__ = ("tids", "vals", "weights")
+
+    def __init__(
+        self,
+        tids: List[List[Tid]],
+        vals: List[List[Values]],
+        weights: List[int],
+    ):
+        self.tids = tids
+        self.vals = vals
+        self.weights = weights
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnBatch({len(self.tids)} slots, {len(self.weights)} rows)"
+        )
+
+
+class KernelStats:
+    """Local accumulator for kernel observability — one metrics flush
+    per execution instead of one count per kernel call (let alone per
+    row)."""
+
+    __slots__ = ("calls", "rows")
+
+    def __init__(self):
+        self.calls = 0
+        self.rows = 0
+
+    def add(self, calls: int, rows: int) -> None:
+        self.calls += calls
+        self.rows += rows
+
+
+# A kernel: (batch, delta_operands, base_operands) -> batch. The seed
+# kernel ignores its (None) input batch.
+Kernel = Callable[
+    [Optional[ColumnBatch], Dict[str, Any], Dict[str, Any]], ColumnBatch
+]
+
+
+def _make_seed(alias: str) -> Kernel:
+    def kernel(batch, delta_operands, base_operands):
+        tids, vals, weights = delta_operands[alias].columns()
+        return ColumnBatch([tids], [vals], weights)
+
+    return kernel
+
+
+def _classify(expr, plan):
+    """``("col", slot, position)`` / ``("lit", value)`` / None."""
+    if isinstance(expr, ColumnRef):
+        return ("col",) + plan.resolve(expr)
+    if isinstance(expr, Literal):
+        return ("lit", expr.value)
+    return None
+
+
+def _make_selector(pred, row_compiled, plan) -> Callable[[ColumnBatch], List[int]]:
+    """A whole-batch selector returning the kept row indexes.
+
+    Comparisons over column refs/literals specialize to direct column
+    sweeps with SQL NULL semantics (NULL compares false); everything
+    else runs the row-compiled predicate over zipped slot columns —
+    the zipped tuple-of-rows *is* the slot-indexed env the closure was
+    compiled against.
+    """
+    if isinstance(pred, Comparison) and pred.op in _OPS:
+        op = _OPS[pred.op]
+        left = _classify(pred.left, plan)
+        right = _classify(pred.right, plan)
+        if left and right:
+            if left[0] == "col" and right[0] == "lit":
+                __, s, p = left
+                const = right[1]
+
+                def select(batch, _s=s, _p=p, _c=const, _op=op):
+                    if _c is None:
+                        return []
+                    return [
+                        i
+                        for i, row in enumerate(batch.vals[_s])
+                        if (v := row[_p]) is not None and _op(v, _c)
+                    ]
+
+                return select
+            if left[0] == "lit" and right[0] == "col":
+                const = left[1]
+                __, s, p = right
+
+                def select(batch, _s=s, _p=p, _c=const, _op=op):
+                    if _c is None:
+                        return []
+                    return [
+                        i
+                        for i, row in enumerate(batch.vals[_s])
+                        if (v := row[_p]) is not None and _op(_c, v)
+                    ]
+
+                return select
+            if left[0] == "col" and right[0] == "col":
+                __, s1, p1 = left
+                __, s2, p2 = right
+
+                if s1 == s2:
+
+                    def select(batch, _s=s1, _p1=p1, _p2=p2, _op=op):
+                        return [
+                            i
+                            for i, row in enumerate(batch.vals[_s])
+                            if (a := row[_p1]) is not None
+                            and (b := row[_p2]) is not None
+                            and _op(a, b)
+                        ]
+
+                else:
+
+                    def select(batch, _s1=s1, _p1=p1, _s2=s2, _p2=p2, _op=op):
+                        return [
+                            i
+                            for i, (ra, rb) in enumerate(
+                                zip(batch.vals[_s1], batch.vals[_s2])
+                            )
+                            if (a := ra[_p1]) is not None
+                            and (b := rb[_p2]) is not None
+                            and _op(a, b)
+                        ]
+
+                return select
+
+    def select(batch, _pred=row_compiled):
+        return [i for i, env in enumerate(zip(*batch.vals)) if _pred(env)]
+
+    return select
+
+
+def _make_filter(pred, row_compiled, plan) -> Kernel:
+    selector = _make_selector(pred, row_compiled, plan)
+
+    def kernel(batch, delta_operands, base_operands):
+        keep = selector(batch)
+        if len(keep) == len(batch.weights):
+            return batch
+        weights = batch.weights
+        return ColumnBatch(
+            [[c[i] for i in keep] for c in batch.tids],
+            [[c[i] for i in keep] for c in batch.vals],
+            [weights[i] for i in keep],
+        )
+
+    return kernel
+
+
+def _make_grouper(
+    sources: Tuple[Tuple[int, int], ...]
+) -> Callable[[ColumnBatch], Dict[Tuple, List[int]]]:
+    """One-pass ``{join key: [row indexes]}`` grouping of a batch.
+
+    Fuses key extraction with grouping (no intermediate key list); keys
+    stay tuples because probe sources are keyed by tuples.
+    """
+    if len(sources) == 1:
+        ((s, p),) = sources
+
+        def group(batch, _s=s, _p=p):
+            groups: Dict[Tuple, List[int]] = {}
+            get = groups.get
+            for i, row in enumerate(batch.vals[_s]):
+                key = (row[_p],)
+                lst = get(key)
+                if lst is None:
+                    groups[key] = [i]
+                else:
+                    lst.append(i)
+            return groups
+
+    else:
+        slots = tuple(s for s, __ in sources)
+        poss = tuple(p for __, p in sources)
+
+        def group(batch, _slots=slots, _poss=poss):
+            groups: Dict[Tuple, List[int]] = {}
+            get = groups.get
+            cols = [batch.vals[s] for s in _slots]
+            for i, rows in enumerate(zip(*cols)):
+                key = tuple(row[p] for row, p in zip(rows, _poss))
+                lst = get(key)
+                if lst is None:
+                    groups[key] = [i]
+                else:
+                    lst.append(i)
+            return groups
+
+    return group
+
+
+def _extend(
+    batch: ColumnBatch,
+    gather: List[int],
+    new_tids: List[Tid],
+    new_vals: List[Values],
+    out_weights: List[int],
+) -> ColumnBatch:
+    """Index-gather the existing columns through ``gather`` and append
+    the freshly attached slot."""
+    tids = [[c[i] for i in gather] for c in batch.tids]
+    vals = [[c[i] for i in gather] for c in batch.vals]
+    tids.append(new_tids)
+    vals.append(new_vals)
+    return ColumnBatch(tids, vals, out_weights)
+
+
+def _make_attach_delta(step) -> Kernel:
+    alias = step.alias
+    positions = step.key_positions
+    if positions:
+        grouper = _make_grouper(step.key_sources)
+
+        def kernel(batch, delta_operands, base_operands):
+            buckets = delta_operands[alias].index_on(positions)
+            bucket_get = buckets.get
+            src_w = batch.weights
+            gather: List[int] = []
+            new_tids: List[Tid] = []
+            new_vals: List[Values] = []
+            out_w: List[int] = []
+            ge, te, ve, we = (
+                gather.extend,
+                new_tids.extend,
+                new_vals.extend,
+                out_w.extend,
+            )
+            # Group-by-key: the per-output-row work is list extension
+            # and repetition at C speed, one Python iteration per
+            # (distinct key, bucket row) pair instead of per output row.
+            for key, idxs in grouper(batch).items():
+                bucket = bucket_get(key)
+                if not bucket:
+                    continue
+                n = len(idxs)
+                w_g = [src_w[i] for i in idxs]
+                for tid, values, w in bucket:
+                    ge(idxs)
+                    te([tid] * n)
+                    ve([values] * n)
+                    we([w0 * w for w0 in w_g] if w != 1 else w_g)
+            return _extend(batch, gather, new_tids, new_vals, out_w)
+
+    else:
+
+        def kernel(batch, delta_operands, base_operands):
+            rows = delta_operands[alias].rows
+            gather: List[int] = []
+            new_tids: List[Tid] = []
+            new_vals: List[Values] = []
+            out_w: List[int] = []
+            if rows:
+                n = len(rows)
+                row_tids = [t for t, __, __ in rows]
+                row_vals = [v for __, v, __ in rows]
+                row_ws = [w for __, __, w in rows]
+                for i, w0 in enumerate(batch.weights):
+                    gather.extend([i] * n)
+                    new_tids.extend(row_tids)
+                    new_vals.extend(row_vals)
+                    out_w.extend(
+                        row_ws if w0 == 1 else [w0 * w for w in row_ws]
+                    )
+            return _extend(batch, gather, new_tids, new_vals, out_w)
+
+    return kernel
+
+
+def _make_attach_base(step) -> Kernel:
+    alias = step.alias
+    positions = step.key_positions
+    if positions:
+        grouper = _make_grouper(step.key_sources)
+
+        def kernel(batch, delta_operands, base_operands):
+            groups = grouper(batch)
+            # One probe per distinct key of the whole batch: fan-out
+            # joins (many partials sharing a key) pay |keys| probes,
+            # not |rows|.
+            matches_for = base_operands[alias].probe_batch(
+                positions, groups.keys()
+            )
+            if not matches_for:
+                return _extend(batch, [], [], [], [])
+            src_w = batch.weights
+            gather: List[int] = []
+            new_tids: List[Tid] = []
+            new_vals: List[Values] = []
+            out_w: List[int] = []
+            ge, te, ve, we = (
+                gather.extend,
+                new_tids.extend,
+                new_vals.extend,
+                out_w.extend,
+            )
+            get = matches_for.get
+            for key, idxs in groups.items():
+                matches = get(key)
+                if not matches:
+                    continue
+                n = len(idxs)
+                w_g = [src_w[i] for i in idxs]
+                for tid, values in matches:
+                    ge(idxs)
+                    te([tid] * n)
+                    ve([values] * n)
+                    we(w_g)
+            return _extend(batch, gather, new_tids, new_vals, out_w)
+
+    else:
+
+        def kernel(batch, delta_operands, base_operands):
+            rows = base_operands[alias].scan()
+            gather: List[int] = []
+            new_tids: List[Tid] = []
+            new_vals: List[Values] = []
+            out_w: List[int] = []
+            if rows:
+                n = len(rows)
+                row_tids = [t for t, __ in rows]
+                row_vals = [v for __, v in rows]
+                for i, w0 in enumerate(batch.weights):
+                    gather.extend([i] * n)
+                    new_tids.extend(row_tids)
+                    new_vals.extend(row_vals)
+                    out_w.extend([w0] * n)
+            return _extend(batch, gather, new_tids, new_vals, out_w)
+
+    return kernel
+
+
+def _fuse_step_residuals(step, plan):
+    """Classify a base attach's residuals for fusion into the attach.
+
+    Returns ``(pair, match_pre)`` when every residual of the step is a
+    simple comparison involving the newly attached slot:
+
+    * ``pair`` — at most one cross-slot comparison ``(batch_slot,
+      batch_pos, match_pos, op)``, oriented so it reads
+      ``op(batch_value, match_value)`` and evaluated per (batch row,
+      probe match) pair during attachment;
+    * ``match_pre`` — ``(match_pos, op, const)`` prefilters that depend
+      on the attached rows alone, applied once per distinct join key.
+
+    Returns ``None`` when any residual falls outside those shapes (or a
+    second cross-slot comparison appears); the compiler then keeps the
+    plain attach followed by filter stages.
+    """
+    new_slot = plan.slots[step.alias]
+    pair = None
+    match_pre = []
+    for pred in step.residual_preds:
+        if not (isinstance(pred, Comparison) and pred.op in _OPS):
+            return None
+        left = _classify(pred.left, plan)
+        right = _classify(pred.right, plan)
+        if not left or not right:
+            return None
+        op_name = pred.op
+        if left[0] == "lit" and right[0] == "col":
+            left, right, op_name = right, left, _SWAP[op_name]
+        if left[0] == "col" and right[0] == "lit":
+            if left[1] != new_slot or right[1] is None:
+                return None  # batch-side or null literal: keep filter
+            match_pre.append((left[2], _OPS[op_name], right[1]))
+            continue
+        if left[0] == "col" and right[0] == "col":
+            if left[1] == new_slot and right[1] != new_slot:
+                left, right, op_name = right, left, _SWAP[op_name]
+            if left[1] == new_slot or right[1] != new_slot or pair is not None:
+                return None
+            pair = (left[1], left[2], right[2], _OPS[op_name])
+            continue
+        return None
+    return pair, tuple(match_pre)
+
+
+def _prefilter_matches(matches, pre):
+    """Apply ``(match_pos, op, const)`` prefilters to probe matches."""
+    if len(pre) == 1:
+        ((p, op, c),) = pre
+        return [tv for tv in matches if (x := tv[1][p]) is not None and op(x, c)]
+    out = matches
+    for p, op, c in pre:
+        out = [tv for tv in out if (x := tv[1][p]) is not None and op(x, c)]
+    return out
+
+
+def _make_attach_base_fused(step, plan, pair, match_pre) -> Kernel:
+    """Base attach with the step's residuals fused into match selection.
+
+    Rejected (row, match) pairs are never extended into the output
+    columns, so the pre-residual fan-out is never materialized and the
+    separate selector + compaction passes disappear. The pair condition
+    iterates whichever side of each group is smaller and sweeps the
+    other in a comprehension.
+    """
+    alias = step.alias
+    positions = step.key_positions
+    grouper = _make_grouper(step.key_sources)
+    if pair is not None:
+        b_slot, b_pos, m_pos, pair_op = pair
+
+    def kernel(batch, delta_operands, base_operands):
+        groups = grouper(batch)
+        matches_for = base_operands[alias].probe_batch(
+            positions, groups.keys()
+        )
+        src_w = batch.weights
+        gather: List[int] = []
+        new_tids: List[Tid] = []
+        new_vals: List[Values] = []
+        out_w: List[int] = []
+        if matches_for:
+            ge, te, ve, we = (
+                gather.extend,
+                new_tids.extend,
+                new_vals.extend,
+                out_w.extend,
+            )
+            get = matches_for.get
+            bcol = batch.vals[b_slot] if pair is not None else None
+            for key, idxs in groups.items():
+                matches = get(key)
+                if not matches:
+                    continue
+                if match_pre:
+                    matches = _prefilter_matches(matches, match_pre)
+                    if not matches:
+                        continue
+                if pair is None:
+                    n = len(idxs)
+                    w_g = [src_w[i] for i in idxs]
+                    for tid, values in matches:
+                        ge(idxs)
+                        te([tid] * n)
+                        ve([values] * n)
+                        we(w_g)
+                elif len(matches) <= len(idxs):
+                    for tid, values in matches:
+                        y = values[m_pos]
+                        if y is None:
+                            continue
+                        sel = [
+                            i
+                            for i in idxs
+                            if (x := bcol[i][b_pos]) is not None
+                            and pair_op(x, y)
+                        ]
+                        if sel:
+                            n = len(sel)
+                            ge(sel)
+                            te([tid] * n)
+                            ve([values] * n)
+                            we([src_w[i] for i in sel])
+                else:
+                    for i in idxs:
+                        x = bcol[i][b_pos]
+                        if x is None:
+                            continue
+                        sel = [
+                            tv
+                            for tv in matches
+                            if (y := tv[1][m_pos]) is not None
+                            and pair_op(x, y)
+                        ]
+                        if sel:
+                            n = len(sel)
+                            ge([i] * n)
+                            te([tv[0] for tv in sel])
+                            ve([tv[1] for tv in sel])
+                            we([src_w[i]] * n)
+        return _extend(batch, gather, new_tids, new_vals, out_w)
+
+    return kernel
+
+
+def _make_accumulate(plan):
+    """Fused project + signed-sum into the execution-wide weights dict.
+
+    Returns ``(batch, weights) -> rows accumulated``.
+    """
+    refs = plan.project_refs
+    perm = plan.tid_perm
+    row_project = plan.project
+
+    def accumulate(batch: ColumnBatch, weights: Dict) -> int:
+        n = len(batch.weights)
+        if not n:
+            return 0
+        if refs is not None:
+            if refs:
+                cols = [[row[p] for row in batch.vals[s]] for s, p in refs]
+                vals_iter = zip(*cols)
+            else:
+                vals_iter = iter([()] * n)
+        else:
+            vals_iter = (row_project(env) for env in zip(*batch.vals))
+        if perm is None:
+            tid_iter = iter(batch.tids[0])
+        else:
+            tid_iter = zip(*(batch.tids[i] for i in perm))
+        get = weights.get
+        pop = weights.pop
+        # The inner zip materializes each (result tid, values) key
+        # tuple at C level; no per-row unpack-and-repack in bytecode.
+        for key, w in zip(zip(tid_iter, vals_iter), batch.weights):
+            total = get(key, 0) + w
+            if total:
+                weights[key] = total
+            else:
+                pop(key, None)
+        return n
+
+    return accumulate
+
+
+class TermKernel:
+    """The compiled kernel pipeline of one truth-table term."""
+
+    __slots__ = ("plan", "ops", "_accumulate")
+
+    def __init__(self, plan, ops, accumulate_fn):
+        self.plan = plan
+        #: ``(kind, alias, kernel)`` triples, in execution order.
+        self.ops = ops
+        self._accumulate = accumulate_fn
+
+    def execute(
+        self,
+        delta_operands: Dict[str, Any],
+        base_operands: Dict[str, Any],
+        weights: Dict,
+        stats: Optional[KernelStats] = None,
+        tracer=None,
+    ) -> int:
+        """Run the pipeline, accumulating into ``weights``; returns the
+        number of candidate rows produced (pre-accumulation), exactly
+        the row evaluator's ``len(entries)``."""
+        trace = tracer is not None and tracer.enabled
+        calls = 0
+        rows = 0
+        batch: Optional[ColumnBatch] = None
+        for kind, alias, fn in self.ops:
+            rows_in = len(batch.weights) if batch is not None else 0
+            if trace:
+                with tracer.span(
+                    "dra.kernel", kernel=kind, alias=alias
+                ) as span:
+                    batch = fn(batch, delta_operands, base_operands)
+                    span.set(rows_in=rows_in, rows_out=len(batch.weights))
+            else:
+                batch = fn(batch, delta_operands, base_operands)
+            calls += 1
+            # Rows swept by this call: the input batch (the seed sweeps
+            # what it materializes).
+            rows += rows_in if kind != SEED else len(batch.weights)
+            if not batch.weights:
+                if stats is not None:
+                    stats.add(calls, rows)
+                return 0
+        produced = len(batch.weights)
+        calls += 1
+        rows += produced
+        if trace:
+            with tracer.span(
+                "dra.kernel", kernel=ACCUMULATE, alias=self.plan.seed
+            ) as span:
+                self._accumulate(batch, weights)
+                span.set(rows_in=produced, rows_out=produced)
+        else:
+            self._accumulate(batch, weights)
+        if stats is not None:
+            stats.add(calls, rows)
+        return produced
+
+    def __repr__(self) -> str:
+        kinds = "→".join(kind for kind, __, __ in self.ops)
+        return f"TermKernel({kinds}→{ACCUMULATE})"
+
+
+def compile_term_kernel(plan) -> TermKernel:
+    """Specialize the kernel pipeline of one term from its prepared
+    :class:`~repro.dra.prepared.TermPlan`."""
+    ops: List[Tuple[str, str, Kernel]] = [(SEED, plan.seed, _make_seed(plan.seed))]
+    for compiled, pred in zip(plan.seed_residuals, plan.seed_residual_preds):
+        ops.append((FILTER, plan.seed, _make_filter(pred, compiled, plan)))
+    for step in plan.steps:
+        if step.is_delta:
+            ops.append((ATTACH_DELTA, step.alias, _make_attach_delta(step)))
+        elif (
+            step.residuals
+            and step.key_positions
+            and len(step.residuals) == len(step.residual_preds)
+            and (fused := _fuse_step_residuals(step, plan)) is not None
+        ):
+            # All residuals of this step fuse into the attach: skip the
+            # filter stages entirely.
+            pair, match_pre = fused
+            ops.append(
+                (
+                    ATTACH_BASE,
+                    step.alias,
+                    _make_attach_base_fused(step, plan, pair, match_pre),
+                )
+            )
+            continue
+        else:
+            ops.append((ATTACH_BASE, step.alias, _make_attach_base(step)))
+        for compiled, pred in zip(step.residuals, step.residual_preds):
+            ops.append((FILTER, step.alias, _make_filter(pred, compiled, plan)))
+    return TermKernel(plan, tuple(ops), _make_accumulate(plan))

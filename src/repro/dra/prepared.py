@@ -53,7 +53,11 @@ from repro.relational.binding import EnvBinder, SingleRowBinder
 from repro.relational.evaluate import expand_star, spj_output_schema
 from repro.relational.expressions import Binder, ColumnRef, Compiled
 from repro.relational.planning import PredicatePlan, plan_predicate
-from repro.relational.predicates import CompiledPredicate, TruePredicate
+from repro.relational.predicates import (
+    CompiledPredicate,
+    TruePredicate,
+    comparison_specs,
+)
 from repro.relational.schema import Schema
 from repro.storage.database import Database
 from repro.dra.truth_table import TruthTable
@@ -88,10 +92,20 @@ class AttachStep:
     relation (empty = cross product); ``key_sources`` are the matching
     ``(slot, position)`` pairs into the partial tuple built so far;
     ``residuals`` are the slot-compiled residual conjuncts that become
-    fully bound once this operand is attached.
+    fully bound once this operand is attached. ``residual_preds`` keeps
+    the matching predicate ASTs (parallel to ``residuals``) so the
+    columnar kernel compiler (:mod:`repro.dra.kernels`) can specialize
+    whole-column selectors instead of calling the row closures.
     """
 
-    __slots__ = ("alias", "is_delta", "key_positions", "key_sources", "residuals")
+    __slots__ = (
+        "alias",
+        "is_delta",
+        "key_positions",
+        "key_sources",
+        "residuals",
+        "residual_preds",
+    )
 
     def __init__(
         self,
@@ -100,12 +114,14 @@ class AttachStep:
         key_positions: Tuple[int, ...],
         key_sources: Tuple[Tuple[int, int], ...],
         residuals: Tuple[CompiledPredicate, ...],
+        residual_preds: Tuple = (),
     ):
         self.alias = alias
         self.is_delta = is_delta
         self.key_positions = key_positions
         self.key_sources = key_sources
         self.residuals = residuals
+        self.residual_preds = residual_preds
 
     def __repr__(self) -> str:
         kind = "Δ" if self.is_delta else "R"
@@ -113,9 +129,28 @@ class AttachStep:
 
 
 class TermPlan:
-    """The resolved evaluation recipe of one truth-table term."""
+    """The resolved evaluation recipe of one truth-table term.
 
-    __slots__ = ("seed", "seed_residuals", "steps", "project", "tid_perm")
+    Beyond the row-path closures, the plan retains what the columnar
+    compiler needs to specialize whole-batch kernels: the predicate
+    ASTs of every residual stage, the final alias→slot layout plus the
+    env binder (so a :class:`~repro.relational.expressions.ColumnRef`
+    resolves to ``(slot, position)``), and — when every output column
+    is a plain column reference, which SQL-parsed SPJ select lists
+    guarantee — the projection as pure ``(slot, position)`` gathers.
+    """
+
+    __slots__ = (
+        "seed",
+        "seed_residuals",
+        "seed_residual_preds",
+        "steps",
+        "project",
+        "project_refs",
+        "tid_perm",
+        "slots",
+        "_env_binder",
+    )
 
     def __init__(
         self,
@@ -124,14 +159,32 @@ class TermPlan:
         steps: Tuple[AttachStep, ...],
         project: Callable[[Tuple], Tuple],
         tid_perm: Optional[Tuple[int, ...]],
+        seed_residual_preds: Tuple = (),
+        project_refs: Optional[Tuple[Tuple[int, int], ...]] = None,
+        slots: Optional[Dict[str, int]] = None,
+        env_binder: Optional[EnvBinder] = None,
     ):
         self.seed = seed
         self.seed_residuals = seed_residuals
+        self.seed_residual_preds = seed_residual_preds
         self.steps = steps
         self.project = project
+        #: ``(slot, position)`` per output column when the projection is
+        #: pure column refs, else ``None`` (columnar falls back to the
+        #: row projection closure over zipped envs).
+        self.project_refs = project_refs
         #: Slot permutation mapping query-alias order to slots, or
         #: ``None`` for single-relation queries (ctid = the base tid).
         self.tid_perm = tid_perm
+        self.slots = slots or {seed: 0}
+        self._env_binder = env_binder
+
+    def resolve(self, ref: ColumnRef) -> Tuple[int, int]:
+        """Resolve a column ref to ``(slot, position)`` in this plan's
+        final slot layout (slots only grow during attachment, so the
+        final layout is valid for every residual stage)."""
+        alias, position = self._env_binder.resolve(ref)
+        return self.slots[alias], position
 
     def __repr__(self) -> str:
         return f"TermPlan(seed={self.seed!r}, steps={list(self.steps)})"
@@ -178,11 +231,13 @@ class PreparedCQ:
         "plan",
         "never_matches",
         "compiled_local",
+        "local_specs",
         "table_for_alias",
         "_schemas",
         "_index_versions",
         "_env_binder",
         "_term_plans",
+        "_term_kernels",
         "_truth_tables",
     )
 
@@ -197,6 +252,7 @@ class PreparedCQ:
         table_for_alias: Dict[str, str],
         schemas: Dict[str, Schema],
         index_versions: Dict[str, int],
+        local_specs: Optional[Dict[str, Optional[Tuple]]] = None,
     ):
         self.query = query
         self.scopes = scopes
@@ -206,11 +262,17 @@ class PreparedCQ:
         #: every delta) is empty at every execution.
         self.never_matches = never_matches
         self.compiled_local = compiled_local
+        #: Per-alias flat ``((position, op, constant), ...)`` specs for
+        #: local predicates that are simple comparison conjunctions —
+        #: what the batch probe filters inline instead of calling the
+        #: compiled closure per row. ``None`` where not specializable.
+        self.local_specs = local_specs or {}
         self.table_for_alias = table_for_alias
         self._schemas = schemas
         self._index_versions = index_versions
         self._env_binder = EnvBinder(scopes)
         self._term_plans: Dict[Tuple[FrozenSet[str], str], TermPlan] = {}
+        self._term_kernels: Dict[Tuple[FrozenSet[str], str], object] = {}
         self._truth_tables: Dict[Tuple[str, ...], TruthTable] = {}
 
     # -- staleness ---------------------------------------------------------
@@ -258,6 +320,18 @@ class PreparedCQ:
             self._term_plans[key] = cached
         return cached
 
+    def term_kernel(self, substituted: FrozenSet[str], seed: str):
+        """The columnar kernel pipeline for one term, memoized with the
+        same key as :meth:`term_plan` (compiled lazily from it)."""
+        key = (substituted, seed)
+        cached = self._term_kernels.get(key)
+        if cached is None:
+            from repro.dra.kernels import compile_term_kernel
+
+            cached = compile_term_kernel(self.term_plan(substituted, seed))
+            self._term_kernels[key] = cached
+        return cached
+
     def _build_term_plan(
         self, substituted: FrozenSet[str], seed: str
     ) -> TermPlan:
@@ -266,7 +340,9 @@ class PreparedCQ:
         slots: Dict[str, int] = {seed: 0}
         bound: Set[str] = {seed}
         applied: Set[int] = set()
-        seed_residuals = self._ready_residuals(bound, applied, slots)
+        seed_residuals, seed_preds = self._ready_residuals(
+            bound, applied, slots
+        )
 
         steps: List[AttachStep] = []
         remaining = [a for a in aliases if a != seed]
@@ -281,7 +357,9 @@ class PreparedCQ:
             )
             slots[alias] = len(slots)
             bound.add(alias)
-            residuals = self._ready_residuals(bound, applied, slots)
+            residuals, residual_preds = self._ready_residuals(
+                bound, applied, slots
+            )
             steps.append(
                 AttachStep(
                     alias,
@@ -289,23 +367,36 @@ class PreparedCQ:
                     key_positions,
                     key_sources,
                     residuals,
+                    residual_preds,
                 )
             )
 
-        project = self._compile_projection(slots)
+        project, project_refs = self._compile_projection(slots)
         tid_perm = (
             None
             if len(aliases) == 1
             else tuple(slots[alias] for alias in aliases)
         )
-        return TermPlan(seed, seed_residuals, tuple(steps), project, tid_perm)
+        return TermPlan(
+            seed,
+            seed_residuals,
+            tuple(steps),
+            project,
+            tid_perm,
+            seed_residual_preds=seed_preds,
+            project_refs=project_refs,
+            slots=slots,
+            env_binder=self._env_binder,
+        )
 
     def _ready_residuals(
         self, bound: Set[str], applied: Set[int], slots: Dict[str, int]
-    ) -> Tuple[CompiledPredicate, ...]:
+    ) -> Tuple[Tuple[CompiledPredicate, ...], Tuple]:
         """Residual conjuncts that became fully bound, compiled against
-        the slot layout at this point of the attachment order."""
+        the slot layout at this point of the attachment order, plus the
+        matching predicate ASTs for the columnar compiler."""
         out = []
+        preds = []
         binder = None
         for index, pred in self.plan.residual_ready(bound, applied):
             applied.add(index)
@@ -314,21 +405,28 @@ class PreparedCQ:
             if binder is None:
                 binder = SlotBinder(self._env_binder, slots)
             out.append(pred.compile(binder))
-        return tuple(out)
+            preds.append(pred)
+        return tuple(out), tuple(preds)
 
     def _compile_projection(
         self, slots: Dict[str, int]
-    ) -> Callable[[Tuple], Tuple]:
+    ) -> Tuple[Callable[[Tuple], Tuple], Optional[Tuple[Tuple[int, int], ...]]]:
         binder = SlotBinder(self._env_binder, slots)
-        accessors = [
-            column.ref.compile(binder)
-            for column in expand_star(self.query, self.scopes)
-        ]
+        columns = expand_star(self.query, self.scopes)
+        accessors = [column.ref.compile(binder) for column in columns]
 
         def project(env: Tuple) -> Tuple:
             return tuple(fn(env) for fn in accessors)
 
-        return project
+        refs: Optional[List[Tuple[int, int]]] = []
+        for column in columns:
+            if refs is None or not isinstance(column.ref, ColumnRef):
+                refs = None
+                break
+            alias, position = self._env_binder.resolve(column.ref)
+            refs.append((slots[alias], position))
+
+        return project, (tuple(refs) if refs is not None else None)
 
     def __repr__(self) -> str:
         return (
@@ -364,15 +462,21 @@ def prepare_cq(
             break
 
     compiled_local: Dict[str, Optional[CompiledPredicate]] = {}
+    local_specs: Dict[str, Optional[Tuple]] = {}
     table_for_alias: Dict[str, str] = {}
     for ref in query.relations:
         table_for_alias[ref.alias] = ref.table
         local = plan.local_predicate(ref.alias)
-        compiled_local[ref.alias] = (
-            None
-            if isinstance(local, TruePredicate)
-            else local.compile(SingleRowBinder(scopes[ref.alias], ref.alias))
-        )
+        if isinstance(local, TruePredicate):
+            compiled_local[ref.alias] = None
+            local_specs[ref.alias] = None
+        else:
+            compiled_local[ref.alias] = local.compile(
+                SingleRowBinder(scopes[ref.alias], ref.alias)
+            )
+            local_specs[ref.alias] = comparison_specs(
+                local, scopes[ref.alias], ref.alias
+            )
 
     if auto_index:
         for edge in plan.edges:
@@ -401,6 +505,7 @@ def prepare_cq(
         table_for_alias,
         schemas,
         index_versions,
+        local_specs=local_specs,
     )
 
 

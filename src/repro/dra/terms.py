@@ -59,6 +59,9 @@ def evaluate_term(
     partials = _apply_residuals(partials, plan.seed_residuals)
 
     for step in plan.steps:
+        # Short-circuit the whole term as soon as any stage empties:
+        # attaching to or filtering an empty partial set can only
+        # produce an empty set.
         if not partials:
             return []
         if step.is_delta:
@@ -67,6 +70,8 @@ def evaluate_term(
             partials = _attach_base(partials, base_operands[step.alias], step)
         partials = _apply_residuals(partials, step.residuals)
 
+    if not partials:
+        return []
     return _project(partials, plan)
 
 

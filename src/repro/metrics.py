@@ -158,6 +158,11 @@ class Metrics:
     PREDINDEX_INVALIDATIONS = "predindex_invalidations"
     SHARED_GROUPS = "shared_groups"
     SHARED_GROUP_HITS = "shared_group_hits"
+    # Columnar kernel execution layer (repro.dra.kernels): kernel
+    # invocations and rows swept per invocation. rows/calls is the
+    # batch-efficiency signal the cost tables derive.
+    KERNEL_CALLS = "kernel_calls"
+    KERNEL_ROWS = "kernel_rows"
     # Durability and self-verification layer (WAL, digests, audits).
     WAL_APPENDS = "wal_appends"
     WAL_RECOVERED = "wal_recovered"

@@ -159,9 +159,14 @@ class CQServer:
         audit_interval: int = 0,
         tracer: Optional[Tracer] = None,
         fanout: bool = False,
+        columnar: bool = False,
     ):
         self.db = db
         self.network = network
+        #: Columnar term evaluation (DESIGN.md §11): refreshes run the
+        #: struct-of-arrays kernel pipelines instead of the per-row
+        #: interpreter; deltas shipped to clients are identical.
+        self.columnar = columnar
         self.name = name
         self.metrics = metrics if metrics is not None else Metrics()
         #: Observability (DESIGN.md §9): spans around each
@@ -461,6 +466,7 @@ class CQServer:
                 metrics=self._metrics(),
                 prepared=self.plans.get(group.sql_key, group.query),
                 tracer=self.tracer,
+                columnar=self.columnar,
             )
             if result.has_changes():
                 group.result = result.delta.apply_to(group.result)
@@ -534,6 +540,7 @@ class CQServer:
                 metrics=self.metrics,
                 prepared=self.plans.get(sql_key, group.query),
                 tracer=self.tracer,
+                columnar=self.columnar,
             )
             if result.has_changes():
                 group.result = result.delta.apply_to(group.result)
@@ -716,6 +723,7 @@ class CQServer:
                 metrics=self._metrics(),
                 prepared=self._prepared(subscription),
                 tracer=self.tracer,
+                columnar=self.columnar,
             )
             shared[key] = result
         subscription.last_ts = now
@@ -874,6 +882,7 @@ class CQServer:
                 ts=now,
                 metrics=self.metrics,
                 prepared=self._prepared(subscription),
+                columnar=self.columnar,
             )
             current = advanced.complete_result()
         subscription.previous_result = current
@@ -887,6 +896,7 @@ class CQServer:
             ts=now,
             metrics=self.metrics,
             prepared=self._prepared(subscription),
+            columnar=self.columnar,
         )
         self.metrics.count(Metrics.REPLAYS)
         self.zones.register(
@@ -924,6 +934,7 @@ class CQServer:
                 metrics=self._metrics(),
                 prepared=self._prepared(subscription),
                 tracer=self.tracer,
+                columnar=self.columnar,
             )
             subscription.last_ts = now
             if not result.has_changes():
@@ -957,6 +968,7 @@ class CQServer:
                 metrics=self._metrics(),
                 prepared=self._prepared(subscription),
                 tracer=self.tracer,
+                columnar=self.columnar,
             )
             subscription.last_ts = now
             if not result.has_changes():
@@ -1031,6 +1043,17 @@ class CQServer:
                     "rows_scanned": cost.get(Metrics.ROWS_SCANNED, 0),
                     "delta_rows_read": cost.get(Metrics.DELTA_ROWS_READ, 0),
                     "bytes_sent": cost.get(Metrics.BYTES_SENT, 0),
+                    # Columnar kernel attribution (DESIGN.md §11).
+                    "kernel_calls": cost.get(Metrics.KERNEL_CALLS, 0),
+                    "rows_per_kernel_call": (
+                        round(
+                            cost.get(Metrics.KERNEL_ROWS, 0)
+                            / cost[Metrics.KERNEL_CALLS],
+                            3,
+                        )
+                        if cost.get(Metrics.KERNEL_CALLS)
+                        else 0
+                    ),
                     # Fan-out group membership (DESIGN.md §10); the
                     # global routing counters live in the metrics bag.
                     "sql_group_size": (
@@ -1082,6 +1105,13 @@ class CQServer:
             f"audit_divergences={m.get(Metrics.AUDIT_DIVERGENCES)} "
             f"codec_errors={m.get(Metrics.CODEC_ERRORS)}"
         )
+        calls = m.get(Metrics.KERNEL_CALLS)
+        if calls:
+            report += (
+                f"\nkernels: calls={calls} "
+                f"rows={m.get(Metrics.KERNEL_ROWS)} "
+                f"rows_per_call={m.get(Metrics.KERNEL_ROWS) / calls:.1f}"
+            )
         if self.fanout_index is not None:
             info = self.fanout_index.describe()
             report += (

@@ -222,6 +222,7 @@ class CQService:
         audit_interval: int = 0,
         tracer=None,
         fanout: bool = False,
+        columnar: bool = False,
     ):
         self.db = db
         self.metrics = metrics if metrics is not None else (
@@ -250,12 +251,15 @@ class CQService:
                 audit_interval=audit_interval,
                 tracer=tracer,
                 fanout=fanout,
+                columnar=columnar,
             )
         else:
             if audit_interval and not server.audit_interval:
                 server.audit_interval = audit_interval
             if tracer is not None:
                 server.tracer = tracer
+            if columnar:
+                server.columnar = True
         self.server = server
         self.tracer = server.tracer
         self.host = host
@@ -485,6 +489,8 @@ class CQService:
         Metrics.PREDINDEX_INVALIDATIONS,
         Metrics.SHARED_GROUPS,
         Metrics.SHARED_GROUP_HITS,
+        Metrics.KERNEL_CALLS,
+        Metrics.KERNEL_ROWS,
     )
 
     def stats(self) -> Dict[str, object]:
@@ -514,10 +520,18 @@ class CQService:
             }
             for session in self._sessions.values()
         ]
+        kernel_calls = counters.get(Metrics.KERNEL_CALLS, 0)
         return {
             "server": self.server.name,
             "now": self.db.now(),
             "counters": counters,
+            # Columnar kernel efficiency (DESIGN.md §11): average rows
+            # per kernel invocation; 0 until a columnar refresh runs.
+            "rows_per_kernel_call": (
+                round(counters.get(Metrics.KERNEL_ROWS, 0) / kernel_calls, 3)
+                if kernel_calls
+                else 0
+            ),
             "histograms": histograms,
             "subscriptions": self.server.describe(),
             "per_cq": self.server.stats.to_dict(),

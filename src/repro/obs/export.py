@@ -27,6 +27,15 @@ def prometheus_text(metrics: Metrics, namespace: str = "repro") -> str:
         metric = f"{ns}_{_sanitize(name)}"
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {value}")
+    # Derived batch-efficiency gauge (DESIGN.md §11): average rows
+    # each columnar kernel invocation processed. Emitted whenever the
+    # columnar evaluator has run; 0 calls would mean a meaningless
+    # ratio, so it is simply absent then.
+    calls = metrics.get(Metrics.KERNEL_CALLS)
+    if calls:
+        metric = f"{ns}_rows_per_kernel_call"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {metrics.get(Metrics.KERNEL_ROWS) / calls:.3f}")
     for name, hist in sorted(metrics.histograms().items()):
         metric = f"{ns}_{_sanitize(name)}"
         lines.append(f"# TYPE {metric} histogram")

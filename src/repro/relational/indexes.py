@@ -74,6 +74,12 @@ class HashIndex:
     def keys(self) -> Iterator[Tuple[Any, ...]]:
         return iter(self._buckets.keys())
 
+    def buckets_map(self) -> Dict[Tuple[Any, ...], Set[Tid]]:
+        """The internal key→tid-set mapping, for batch probing (the
+        columnar kernels). Read-only by contract; mutations go through
+        :meth:`insert`/:meth:`remove`/:meth:`update`."""
+        return self._buckets
+
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
 

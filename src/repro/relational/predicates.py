@@ -9,13 +9,14 @@ side evaluates to False (three-valued logic collapsed to
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Iterator, List, Sequence
+from typing import Any, Callable, Iterator, List, Sequence, Tuple
 
 from repro.errors import ExpressionError
 from repro.relational.expressions import (
     Binder,
     ColumnRef,
     Expression,
+    Literal,
     _lift,
 )
 
@@ -31,6 +32,47 @@ _COMPARE_OPS = {
 }
 
 _NEGATED = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+# Operator with operands exchanged: ``lit op col`` ≡ ``col swapped col``.
+_SWAPPED = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+# One conjunct of a specialized single-relation filter: the predicate
+# holds iff values[position] is not None and op(values[position], const)
+# for every conjunct. This is the flat form batch evaluators (the
+# columnar kernels' probe filters) inline into comprehensions, avoiding
+# one compiled-closure call per row.
+FilterSpec = Tuple[Tuple[int, Callable[[Any, Any], bool], Any], ...]
+
+
+def comparison_specs(pred: "Predicate", schema, alias=None):
+    """Flatten ``pred`` into ``((position, op, constant), ...)`` specs.
+
+    Succeeds only when every conjunct is a simple column-vs-literal
+    comparison over ``schema`` (literal-vs-column is normalized by
+    swapping the operator); returns ``None`` otherwise, and for
+    null literals (whose compiled semantics — always False — are not
+    expressible as an operator call). Null *values* keep their
+    compiled semantics: callers must treat a None at ``position`` as
+    not satisfying the conjunct.
+    """
+    specs = []
+    for conj in pred.conjuncts():
+        if not isinstance(conj, Comparison):
+            return None
+        left, right = conj.left, conj.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            ref, const, op = left, right.value, _COMPARE_OPS[conj.op]
+        elif isinstance(left, Literal) and isinstance(right, ColumnRef):
+            ref, const, op = right, left.value, _COMPARE_OPS[_SWAPPED[conj.op]]
+        else:
+            return None
+        if ref.qualifier is not None and alias is not None and ref.qualifier != alias:
+            return None
+        if const is None or ref.name not in schema:
+            return None
+        specs.append((schema.position(ref.name), op, const))
+    return tuple(specs)
 
 
 class Predicate:

@@ -97,6 +97,12 @@ class Relation:
     def get_or_none(self, tid: Tid):
         return self._rows.get(tid)
 
+    def rows_map(self) -> Dict[Tid, Values]:
+        """The internal tid→values mapping, for batch readers (the
+        columnar kernels' bulk probes). Callers must treat it as
+        read-only; mutations go through :meth:`add`/:meth:`remove`."""
+        return self._rows
+
     def tids(self) -> Iterator[Tid]:
         return iter(self._rows.keys())
 

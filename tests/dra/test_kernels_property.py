@@ -1,0 +1,257 @@
+"""Property tests for the columnar kernel evaluator (DESIGN.md §11).
+
+The struct-of-arrays pipelines in :mod:`repro.dra.kernels` must be
+observationally identical to the per-row term interpreter — same delta,
+entry for entry — over arbitrary states, arbitrary update histories
+(negative weights from deletes and the old sides of modifies, NULLs in
+both join and filtered columns, empty and single-sided batches), and a
+query family covering every kernel shape: spec-compiled local filters,
+multi-conjunct locals, hash-join attaches, fused and unfusable
+residuals, and the cartesian (no join key) fallback.
+
+The row evaluator is the oracle: each sample runs both paths over the
+same prepared plan and operand deltas and compares the results exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.relational import AttributeType, parse_query
+from repro.delta.capture import deltas_since
+from repro.dra.algorithm import dra_execute
+from repro.dra.prepared import prepare_cq
+from repro.metrics import Metrics
+
+SMALL = st.integers(min_value=0, max_value=4)
+VALUE = st.one_of(st.none(), SMALL)
+
+#: One template per kernel shape. {t} is a draw-time constant.
+QUERIES = [
+    # Seed filter only (spec-compiled single comparison).
+    "SELECT a, b FROM r WHERE b > {t}",
+    # Multi-conjunct local (range → two spec entries).
+    "SELECT a, b FROM r WHERE b >= {t} AND b < 4",
+    # Hash join, locals on both sides.
+    "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND r.b > {t} AND s.c < 3",
+    # Join plus a fusable col-col residual (new side right).
+    "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND r.b < s.c",
+    # Fusable residual written with the literal on the left.
+    "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND {t} < s.c",
+    # Two residuals on one attach — beyond the single-pair fusion,
+    # exercising the kernel's FILTER-stage fallback.
+    "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND r.b < s.c AND r.b != s.c",
+    # No equi-join key: the cartesian attach path.
+    "SELECT r.b, s.c FROM r, s WHERE r.b < s.c",
+]
+
+
+@st.composite
+def update_ops(draw, max_ops=12):
+    """Abstract ops; indexes resolve against live tids at apply time."""
+    n = draw(st.integers(min_value=0, max_value=max_ops))
+    ops = []
+    for __ in range(n):
+        kind = draw(st.sampled_from(["insert", "delete", "modify"]))
+        ops.append(
+            (kind, draw(VALUE), draw(VALUE), draw(st.integers(0, 10_000)))
+        )
+    return ops
+
+
+def build_db(r_rows, s_rows):
+    db = Database()
+    r = db.create_table(
+        "r",
+        [("a", AttributeType.INT), ("b", AttributeType.INT)],
+        indexes=[("a",)],
+    )
+    s = db.create_table(
+        "s",
+        [("a", AttributeType.INT), ("c", AttributeType.INT)],
+        indexes=[("a",)],
+    )
+    r.insert_many(r_rows)
+    s.insert_many(s_rows)
+    return db, r, s
+
+
+def apply_ops(db, table, ops, txn_size=4):
+    live = [row.tid for row in table.rows()]
+    i = 0
+    while i < len(ops):
+        with db.begin() as txn:
+            for kind, x, y, pick in ops[i : i + txn_size]:
+                if kind == "insert" or not live:
+                    live.append(txn.insert_into(table, (x, y)))
+                elif kind == "delete":
+                    tid = live.pop(pick % len(live))
+                    txn.delete_from(table, tid)
+                else:
+                    tid = live[pick % len(live)]
+                    if txn.read(table, tid) is not None:
+                        txn.modify_in(table, tid, values=(x, y))
+        i += txn_size
+
+
+def assert_columnar_matches_row(db, tables, query, since):
+    """Both evaluators, same plan and deltas; results must be equal."""
+    deltas = deltas_since(tables, since)
+    prepared = prepare_cq(query, db)
+    row_metrics, col_metrics = Metrics(), Metrics()
+    row = dra_execute(
+        query, db, deltas=deltas, prepared=prepared, ts=99,
+        metrics=row_metrics,
+    )
+    col = dra_execute(
+        query, db, deltas=deltas, prepared=prepared, ts=99,
+        metrics=col_metrics, columnar=True,
+    )
+    assert col.delta == row.delta
+    assert col.skipped == row.skipped
+    assert col.terms_evaluated == row.terms_evaluated
+    # A columnar execution that did work must account for it.
+    if not col.skipped and any(not d.is_empty() for d in deltas.values()):
+        changed_locally = col.changed_aliases
+        if changed_locally:
+            assert col_metrics.get(Metrics.KERNEL_CALLS) > 0
+    return row, col
+
+
+ROWS = st.lists(st.tuples(VALUE, VALUE), max_size=8)
+
+
+class TestColumnarEquivalence:
+    @given(
+        r_rows=ROWS,
+        s_rows=ROWS,
+        r_ops=update_ops(),
+        s_ops=update_ops(),
+        template=st.sampled_from(QUERIES),
+        t=SMALL,
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_columnar_equals_row_oracle(
+        self, r_rows, s_rows, r_ops, s_ops, template, t
+    ):
+        db, r, s = build_db(r_rows, s_rows)
+        query = parse_query(template.format(t=t))
+        since = db.now()
+        apply_ops(db, r, r_ops)
+        apply_ops(db, s, s_ops)
+        assert_columnar_matches_row(db, [r, s], query, since)
+
+
+class TestDirectedEdgeCases:
+    def test_empty_delta_short_circuits(self):
+        """No changes → skipped execution, zero kernel calls."""
+        db, r, s = build_db([(1, 2)], [(1, 3)])
+        query = parse_query("SELECT r.b, s.c FROM r, s WHERE r.a = s.a")
+        since = db.now()
+        metrics = Metrics()
+        result = dra_execute(
+            query, db, since=since, ts=99, metrics=metrics, columnar=True
+        )
+        assert result.skipped
+        assert metrics.get(Metrics.KERNEL_CALLS) == 0
+
+    def test_modify_produces_both_signs(self):
+        """A modify seeds the kernel with a −1 old row and a +1 new row
+        and must come back out as one modify entry."""
+        db, r, s = build_db([(1, 0)], [(1, 5)])
+        query = parse_query("SELECT r.b, s.c FROM r, s WHERE r.a = s.a")
+        since = db.now()
+        tid = next(iter(r.current.tids()))
+        with db.begin() as txn:
+            txn.modify_in(r, tid, values=(1, 9))
+        row, col = assert_columnar_matches_row(db, [r, s], query, since)
+        (entry,) = list(col.delta)
+        assert entry.old is not None and entry.new is not None
+
+    def test_local_filter_drops_one_side_of_a_modify(self):
+        """A modify crossing the local predicate boundary keeps only
+        one signed side — insert- or delete-shaped result entries."""
+        db, r, s = build_db([(1, 0)], [(1, 5)])
+        query = parse_query(
+            "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND r.b > 2"
+        )
+        since = db.now()
+        tid = next(iter(r.current.tids()))
+        with db.begin() as txn:
+            txn.modify_in(r, tid, values=(1, 4))  # 0 → 4 crosses b > 2
+        row, col = assert_columnar_matches_row(db, [r, s], query, since)
+        (entry,) = list(col.delta)
+        assert entry.old is None and entry.new is not None
+
+    def test_nulls_never_match_any_comparison(self):
+        """NULL join keys and NULL filtered columns drop out of both
+        paths identically (spec filters and residuals alike)."""
+        db, r, s = build_db([(None, 3), (1, None)], [(None, 2), (1, 4)])
+        query = parse_query(
+            "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND r.b < s.c"
+        )
+        since = db.now()
+        with db.begin() as txn:
+            txn.insert_into(r, (None, 1))
+            txn.insert_into(r, (1, 2))
+            txn.insert_into(s, (1, None))
+        row, col = assert_columnar_matches_row(db, [r, s], query, since)
+        for entry in col.delta:
+            assert None not in (entry.new or entry.old)
+
+    def test_fused_residual_matches_filter_fallback(self):
+        """The same residual evaluated fused (one comparison) and
+        unfused (two) agrees with the row oracle both ways."""
+        rows_r = [(i % 3, i % 5) for i in range(12)]
+        rows_s = [(i % 3, (i * 2) % 5) for i in range(9)]
+        for sql in (
+            "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND r.b < s.c",
+            "SELECT r.b, s.c FROM r, s "
+            "WHERE r.a = s.a AND r.b < s.c AND r.b != s.c",
+        ):
+            db, r, s = build_db(rows_r, rows_s)
+            query = parse_query(sql)
+            since = db.now()
+            tids = list(r.current.tids())
+            with db.begin() as txn:
+                txn.delete_from(r, tids[0])
+                txn.modify_in(r, tids[1], values=(2, 4))
+                txn.insert_into(r, (0, 1))
+            assert_columnar_matches_row(db, [r, s], query, since)
+
+    def test_both_operands_changed_runs_all_terms(self):
+        """Three truth-table terms (Δr, Δs, ΔrΔs) all run columnar and
+        sum to the row oracle's delta."""
+        db, r, s = build_db([(1, 2), (2, 3)], [(1, 1), (2, 0)])
+        query = parse_query(
+            "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND s.c < 3"
+        )
+        since = db.now()
+        with db.begin() as txn:
+            txn.insert_into(r, (1, 7))
+            txn.insert_into(s, (2, 2))
+            txn.delete_from(s, next(iter(s.current.tids())))
+        row, col = assert_columnar_matches_row(db, [r, s], query, since)
+        assert col.terms_evaluated == 3
+
+    def test_rows_per_kernel_call_accounting(self):
+        """KERNEL_ROWS sums each kernel invocation's input batch size;
+        a batch-heavy refresh therefore averages > 1 row per call."""
+        db, r, s = build_db(
+            [(i % 4, i % 3) for i in range(40)],
+            [(i % 4, i % 5) for i in range(8)],
+        )
+        query = parse_query(
+            "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND r.b > 0"
+        )
+        since = db.now()
+        with db.begin() as txn:
+            for i in range(30):
+                txn.insert_into(r, (i % 4, 1 + i % 2))
+        metrics = Metrics()
+        dra_execute(
+            query, db, since=since, ts=99, metrics=metrics, columnar=True
+        )
+        calls = metrics.get(Metrics.KERNEL_CALLS)
+        rows = metrics.get(Metrics.KERNEL_ROWS)
+        assert calls > 0
+        assert rows / calls > 1.0

@@ -63,6 +63,10 @@ CONFIGS = {
     # CQs can skip their refresh with a provably-empty delta, and CQs
     # with identical SQL share one DRA evaluation per window.
     "predindex": dict(engine=Engine.DRA, manager=dict(fanout=True)),
+    # Columnar kernel evaluation (DESIGN.md §11): every DRA refresh
+    # runs the struct-of-arrays pipelines instead of the per-row
+    # interpreter; the notification sequence must be bit-identical.
+    "columnar": dict(engine=Engine.DRA, manager=dict(columnar=True)),
     # The paper's baseline: complete re-evaluation + Diff.
     "reeval": dict(engine=Engine.REEVALUATE, manager=dict()),
 }

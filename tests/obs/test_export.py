@@ -115,6 +115,55 @@ class TestPrometheusText:
         assert counter_value(parsed, "repro_predindex_probes") >= 1
 
 
+class TestKernelCountersExport:
+    def test_kernel_counters_and_derived_gauge_export(self):
+        """Columnar kernel counters ride the standard exposition, and
+        the derived rows-per-call gauge is emitted alongside them."""
+        metrics = Metrics()
+        metrics.count(Metrics.KERNEL_CALLS, 4)
+        metrics.count(Metrics.KERNEL_ROWS, 48)
+        parsed = parse_prometheus_text(prometheus_text(metrics))
+        assert counter_value(parsed, "repro_kernel_calls") == 4
+        assert counter_value(parsed, "repro_kernel_rows") == 48
+        assert counter_value(parsed, "repro_rows_per_kernel_call") == 12.0
+
+    def test_no_gauge_without_kernel_calls(self):
+        """Zero kernel calls would make the ratio meaningless, so the
+        gauge is simply absent from the scrape."""
+        parsed = parse_prometheus_text(prometheus_text(Metrics()))
+        assert "repro_rows_per_kernel_call" not in parsed
+
+    def test_kernel_counters_export_from_live_server(self, db):
+        """End-to-end: a columnar refresh cycle leaves the kernel
+        counters in the scrape and the per-subscription records."""
+        from repro.net.client import CQClient
+        from repro.net.server import CQServer
+        from repro.net.simnet import SimulatedNetwork
+        from repro.workload.stocks import StockMarket
+
+        market = StockMarket(db, seed=3)
+        market.populate(100)
+        metrics = Metrics()
+        server = CQServer(
+            db, SimulatedNetwork(), metrics=metrics, columnar=True
+        )
+        client = CQClient("c0")
+        server.attach(client)
+        client.register(
+            "watch", "SELECT name, price FROM stocks WHERE price > 500"
+        )
+        market.tick(20, p_insert=0.2)
+        server.refresh_all()
+        parsed = parse_prometheus_text(prometheus_text(metrics))
+        assert counter_value(parsed, "repro_kernel_calls") >= 1
+        assert counter_value(parsed, "repro_kernel_rows") >= 1
+        assert counter_value(parsed, "repro_rows_per_kernel_call") > 0
+        (record,) = server.describe()
+        assert record["kernel_calls"] >= 1
+        assert record["rows_per_kernel_call"] > 0
+        assert "kernels:" in server.status_report()
+
+
 class TestJsonlTraceSink:
     def test_tracer_spans_land_in_the_file(self, tmp_path):
         path = str(tmp_path / "trace.jsonl")
