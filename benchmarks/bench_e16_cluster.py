@@ -1,0 +1,268 @@
+"""E16 — sharded cluster: refresh throughput must scale with shards.
+
+A :class:`~repro.cluster.ClusterRouter` drives N partitioned shards
+through scatter/gather refresh cycles. The partitioned fan-out workload
+(10k Zipf-skewed subscribers over ``stocks``, partitioned by ``sid``)
+runs partition-parallel: every shard owns every group but evaluates it
+over its slice only, so per-cycle work splits across shards while the
+router's scatter/merge overhead stays fixed.
+
+The machine has one core, so the claim is asserted on a deterministic
+*critical-path cost model*, never on wall-clock: per configuration,
+
+    cost  =  router work  +  max over shards of that shard's work
+
+where work is the operation counters the rest of the suite gates on
+(``terms_evaluated``, ``rows_scanned``, ``delta_rows_read``,
+``predindex_probes``) accumulated over the measured refresh cycles.
+Registration/seeding cost is excluded by snapshotting after setup.
+With perfect balance the 4-shard critical path approaches 1/4 of the
+1-shard path; consistent-hash imbalance and router overhead eat some of
+it, so the gate is ≥2.5x modelled throughput at 4 shards vs 1.
+
+Run ``python benchmarks/bench_e16_cluster.py --smoke`` for the CI
+self-check: sweeps 1/2/4 shards with a fixed seed, verifies every
+sampled subscription against the authoritative oracle, asserts the
+≥2.5x gate, and writes ``BENCH_e16.json``.
+"""
+
+import random
+import sys
+
+import pytest
+
+from repro.cluster import ClusterRouter
+from repro.metrics import Metrics
+from repro.workload.fanout import FanoutWorkload
+
+N_TEMPLATES = 100
+BASE_ROWS = 400
+PRICE_DOMAIN = (0, 1000)
+
+#: The operation counters that model evaluation work, router and shard
+#: alike (the same counters every other bench gates on).
+WORK_COUNTERS = (
+    Metrics.TERMS_EVALUATED,
+    Metrics.ROWS_SCANNED,
+    Metrics.DELTA_ROWS_READ,
+    Metrics.PREDINDEX_PROBES,
+)
+
+
+def build_cluster(shards, seed=16):
+    """A started cluster with a partitioned, populated stocks table."""
+    router = ClusterRouter(shards=shards, seed=seed, vnodes=256)
+    router.declare_table(
+        "stocks",
+        [("sid", int), ("name", str), ("price", int)],
+        partition_key="sid",
+        indexes=[("sid",)],
+    )
+    router.start()
+    stocks = router.db.table("stocks")
+    rng = random.Random(seed + 1)
+    tids = []
+    with router.db.begin() as txn:
+        for sid in range(BASE_ROWS):
+            tids.append(
+                txn.insert_into(
+                    stocks,
+                    (sid, f"S{sid}", rng.randrange(*PRICE_DOMAIN)),
+                )
+            )
+    return router, tids
+
+
+def subscribe_population(router, n_subs, seed=17):
+    """Zipf-skewed fan-out subscribers; returns a correctness sample."""
+    workload = FanoutWorkload(
+        n_templates=N_TEMPLATES,
+        seed=seed,
+        skew=1.1,
+        domain=PRICE_DOMAIN,
+        eq_fraction=0.5,
+        interval_width=40,
+    )
+    subs = workload.subscriptions(n_subs)
+    for sub in subs:
+        router.subscribe(sub.name, "watch", sub.sql)
+    return subs[:: max(n_subs // 20, 1)]
+
+
+def run_cycles(router, tids, cycles, mutations, seed=18):
+    """Seeded mutation stream against the authoritative database."""
+    rng = random.Random(seed)
+    stocks = router.db.table("stocks")
+    next_sid = BASE_ROWS
+    for __ in range(cycles):
+        with router.db.begin() as txn:
+            for __ in range(mutations):
+                if rng.random() < 0.15:
+                    tids.append(
+                        txn.insert_into(
+                            stocks,
+                            (
+                                next_sid,
+                                f"S{next_sid}",
+                                rng.randrange(*PRICE_DOMAIN),
+                            ),
+                        )
+                    )
+                    next_sid += 1
+                else:
+                    tid = rng.choice(tids)
+                    row = stocks.current.get_or_none(tid)
+                    if row is None:
+                        continue
+                    sid, name, __price = row
+                    txn.modify_in(
+                        stocks,
+                        tid,
+                        (sid, name, rng.randrange(*PRICE_DOMAIN)),
+                    )
+        router.refresh()
+
+
+def _work(counters):
+    return sum(counters.get(name, 0) for name in WORK_COUNTERS)
+
+
+def _shard_snapshots(router):
+    stats = router.stats()
+    return {
+        shard_id: _work(info["counters"])
+        for shard_id, info in stats["shards"].items()
+    }
+
+
+def measure(shards, n_subs, cycles=8, mutations=60):
+    """One configuration's modelled critical path over the cycles."""
+    router, tids = build_cluster(shards)
+    sample = subscribe_population(router, n_subs)
+    router.refresh()  # flush registration-era windows out of the model
+    shard_before = _shard_snapshots(router)
+    router_before = _work(router.metrics.snapshot())
+    run_cycles(router, tids, cycles, mutations)
+    shard_after = _shard_snapshots(router)
+    router_work = _work(router.metrics.snapshot()) - router_before
+    per_shard = {
+        shard_id: shard_after[shard_id] - shard_before.get(shard_id, 0)
+        for shard_id in shard_after
+    }
+    for sub in sample:
+        got = sorted(r.values for r in router.result(sub.name, "watch"))
+        want = sorted(r.values for r in router.db.query(sub.sql))
+        assert got == want, f"{sub.name} diverged from the oracle"
+    router.close()
+    shard_path = max(per_shard.values())
+    total = sum(per_shard.values())
+    return {
+        "shards": shards,
+        "subscribers": n_subs,
+        "cycles": cycles,
+        "router_work": router_work,
+        "shard_work_total": total,
+        "shard_work_max": shard_path,
+        "critical_path": router_work + shard_path,
+    }
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_cluster_refresh_converges_and_splits_work(shards, print_table):
+    row = measure(shards, n_subs=600, cycles=4, mutations=40)
+    # Fragment-and-replicate: the busiest shard's share of the
+    # evaluation work shrinks as shards are added.
+    assert row["shard_work_max"] <= row["shard_work_total"]
+    if shards > 1:
+        assert row["shard_work_max"] * shards < row["shard_work_total"] * 2
+    print_table([row], title=f"E16: {shards}-shard refresh work")
+
+
+def test_four_shards_beat_one_on_the_cost_model(print_table):
+    one = measure(1, n_subs=600, cycles=4, mutations=40)
+    four = measure(4, n_subs=600, cycles=4, mutations=40)
+    speedup = one["critical_path"] / four["critical_path"]
+    assert speedup >= 2.0, f"4-shard speedup {speedup:.2f}x < 2.0x"
+    print_table(
+        [one, four], title=f"E16: modelled speedup {speedup:.2f}x"
+    )
+
+
+# -- smoke entry point (CI) ---------------------------------------------------
+
+
+def smoke(n_subs=10_000, out_path="BENCH_e16.json"):
+    """Fast self-check of the scaling claim at full population.
+
+    Sweeps 1/2/4 shards over the same seeded workload, asserts the
+    modelled refresh throughput at 4 shards is ≥2.5x the single-shard
+    configuration, and that every sampled subscription matches the
+    authoritative oracle. Returns the record (also written to
+    ``out_path``).
+    """
+    import json
+
+    from repro.bench.harness import format_table
+
+    rows = [measure(shards, n_subs) for shards in (1, 2, 4)]
+    by_shards = {row["shards"]: row for row in rows}
+    speedup = (
+        by_shards[1]["critical_path"] / by_shards[4]["critical_path"]
+    )
+    for row in rows:
+        row["speedup_vs_1"] = round(
+            by_shards[1]["critical_path"] / row["critical_path"], 2
+        )
+    assert speedup >= 2.5, (
+        f"modelled 4-shard refresh throughput is {speedup:.2f}x the "
+        "single shard; the scaling claim needs >= 2.5x"
+    )
+
+    record = {
+        "benchmark": "e16_cluster_smoke",
+        "templates": N_TEMPLATES,
+        "base_rows": BASE_ROWS,
+        "sweep": rows,
+        "speedup_4_vs_1": round(speedup, 2),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(
+        format_table(rows, title="E16 smoke: critical path vs shards")
+    )
+    return record
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fast scaling self-check and exit",
+    )
+    parser.add_argument(
+        "--subs",
+        type=int,
+        default=10_000,
+        help="subscriber population (smoke mode)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_e16.json",
+        help="where to write the smoke measurement record",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("run the full sweep via pytest; use --smoke here")
+    if args.subs < 100:
+        parser.error("--subs must be >= 100 for a meaningful sweep")
+    smoke(n_subs=args.subs, out_path=args.out)
+    print("e16 smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

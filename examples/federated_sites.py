@@ -7,6 +7,12 @@ both by pulling *differential relations* over a simulated network —
 "each server only generates delta relations when communicating with the
 clients" (§5.1) — and runs a join CQ locally via DRA.
 
+Federation is the loosely-coupled end of the distribution spectrum:
+each site keeps its own clock and the consumer converges by pulling.
+For the tightly-coupled end — one authoritative database scaled out
+over partitioned shards with scatter/gather refresh and crash
+recovery — see ``examples/sharded_cluster.py`` and DESIGN.md §12.
+
 Run:  python examples/federated_sites.py
 """
 

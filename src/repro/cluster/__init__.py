@@ -1,0 +1,24 @@
+"""Sharded CQ cluster: partitioned shards behind a scatter/gather router.
+
+The paper's differential refresh model distributes naturally: a delta
+batch is relevant only to the CQs whose footprints it touches
+(Section 5.2), so scattering each consolidated batch to exactly the
+shards owning those footprints divides refresh work while preserving
+exactness. See DESIGN.md §12 for the protocol and recovery matrix.
+"""
+
+from repro.cluster.proc import ProcessBackend
+from repro.cluster.ring import HashRing, Partition, partition_delta
+from repro.cluster.router import ClusterRouter, LocalBackend, TableDecl
+from repro.cluster.shard import ClusterShard
+
+__all__ = [
+    "ClusterRouter",
+    "ClusterShard",
+    "HashRing",
+    "LocalBackend",
+    "Partition",
+    "ProcessBackend",
+    "TableDecl",
+    "partition_delta",
+]

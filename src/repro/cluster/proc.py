@@ -1,0 +1,150 @@
+"""Shards as separate OS processes (crash-realistic backend).
+
+Functionally identical to :class:`~repro.cluster.router.LocalBackend`,
+but each shard lives in its own ``multiprocessing`` process and talks
+to the router over a pipe carrying codec-encoded frames — the same
+wire representation the simulated network uses, so every scatter and
+gather reply round-trips through serialization for real.
+
+``kill`` terminates the worker process without any shutdown handshake —
+the honest version of the crash :meth:`ClusterRouter.kill_shard`
+simulates — and recovery replays the shard's journal exactly as the
+in-process backend does. On a single-core container this backend buys
+crash realism, not parallel speed; the benchmark's scaling argument
+rests on the deterministic cost model, not on this backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ClusterError
+from repro.net.codec import decode_payload, encode_payload
+from repro.net.messages import GatherReplyMessage, Message, ShardHelloMessage
+from repro.cluster.shard import ClusterShard, TableDecl
+
+#: Pipe sentinel asking the worker to exit cleanly (tests' teardown; a
+#: *crash* is ``Process.terminate`` and never sends this).
+_SHUTDOWN = b"\0shutdown"
+
+
+def _shard_worker(
+    conn,
+    shard_id: int,
+    decls: Sequence[TableDecl],
+    wal_root: Optional[str],
+    columnar: bool,
+    recovered: bool,
+) -> None:
+    """Worker main loop: host one shard, answer codec frames."""
+    if recovered:
+        shard = ClusterShard.recover(
+            shard_id, decls, wal_root, columnar=columnar
+        )
+    else:
+        shard = ClusterShard(
+            shard_id, decls, wal_root=wal_root, columnar=columnar
+        )
+    conn.send_bytes(encode_payload(shard.hello()))
+    try:
+        while True:
+            payload = conn.recv_bytes()
+            if payload == _SHUTDOWN:
+                break
+            reply = shard.handle(decode_payload(payload))
+            conn.send_bytes(encode_payload(reply))
+    except (EOFError, OSError):
+        pass  # router side went away; nothing to clean up beyond the WAL
+    finally:
+        shard.close()
+
+
+class ProcessBackend:
+    """One ``multiprocessing`` process per shard, framed over pipes."""
+
+    def __init__(self, wal_root: Optional[str] = None, columnar: bool = False):
+        self.wal_root = wal_root
+        self.columnar = columnar
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: Dict[int, multiprocessing.Process] = {}
+        self._conns: Dict[int, object] = {}
+
+    def _launch(
+        self, shard_id: int, decls: Sequence[TableDecl], recovered: bool
+    ) -> ShardHelloMessage:
+        if shard_id in self._procs:
+            raise ClusterError(f"shard {shard_id} already running")
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker,
+            args=(
+                child,
+                shard_id,
+                list(decls),
+                self.wal_root,
+                self.columnar,
+                recovered,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        hello = decode_payload(parent.recv_bytes())
+        if not isinstance(hello, ShardHelloMessage):
+            raise ClusterError(
+                f"shard {shard_id} sent {type(hello).__name__} instead of hello"
+            )
+        self._procs[shard_id] = proc
+        self._conns[shard_id] = parent
+        return hello
+
+    def spawn(self, shard_id: int, decls: Sequence[TableDecl]) -> ShardHelloMessage:
+        return self._launch(shard_id, decls, recovered=False)
+
+    def send(self, shard_id: int, message: Message) -> GatherReplyMessage:
+        conn = self._conns.get(shard_id)
+        if conn is None:
+            raise ClusterError(f"shard {shard_id} is not running")
+        conn.send_bytes(encode_payload(message))
+        try:
+            return decode_payload(conn.recv_bytes())
+        except EOFError:
+            raise ClusterError(
+                f"shard {shard_id} died mid-request"
+            ) from None
+
+    def kill(self, shard_id: int) -> None:
+        proc = self._procs.pop(shard_id, None)
+        if proc is None:
+            raise ClusterError(f"shard {shard_id} is not running")
+        conn = self._conns.pop(shard_id)
+        proc.terminate()
+        proc.join(timeout=10)
+        conn.close()
+
+    def recover(
+        self, shard_id: int, decls: Sequence[TableDecl]
+    ) -> ShardHelloMessage:
+        if self.wal_root is None:
+            raise ClusterError(
+                "recovery needs a wal_root; this backend lost everything"
+            )
+        return self._launch(shard_id, decls, recovered=True)
+
+    def alive(self) -> List[int]:
+        return sorted(self._procs)
+
+    def close(self) -> None:
+        for shard_id in list(self._procs):
+            conn = self._conns.pop(shard_id)
+            proc = self._procs.pop(shard_id)
+            try:
+                conn.send_bytes(_SHUTDOWN)
+            except (OSError, BrokenPipeError):
+                pass
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+            conn.close()

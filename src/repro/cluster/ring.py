@@ -1,0 +1,183 @@
+"""Seeded consistent hashing for partition and subscription placement.
+
+Two placement decisions use the same ring:
+
+* rows of a table with a declared partition key hash by
+  ``"<table>:<key value>"`` to the shard owning that slice, and
+* subscriptions over replicated tables hash by their canonical SQL
+  text (``sql_key``) to the shard owning that predicate-index entry
+  and shared-materialization group.
+
+The ring is *seeded*: every router (and every recovery) derives the
+identical placement from the same seed and node set, so scatter
+targets never depend on process-lifetime state. Virtual nodes keep
+slices balanced when the node count is small.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.delta.differential import DeltaEntry, DeltaRelation
+
+
+def _position(seed: int, token: str) -> int:
+    digest = hashlib.blake2b(
+        f"{seed}:{token}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over shard ids with virtual nodes."""
+
+    def __init__(
+        self,
+        nodes: Iterable[int] = (),
+        seed: int = 0,
+        vnodes: int = 64,
+    ):
+        if vnodes <= 0:
+            raise ValueError("HashRing needs vnodes >= 1")
+        self.seed = seed
+        self.vnodes = vnodes
+        self._nodes: List[int] = []
+        self._points: List[Tuple[int, int]] = []  # (position, node)
+        for node in nodes:
+            self.add_node(node)
+
+    def nodes(self) -> List[int]:
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: int) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node} is already on the ring")
+        self._nodes.append(node)
+        for replica in range(self.vnodes):
+            self._points.append((_position(self.seed, f"{node}#{replica}"), node))
+        self._points.sort()
+
+    def remove_node(self, node: int) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node} is not on the ring")
+        self._nodes.remove(node)
+        self._points = [(pos, n) for pos, n in self._points if n != node]
+
+    def lookup(self, key: str) -> int:
+        """The shard owning ``key`` (clockwise-next virtual node)."""
+        if not self._points:
+            raise ValueError("lookup on an empty ring")
+        position = _position(self.seed, key)
+        index = bisect.bisect_right(self._points, (position, -1))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def __repr__(self) -> str:
+        return f"HashRing({sorted(self._nodes)}, seed={self.seed})"
+
+
+class Partition:
+    """One shard's slice of a hash-partitioned table.
+
+    ``accepts(values)`` answers whether a row belongs to this shard:
+    the partition-key column hashes through the shared ring. The same
+    object also serves partition-aware manager registration — a
+    :class:`~repro.core.manager.CQManager` given a ``partition=``
+    restricts a CQ's delta reads to the slice it owns.
+    """
+
+    __slots__ = ("table", "column", "position", "ring", "node")
+
+    def __init__(
+        self, table: str, column: str, position: int, ring: HashRing, node: int
+    ):
+        self.table = table
+        self.column = column
+        self.position = position
+        self.ring = ring
+        self.node = node
+
+    def owner(self, values: Tuple) -> int:
+        return self.ring.lookup(f"{self.table}:{values[self.position]}")
+
+    def accepts(self, values: Optional[Tuple]) -> bool:
+        return values is not None and self.owner(values) == self.node
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition({self.table}.{self.column} -> shard {self.node})"
+        )
+
+
+def _slice_entry(
+    entry: DeltaEntry, old_mine: bool, new_mine: bool
+) -> Optional[DeltaEntry]:
+    """The part of one delta entry that belongs to a slice.
+
+    A modification whose row migrates *across* slices splits: the old
+    side's owner sees a delete, the new side's owner an insert. Entries
+    entirely outside the slice vanish.
+    """
+    if old_mine and new_mine:
+        return entry
+    if old_mine:
+        return DeltaEntry(entry.tid, entry.old, None, entry.ts)
+    if new_mine:
+        return DeltaEntry(entry.tid, None, entry.new, entry.ts)
+    return None
+
+
+def partition_filter(
+    delta: DeltaRelation, partition: Partition
+) -> DeltaRelation:
+    """Restrict a consolidated delta to one shard's slice."""
+    out: List[DeltaEntry] = []
+    for entry in delta:
+        sliced = _slice_entry(
+            entry,
+            partition.accepts(entry.old),
+            partition.accepts(entry.new),
+        )
+        if sliced is not None:
+            out.append(sliced)
+    return DeltaRelation(delta.schema, out)
+
+
+def partition_delta(
+    delta: DeltaRelation, table: str, position: int, ring: HashRing
+) -> Dict[int, DeltaRelation]:
+    """Split a consolidated delta into per-shard slices.
+
+    Returns only non-empty slices; the union of the slices is exactly
+    ``delta`` with cross-slice modifications rewritten as
+    delete-at-old-owner + insert-at-new-owner.
+    """
+    per_shard: Dict[int, List[DeltaEntry]] = {}
+
+    def owner(values) -> Optional[int]:
+        if values is None:
+            return None
+        return ring.lookup(f"{table}:{values[position]}")
+
+    for entry in delta:
+        old_owner = owner(entry.old)
+        new_owner = owner(entry.new)
+        for node in {o for o in (old_owner, new_owner) if o is not None}:
+            sliced = _slice_entry(
+                entry, old_owner == node, new_owner == node
+            )
+            if sliced is not None:
+                per_shard.setdefault(node, []).append(sliced)
+    return {
+        node: DeltaRelation(delta.schema, entries)
+        for node, entries in per_shard.items()
+    }

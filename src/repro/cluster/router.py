@@ -1,0 +1,956 @@
+"""The cluster router: scatter/gather refresh over partitioned shards.
+
+The router owns the authoritative database (every client commit lands
+here first) and drives N shards through refresh cycles:
+
+* **Placement.** Rows of a table with a declared partition key hash to
+  exactly one shard through the seeded consistent-hash ring; other
+  tables are *replicated on demand* (a shard receives their deltas only
+  while it hosts a CQ touching them). Subscriptions over replicated
+  tables hash to one shard by canonical SQL text (``sql_key``); a CQ
+  touching a partitioned table runs *partition-parallel* on every
+  shard, each evaluating over its slice (fragment-and-replicate: such a
+  CQ may touch at most one partitioned table, so its partial result
+  deltas are tid-disjoint across shards and merge by concatenation).
+
+* **Relevance scatter.** Each cycle consolidates the per-shard missed
+  window once and runs it through a router-side
+  :class:`~repro.dra.predindex.PredicateIndex` holding every registered
+  footprint. Shards none of whose CQ footprints the batch touches get a
+  heartbeat instead of data (the Section 5.2 relevance theorem makes
+  skipping sound: an entry failing every alias-local predicate cannot
+  change any result); new subscriptions are seeded with a baseline
+  sync, so earlier skipped windows never leave a gap.
+
+* **Gather + merge.** Partial result deltas come back per ``sql_key``;
+  the router merges the tid-disjoint slices (a cross-slice row move
+  arrives as delete-on-one-shard + insert-on-another and is recombined
+  into a modify), re-runs residual confirmation — the predicate
+  conjuncts expressible over the output schema — on the merged Z-set
+  delta, applies it to the retained result, and notifies subscribers.
+
+* **Recovery.** Each shard journals scattered state WAL-first; a
+  killed shard's zone (``shard:<id>``) keeps the router's update logs
+  pinned. :meth:`recover_shard` rebuilds the shard from its journal and
+  replays the missed window differentially while the logs still cover
+  its horizon, falling back to a baseline re-seed (counted separately)
+  once garbage collection has pruned past it.
+
+See DESIGN.md §12 for the protocol walk-through and recovery matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ClusterError, RegistrationError
+from repro.metrics import Metrics
+from repro.relational.algebra import SPJQuery
+from repro.relational.expressions import ColumnRef, Literal
+from repro.relational.predicates import _COMPARE_OPS, _SWAPPED, Comparison
+from repro.relational.relation import Relation
+from repro.relational.sql import parse_query
+from repro.storage.database import Database
+from repro.storage.timestamps import Timestamp
+from repro.core.gc import ActiveDeltaZones
+from repro.delta.capture import deltas_since
+from repro.delta.diff import diff
+from repro.delta.differential import DeltaEntry, DeltaRelation
+from repro.dra.predindex import PredicateIndex
+from repro.obs.export import prometheus_text
+from repro.cluster.ring import HashRing, Partition, partition_filter
+from repro.cluster.shard import ROUTER_CLIENT, ClusterShard, TableDecl
+from repro.net.messages import (
+    GatherReplyMessage,
+    Message,
+    ScatterMessage,
+    ShardHeartbeatMessage,
+    ShardHelloMessage,
+)
+
+#: ``(cq_name, delta, ts)`` notification callback.
+DeltaCallback = Callable[[str, DeltaRelation, Timestamp], None]
+
+
+class LocalBackend:
+    """Shards as in-process objects (tests, benchmarks, examples).
+
+    ``kill`` abandons the shard object without closing its journal —
+    the crash the recovery path is built for. Recovery therefore needs
+    a ``wal_root``; a purely in-memory backend raises instead.
+    """
+
+    def __init__(self, wal_root: Optional[str] = None, columnar: bool = False):
+        self.wal_root = wal_root
+        self.columnar = columnar
+        self.shards: Dict[int, ClusterShard] = {}
+
+    def spawn(self, shard_id: int, decls: Sequence[TableDecl]) -> ShardHelloMessage:
+        if shard_id in self.shards:
+            raise ClusterError(f"shard {shard_id} already running")
+        shard = ClusterShard(
+            shard_id,
+            decls,
+            wal_root=self.wal_root,
+            columnar=self.columnar,
+        )
+        self.shards[shard_id] = shard
+        return shard.hello()
+
+    def send(self, shard_id: int, message: Message) -> GatherReplyMessage:
+        try:
+            shard = self.shards[shard_id]
+        except KeyError:
+            raise ClusterError(f"shard {shard_id} is not running") from None
+        return shard.handle(message)
+
+    def kill(self, shard_id: int) -> None:
+        if self.shards.pop(shard_id, None) is None:
+            raise ClusterError(f"shard {shard_id} is not running")
+
+    def recover(
+        self, shard_id: int, decls: Sequence[TableDecl]
+    ) -> ShardHelloMessage:
+        if shard_id in self.shards:
+            raise ClusterError(f"shard {shard_id} is still running")
+        if self.wal_root is None:
+            raise ClusterError(
+                "recovery needs a wal_root; this backend is in-memory only"
+            )
+        shard = ClusterShard.recover(
+            shard_id, decls, self.wal_root, columnar=self.columnar
+        )
+        self.shards[shard_id] = shard
+        return shard.hello()
+
+    def alive(self) -> List[int]:
+        return sorted(self.shards)
+
+    def shard(self, shard_id: int) -> ClusterShard:
+        return self.shards[shard_id]
+
+    def close(self) -> None:
+        for shard in self.shards.values():
+            shard.close()
+
+
+class _RouterSub:
+    """One client subscription at the router."""
+
+    __slots__ = ("client_id", "cq_name", "sql_key", "result", "last_ts", "on_delta")
+
+    def __init__(
+        self,
+        client_id: str,
+        cq_name: str,
+        sql_key: str,
+        result: Relation,
+        last_ts: Timestamp,
+        on_delta: Optional[DeltaCallback],
+    ):
+        self.client_id = client_id
+        self.cq_name = cq_name
+        self.sql_key = sql_key
+        self.result = result
+        self.last_ts = last_ts
+        self.on_delta = on_delta
+
+
+#: One residual conjunct over the output schema:
+#: ``(output position, op, constant)``.
+Residual = Tuple[int, Callable, object]
+
+
+class ClusterRouter:
+    """Routes commits, subscriptions, and refreshes across N shards."""
+
+    def __init__(
+        self,
+        shards: int = 3,
+        seed: int = 0,
+        metrics: Optional[Metrics] = None,
+        backend: Optional[LocalBackend] = None,
+        vnodes: int = 64,
+        auto_gc: bool = False,
+    ):
+        if shards < 1:
+            raise ClusterError("a cluster needs at least one shard")
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.backend = backend if backend is not None else LocalBackend()
+        #: The authoritative database: clients commit here; shards hold
+        #: router-scattered copies (slices) of it.
+        self.db = Database()
+        self.seed = seed
+        self.ring = HashRing(seed=seed, vnodes=vnodes)
+        self.index = PredicateIndex(self.metrics)
+        self.zones = ActiveDeltaZones(self.db)
+        self.auto_gc = auto_gc
+        self._n_initial = shards
+        self._decls: Dict[str, TableDecl] = {}
+        self._started = False
+        self._seq = 0
+        self._horizons: Dict[int, Timestamp] = {}
+        self._dead: Set[int] = set()
+        self._queries: Dict[str, SPJQuery] = {}
+        self._owners: Dict[str, Set[int]] = {}
+        self._parallel: Set[str] = set()  # partition-parallel sql_keys
+        self._members: Dict[str, List[Tuple[str, str]]] = {}
+        self._subs: Dict[Tuple[str, str], _RouterSub] = {}
+        self._residuals: Dict[str, Tuple[Residual, ...]] = {}
+        self._shard_counters: Dict[int, Dict[str, int]] = {}
+
+    # -- setup -------------------------------------------------------------
+
+    def declare_table(
+        self,
+        name: str,
+        schema,
+        partition_key: Optional[str] = None,
+        indexes: Sequence[Sequence[str]] = (),
+    ) -> TableDecl:
+        """Declare one cluster table (before :meth:`start`)."""
+        if self._started:
+            raise ClusterError("declare tables before start()")
+        decl = TableDecl(
+            name, schema, partition_key=partition_key, indexes=indexes
+        )
+        self._decls[name] = decl
+        self.db.create_table(name, decl.schema, indexes=decl.indexes)
+        return decl
+
+    def start(self) -> None:
+        """Spawn the shard fleet and place it on the ring."""
+        if self._started:
+            raise ClusterError("cluster already started")
+        self._started = True
+        decls = list(self._decls.values())
+        for shard_id in range(self._n_initial):
+            self.backend.spawn(shard_id, decls)
+            self.ring.add_node(shard_id)
+            self._horizons[shard_id] = self.db.now()
+            self.zones.register(
+                self._zone(shard_id), self._all_tables(), self.db.now()
+            )
+
+    @staticmethod
+    def _zone(shard_id: int) -> str:
+        return f"shard:{shard_id}"
+
+    def _all_tables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._decls))
+
+    def _alive(self) -> List[int]:
+        return [s for s in self.ring.nodes() if s not in self._dead]
+
+    def _partition(self, table: str, shard_id: int) -> Partition:
+        decl = self._decls[table]
+        return Partition(
+            table, decl.partition_key, decl.key_position, self.ring, shard_id
+        )
+
+    # -- subscriptions ------------------------------------------------------
+
+    def subscribe(
+        self,
+        client_id: str,
+        cq_name: str,
+        sql: str,
+        on_delta: Optional[DeltaCallback] = None,
+    ) -> Relation:
+        """Register a CQ cluster-wide; returns the initial result.
+
+        The first subscription of a ``sql_key`` installs the footprint
+        in the router's predicate index and seeds the owning shard(s):
+        partition-parallel queries (touching a partitioned table) on
+        every shard, replicated-only queries on the single shard the
+        key hashes to. Later identical subscriptions just join the
+        existing group — shard work is independent of the subscriber
+        count.
+        """
+        if not self._started:
+            raise ClusterError("start() the cluster before subscribing")
+        key = (client_id, cq_name)
+        if key in self._subs:
+            raise RegistrationError(
+                f"client {client_id!r} already registered {cq_name!r}"
+            )
+        query = parse_query(sql)
+        if not isinstance(query, SPJQuery):
+            raise RegistrationError(
+                "the cluster serves SPJ continual queries"
+            )
+        for name in set(query.table_names):
+            if name not in self._decls:
+                raise ClusterError(f"table {name!r} was never declared")
+        partitioned = sorted(
+            name
+            for name in set(query.table_names)
+            if self._decls[name].partition_key is not None
+        )
+        if len(partitioned) > 1:
+            raise RegistrationError(
+                "a cluster CQ may touch at most one partitioned table "
+                f"(got {partitioned}); fragment-and-replicate needs the "
+                "partial results to be tid-disjoint"
+            )
+        sql_key = query.to_sql()
+        if sql_key not in self._owners:
+            if partitioned:
+                owners = set(self.ring.nodes())
+                self._parallel.add(sql_key)
+            else:
+                owners = {self.ring.lookup(sql_key)}
+            self._queries[sql_key] = query
+            self._owners[sql_key] = owners
+            self._members[sql_key] = []
+            self._residuals[sql_key] = self._compile_residuals(query)
+            scopes = {
+                ref.alias: self.db.table(ref.table).schema
+                for ref in query.relations
+            }
+            self.index.add(sql_key, query, scopes)
+            for shard_id in sorted(owners - self._dead):
+                self._seed(shard_id, sql_key, query)
+        members = self._members[sql_key]
+        if members:
+            # Joining an existing group: share its retained result
+            # instead of re-evaluating — subscriber count stays out of
+            # registration cost, mirroring shard-side shared groups.
+            peer = self._subs[members[0]]
+            result, last_ts = peer.result.copy(), peer.last_ts
+        else:
+            result, last_ts = (
+                self.db.query(query, self.metrics),
+                self.db.now(),
+            )
+        sub = _RouterSub(
+            client_id, cq_name, sql_key, result, last_ts, on_delta
+        )
+        self._subs[key] = sub
+        self._members[sql_key].append(key)
+        return result.copy()
+
+    def unsubscribe(self, client_id: str, cq_name: str) -> None:
+        """Drop a subscription; the last member of a ``sql_key`` also
+        retires the footprint and the shard-side registrations."""
+        sub = self._subs.pop((client_id, cq_name), None)
+        if sub is None:
+            raise RegistrationError(
+                f"no subscription {cq_name!r} for client {client_id!r}"
+            )
+        members = self._members[sub.sql_key]
+        members.remove((client_id, cq_name))
+        if members:
+            return
+        sql_key = sub.sql_key
+        for shard_id in sorted(self._owners[sql_key] - self._dead):
+            if shard_id not in self.ring.nodes():
+                continue
+            self._seq += 1
+            self.backend.send(
+                shard_id,
+                ScatterMessage(
+                    shard_id,
+                    self._seq,
+                    self.db.now(),
+                    unsubscribe=[sql_key],
+                ),
+            )
+        self.index.remove(sql_key)
+        for registry in (
+            self._queries,
+            self._owners,
+            self._members,
+            self._residuals,
+        ):
+            registry.pop(sql_key, None)
+        self._parallel.discard(sql_key)
+
+    def _seed(self, shard_id: int, sql_key: str, query: SPJQuery) -> None:
+        """Install one ``sql_key`` on one shard: baseline-sync every
+        table the query touches (sliced for partitioned tables), then
+        register. The local baseline diff makes re-seeding an already
+        current table free, so this is always sound — it closes any gap
+        left by earlier relevance-skipped scatters."""
+        baselines: Dict[str, Relation] = {}
+        for name in sorted(set(query.table_names)):
+            baselines[name] = self._shard_view(name, shard_id)
+        self._seq += 1
+        self.backend.send(
+            shard_id,
+            ScatterMessage(
+                shard_id,
+                self._seq,
+                self.db.now(),
+                baselines=baselines,
+                subscribe=[{"cq": sql_key, "sql": query.to_sql()}],
+            ),
+        )
+
+    def _shard_view(self, table: str, shard_id: int) -> Relation:
+        """The slice of a table's authoritative state one shard holds."""
+        current = self.db.table(table).current
+        decl = self._decls[table]
+        if decl.partition_key is None:
+            return current.copy()
+        partition = self._partition(table, shard_id)
+        out = Relation(current.schema)
+        for row in current:
+            if partition.accepts(row.values):
+                out.add(row.tid, row.values)
+        return out
+
+    # -- residual confirmation ---------------------------------------------
+
+    def _compile_residuals(self, query: SPJQuery) -> Tuple[Residual, ...]:
+        """The predicate conjuncts re-checkable on gathered entries.
+
+        A conjunct survives compilation when it is a column-vs-literal
+        comparison whose column is visible in the output schema (the
+        projection keeps it, or the query is single-relation SELECT *).
+        Everything else — join conditions, dropped columns — was
+        already enforced shard-side and cannot be re-checked here.
+        """
+        positions: Dict[Tuple[Optional[str], str], int] = {}
+        if query.projection is not None:
+            for i, col in enumerate(query.projection):
+                positions[(col.ref.qualifier, col.ref.name)] = i
+                if col.ref.qualifier is not None:
+                    positions.setdefault((None, col.ref.name), i)
+        elif query.is_single_relation():
+            ref = query.relations[0]
+            schema = self.db.table(ref.table).schema
+            for i, attribute in enumerate(schema):
+                positions[(ref.alias, attribute.name)] = i
+                positions[(None, attribute.name)] = i
+        else:
+            return ()
+        out: List[Residual] = []
+        for conj in query.predicate.conjuncts():
+            if not isinstance(conj, Comparison):
+                continue
+            left, right = conj.left, conj.right
+            if isinstance(left, ColumnRef) and isinstance(right, Literal):
+                ref, const, op = left, right.value, _COMPARE_OPS[conj.op]
+            elif isinstance(left, Literal) and isinstance(right, ColumnRef):
+                ref, const = right, left.value
+                op = _COMPARE_OPS[_SWAPPED[conj.op]]
+            else:
+                continue
+            if const is None:
+                continue
+            position = positions.get((ref.qualifier, ref.name))
+            if position is None:
+                continue
+            out.append((position, op, const))
+        return tuple(out)
+
+    def _confirm(
+        self, sql_key: str, entries: List[DeltaEntry]
+    ) -> List[DeltaEntry]:
+        """Residual confirmation on a merged Z-set delta: a new side
+        failing any re-checkable conjunct is dropped (the entry decays
+        to its delete half, or vanishes), counted per occurrence."""
+        residuals = self._residuals.get(sql_key, ())
+        if not residuals:
+            return entries
+        out: List[DeltaEntry] = []
+        for entry in entries:
+            new = entry.new
+            if new is not None:
+                ok = all(
+                    new[position] is not None and op(new[position], const)
+                    for position, op, const in residuals
+                )
+                if not ok:
+                    self.metrics.count(Metrics.RESIDUAL_DROPS)
+                    if entry.old is None:
+                        continue
+                    entry = DeltaEntry(entry.tid, entry.old, None, entry.ts)
+            out.append(entry)
+        return out
+
+    # -- refresh ------------------------------------------------------------
+
+    def refresh(self, collect: bool = True) -> int:
+        """One cluster refresh cycle: scatter, gather, merge, notify.
+
+        Returns the number of subscriptions that received a delta.
+        ``collect`` asks each shard to run its own garbage collection
+        after refreshing (router-side collection is separate; see
+        :meth:`collect_garbage`).
+        """
+        if not self._started:
+            raise ClusterError("start() the cluster before refreshing")
+        now = self.db.now()
+        pending: Dict[str, List[DeltaRelation]] = {}
+        ts_by_key: Dict[str, Timestamp] = {}
+        windows: Dict[Timestamp, Tuple[Dict, Set[str]]] = {}
+        for shard_id in self._alive():
+            message = self._plan(shard_id, now, collect, windows)
+            reply = self.backend.send(shard_id, message)
+            self._absorb(shard_id, reply, pending, ts_by_key)
+        notified = self._merge_and_notify(pending, ts_by_key, now)
+        if self.auto_gc:
+            self.collect_garbage()
+        return notified
+
+    def _plan(
+        self,
+        shard_id: int,
+        now: Timestamp,
+        collect: bool,
+        windows: Dict[Timestamp, Tuple[Dict, Set[str]]],
+    ) -> Message:
+        """The shard's frame for this cycle: a scatter when the missed
+        window touches any of its footprints, a heartbeat otherwise.
+
+        ``windows`` memoizes (window, routed-keys) by horizon for the
+        cycle: in steady state every shard shares one horizon, so the
+        consolidated window is captured and footprint-matched once per
+        cycle, not once per shard — the router's cost stays flat as
+        shards are added.
+        """
+        horizon = self._horizons[shard_id]
+        cached = windows.get(horizon)
+        if cached is None:
+            window = deltas_since(
+                [self.db.table(name) for name in self._all_tables()],
+                horizon,
+            )
+            routed = self.index.match_batch(window) if window else set()
+            cached = windows[horizon] = (window, routed)
+        window, routed = cached
+        self._seq += 1
+        if not window:
+            return ShardHeartbeatMessage(shard_id, self._seq, now, collect)
+        local = {
+            sql_key
+            for sql_key in routed
+            if shard_id in self._owners.get(sql_key, ())
+        }
+        deltas: Dict[str, DeltaRelation] = {}
+        if local:
+            needed = set()
+            for sql_key in local:
+                needed.update(self._queries[sql_key].table_names)
+            for name in sorted(needed):
+                delta = window.get(name)
+                if delta is None:
+                    continue
+                if self._decls[name].partition_key is not None:
+                    delta = partition_filter(
+                        delta, self._partition(name, shard_id)
+                    )
+                if not delta.is_empty():
+                    deltas[name] = delta
+        if not deltas:
+            self.metrics.count(Metrics.SCATTER_SKIPPED)
+            return ShardHeartbeatMessage(shard_id, self._seq, now, collect)
+        self.metrics.count(Metrics.SCATTERS)
+        return ScatterMessage(
+            shard_id, self._seq, now, deltas=deltas, collect=collect
+        )
+
+    def _absorb(
+        self,
+        shard_id: int,
+        reply: GatherReplyMessage,
+        pending: Dict[str, List[DeltaRelation]],
+        ts_by_key: Dict[str, Timestamp],
+    ) -> None:
+        self._shard_counters[shard_id] = dict(reply.counters)
+        self._horizons[shard_id] = reply.ts
+        self.zones.advance(self._zone(shard_id), reply.ts)
+        for sql_key, delta, ts in reply.entries:
+            if sql_key not in self._owners:
+                continue  # raced an unsubscribe
+            pending.setdefault(sql_key, []).append(delta)
+            ts_by_key[sql_key] = max(ts_by_key.get(sql_key, 0), ts)
+
+    def _merge_and_notify(
+        self,
+        pending: Dict[str, List[DeltaRelation]],
+        ts_by_key: Dict[str, Timestamp],
+        now: Timestamp,
+    ) -> int:
+        notified = 0
+        for sql_key in sorted(pending):
+            parts = pending[sql_key]
+            merged = self._merge(sql_key, parts)
+            if merged is None or merged.is_empty():
+                continue
+            ts = ts_by_key.get(sql_key, now)
+            for member in list(self._members.get(sql_key, ())):
+                sub = self._subs.get(member)
+                if sub is None:
+                    continue
+                sub.result = self._apply(merged, sub.result)
+                sub.last_ts = ts
+                if sub.on_delta is not None:
+                    sub.on_delta(sub.cq_name, merged, ts)
+                notified += 1
+        return notified
+
+    def _merge(
+        self, sql_key: str, parts: List[DeltaRelation]
+    ) -> Optional[DeltaRelation]:
+        """Concatenate tid-disjoint partial deltas into one Z-set delta.
+
+        The only legitimate tid collision is a cross-slice row move (a
+        partition-key update): the old owner contributes the delete
+        half, the new owner the insert half — recombined into a modify
+        and counted as a merge conflict.
+        """
+        self.metrics.count(Metrics.CLUSTER_MERGES)
+        if len(parts) == 1:
+            entries = list(parts[0])
+            schema = parts[0].schema
+        else:
+            schema = parts[0].schema
+            by_tid: Dict[object, DeltaEntry] = {}
+            for part in parts:
+                for entry in part:
+                    existing = by_tid.get(entry.tid)
+                    if existing is None:
+                        by_tid[entry.tid] = entry
+                        continue
+                    self.metrics.count(Metrics.MERGE_CONFLICTS)
+                    combined = self._combine(existing, entry)
+                    if combined is None:
+                        del by_tid[entry.tid]
+                    else:
+                        by_tid[entry.tid] = combined
+            entries = list(by_tid.values())
+        entries = self._confirm(sql_key, entries)
+        if not entries:
+            return None
+        return DeltaRelation(schema, entries)
+
+    @staticmethod
+    def _combine(a: DeltaEntry, b: DeltaEntry) -> Optional[DeltaEntry]:
+        ts = max(a.ts, b.ts)
+        if a.new is None and b.old is None:
+            old, new = a.old, b.new
+        elif b.new is None and a.old is None:
+            old, new = b.old, a.new
+        else:
+            # Not a clean move; keep the later sighting whole.
+            later = a if a.ts >= b.ts else b
+            old, new = later.old, later.new
+        if old == new:
+            return None
+        return DeltaEntry(a.tid, old, new, ts)
+
+    @staticmethod
+    def _apply(delta: DeltaRelation, result: Relation) -> Relation:
+        """``delta.apply_to`` tolerant of recovery-replay skew.
+
+        A recovered shard's catch-up entries interleave with partial
+        merges the alive shards already delivered, so two delete shapes
+        need care: a re-delivered delete (row already gone — a no-op)
+        and a *stale* delete, the old-owner half of a cross-slice row
+        move whose new-owner insert landed cycles ago. The old side
+        identifies what a delete removes; when it no longer matches the
+        retained value, a later entry superseded it and the delete is
+        dropped. Inserts and modifies carry the current value outright,
+        so applying them late is always safe.
+        """
+        out = result.copy()
+        for entry in delta:
+            if entry.new is None:
+                if out.get_or_none(entry.tid) == entry.old:
+                    out.discard(entry.tid)
+            else:
+                out.add(entry.tid, entry.new)
+        return out
+
+    # -- shard lifecycle ----------------------------------------------------
+
+    def kill_shard(self, shard_id: int, release_zone: bool = False) -> None:
+        """Simulate a shard crash: the process state is gone, the
+        journal survives. The shard's zone keeps the router logs pinned
+        for delta replay unless ``release_zone`` lets GC move on (after
+        which recovery must fall back to a baseline re-seed)."""
+        if shard_id in self._dead:
+            raise ClusterError(f"shard {shard_id} is already dead")
+        self.backend.kill(shard_id)
+        self._dead.add(shard_id)
+        if release_zone:
+            self.zones.remove(self._zone(shard_id))
+
+    def recover_shard(self, shard_id: int) -> bool:
+        """Rebuild a killed shard and resume it differentially.
+
+        Returns True for a delta replay of the missed window, False for
+        the baseline fallback (the router logs no longer reach the
+        shard's recovered horizon). Both paths also re-seed any
+        subscription the shard's journal lost.
+
+        Retained member results are reconciled against one full
+        re-evaluation over the router's authoritative database per
+        affected ``sql_key`` instead of trusting the recovered shard's
+        catch-up entries: journal recovery rebases subscriptions on
+        their registration-era state, so recovered delta old sides can
+        be arbitrarily stale and cannot disambiguate a legitimate
+        delete from the replayed half of a cross-slice row move whose
+        other half an alive shard delivered cycles ago. One exact
+        re-evaluation per key at a (rare) recovery buys bit-identical
+        convergence; the differential machinery carries every normal
+        cycle.
+        """
+        if shard_id not in self._dead:
+            raise ClusterError(f"shard {shard_id} is not dead")
+        hello = self.backend.recover(shard_id, list(self._decls.values()))
+        self._dead.discard(shard_id)
+        horizon = hello.horizon
+        now = self.db.now()
+        held = set(hello.subscriptions)
+        owned = sorted(
+            sql_key
+            for sql_key, owners in self._owners.items()
+            if shard_id in owners
+        )
+        missing = [key for key in owned if key not in held]
+        intact = all(
+            self.db.table(name).log.pruned_through <= horizon
+            for name in self._all_tables()
+        )
+        baselines: Dict[str, Relation] = {}
+        deltas: Dict[str, DeltaRelation] = {}
+        if intact:
+            self.metrics.count(Metrics.SHARD_REPLAYS)
+            window = deltas_since(
+                [self.db.table(name) for name in self._all_tables()],
+                horizon,
+            )
+            needed = set()
+            for sql_key in owned:
+                needed.update(self._queries[sql_key].table_names)
+            for name in sorted(needed):
+                delta = window.get(name)
+                if delta is None:
+                    continue
+                if self._decls[name].partition_key is not None:
+                    delta = partition_filter(
+                        delta, self._partition(name, shard_id)
+                    )
+                if not delta.is_empty():
+                    deltas[name] = delta
+            for sql_key in missing:
+                for name in sorted(set(self._queries[sql_key].table_names)):
+                    baselines.setdefault(
+                        name, self._shard_view(name, shard_id)
+                    )
+        else:
+            self.metrics.count(Metrics.SHARD_FALLBACKS)
+            needed = set()
+            for sql_key in owned:
+                needed.update(self._queries[sql_key].table_names)
+            for name in sorted(needed):
+                baselines[name] = self._shard_view(name, shard_id)
+        subscribe = [
+            {"cq": sql_key, "sql": self._queries[sql_key].to_sql()}
+            for sql_key in missing
+        ]
+        self._seq += 1
+        reply = self.backend.send(
+            shard_id,
+            ScatterMessage(
+                shard_id,
+                self._seq,
+                now,
+                deltas=deltas,
+                baselines=baselines,
+                subscribe=subscribe,
+            ),
+        )
+        self.zones.register(self._zone(shard_id), self._all_tables(), now)
+        pending: Dict[str, List[DeltaRelation]] = {}
+        ts_by_key: Dict[str, Timestamp] = {}
+        self._absorb(shard_id, reply, pending, ts_by_key)
+        self._reconcile(owned, now)
+        return intact
+
+    def _reconcile(self, sql_keys: Sequence[str], now: Timestamp) -> None:
+        """Snap members of ``sql_keys`` to the authoritative result,
+        notifying the exact catch-up delta each member missed."""
+        for sql_key in sql_keys:
+            query = self._queries.get(sql_key)
+            if query is None:
+                continue
+            oracle = self.db.query(query, self.metrics)
+            for member in list(self._members.get(sql_key, ())):
+                sub = self._subs.get(member)
+                if sub is None:
+                    continue
+                catch_up = diff(sub.result, oracle, ts=now)
+                if catch_up.is_empty():
+                    continue
+                sub.result = oracle.copy()
+                sub.last_ts = now
+                if sub.on_delta is not None:
+                    sub.on_delta(sub.cq_name, catch_up, now)
+
+    def add_shard(self) -> int:
+        """Grow the fleet by one shard (index handoff included).
+
+        Placement moves with the ring: partitioned tables re-slice on
+        every shard (each converges onto its new slice through a local
+        baseline diff), replicated ``sql_key`` subscriptions whose hash
+        moved re-home (unsubscribe + baseline-seeded re-register), and
+        partition-parallel subscriptions additionally register on the
+        new shard.
+        """
+        if not self._started:
+            raise ClusterError("start() the cluster before adding shards")
+        new_id = max(self.ring.nodes()) + 1 if len(self.ring) else 0
+        previous_home = {
+            sql_key: self.ring.lookup(sql_key)
+            for sql_key in self._owners
+            if sql_key not in self._parallel
+        }
+        self.backend.spawn(new_id, list(self._decls.values()))
+        self.ring.add_node(new_id)
+        now = self.db.now()
+        self._horizons[new_id] = now
+        self.zones.register(self._zone(new_id), self._all_tables(), now)
+        # Re-slice partitioned tables everywhere: rows whose owner moved
+        # are deleted from the old shard and inserted on the new one by
+        # each shard's local baseline diff.
+        partitioned = sorted(
+            name
+            for name, decl in self._decls.items()
+            if decl.partition_key is not None
+        )
+        for shard_id in self._alive():
+            if shard_id == new_id:
+                continue
+            baselines = {
+                name: self._shard_view(name, shard_id)
+                for name in partitioned
+            }
+            if baselines:
+                self._seq += 1
+                self.backend.send(
+                    shard_id,
+                    ScatterMessage(
+                        shard_id, self._seq, now, baselines=baselines
+                    ),
+                )
+        # Index handoff + new-shard registrations.
+        for sql_key in sorted(self._owners):
+            query = self._queries[sql_key]
+            if sql_key in self._parallel:
+                self._owners[sql_key].add(new_id)
+                self._seed(new_id, sql_key, query)
+                continue
+            new_home = self.ring.lookup(sql_key)
+            old_home = previous_home[sql_key]
+            if new_home == old_home:
+                continue
+            self._owners[sql_key] = {new_home}
+            if old_home not in self._dead and old_home in self.ring.nodes():
+                self._seq += 1
+                self.backend.send(
+                    old_home,
+                    ScatterMessage(
+                        old_home, self._seq, now, unsubscribe=[sql_key]
+                    ),
+                )
+            self._seed(new_home, sql_key, query)
+        return new_id
+
+    # -- maintenance --------------------------------------------------------
+
+    def collect_garbage(self) -> Dict[str, int]:
+        """Prune the router's update logs up to the oldest shard zone.
+
+        A dead shard whose zone was not released pins every table (its
+        replay window must survive); releasing it lets collection move
+        on at the price of a baseline-fallback recovery.
+        """
+        return self.zones.collect()
+
+    def result(self, client_id: str, cq_name: str) -> Relation:
+        """The retained (merged) result of one subscription."""
+        try:
+            sub = self._subs[(client_id, cq_name)]
+        except KeyError:
+            raise RegistrationError(
+                f"no subscription {cq_name!r} for client {client_id!r}"
+            ) from None
+        return sub.result.copy()
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Router counters plus per-shard aggregation."""
+        shards = {}
+        for shard_id in sorted(self.ring.nodes()):
+            shards[shard_id] = {
+                "alive": shard_id not in self._dead,
+                "horizon": self._horizons.get(shard_id, 0),
+                "zone": self.zones.boundary(self._zone(shard_id)),
+                "counters": dict(self._shard_counters.get(shard_id, {})),
+            }
+        totals: Dict[str, int] = {}
+        for info in shards.values():
+            for name, value in info["counters"].items():
+                totals[name] = totals.get(name, 0) + value
+        return {
+            "now": self.db.now(),
+            "seq": self._seq,
+            "subscriptions": len(self._subs),
+            "sql_keys": len(self._owners),
+            "router": self.metrics.snapshot(),
+            "shards": shards,
+            "shard_totals": totals,
+        }
+
+    def prometheus(self, namespace: str = "repro") -> str:
+        """One exposition: router samples plus per-shard labelled
+        samples (``{shard="<id>"}``), collision-free by construction."""
+        chunks = [
+            prometheus_text(
+                self.metrics, namespace, labels={"role": "router"}
+            )
+        ]
+        for shard_id in sorted(self._shard_counters):
+            bag = Metrics()
+            for name, value in self._shard_counters[shard_id].items():
+                bag.count(name, value)
+            chunks.append(
+                prometheus_text(
+                    bag, namespace, labels={"shard": str(shard_id)}
+                )
+            )
+        return "".join(chunks)
+
+    def describe(self) -> List[Dict[str, object]]:
+        out = []
+        for (client_id, cq_name), sub in sorted(self._subs.items()):
+            owners = sorted(self._owners.get(sub.sql_key, ()))
+            out.append(
+                {
+                    "client": client_id,
+                    "cq": cq_name,
+                    "sql_key": sub.sql_key,
+                    "shards": owners,
+                    "parallel": sub.sql_key in self._parallel,
+                    "last_ts": sub.last_ts,
+                    "result_rows": len(sub.result),
+                }
+            )
+        return out
+
+    def close(self) -> None:
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterRouter({len(self.ring)} shards, "
+            f"{len(self._subs)} subscriptions, now={self.db.now()})"
+        )

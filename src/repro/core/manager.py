@@ -149,6 +149,10 @@ class CQManager:
         self.plans = PlanCache(db, metrics)
         self.zones = ActiveDeltaZones(db)
         self._cqs: Dict[str, ContinualQuery] = {}
+        #: Partition-aware registrations (repro.cluster): a CQ with a
+        #: declared :class:`~repro.cluster.ring.Partition` consumes only
+        #: the delta slice its shard owns; see :meth:`register`.
+        self._partitions: Dict[str, "object"] = {}
         self._unsubscribes: Dict[str, List[Callable[[], None]]] = {}
         self._callbacks: Dict[str, List[NotifyCallback]] = {}
         self._outbox: List[Notification] = []
@@ -194,8 +198,19 @@ class CQManager:
         self,
         cq: ContinualQuery,
         on_notify: Optional[NotifyCallback] = None,
+        partition=None,
     ) -> ContinualQuery:
-        """Register a CQ: run E_0 and start watching its tables."""
+        """Register a CQ: run E_0 and start watching its tables.
+
+        ``partition`` (a :class:`~repro.cluster.ring.Partition`)
+        declares that this manager's database holds only one shard's
+        slice of the partitioned table: every refresh drops delta
+        entries for rows the slice does not own, so a mis-routed commit
+        can never leak into the CQ's differential stream. Only
+        delta-consuming engines support partitions — re-evaluation
+        reads base state directly, so a partition would be silently
+        ignored there and is rejected instead.
+        """
         if cq.name in self._cqs:
             raise RegistrationError(f"a CQ named {cq.name!r} is already registered")
         for name in cq.table_names:
@@ -205,6 +220,17 @@ class CQManager:
                 "the re-evaluation engine needs keep_result=True to Diff "
                 "consecutive results"
             )
+        if partition is not None:
+            if partition.table not in cq.table_names:
+                raise RegistrationError(
+                    f"partition on {partition.table!r} does not touch any "
+                    f"table of CQ {cq.name!r}"
+                )
+            if cq.engine is Engine.REEVALUATE:
+                raise RegistrationError(
+                    "the re-evaluation engine does not consume deltas; a "
+                    "partition declaration would have no effect"
+                )
         drift_specs = list(_drift_specs(cq.trigger))
         if drift_specs and not (cq.is_aggregate and not cq.query.group_by):
             raise RegistrationError(
@@ -234,6 +260,8 @@ class CQManager:
         cq.last_execution_ts = now
         cq.executions = 1
         self._cqs[cq.name] = cq
+        if partition is not None:
+            self._partitions[cq.name] = partition
         self._fanout_register(cq)
         if on_notify is not None:
             self._callbacks.setdefault(cq.name, []).append(on_notify)
@@ -273,6 +301,7 @@ class CQManager:
         engine: Engine = Engine.DRA,
         keep_result: bool = True,
         on_notify: Optional[NotifyCallback] = None,
+        partition=None,
     ) -> ContinualQuery:
         """Build and register a CQ in one call; SQL text is accepted."""
         if isinstance(query, str):
@@ -286,7 +315,7 @@ class CQManager:
             engine=engine,
             keep_result=keep_result,
         )
-        return self.register(cq, on_notify=on_notify)
+        return self.register(cq, on_notify=on_notify, partition=partition)
 
     # Friendly alias used throughout the examples.
     register_sql = register_query
@@ -586,6 +615,23 @@ class CQManager:
             [self.db.table(name) for name in table_names], since
         )
 
+    def _partition_deltas(
+        self, cq: ContinualQuery, deltas: Dict[str, DeltaRelation]
+    ) -> Dict[str, DeltaRelation]:
+        """Drop delta entries outside a partitioned CQ's owned slice."""
+        partition = self._partitions.get(cq.name)
+        if partition is None or partition.table not in deltas:
+            return deltas
+        from repro.cluster.ring import partition_filter
+
+        sliced = partition_filter(deltas[partition.table], partition)
+        out = dict(deltas)
+        if sliced.is_empty():
+            del out[partition.table]
+        else:
+            out[partition.table] = sliced
+        return out
+
     def _prepared_for(self, cq: ContinualQuery) -> Optional[PreparedCQ]:
         """The CQ's cached prepared plan (None when preparation is off
         or the engine never runs DRA). Aggregates are planned on their
@@ -604,7 +650,9 @@ class CQManager:
             # the aggregate state cannot change, only the window moves.
             deltas = {}
         else:
-            deltas = self._deltas_for(cq.table_names, applied)
+            deltas = self._partition_deltas(
+                cq, self._deltas_for(cq.table_names, applied)
+            )
         if deltas:
             cq.aggregate_state.update(
                 deltas,
@@ -628,7 +676,9 @@ class CQManager:
         if self._fanout_irrelevant(cq, applied):
             deltas = {}
         else:
-            deltas = self._deltas_for(cq.table_names, applied)
+            deltas = self._partition_deltas(
+                cq, self._deltas_for(cq.table_names, applied)
+            )
         if deltas:
             result = dra_execute(
                 cq.query,
@@ -679,14 +729,22 @@ class CQManager:
             schema = self._fanout_out_schema(cq)
             if schema is not None:
                 return DeltaRelation(schema)
-        deltas = self._deltas_for(cq.table_names, since)
+        deltas = self._partition_deltas(
+            cq, self._deltas_for(cq.table_names, since)
+        )
         # Shared materialization: CQs with identical SQL text and the
         # same refresh window have content-identical previous results
         # (both are Q(state at `since`)), so the whole DRAResult is
         # computed once per (sql_key, window) and reused group-wide.
         shared_key = None
         result = None
-        if self.fanout_index is not None and cq.keep_result:
+        if (
+            self.fanout_index is not None
+            and cq.keep_result
+            # Partitioned CQs see a private delta slice: their results
+            # are never content-identical to other group members'.
+            and cq.name not in self._partitions
+        ):
             sql_key = self._cq_sql_key.get(cq.name)
             if sql_key is not None and len(self._sql_groups.get(sql_key, ())) > 1:
                 shared_key = (sql_key, since, now)
@@ -788,6 +846,7 @@ class CQManager:
         for unsubscribe in self._unsubscribes.pop(cq.name, []):
             unsubscribe()
         self.zones.remove(cq.name)
+        self._partitions.pop(cq.name, None)
         self._agg_applied.pop(cq.name, None)
         self._eager_applied.pop(cq.name, None)
         self._last_result_ts.pop(cq.name, None)

@@ -385,7 +385,13 @@ def server_to_dict(server) -> Dict[str, Any]:
     }
 
 
-def server_from_dict(data: Dict[str, Any], network=None, metrics=None):
+def server_from_dict(
+    data: Dict[str, Any],
+    network=None,
+    metrics=None,
+    fanout: bool = False,
+    columnar: bool = False,
+):
     """Restore a CQ server from :func:`server_to_dict`.
 
     Each subscription's retained previous result is rebuilt at its
@@ -414,6 +420,8 @@ def server_from_dict(data: Dict[str, Any], network=None, metrics=None):
         network if network is not None else SimulatedNetwork(),
         name=data["name"],
         metrics=metrics,
+        fanout=fanout,
+        columnar=columnar,
     )
     for entry in data["subscriptions"]:
         query = parse_query(entry["sql"])
@@ -437,6 +445,7 @@ def server_from_dict(data: Dict[str, Any], network=None, metrics=None):
             tuple(query.table_names),
             last_ts,
         )
+    server.rebuild_groups()
     return server
 
 
@@ -461,8 +470,10 @@ def save_server(server, path: str) -> None:
             )
 
 
-def load_server(path: str, network=None, metrics=None):
-    return server_from_dict(read_checkpoint(path), network, metrics)
+def load_server(path: str, network=None, metrics=None, fanout=False, columnar=False):
+    return server_from_dict(
+        read_checkpoint(path), network, metrics, fanout=fanout, columnar=columnar
+    )
 
 
 # -- crash recovery (checkpoint + WAL suffix) ---------------------------------
@@ -555,6 +566,8 @@ def recover_server(
     checkpoint_path: Optional[str] = None,
     network=None,
     metrics=None,
+    fanout: bool = False,
+    columnar: bool = False,
 ):
     """Rebuild a CQ server after a crash: checkpoint + WAL suffix.
 
@@ -573,12 +586,16 @@ def recover_server(
     from repro.storage.database import Database
 
     if checkpoint_path is not None and os.path.exists(checkpoint_path):
-        server = load_server(checkpoint_path, network, metrics)
+        server = load_server(
+            checkpoint_path, network, metrics, fanout=fanout, columnar=columnar
+        )
     else:
         server = CQServer(
             Database(),
             network if network is not None else SimulatedNetwork(),
             metrics=metrics,
+            fanout=fanout,
+            columnar=columnar,
         )
     db = server.db
     summary = _replay_wal(db, wal_path, metrics=server.metrics)
@@ -619,4 +636,5 @@ def recover_server(
         server.zones.register(
             server._zone(*key), tuple(query.table_names), last_ts
         )
+    server.rebuild_groups()
     return server

@@ -109,6 +109,10 @@ class CodecError(NetworkError):
     payload, or field structure that fails validation."""
 
 
+class ClusterError(ReproError):
+    """Errors from the sharded cluster layer (repro.cluster)."""
+
+
 class ConnectTimeout(NetworkError):
     """A session could not establish a connection within its total
     deadline; ``attempts`` counts the dial attempts made."""

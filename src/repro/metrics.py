@@ -171,6 +171,17 @@ class Metrics:
     AUDITS = "audits"
     AUDIT_DIVERGENCES = "audit_divergences"
     CODEC_ERRORS = "codec_errors"
+    # Sharded cluster layer (repro.cluster): scatter cycles sent vs
+    # skipped by router-side relevance, cross-shard merges and the
+    # conflicts/residual drops they resolved, and shard recovery via
+    # delta replay vs baseline fallback.
+    SCATTERS = "cluster_scatters"
+    SCATTER_SKIPPED = "cluster_scatter_skipped"
+    CLUSTER_MERGES = "cluster_merges"
+    MERGE_CONFLICTS = "cluster_merge_conflicts"
+    RESIDUAL_DROPS = "cluster_residual_drops"
+    SHARD_REPLAYS = "cluster_shard_replays"
+    SHARD_FALLBACKS = "cluster_shard_fallbacks"
     # Histogram names.
     REFRESH_LATENCY_US = "refresh_latency_us"
 

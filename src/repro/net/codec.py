@@ -41,6 +41,10 @@ from repro.net.messages import (
     Message,
     RegisterMessage,
     ResyncMessage,
+    GatherReplyMessage,
+    ScatterMessage,
+    ShardHeartbeatMessage,
+    ShardHelloMessage,
     StatsMessage,
     StatsReplyMessage,
 )
@@ -193,6 +197,57 @@ _TO_JSON: Dict[Type[Message], Tuple[str, Callable[[Message], Dict[str, Any]]]] =
     ),
     StatsMessage: ("stats", lambda m: {}),
     StatsReplyMessage: ("stats_reply", lambda m: {"payload": m.payload}),
+    ShardHelloMessage: (
+        "shard_hello",
+        lambda m: {
+            "shard": m.shard_id,
+            "horizon": m.horizon,
+            "tables": m.tables,
+            "subs": m.subscriptions,
+        },
+    ),
+    ScatterMessage: (
+        "scatter",
+        lambda m: {
+            "shard": m.shard_id,
+            "seq": m.seq,
+            "ts": m.ts,
+            "deltas": {
+                name: _delta_to_json(delta)
+                for name, delta in sorted(m.deltas.items())
+            },
+            "baselines": {
+                name: _relation_to_json(rel)
+                for name, rel in sorted(m.baselines.items())
+            },
+            "sub": m.subscribe,
+            "unsub": m.unsubscribe,
+            "collect": m.collect,
+        },
+    ),
+    GatherReplyMessage: (
+        "gather_reply",
+        lambda m: {
+            "shard": m.shard_id,
+            "seq": m.seq,
+            "ts": m.ts,
+            "horizon": m.horizon,
+            "entries": [
+                [sql_key, _delta_to_json(delta), ts]
+                for sql_key, delta, ts in m.entries
+            ],
+            "counters": m.counters,
+        },
+    ),
+    ShardHeartbeatMessage: (
+        "shard_heartbeat",
+        lambda m: {
+            "shard": m.shard_id,
+            "seq": m.seq,
+            "ts": m.ts,
+            "collect": m.collect,
+        },
+    ),
 }
 
 _FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Message]] = {
@@ -219,6 +274,39 @@ _FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Message]] = {
     "heartbeat_ack": lambda d: HeartbeatAckMessage(d["ts"], d["applied"]),
     "stats": lambda d: StatsMessage(),
     "stats_reply": lambda d: StatsReplyMessage(d["payload"]),
+    "shard_hello": lambda d: ShardHelloMessage(
+        d["shard"], d["horizon"], d["tables"], d["subs"]
+    ),
+    "scatter": lambda d: ScatterMessage(
+        d["shard"],
+        d["seq"],
+        d["ts"],
+        deltas={
+            name: _delta_from_json(delta)
+            for name, delta in d["deltas"].items()
+        },
+        baselines={
+            name: _relation_from_json(rel)
+            for name, rel in d["baselines"].items()
+        },
+        subscribe=d["sub"],
+        unsubscribe=d["unsub"],
+        collect=d["collect"],
+    ),
+    "gather_reply": lambda d: GatherReplyMessage(
+        d["shard"],
+        d["seq"],
+        d["ts"],
+        d["horizon"],
+        entries=[
+            (sql_key, _delta_from_json(delta), ts)
+            for sql_key, delta, ts in d["entries"]
+        ],
+        counters=d["counters"],
+    ),
+    "shard_heartbeat": lambda d: ShardHeartbeatMessage(
+        d["shard"], d["seq"], d["ts"], d["collect"]
+    ),
 }
 
 

@@ -252,6 +252,131 @@ class StatsReplyMessage(Message):
         return f"StatsReplyMessage({sorted(self.payload)})"
 
 
+class ShardHelloMessage(Message):
+    """Shard -> router: identity frame on spawn, attach, or recovery.
+
+    ``horizon`` is the shard's applied-through timestamp — everything
+    the router's update logs hold beyond it is the shard's missed
+    window. ``subscriptions`` lists the ``sql_key`` CQs the shard still
+    holds (recovered from its journal), so the router can detect and
+    re-seed any registration the shard lost."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        horizon: Timestamp,
+        tables: Optional[List[str]] = None,
+        subscriptions: Optional[List[str]] = None,
+    ):
+        self.shard_id = shard_id
+        self.horizon = horizon
+        self.tables = list(tables or [])
+        self.subscriptions = list(subscriptions or [])
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardHelloMessage(shard={self.shard_id}, "
+            f"horizon={self.horizon}, subs={len(self.subscriptions)})"
+        )
+
+
+class ScatterMessage(Message):
+    """Router -> shard: one refresh cycle's relevant work.
+
+    ``deltas`` carries the consolidated per-table delta slices the
+    shard must fold in (replicated tables get the whole window,
+    partitioned tables only the shard's slice); ``baselines`` carries
+    complete table states for (re-)seeding — the replay fallback and
+    the index-handoff path. ``subscribe``/``unsubscribe`` piggyback
+    registration control so a shard host needs exactly one inbound
+    data-plane message type. ``collect`` asks the shard to run its own
+    zone-bounded garbage collection after refreshing."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        seq: int,
+        ts: Timestamp,
+        deltas: Optional[Dict[str, DeltaRelation]] = None,
+        baselines: Optional[Dict[str, Relation]] = None,
+        subscribe: Optional[List[Dict[str, str]]] = None,
+        unsubscribe: Optional[List[str]] = None,
+        collect: bool = False,
+    ):
+        self.shard_id = shard_id
+        self.seq = seq
+        self.ts = ts
+        self.deltas = dict(deltas or {})
+        self.baselines = dict(baselines or {})
+        self.subscribe = list(subscribe or [])
+        self.unsubscribe = list(unsubscribe or [])
+        self.collect = collect
+
+    def __repr__(self) -> str:
+        return (
+            f"ScatterMessage(shard={self.shard_id}, seq={self.seq}, "
+            f"ts={self.ts}, deltas={sorted(self.deltas)}, "
+            f"baselines={sorted(self.baselines)})"
+        )
+
+
+class GatherReplyMessage(Message):
+    """Shard -> router: the partial result deltas of one cycle.
+
+    ``entries`` is ``[(sql_key, delta, ts), ...]`` — each affected
+    shard-side group's result delta, to be merged (and residual-
+    confirmed) at the router before member notification. ``counters``
+    snapshots the shard's metrics bag for cluster-wide stats
+    aggregation."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        seq: int,
+        ts: Timestamp,
+        horizon: Timestamp,
+        entries: Optional[List] = None,
+        counters: Optional[Dict[str, int]] = None,
+    ):
+        self.shard_id = shard_id
+        self.seq = seq
+        self.ts = ts
+        self.horizon = horizon
+        self.entries = list(entries or [])
+        self.counters = dict(counters or {})
+
+    def __repr__(self) -> str:
+        return (
+            f"GatherReplyMessage(shard={self.shard_id}, seq={self.seq}, "
+            f"{len(self.entries)} entries)"
+        )
+
+
+class ShardHeartbeatMessage(Message):
+    """Router -> shard: an empty-scatter cycle.
+
+    No batch was relevant to this shard's footprints, so there is
+    nothing to evaluate — but the shard still advances its clock to
+    ``ts``, moves every group's refresh window forward (the Section 5.2
+    relevance theorem makes their deltas provably empty), and with
+    ``collect`` prunes its update logs — GC zones advance cluster-wide
+    without a single term evaluation."""
+
+    def __init__(
+        self, shard_id: int, seq: int, ts: Timestamp, collect: bool = False
+    ):
+        self.shard_id = shard_id
+        self.seq = seq
+        self.ts = ts
+        self.collect = collect
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardHeartbeatMessage(shard={self.shard_id}, seq={self.seq}, "
+            f"ts={self.ts})"
+        )
+
+
 class HeartbeatMessage(Message):
     """Server -> client: liveness probe carrying the server clock."""
 

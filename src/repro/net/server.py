@@ -449,6 +449,33 @@ class CQServer:
             del self._groups[subscription.sql_key]
             self.fanout_index.remove(subscription.sql_key)
 
+    def rebuild_groups(self) -> int:
+        """Re-seed shared groups and the fan-out index after recovery.
+
+        WAL replay rebuilds subscriptions but not the in-memory shared
+        materialization groups or their predicate-index entries (both
+        are derived state). Re-derive them: one group per distinct DRA
+        ``sql_key``, its result evaluated fresh at ``now`` — exactly the
+        state a clean registration sequence would have produced.
+        Returns the number of groups created."""
+        if self.fanout_index is None:
+            return 0
+        created = 0
+        now = self.db.now()
+        for key, subscription in sorted(self._subscriptions.items()):
+            if subscription.protocol not in (
+                Protocol.DRA_DELTA,
+                Protocol.DRA_LAZY,
+            ):
+                continue
+            group = self._groups.get(subscription.sql_key)
+            if group is None:
+                before = len(self._groups)
+                result, group = self._join_group(subscription.query, now)
+                created += len(self._groups) - before
+            group.members.add(key)
+        return created
+
     def _advance_group(self, group: SharedGroup, now: Timestamp) -> None:
         """Bring ``group.result`` forward to Q(state at ``now``)."""
         if group.last_ts >= now:

@@ -296,7 +296,11 @@ class CQService:
 
         metrics = metrics if metrics is not None else Metrics()
         server = recover_server(
-            wal_path, checkpoint_path=checkpoint_path, metrics=metrics
+            wal_path,
+            checkpoint_path=checkpoint_path,
+            metrics=metrics,
+            fanout=kwargs.get("fanout", False),
+            columnar=kwargs.get("columnar", False),
         )
         return cls(server.db, metrics=metrics, server=server, **kwargs)
 

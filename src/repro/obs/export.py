@@ -19,14 +19,43 @@ def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
 
 
-def prometheus_text(metrics: Metrics, namespace: str = "repro") -> str:
-    """Render ``metrics`` in the Prometheus text exposition format."""
+def _render_labels(labels: Optional[Dict[str, str]], extra: str = "") -> str:
+    """The ``{k="v",...}`` suffix for one sample (empty without labels).
+
+    ``extra`` is a pre-rendered pair (histogram ``le``) appended after
+    the shared labels so every series of one metric keeps a consistent
+    label order.
+    """
+    pairs = [
+        f'{_sanitize(key)}="{value}"'
+        for key, value in sorted((labels or {}).items())
+    ]
+    if extra:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def prometheus_text(
+    metrics: Metrics,
+    namespace: str = "repro",
+    labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render ``metrics`` in the Prometheus text exposition format.
+
+    ``labels`` are attached to every sample (e.g. ``{"shard": "2"}``
+    renders ``repro_refreshes{shard="2"}``), which is how per-shard
+    metric bags aggregate into one exposition without name collisions —
+    histogram bucket series merge the shared labels with their ``le``.
+    """
     ns = _sanitize(namespace)
+    suffix = _render_labels(labels)
     lines = []
     for name, value in sorted(metrics.snapshot().items()):
         metric = f"{ns}_{_sanitize(name)}"
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {value}")
+        lines.append(f"{metric}{suffix} {value}")
     # Derived batch-efficiency gauge (DESIGN.md §11): average rows
     # each columnar kernel invocation processed. Emitted whenever the
     # columnar evaluator has run; 0 calls would mean a meaningless
@@ -35,17 +64,21 @@ def prometheus_text(metrics: Metrics, namespace: str = "repro") -> str:
     if calls:
         metric = f"{ns}_rows_per_kernel_call"
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {metrics.get(Metrics.KERNEL_ROWS) / calls:.3f}")
+        lines.append(
+            f"{metric}{suffix} {metrics.get(Metrics.KERNEL_ROWS) / calls:.3f}"
+        )
     for name, hist in sorted(metrics.histograms().items()):
         metric = f"{ns}_{_sanitize(name)}"
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
         for exp, count in hist.buckets():
             cumulative += count
-            lines.append(f'{metric}_bucket{{le="{float(2 ** exp)}"}} {cumulative}')
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
-        lines.append(f"{metric}_sum {hist.total}")
-        lines.append(f"{metric}_count {hist.count}")
+            bucket = _render_labels(labels, extra=f'le="{float(2 ** exp)}"')
+            lines.append(f"{metric}_bucket{bucket} {cumulative}")
+        bucket = _render_labels(labels, extra='le="+Inf"')
+        lines.append(f"{metric}_bucket{bucket} {hist.count}")
+        lines.append(f"{metric}_sum{suffix} {hist.total}")
+        lines.append(f"{metric}_count{suffix} {hist.count}")
     return "\n".join(lines) + "\n"
 
 

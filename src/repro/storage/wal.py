@@ -453,6 +453,25 @@ def recover_database(
     return db, recovery, summary
 
 
+def shard_wal_path(root: str, shard_id: int) -> str:
+    """The journal path of one cluster shard: ``<root>/shard-<id>/wal.log``.
+
+    Each shard owns a private durability directory so concurrent shard
+    journals never interleave frames, and a shard's recovery needs only
+    its own directory. The directory is created on first use.
+    """
+    directory = os.path.join(root, f"shard-{shard_id}")
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, "wal.log")
+
+
+def shard_checkpoint_path(root: str, shard_id: int) -> str:
+    """The checkpoint path alongside :func:`shard_wal_path`."""
+    directory = os.path.join(root, f"shard-{shard_id}")
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, "checkpoint.json")
+
+
 def rebase_wal(wal: WriteAheadLog, db) -> None:
     """Truncate a journal a checkpoint just superseded and re-seed it.
 

@@ -1,0 +1,108 @@
+"""Partition-aware CQManager registration.
+
+A manager running inside one shard owns only a slice of a partitioned
+table. Declaring the partition at registration makes the manager drop
+mis-routed delta entries before they reach the differential engine —
+the local guarantee the cluster's scatter correctness builds on.
+"""
+
+import pytest
+
+from repro.cluster import HashRing, Partition
+from repro.core import CQManager, EvaluationStrategy
+from repro.core import Engine
+from repro.errors import RegistrationError
+from repro.metrics import Metrics
+from repro.relational import AttributeType, Schema
+from repro import Database
+
+PAIRS = [
+    ("pid", AttributeType.INT),
+    ("client", AttributeType.STR),
+    ("shares", AttributeType.INT),
+]
+SQL = "SELECT pid, client, shares FROM positions WHERE shares > 100"
+
+
+def make_manager():
+    db = Database()
+    db.create_table("positions", Schema.of(*PAIRS))
+    mgr = CQManager(
+        db, strategy=EvaluationStrategy.PERIODIC, metrics=Metrics()
+    )
+    ring = HashRing([0, 1], seed=5)
+    partition = Partition("positions", "client", 1, ring, node=0)
+    return db, mgr, ring, partition
+
+
+def owned_clients(ring, node, n=40):
+    return [
+        f"client-{i}"
+        for i in range(n)
+        if (ring.lookup(f"positions:client-{i}") == node)
+    ]
+
+
+class TestPartitionRegistration:
+    def test_partition_on_foreign_table_rejected(self):
+        db, mgr, ring, __ = make_manager()
+        bad = Partition("elsewhere", "client", 1, ring, node=0)
+        with pytest.raises(RegistrationError):
+            mgr.register_query("q", SQL, partition=bad)
+
+    def test_reevaluate_engine_rejects_partitions(self):
+        __, mgr, __, partition = make_manager()
+        with pytest.raises(RegistrationError):
+            mgr.register_query(
+                "q",
+                SQL,
+                engine=Engine.REEVALUATE,
+                keep_result=True,
+                partition=partition,
+            )
+
+    def test_foreign_slice_deltas_are_dropped(self):
+        db, mgr, ring, partition = make_manager()
+        mgr.register_query("q", SQL, partition=partition)
+        mgr.drain()
+        mine = owned_clients(ring, 0)[:3]
+        theirs = owned_clients(ring, 1)[:3]
+        table = db.table("positions")
+        with db.begin() as txn:
+            for i, client in enumerate(mine + theirs):
+                txn.insert_into(table, (i, client, 500))
+        mgr.poll(advance_to=db.now() + 1)
+        result = mgr.get("q").previous_result
+        clients = {row.values[1] for row in result}
+        assert clients == set(mine)
+
+    def test_unpartitioned_registration_sees_everything(self):
+        db, mgr, ring, __ = make_manager()
+        mgr.register_query("q", SQL)
+        mgr.drain()
+        table = db.table("positions")
+        with db.begin() as txn:
+            for i in range(6):
+                txn.insert_into(table, (i, f"client-{i}", 500))
+        mgr.poll(advance_to=db.now() + 1)
+        result = mgr.get("q").previous_result
+        assert len(result) == 6
+
+    def test_partition_survives_modify_into_slice(self):
+        """A row moving *into* the owned slice arrives as an insert
+        (the insert half of the split cross-slice modify)."""
+        db, mgr, ring, partition = make_manager()
+        mgr.register_query("q", SQL, partition=partition)
+        mgr.drain()
+        mine = owned_clients(ring, 0)[0]
+        theirs = owned_clients(ring, 1)[0]
+        table = db.table("positions")
+        with db.begin() as txn:
+            tid = txn.insert_into(table, (1, theirs, 500))
+        mgr.poll(advance_to=db.now() + 1)
+        assert len(mgr.get("q").previous_result) == 0
+        with db.begin() as txn:
+            txn.modify_in(table, tid, (1, mine, 500))
+        mgr.poll(advance_to=db.now() + 1)
+        result = mgr.get("q").previous_result
+        assert [row.values[1] for row in result] == [mine]

@@ -1,0 +1,53 @@
+"""ProcessBackend: shards as real OS processes over the wire codec.
+
+One consolidated scenario (spawning interpreters is expensive on the
+CI box): scatter/gather through real serialization, a terminate-based
+crash, and journal recovery, all converging to the oracle.
+"""
+
+import pytest
+
+from repro.cluster import ClusterRouter, ProcessBackend
+from repro.errors import ClusterError
+from repro.metrics import Metrics
+
+SQL = "SELECT name, price FROM stocks WHERE price > 102"
+
+
+def test_process_shards_scatter_crash_and_recover(tmp_path):
+    router = ClusterRouter(
+        shards=2, seed=3, backend=ProcessBackend(wal_root=str(tmp_path))
+    )
+    router.declare_table(
+        "stocks", [("sid", int), ("name", str), ("price", float)]
+    )
+    router.start()
+    db = router.db
+    stocks = db.table("stocks")
+    with db.begin() as txn:
+        for i in range(6):
+            txn.insert_into(stocks, (i, f"S{i}", 100.0 + i))
+    router.subscribe("c", "q", SQL)
+    router.refresh()
+    with db.begin() as txn:
+        for row in list(stocks.current):
+            if row.values[0] == 1:
+                txn.modify_in(stocks, row.tid, (1, "S1", 500.0))
+    router.refresh()
+    oracle = sorted(r.values for r in db.query(SQL))
+    assert sorted(r.values for r in router.result("c", "q")) == oracle
+
+    # Crash (SIGTERM, no handshake) while the stream keeps moving.
+    router.kill_shard(0)
+    with pytest.raises(ClusterError):
+        router.kill_shard(0)
+    with db.begin() as txn:
+        txn.insert_into(stocks, (9, "S9", 900.0))
+    router.refresh()
+    assert router.recover_shard(0) is True
+    router.refresh()
+    assert router.metrics.get(Metrics.SHARD_REPLAYS) == 1
+    oracle = sorted(r.values for r in db.query(SQL))
+    assert sorted(r.values for r in router.result("c", "q")) == oracle
+    router.close()
+    assert router.backend.alive() == []

@@ -1,0 +1,171 @@
+"""Consistent-hash ring and partition-slice properties.
+
+The placement layer must be deterministic (seeded), balanced enough to
+share load, and *minimally disruptive*: adding a node may only move
+keys onto the new node, never shuffle keys between survivors. The
+partition helpers must slice a delta without inventing or losing
+entries — a cross-slice modify splits into a delete and an insert.
+"""
+
+import pytest
+
+from repro.cluster import HashRing, Partition, partition_delta
+from repro.delta.differential import DeltaEntry, DeltaRelation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType
+
+SCHEMA = Schema(
+    [
+        Attribute("pid", AttributeType.INT),
+        Attribute("client", AttributeType.STR),
+        Attribute("shares", AttributeType.INT),
+    ]
+)
+
+
+class TestHashRing:
+    def test_seeded_placement_is_deterministic(self):
+        a = HashRing([0, 1, 2], seed=42)
+        b = HashRing([0, 1, 2], seed=42)
+        keys = [f"key-{i}" for i in range(200)]
+        assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+    def test_different_seeds_place_differently(self):
+        a = HashRing([0, 1, 2], seed=1)
+        b = HashRing([0, 1, 2], seed=2)
+        keys = [f"key-{i}" for i in range(200)]
+        assert [a.lookup(k) for k in keys] != [b.lookup(k) for k in keys]
+
+    def test_every_node_gets_a_share(self):
+        ring = HashRing([0, 1, 2, 3], seed=7)
+        owners = {ring.lookup(f"key-{i}") for i in range(500)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_balance_is_roughly_even(self):
+        ring = HashRing([0, 1, 2, 3], seed=7)
+        counts = {n: 0 for n in ring.nodes()}
+        total = 4000
+        for i in range(total):
+            counts[ring.lookup(f"key-{i}")] += 1
+        for node, count in counts.items():
+            share = count / total
+            assert 0.10 <= share <= 0.45, (node, share)
+
+    def test_adding_a_node_only_moves_keys_onto_it(self):
+        ring = HashRing([0, 1, 2], seed=9)
+        keys = [f"key-{i}" for i in range(600)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add_node(3)
+        moved = 0
+        for k in keys:
+            after = ring.lookup(k)
+            if after != before[k]:
+                assert after == 3, (k, before[k], after)
+                moved += 1
+        assert 0 < moved < len(keys) // 2
+
+    def test_removing_a_node_redistributes_only_its_keys(self):
+        ring = HashRing([0, 1, 2, 3], seed=9)
+        keys = [f"key-{i}" for i in range(600)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove_node(3)
+        for k in keys:
+            if before[k] != 3:
+                assert ring.lookup(k) == before[k]
+            else:
+                assert ring.lookup(k) != 3
+
+    def test_membership_protocol(self):
+        ring = HashRing(seed=0)
+        assert len(ring) == 0
+        ring.add_node(5)
+        assert 5 in ring and len(ring) == 1
+        assert ring.lookup("anything") == 5
+
+
+def entry(tid, old, new, ts=1):
+    return DeltaEntry(tid, old, new, ts)
+
+
+class TestPartitionSlices:
+    def _partitions(self, nodes=(0, 1, 2), seed=3):
+        ring = HashRing(list(nodes), seed=seed)
+        position = SCHEMA.position("client")
+        return ring, {
+            n: Partition("positions", "client", position, ring, n)
+            for n in nodes
+        }
+
+    def test_row_accepted_by_exactly_one_partition(self):
+        __, parts = self._partitions()
+        for i in range(50):
+            row = (i, f"client-{i}", 10)
+            owners = [n for n, p in parts.items() if p.accepts(row)]
+            assert len(owners) == 1, row
+
+    def test_missing_row_is_accepted_nowhere(self):
+        __, parts = self._partitions()
+        assert not any(p.accepts(None) for p in parts.values())
+
+    def test_none_key_value_still_lands_on_exactly_one_shard(self):
+        __, parts = self._partitions()
+        row = (1, None, 10)
+        owners = [n for n, p in parts.items() if p.accepts(row)]
+        assert len(owners) == 1
+
+    def test_partition_delta_covers_every_entry_once(self):
+        ring, __ = self._partitions()
+        delta = DeltaRelation(
+            SCHEMA,
+            [
+                entry(i, None, (i, f"client-{i}", 10), ts=i + 1)
+                for i in range(40)
+            ],
+        )
+        slices = partition_delta(
+            delta, "positions", SCHEMA.position("client"), ring
+        )
+        total = sum(len(s) for s in slices.values())
+        assert total == len(delta)
+        seen = set()
+        for piece in slices.values():
+            for e in piece:
+                assert e.tid not in seen
+                seen.add(e.tid)
+
+    def test_cross_slice_modify_splits_into_delete_and_insert(self):
+        ring, parts = self._partitions()
+        # Find two client values owned by different nodes.
+        a = next(
+            f"client-{i}" for i in range(100)
+            if ring.lookup(f"positions:client-{i}") == 0
+        )
+        b = next(
+            f"client-{i}" for i in range(100)
+            if ring.lookup(f"positions:client-{i}") == 1
+        )
+        old, new = (1, a, 10), (1, b, 10)
+        delta = DeltaRelation(SCHEMA, [entry(7, old, new)])
+        slices = partition_delta(
+            delta, "positions", SCHEMA.position("client"), ring
+        )
+        e0 = next(iter(slices[0]))
+        e1 = next(iter(slices[1]))
+        assert e0.old == old and e0.new is None
+        assert e1.old is None and e1.new == new
+        assert 2 not in slices
+
+    def test_same_slice_modify_stays_whole(self):
+        ring, __ = self._partitions()
+        value = next(
+            f"client-{i}" for i in range(100)
+            if ring.lookup(f"positions:client-{i}") == 2
+        )
+        old, new = (1, value, 10), (1, value, 99)
+        delta = DeltaRelation(SCHEMA, [entry(7, old, new)])
+        slices = partition_delta(
+            delta, "positions", SCHEMA.position("client"), ring
+        )
+        assert set(slices) == {2}
+        e = next(iter(slices[2]))
+        assert e.old == old and e.new == new

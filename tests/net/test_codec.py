@@ -25,6 +25,7 @@ from repro.net.messages import (
     DeltaMessage,
     FetchMessage,
     FullResultMessage,
+    GatherReplyMessage,
     HeartbeatAckMessage,
     HeartbeatMessage,
     HelloAckMessage,
@@ -33,6 +34,9 @@ from repro.net.messages import (
     Message,
     RegisterMessage,
     ResyncMessage,
+    ScatterMessage,
+    ShardHeartbeatMessage,
+    ShardHelloMessage,
     StatsMessage,
     StatsReplyMessage,
 )
@@ -91,6 +95,23 @@ EVERY_MESSAGE = [
     StatsReplyMessage(
         {"server": "s", "counters": {"wal_appends": 3}, "zones": {"c:watch": 4}}
     ),
+    # Cluster control/data plane (deep coverage in tests/cluster).
+    ShardHelloMessage(2, 9, tables=["stocks"], subscriptions=["SELECT ..."]),
+    ScatterMessage(
+        1,
+        4,
+        12,
+        deltas={"stocks": sample_delta()},
+        baselines={"stocks": sample_relation()},
+        subscribe=[{"cq": "k", "sql": "SELECT name FROM stocks"}],
+        unsubscribe=["old-key"],
+        collect=True,
+    ),
+    GatherReplyMessage(
+        1, 4, 12, 11, entries=[("k", sample_delta(), 12)],
+        counters={"executions": 3},
+    ),
+    ShardHeartbeatMessage(0, 5, 13, collect=True),
 ]
 
 

@@ -55,6 +55,62 @@ class TestPrometheusText:
         )
         assert counter_value(parsed, "my_app_weird_name_here") == 1
 
+    def test_labels_attach_to_every_counter_sample(self):
+        metrics = Metrics()
+        metrics.count(Metrics.CQ_REFRESHES, 5)
+        text = prometheus_text(metrics, labels={"shard": "2"})
+        assert 'repro_cq_refreshes{shard="2"} 5' in text
+        parsed = parse_prometheus_text(text)
+        assert parsed["repro_cq_refreshes"][(("shard", "2"),)] == 5
+        # The label-free sample is absent — nothing leaks unlabelled.
+        assert counter_value(parsed, "repro_cq_refreshes") is None
+
+    def test_labels_merge_with_histogram_le(self):
+        metrics = Metrics()
+        for v in (1, 3, 100):
+            metrics.observe("lat_us", v)
+        parsed = parse_prometheus_text(
+            prometheus_text(metrics, labels={"shard": "0"})
+        )
+        buckets = parsed["repro_lat_us_bucket"]
+        for labels in buckets:
+            pairs = dict(labels)
+            assert pairs["shard"] == "0"
+            assert "le" in pairs
+        inf = buckets[tuple(sorted((("shard", "0"), ("le", "+Inf"))))]
+        assert inf == 3
+        assert parsed["repro_lat_us_sum"][(("shard", "0"),)] == 104
+        assert parsed["repro_lat_us_count"][(("shard", "0"),)] == 3
+
+    def test_multi_label_round_trip_is_order_insensitive(self):
+        metrics = Metrics()
+        metrics.count("refreshes", 9)
+        parsed = parse_prometheus_text(
+            prometheus_text(
+                metrics, labels={"shard": "1", "role": "worker"}
+            )
+        )
+        key = tuple(sorted((("role", "worker"), ("shard", "1"))))
+        assert parsed["repro_refreshes"][key] == 9
+
+    def test_shard_bags_concatenate_without_collisions(self):
+        """The cluster router's aggregation pattern: one exposition per
+        shard bag, distinct label values, concatenated text parses to
+        one series per shard."""
+        chunks = []
+        for shard in range(3):
+            bag = Metrics()
+            bag.count("refreshes", shard + 1)
+            chunks.append(
+                prometheus_text(bag, labels={"shard": str(shard)})
+            )
+        parsed = parse_prometheus_text("".join(chunks))
+        samples = parsed["repro_refreshes"]
+        assert {
+            dict(labels)["shard"]: value
+            for labels, value in samples.items()
+        } == {"0": 1.0, "1": 2.0, "2": 3.0}
+
     @pytest.mark.parametrize(
         "bad",
         [
