@@ -49,9 +49,14 @@ WORK_COUNTERS = (
 )
 
 
-def build_cluster(shards, seed=16):
+def build_cluster(shards, seed=16, replicas=0):
     """A started cluster with a partitioned, populated stocks table."""
-    router = ClusterRouter(shards=shards, seed=seed, vnodes=256)
+    router = ClusterRouter(
+        shards=shards,
+        seed=seed,
+        vnodes=256,
+        replicas=min(replicas, shards - 1),
+    )
     router.declare_table(
         "stocks",
         [("sid", int), ("name", str), ("price", int)],
@@ -135,9 +140,9 @@ def _shard_snapshots(router):
     }
 
 
-def measure(shards, n_subs, cycles=8, mutations=60):
+def measure(shards, n_subs, cycles=8, mutations=60, replicas=0):
     """One configuration's modelled critical path over the cycles."""
-    router, tids = build_cluster(shards)
+    router, tids = build_cluster(shards, replicas=replicas)
     sample = subscribe_population(router, n_subs)
     router.refresh()  # flush registration-era windows out of the model
     shard_before = _shard_snapshots(router)
@@ -158,6 +163,7 @@ def measure(shards, n_subs, cycles=8, mutations=60):
     total = sum(per_shard.values())
     return {
         "shards": shards,
+        "replicas": min(replicas, shards - 1),
         "subscribers": n_subs,
         "cycles": cycles,
         "router_work": router_work,
@@ -191,20 +197,28 @@ def test_four_shards_beat_one_on_the_cost_model(print_table):
 # -- smoke entry point (CI) ---------------------------------------------------
 
 
-def smoke(n_subs=10_000, out_path="BENCH_e16.json"):
+def smoke(n_subs=10_000, out_path="BENCH_e16.json", replicas=0):
     """Fast self-check of the scaling claim at full population.
 
     Sweeps 1/2/4 shards over the same seeded workload, asserts the
-    modelled refresh throughput at 4 shards is ≥2.5x the single-shard
+    modelled refresh throughput at 4 shards against the single-shard
     configuration, and that every sampled subscription matches the
-    authoritative oracle. Returns the record (also written to
+    authoritative oracle. With ``replicas=0`` the gate is ≥2.5x; with
+    replication on, every slice is scattered to replica stores as well,
+    so the gate allows the bounded overhead but still demands ≥2.0x —
+    fault tolerance must not eat the scaling claim. Replicated runs
+    merge into the existing record under ``"replicated"`` instead of
+    replacing the base sweep. Returns the record (also written to
     ``out_path``).
     """
     import json
+    import os
 
     from repro.bench.harness import format_table
 
-    rows = [measure(shards, n_subs) for shards in (1, 2, 4)]
+    rows = [
+        measure(shards, n_subs, replicas=replicas) for shards in (1, 2, 4)
+    ]
     by_shards = {row["shards"]: row for row in rows}
     speedup = (
         by_shards[1]["critical_path"] / by_shards[4]["critical_path"]
@@ -213,23 +227,46 @@ def smoke(n_subs=10_000, out_path="BENCH_e16.json"):
         row["speedup_vs_1"] = round(
             by_shards[1]["critical_path"] / row["critical_path"], 2
         )
-    assert speedup >= 2.5, (
+    gate = 2.5 if replicas == 0 else 2.0
+    assert speedup >= gate, (
         f"modelled 4-shard refresh throughput is {speedup:.2f}x the "
-        "single shard; the scaling claim needs >= 2.5x"
+        f"single shard; the scaling claim (replicas={replicas}) needs "
+        f">= {gate}x"
     )
 
+    sweep = {
+        "replicas": replicas,
+        "sweep": rows,
+        "speedup_4_vs_1": round(speedup, 2),
+    }
     record = {
         "benchmark": "e16_cluster_smoke",
         "templates": N_TEMPLATES,
         "base_rows": BASE_ROWS,
-        "sweep": rows,
-        "speedup_4_vs_1": round(speedup, 2),
     }
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as fh:
+                previous = json.load(fh)
+            if previous.get("benchmark") == record["benchmark"]:
+                record = previous
+        except (ValueError, OSError):
+            pass
+    if replicas == 0:
+        record.update(sweep)
+    else:
+        record["replicated"] = sweep
     with open(out_path, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
     print(
-        format_table(rows, title="E16 smoke: critical path vs shards")
+        format_table(
+            rows,
+            title=(
+                "E16 smoke: critical path vs shards "
+                f"(replicas={replicas})"
+            ),
+        )
     )
     return record
 
@@ -254,12 +291,23 @@ def main(argv=None):
         default="BENCH_e16.json",
         help="where to write the smoke measurement record",
     )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help=(
+            "replica stores per placement group (capped at shards-1; "
+            "the scaling gate relaxes from 2.5x to 2.0x)"
+        ),
+    )
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.error("run the full sweep via pytest; use --smoke here")
     if args.subs < 100:
         parser.error("--subs must be >= 100 for a meaningful sweep")
-    smoke(n_subs=args.subs, out_path=args.out)
+    if args.replicas < 0:
+        parser.error("--replicas must be >= 0")
+    smoke(n_subs=args.subs, out_path=args.out, replicas=args.replicas)
     print("e16 smoke ok")
     return 0
 

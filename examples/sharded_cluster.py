@@ -1,6 +1,6 @@
 #!/usr/bin/env python
-"""A three-shard CQ cluster: partitioned tables, a cross-shard join,
-and crash recovery.
+"""A three-shard replicated CQ cluster: partitioned tables, a
+cross-shard join, zero-downtime failover, and rejoin.
 
 The router owns the authoritative database. ``positions`` is
 partitioned by ``client`` — each shard holds one slice and evaluates
@@ -8,9 +8,15 @@ every continual query over it in parallel — while ``stocks`` is
 replicated on demand. Each refresh cycle scatters only the delta
 slices whose predicate footprints match (§5.2 relevance), gathers the
 per-shard partial result deltas, and merges them (re-confirming
-residual predicates) before notifying subscribers. Every shard
-journals WAL-first, so a killed shard recovers from its own journal
-and the router replays the window it missed.
+residual predicates) before notifying subscribers.
+
+With ``replicas=1`` every placement group also keeps a lockstep
+replica store on a distinct shard: killing a primary mid-stream costs
+no refresh cycle — the router promotes the replica over its
+already-hot tables within the same cycle, re-replicates the lost
+capacity in the background, and releases the dead shard's pinned GC
+zone once the fleet is healthy again. The killed shard later rejoins
+from its WAL-first journal as spare capacity.
 
 Run:  python examples/sharded_cluster.py
 """
@@ -31,7 +37,10 @@ WATCH = (
 def main() -> None:
     with tempfile.TemporaryDirectory() as wal_root:
         router = ClusterRouter(
-            shards=3, seed=11, backend=LocalBackend(wal_root=wal_root)
+            shards=3,
+            seed=11,
+            replicas=1,
+            backend=LocalBackend(wal_root=wal_root),
         )
         router.declare_table(
             "stocks",
@@ -45,11 +54,11 @@ def main() -> None:
             indexes=[("sid",)],
         )
         router.start()
-        run(router, wal_root)
+        run(router)
         router.close()
 
 
-def run(router, wal_root) -> None:
+def run(router) -> None:
     rng = random.Random(2026)
     db = router.db
     stocks, positions = db.table("stocks"), db.table("positions")
@@ -72,6 +81,12 @@ def run(router, wal_root) -> None:
     for record in router.describe():
         spread = "all shards" if record["parallel"] else "one shard"
         print(f"  {record['cq']}: partition-parallel across {spread}")
+    placement = router.stats()["placement"]
+    for group, hosts in sorted(placement.items()):
+        print(
+            f"  group {group}: primary on shard {hosts[0]}, "
+            f"replicas on {hosts[1:]}"
+        )
     print()
 
     for day in range(1, 4):
@@ -89,19 +104,50 @@ def run(router, wal_root) -> None:
             f"holdings now {len(router.result('desk', 'exposure'))}"
         )
 
-    # Crash one shard; the stream keeps moving without it.
+    # Kill a primary mid-stream: the next refresh promotes its groups'
+    # replicas within the cycle — no error, no missed notification —
+    # and re-replicates the lost capacity in the background.
+    before = len(deltas)
     router.kill_shard(1)
     with db.begin() as txn:
         txn.insert_into(positions, ("late", 3, 99))
+        for row in list(stocks.current)[:5]:
+            sid, name, __ = row.values
+            txn.modify_in(stocks, row.tid, (sid, name, 700 + sid))
     router.refresh()
-    print("\nshard 1 killed; refresh continued on the survivors")
+    snapshot = router.metrics.snapshot()
+    print(
+        "\nshard 1 killed mid-stream; the same refresh cycle still "
+        f"delivered {len(deltas) - before} notification(s)"
+    )
+    print(
+        f"  failovers={snapshot.get(Metrics.FAILOVERS, 0)} "
+        f"rereplications={snapshot.get(Metrics.REREPLICATIONS, 0)} "
+        f"suspects={snapshot.get(Metrics.SUSPECTS, 0)}"
+    )
+    placement = router.stats()["placement"]
+    for group, hosts in sorted(placement.items()):
+        print(f"  group {group}: now served by {hosts}")
+    report = router.collect_garbage()
+    print(
+        "  pinned zones after re-replication: "
+        f"{sorted(report.pinned) or 'none (auto-released)'}"
+    )
+    assert sorted(r.values for r in router.result("desk", "exposure")) == (
+        sorted(r.values for r in db.query(WATCH))
+    )
+    print("  merged result matches the single-process oracle")
 
-    # Recovery: the journal rebuilds the shard, the router replays the
-    # window it missed, and the merged results match the oracle.
-    replayed = router.recover_shard(1)
+    # Rejoin: every group failed over and re-replicated, so the
+    # journaled shard comes back as spare capacity (a planned
+    # catch-up, never a baseline fallback).
+    caught_up = router.recover_shard(1)
     router.refresh()
-    mode = "delta replay" if replayed else "baseline fallback"
-    print(f"shard 1 recovered via {mode}")
+    print(
+        "\nshard 1 rejoined "
+        f"({'planned catch-up' if caught_up else 'baseline fallback'}), "
+        "idling as spare capacity"
+    )
     assert sorted(r.values for r in router.result("desk", "exposure")) == (
         sorted(r.values for r in db.query(WATCH))
     )
@@ -110,16 +156,27 @@ def run(router, wal_root) -> None:
     print("\ncluster stats:")
     stats = router.stats()
     for shard_id, info in sorted(stats["shards"].items()):
+        roles = {
+            group: group_info["role"]
+            for group, group_info in sorted(info["groups"].items())
+        }
         print(
             f"  shard {shard_id}: alive={info['alive']} "
-            f"horizon={info['horizon']} "
-            f"evaluations={info['counters'].get(Metrics.EXECUTIONS, 0)}"
+            f"health={info['health']} "
+            f"evaluations={info['counters'].get(Metrics.EXECUTIONS, 0)} "
+            f"stores={roles or '{spare}'}"
         )
     scrape = router.prometheus()
-    labelled = [
-        line for line in scrape.splitlines() if 'shard="1"' in line
+    primaries = [
+        line for line in scrape.splitlines() if 'role="primary"' in line
     ]
-    print(f"  per-shard scrape: {len(labelled)} samples labelled shard=\"1\"")
+    replicas = [
+        line for line in scrape.splitlines() if 'role="replica"' in line
+    ]
+    print(
+        f"  scrape: {len(primaries)} primary-store samples, "
+        f"{len(replicas)} replica-store samples"
+    )
 
 
 if __name__ == "__main__":

@@ -4,21 +4,34 @@ The paper's differential refresh model distributes naturally: a delta
 batch is relevant only to the CQs whose footprints it touches
 (Section 5.2), so scattering each consolidated batch to exactly the
 shards owning those footprints divides refresh work while preserving
-exactness. See DESIGN.md §12 for the protocol and recovery matrix.
+exactness. With ``replicas > 0`` every placement group also keeps
+lockstep replica stores on distinct hosts, and a failed primary is
+promoted within the refresh cycle that detects it. See DESIGN.md §12
+for the protocol, failover walk-through, and recovery matrix.
 """
 
+from repro.cluster.health import FaultInjector, HealthMonitor
 from repro.cluster.proc import ProcessBackend
 from repro.cluster.ring import HashRing, Partition, partition_delta
-from repro.cluster.router import ClusterRouter, LocalBackend, TableDecl
-from repro.cluster.shard import ClusterShard
+from repro.cluster.router import (
+    ClusterRouter,
+    GCReport,
+    LocalBackend,
+    TableDecl,
+)
+from repro.cluster.shard import ClusterShard, ShardHost
 
 __all__ = [
     "ClusterRouter",
     "ClusterShard",
+    "FaultInjector",
+    "GCReport",
     "HashRing",
+    "HealthMonitor",
     "LocalBackend",
     "Partition",
     "ProcessBackend",
+    "ShardHost",
     "TableDecl",
     "partition_delta",
 ]

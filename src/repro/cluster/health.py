@@ -1,0 +1,204 @@
+"""Shard health tracking: the alive → suspect → dead state machine.
+
+The router cannot distinguish a dead shard from a wedged or merely
+slow one — a missed scatter deadline is the only signal either way.
+:class:`HealthMonitor` turns consecutive missed acks into states: the
+first ``suspect_after`` failures make a host *suspect* (still possibly
+alive, no longer trusted to serve a cycle), ``dead_after`` make it
+*dead*. Any successful request resets the host to *alive*. The router
+fails over at suspect already — zero-downtime failover cannot wait for
+certainty — so the distinction is observability (how sure were we) and
+policy (a suspect host's journal is still the preferred rejoin source).
+
+Retry pacing uses capped exponential backoff with deterministic seeded
+jitter, so two routers never synchronize their retry storms yet every
+test run sleeps the same schedule.
+
+:class:`FaultInjector` is the matching test hook for
+``LocalBackend``: scripted per-host faults (hangs and crashes) raised
+at the send or reply phase, letting chaos tests exercise the exact
+"applied but the reply was lost" windows a real network produces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ClusterError, ShardTimeout
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+class HealthMonitor:
+    """Per-host failure accounting with exponential-backoff pacing."""
+
+    def __init__(
+        self,
+        suspect_after: int = 1,
+        dead_after: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ):
+        if suspect_after < 1 or dead_after < suspect_after:
+            raise ValueError(
+                "need 1 <= suspect_after <= dead_after for a monotone "
+                "state machine"
+            )
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._failures: Dict[int, int] = {}
+        self._states: Dict[int, str] = {}
+
+    def state(self, host: int) -> str:
+        return self._states.get(host, ALIVE)
+
+    def failures(self, host: int) -> int:
+        return self._failures.get(host, 0)
+
+    def success(self, host: int) -> None:
+        """A completed request: the host is alive, counters reset.
+
+        Alive is the default state, so the entry is dropped — the
+        snapshot reports only hosts with something to report.
+        """
+        self._failures.pop(host, None)
+        self._states.pop(host, None)
+
+    def failure(self, host: int) -> str:
+        """One missed ack/deadline; returns the host's new state."""
+        count = self._failures.get(host, 0) + 1
+        self._failures[host] = count
+        if count >= self.dead_after:
+            state = DEAD
+        elif count >= self.suspect_after:
+            state = SUSPECT
+        else:
+            state = ALIVE
+        if state == ALIVE:
+            self._states.pop(host, None)
+        else:
+            self._states[host] = state
+        return state
+
+    def mark_dead(self, host: int) -> None:
+        """An authoritative death (explicit kill), no inference needed."""
+        self._failures[host] = max(
+            self._failures.get(host, 0), self.dead_after
+        )
+        self._states[host] = DEAD
+
+    def forget(self, host: int) -> None:
+        self._failures.pop(host, None)
+        self._states.pop(host, None)
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based): capped exponential
+        plus seeded jitter."""
+        if attempt < 1:
+            return 0.0
+        base = min(
+            self.backoff_cap, self.backoff_base * (2 ** (attempt - 1))
+        )
+        return base * (1.0 + self.jitter * self._rng.random())
+
+    def snapshot(self) -> Dict[int, str]:
+        return dict(self._states)
+
+    def __repr__(self) -> str:
+        states = ", ".join(
+            f"{host}={state}" for host, state in sorted(self._states.items())
+        )
+        return f"HealthMonitor({states})"
+
+
+class _Fault:
+    __slots__ = ("host", "phase", "times", "exc", "matcher")
+
+    def __init__(
+        self,
+        host: int,
+        phase: str,
+        times: int,
+        exc: Callable[[], Exception],
+        matcher: Optional[Callable] = None,
+    ):
+        self.host = host
+        self.phase = phase
+        self.times = times
+        self.exc = exc
+        self.matcher = matcher
+
+
+class FaultInjector:
+    """Scripted faults for ``LocalBackend.fault_hook``.
+
+    ``hang`` raises :class:`~repro.errors.ShardTimeout` (deadline
+    exceeded); ``crash`` raises :class:`~repro.errors.ClusterError`
+    (connection torn down). ``phase="send"`` faults before the shard
+    sees the frame (nothing applied); ``phase="reply"`` faults after
+    the shard handled it (applied, reply lost) — the at-least-once
+    window the seq-dedup reply cache exists for. An optional ``match``
+    predicate narrows the fault to specific frames.
+    """
+
+    def __init__(self) -> None:
+        self._faults: List[_Fault] = []
+        #: Faults actually raised, as ``(host, phase)`` tuples.
+        self.fired: List[tuple] = []
+
+    def hang(
+        self,
+        host: int,
+        phase: str = "send",
+        times: int = 1,
+        match: Optional[Callable] = None,
+    ) -> "FaultInjector":
+        self._faults.append(
+            _Fault(
+                host,
+                phase,
+                times,
+                lambda: ShardTimeout(f"shard {host} timed out (injected)"),
+                match,
+            )
+        )
+        return self
+
+    def crash(
+        self,
+        host: int,
+        phase: str = "send",
+        times: int = 1,
+        match: Optional[Callable] = None,
+    ) -> "FaultInjector":
+        self._faults.append(
+            _Fault(
+                host,
+                phase,
+                times,
+                lambda: ClusterError(f"shard {host} connection lost (injected)"),
+                match,
+            )
+        )
+        return self
+
+    def __call__(self, shard_id: int, message, phase: str) -> None:
+        for fault in self._faults:
+            if fault.times <= 0:
+                continue
+            if fault.host != shard_id or fault.phase != phase:
+                continue
+            if fault.matcher is not None and not fault.matcher(message):
+                continue
+            fault.times -= 1
+            self.fired.append((shard_id, phase))
+            raise fault.exc()

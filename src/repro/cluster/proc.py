@@ -1,14 +1,23 @@
 """Shards as separate OS processes (crash-realistic backend).
 
 Functionally identical to :class:`~repro.cluster.router.LocalBackend`,
-but each shard lives in its own ``multiprocessing`` process and talks
-to the router over a pipe carrying codec-encoded frames — the same
-wire representation the simulated network uses, so every scatter and
-gather reply round-trips through serialization for real.
+but each shard host lives in its own ``multiprocessing`` process and
+talks to the router over a pipe carrying codec-encoded frames — the
+same wire representation the simulated network uses, so every scatter
+and gather reply round-trips through serialization for real.
 
-``kill`` terminates the worker process without any shutdown handshake —
-the honest version of the crash :meth:`ClusterRouter.kill_shard`
-simulates — and recovery replays the shard's journal exactly as the
+``send`` bounds the reply wait with ``conn.poll(timeout)``: a wedged
+(not dead) worker raises :class:`~repro.errors.ShardTimeout` instead of
+hanging the router forever, and replies are paired to requests by
+``seq`` — stale replies a previous timed-out request left in (or late
+into) the pipe are discarded — so combined with the shard-side
+seq-dedup reply cache, timeout + retry is safe at-least-once
+delivery. ``kill`` terminates the worker without any
+shutdown handshake — the honest version of the crash
+:meth:`ClusterRouter.kill_shard` simulates — escalating to
+``Process.kill`` when the process ignores SIGTERM; ``stop`` is the
+planned counterpart (drain sentinel, clean join) used by
+``remove_shard``. Recovery replays the host's journals exactly as the
 in-process backend does. On a single-core container this backend buys
 crash realism, not parallel speed; the benchmark's scaling argument
 rests on the deterministic cost model, not on this backend.
@@ -17,15 +26,17 @@ rests on the deterministic cost model, not on this backend.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ShardTimeout
 from repro.net.codec import decode_payload, encode_payload
 from repro.net.messages import GatherReplyMessage, Message, ShardHelloMessage
-from repro.cluster.shard import ClusterShard, TableDecl
+from repro.cluster.shard import ShardHost, TableDecl
 
-#: Pipe sentinel asking the worker to exit cleanly (tests' teardown; a
-#: *crash* is ``Process.terminate`` and never sends this).
+#: Pipe sentinel asking the worker to exit cleanly (planned removal and
+#: tests' teardown; a *crash* is ``Process.terminate`` and never sends
+#: this).
 _SHUTDOWN = b"\0shutdown"
 
 
@@ -37,35 +48,43 @@ def _shard_worker(
     columnar: bool,
     recovered: bool,
 ) -> None:
-    """Worker main loop: host one shard, answer codec frames."""
+    """Worker main loop: host one shard host, answer codec frames."""
     if recovered:
-        shard = ClusterShard.recover(
+        host = ShardHost.recover(
             shard_id, decls, wal_root, columnar=columnar
         )
     else:
-        shard = ClusterShard(
+        host = ShardHost(
             shard_id, decls, wal_root=wal_root, columnar=columnar
         )
-    conn.send_bytes(encode_payload(shard.hello()))
+    conn.send_bytes(encode_payload(host.hello()))
     try:
         while True:
             payload = conn.recv_bytes()
             if payload == _SHUTDOWN:
                 break
-            reply = shard.handle(decode_payload(payload))
+            reply = host.handle(decode_payload(payload))
             conn.send_bytes(encode_payload(reply))
     except (EOFError, OSError):
         pass  # router side went away; nothing to clean up beyond the WAL
     finally:
-        shard.close()
+        host.close()
 
 
 class ProcessBackend:
-    """One ``multiprocessing`` process per shard, framed over pipes."""
+    """One ``multiprocessing`` process per shard host, framed over pipes."""
 
-    def __init__(self, wal_root: Optional[str] = None, columnar: bool = False):
+    def __init__(
+        self,
+        wal_root: Optional[str] = None,
+        columnar: bool = False,
+        timeout: Optional[float] = 30.0,
+    ):
         self.wal_root = wal_root
         self.columnar = columnar
+        #: Default reply deadline in seconds (None waits forever — the
+        #: pre-deadline behavior, kept reachable but not default).
+        self.timeout = timeout
         self._ctx = multiprocessing.get_context("spawn")
         self._procs: Dict[int, multiprocessing.Process] = {}
         self._conns: Dict[int, object] = {}
@@ -102,14 +121,43 @@ class ProcessBackend:
     def spawn(self, shard_id: int, decls: Sequence[TableDecl]) -> ShardHelloMessage:
         return self._launch(shard_id, decls, recovered=False)
 
-    def send(self, shard_id: int, message: Message) -> GatherReplyMessage:
+    def send(
+        self,
+        shard_id: int,
+        message: Message,
+        timeout: Optional[float] = None,
+    ) -> GatherReplyMessage:
         conn = self._conns.get(shard_id)
         if conn is None:
             raise ClusterError(f"shard {shard_id} is not running")
-        conn.send_bytes(encode_payload(message))
+        deadline = self.timeout if timeout is None else timeout
         try:
-            return decode_payload(conn.recv_bytes())
-        except EOFError:
+            # A previous request may have timed out after the worker
+            # applied the frame: its late reply is still in the pipe and
+            # would desynchronize request/reply pairing. Drain what's
+            # already buffered, then match the reply by seq — a wedged
+            # worker can surface its stale reply *after* this drain, so
+            # pairing can't rely on the drain alone. The shard-side seq
+            # cache keeps the retry exactly-once either way.
+            while conn.poll(0):
+                conn.recv_bytes()
+            conn.send_bytes(encode_payload(message))
+            expires = (
+                None if deadline is None else time.monotonic() + deadline
+            )
+            while True:
+                if expires is not None:
+                    remaining = expires - time.monotonic()
+                    if remaining <= 0 or not conn.poll(remaining):
+                        raise ShardTimeout(
+                            f"shard {shard_id} timed out after {deadline}s"
+                        )
+                reply = decode_payload(conn.recv_bytes())
+                if getattr(reply, "seq", None) == getattr(
+                    message, "seq", None
+                ):
+                    return reply
+        except (EOFError, OSError, BrokenPipeError):
             raise ClusterError(
                 f"shard {shard_id} died mid-request"
             ) from None
@@ -121,6 +169,31 @@ class ProcessBackend:
         conn = self._conns.pop(shard_id)
         proc.terminate()
         proc.join(timeout=10)
+        if proc.is_alive():
+            # SIGTERM was ignored (wedged worker, masked signal):
+            # escalate to SIGKILL rather than leak the process.
+            proc.kill()
+            proc.join(timeout=10)
+        conn.close()
+
+    def stop(self, shard_id: int) -> None:
+        """Planned departure: drain sentinel, clean join, escalate only
+        if the worker ignores it."""
+        proc = self._procs.pop(shard_id, None)
+        if proc is None:
+            raise ClusterError(f"shard {shard_id} is not running")
+        conn = self._conns.pop(shard_id)
+        try:
+            conn.send_bytes(_SHUTDOWN)
+        except (OSError, BrokenPipeError):
+            pass
+        proc.join(timeout=10)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=10)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=10)
         conn.close()
 
     def recover(
@@ -137,14 +210,4 @@ class ProcessBackend:
 
     def close(self) -> None:
         for shard_id in list(self._procs):
-            conn = self._conns.pop(shard_id)
-            proc = self._procs.pop(shard_id)
-            try:
-                conn.send_bytes(_SHUTDOWN)
-            except (OSError, BrokenPipeError):
-                pass
-            proc.join(timeout=10)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=10)
-            conn.close()
+            self.stop(shard_id)

@@ -81,6 +81,31 @@ class HashRing:
             index = 0
         return self._points[index][1]
 
+    def lookup_n(self, key: str, n: int) -> List[int]:
+        """The first ``n`` *distinct* shards clockwise from ``key``.
+
+        The head of the list is :meth:`lookup`; the tail is the
+        deterministic successor order replica placement uses — every
+        router (and every recovery) derives the same preference list
+        from the same seed and node set. Returns fewer than ``n``
+        entries when the ring has fewer nodes.
+        """
+        if not self._points:
+            raise ValueError("lookup on an empty ring")
+        position = _position(self.seed, key)
+        start = bisect.bisect_right(self._points, (position, -1))
+        out: List[int] = []
+        seen = set()
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node in seen:
+                continue
+            seen.add(node)
+            out.append(node)
+            if len(out) >= n:
+                break
+        return out
+
     def __repr__(self) -> str:
         return f"HashRing({sorted(self._nodes)}, seed={self.seed})"
 

@@ -1,49 +1,77 @@
-"""The cluster router: scatter/gather refresh over partitioned shards.
+"""The cluster router: scatter/gather refresh over replicated shards.
 
 The router owns the authoritative database (every client commit lands
-here first) and drives N shards through refresh cycles:
+here first) and drives N shard hosts through refresh cycles:
 
 * **Placement.** Rows of a table with a declared partition key hash to
-  exactly one shard through the seeded consistent-hash ring; other
-  tables are *replicated on demand* (a shard receives their deltas only
-  while it hosts a CQ touching them). Subscriptions over replicated
-  tables hash to one shard by canonical SQL text (``sql_key``); a CQ
-  touching a partitioned table runs *partition-parallel* on every
-  shard, each evaluating over its slice (fragment-and-replicate: such a
-  CQ may touch at most one partitioned table, so its partial result
-  deltas are tid-disjoint across shards and merge by concatenation).
+  exactly one placement *group* through the seeded consistent-hash
+  ring; other tables are *replicated on demand* (a store receives their
+  deltas only while it hosts a CQ touching them). Subscriptions over
+  replicated tables hash to one group by canonical SQL text
+  (``sql_key``); a CQ touching a partitioned table runs
+  *partition-parallel* on every group, each evaluating over its slice
+  (fragment-and-replicate: such a CQ may touch at most one partitioned
+  table, so its partial result deltas are tid-disjoint across groups
+  and merge by concatenation).
 
-* **Relevance scatter.** Each cycle consolidates the per-shard missed
+* **Replication.** With ``replicas > 0`` every group is placed on a
+  primary host plus replicas on *distinct* hosts (ring-successor
+  order, least-loaded first). Replicas are kept in lockstep by
+  receiving the same WAL-first scattered slices every cycle but hold
+  **no subscriptions** — their steady-state cost is the upsert apply,
+  not a second evaluation, and their update logs stay prunable. Only
+  the primary's gather feeds the merge.
+
+* **Failure detection.** Every request runs under a deadline with
+  bounded retries and jittered exponential backoff; missed acks drive
+  the per-host alive → suspect → dead state machine
+  (:class:`~repro.cluster.health.HealthMonitor`). A host that exhausts
+  its retries is taken out of service mid-cycle.
+
+* **Failover.** When a primary goes down, the router promotes a
+  replica *in the same refresh cycle*: a
+  :class:`~repro.net.messages.ShardPromoteMessage` registers the
+  group's CQs locally over the replica's (hot, lockstep) tables at the
+  group's last-served timestamp, so the very next scatter window
+  yields the failed cycle's delta bit-identically — no baseline
+  transfer, no ``ClusterError``, no missed notification. Lost replica
+  capacity is restored in the background by the next refresh cycles
+  (``cluster_rereplications``), after which the dead host's pinned
+  zone is auto-released instead of holding the logs forever.
+
+* **Relevance scatter.** Each cycle consolidates the per-store missed
   window once and runs it through a router-side
   :class:`~repro.dra.predindex.PredicateIndex` holding every registered
-  footprint. Shards none of whose CQ footprints the batch touches get a
+  footprint. Stores none of whose CQ footprints the batch touches get a
   heartbeat instead of data (the Section 5.2 relevance theorem makes
-  skipping sound: an entry failing every alias-local predicate cannot
-  change any result); new subscriptions are seeded with a baseline
-  sync, so earlier skipped windows never leave a gap.
+  skipping sound); new subscriptions are seeded with a baseline sync,
+  so earlier skipped windows never leave a gap.
 
-* **Gather + merge.** Partial result deltas come back per ``sql_key``;
-  the router merges the tid-disjoint slices (a cross-slice row move
-  arrives as delete-on-one-shard + insert-on-another and is recombined
-  into a modify), re-runs residual confirmation — the predicate
-  conjuncts expressible over the output schema — on the merged Z-set
-  delta, applies it to the retained result, and notifies subscribers.
+* **Gather + merge.** Partial result deltas come back per ``sql_key``
+  from each group's primary; the router merges the tid-disjoint slices
+  (a cross-slice row move arrives as delete-on-one-group +
+  insert-on-another and is recombined into a modify), re-runs residual
+  confirmation on the merged Z-set delta, applies it to the retained
+  result, and notifies subscribers.
 
-* **Recovery.** Each shard journals scattered state WAL-first; a
-  killed shard's zone (``shard:<id>``) keeps the router's update logs
-  pinned. :meth:`recover_shard` rebuilds the shard from its journal and
-  replays the missed window differentially while the logs still cover
-  its horizon, falling back to a baseline re-seed (counted separately)
-  once garbage collection has pruned past it.
+* **Recovery and resize.** Each store journals scattered state
+  WAL-first. :meth:`recover_shard` is a *rejoin*: groups nobody else
+  serves come back primary (delta replay while the logs still cover
+  the horizon, baseline fallback after), groups that failed over in
+  the meantime come back as catch-up replicas (demoted, stale
+  registrations dropped). :meth:`add_shard` grows the fleet;
+  :meth:`remove_shard` is its planned inverse — drain, hand off,
+  stop — with a leading refresh so the handoff is gapless.
 
 See DESIGN.md §12 for the protocol walk-through and recovery matrix.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ClusterError, RegistrationError
+from repro.errors import ClusterError, RegistrationError, ShardTimeout
 from repro.metrics import Metrics
 from repro.relational.algebra import SPJQuery
 from repro.relational.expressions import ColumnRef, Literal
@@ -58,14 +86,17 @@ from repro.delta.diff import diff
 from repro.delta.differential import DeltaEntry, DeltaRelation
 from repro.dra.predindex import PredicateIndex
 from repro.obs.export import prometheus_text
+from repro.cluster.health import ALIVE, HealthMonitor
 from repro.cluster.ring import HashRing, Partition, partition_filter
-from repro.cluster.shard import ROUTER_CLIENT, ClusterShard, TableDecl
+from repro.cluster.shard import ClusterShard, ShardHost, TableDecl
 from repro.net.messages import (
     GatherReplyMessage,
     Message,
     ScatterMessage,
+    ShardDrainMessage,
     ShardHeartbeatMessage,
     ShardHelloMessage,
+    ShardPromoteMessage,
 )
 
 #: ``(cq_name, delta, ts)`` notification callback.
@@ -73,65 +104,98 @@ DeltaCallback = Callable[[str, DeltaRelation, Timestamp], None]
 
 
 class LocalBackend:
-    """Shards as in-process objects (tests, benchmarks, examples).
+    """Shard hosts as in-process objects (tests, benchmarks, examples).
 
-    ``kill`` abandons the shard object without closing its journal —
-    the crash the recovery path is built for. Recovery therefore needs
-    a ``wal_root``; a purely in-memory backend raises instead.
+    ``kill`` abandons the host object without closing its journals —
+    the crash the recovery path is built for (recovery therefore needs
+    a ``wal_root``; a purely in-memory backend raises instead).
+    ``stop`` is the planned shutdown :meth:`ClusterRouter.remove_shard`
+    uses. ``fault_hook`` (usually a
+    :class:`~repro.cluster.health.FaultInjector`) is consulted before
+    and after each ``handle`` so chaos tests can script timeouts and
+    connection drops at exact protocol points — including the
+    "frame applied, reply lost" window the seq-dedup cache covers.
     """
 
-    def __init__(self, wal_root: Optional[str] = None, columnar: bool = False):
+    def __init__(
+        self,
+        wal_root: Optional[str] = None,
+        columnar: bool = False,
+        fault_hook: Optional[Callable[[int, Message, str], None]] = None,
+    ):
         self.wal_root = wal_root
         self.columnar = columnar
-        self.shards: Dict[int, ClusterShard] = {}
+        self.fault_hook = fault_hook
+        self.shards: Dict[int, ShardHost] = {}
 
     def spawn(self, shard_id: int, decls: Sequence[TableDecl]) -> ShardHelloMessage:
         if shard_id in self.shards:
             raise ClusterError(f"shard {shard_id} already running")
-        shard = ClusterShard(
-            shard_id,
-            decls,
-            wal_root=self.wal_root,
-            columnar=self.columnar,
+        host = ShardHost(
+            shard_id, decls, wal_root=self.wal_root, columnar=self.columnar
         )
-        self.shards[shard_id] = shard
-        return shard.hello()
+        self.shards[shard_id] = host
+        return host.hello()
 
-    def send(self, shard_id: int, message: Message) -> GatherReplyMessage:
-        try:
-            shard = self.shards[shard_id]
-        except KeyError:
-            raise ClusterError(f"shard {shard_id} is not running") from None
-        return shard.handle(message)
+    def send(
+        self,
+        shard_id: int,
+        message: Message,
+        timeout: Optional[float] = None,
+    ) -> GatherReplyMessage:
+        host = self.shards.get(shard_id)
+        if host is None:
+            raise ClusterError(f"shard {shard_id} is not running")
+        if self.fault_hook is not None:
+            self.fault_hook(shard_id, message, "send")
+        reply = host.handle(message)
+        if self.fault_hook is not None:
+            self.fault_hook(shard_id, message, "reply")
+        return reply
 
     def kill(self, shard_id: int) -> None:
         if self.shards.pop(shard_id, None) is None:
             raise ClusterError(f"shard {shard_id} is not running")
 
+    def stop(self, shard_id: int) -> None:
+        host = self.shards.pop(shard_id, None)
+        if host is None:
+            raise ClusterError(f"shard {shard_id} is not running")
+        host.close()
+
     def recover(
         self, shard_id: int, decls: Sequence[TableDecl]
     ) -> ShardHelloMessage:
-        if shard_id in self.shards:
-            raise ClusterError(f"shard {shard_id} is still running")
+        host = self.shards.get(shard_id)
+        if host is not None:
+            # The host never actually died — a wedged/slow false
+            # positive the health machine cannot distinguish from a
+            # crash. Reattach to the live object instead of replaying
+            # journals under it.
+            return host.hello()
         if self.wal_root is None:
             raise ClusterError(
                 "recovery needs a wal_root; this backend is in-memory only"
             )
-        shard = ClusterShard.recover(
+        host = ShardHost.recover(
             shard_id, decls, self.wal_root, columnar=self.columnar
         )
-        self.shards[shard_id] = shard
-        return shard.hello()
+        self.shards[shard_id] = host
+        return host.hello()
 
     def alive(self) -> List[int]:
         return sorted(self.shards)
 
-    def shard(self, shard_id: int) -> ClusterShard:
+    def host(self, shard_id: int) -> ShardHost:
         return self.shards[shard_id]
 
+    def shard(self, shard_id: int) -> ClusterShard:
+        """The host's own-group store (the pre-replication accessor)."""
+        return self.shards[shard_id].stores[shard_id]
+
     def close(self) -> None:
-        for shard in self.shards.values():
-            shard.close()
+        for host in self.shards.values():
+            host.close()
 
 
 class _RouterSub:
@@ -161,6 +225,26 @@ class _RouterSub:
 Residual = Tuple[int, Callable, object]
 
 
+class GCReport(dict):
+    """:meth:`ClusterRouter.collect_garbage`'s result.
+
+    A plain dict of per-table pruned entry counts (the pre-replication
+    return value, unchanged for callers that treat it as one), plus
+    ``pinned``: what dead hosts' zones still hold back — boundary,
+    retained log rows, and the groups awaiting failover or
+    re-replication — so a leaking pin is visible instead of silently
+    growing the logs.
+    """
+
+    def __init__(
+        self,
+        pruned: Dict[str, int],
+        pinned: Dict[str, Dict[str, object]],
+    ):
+        super().__init__(pruned)
+        self.pinned = pinned
+
+
 class ClusterRouter:
     """Routes commits, subscriptions, and refreshes across N shards."""
 
@@ -172,9 +256,18 @@ class ClusterRouter:
         backend: Optional[LocalBackend] = None,
         vnodes: int = 64,
         auto_gc: bool = False,
+        replicas: int = 0,
+        request_timeout: Optional[float] = 30.0,
+        retries: int = 1,
+        suspect_after: int = 1,
+        dead_after: int = 2,
+        backoff_base: float = 0.05,
+        sleep: Optional[Callable[[float], None]] = None,
     ):
         if shards < 1:
             raise ClusterError("a cluster needs at least one shard")
+        if replicas < 0:
+            raise ClusterError("replicas must be >= 0")
         self.metrics = metrics if metrics is not None else Metrics()
         self.backend = backend if backend is not None else LocalBackend()
         #: The authoritative database: clients commit here; shards hold
@@ -185,6 +278,17 @@ class ClusterRouter:
         self.index = PredicateIndex(self.metrics)
         self.zones = ActiveDeltaZones(self.db)
         self.auto_gc = auto_gc
+        #: Replica stores per group (best effort: capped by host count).
+        self.replicas = replicas
+        self.health = HealthMonitor(
+            suspect_after=suspect_after,
+            dead_after=dead_after,
+            backoff_base=backoff_base,
+            seed=seed,
+        )
+        self._request_timeout = request_timeout
+        self._retries = retries
+        self._sleep = time.sleep if sleep is None else sleep
         self._n_initial = shards
         self._decls: Dict[str, TableDecl] = {}
         self._started = False
@@ -197,7 +301,24 @@ class ClusterRouter:
         self._members: Dict[str, List[Tuple[str, str]]] = {}
         self._subs: Dict[Tuple[str, str], _RouterSub] = {}
         self._residuals: Dict[str, Tuple[Residual, ...]] = {}
-        self._shard_counters: Dict[int, Dict[str, int]] = {}
+        #: ``{group: [primary host, replica hosts...]}``.
+        self._placement: Dict[int, List[int]] = {}
+        #: Applied-through timestamp per ``(host, group)`` store.
+        self._store_horizons: Dict[Tuple[int, int], Timestamp] = {}
+        self._store_counters: Dict[Tuple[int, int], Dict[str, int]] = {}
+        #: Last timestamp whose gather was merged into member results,
+        #: per group — the promotion registration point.
+        self._group_served: Dict[int, Timestamp] = {}
+        #: Dead host -> groups whose failover/re-replication has not
+        #: completed; the host's zone stays pinned until this empties.
+        self._pinned: Dict[int, Set[int]] = {}
+        #: Groups nobody currently serves (sole holder died).
+        self._lost: Set[int] = set()
+        #: Groups queued for background re-replication/top-up.
+        self._rerepl: List[int] = []
+        #: sql_keys to snap to the authoritative result after this
+        #: cycle's merge (promotion-lag and rebuild healing).
+        self._reconcile_keys: Set[str] = set()
 
     # -- setup -------------------------------------------------------------
 
@@ -224,13 +345,22 @@ class ClusterRouter:
             raise ClusterError("cluster already started")
         self._started = True
         decls = list(self._decls.values())
+        now = self.db.now()
         for shard_id in range(self._n_initial):
             self.backend.spawn(shard_id, decls)
             self.ring.add_node(shard_id)
-            self._horizons[shard_id] = self.db.now()
+            self._horizons[shard_id] = now
             self.zones.register(
-                self._zone(shard_id), self._all_tables(), self.db.now()
+                self._zone(shard_id), self._all_tables(), now
             )
+            self._placement[shard_id] = [shard_id]
+            self._store_horizons[(shard_id, shard_id)] = now
+        target = min(self.replicas, self._n_initial - 1)
+        if target > 0:
+            for group in sorted(self._placement):
+                for host in self._choose_replicas(group, target):
+                    self._placement[group].append(host)
+                    self._store_horizons[(host, group)] = now
 
     @staticmethod
     def _zone(shard_id: int) -> str:
@@ -242,11 +372,103 @@ class ClusterRouter:
     def _alive(self) -> List[int]:
         return [s for s in self.ring.nodes() if s not in self._dead]
 
-    def _partition(self, table: str, shard_id: int) -> Partition:
+    def _partition(self, table: str, group: int) -> Partition:
         decl = self._decls[table]
         return Partition(
-            table, decl.partition_key, decl.key_position, self.ring, shard_id
+            table, decl.partition_key, decl.key_position, self.ring, group
         )
+
+    def _owned_keys(self, group: int) -> List[str]:
+        return sorted(
+            sql_key
+            for sql_key, owners in self._owners.items()
+            if group in owners
+        )
+
+    def _group_tables(self, sql_keys: Sequence[str]) -> List[str]:
+        needed: Set[str] = set()
+        for sql_key in sql_keys:
+            needed.update(self._queries[sql_key].table_names)
+        return sorted(needed)
+
+    def _choose_replicas(
+        self, group: int, k: int, exclude: Optional[Set[int]] = None
+    ) -> List[int]:
+        """``k`` replica hosts for ``group``: ring-successor preference
+        order (deterministic from seed + node set), filtered to live
+        hosts not already placed, least-loaded first so replica stores
+        spread instead of piling onto one ring neighbor."""
+        if k <= 0:
+            return []
+        taken = set(self._placement.get(group, ()))
+        taken.update(self._dead)
+        taken.update(exclude or ())
+        pref = self.ring.lookup_n(f"replica:{group}", len(self.ring))
+        load: Dict[int, int] = {}
+        for hosts in self._placement.values():
+            for host in hosts:
+                load[host] = load.get(host, 0) + 1
+        ranked = sorted(
+            (host for host in pref if host not in taken),
+            key=lambda host: (load.get(host, 0), pref.index(host)),
+        )
+        return ranked[:k]
+
+    # -- transport ----------------------------------------------------------
+
+    def _send(self, host: int, message: Message) -> Optional[GatherReplyMessage]:
+        """One request under the deadline/retry/backoff policy.
+
+        Returns the reply, or None once the host has exhausted its
+        retries (the caller decides the failover). Never raises: a
+        timeout and a torn connection are the same signal — a missed
+        ack — and both feed the health state machine. Retries are safe
+        because shard stores dedup by ``seq`` and return the cached
+        reply, so at-least-once delivery stays exactly-once
+        application.
+        """
+        if host in self._dead:
+            return None
+        attempts = max(1, self._retries + 1)
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                self.metrics.count(Metrics.SCATTER_RETRIES)
+                self._sleep(self.health.backoff(attempt - 1))
+            try:
+                reply = self.backend.send(
+                    host, message, timeout=self._request_timeout
+                )
+            except ShardTimeout:
+                self.metrics.count(Metrics.SCATTER_TIMEOUTS)
+                self._record_failure(host)
+                continue
+            except ClusterError:
+                self._record_failure(host)
+                continue
+            self.health.success(host)
+            return reply
+        return None
+
+    def _record_failure(self, host: int) -> None:
+        before = self.health.state(host)
+        after = self.health.failure(host)
+        if before == ALIVE and after != ALIVE:
+            self.metrics.count(Metrics.SUSPECTS)
+
+    def _ensure_zone(self, host: int, ts: Timestamp) -> None:
+        """(Re-)pin the router logs for a host gaining its first store
+        since it was forgotten (a rejoined or freshly re-targeted
+        replica host whose zone was released)."""
+        if self.zones.boundary(self._zone(host)) is None:
+            self.zones.register(self._zone(host), self._all_tables(), ts)
+
+    def _refresh_host_horizon(self, host: int) -> None:
+        horizons = [
+            ts for (h, _g), ts in self._store_horizons.items() if h == host
+        ]
+        if horizons:
+            self._horizons[host] = min(horizons)
+            self.zones.try_advance(self._zone(host), self._horizons[host])
 
     # -- subscriptions ------------------------------------------------------
 
@@ -260,12 +482,13 @@ class ClusterRouter:
         """Register a CQ cluster-wide; returns the initial result.
 
         The first subscription of a ``sql_key`` installs the footprint
-        in the router's predicate index and seeds the owning shard(s):
+        in the router's predicate index and seeds the owning group(s):
         partition-parallel queries (touching a partitioned table) on
-        every shard, replicated-only queries on the single shard the
-        key hashes to. Later identical subscriptions just join the
-        existing group — shard work is independent of the subscriber
-        count.
+        every group, replicated-only queries on the single group the
+        key hashes to. The group's primary registers the CQ; its
+        replicas receive the baseline tables only. Later identical
+        subscriptions just join the existing group — shard work is
+        independent of the subscriber count.
         """
         if not self._started:
             raise ClusterError("start() the cluster before subscribing")
@@ -309,8 +532,8 @@ class ClusterRouter:
                 for ref in query.relations
             }
             self.index.add(sql_key, query, scopes)
-            for shard_id in sorted(owners - self._dead):
-                self._seed(shard_id, sql_key, query)
+            for group in sorted(owners):
+                self._seed_group(group, sql_key, query)
         members = self._members[sql_key]
         if members:
             # Joining an existing group: share its retained result
@@ -343,19 +566,28 @@ class ClusterRouter:
         if members:
             return
         sql_key = sub.sql_key
-        for shard_id in sorted(self._owners[sql_key] - self._dead):
-            if shard_id not in self.ring.nodes():
+        for group in sorted(self._owners[sql_key]):
+            hosts = [
+                h
+                for h in self._placement.get(group, ())
+                if h not in self._dead
+            ]
+            if not hosts:
                 continue
+            # Only the primary holds the registration; replicas carry
+            # tables, not subscriptions.
             self._seq += 1
-            self.backend.send(
-                shard_id,
+            if self._send(
+                hosts[0],
                 ScatterMessage(
-                    shard_id,
+                    hosts[0],
                     self._seq,
                     self.db.now(),
                     unsubscribe=[sql_key],
+                    group=group,
                 ),
-            )
+            ) is None:
+                self._on_host_down(hosts[0])
         self.index.remove(sql_key)
         for registry in (
             self._queries,
@@ -366,34 +598,55 @@ class ClusterRouter:
             registry.pop(sql_key, None)
         self._parallel.discard(sql_key)
 
-    def _seed(self, shard_id: int, sql_key: str, query: SPJQuery) -> None:
-        """Install one ``sql_key`` on one shard: baseline-sync every
-        table the query touches (sliced for partitioned tables), then
-        register. The local baseline diff makes re-seeding an already
-        current table free, so this is always sound — it closes any gap
-        left by earlier relevance-skipped scatters."""
-        baselines: Dict[str, Relation] = {}
-        for name in sorted(set(query.table_names)):
-            baselines[name] = self._shard_view(name, shard_id)
-        self._seq += 1
-        self.backend.send(
-            shard_id,
-            ScatterMessage(
-                shard_id,
-                self._seq,
-                self.db.now(),
-                baselines=baselines,
-                subscribe=[{"cq": sql_key, "sql": query.to_sql()}],
-            ),
-        )
+    def _seed_group(
+        self,
+        group: int,
+        sql_key: str,
+        query: SPJQuery,
+        now: Optional[Timestamp] = None,
+    ) -> None:
+        """Install one ``sql_key`` on every live store of ``group``:
+        baseline-sync every touched table (sliced for partitioned
+        tables), registering the CQ on the primary only — replicas get
+        lockstep tables without subscriptions. The local baseline diff
+        makes re-seeding an already current table free, so this is
+        always sound — it closes any gap left by earlier
+        relevance-skipped scatters."""
+        hosts = [
+            h for h in self._placement.get(group, ()) if h not in self._dead
+        ]
+        ts = self.db.now() if now is None else now
+        tables = sorted(set(query.table_names))
+        for index, host in enumerate(hosts):
+            baselines = {
+                name: self._shard_view(name, group) for name in tables
+            }
+            subscribe = (
+                [{"cq": sql_key, "sql": query.to_sql()}]
+                if index == 0
+                else None
+            )
+            self._seq += 1
+            if self._send(
+                host,
+                ScatterMessage(
+                    host,
+                    self._seq,
+                    ts,
+                    baselines=baselines,
+                    subscribe=subscribe,
+                    group=group,
+                ),
+            ) is None:
+                self._on_host_down(host)
 
-    def _shard_view(self, table: str, shard_id: int) -> Relation:
-        """The slice of a table's authoritative state one shard holds."""
+    def _shard_view(self, table: str, group: int) -> Relation:
+        """The slice of a table's authoritative state one group holds."""
         current = self.db.table(table).current
         decl = self._decls[table]
         if decl.partition_key is None:
             return current.copy()
-        partition = self._partition(table, shard_id)
+        partition = self._partition(table, group)
         out = Relation(current.schema)
         for row in current:
             if partition.accepts(row.values):
@@ -476,9 +729,12 @@ class ClusterRouter:
         """One cluster refresh cycle: scatter, gather, merge, notify.
 
         Returns the number of subscriptions that received a delta.
-        ``collect`` asks each shard to run its own garbage collection
+        ``collect`` asks each store to run its own garbage collection
         after refreshing (router-side collection is separate; see
-        :meth:`collect_garbage`).
+        :meth:`collect_garbage`). A host that misses its deadlines
+        mid-cycle is failed over *within* the cycle — its group's
+        promoted replica serves the same window, so subscribers never
+        see a gap or an error.
         """
         if not self._started:
             raise ClusterError("start() the cluster before refreshing")
@@ -486,32 +742,79 @@ class ClusterRouter:
         pending: Dict[str, List[DeltaRelation]] = {}
         ts_by_key: Dict[str, Timestamp] = {}
         windows: Dict[Timestamp, Tuple[Dict, Set[str]]] = {}
-        for shard_id in self._alive():
-            message = self._plan(shard_id, now, collect, windows)
-            reply = self.backend.send(shard_id, message)
-            self._absorb(shard_id, reply, pending, ts_by_key)
+        frames: Dict[Tuple[int, Timestamp], Dict[str, DeltaRelation]] = {}
+        for group in sorted(self._placement):
+            self._refresh_group(
+                group, now, collect, windows, frames, pending, ts_by_key
+            )
         notified = self._merge_and_notify(pending, ts_by_key, now)
+        self._drain_rereplication(now)
+        if self._reconcile_keys:
+            keys = sorted(self._reconcile_keys)
+            self._reconcile_keys.clear()
+            self._reconcile(keys, now)
         if self.auto_gc:
             self.collect_garbage()
         return notified
 
+    def _refresh_group(
+        self,
+        group: int,
+        now: Timestamp,
+        collect: bool,
+        windows: Dict,
+        frames: Dict,
+        pending: Dict[str, List[DeltaRelation]],
+        ts_by_key: Dict[str, Timestamp],
+    ) -> None:
+        """Drive every store of one group through the cycle.
+
+        The snapshot of the placement is taken up front: when the
+        primary fails mid-loop, :meth:`_on_host_down` promotes the
+        replica in place, and the loop then reaches that replica with a
+        regular scatter frame — by then it *is* the primary, so its
+        gather feeds the merge and the cycle completes without a gap.
+        """
+        for host in list(self._placement.get(group, ())):
+            if host in self._dead:
+                continue
+            message = self._plan(host, group, now, collect, windows, frames)
+            reply = self._send(host, message)
+            if reply is None:
+                self._on_host_down(host)
+                continue
+            placement = self._placement.get(group, ())
+            primary = placement[0] if placement else None
+            self._absorb(
+                host,
+                group,
+                reply,
+                pending if host == primary else None,
+                ts_by_key,
+            )
+
     def _plan(
         self,
-        shard_id: int,
+        host: int,
+        group: int,
         now: Timestamp,
         collect: bool,
         windows: Dict[Timestamp, Tuple[Dict, Set[str]]],
+        frames: Dict[Tuple[int, Timestamp], Dict[str, DeltaRelation]],
     ) -> Message:
-        """The shard's frame for this cycle: a scatter when the missed
-        window touches any of its footprints, a heartbeat otherwise.
+        """The store's frame for this cycle: a scatter when the missed
+        window touches any of its group's footprints, a heartbeat
+        otherwise.
 
         ``windows`` memoizes (window, routed-keys) by horizon for the
-        cycle: in steady state every shard shares one horizon, so the
+        cycle: in steady state every store shares one horizon, so the
         consolidated window is captured and footprint-matched once per
-        cycle, not once per shard — the router's cost stays flat as
-        shards are added.
+        cycle, not once per store. ``frames`` memoizes the sliced
+        per-table deltas by (group, horizon): a group's primary and
+        replicas receive identical slices — that is what keeps replicas
+        in lockstep — so the slicing work is done once per group.
         """
-        horizon = self._horizons[shard_id]
+        horizon = self._store_horizons[(host, group)]
         cached = windows.get(horizon)
         if cached is None:
             window = deltas_since(
@@ -523,45 +826,60 @@ class ClusterRouter:
         window, routed = cached
         self._seq += 1
         if not window:
-            return ShardHeartbeatMessage(shard_id, self._seq, now, collect)
-        local = {
-            sql_key
-            for sql_key in routed
-            if shard_id in self._owners.get(sql_key, ())
-        }
-        deltas: Dict[str, DeltaRelation] = {}
-        if local:
-            needed = set()
-            for sql_key in local:
-                needed.update(self._queries[sql_key].table_names)
-            for name in sorted(needed):
-                delta = window.get(name)
-                if delta is None:
-                    continue
-                if self._decls[name].partition_key is not None:
-                    delta = partition_filter(
-                        delta, self._partition(name, shard_id)
-                    )
-                if not delta.is_empty():
-                    deltas[name] = delta
+            return ShardHeartbeatMessage(
+                host, self._seq, now, collect, group=group
+            )
+        deltas = frames.get((group, horizon))
+        if deltas is None:
+            local = {
+                sql_key
+                for sql_key in routed
+                if group in self._owners.get(sql_key, ())
+            }
+            deltas = {}
+            if local:
+                needed: Set[str] = set()
+                for sql_key in local:
+                    needed.update(self._queries[sql_key].table_names)
+                for name in sorted(needed):
+                    delta = window.get(name)
+                    if delta is None:
+                        continue
+                    if self._decls[name].partition_key is not None:
+                        delta = partition_filter(
+                            delta, self._partition(name, group)
+                        )
+                    if not delta.is_empty():
+                        deltas[name] = delta
+            frames[(group, horizon)] = deltas
         if not deltas:
             self.metrics.count(Metrics.SCATTER_SKIPPED)
-            return ShardHeartbeatMessage(shard_id, self._seq, now, collect)
+            return ShardHeartbeatMessage(
+                host, self._seq, now, collect, group=group
+            )
         self.metrics.count(Metrics.SCATTERS)
         return ScatterMessage(
-            shard_id, self._seq, now, deltas=deltas, collect=collect
+            host, self._seq, now, deltas=deltas, collect=collect, group=group
         )
 
     def _absorb(
         self,
-        shard_id: int,
+        host: int,
+        group: int,
         reply: GatherReplyMessage,
-        pending: Dict[str, List[DeltaRelation]],
+        pending: Optional[Dict[str, List[DeltaRelation]]],
         ts_by_key: Dict[str, Timestamp],
     ) -> None:
-        self._shard_counters[shard_id] = dict(reply.counters)
-        self._horizons[shard_id] = reply.ts
-        self.zones.advance(self._zone(shard_id), reply.ts)
+        """Record one store's reply; only the group primary's entries
+        (``pending`` not None) feed the merge."""
+        self._store_counters[(host, group)] = dict(reply.counters)
+        self._store_horizons[(host, group)] = reply.ts
+        self._refresh_host_horizon(host)
+        if pending is None:
+            return
+        self._group_served[group] = max(
+            self._group_served.get(group, 0), reply.ts
+        )
         for sql_key, delta, ts in reply.entries:
             if sql_key not in self._owners:
                 continue  # raced an unsubscribe
@@ -665,112 +983,683 @@ class ClusterRouter:
                 out.add(entry.tid, entry.new)
         return out
 
+    # -- failure handling ---------------------------------------------------
+
+    def _on_host_down(self, host: int) -> None:
+        """Take a host out of service and fail its groups over.
+
+        Groups it served as primary promote a replica on the spot;
+        groups left with no live store are *lost* (rebuilt from the
+        authoritative database in the background when ``replicas > 0``,
+        or held for :meth:`recover_shard` otherwise). Every affected
+        group pins the host's zone until its capacity is restored.
+        """
+        if host in self._dead:
+            return
+        self._dead.add(host)
+        self.health.mark_dead(host)
+        # The dead host's store bookkeeping is now meaningless (rejoin
+        # reads the journal's own account, not router memory) and must
+        # not leak into horizon aggregation if the host comes back.
+        for key in [k for k in self._store_horizons if k[0] == host]:
+            self._store_horizons.pop(key, None)
+            self._store_counters.pop(key, None)
+        affected = sorted(
+            group
+            for group, hosts in self._placement.items()
+            if host in hosts
+        )
+        for group in affected:
+            hosts = self._placement[group]
+            was_primary = hosts[0] == host
+            hosts.remove(host)
+            self._pinned.setdefault(host, set()).add(group)
+            if not hosts:
+                self._lost.add(group)
+            elif was_primary:
+                self._promote(group)
+            if self.replicas:
+                self._rerepl.append(group)
+
+    def _promote(self, group: int) -> None:
+        """Zero-downtime failover: the group's first surviving replica
+        becomes primary by registering the group's CQs locally over its
+        lockstep tables at the last-served timestamp — the very next
+        scatter window reproduces the failed primary's delta
+        bit-identically, with no baseline transfer. The promote reply
+        carries the store's pre-registration horizon; a mismatch with
+        the served timestamp means the replica's lockstep had diverged
+        from what members saw, and the affected keys are queued for an
+        exact reconcile instead of trusting the window."""
+        hosts = [
+            h
+            for h in self._placement.get(group, ())
+            if h not in self._dead
+        ]
+        if not hosts:
+            self._lost.add(group)
+            return
+        target = hosts[0]
+        owned = self._owned_keys(group)
+        subscribe = [
+            {"cq": key, "sql": self._queries[key].to_sql()} for key in owned
+        ]
+        served = self._group_served.get(
+            group, self._store_horizons.get((target, group), 0)
+        )
+        self._seq += 1
+        reply = self._send(
+            target,
+            ShardPromoteMessage(
+                target, group, self._seq, served, subscribe=subscribe
+            ),
+        )
+        if reply is None:
+            self._on_host_down(target)
+            return
+        self.metrics.count(Metrics.FAILOVERS)
+        self._store_counters[(target, group)] = dict(reply.counters)
+        if reply.horizon != served:
+            self._reconcile_keys.update(owned)
+
+    def _drain_rereplication(self, now: Timestamp) -> None:
+        """Background capacity repair, one batch per refresh cycle:
+        rebuild lost groups from the authoritative database, then top
+        replica counts back up; release dead hosts' pinned zones once
+        every group they carried is healthy again."""
+        if not self._rerepl:
+            return
+        queue = sorted(set(self._rerepl))
+        self._rerepl = []
+        for group in queue:
+            if group not in self._placement:
+                continue  # dissolved while queued
+            if group in self._lost:
+                if not self._rebuild_group(group, now):
+                    self._rerepl.append(group)
+                    continue
+            self._top_up(group, now)
+            self._maybe_release(group)
+
+    def _rebuild_group(self, group: int, now: Timestamp) -> bool:
+        """Re-create a lost group's primary from the authoritative
+        database on a surviving host; members are healed by an exact
+        reconcile after this cycle's merge."""
+        candidates = self._choose_replicas(group, 1)
+        if not candidates:
+            return False
+        host = candidates[0]
+        owned = self._owned_keys(group)
+        baselines = {
+            name: self._shard_view(name, group)
+            for name in self._group_tables(owned)
+        }
+        subscribe = [
+            {"cq": key, "sql": self._queries[key].to_sql()} for key in owned
+        ]
+        self._seq += 1
+        reply = self._send(
+            host,
+            ScatterMessage(
+                host,
+                self._seq,
+                now,
+                baselines=baselines,
+                subscribe=subscribe,
+                group=group,
+            ),
+        )
+        if reply is None:
+            self._on_host_down(host)
+            return False
+        self.metrics.count(Metrics.REREPLICATIONS)
+        self._placement[group] = [host]
+        self._lost.discard(group)
+        self._store_horizons[(host, group)] = reply.ts
+        self._store_counters[(host, group)] = dict(reply.counters)
+        self._ensure_zone(host, reply.ts)
+        self._refresh_host_horizon(host)
+        self._group_served[group] = reply.ts
+        self._reconcile_keys.update(owned)
+        return True
+
+    def _top_up(self, group: int, now: Timestamp) -> None:
+        if not self.replicas:
+            return
+        live = self._alive()
+        placed = [
+            h for h in self._placement.get(group, ()) if h not in self._dead
+        ]
+        target = 1 + min(self.replicas, len(live) - 1)
+        need = target - len(placed)
+        if need <= 0:
+            return
+        for host in self._choose_replicas(group, need):
+            if self._seed_replica(group, host, now):
+                self.metrics.count(Metrics.REREPLICATIONS)
+        placed = [
+            h for h in self._placement.get(group, ()) if h not in self._dead
+        ]
+        if len(placed) < target:
+            self._rerepl.append(group)  # retry when capacity returns
+
+    def _seed_replica(self, group: int, host: int, now: Timestamp) -> bool:
+        """Baseline-sync one new replica store (tables only, no
+        subscriptions); it joins the group's lockstep from the next
+        cycle on."""
+        owned = self._owned_keys(group)
+        baselines = {
+            name: self._shard_view(name, group)
+            for name in self._group_tables(owned)
+        }
+        self._seq += 1
+        reply = self._send(
+            host,
+            ScatterMessage(
+                host, self._seq, now, baselines=baselines, group=group
+            ),
+        )
+        if reply is None:
+            self._on_host_down(host)
+            return False
+        self._placement[group].append(host)
+        self._store_horizons[(host, group)] = reply.ts
+        self._store_counters[(host, group)] = dict(reply.counters)
+        self._ensure_zone(host, reply.ts)
+        self._refresh_host_horizon(host)
+        return True
+
+    def _maybe_release(self, group: int) -> None:
+        """Unpin dead hosts' zones once ``group`` is healthy again
+        (failed over and fully re-replicated) — the pinned-zone leak
+        fix: a crashed host whose groups all moved on must not hold
+        the update logs forever waiting for a rejoin that may never
+        come."""
+        live = self._alive()
+        target = 1 + min(self.replicas, max(len(live) - 1, 0))
+        placed = [
+            h for h in self._placement.get(group, ()) if h not in self._dead
+        ]
+        if group in self._lost or len(placed) < target:
+            return
+        for host in sorted(self._pinned):
+            pins = self._pinned[host]
+            pins.discard(group)
+            if pins:
+                continue
+            del self._pinned[host]
+            zone = self._zone(host)
+            if self.zones.boundary(zone) is not None:
+                self.zones.remove(zone)
+
     # -- shard lifecycle ----------------------------------------------------
 
     def kill_shard(self, shard_id: int, release_zone: bool = False) -> None:
         """Simulate a shard crash: the process state is gone, the
-        journal survives. The shard's zone keeps the router logs pinned
-        for delta replay unless ``release_zone`` lets GC move on (after
-        which recovery must fall back to a baseline re-seed)."""
+        journal survives. With replicas the host's groups fail over
+        immediately (promotion happens here, not at the next refresh);
+        without, the groups are lost until :meth:`recover_shard`. The
+        host's zone keeps the router logs pinned for delta replay
+        unless ``release_zone`` lets GC move on — or until background
+        re-replication restores the groups' capacity and auto-releases
+        it."""
         if shard_id in self._dead:
             raise ClusterError(f"shard {shard_id} is already dead")
         self.backend.kill(shard_id)
-        self._dead.add(shard_id)
+        self._on_host_down(shard_id)
         if release_zone:
-            self.zones.remove(self._zone(shard_id))
+            self._pinned.pop(shard_id, None)
+            if self.zones.boundary(self._zone(shard_id)) is not None:
+                self.zones.remove(self._zone(shard_id))
 
     def recover_shard(self, shard_id: int) -> bool:
-        """Rebuild a killed shard and resume it differentially.
+        """Rejoin a dead host and resume it differentially.
 
-        Returns True for a delta replay of the missed window, False for
-        the baseline fallback (the router logs no longer reach the
-        shard's recovered horizon). Both paths also re-seed any
-        subscription the shard's journal lost.
+        Returns True when the rejoin replayed update-log deltas — or
+        when the cluster never lost anything because failover kept
+        every group serving, making this a planned catch-up — and False
+        for the baseline fallback (a lost group whose horizon the
+        pruned router logs no longer reach).
 
-        Retained member results are reconciled against one full
-        re-evaluation over the router's authoritative database per
-        affected ``sql_key`` instead of trusting the recovered shard's
-        catch-up entries: journal recovery rebases subscriptions on
-        their registration-era state, so recovered delta old sides can
-        be arbitrarily stale and cannot disambiguate a legitimate
-        delete from the replayed half of a cross-slice row move whose
-        other half an alive shard delivered cycles ago. One exact
-        re-evaluation per key at a (rare) recovery buys bit-identical
-        convergence; the differential machinery carries every normal
-        cycle.
+        Per journaled store: a group nobody else serves comes back
+        *primary* (the pre-replication recovery path — replay or
+        re-seed, then an exact per-key reconcile of member results); a
+        group that failed over while the host was down comes back as a
+        catch-up *replica* (stale registrations dropped — the promoted
+        primary keeps serving, no downtime); a group that was dissolved
+        or is already at full strength is drained.
         """
         if shard_id not in self._dead:
             raise ClusterError(f"shard {shard_id} is not dead")
         hello = self.backend.recover(shard_id, list(self._decls.values()))
         self._dead.discard(shard_id)
-        horizon = hello.horizon
+        self.health.forget(shard_id)
         now = self.db.now()
-        held = set(hello.subscriptions)
-        owned = sorted(
-            sql_key
-            for sql_key, owners in self._owners.items()
-            if shard_id in owners
-        )
-        missing = [key for key in owned if key not in held]
-        intact = all(
-            self.db.table(name).log.pruned_through <= horizon
-            for name in self._all_tables()
-        )
-        baselines: Dict[str, Relation] = {}
-        deltas: Dict[str, DeltaRelation] = {}
-        if intact:
+        groups_info = dict(hello.groups)
+        if not groups_info:
+            groups_info = {
+                shard_id: {
+                    "horizon": hello.horizon,
+                    "subs": list(hello.subscriptions),
+                }
+            }
+        lost = [g for g in sorted(groups_info) if g in self._lost]
+        if lost:
+            intact = all(
+                self.db.table(name).log.pruned_through <= hello.horizon
+                for name in self._all_tables()
+            )
+            self.metrics.count(
+                Metrics.SHARD_REPLAYS if intact else Metrics.SHARD_FALLBACKS
+            )
+        else:
+            # Nothing was lost — failover kept every group serving, so
+            # this is a planned catch-up, not a recovery.
+            intact = True
             self.metrics.count(Metrics.SHARD_REPLAYS)
+        self.zones.register(self._zone(shard_id), self._all_tables(), now)
+        self._pinned.pop(shard_id, None)
+        for group in sorted(groups_info):
+            info = groups_info[group]
+            if group in self._lost:
+                self._rejoin_primary(shard_id, group, info, now, intact)
+            elif group in self._placement:
+                live = [
+                    h
+                    for h in self._placement[group]
+                    if h not in self._dead
+                ]
+                if shard_id not in live and len(live) < 1 + self.replicas:
+                    self._rejoin_replica(shard_id, group, info, now)
+                elif shard_id not in live:
+                    self._drain_store(shard_id, group, now)
+            else:
+                self._drain_store(shard_id, group, now)
+        self._horizons[shard_id] = now
+        self._refresh_host_horizon(shard_id)
+        if self.replicas:
+            self._rerepl.extend(sorted(self._placement))
+            self._drain_rereplication(now)
+        if not any(
+            host == shard_id for host, __ in self._store_horizons
+        ):
+            # Every store the journal held was drained (its groups are
+            # served at full strength elsewhere): the host idles as
+            # spare capacity, and an idle host must not pin the logs —
+            # its zone would never advance again.
+            if self.zones.boundary(self._zone(shard_id)) is not None:
+                self.zones.remove(self._zone(shard_id))
+        return intact
+
+    def _rejoin_primary(
+        self,
+        host: int,
+        group: int,
+        info: Dict,
+        now: Timestamp,
+        intact: bool,
+    ) -> None:
+        """The pre-replication recovery path, per group: replay the
+        missed window differentially while the router logs still cover
+        the store's horizon, or re-seed baselines after GC pruned past
+        it; re-register anything the journal lost, drop anything the
+        cluster retired; then snap member results to the authoritative
+        database (journal recovery rebases subscriptions on their
+        registration-era state, so recovered delta old sides can be
+        arbitrarily stale — one exact re-evaluation per key at a rare
+        recovery buys bit-identical convergence)."""
+        held = set(info.get("subs", ()))
+        horizon = info.get("horizon", 0)
+        owned = self._owned_keys(group)
+        missing = [key for key in owned if key not in held]
+        stale = sorted(key for key in held if key not in owned)
+        deltas: Dict[str, DeltaRelation] = {}
+        baselines: Dict[str, Relation] = {}
+        if intact:
             window = deltas_since(
                 [self.db.table(name) for name in self._all_tables()],
                 horizon,
             )
-            needed = set()
-            for sql_key in owned:
-                needed.update(self._queries[sql_key].table_names)
-            for name in sorted(needed):
+            for name in self._group_tables(owned):
                 delta = window.get(name)
                 if delta is None:
                     continue
                 if self._decls[name].partition_key is not None:
                     delta = partition_filter(
-                        delta, self._partition(name, shard_id)
+                        delta, self._partition(name, group)
                     )
                 if not delta.is_empty():
                     deltas[name] = delta
             for sql_key in missing:
                 for name in sorted(set(self._queries[sql_key].table_names)):
                     baselines.setdefault(
-                        name, self._shard_view(name, shard_id)
+                        name, self._shard_view(name, group)
                     )
         else:
-            self.metrics.count(Metrics.SHARD_FALLBACKS)
-            needed = set()
-            for sql_key in owned:
-                needed.update(self._queries[sql_key].table_names)
-            for name in sorted(needed):
-                baselines[name] = self._shard_view(name, shard_id)
+            for name in self._group_tables(owned):
+                baselines[name] = self._shard_view(name, group)
         subscribe = [
-            {"cq": sql_key, "sql": self._queries[sql_key].to_sql()}
-            for sql_key in missing
+            {"cq": key, "sql": self._queries[key].to_sql()}
+            for key in missing
         ]
         self._seq += 1
-        reply = self.backend.send(
-            shard_id,
+        reply = self._send(
+            host,
             ScatterMessage(
-                shard_id,
+                host,
                 self._seq,
                 now,
                 deltas=deltas,
                 baselines=baselines,
                 subscribe=subscribe,
+                unsubscribe=stale,
+                group=group,
             ),
         )
-        self.zones.register(self._zone(shard_id), self._all_tables(), now)
-        pending: Dict[str, List[DeltaRelation]] = {}
-        ts_by_key: Dict[str, Timestamp] = {}
-        self._absorb(shard_id, reply, pending, ts_by_key)
+        if reply is None:
+            self._on_host_down(host)
+            return
+        self._placement[group] = [host]
+        self._lost.discard(group)
+        self._store_horizons[(host, group)] = reply.ts
+        self._store_counters[(host, group)] = dict(reply.counters)
+        self._group_served[group] = reply.ts
         self._reconcile(owned, now)
-        return intact
+
+    def _rejoin_replica(
+        self, host: int, group: int, info: Dict, now: Timestamp
+    ) -> None:
+        """Catch a journaled store back up and demote it to replica:
+        the group failed over while this host was down, so the promoted
+        primary keeps serving — the rejoiner drops its stale
+        registrations (its results were served-past by the failover)
+        and just re-enters the lockstep."""
+        held = sorted(info.get("subs", ()))
+        horizon = info.get("horizon", 0)
+        owned = self._owned_keys(group)
+        tables = self._group_tables(owned)
+        intact = all(
+            self.db.table(name).log.pruned_through <= horizon
+            for name in tables
+        )
+        deltas: Dict[str, DeltaRelation] = {}
+        baselines: Dict[str, Relation] = {}
+        if intact:
+            window = deltas_since(
+                [self.db.table(name) for name in self._all_tables()],
+                horizon,
+            )
+            for name in tables:
+                delta = window.get(name)
+                if delta is None:
+                    continue
+                if self._decls[name].partition_key is not None:
+                    delta = partition_filter(
+                        delta, self._partition(name, group)
+                    )
+                if not delta.is_empty():
+                    deltas[name] = delta
+        else:
+            for name in tables:
+                baselines[name] = self._shard_view(name, group)
+        self._seq += 1
+        reply = self._send(
+            host,
+            ScatterMessage(
+                host,
+                self._seq,
+                now,
+                deltas=deltas,
+                baselines=baselines,
+                unsubscribe=held,
+                group=group,
+            ),
+        )
+        if reply is None:
+            self._on_host_down(host)
+            return
+        self._placement[group].append(host)
+        self._store_horizons[(host, group)] = reply.ts
+        self._store_counters[(host, group)] = dict(reply.counters)
+
+    def _drain_store(self, host: int, group: int, now: Timestamp) -> None:
+        """Best-effort detach of one store (its group moved on)."""
+        self._seq += 1
+        self._send(host, ShardDrainMessage(host, self._seq, now, group=group))
+
+    def add_shard(self) -> int:
+        """Grow the fleet by one shard (index handoff included).
+
+        A leading refresh consumes every pending window first — commits
+        between the last refresh and the resize would otherwise be
+        re-sliced into baselines before any store evaluated them.
+        Placement then moves with the ring: partitioned tables re-slice
+        on every store (each converges onto its new slice through a
+        local baseline diff), replicated ``sql_key`` subscriptions
+        whose hash moved re-home (unsubscribe + baseline-seeded
+        re-register), partition-parallel subscriptions additionally
+        register on the new group, and with ``replicas > 0`` the new
+        group gets its own replicas.
+        """
+        if not self._started:
+            raise ClusterError("start() the cluster before adding shards")
+        self.refresh(collect=False)
+        new_id = max(self.ring.nodes()) + 1 if len(self.ring) else 0
+        previous_home = {
+            sql_key: self.ring.lookup(sql_key)
+            for sql_key in self._owners
+            if sql_key not in self._parallel
+        }
+        self.backend.spawn(new_id, list(self._decls.values()))
+        self.ring.add_node(new_id)
+        now = self.db.now()
+        self._horizons[new_id] = now
+        self.zones.register(self._zone(new_id), self._all_tables(), now)
+        self._placement[new_id] = [new_id]
+        self._store_horizons[(new_id, new_id)] = now
+        # Re-slice partitioned tables everywhere: rows whose owner moved
+        # are deleted from the old group and inserted on the new one by
+        # each store's local baseline diff.
+        partitioned = sorted(
+            name
+            for name, decl in self._decls.items()
+            if decl.partition_key is not None
+        )
+        if partitioned:
+            for group in sorted(self._placement):
+                if group == new_id:
+                    continue
+                for host in list(self._placement[group]):
+                    if host in self._dead:
+                        continue
+                    baselines = {
+                        name: self._shard_view(name, group)
+                        for name in partitioned
+                    }
+                    self._seq += 1
+                    if self._send(
+                        host,
+                        ScatterMessage(
+                            host,
+                            self._seq,
+                            now,
+                            baselines=baselines,
+                            group=group,
+                        ),
+                    ) is None:
+                        self._on_host_down(host)
+        # Index handoff + new-group registrations.
+        for sql_key in sorted(self._owners):
+            query = self._queries[sql_key]
+            if sql_key in self._parallel:
+                self._owners[sql_key].add(new_id)
+                self._seed_group(new_id, sql_key, query, now)
+                continue
+            new_home = self.ring.lookup(sql_key)
+            old_home = previous_home[sql_key]
+            if new_home == old_home:
+                continue
+            self._owners[sql_key] = {new_home}
+            old_hosts = [
+                h
+                for h in self._placement.get(old_home, ())
+                if h not in self._dead
+            ]
+            if old_hosts:
+                self._seq += 1
+                if self._send(
+                    old_hosts[0],
+                    ScatterMessage(
+                        old_hosts[0],
+                        self._seq,
+                        now,
+                        unsubscribe=[sql_key],
+                        group=old_home,
+                    ),
+                ) is None:
+                    self._on_host_down(old_hosts[0])
+            self._seed_group(new_home, sql_key, query, now)
+        if self.replicas:
+            live = self._alive()
+            for host in self._choose_replicas(
+                new_id, min(self.replicas, len(live) - 1)
+            ):
+                self._seed_replica(new_id, host, now)
+        return new_id
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Planned drain — the inverse of :meth:`add_shard`.
+
+        A leading refresh makes the handoff gapless (the departing
+        stores serve every pending window first). The host's replica
+        and promoted stores hand off to survivors (promotion for the
+        groups it led, background top-up for the capacity it carried);
+        its own group dissolves — partitioned slices re-slice onto the
+        survivors through the shrunken ring, replicated ``sql_key``
+        subscriptions re-home to the groups their hash now names, and
+        surviving replica stores of the dissolved group are drained.
+        The process is then stopped cleanly (no journal replay owed),
+        and every trace of the host leaves the routing state.
+        """
+        if not self._started:
+            raise ClusterError("start() the cluster before removing shards")
+        if shard_id in self._dead:
+            raise ClusterError(
+                f"shard {shard_id} is dead — remove_shard is the planned "
+                "drain; recover it first or leave it for recover_shard"
+            )
+        if shard_id not in self.ring.nodes():
+            raise ClusterError(f"shard {shard_id} is not in the cluster")
+        if len(self._alive()) <= 1:
+            raise ClusterError("cannot remove the last live shard")
+        self.refresh(collect=False)
+        now = self.db.now()
+        # 1) Hand off the stores this host carries for *other* groups.
+        foreign = sorted(
+            group
+            for group, hosts in self._placement.items()
+            if shard_id in hosts and group != shard_id
+        )
+        for group in foreign:
+            others = [
+                h for h in self._placement[group] if h != shard_id
+            ]
+            if not others:
+                # Sole holder of a foreign group (it failed over here):
+                # seed a replacement replica before letting go.
+                candidate = self._choose_replicas(
+                    group, 1, exclude={shard_id}
+                )
+                if candidate:
+                    self._seed_replica(group, candidate[0], now)
+            hosts = self._placement[group]
+            was_primary = hosts[0] == shard_id
+            hosts.remove(shard_id)
+            if not hosts:
+                self._lost.add(group)
+            elif was_primary:
+                self._promote(group)
+            if self.replicas:
+                self._rerepl.append(group)
+        # 2) Dissolve the host's own group.
+        own = shard_id
+        owned = self._owned_keys(own)
+        replica_hosts = [
+            h for h in self._placement.get(own, ()) if h != shard_id
+        ]
+        self.ring.remove_node(shard_id)
+        partitioned = sorted(
+            name
+            for name, decl in self._decls.items()
+            if decl.partition_key is not None
+        )
+        if partitioned:
+            for group in sorted(self._placement):
+                if group == own:
+                    continue
+                for host in list(self._placement[group]):
+                    if host in self._dead or host == shard_id:
+                        continue
+                    baselines = {
+                        name: self._shard_view(name, group)
+                        for name in partitioned
+                    }
+                    self._seq += 1
+                    if self._send(
+                        host,
+                        ScatterMessage(
+                            host,
+                            self._seq,
+                            now,
+                            baselines=baselines,
+                            group=group,
+                        ),
+                    ) is None:
+                        self._on_host_down(host)
+        # Re-home the dissolved group's subscriptions.
+        for sql_key in owned:
+            query = self._queries[sql_key]
+            if sql_key in self._parallel:
+                self._owners[sql_key].discard(own)
+            else:
+                new_home = self.ring.lookup(sql_key)
+                self._owners[sql_key] = {new_home}
+                self._seed_group(new_home, sql_key, query, now)
+        # Drain surviving replica stores of the dissolved group, then
+        # stop the departing process cleanly.
+        for host in replica_hosts:
+            if host not in self._dead:
+                self._drain_store(host, own, now)
+        stop = getattr(self.backend, "stop", None)
+        if stop is not None:
+            stop(shard_id)
+        else:
+            self.backend.kill(shard_id)
+        # 3) Forget the host.
+        self._placement.pop(own, None)
+        self._lost.discard(own)
+        self._group_served.pop(own, None)
+        for key in [
+            k
+            for k in list(self._store_horizons)
+            if k[0] == shard_id or k[1] == own
+        ]:
+            self._store_horizons.pop(key, None)
+        for key in [
+            k
+            for k in list(self._store_counters)
+            if k[0] == shard_id or k[1] == own
+        ]:
+            self._store_counters.pop(key, None)
+        self._horizons.pop(shard_id, None)
+        if self.zones.boundary(self._zone(shard_id)) is not None:
+            self.zones.remove(self._zone(shard_id))
+        self.health.forget(shard_id)
+        self._pinned.pop(shard_id, None)
+        for pins in self._pinned.values():
+            pins.discard(own)
+        self._rerepl = [g for g in self._rerepl if g != own]
+        self._drain_rereplication(now)
 
     def _reconcile(self, sql_keys: Sequence[str], now: Timestamp) -> None:
         """Snap members of ``sql_keys`` to the authoritative result,
@@ -792,85 +1681,37 @@ class ClusterRouter:
                 if sub.on_delta is not None:
                     sub.on_delta(sub.cq_name, catch_up, now)
 
-    def add_shard(self) -> int:
-        """Grow the fleet by one shard (index handoff included).
-
-        Placement moves with the ring: partitioned tables re-slice on
-        every shard (each converges onto its new slice through a local
-        baseline diff), replicated ``sql_key`` subscriptions whose hash
-        moved re-home (unsubscribe + baseline-seeded re-register), and
-        partition-parallel subscriptions additionally register on the
-        new shard.
-        """
-        if not self._started:
-            raise ClusterError("start() the cluster before adding shards")
-        new_id = max(self.ring.nodes()) + 1 if len(self.ring) else 0
-        previous_home = {
-            sql_key: self.ring.lookup(sql_key)
-            for sql_key in self._owners
-            if sql_key not in self._parallel
-        }
-        self.backend.spawn(new_id, list(self._decls.values()))
-        self.ring.add_node(new_id)
-        now = self.db.now()
-        self._horizons[new_id] = now
-        self.zones.register(self._zone(new_id), self._all_tables(), now)
-        # Re-slice partitioned tables everywhere: rows whose owner moved
-        # are deleted from the old shard and inserted on the new one by
-        # each shard's local baseline diff.
-        partitioned = sorted(
-            name
-            for name, decl in self._decls.items()
-            if decl.partition_key is not None
-        )
-        for shard_id in self._alive():
-            if shard_id == new_id:
-                continue
-            baselines = {
-                name: self._shard_view(name, shard_id)
-                for name in partitioned
-            }
-            if baselines:
-                self._seq += 1
-                self.backend.send(
-                    shard_id,
-                    ScatterMessage(
-                        shard_id, self._seq, now, baselines=baselines
-                    ),
-                )
-        # Index handoff + new-shard registrations.
-        for sql_key in sorted(self._owners):
-            query = self._queries[sql_key]
-            if sql_key in self._parallel:
-                self._owners[sql_key].add(new_id)
-                self._seed(new_id, sql_key, query)
-                continue
-            new_home = self.ring.lookup(sql_key)
-            old_home = previous_home[sql_key]
-            if new_home == old_home:
-                continue
-            self._owners[sql_key] = {new_home}
-            if old_home not in self._dead and old_home in self.ring.nodes():
-                self._seq += 1
-                self.backend.send(
-                    old_home,
-                    ScatterMessage(
-                        old_home, self._seq, now, unsubscribe=[sql_key]
-                    ),
-                )
-            self._seed(new_home, sql_key, query)
-        return new_id
-
     # -- maintenance --------------------------------------------------------
 
-    def collect_garbage(self) -> Dict[str, int]:
+    def collect_garbage(self) -> GCReport:
         """Prune the router's update logs up to the oldest shard zone.
 
-        A dead shard whose zone was not released pins every table (its
-        replay window must survive); releasing it lets collection move
-        on at the price of a baseline-fallback recovery.
+        A dead host whose groups still await failover or
+        re-replication pins every table (its replay window must
+        survive); the pin auto-releases once the groups are healthy
+        elsewhere, and ``.pinned`` on the report shows the boundary,
+        retained log rows, and waiting groups of every pin still held.
         """
-        return self.zones.collect()
+        pruned = self.zones.collect()
+        return GCReport(pruned, self._pinned_report())
+
+    def _pinned_report(self) -> Dict[str, Dict[str, object]]:
+        report: Dict[str, Dict[str, object]] = {}
+        for host in sorted(self._pinned):
+            zone = self._zone(host)
+            boundary = self.zones.boundary(zone)
+            if boundary is None:
+                continue
+            retained = sum(
+                len(self.db.table(name).log.since(boundary))
+                for name in self._all_tables()
+            )
+            report[zone] = {
+                "boundary": boundary,
+                "retained_rows": retained,
+                "groups": sorted(self._pinned[host]),
+            }
+        return report
 
     def result(self, client_id: str, cq_name: str) -> Relation:
         """The retained (merged) result of one subscription."""
@@ -884,15 +1725,36 @@ class ClusterRouter:
 
     # -- observability ------------------------------------------------------
 
+    def _role(self, host: int, group: int) -> str:
+        placement = self._placement.get(group, ())
+        return "primary" if placement and placement[0] == host else "replica"
+
     def stats(self) -> Dict[str, object]:
-        """Router counters plus per-shard aggregation."""
-        shards = {}
-        for shard_id in sorted(self.ring.nodes()):
-            shards[shard_id] = {
-                "alive": shard_id not in self._dead,
-                "horizon": self._horizons.get(shard_id, 0),
-                "zone": self.zones.boundary(self._zone(shard_id)),
-                "counters": dict(self._shard_counters.get(shard_id, {})),
+        """Router counters plus per-host aggregation, placement,
+        health, and pinned-zone detail."""
+        shards: Dict[int, Dict[str, object]] = {}
+        for host in sorted(self.ring.nodes()):
+            counters: Dict[str, int] = {}
+            groups: Dict[int, Dict[str, object]] = {}
+            for (h, group), bag in sorted(self._store_counters.items()):
+                if h != host:
+                    continue
+                for name, value in bag.items():
+                    counters[name] = counters.get(name, 0) + value
+            for (h, group), horizon in sorted(self._store_horizons.items()):
+                if h != host:
+                    continue
+                groups[group] = {
+                    "role": self._role(host, group),
+                    "horizon": horizon,
+                }
+            shards[host] = {
+                "alive": host not in self._dead,
+                "health": self.health.state(host),
+                "horizon": self._horizons.get(host, 0),
+                "zone": self.zones.boundary(self._zone(host)),
+                "counters": counters,
+                "groups": groups,
             }
         totals: Dict[str, int] = {}
         for info in shards.values():
@@ -903,26 +1765,48 @@ class ClusterRouter:
             "seq": self._seq,
             "subscriptions": len(self._subs),
             "sql_keys": len(self._owners),
+            "replicas": self.replicas,
             "router": self.metrics.snapshot(),
             "shards": shards,
             "shard_totals": totals,
+            "placement": {
+                group: list(hosts)
+                for group, hosts in sorted(self._placement.items())
+            },
+            "lost": sorted(self._lost),
+            "health": self.health.snapshot(),
+            "pinned": self._pinned_report(),
         }
 
     def prometheus(self, namespace: str = "repro") -> str:
-        """One exposition: router samples plus per-shard labelled
-        samples (``{shard="<id>"}``), collision-free by construction."""
+        """One exposition: router samples plus per-store labelled
+        samples (``{shard="<host>", group="<group>", role="..."}``),
+        collision-free by construction."""
         chunks = [
             prometheus_text(
                 self.metrics, namespace, labels={"role": "router"}
             )
         ]
-        for shard_id in sorted(self._shard_counters):
+        for host, group in sorted(self._store_counters):
             bag = Metrics()
-            for name, value in self._shard_counters[shard_id].items():
+            # A replica store evaluates nothing, so its counter bag can
+            # be empty; the store-horizon sample keeps every store (and
+            # its role label) present in the exposition regardless.
+            bag.count(
+                "cluster_store_horizon",
+                self._store_horizons.get((host, group), 0),
+            )
+            for name, value in self._store_counters[(host, group)].items():
                 bag.count(name, value)
             chunks.append(
                 prometheus_text(
-                    bag, namespace, labels={"shard": str(shard_id)}
+                    bag,
+                    namespace,
+                    labels={
+                        "shard": str(host),
+                        "group": str(group),
+                        "role": self._role(host, group),
+                    },
                 )
             )
         return "".join(chunks)

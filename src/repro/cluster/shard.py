@@ -23,7 +23,9 @@ simply lands as an insert then.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import glob
+import os
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import NetworkError
 from repro.metrics import Metrics
@@ -41,8 +43,10 @@ from repro.net.messages import (
     Message,
     RegisterMessage,
     ScatterMessage,
+    ShardDrainMessage,
     ShardHeartbeatMessage,
     ShardHelloMessage,
+    ShardPromoteMessage,
 )
 from repro.net.server import CQServer, Protocol
 from repro.net.simnet import SimulatedNetwork
@@ -160,22 +164,32 @@ class ClusterShard:
         wal_root: Optional[str] = None,
         columnar: bool = False,
         server: Optional[CQServer] = None,
+        group: Optional[int] = None,
+        wal_path: Optional[str] = None,
     ):
         self.shard_id = shard_id
         self.decls = list(decls)
         self.wal_root = wal_root
+        #: The placement group this store serves. A host's own group is
+        #: its shard id; replica stores carry another group's slice.
+        self.group = shard_id if group is None else group
+        self.role = "primary" if self.group == shard_id else "replica"
+        # At-least-once retry support: a duplicate of the last frame
+        # (same seq — the reply was lost after the shard applied it)
+        # returns the cached reply instead of re-handling, so a
+        # router-side timeout + retry can never double-consume a
+        # refresh window or lose the result delta it produced.
+        self._last_seq: Optional[int] = None
+        self._last_reply: Optional[GatherReplyMessage] = None
         if server is None:
             self.metrics = metrics if metrics is not None else Metrics()
-            durability = (
-                shard_wal_path(wal_root, shard_id)
-                if wal_root is not None
-                else None
-            )
-            db = Database(durability=durability)
+            if wal_path is None and wal_root is not None:
+                wal_path = shard_wal_path(wal_root, shard_id)
+            db = Database(durability=wal_path)
             server = CQServer(
                 db,
                 SimulatedNetwork(latency_seconds=0.0),
-                name=f"shard-{shard_id}",
+                name=self._server_name(shard_id, self.group),
                 metrics=self.metrics,
                 fanout=True,
                 columnar=columnar,
@@ -192,6 +206,12 @@ class ClusterShard:
         self._collector = _Collector()
         server.attach(self._collector)
 
+    @staticmethod
+    def _server_name(shard_id: int, group: int) -> str:
+        if group == shard_id:
+            return f"shard-{shard_id}"
+        return f"shard-{shard_id}:group-{group}"
+
     @classmethod
     def recover(
         cls,
@@ -200,27 +220,40 @@ class ClusterShard:
         wal_root: str,
         metrics: Optional[Metrics] = None,
         columnar: bool = False,
+        group: Optional[int] = None,
+        wal_path: Optional[str] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> "ClusterShard":
-        """Rebuild a killed shard from its own WAL (+ checkpoint).
+        """Rebuild a killed shard store from its own WAL (+ checkpoint).
 
         The recovered server re-creates journaled subscriptions and
         re-seeds their shared groups; :meth:`hello` then reports the
         applied horizon so the router can choose delta replay or
-        baseline fallback.
+        baseline fallback. Explicit ``wal_path``/``checkpoint_path``
+        address a replica store's journal (which lives under the host's
+        directory, not at the default shard path).
         """
         from repro.core.persistence import recover_server
 
         metrics = metrics if metrics is not None else Metrics()
+        if wal_path is None:
+            wal_path = shard_wal_path(wal_root, shard_id)
+        if checkpoint_path is None:
+            checkpoint_path = shard_checkpoint_path(wal_root, shard_id)
         server = recover_server(
-            shard_wal_path(wal_root, shard_id),
-            checkpoint_path=shard_checkpoint_path(wal_root, shard_id),
+            wal_path,
+            checkpoint_path=checkpoint_path,
             network=SimulatedNetwork(latency_seconds=0.0),
             metrics=metrics,
             fanout=True,
             columnar=columnar,
         )
-        server.name = f"shard-{shard_id}"
-        return cls(shard_id, decls, wal_root=wal_root, server=server)
+        server.name = cls._server_name(
+            shard_id, shard_id if group is None else group
+        )
+        return cls(
+            shard_id, decls, wal_root=wal_root, server=server, group=group
+        )
 
     # -- protocol ----------------------------------------------------------
 
@@ -233,17 +266,81 @@ class ClusterShard:
             subscriptions=sorted(
                 s.cq_name for s in self.server.subscriptions()
             ),
+            groups={
+                self.group: {
+                    "horizon": self.db.now(),
+                    "subs": self.sql_keys(),
+                }
+            },
         )
 
     def handle(self, message: Message) -> GatherReplyMessage:
-        """Process one router frame; returns the cycle's gather reply."""
+        """Process one router frame; returns the cycle's gather reply.
+
+        Duplicate-seq frames (a retry after the reply was lost) return
+        the cached reply without re-handling — at-least-once delivery
+        stays exactly-once application.
+        """
+        seq = getattr(message, "seq", None)
+        if (
+            seq is not None
+            and seq == self._last_seq
+            and self._last_reply is not None
+        ):
+            return self._last_reply
         if isinstance(message, ScatterMessage):
-            return self._handle_scatter(message)
-        if isinstance(message, ShardHeartbeatMessage):
-            return self._handle_heartbeat(message)
-        raise NetworkError(
-            f"shard {self.shard_id} cannot handle "
-            f"{type(message).__name__}"
+            reply = self._handle_scatter(message)
+        elif isinstance(message, ShardHeartbeatMessage):
+            reply = self._handle_heartbeat(message)
+        elif isinstance(message, ShardPromoteMessage):
+            reply = self._handle_promote(message)
+        else:
+            raise NetworkError(
+                f"shard {self.shard_id} cannot handle "
+                f"{type(message).__name__}"
+            )
+        if seq is not None:
+            self._last_seq, self._last_reply = seq, reply
+        return reply
+
+    def _handle_promote(
+        self, message: ShardPromoteMessage
+    ) -> GatherReplyMessage:
+        """Become the group primary: register the owned ``sql_key`` CQs
+        over the tables this store already holds (kept in lockstep by
+        every cycle's scattered slices).
+
+        ``message.ts`` is the group's last *served* timestamp: the
+        registration-era state then equals the router's retained
+        results, and the next scatter's window ``(ts, now]`` produces
+        the failed primary's delta bit-identically. The reply's
+        ``horizon`` reports the store's caught-up-through timestamp
+        *before* any clock advance, so the router can detect a lagging
+        replica and fall back to an exact reconcile.
+        """
+        horizon = self.db.now()
+        self.db.clock.advance_to(message.ts)
+        held = {s.cq_name for s in self.server.subscriptions()}
+        for spec in message.subscribe:
+            if spec["cq"] in held:
+                continue
+            self.server.handle_register(
+                ROUTER_CLIENT,
+                RegisterMessage(
+                    spec["cq"], spec["sql"], Protocol.DRA_DELTA.value
+                ),
+            )
+        # Registration initials are local evaluations the router already
+        # retains authoritatively; drop them.
+        self._collector.drain()
+        self.role = "primary"
+        return GatherReplyMessage(
+            self.shard_id,
+            message.seq,
+            message.ts,
+            horizon,
+            counters=self.metrics.snapshot(),
+            group=self.group,
         )
 
     def _handle_heartbeat(self, message: ShardHeartbeatMessage) -> GatherReplyMessage:
@@ -257,7 +354,12 @@ class ClusterShard:
         self.server.refresh_all()
         self._collector.drain()
         if message.collect:
-            self.server.collect_garbage()
+            # ``include_unwatched`` keeps replica stores prunable: they
+            # carry no subscriptions, so without it their logs would
+            # grow forever. Safe on primaries too — a shard-side log
+            # only ever feeds local CQ windows, never recovery (that
+            # replays from the router's logs).
+            self.server.collect_garbage(include_unwatched=True)
         return self._reply(message.seq, message.ts, [])
 
     def _handle_scatter(self, message: ScatterMessage) -> GatherReplyMessage:
@@ -288,7 +390,7 @@ class ClusterShard:
             if isinstance(m, DeltaMessage)
         ]
         if message.collect:
-            self.server.collect_garbage()
+            self.server.collect_garbage(include_unwatched=True)
         return self._reply(message.seq, message.ts, entries)
 
     def _reply(
@@ -304,6 +406,7 @@ class ClusterShard:
             self.db.now(),
             entries=entries,
             counters=self.metrics.snapshot(),
+            group=self.group,
         )
 
     # -- state application --------------------------------------------------
@@ -441,4 +544,179 @@ class ClusterShard:
             f"ClusterShard({self.shard_id}, "
             f"{len(self.server.subscriptions())} subscriptions, "
             f"now={self.db.now()})"
+        )
+
+
+class ShardHost:
+    """One cluster host: its own primary store plus replica stores.
+
+    Replication places every group on a primary and (with
+    ``replicas>0``) one or more replicas on *distinct* hosts, so a host
+    carries several :class:`ClusterShard` stores keyed by placement
+    group: its own group (``group == shard_id``, the pre-replication
+    store — journal path unchanged for back-compat) and a lazily
+    created store per replica group it hosts. Frames address stores by
+    their ``group`` field; a frame without one targets the host's own
+    group, so the pre-replication wire format keeps working.
+
+    Replica stores hold tables only — every cycle's scattered slices
+    are applied WAL-first exactly as on the primary, but no
+    subscriptions are registered until a
+    :class:`~repro.net.messages.ShardPromoteMessage` arrives. That
+    keeps steady-state replica cost at delta application (no term
+    evaluation) and keeps the store's update logs fully prunable, while
+    promotion needs no data movement: the slice is already hot.
+
+    Each replica store journals WAL-first under
+    ``<wal_root>/shard-<host>/replicas/shard-<group>/``; recovery
+    globs that layout to rebuild every store the host held.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        decls: Sequence[TableDecl],
+        wal_root: Optional[str] = None,
+        columnar: bool = False,
+    ):
+        self.shard_id = shard_id
+        self.decls = list(decls)
+        self.wal_root = wal_root
+        self.columnar = columnar
+        self.stores: Dict[int, ClusterShard] = {}
+        self.ensure_store(shard_id)
+
+    def _replica_root(self) -> Optional[str]:
+        if self.wal_root is None:
+            return None
+        return os.path.join(
+            self.wal_root, f"shard-{self.shard_id}", "replicas"
+        )
+
+    def _paths(self, group: int) -> Tuple[Optional[str], Optional[str]]:
+        if self.wal_root is None:
+            return None, None
+        if group == self.shard_id:
+            return (
+                shard_wal_path(self.wal_root, group),
+                shard_checkpoint_path(self.wal_root, group),
+            )
+        root = self._replica_root()
+        return (shard_wal_path(root, group), shard_checkpoint_path(root, group))
+
+    def ensure_store(self, group: int) -> ClusterShard:
+        """The store serving ``group``, created on first use — a new
+        replica assignment starts with the seeding frame itself."""
+        store = self.stores.get(group)
+        if store is None:
+            wal_path, __ = self._paths(group)
+            store = ClusterShard(
+                self.shard_id,
+                self.decls,
+                wal_root=self.wal_root,
+                columnar=self.columnar,
+                group=group,
+                wal_path=wal_path,
+            )
+            self.stores[group] = store
+        return store
+
+    @classmethod
+    def recover(
+        cls,
+        shard_id: int,
+        decls: Sequence[TableDecl],
+        wal_root: str,
+        columnar: bool = False,
+    ) -> "ShardHost":
+        """Rebuild every store the host journaled (own + replicas)."""
+        host = cls.__new__(cls)
+        host.shard_id = shard_id
+        host.decls = list(decls)
+        host.wal_root = wal_root
+        host.columnar = columnar
+        host.stores = {}
+        host.stores[shard_id] = ClusterShard.recover(
+            shard_id, decls, wal_root, columnar=columnar
+        )
+        replica_root = host._replica_root()
+        pattern = os.path.join(replica_root, "shard-*", "wal.log")
+        for wal_path in sorted(glob.glob(pattern)):
+            directory = os.path.basename(os.path.dirname(wal_path))
+            try:
+                group = int(directory.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            host.stores[group] = ClusterShard.recover(
+                shard_id,
+                decls,
+                wal_root,
+                columnar=columnar,
+                group=group,
+                wal_path=wal_path,
+                checkpoint_path=os.path.join(
+                    os.path.dirname(wal_path), "checkpoint.json"
+                ),
+            )
+        return host
+
+    # -- protocol ----------------------------------------------------------
+
+    def hello(self) -> ShardHelloMessage:
+        """Identity frame covering every store the host holds. The
+        top-level horizon is the *minimum* store horizon (conservative:
+        router logs must reach the furthest-behind store for a full
+        delta-replay rejoin); per-group detail rides in ``groups``."""
+        own = self.stores.get(self.shard_id)
+        groups = {
+            group: {"horizon": store.db.now(), "subs": store.sql_keys()}
+            for group, store in sorted(self.stores.items())
+        }
+        horizon = min(
+            (info["horizon"] for info in groups.values()), default=0
+        )
+        tables: Set[str] = set()
+        for store in self.stores.values():
+            tables.update(t.name for t in store.db.tables())
+        return ShardHelloMessage(
+            self.shard_id,
+            horizon,
+            tables=sorted(tables),
+            subscriptions=own.sql_keys() if own is not None else [],
+            groups=groups,
+        )
+
+    def handle(self, message: Message) -> GatherReplyMessage:
+        """Route one frame to the store its ``group`` addresses."""
+        if isinstance(message, ShardDrainMessage):
+            return self._handle_drain(message)
+        group = getattr(message, "group", None)
+        if group is None:
+            group = self.shard_id
+        return self.ensure_store(group).handle(message)
+
+    def _handle_drain(
+        self, message: ShardDrainMessage
+    ) -> GatherReplyMessage:
+        groups = (
+            list(self.stores)
+            if message.group is None
+            else [message.group]
+        )
+        for group in groups:
+            store = self.stores.pop(group, None)
+            if store is not None:
+                store.close()
+        return GatherReplyMessage(
+            self.shard_id, message.seq, message.ts, 0, group=message.group
+        )
+
+    def close(self) -> None:
+        for store in self.stores.values():
+            store.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardHost({self.shard_id}, "
+            f"groups={sorted(self.stores)})"
         )

@@ -113,6 +113,13 @@ class ClusterError(ReproError):
     """Errors from the sharded cluster layer (repro.cluster)."""
 
 
+class ShardTimeout(ClusterError):
+    """A shard request exceeded its deadline: the shard may be wedged,
+    overloaded, or dead — the router cannot tell which, so the health
+    state machine treats the request as a missed ack and the caller
+    retries (or fails over) instead of blocking forever."""
+
+
 class ConnectTimeout(NetworkError):
     """A session could not establish a connection within its total
     deadline; ``attempts`` counts the dial attempts made."""

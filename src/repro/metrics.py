@@ -182,6 +182,15 @@ class Metrics:
     RESIDUAL_DROPS = "cluster_residual_drops"
     SHARD_REPLAYS = "cluster_shard_replays"
     SHARD_FALLBACKS = "cluster_shard_fallbacks"
+    # Cluster fault tolerance: hosts suspected by the health state
+    # machine, request retries and deadline misses, replica promotions
+    # (zero-downtime failover), and replacement replicas seeded after a
+    # host left a placement group.
+    SUSPECTS = "cluster_suspects"
+    SCATTER_RETRIES = "cluster_scatter_retries"
+    SCATTER_TIMEOUTS = "cluster_scatter_timeouts"
+    FAILOVERS = "cluster_failovers"
+    REREPLICATIONS = "cluster_rereplications"
     # Histogram names.
     REFRESH_LATENCY_US = "refresh_latency_us"
 

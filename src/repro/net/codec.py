@@ -43,8 +43,10 @@ from repro.net.messages import (
     ResyncMessage,
     GatherReplyMessage,
     ScatterMessage,
+    ShardDrainMessage,
     ShardHeartbeatMessage,
     ShardHelloMessage,
+    ShardPromoteMessage,
     StatsMessage,
     StatsReplyMessage,
 )
@@ -204,6 +206,8 @@ _TO_JSON: Dict[Type[Message], Tuple[str, Callable[[Message], Dict[str, Any]]]] =
             "horizon": m.horizon,
             "tables": m.tables,
             "subs": m.subscriptions,
+            # JSON object keys must be strings; decode restores ints.
+            "groups": {str(g): info for g, info in sorted(m.groups.items())},
         },
     ),
     ScatterMessage: (
@@ -223,6 +227,7 @@ _TO_JSON: Dict[Type[Message], Tuple[str, Callable[[Message], Dict[str, Any]]]] =
             "sub": m.subscribe,
             "unsub": m.unsubscribe,
             "collect": m.collect,
+            "group": m.group,
         },
     ),
     GatherReplyMessage: (
@@ -237,6 +242,7 @@ _TO_JSON: Dict[Type[Message], Tuple[str, Callable[[Message], Dict[str, Any]]]] =
                 for sql_key, delta, ts in m.entries
             ],
             "counters": m.counters,
+            "group": m.group,
         },
     ),
     ShardHeartbeatMessage: (
@@ -246,6 +252,26 @@ _TO_JSON: Dict[Type[Message], Tuple[str, Callable[[Message], Dict[str, Any]]]] =
             "seq": m.seq,
             "ts": m.ts,
             "collect": m.collect,
+            "group": m.group,
+        },
+    ),
+    ShardPromoteMessage: (
+        "shard_promote",
+        lambda m: {
+            "shard": m.shard_id,
+            "group": m.group,
+            "seq": m.seq,
+            "ts": m.ts,
+            "sub": m.subscribe,
+        },
+    ),
+    ShardDrainMessage: (
+        "shard_drain",
+        lambda m: {
+            "shard": m.shard_id,
+            "seq": m.seq,
+            "ts": m.ts,
+            "group": m.group,
         },
     ),
 }
@@ -275,7 +301,11 @@ _FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Message]] = {
     "stats": lambda d: StatsMessage(),
     "stats_reply": lambda d: StatsReplyMessage(d["payload"]),
     "shard_hello": lambda d: ShardHelloMessage(
-        d["shard"], d["horizon"], d["tables"], d["subs"]
+        d["shard"],
+        d["horizon"],
+        d["tables"],
+        d["subs"],
+        groups=d.get("groups"),
     ),
     "scatter": lambda d: ScatterMessage(
         d["shard"],
@@ -292,6 +322,7 @@ _FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Message]] = {
         subscribe=d["sub"],
         unsubscribe=d["unsub"],
         collect=d["collect"],
+        group=d.get("group"),
     ),
     "gather_reply": lambda d: GatherReplyMessage(
         d["shard"],
@@ -303,9 +334,16 @@ _FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Message]] = {
             for sql_key, delta, ts in d["entries"]
         ],
         counters=d["counters"],
+        group=d.get("group"),
     ),
     "shard_heartbeat": lambda d: ShardHeartbeatMessage(
-        d["shard"], d["seq"], d["ts"], d["collect"]
+        d["shard"], d["seq"], d["ts"], d["collect"], group=d.get("group")
+    ),
+    "shard_promote": lambda d: ShardPromoteMessage(
+        d["shard"], d["group"], d["seq"], d["ts"], subscribe=d["sub"]
+    ),
+    "shard_drain": lambda d: ShardDrainMessage(
+        d["shard"], d["seq"], d["ts"], group=d.get("group")
     ),
 }
 

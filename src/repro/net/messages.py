@@ -267,11 +267,19 @@ class ShardHelloMessage(Message):
         horizon: Timestamp,
         tables: Optional[List[str]] = None,
         subscriptions: Optional[List[str]] = None,
+        groups: Optional[Dict[int, Dict]] = None,
     ):
         self.shard_id = shard_id
         self.horizon = horizon
         self.tables = list(tables or [])
         self.subscriptions = list(subscriptions or [])
+        #: Per placement-group store state on a replicated host:
+        #: ``{group: {"horizon": ts, "subs": [...]}}``. Empty on a
+        #: plain single-store shard; the router then infers
+        #: ``{shard_id: {...}}`` from the top-level fields.
+        self.groups = {
+            int(g): dict(info) for g, info in (groups or {}).items()
+        }
 
     def __repr__(self) -> str:
         return (
@@ -290,7 +298,12 @@ class ScatterMessage(Message):
     the index-handoff path. ``subscribe``/``unsubscribe`` piggyback
     registration control so a shard host needs exactly one inbound
     data-plane message type. ``collect`` asks the shard to run its own
-    zone-bounded garbage collection after refreshing."""
+    zone-bounded garbage collection after refreshing.
+
+    ``group`` addresses one placement-group store on a replicated host
+    (a host carries its own primary group plus replica stores of other
+    groups); ``None`` means the host's own group — the pre-replication
+    wire format, still accepted everywhere."""
 
     def __init__(
         self,
@@ -302,6 +315,7 @@ class ScatterMessage(Message):
         subscribe: Optional[List[Dict[str, str]]] = None,
         unsubscribe: Optional[List[str]] = None,
         collect: bool = False,
+        group: Optional[int] = None,
     ):
         self.shard_id = shard_id
         self.seq = seq
@@ -311,6 +325,7 @@ class ScatterMessage(Message):
         self.subscribe = list(subscribe or [])
         self.unsubscribe = list(unsubscribe or [])
         self.collect = collect
+        self.group = group
 
     def __repr__(self) -> str:
         return (
@@ -337,6 +352,7 @@ class GatherReplyMessage(Message):
         horizon: Timestamp,
         entries: Optional[List] = None,
         counters: Optional[Dict[str, int]] = None,
+        group: Optional[int] = None,
     ):
         self.shard_id = shard_id
         self.seq = seq
@@ -344,6 +360,7 @@ class GatherReplyMessage(Message):
         self.horizon = horizon
         self.entries = list(entries or [])
         self.counters = dict(counters or {})
+        self.group = group
 
     def __repr__(self) -> str:
         return (
@@ -363,17 +380,85 @@ class ShardHeartbeatMessage(Message):
     without a single term evaluation."""
 
     def __init__(
-        self, shard_id: int, seq: int, ts: Timestamp, collect: bool = False
+        self,
+        shard_id: int,
+        seq: int,
+        ts: Timestamp,
+        collect: bool = False,
+        group: Optional[int] = None,
     ):
         self.shard_id = shard_id
         self.seq = seq
         self.ts = ts
         self.collect = collect
+        self.group = group
 
     def __repr__(self) -> str:
         return (
             f"ShardHeartbeatMessage(shard={self.shard_id}, seq={self.seq}, "
             f"ts={self.ts})"
+        )
+
+
+class ShardPromoteMessage(Message):
+    """Router -> shard: promote one replica store to group primary.
+
+    ``ts`` is the group's *last served* timestamp — the horizon through
+    which the failed primary's gathers were merged. The store registers
+    each ``subscribe`` spec locally over its (hot, lockstep) tables at
+    that timestamp, so the registration-era state matches the router's
+    retained results exactly and the very next scatter's window
+    ``(ts, now]`` yields the failed cycle's delta bit-identically. No
+    baseline transfer, no downtime: promotion is a local evaluation
+    over state the replica already holds."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        group: int,
+        seq: int,
+        ts: Timestamp,
+        subscribe: Optional[List[Dict[str, str]]] = None,
+    ):
+        self.shard_id = shard_id
+        self.group = group
+        self.seq = seq
+        self.ts = ts
+        self.subscribe = list(subscribe or [])
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPromoteMessage(shard={self.shard_id}, "
+            f"group={self.group}, seq={self.seq}, ts={self.ts}, "
+            f"{len(self.subscribe)} subs)"
+        )
+
+
+class ShardDrainMessage(Message):
+    """Router -> shard: detach one store (or every store) gracefully.
+
+    The planned inverse of placement: after ``remove_shard`` hands a
+    group's slices and ownership to the survivors, the departing (or
+    demoted) store is drained — subscriptions deregistered, journal
+    closed — instead of being crashed. ``group=None`` drains the whole
+    host ahead of a clean process stop."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        seq: int,
+        ts: Timestamp,
+        group: Optional[int] = None,
+    ):
+        self.shard_id = shard_id
+        self.seq = seq
+        self.ts = ts
+        self.group = group
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardDrainMessage(shard={self.shard_id}, "
+            f"group={self.group}, seq={self.seq})"
         )
 
 

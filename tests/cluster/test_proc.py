@@ -1,15 +1,21 @@
 """ProcessBackend: shards as real OS processes over the wire codec.
 
-One consolidated scenario (spawning interpreters is expensive on the
-CI box): scatter/gather through real serialization, a terminate-based
-crash, and journal recovery, all converging to the oracle.
+Consolidated scenarios (spawning interpreters is expensive on the CI
+box): scatter/gather through real serialization, a terminate-based
+crash, journal recovery, reply deadlines against a wedged (SIGSTOPped)
+worker, and replicated failover across real processes — all converging
+to the oracle.
 """
+
+import os
+import signal
 
 import pytest
 
-from repro.cluster import ClusterRouter, ProcessBackend
-from repro.errors import ClusterError
+from repro.cluster import ClusterRouter, ProcessBackend, TableDecl
+from repro.errors import ClusterError, ShardTimeout
 from repro.metrics import Metrics
+from repro.net.messages import ShardHeartbeatMessage
 
 SQL = "SELECT name, price FROM stocks WHERE price > 102"
 
@@ -47,6 +53,77 @@ def test_process_shards_scatter_crash_and_recover(tmp_path):
     assert router.recover_shard(0) is True
     router.refresh()
     assert router.metrics.get(Metrics.SHARD_REPLAYS) == 1
+    oracle = sorted(r.values for r in db.query(SQL))
+    assert sorted(r.values for r in router.result("c", "q")) == oracle
+    router.close()
+    assert router.backend.alive() == []
+
+
+def test_wedged_worker_times_out_and_retry_stays_exactly_once(tmp_path):
+    """A SIGSTOPped worker is the failure detection's worst case: the
+    process is alive, the pipe is open, nothing answers. The deadline
+    must fire (ShardTimeout, not a hang), and after the worker resumes,
+    the stale reply it eventually wrote must be drained so the next
+    request pairs with its own reply."""
+    backend = ProcessBackend(wal_root=str(tmp_path), timeout=5.0)
+    decls = [TableDecl("stocks", [("sid", int), ("price", float)])]
+    backend.spawn(0, decls)
+    try:
+        reply = backend.send(0, ShardHeartbeatMessage(0, 1, 1))
+        assert reply.seq == 1
+
+        pid = backend._procs[0].pid
+        os.kill(pid, signal.SIGSTOP)
+        try:
+            with pytest.raises(ShardTimeout):
+                backend.send(
+                    0, ShardHeartbeatMessage(0, 2, 2), timeout=0.2
+                )
+        finally:
+            os.kill(pid, signal.SIGCONT)
+
+        # The resumed worker answered seq 2 into the pipe; the next
+        # send drains that stale reply and pairs with its own.
+        reply = backend.send(0, ShardHeartbeatMessage(0, 3, 3))
+        assert reply.seq == 3
+    finally:
+        backend.close()
+    assert backend.alive() == []
+
+
+def test_replicated_failover_across_real_processes(tmp_path):
+    """Kill a primary's OS process mid-stream: the router promotes the
+    replica over the pipe protocol and the cycle completes."""
+    router = ClusterRouter(
+        shards=2,
+        seed=3,
+        replicas=1,
+        backend=ProcessBackend(wal_root=str(tmp_path), timeout=30.0),
+    )
+    router.declare_table(
+        "stocks", [("sid", int), ("name", str), ("price", float)]
+    )
+    router.start()
+    db = router.db
+    stocks = db.table("stocks")
+    with db.begin() as txn:
+        for i in range(6):
+            txn.insert_into(stocks, (i, f"S{i}", 100.0 + i))
+    router.subscribe("c", "q", SQL)
+    router.refresh()
+
+    router.kill_shard(0)
+    with db.begin() as txn:
+        txn.insert_into(stocks, (9, "S9", 900.0))
+    router.refresh()  # same-cycle failover, no ClusterError
+    assert router.metrics.get(Metrics.FAILOVERS) == 1
+    oracle = sorted(r.values for r in db.query(SQL))
+    assert sorted(r.values for r in router.result("c", "q")) == oracle
+
+    with db.begin() as txn:
+        txn.insert_into(stocks, (10, "S10", 50.0))
+        txn.insert_into(stocks, (11, "S11", 1100.0))
+    router.refresh()
     oracle = sorted(r.values for r in db.query(SQL))
     assert sorted(r.values for r in router.result("c", "q")) == oracle
     router.close()

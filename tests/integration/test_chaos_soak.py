@@ -228,6 +228,56 @@ class TestChaosSoak:
                     await service.refresh()
 
 
+def mutate_cluster(router, rng, count):
+    """Seeded random churn over the cluster schema (stocks replicated,
+    folios partitioned — including partition-key migrations)."""
+    db = router.db
+    stocks = db.table("stocks")
+    folios = db.table("folios")
+    with db.begin() as txn:
+        for __ in range(count):
+            op = rng.random()
+            stock_rows = list(stocks.current)
+            folio_rows = list(folios.current)
+            if op < 0.35 or len(stock_rows) < 5:
+                txn.insert_into(
+                    stocks,
+                    (
+                        rng.randrange(1_000_000),
+                        rng.choice(SYMBOLS),
+                        rng.randrange(1000),
+                        rng.randrange(6000),
+                    ),
+                )
+            elif op < 0.55:
+                row = rng.choice(stock_rows)
+                txn.modify_in(
+                    stocks,
+                    row.tid,
+                    updates={"price": rng.randrange(1000)},
+                )
+            elif op < 0.7 or len(folio_rows) < 5:
+                txn.insert_into(
+                    folios,
+                    (
+                        rng.randrange(1_000_000),
+                        f"client-{rng.randrange(12)}",
+                        rng.choice(stock_rows).values[0],
+                        rng.randrange(100),
+                    ),
+                )
+            elif op < 0.85:
+                # Partition-key update: the row migrates slices.
+                row = rng.choice(folio_rows)
+                txn.modify_in(
+                    folios,
+                    row.tid,
+                    updates={"client": f"client-{rng.randrange(12)}"},
+                )
+            else:
+                txn.delete_from(folios, rng.choice(folio_rows).tid)
+
+
 class TestClusterChaosSoak:
     """Multi-shard chaos: kill shards mid-stream, keep streaming, and
     recover through both halves of the recovery matrix.
@@ -259,51 +309,7 @@ class TestClusterChaosSoak:
     }
 
     def _mutate(self, router, rng, count):
-        db = router.db
-        stocks = db.table("stocks")
-        folios = db.table("folios")
-        with db.begin() as txn:
-            for __ in range(count):
-                op = rng.random()
-                stock_rows = list(stocks.current)
-                folio_rows = list(folios.current)
-                if op < 0.35 or len(stock_rows) < 5:
-                    txn.insert_into(
-                        stocks,
-                        (
-                            rng.randrange(1_000_000),
-                            rng.choice(SYMBOLS),
-                            rng.randrange(1000),
-                            rng.randrange(6000),
-                        ),
-                    )
-                elif op < 0.55:
-                    row = rng.choice(stock_rows)
-                    txn.modify_in(
-                        stocks,
-                        row.tid,
-                        updates={"price": rng.randrange(1000)},
-                    )
-                elif op < 0.7 or len(folio_rows) < 5:
-                    txn.insert_into(
-                        folios,
-                        (
-                            rng.randrange(1_000_000),
-                            f"client-{rng.randrange(12)}",
-                            rng.choice(stock_rows).values[0],
-                            rng.randrange(100),
-                        ),
-                    )
-                elif op < 0.85:
-                    # Partition-key update: the row migrates slices.
-                    row = rng.choice(folio_rows)
-                    txn.modify_in(
-                        folios,
-                        row.tid,
-                        updates={"client": f"client-{rng.randrange(12)}"},
-                    )
-                else:
-                    txn.delete_from(folios, rng.choice(folio_rows).tid)
+        mutate_cluster(router, rng, count)
 
     def _assert_converged(self, router):
         for name, sql in self.CLUSTER_CQS.items():
@@ -391,6 +397,145 @@ class TestClusterChaosSoak:
         # machinery actually ran (this soak is not vacuously quiet).
         assert snapshot.get(Metrics.SCATTERS, 0) > 0
         assert snapshot.get(Metrics.CLUSTER_MERGES, 0) > 0
+        router.close()
+
+
+class TestReplicatedChaosSoak:
+    """Failover chaos: with ``replicas=1``, any single shard may die at
+    any moment — including mid-scatter, via injected deadline misses —
+    and the soak must show **zero failed cycles** (refresh never
+    raises), **zero baseline fallbacks**, and bit-identical convergence
+    after every round.
+
+    The schedule exercises every detection-and-recovery shape:
+
+    * **hard crash** — shard 0 killed between cycles; its groups fail
+      over on the next refresh and re-replicate in the background;
+    * **mid-scatter hang** — shard 1's scatter sends time out (first
+      try and the retry) partway through a cycle, forcing same-cycle
+      promotion of its groups' replicas;
+    * **slow shard** — shard 2 misses one deadline but answers the
+      retry: one suspect, one retry, *no* failover;
+    * **reply loss** — a scatter is applied but its reply is eaten;
+      the retry must hit the shard's seq-dedup cache (exactly-once);
+    * **rejoin** — both dead hosts recover as planned catch-ups
+      (``recover_shard`` returns True; never a fallback).
+    """
+
+    ROUNDS = 18
+    KILL_ROUND = 3  # hard crash of shard 0
+    HANG_ROUND = 6  # mid-scatter deadline misses kill shard 1
+    RECOVER_0_ROUND = 9
+    SLOW_ROUND = 11  # one miss + successful retry on shard 2
+    REPLY_LOSS_ROUND = 13
+    RECOVER_1_ROUND = 15
+
+    CLUSTER_CQS = TestClusterChaosSoak.CLUSTER_CQS
+
+    def _assert_converged(self, router):
+        for name, sql in self.CLUSTER_CQS.items():
+            oracle = router.db.query(sql)
+            got = router.result("soak", name)
+            assert got == oracle, f"{name} diverged from the oracle"
+
+    def test_soak_survives_any_single_shard_death(self, tmp_path):
+        from repro.cluster import ClusterRouter, FaultInjector, LocalBackend
+        from repro.net.messages import ScatterMessage
+
+        rng = random.Random(2027)
+        injector = FaultInjector()
+        router = ClusterRouter(
+            shards=3,
+            seed=17,
+            replicas=1,
+            backend=LocalBackend(
+                wal_root=str(tmp_path), fault_hook=injector
+            ),
+            request_timeout=5.0,
+            retries=1,
+            sleep=lambda delay: None,
+        )
+        router.declare_table("stocks", SCHEMA)
+        router.declare_table(
+            "folios",
+            [
+                ("fid", AttributeType.INT),
+                ("client", AttributeType.STR),
+                ("sid", AttributeType.INT),
+                ("qty", AttributeType.INT),
+            ],
+            partition_key="client",
+        )
+        router.start()
+
+        db = router.db
+        with db.begin() as txn:
+            for i in range(40):
+                txn.insert_into(
+                    db.table("stocks"),
+                    (
+                        i,
+                        rng.choice(SYMBOLS),
+                        rng.randrange(1000),
+                        rng.randrange(6000),
+                    ),
+                )
+            for i in range(30):
+                txn.insert_into(
+                    db.table("folios"),
+                    (i, f"client-{i % 12}", i % 40, rng.randrange(100)),
+                )
+
+        for name, sql in self.CLUSTER_CQS.items():
+            router.subscribe("soak", name, sql)
+        router.refresh()
+        self._assert_converged(router)
+
+        is_scatter = lambda m: isinstance(m, ScatterMessage)  # noqa: E731
+        for round_no in range(self.ROUNDS):
+            mutate_cluster(router, rng, rng.randint(1, 6))
+
+            if round_no == self.KILL_ROUND:
+                router.kill_shard(0)
+            if round_no == self.HANG_ROUND:
+                # First try + the retry both miss: host down mid-cycle.
+                injector.hang(1, phase="send", times=2, match=is_scatter)
+            if round_no == self.SLOW_ROUND:
+                # One miss, retry answers: slow, not dead.
+                injector.hang(2, phase="send", times=1, match=is_scatter)
+            if round_no == self.REPLY_LOSS_ROUND:
+                injector.crash(2, phase="reply", times=1, match=is_scatter)
+
+            router.refresh()  # zero failed cycles: this must not raise
+            self._assert_converged(router)
+
+            if round_no == self.RECOVER_0_ROUND:
+                assert router.recover_shard(0) is True
+                router.refresh()
+                self._assert_converged(router)
+            if round_no == self.RECOVER_1_ROUND:
+                assert router.recover_shard(1) is True
+                router.refresh()
+                self._assert_converged(router)
+
+        router.refresh()
+        self._assert_converged(router)
+
+        snapshot = router.metrics.snapshot()
+        # Every fault was detected and counted; none escalated into a
+        # baseline fallback or an uncounted divergence.
+        assert snapshot.get(Metrics.SHARD_FALLBACKS, 0) == 0
+        assert snapshot.get(Metrics.FAILOVERS, 0) >= 2  # crash + hang
+        assert snapshot.get(Metrics.SCATTER_TIMEOUTS, 0) >= 3
+        assert snapshot.get(Metrics.SCATTER_RETRIES, 0) >= 2
+        assert snapshot.get(Metrics.SUSPECTS, 0) >= 2
+        assert snapshot.get(Metrics.REREPLICATIONS, 0) >= 2
+        assert snapshot.get(Metrics.CLUSTER_MERGES, 0) > 0
+        # The slow shard and the reply loss healed without failover:
+        # shard 2 must still be alive and serving.
+        assert router.stats()["shards"][2]["alive"] is True
+        # Background repair released every pinned zone.
+        assert router.collect_garbage().pinned == {}
         router.close()
 
 

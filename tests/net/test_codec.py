@@ -35,8 +35,10 @@ from repro.net.messages import (
     RegisterMessage,
     ResyncMessage,
     ScatterMessage,
+    ShardDrainMessage,
     ShardHeartbeatMessage,
     ShardHelloMessage,
+    ShardPromoteMessage,
     StatsMessage,
     StatsReplyMessage,
 )
@@ -96,7 +98,13 @@ EVERY_MESSAGE = [
         {"server": "s", "counters": {"wal_appends": 3}, "zones": {"c:watch": 4}}
     ),
     # Cluster control/data plane (deep coverage in tests/cluster).
-    ShardHelloMessage(2, 9, tables=["stocks"], subscriptions=["SELECT ..."]),
+    ShardHelloMessage(
+        2,
+        9,
+        tables=["stocks"],
+        subscriptions=["SELECT ..."],
+        groups={2: {"horizon": 9, "subs": ["SELECT ..."]}},
+    ),
     ScatterMessage(
         1,
         4,
@@ -106,12 +114,18 @@ EVERY_MESSAGE = [
         subscribe=[{"cq": "k", "sql": "SELECT name FROM stocks"}],
         unsubscribe=["old-key"],
         collect=True,
+        group=2,
     ),
     GatherReplyMessage(
         1, 4, 12, 11, entries=[("k", sample_delta(), 12)],
-        counters={"executions": 3},
+        counters={"executions": 3}, group=2,
     ),
-    ShardHeartbeatMessage(0, 5, 13, collect=True),
+    ShardHeartbeatMessage(0, 5, 13, collect=True, group=1),
+    ShardPromoteMessage(
+        2, 0, 6, 14,
+        subscribe=[{"cq": "k", "sql": "SELECT name FROM stocks"}],
+    ),
+    ShardDrainMessage(2, 7, 15, group=0),
 ]
 
 
