@@ -1,0 +1,317 @@
+"""Overlapped scatter/gather: one cycle's dispatch/gather state machine.
+
+The sequential router drove every store through a blocking
+send-then-gather, so a cycle's wall-clock was the *sum* of per-store
+round-trips and one slow shard stalled everyone behind it.
+:class:`CycleEngine` replaces that loop for the refresh path: every
+frame the cycle plans (scatters, heartbeats, replica lockstep slices)
+is dispatched up front, then replies are gathered as they arrive from
+whichever host answers first, so the cycle's wall-clock is bounded by
+the slowest *host*, not the fleet.
+
+The engine is transport-agnostic: it drives any backend exposing the
+non-blocking trio ``post(host, message)`` / ``collect(timeout)`` /
+``host_alive(host)``. ``ProcessBackend`` implements ``collect`` with
+``multiprocessing.connection.wait`` — a ``selectors`` multiplex over
+the shard pipes' file descriptors — and ``LocalBackend`` with a thread
+pool draining into a queue. Frames to one host stay FIFO with at most
+one outstanding request (mirroring the single-threaded shard worker on
+the other end of a pipe); overlap happens *across* hosts.
+
+Bookkeeping rules the rest of the router relies on:
+
+* **One clock.** Every per-request deadline and retry timer is a
+  ``time.monotonic`` instant; the gather wait is sized to the nearest
+  timer, so a host backing off never stalls another host's gather
+  (this replaces the blocking backoff sleep inside the sequential
+  ``_send``).
+* **Same failure accounting.** A deadline miss counts a scatter
+  timeout and one health failure, a retry counts a scatter retry, and
+  exhaustion hands the host to ``ClusterRouter._on_host_down`` —
+  byte-for-byte the sequential schedule, just without the sleeps. A
+  torn connection whose process is actually gone
+  (``not host_alive(host)``) fails fast instead of burning the
+  remaining ``retries × backoff`` wall-clock; the health machine still
+  ends at *dead* through the same transitions.
+* **Exactly-once.** Retries re-post the *same* frame (same ``seq``),
+  so the shard-side seq-dedup reply cache keeps at-least-once delivery
+  exactly-once application; late replies from timed-out attempts pair
+  by seq with the completed set and are discarded (counted as stale).
+* **Arrival-independent merge.** The engine only *records* replies;
+  the router absorbs them after ``run()`` in sorted group/placement
+  order, so merge and notification order never depend on which host
+  answered first.
+* **Failover inside the cycle.** When a host exhausts its schedule the
+  router's ``_on_host_down`` runs immediately; promotions it triggers
+  are submitted back into the engine at the *front* of the target
+  host's queue, so a promote still precedes the new primary's scatter
+  whenever that frame has not been dispatched yet (the bit-identical
+  failover path). If the lockstep frame already ran, the promote's
+  horizon mismatch queues the exact reconcile, exactly as the
+  sequential loop's ordering would.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import ClusterError, ShardTimeout
+from repro.metrics import Metrics
+from repro.net.messages import GatherReplyMessage, Message
+
+#: Engine request kinds: ``refresh`` replies feed the merge via the
+#: router's end-of-cycle absorb; ``promote`` replies complete a
+#: failover via ``_finish_promote``.
+REFRESH = "refresh"
+PROMOTE = "promote"
+
+
+def supports_overlap(backend) -> bool:
+    """Whether ``backend`` exposes the non-blocking dispatch trio."""
+    return all(
+        callable(getattr(backend, name, None))
+        for name in ("post", "collect", "host_alive")
+    )
+
+
+class _Request:
+    """One in-flight frame: its target, retry state, and timers."""
+
+    __slots__ = (
+        "host",
+        "group",
+        "message",
+        "kind",
+        "context",
+        "attempt",
+        "deadline",
+        "retry_at",
+        "reply",
+        "failed",
+    )
+
+    def __init__(self, host: int, group: int, message: Message, kind: str, context):
+        seq = getattr(message, "seq", None)
+        if not isinstance(seq, int):
+            raise ClusterError(
+                f"cycle frames need an integer seq to pair replies; got "
+                f"{seq!r} on {type(message).__name__}"
+            )
+        self.host = host
+        self.group = group
+        self.message = message
+        self.kind = kind
+        self.context = context
+        self.attempt = 1
+        self.deadline: Optional[float] = None  # set when posted
+        self.retry_at: Optional[float] = None  # set while backing off
+        self.reply: Optional[GatherReplyMessage] = None
+        self.failed = False
+
+    @property
+    def seq(self) -> int:
+        return self.message.seq
+
+
+class CycleEngine:
+    """Dispatch-all-then-gather driver for one router refresh cycle."""
+
+    def __init__(self, router, max_wait: float = 0.25):
+        self.router = router
+        self.backend = router.backend
+        self.metrics: Metrics = router.metrics
+        #: Upper bound on a single gather wait, so newly submitted work
+        #: (a promote queued by a failover on another host) is picked
+        #: up promptly even while every timer is far away.
+        self.max_wait = max_wait
+        self._queues: Dict[int, Deque[_Request]] = {}
+        #: At most one outstanding request per host (the worker on the
+        #: other side is serial; pipelining buys nothing and would
+        #: break request/reply pairing on timeout).
+        self._outstanding: Dict[int, _Request] = {}
+        #: ``(host, group) -> reply`` for refresh-kind frames; the
+        #: router absorbs these in sorted order after :meth:`run`.
+        self.replies: Dict[Tuple[int, int], GatherReplyMessage] = {}
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        host: int,
+        group: int,
+        message: Message,
+        kind: str = REFRESH,
+        front: bool = False,
+        context=None,
+    ) -> None:
+        """Queue one frame for ``host``; dispatched FIFO per host.
+
+        ``front=True`` (promotions) jumps the not-yet-dispatched part
+        of the queue: the promote precedes the new primary's lockstep
+        scatter when that scatter has not gone out yet, preserving the
+        sequential loop's bit-identical failover ordering.
+        """
+        request = _Request(host, group, message, kind, context)
+        queue = self._queues.setdefault(host, deque())
+        if front:
+            queue.appendleft(request)
+        else:
+            queue.append(request)
+
+    # -- the gather loop ----------------------------------------------------
+
+    def run(self) -> None:
+        """Drive every queued frame to a reply or an exhausted host."""
+        self._pump()
+        while self._outstanding or any(self._queues.values()):
+            now = time.monotonic()
+            self._fire_timers(now)
+            self._pump()
+            if not self._outstanding and not any(self._queues.values()):
+                break
+            timeout = self._next_wait(time.monotonic())
+            for host, seq, payload in self.backend.collect(timeout):
+                if isinstance(payload, ShardTimeout):
+                    self._on_timeout(self._outstanding.get(host))
+                elif isinstance(payload, Exception):
+                    self._on_torn(self._outstanding.get(host))
+                else:
+                    self._on_reply(host, seq, payload)
+            self._pump()
+
+    def _pump(self) -> None:
+        """Post the head of every idle live host's queue."""
+        for host in list(self._outstanding):
+            # A failover cascade can declare a host dead while another
+            # of its frames is still in flight; waiting out that
+            # frame's deadline would only charge a dead host more
+            # failures, so drop it on the floor here.
+            if host in self.router._dead:
+                self._abandon(host)
+        for host, queue in list(self._queues.items()):
+            if not queue or host in self._outstanding:
+                continue
+            if host in self.router._dead:
+                self._abandon(host)
+                continue
+            request = queue.popleft()
+            self._post(request)
+
+    def _post(self, request: _Request) -> None:
+        try:
+            self.backend.post(request.host, request.message)
+        except ClusterError:
+            self._outstanding[request.host] = request
+            self._on_torn(request)
+            return
+        timeout = self.router._request_timeout
+        request.deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        request.retry_at = None
+        self._outstanding[request.host] = request
+
+    def _next_wait(self, now: float) -> float:
+        horizon = now + self.max_wait
+        for request in self._outstanding.values():
+            if request.retry_at is not None:
+                horizon = min(horizon, request.retry_at)
+            elif request.deadline is not None:
+                horizon = min(horizon, request.deadline)
+        return max(0.0, horizon - now)
+
+    def _fire_timers(self, now: float) -> None:
+        for host in list(self._outstanding):
+            request = self._outstanding.get(host)
+            if request is None:
+                continue
+            if request.retry_at is not None:
+                if now >= request.retry_at:
+                    self.metrics.count(Metrics.SCATTER_RETRIES)
+                    request.attempt += 1
+                    del self._outstanding[host]
+                    self._post(request)
+            elif request.deadline is not None and now >= request.deadline:
+                self._on_timeout(request)
+
+    # -- event handling -----------------------------------------------------
+
+    def _on_reply(self, host: int, seq, reply) -> None:
+        request = self._outstanding.get(host)
+        if (
+            request is None
+            or not isinstance(seq, int)
+            or seq != request.seq
+        ):
+            # Either a seqless frame (never pairable), the original
+            # answer of a timed-out attempt whose retry already paired
+            # (same seq, already in the completed set), or a leftover
+            # from a previous cycle. All are discarded, never matched.
+            self.metrics.count(Metrics.STALE_REPLIES)
+            return
+        del self._outstanding[host]
+        self.router.health.success(host)
+        request.reply = reply
+        self._settle(request)
+
+    def _on_timeout(self, request: Optional[_Request]) -> None:
+        """A deadline miss (engine timer or transport-raised)."""
+        if request is None or request.retry_at is not None:
+            return
+        self.metrics.count(Metrics.SCATTER_TIMEOUTS)
+        self.router._record_failure(request.host)
+        self._retry_or_exhaust(request)
+
+    def _on_torn(self, request: Optional[_Request]) -> None:
+        """A torn connection (EOF/injected crash) on the host's pipe."""
+        if request is None or request.retry_at is not None:
+            return
+        self.router._record_failure(request.host)
+        if not self.backend.host_alive(request.host):
+            # The process behind the pipe is gone: no backoff schedule
+            # can heal this connection, so skip straight to failover
+            # instead of burning retries × backoff of wall-clock.
+            self.metrics.count(Metrics.SCATTER_FAILFASTS)
+            self._exhaust(request)
+            return
+        self._retry_or_exhaust(request)
+
+    def _retry_or_exhaust(self, request: _Request) -> None:
+        if request.attempt >= max(1, self.router._retries + 1):
+            self._exhaust(request)
+            return
+        delay = self.router.health.backoff(request.attempt)
+        request.retry_at = time.monotonic() + delay
+        request.deadline = None
+
+    def _exhaust(self, request: _Request) -> None:
+        host = request.host
+        self._outstanding.pop(host, None)
+        request.failed = True
+        self._settle(request)
+        if request.kind == REFRESH:
+            self.router._on_host_down(host)
+            self._abandon(host)
+
+    def _abandon(self, host: int) -> None:
+        """Drop a downed host's remaining frames (it left the cycle)."""
+        queue = self._queues.get(host)
+        if queue:
+            queue.clear()
+        dangling = self._outstanding.pop(host, None)
+        if dangling is not None:
+            dangling.failed = True
+            self._settle(dangling)
+
+    def _settle(self, request: _Request) -> None:
+        """Route a finished request's outcome back to the router."""
+        reply = None if request.failed else request.reply
+        if request.kind == PROMOTE:
+            served, owned = request.context
+            self.router._finish_promote(
+                request.group, request.host, served, owned, reply
+            )
+        elif reply is not None:
+            self.replies[(request.host, request.group)] = reply

@@ -23,6 +23,7 @@ at the send or reply phase, letting chaos tests exercise the exact
 from __future__ import annotations
 
 import random
+import threading
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ClusterError, ShardTimeout
@@ -148,10 +149,15 @@ class FaultInjector:
     the shard handled it (applied, reply lost) — the at-least-once
     window the seq-dedup reply cache exists for. An optional ``match``
     predicate narrows the fault to specific frames.
+
+    Matching and budget decrement hold a lock: the overlapped
+    ``LocalBackend`` calls the hook from pool threads, and an unlocked
+    ``times -= 1`` race could fire a one-shot fault twice.
     """
 
     def __init__(self) -> None:
         self._faults: List[_Fault] = []
+        self._lock = threading.Lock()
         #: Faults actually raised, as ``(host, phase)`` tuples.
         self.fired: List[tuple] = []
 
@@ -192,13 +198,14 @@ class FaultInjector:
         return self
 
     def __call__(self, shard_id: int, message, phase: str) -> None:
-        for fault in self._faults:
-            if fault.times <= 0:
-                continue
-            if fault.host != shard_id or fault.phase != phase:
-                continue
-            if fault.matcher is not None and not fault.matcher(message):
-                continue
-            fault.times -= 1
-            self.fired.append((shard_id, phase))
-            raise fault.exc()
+        with self._lock:
+            for fault in self._faults:
+                if fault.times <= 0:
+                    continue
+                if fault.host != shard_id or fault.phase != phase:
+                    continue
+                if fault.matcher is not None and not fault.matcher(message):
+                    continue
+                fault.times -= 1
+                self.fired.append((shard_id, phase))
+                raise fault.exc()

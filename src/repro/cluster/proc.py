@@ -26,6 +26,7 @@ rests on the deterministic cost model, not on this backend.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -47,8 +48,14 @@ def _shard_worker(
     wal_root: Optional[str],
     columnar: bool,
     recovered: bool,
+    delay: float = 0.0,
 ) -> None:
-    """Worker main loop: host one shard host, answer codec frames."""
+    """Worker main loop: host one shard host, answer codec frames.
+
+    ``delay`` sleeps before handling each frame — the injected slow
+    shard the wall-clock benchmarks and the bounded-by-slowest tests
+    use to make evaluation time visible without real query load.
+    """
     if recovered:
         host = ShardHost.recover(
             shard_id, decls, wal_root, columnar=columnar
@@ -63,6 +70,8 @@ def _shard_worker(
             payload = conn.recv_bytes()
             if payload == _SHUTDOWN:
                 break
+            if delay > 0.0:
+                time.sleep(delay)
             reply = host.handle(decode_payload(payload))
             conn.send_bytes(encode_payload(reply))
     except (EOFError, OSError):
@@ -79,12 +88,19 @@ class ProcessBackend:
         wal_root: Optional[str] = None,
         columnar: bool = False,
         timeout: Optional[float] = 30.0,
+        slow: Optional[Dict[int, float]] = None,
     ):
         self.wal_root = wal_root
         self.columnar = columnar
         #: Default reply deadline in seconds (None waits forever — the
         #: pre-deadline behavior, kept reachable but not default).
         self.timeout = timeout
+        #: Per-shard injected handling delay in seconds (wall-clock
+        #: benchmarks and bounded-by-slowest tests).
+        self.slow = dict(slow or {})
+        #: Replies discarded because they could not be paired with the
+        #: in-flight request's seq (late answers of timed-out attempts).
+        self.stale_replies = 0
         self._ctx = multiprocessing.get_context("spawn")
         self._procs: Dict[int, multiprocessing.Process] = {}
         self._conns: Dict[int, object] = {}
@@ -104,6 +120,7 @@ class ProcessBackend:
                 self.wal_root,
                 self.columnar,
                 recovered,
+                self.slow.get(shard_id, 0.0),
             ),
             daemon=True,
         )
@@ -130,6 +147,16 @@ class ProcessBackend:
         conn = self._conns.get(shard_id)
         if conn is None:
             raise ClusterError(f"shard {shard_id} is not running")
+        seq = getattr(message, "seq", None)
+        if not isinstance(seq, int):
+            # Pairing is by seq, and ``None == None`` would "match" a
+            # stale seqless reply to a new seqless request — so a
+            # request without an explicit integer seq is refused
+            # outright rather than paired by luck.
+            raise ClusterError(
+                f"message to shard {shard_id} needs an integer seq for "
+                f"reply pairing; got {seq!r} on {type(message).__name__}"
+            )
         deadline = self.timeout if timeout is None else timeout
         try:
             # A previous request may have timed out after the worker
@@ -141,6 +168,7 @@ class ProcessBackend:
             # cache keeps the retry exactly-once either way.
             while conn.poll(0):
                 conn.recv_bytes()
+                self.stale_replies += 1
             conn.send_bytes(encode_payload(message))
             expires = (
                 None if deadline is None else time.monotonic() + deadline
@@ -153,14 +181,85 @@ class ProcessBackend:
                             f"shard {shard_id} timed out after {deadline}s"
                         )
                 reply = decode_payload(conn.recv_bytes())
-                if getattr(reply, "seq", None) == getattr(
-                    message, "seq", None
-                ):
+                if getattr(reply, "seq", None) == seq:
                     return reply
+                self.stale_replies += 1
         except (EOFError, OSError, BrokenPipeError):
             raise ClusterError(
                 f"shard {shard_id} died mid-request"
             ) from None
+
+    # -- overlapped dispatch (CycleEngine transport trio) -------------------
+
+    def post(self, shard_id: int, message: Message) -> None:
+        """Non-blocking dispatch: frame goes out, reply is collected
+        later by the engine's multiplex loop."""
+        conn = self._conns.get(shard_id)
+        if conn is None:
+            raise ClusterError(f"shard {shard_id} is not running")
+        try:
+            conn.send_bytes(encode_payload(message))
+        except (OSError, BrokenPipeError):
+            raise ClusterError(
+                f"shard {shard_id} died mid-request"
+            ) from None
+
+    def collect(self, timeout: float) -> List[tuple]:
+        """Replies ready across *all* shard pipes within ``timeout``.
+
+        ``multiprocessing.connection.wait`` — a ``selectors`` multiplex
+        over the pipes' file descriptors — blocks until any pipe is
+        readable (or torn), then every buffered frame is drained
+        without further blocking. Returns ``(shard_id, seq, payload)``
+        tuples where payload is a decoded message or a
+        :class:`~repro.errors.ClusterError` for a torn pipe.
+        """
+        conns = {conn: sid for sid, conn in self._conns.items()}
+        if not conns:
+            if timeout > 0:
+                time.sleep(timeout)
+            return []
+        ready = multiprocessing.connection.wait(
+            list(conns), timeout=max(0.0, timeout)
+        )
+        out: List[tuple] = []
+        for conn in ready:
+            sid = conns[conn]
+            try:
+                while conn.poll(0):
+                    reply = decode_payload(conn.recv_bytes())
+                    out.append((sid, getattr(reply, "seq", None), reply))
+            except (EOFError, OSError, BrokenPipeError):
+                # A torn pipe stays permanently "ready": reap it here
+                # or every later wait returns immediately and the
+                # gather loop busy-spins until the cycle ends.
+                self._reap(sid)
+                out.append(
+                    (
+                        sid,
+                        None,
+                        ClusterError(f"shard {sid} died mid-request"),
+                    )
+                )
+        return out
+
+    def _reap(self, shard_id: int) -> None:
+        """Forget a connection whose worker died underneath us."""
+        conn = self._conns.pop(shard_id, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        proc = self._procs.pop(shard_id, None)
+        if proc is not None:
+            proc.join(timeout=1)
+
+    def host_alive(self, shard_id: int) -> bool:
+        """Process-level liveness (the fail-fast signal): a torn pipe
+        whose worker is gone cannot heal within any backoff schedule."""
+        proc = self._procs.get(shard_id)
+        return proc is not None and proc.is_alive()
 
     def kill(self, shard_id: int) -> None:
         proc = self._procs.pop(shard_id, None)

@@ -44,6 +44,7 @@ class HashRing:
         self.seed = seed
         self.vnodes = vnodes
         self._nodes: List[int] = []
+        self._weights: Dict[int, float] = {}
         self._points: List[Tuple[int, int]] = []  # (position, node)
         for node in nodes:
             self.add_node(node)
@@ -51,17 +52,36 @@ class HashRing:
     def nodes(self) -> List[int]:
         return list(self._nodes)
 
+    def weight(self, node: int) -> float:
+        """The node's placement weight (1.0 unless declared otherwise)."""
+        return self._weights.get(node, 1.0)
+
+    def weights(self) -> Dict[int, float]:
+        return dict(self._weights)
+
     def __len__(self) -> int:
         return len(self._nodes)
 
     def __contains__(self, node: int) -> bool:
         return node in self._nodes
 
-    def add_node(self, node: int) -> None:
+    def add_node(self, node: int, weight: float = 1.0) -> None:
+        """Place ``node`` with ``weight × vnodes`` virtual nodes.
+
+        Weight scales the vnode count, so a weight-2 node owns ~2x the
+        key space of a weight-1 peer — the heterogeneous-fleet knob.
+        The first ``vnodes`` tokens of a weighted node are identical to
+        its unweighted tokens, so raising a node's weight only *adds*
+        ring points: keys either stay put or move onto the heavier
+        node, never shuffle between unrelated survivors.
+        """
         if node in self._nodes:
             raise ValueError(f"node {node} is already on the ring")
+        if weight <= 0:
+            raise ValueError("node weight must be > 0")
         self._nodes.append(node)
-        for replica in range(self.vnodes):
+        self._weights[node] = weight
+        for replica in range(max(1, round(self.vnodes * weight))):
             self._points.append((_position(self.seed, f"{node}#{replica}"), node))
         self._points.sort()
 
@@ -69,6 +89,7 @@ class HashRing:
         if node not in self._nodes:
             raise ValueError(f"node {node} is not on the ring")
         self._nodes.remove(node)
+        self._weights.pop(node, None)
         self._points = [(pos, n) for pos, n in self._points if n != node]
 
     def lookup(self, key: str) -> int:

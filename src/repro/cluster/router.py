@@ -68,7 +68,10 @@ See DESIGN.md §12 for the protocol walk-through and recovery matrix.
 
 from __future__ import annotations
 
+import queue
+import random
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ClusterError, RegistrationError, ShardTimeout
@@ -86,6 +89,7 @@ from repro.delta.diff import diff
 from repro.delta.differential import DeltaEntry, DeltaRelation
 from repro.dra.predindex import PredicateIndex
 from repro.obs.export import prometheus_text
+from repro.cluster.dispatch import CycleEngine, PROMOTE, supports_overlap
 from repro.cluster.health import ALIVE, HealthMonitor
 from repro.cluster.ring import HashRing, Partition, partition_filter
 from repro.cluster.shard import ClusterShard, ShardHost, TableDecl
@@ -115,6 +119,15 @@ class LocalBackend:
     and after each ``handle`` so chaos tests can script timeouts and
     connection drops at exact protocol points — including the
     "frame applied, reply lost" window the seq-dedup cache covers.
+
+    The overlapped-dispatch trio (``post``/``collect``/``host_alive``)
+    runs each posted frame on a thread pool and drains finished
+    replies through a queue — hosts overlap, frames to one host stay
+    serial (the engine keeps one outstanding request per host, like a
+    real pipe to a single-threaded worker). ``shuffle_seed`` reorders
+    each ``collect`` batch deterministically, the out-of-order
+    equivalence tests' way of proving the merge is
+    arrival-independent.
     """
 
     def __init__(
@@ -122,11 +135,17 @@ class LocalBackend:
         wal_root: Optional[str] = None,
         columnar: bool = False,
         fault_hook: Optional[Callable[[int, Message, str], None]] = None,
+        shuffle_seed: Optional[int] = None,
     ):
         self.wal_root = wal_root
         self.columnar = columnar
         self.fault_hook = fault_hook
         self.shards: Dict[int, ShardHost] = {}
+        self._rng = (
+            random.Random(shuffle_seed) if shuffle_seed is not None else None
+        )
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._results: "queue.Queue[tuple]" = queue.Queue()
 
     def spawn(self, shard_id: int, decls: Sequence[TableDecl]) -> ShardHelloMessage:
         if shard_id in self.shards:
@@ -186,6 +205,56 @@ class LocalBackend:
     def alive(self) -> List[int]:
         return sorted(self.shards)
 
+    # -- overlapped dispatch (CycleEngine transport trio) -------------------
+
+    def post(self, shard_id: int, message: Message) -> None:
+        """Non-blocking dispatch: ``handle`` runs on a pool thread and
+        the outcome (reply or raised fault) lands in the result queue."""
+        if shard_id not in self.shards:
+            raise ClusterError(f"shard {shard_id} is not running")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=16, thread_name_prefix="local-shard"
+            )
+        seq = getattr(message, "seq", None)
+
+        def run() -> None:
+            try:
+                host = self.shards.get(shard_id)
+                if host is None:
+                    raise ClusterError(f"shard {shard_id} is not running")
+                if self.fault_hook is not None:
+                    self.fault_hook(shard_id, message, "send")
+                reply = host.handle(message)
+                if self.fault_hook is not None:
+                    self.fault_hook(shard_id, message, "reply")
+            except Exception as exc:  # delivered as a typed event
+                self._results.put((shard_id, seq, exc))
+            else:
+                self._results.put((shard_id, seq, reply))
+
+        self._pool.submit(run)
+
+    def collect(self, timeout: float) -> List[tuple]:
+        """All finished outcomes, blocking up to ``timeout`` for the
+        first; shuffled deterministically when ``shuffle_seed`` is set."""
+        out: List[tuple] = []
+        try:
+            out.append(self._results.get(timeout=max(0.0, timeout)))
+        except queue.Empty:
+            return out
+        while True:
+            try:
+                out.append(self._results.get_nowait())
+            except queue.Empty:
+                break
+        if self._rng is not None and len(out) > 1:
+            self._rng.shuffle(out)
+        return out
+
+    def host_alive(self, shard_id: int) -> bool:
+        return shard_id in self.shards
+
     def host(self, shard_id: int) -> ShardHost:
         return self.shards[shard_id]
 
@@ -194,6 +263,9 @@ class LocalBackend:
         return self.shards[shard_id].stores[shard_id]
 
     def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         for host in self.shards.values():
             host.close()
 
@@ -263,6 +335,8 @@ class ClusterRouter:
         dead_after: int = 2,
         backoff_base: float = 0.05,
         sleep: Optional[Callable[[float], None]] = None,
+        overlap: bool = True,
+        weights: Optional[Dict[int, float]] = None,
     ):
         if shards < 1:
             raise ClusterError("a cluster needs at least one shard")
@@ -289,6 +363,16 @@ class ClusterRouter:
         self._request_timeout = request_timeout
         self._retries = retries
         self._sleep = time.sleep if sleep is None else sleep
+        #: Overlapped dispatch: plan every frame up front, gather
+        #: replies as they arrive (requires a backend exposing the
+        #: post/collect/host_alive trio; falls back to the sequential
+        #: loop otherwise). ``overlap=False`` keeps the sequential
+        #: loop — the wall-clock benchmarks' baseline.
+        self.overlap = overlap
+        #: Initial per-shard placement weights (heterogeneous fleets);
+        #: :meth:`add_shard` takes a ``weight=`` for later joiners.
+        self._initial_weights = dict(weights or {})
+        self._engine: Optional[CycleEngine] = None
         self._n_initial = shards
         self._decls: Dict[str, TableDecl] = {}
         self._started = False
@@ -303,9 +387,20 @@ class ClusterRouter:
         self._residuals: Dict[str, Tuple[Residual, ...]] = {}
         #: ``{group: [primary host, replica hosts...]}``.
         self._placement: Dict[int, List[int]] = {}
+        #: Stores carried per host, maintained incrementally alongside
+        #: every ``_placement`` mutation (the load half of the
+        #: load-aware replica targeting; rebuilding it per call was the
+        #: O(groups·hosts) half of the re-replication hot spot).
+        self._load: Dict[int, int] = {}
         #: Applied-through timestamp per ``(host, group)`` store.
         self._store_horizons: Dict[Tuple[int, int], Timestamp] = {}
         self._store_counters: Dict[Tuple[int, int], Dict[str, int]] = {}
+        #: Observed refresh cost per store and its per-host sum, both
+        #: maintained incrementally from gathered counter snapshots
+        #: (the same per-CQ attributed counters ``CQStats`` folds on
+        #: the shard side). The cost half of load-aware targeting.
+        self._store_cost: Dict[Tuple[int, int], float] = {}
+        self._host_cost: Dict[int, float] = {}
         #: Last timestamp whose gather was merged into member results,
         #: per group — the promotion registration point.
         self._group_served: Dict[int, Timestamp] = {}
@@ -348,18 +443,20 @@ class ClusterRouter:
         now = self.db.now()
         for shard_id in range(self._n_initial):
             self.backend.spawn(shard_id, decls)
-            self.ring.add_node(shard_id)
+            self.ring.add_node(
+                shard_id, weight=self._initial_weights.get(shard_id, 1.0)
+            )
             self._horizons[shard_id] = now
             self.zones.register(
                 self._zone(shard_id), self._all_tables(), now
             )
-            self._placement[shard_id] = [shard_id]
+            self._place(shard_id, shard_id)
             self._store_horizons[(shard_id, shard_id)] = now
         target = min(self.replicas, self._n_initial - 1)
         if target > 0:
             for group in sorted(self._placement):
-                for host in self._choose_replicas(group, target):
-                    self._placement[group].append(host)
+                for host in self._replica_targets(group, target):
+                    self._place(group, host)
                     self._store_horizons[(host, group)] = now
 
     @staticmethod
@@ -391,26 +488,98 @@ class ClusterRouter:
             needed.update(self._queries[sql_key].table_names)
         return sorted(needed)
 
-    def _choose_replicas(
+    # -- placement bookkeeping ----------------------------------------------
+
+    #: Gather-reply counters that proxy a store's refresh cost (the
+    #: same work counters the shard's per-CQ ``CQStats`` attribution
+    #: charges); their per-host sum steers load-aware targeting.
+    _WORK_COUNTERS = (
+        "terms_evaluated",
+        "rows_scanned",
+        "delta_rows_read",
+        "predindex_probes",
+    )
+
+    def _place(self, group: int, host: int) -> None:
+        """Append ``host`` to ``group``'s placement, load accounted."""
+        self._placement.setdefault(group, []).append(host)
+        self._load[host] = self._load.get(host, 0) + 1
+
+    def _unplace(self, group: int, host: int) -> None:
+        hosts = self._placement.get(group)
+        if hosts is None or host not in hosts:
+            return
+        hosts.remove(host)
+        remaining = self._load.get(host, 0) - 1
+        if remaining > 0:
+            self._load[host] = remaining
+        else:
+            self._load.pop(host, None)
+
+    def _clear_group(self, group: int, forget: bool = False) -> None:
+        """Empty ``group``'s placement (``forget`` drops the key too)."""
+        for host in list(self._placement.get(group, ())):
+            self._unplace(group, host)
+        if forget:
+            self._placement.pop(group, None)
+
+    def _record_store(self, host: int, group: int, counters) -> None:
+        """One store's gathered counter snapshot, cost kept current."""
+        snapshot = dict(counters)
+        self._store_counters[(host, group)] = snapshot
+        score = float(
+            sum(snapshot.get(name, 0) for name in self._WORK_COUNTERS)
+        )
+        previous = self._store_cost.get((host, group), 0.0)
+        if score != previous:
+            self._store_cost[(host, group)] = score
+            self._host_cost[host] = (
+                self._host_cost.get(host, 0.0) + score - previous
+            )
+
+    def _drop_store_counters(self, key: Tuple[int, int]) -> None:
+        self._store_counters.pop(key, None)
+        score = self._store_cost.pop(key, None)
+        if score:
+            host = key[0]
+            remaining = self._host_cost.get(host, 0.0) - score
+            if remaining > 0.0:
+                self._host_cost[host] = remaining
+            else:
+                self._host_cost.pop(host, None)
+
+    def _replica_targets(
         self, group: int, k: int, exclude: Optional[Set[int]] = None
     ) -> List[int]:
         """``k`` replica hosts for ``group``: ring-successor preference
         order (deterministic from seed + node set), filtered to live
         hosts not already placed, least-loaded first so replica stores
-        spread instead of piling onto one ring neighbor."""
+        spread instead of piling onto one ring neighbor.
+
+        Load-aware and weight-aware: hosts are ordered by carried
+        stores per unit of placement weight, observed refresh cost per
+        unit of weight (both maintained incrementally — no per-call
+        rebuild), then ring preference rank (precomputed as a dict;
+        ``pref.index`` inside the sort key was the
+        O(groups·hosts·vnodes) re-replication hot spot).
+        """
         if k <= 0:
             return []
         taken = set(self._placement.get(group, ()))
         taken.update(self._dead)
         taken.update(exclude or ())
         pref = self.ring.lookup_n(f"replica:{group}", len(self.ring))
-        load: Dict[int, int] = {}
-        for hosts in self._placement.values():
-            for host in hosts:
-                load[host] = load.get(host, 0) + 1
+        rank = {host: position for position, host in enumerate(pref)}
+        load = self._load
+        cost = self._host_cost
+        weight = self.ring.weight
         ranked = sorted(
             (host for host in pref if host not in taken),
-            key=lambda host: (load.get(host, 0), pref.index(host)),
+            key=lambda host: (
+                load.get(host, 0) / weight(host),
+                cost.get(host, 0.0) / weight(host),
+                rank[host],
+            ),
         )
         return ranked[:k]
 
@@ -421,10 +590,14 @@ class ClusterRouter:
 
         Returns the reply, or None once the host has exhausted its
         retries (the caller decides the failover). Never raises: a
-        timeout and a torn connection are the same signal — a missed
-        ack — and both feed the health state machine. Retries are safe
-        because shard stores dedup by ``seq`` and return the cached
-        reply, so at-least-once delivery stays exactly-once
+        timeout and a torn connection both feed the health state
+        machine as a missed ack. A torn connection whose process is
+        actually gone fails fast — no backoff schedule can heal it, so
+        burning ``retries × backoff`` of wall-clock before the
+        failover would only delay the promotion (the health machine
+        still ends at *dead* through ``_on_host_down``). Retries are
+        safe because shard stores dedup by ``seq`` and return the
+        cached reply, so at-least-once delivery stays exactly-once
         application.
         """
         if host in self._dead:
@@ -444,10 +617,21 @@ class ClusterRouter:
                 continue
             except ClusterError:
                 self._record_failure(host)
+                if not self._backend_alive(host):
+                    self.metrics.count(Metrics.SCATTER_FAILFASTS)
+                    break
                 continue
             self.health.success(host)
             return reply
         return None
+
+    def _backend_alive(self, host: int) -> bool:
+        """Process-level liveness, tolerant of backends without the
+        overlapped-dispatch trio."""
+        probe = getattr(self.backend, "host_alive", None)
+        if callable(probe):
+            return bool(probe(host))
+        return host in self.backend.alive()
 
     def _record_failure(self, host: int) -> None:
         before = self.health.state(host)
@@ -743,10 +927,15 @@ class ClusterRouter:
         ts_by_key: Dict[str, Timestamp] = {}
         windows: Dict[Timestamp, Tuple[Dict, Set[str]]] = {}
         frames: Dict[Tuple[int, Timestamp], Dict[str, DeltaRelation]] = {}
-        for group in sorted(self._placement):
-            self._refresh_group(
-                group, now, collect, windows, frames, pending, ts_by_key
+        if self.overlap and supports_overlap(self.backend):
+            self._refresh_overlapped(
+                now, collect, windows, frames, pending, ts_by_key
             )
+        else:
+            for group in sorted(self._placement):
+                self._refresh_group(
+                    group, now, collect, windows, frames, pending, ts_by_key
+                )
         notified = self._merge_and_notify(pending, ts_by_key, now)
         self._drain_rereplication(now)
         if self._reconcile_keys:
@@ -756,6 +945,59 @@ class ClusterRouter:
         if self.auto_gc:
             self.collect_garbage()
         return notified
+
+    def _refresh_overlapped(
+        self,
+        now: Timestamp,
+        collect: bool,
+        windows: Dict,
+        frames: Dict,
+        pending: Dict[str, List[DeltaRelation]],
+        ts_by_key: Dict[str, Timestamp],
+    ) -> None:
+        """Dispatch every store's frame up front, gather as they land.
+
+        Planning order (sorted groups, placement order within a group)
+        fixes the per-host FIFO queues, so a group's primary frame
+        still precedes its replicas' on a shared host. The engine only
+        *records* replies; they are absorbed here afterwards in the
+        same sorted group/placement order the sequential loop used —
+        merge inputs and notification order are therefore independent
+        of arrival order. Hosts that died mid-cycle (failover already
+        ran) are skipped: their bookkeeping was surgically removed by
+        ``_on_host_down`` and must not be resurrected by a reply that
+        arrived before the verdict.
+        """
+        engine = CycleEngine(self)
+        self._engine = engine
+        try:
+            for group in sorted(self._placement):
+                for host in list(self._placement.get(group, ())):
+                    if host in self._dead:
+                        continue
+                    message = self._plan(
+                        host, group, now, collect, windows, frames
+                    )
+                    engine.submit(host, group, message)
+            engine.run()
+        finally:
+            self._engine = None
+        for group in sorted(self._placement):
+            hosts = list(self._placement.get(group, ()))
+            primary = hosts[0] if hosts else None
+            for host in hosts:
+                if host in self._dead:
+                    continue
+                reply = engine.replies.get((host, group))
+                if reply is None:
+                    continue
+                self._absorb(
+                    host,
+                    group,
+                    reply,
+                    pending if host == primary else None,
+                    ts_by_key,
+                )
 
     def _refresh_group(
         self,
@@ -872,7 +1114,7 @@ class ClusterRouter:
     ) -> None:
         """Record one store's reply; only the group primary's entries
         (``pending`` not None) feed the merge."""
-        self._store_counters[(host, group)] = dict(reply.counters)
+        self._record_store(host, group, reply.counters)
         self._store_horizons[(host, group)] = reply.ts
         self._refresh_host_horizon(host)
         if pending is None:
@@ -1003,7 +1245,7 @@ class ClusterRouter:
         # not leak into horizon aggregation if the host comes back.
         for key in [k for k in self._store_horizons if k[0] == host]:
             self._store_horizons.pop(key, None)
-            self._store_counters.pop(key, None)
+            self._drop_store_counters(key)
         affected = sorted(
             group
             for group, hosts in self._placement.items()
@@ -1012,7 +1254,7 @@ class ClusterRouter:
         for group in affected:
             hosts = self._placement[group]
             was_primary = hosts[0] == host
-            hosts.remove(host)
+            self._unplace(group, host)
             self._pinned.setdefault(host, set()).add(group)
             if not hosts:
                 self._lost.add(group)
@@ -1030,7 +1272,15 @@ class ClusterRouter:
         carries the store's pre-registration horizon; a mismatch with
         the served timestamp means the replica's lockstep had diverged
         from what members saw, and the affected keys are queued for an
-        exact reconcile instead of trusting the window."""
+        exact reconcile instead of trusting the window.
+
+        During an overlapped cycle the promote frame is submitted to
+        the engine at the *front* of the target's queue instead of
+        sent inline: if the new primary's lockstep scatter has not
+        been dispatched yet, the promote still precedes it (the
+        bit-identical ordering); if the scatter already ran, the
+        promote's horizon mismatch queues the reconcile — exactly the
+        correctness ladder the sequential loop's ordering implied."""
         hosts = [
             h
             for h in self._placement.get(group, ())
@@ -1048,17 +1298,35 @@ class ClusterRouter:
             group, self._store_horizons.get((target, group), 0)
         )
         self._seq += 1
-        reply = self._send(
-            target,
-            ShardPromoteMessage(
-                target, group, self._seq, served, subscribe=subscribe
-            ),
+        message = ShardPromoteMessage(
+            target, group, self._seq, served, subscribe=subscribe
         )
+        if self._engine is not None:
+            self._engine.submit(
+                target,
+                group,
+                message,
+                kind=PROMOTE,
+                front=True,
+                context=(served, owned),
+            )
+            return
+        reply = self._send(target, message)
+        self._finish_promote(group, target, served, owned, reply)
+
+    def _finish_promote(
+        self,
+        group: int,
+        target: int,
+        served: Timestamp,
+        owned: List[str],
+        reply: Optional[GatherReplyMessage],
+    ) -> None:
         if reply is None:
             self._on_host_down(target)
             return
         self.metrics.count(Metrics.FAILOVERS)
-        self._store_counters[(target, group)] = dict(reply.counters)
+        self._record_store(target, group, reply.counters)
         if reply.horizon != served:
             self._reconcile_keys.update(owned)
 
@@ -1085,7 +1353,7 @@ class ClusterRouter:
         """Re-create a lost group's primary from the authoritative
         database on a surviving host; members are healed by an exact
         reconcile after this cycle's merge."""
-        candidates = self._choose_replicas(group, 1)
+        candidates = self._replica_targets(group, 1)
         if not candidates:
             return False
         host = candidates[0]
@@ -1113,10 +1381,11 @@ class ClusterRouter:
             self._on_host_down(host)
             return False
         self.metrics.count(Metrics.REREPLICATIONS)
-        self._placement[group] = [host]
+        self._clear_group(group)
+        self._place(group, host)
         self._lost.discard(group)
         self._store_horizons[(host, group)] = reply.ts
-        self._store_counters[(host, group)] = dict(reply.counters)
+        self._record_store(host, group, reply.counters)
         self._ensure_zone(host, reply.ts)
         self._refresh_host_horizon(host)
         self._group_served[group] = reply.ts
@@ -1134,7 +1403,7 @@ class ClusterRouter:
         need = target - len(placed)
         if need <= 0:
             return
-        for host in self._choose_replicas(group, need):
+        for host in self._replica_targets(group, need):
             if self._seed_replica(group, host, now):
                 self.metrics.count(Metrics.REREPLICATIONS)
         placed = [
@@ -1162,9 +1431,9 @@ class ClusterRouter:
         if reply is None:
             self._on_host_down(host)
             return False
-        self._placement[group].append(host)
+        self._place(group, host)
         self._store_horizons[(host, group)] = reply.ts
-        self._store_counters[(host, group)] = dict(reply.counters)
+        self._record_store(host, group, reply.counters)
         self._ensure_zone(host, reply.ts)
         self._refresh_host_horizon(host)
         return True
@@ -1359,10 +1628,11 @@ class ClusterRouter:
         if reply is None:
             self._on_host_down(host)
             return
-        self._placement[group] = [host]
+        self._clear_group(group)
+        self._place(group, host)
         self._lost.discard(group)
         self._store_horizons[(host, group)] = reply.ts
-        self._store_counters[(host, group)] = dict(reply.counters)
+        self._record_store(host, group, reply.counters)
         self._group_served[group] = reply.ts
         self._reconcile(owned, now)
 
@@ -1418,16 +1688,16 @@ class ClusterRouter:
         if reply is None:
             self._on_host_down(host)
             return
-        self._placement[group].append(host)
+        self._place(group, host)
         self._store_horizons[(host, group)] = reply.ts
-        self._store_counters[(host, group)] = dict(reply.counters)
+        self._record_store(host, group, reply.counters)
 
     def _drain_store(self, host: int, group: int, now: Timestamp) -> None:
         """Best-effort detach of one store (its group moved on)."""
         self._seq += 1
         self._send(host, ShardDrainMessage(host, self._seq, now, group=group))
 
-    def add_shard(self) -> int:
+    def add_shard(self, weight: float = 1.0) -> int:
         """Grow the fleet by one shard (index handoff included).
 
         A leading refresh consumes every pending window first — commits
@@ -1439,7 +1709,9 @@ class ClusterRouter:
         whose hash moved re-home (unsubscribe + baseline-seeded
         re-register), partition-parallel subscriptions additionally
         register on the new group, and with ``replicas > 0`` the new
-        group gets its own replicas.
+        group gets its own replicas. ``weight`` scales the new shard's
+        vnode count, so a beefier host immediately owns a
+        proportionally larger share of slices and ``sql_key`` homes.
         """
         if not self._started:
             raise ClusterError("start() the cluster before adding shards")
@@ -1451,11 +1723,11 @@ class ClusterRouter:
             if sql_key not in self._parallel
         }
         self.backend.spawn(new_id, list(self._decls.values()))
-        self.ring.add_node(new_id)
+        self.ring.add_node(new_id, weight=weight)
         now = self.db.now()
         self._horizons[new_id] = now
         self.zones.register(self._zone(new_id), self._all_tables(), now)
-        self._placement[new_id] = [new_id]
+        self._place(new_id, new_id)
         self._store_horizons[(new_id, new_id)] = now
         # Re-slice partitioned tables everywhere: rows whose owner moved
         # are deleted from the old group and inserted on the new one by
@@ -1521,7 +1793,7 @@ class ClusterRouter:
             self._seed_group(new_home, sql_key, query, now)
         if self.replicas:
             live = self._alive()
-            for host in self._choose_replicas(
+            for host in self._replica_targets(
                 new_id, min(self.replicas, len(live) - 1)
             ):
                 self._seed_replica(new_id, host, now)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import glob
 import os
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import NetworkError
@@ -174,13 +175,18 @@ class ClusterShard:
         #: its shard id; replica stores carry another group's slice.
         self.group = shard_id if group is None else group
         self.role = "primary" if self.group == shard_id else "replica"
-        # At-least-once retry support: a duplicate of the last frame
+        # At-least-once retry support: a duplicate of a recent frame
         # (same seq — the reply was lost after the shard applied it)
         # returns the cached reply instead of re-handling, so a
         # router-side timeout + retry can never double-consume a
-        # refresh window or lose the result delta it produced.
-        self._last_seq: Optional[int] = None
-        self._last_reply: Optional[GatherReplyMessage] = None
+        # refresh window or lose the result delta it produced. A small
+        # LRU rather than a single slot: under overlapped dispatch a
+        # late retry of frame N can land *after* frame N+1 already
+        # replaced a one-entry cache, which would re-handle N.
+        self._reply_cache: "OrderedDict[int, GatherReplyMessage]" = (
+            OrderedDict()
+        )
+        self._reply_cache_cap = 8
         if server is None:
             self.metrics = metrics if metrics is not None else Metrics()
             if wal_path is None and wal_root is not None:
@@ -282,12 +288,9 @@ class ClusterShard:
         stays exactly-once application.
         """
         seq = getattr(message, "seq", None)
-        if (
-            seq is not None
-            and seq == self._last_seq
-            and self._last_reply is not None
-        ):
-            return self._last_reply
+        if seq is not None and seq in self._reply_cache:
+            self._reply_cache.move_to_end(seq)
+            return self._reply_cache[seq]
         if isinstance(message, ScatterMessage):
             reply = self._handle_scatter(message)
         elif isinstance(message, ShardHeartbeatMessage):
@@ -300,7 +303,9 @@ class ClusterShard:
                 f"{type(message).__name__}"
             )
         if seq is not None:
-            self._last_seq, self._last_reply = seq, reply
+            self._reply_cache[seq] = reply
+            while len(self._reply_cache) > self._reply_cache_cap:
+                self._reply_cache.popitem(last=False)
         return reply
 
     def _handle_promote(

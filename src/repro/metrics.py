@@ -191,6 +191,12 @@ class Metrics:
     SCATTER_TIMEOUTS = "cluster_scatter_timeouts"
     FAILOVERS = "cluster_failovers"
     REREPLICATIONS = "cluster_rereplications"
+    # Overlapped scatter/gather transport: replies that could not be
+    # paired with an in-flight request (late answers of timed-out
+    # attempts, seqless frames) and torn connections failed over
+    # immediately because the process behind the pipe was gone.
+    STALE_REPLIES = "cluster_stale_replies"
+    SCATTER_FAILFASTS = "cluster_scatter_failfasts"
     # Histogram names.
     REFRESH_LATENCY_US = "refresh_latency_us"
 

@@ -52,7 +52,21 @@ def delta_wire_size(delta: DeltaRelation) -> int:
 
 
 class Message:
-    """Base class for CQ protocol messages."""
+    """Base class for CQ protocol messages.
+
+    ``seq`` is the request/reply pairing contract for the cluster
+    transports: the router stamps every scatter-cycle frame with a
+    globally unique integer, the shard echoes it on the reply, and
+    both the blocking ``ProcessBackend.send`` and the overlapped
+    ``CycleEngine`` gather path pair replies to in-flight requests by
+    that integer — a reply whose seq matches nothing in flight is
+    stale (the late answer of a timed-out attempt) and is discarded,
+    never matched by arrival order. Messages outside the scatter cycle
+    leave it ``None``; transports that pair by seq refuse to send
+    those rather than pair them by luck.
+    """
+
+    seq: Optional[int] = None
 
     def wire_size(self) -> int:
         """Measured size in bytes of this message's encoded frame."""

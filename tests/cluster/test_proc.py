@@ -86,6 +86,17 @@ def test_wedged_worker_times_out_and_retry_stays_exactly_once(tmp_path):
         # send drains that stale reply and pairs with its own.
         reply = backend.send(0, ShardHeartbeatMessage(0, 3, 3))
         assert reply.seq == 3
+        assert backend.stale_replies == 1
+
+        # A frame without an integer seq can never be paired with its
+        # reply (``None == None`` would match any stale seqless frame),
+        # so the backend refuses to send it at all.
+        seqless = ShardHeartbeatMessage(0, 4, 4)
+        seqless.seq = None
+        with pytest.raises(ClusterError, match="integer seq"):
+            backend.send(0, seqless)
+        reply = backend.send(0, ShardHeartbeatMessage(0, 5, 5))
+        assert reply.seq == 5
     finally:
         backend.close()
     assert backend.alive() == []

@@ -169,3 +169,74 @@ class TestPartitionSlices:
         assert set(slices) == {2}
         e = next(iter(slices[2]))
         assert e.old == old and e.new == new
+
+
+class TestWeightedRing:
+    """Per-node weights scale vnode counts: a weight-2 node owns about
+    twice the key space, and changing a node's weight stays minimally
+    disruptive (keys only move onto the heavier node)."""
+
+    def test_weight_two_owns_about_double_share(self):
+        ring = HashRing(seed=7)
+        for node in (0, 1, 2):
+            ring.add_node(node)
+        ring.add_node(3, weight=2.0)
+        counts = {n: 0 for n in ring.nodes()}
+        total = 6000
+        for i in range(total):
+            counts[ring.lookup(f"key-{i}")] += 1
+        light = sum(counts[n] for n in (0, 1, 2)) / 3
+        assert 1.5 <= counts[3] / light <= 2.6, counts
+
+    def test_weight_defaults_to_one_and_is_queryable(self):
+        ring = HashRing([0, 1], seed=3)
+        ring.add_node(2, weight=2.5)
+        assert ring.weight(0) == 1.0
+        assert ring.weight(2) == 2.5
+        assert ring.weights() == {0: 1.0, 1: 1.0, 2: 2.5}
+
+    def test_invalid_weight_rejected(self):
+        ring = HashRing(seed=1)
+        with pytest.raises(ValueError):
+            ring.add_node(0, weight=0.0)
+        with pytest.raises(ValueError):
+            ring.add_node(0, weight=-1.0)
+
+    def test_heavier_join_only_moves_keys_onto_it(self):
+        """The first ``vnodes`` tokens of a weighted node are the same
+        as its unweighted tokens, so a heavy joiner still only *takes*
+        keys — survivors never swap keys among themselves."""
+        ring = HashRing([0, 1, 2], seed=9)
+        keys = [f"key-{i}" for i in range(800)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add_node(3, weight=3.0)
+        moved = 0
+        for k in keys:
+            after = ring.lookup(k)
+            if after != before[k]:
+                assert after == 3, (k, before[k], after)
+                moved += 1
+        # A weight-3 joiner takes roughly 3/6 of the space.
+        assert len(keys) // 4 < moved < 3 * len(keys) // 4
+
+    def test_weighted_placement_superset_of_unweighted(self):
+        """Raising a node's weight never moves its existing keys off:
+        every key the unweighted node owned, the weighted one owns."""
+        plain = HashRing([0, 1, 2], seed=5)
+        heavy = HashRing(seed=5)
+        heavy.add_node(0)
+        heavy.add_node(1)
+        heavy.add_node(2, weight=2.0)
+        for i in range(600):
+            key = f"key-{i}"
+            if plain.lookup(key) == 2:
+                assert heavy.lookup(key) == 2
+
+    def test_remove_forgets_weight(self):
+        ring = HashRing(seed=2)
+        ring.add_node(0, weight=2.0)
+        ring.add_node(1)
+        ring.remove_node(0)
+        assert ring.weights() == {1: 1.0}
+        ring.add_node(0)  # rejoins at default weight, no stale state
+        assert ring.weight(0) == 1.0
