@@ -203,6 +203,15 @@ class CycleEngine:
         try:
             self.backend.post(request.host, request.message)
         except ClusterError:
+            # The post itself failed (conn torn and reaped during a
+            # backoff window, host never spawned, ...). Clear the
+            # timers *before* dispatching the failure: a stale past
+            # ``retry_at`` would make ``_fire_timers`` re-fire every
+            # iteration while ``_on_torn``'s backing-off guard
+            # swallowed the event — a busy livelock that never reaches
+            # the exhaustion check.
+            request.retry_at = None
+            request.deadline = None
             self._outstanding[request.host] = request
             self._on_torn(request)
             return
@@ -266,8 +275,14 @@ class CycleEngine:
 
     def _on_torn(self, request: Optional[_Request]) -> None:
         """A torn connection (EOF/injected crash) on the host's pipe."""
-        if request is None or request.retry_at is not None:
+        if request is None:
             return
+        # A torn pipe is a real failure even while the request is
+        # backing off (timeout -> backoff -> process dies is exactly
+        # how the conn gets reaped): cancel the pending retry rather
+        # than swallow the event, then exhaust/fail-fast below.
+        request.retry_at = None
+        request.deadline = None
         self.router._record_failure(request.host)
         if not self.backend.host_alive(request.host):
             # The process behind the pipe is gone: no backoff schedule

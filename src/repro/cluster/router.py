@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import queue
 import random
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -146,6 +147,13 @@ class LocalBackend:
         )
         self._pool: Optional[ThreadPoolExecutor] = None
         self._results: "queue.Queue[tuple]" = queue.Queue()
+        #: Per-shard serialization for the overlapped path: the engine
+        #: bounds *outstanding* requests to one per host, but a retry
+        #: fired while a slow handle() still occupies a pool thread
+        #: would otherwise run a second concurrent handle() on the
+        #: same (non-thread-safe) ShardHost. A real pipe queues the
+        #: retried frame behind the stalled attempt; so do we.
+        self._serial: Dict[int, threading.Lock] = {}
 
     def spawn(self, shard_id: int, decls: Sequence[TableDecl]) -> ShardHelloMessage:
         if shard_id in self.shards:
@@ -217,17 +225,19 @@ class LocalBackend:
                 max_workers=16, thread_name_prefix="local-shard"
             )
         seq = getattr(message, "seq", None)
+        serial = self._serial.setdefault(shard_id, threading.Lock())
 
         def run() -> None:
             try:
-                host = self.shards.get(shard_id)
-                if host is None:
-                    raise ClusterError(f"shard {shard_id} is not running")
-                if self.fault_hook is not None:
-                    self.fault_hook(shard_id, message, "send")
-                reply = host.handle(message)
-                if self.fault_hook is not None:
-                    self.fault_hook(shard_id, message, "reply")
+                with serial:
+                    host = self.shards.get(shard_id)
+                    if host is None:
+                        raise ClusterError(f"shard {shard_id} is not running")
+                    if self.fault_hook is not None:
+                        self.fault_hook(shard_id, message, "send")
+                    reply = host.handle(message)
+                    if self.fault_hook is not None:
+                        self.fault_hook(shard_id, message, "reply")
             except Exception as exc:  # delivered as a typed event
                 self._results.put((shard_id, seq, exc))
             else:
@@ -1839,15 +1849,14 @@ class ClusterRouter:
             if not others:
                 # Sole holder of a foreign group (it failed over here):
                 # seed a replacement replica before letting go.
-                candidate = self._choose_replicas(
+                candidate = self._replica_targets(
                     group, 1, exclude={shard_id}
                 )
                 if candidate:
                     self._seed_replica(group, candidate[0], now)
-            hosts = self._placement[group]
-            was_primary = hosts[0] == shard_id
-            hosts.remove(shard_id)
-            if not hosts:
+            was_primary = self._placement[group][0] == shard_id
+            self._unplace(group, shard_id)
+            if not self._placement[group]:
                 self._lost.add(group)
             elif was_primary:
                 self._promote(group)
@@ -1907,8 +1916,11 @@ class ClusterRouter:
             stop(shard_id)
         else:
             self.backend.kill(shard_id)
-        # 3) Forget the host.
-        self._placement.pop(own, None)
+        # 3) Forget the host — through the incremental bookkeeping
+        # helpers, so _load/_host_cost stay consistent with _placement
+        # (phantom entries would skew every future _replica_targets
+        # ranking).
+        self._clear_group(own, forget=True)
         self._lost.discard(own)
         self._group_served.pop(own, None)
         for key in [
@@ -1922,7 +1934,7 @@ class ClusterRouter:
             for k in list(self._store_counters)
             if k[0] == shard_id or k[1] == own
         ]:
-            self._store_counters.pop(key, None)
+            self._drop_store_counters(key)
         self._horizons.pop(shard_id, None)
         if self.zones.boundary(self._zone(shard_id)) is not None:
             self.zones.remove(self._zone(shard_id))

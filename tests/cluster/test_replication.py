@@ -393,6 +393,60 @@ class TestRemoveShard:
         router.refresh()
         assert_converged(router)
 
+    def test_remove_sole_holder_of_failed_over_group(self):
+        """Removing a shard that is the only holder of a *foreign*
+        group (one that failed over onto it) must seed a replacement
+        replica on a survivor and promote it — not blow up mid-drain.
+
+        Construction: with 2 hosts and replicas=1, killing host 0
+        leaves host 1 sole holder of group 0 (no spare to top up
+        onto); a third host then joins and host 1 is drained."""
+        router = make_cluster(shards=2, replicas=1)
+        router.kill_shard(0)
+        tick_stock(router, 3, 200.0)
+        router.refresh()
+        assert router.stats()["placement"][0] == [1]  # sole holder
+        new_id = router.add_shard()
+        router.remove_shard(1)
+        placement = router.stats()["placement"]
+        assert all(1 not in hosts for hosts in placement.values())
+        assert placement[0] == [new_id]  # promoted replacement
+        assert_converged(router)
+        tick_stock(router, 4, 300.0)
+        router.refresh()
+        assert_converged(router)
+
+    def test_remove_keeps_load_bookkeeping_consistent(self):
+        """_replica_targets ranks hosts by the incrementally maintained
+        _load/_host_cost maps; a planned removal must leave them exactly
+        consistent with _placement (no phantom entries for the removed
+        host or the dissolved group's surviving replica hosts)."""
+        router = make_cluster(shards=4, replicas=1)
+        tick_stock(router, 3, 200.0)
+        router.refresh()
+        router.remove_shard(2)
+        expected_load = {}
+        for hosts in router._placement.values():
+            for host in hosts:
+                expected_load[host] = expected_load.get(host, 0) + 1
+        assert router._load == expected_load
+        assert 2 not in router._host_cost
+        assert all(key[0] != 2 and key[1] != 2 for key in router._store_cost)
+        assert router._host_cost == {
+            host: pytest.approx(
+                sum(
+                    score
+                    for (h, _g), score in router._store_cost.items()
+                    if h == host
+                )
+            )
+            for host in {k[0] for k in router._store_cost}
+        }
+        # The next placement decision sees the consistent state.
+        tick_stock(router, 4, 300.0)
+        router.refresh()
+        assert_converged(router)
+
 
 class TestAddShardReplicated:
     def test_new_group_gets_replicas_too(self):
